@@ -1,0 +1,112 @@
+// Command tpsim regenerates every experiment of the reproduction: the
+// paper's figures and examples (E1-E12) as checked artifacts, and the
+// quantitative benchmarks (B1-B4) of the scheduler protocols.
+//
+// Usage:
+//
+//	tpsim [experiment ...]
+//	tpsim run <spec.json> [mode]
+//
+// where experiment is one of e1..e12, b1, b2, b4, b5, or "all" (default),
+// and mode is pred (default), pred-cascade, serial, conservative or
+// cc-only. "run" executes a declarative process definition (see
+// internal/spec for the format and examples/specs for samples).
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	name  string
+	title string
+	run   func() error
+}
+
+func main() {
+	exps := []experiment{
+		{"e1", "Figure 2/3, Example 1: process P1 and its valid executions", e1},
+		{"e2", "Example 2: completion C(P1) in B-REC and F-REC", e2},
+		{"e3", "Figure 4, Examples 3-4: serializable vs non-serializable execution", e3},
+		{"e4", "Figures 5-6, Examples 5-6: completed schedule and reduction", e4},
+		{"e5", "Figure 7, Examples 7/9: prefix-reducible execution", e5},
+		{"e6", "Figure 8, Example 8: non-PRED prefix", e6},
+		{"e7", "Figure 9, Example 10: quasi-commit interleaving", e7},
+		{"e8", "Figure 1, Section 2: CIM scenario under CC-only vs PRED", e8},
+		{"e9", "Theorem 1 property check on random schedules", e9},
+		{"e10", "Lemmas 1-3 checks on scheduler executions", e10},
+		{"e11", "Section 3.5: no SOT-like criterion for processes", e11},
+		{"e12", "Section 3.6: weak vs strong order", e12},
+		{"b1", "B1: scheduler comparison and conflict sweep", b1},
+		{"b2", "B2/B3: deferred-commit ablation", b2},
+		{"b4", "B4: crash recovery sweep", b4},
+		{"b5", "B5: single-service fault-injection matrix", b5},
+	}
+	byName := make(map[string]experiment, len(exps))
+	var names []string
+	for _, e := range exps {
+		byName[e.name] = e
+		names = append(names, e.name)
+	}
+	sort.Strings(names)
+
+	args := os.Args[1:]
+	if len(args) >= 2 && args[0] == "run" {
+		mode := ""
+		if len(args) >= 3 {
+			mode = args[2]
+		}
+		if err := runSpecFile(args[1], mode); err != nil {
+			fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) == 0 || (len(args) == 1 && args[0] == "all") {
+		args = make([]string, 0, len(exps))
+		for _, e := range exps {
+			args = append(args, e.name)
+		}
+	}
+	failed := 0
+	for _, name := range args {
+		e, ok := byName[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (available: %s, all)\n", name, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		fmt.Printf("\n════ %s — %s ════\n", strings.ToUpper(e.name), e.title)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.name, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// verdict prints a ✓/✗ line and returns an error on failure.
+func verdict(ok bool, format string, args ...any) error {
+	mark := "✓"
+	if !ok {
+		mark = "✗"
+	}
+	fmt.Printf("  %s %s\n", mark, fmt.Sprintf(format, args...))
+	if !ok {
+		return fmt.Errorf("check failed: %s", fmt.Sprintf(format, args...))
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

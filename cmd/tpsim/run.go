@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"transproc/internal/scheduler"
+	"transproc/internal/sim"
+	"transproc/internal/spec"
+)
+
+// runSpecFile loads a declarative JSON definition and executes it under
+// the requested mode (default pred), printing the schedule, a
+// per-process timeline and the correctness verdicts.
+func runSpecFile(path string, modeName string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fed, jobs, err := spec.Load(data)
+	if err != nil {
+		return err
+	}
+	mode, err := parseMode(modeName)
+	if err != nil {
+		return err
+	}
+	eng, err := scheduler.New(fed, scheduler.Config{Mode: mode})
+	if err != nil {
+		return err
+	}
+	res, err := eng.RunJobs(jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mode: %v\n", mode)
+	fmt.Println("schedule:", res.Schedule)
+	fmt.Print(sim.Gantt(res, 64))
+	m := res.Metrics
+	fmt.Printf("makespan=%d committed=%d aborted=%d compensations=%d deferrals=%d 2pc=%d\n",
+		m.Makespan, m.CommittedProcs, m.AbortedProcs, m.Compensations, m.Deferrals, m.TwoPCCommits)
+	ok, at, _, err := res.Schedule.PRED()
+	if err != nil {
+		return err
+	}
+	if ok {
+		fmt.Println("prefix-reducible: true")
+	} else {
+		fmt.Printf("prefix-reducible: FALSE (shortest bad prefix: %d)\n", at)
+	}
+	srl := res.Schedule.EffectiveSerializable()
+	fmt.Println("serializable (committed projection):", srl)
+	if n := len(fed.InDoubt()); n > 0 {
+		fmt.Printf("WARNING: %d in-doubt transactions remain\n", n)
+	}
+	return nil
+}
+
+func parseMode(s string) (scheduler.Mode, error) {
+	switch s {
+	case "", "pred":
+		return scheduler.PRED, nil
+	case "pred-cascade":
+		return scheduler.PREDCascade, nil
+	case "serial":
+		return scheduler.Serial, nil
+	case "conservative":
+		return scheduler.Conservative, nil
+	case "cc-only":
+		return scheduler.CCOnly, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (pred|pred-cascade|serial|conservative|cc-only)", s)
+	}
+}

@@ -1,0 +1,118 @@
+package transproc_test
+
+import (
+	"fmt"
+
+	"transproc"
+)
+
+// Example demonstrates the minimal end-to-end flow: a subsystem, a
+// process with guaranteed termination, the PRED scheduler, and the
+// prefix-reducibility check on the observed schedule.
+func Example() {
+	shop := transproc.NewSubsystem("shop", 1)
+	shop.MustRegister(transproc.ServiceSpec{
+		Name: "reserve", Kind: transproc.Compensatable, Subsystem: "shop",
+		Compensation: "reserve⁻¹", WriteSet: []string{"stock"},
+	})
+	shop.MustRegister(transproc.ServiceSpec{
+		Name: "pay", Kind: transproc.Pivot, Subsystem: "shop", WriteSet: []string{"ledger"},
+	})
+	shop.MustRegister(transproc.ServiceSpec{
+		Name: "notify", Kind: transproc.Retriable, Subsystem: "shop", WriteSet: []string{"outbox"},
+	})
+	fed := transproc.NewFederation()
+	fed.MustAdd(shop)
+
+	order := transproc.NewProcess("Order").
+		Add(1, "reserve", transproc.Compensatable).
+		Add(2, "pay", transproc.Pivot).
+		Add(3, "notify", transproc.Retriable).
+		Seq(1, 2).Seq(2, 3).
+		MustBuild()
+
+	eng, _ := transproc.NewEngine(fed, transproc.Config{Mode: transproc.PRED})
+	res, _ := eng.Run([]*transproc.Process{order})
+	ok, _, _, _ := res.Schedule.PRED()
+	fmt.Println(res.Schedule)
+	fmt.Println("prefix-reducible:", ok)
+	// Output:
+	// ⟨a_{Order_1}^c a_{Order_2}^p a_{Order_3}^r C_Order⟩
+	// prefix-reducible: true
+}
+
+// ExampleExecutions enumerates every terminal execution of a process
+// under all failure scenarios — the paper's Figure 3 for a simple
+// reserve/pay/notify pipeline.
+func ExampleExecutions() {
+	order := transproc.NewProcess("O").
+		Add(1, "reserve", transproc.Compensatable).
+		Add(2, "pay", transproc.Pivot).
+		Add(3, "notify", transproc.Retriable).
+		Seq(1, 2).Seq(2, 3).
+		MustBuild()
+	execs, _ := transproc.Executions(order)
+	for _, e := range execs {
+		fmt.Println(e)
+	}
+	// Output:
+	// ⟨a1 a2 a3⟩C
+	// ⟨a1 a2✗ a1⁻¹⟩A
+	// ⟨a1✗⟩A
+}
+
+// ExampleValidateGuaranteedTermination shows the validator rejecting a
+// process whose pivot is followed by a compensatable activity without
+// an alternative — such a failure could be recovered neither backward
+// nor forward.
+func ExampleValidateGuaranteedTermination() {
+	bad := transproc.NewProcess("Bad").
+		Add(1, "pay", transproc.Pivot).
+		Add(2, "reserve", transproc.Compensatable).
+		Seq(1, 2).
+		MustBuild()
+	err := transproc.ValidateGuaranteedTermination(bad)
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}
+
+// ExampleNewSchedule checks the paper's Example 3: a cyclic conflict
+// pattern between two processes is not serializable.
+func ExampleNewSchedule() {
+	tab := transproc.NewConflictTable()
+	tab.AddConflict("a", "b")
+	tab.AddConflict("c", "d")
+	p1 := transproc.NewProcess("P1").
+		Add(1, "a", transproc.Compensatable).
+		Add(2, "d", transproc.Compensatable).
+		Seq(1, 2).MustBuild()
+	p2 := transproc.NewProcess("P2").
+		Add(1, "b", transproc.Compensatable).
+		Add(2, "c", transproc.Compensatable).
+		Seq(1, 2).MustBuild()
+	s, _ := transproc.NewSchedule(tab, p1, p2)
+	s.Invoke("P1", 1) // a
+	s.Invoke("P2", 1) // b: edge P1 → P2
+	s.Invoke("P2", 2) // c
+	s.Invoke("P1", 2) // d: edge P2 → P1 — cycle
+	fmt.Println("serializable:", s.Serializable())
+	// Output:
+	// serializable: false
+}
+
+// ExampleCompose builds a pipeline from two subprocesses (the paper's
+// future-work extension).
+func ExampleCompose() {
+	booking := transproc.NewProcess("Book").
+		Add(1, "reserve", transproc.Compensatable).
+		MustBuild()
+	payment := transproc.NewProcess("Pay").
+		Add(1, "charge", transproc.Pivot).
+		Add(2, "receipt", transproc.Retriable).
+		Seq(1, 2).MustBuild()
+	p, err := transproc.Compose("Trip", booking, payment)
+	fmt.Println(err, p.Len(), transproc.EffectiveKind(p))
+	// Output:
+	// <nil> 3 p
+}

@@ -1,0 +1,92 @@
+// Command quickstart shows the minimal end-to-end use of transproc:
+// define a subsystem, a process with guaranteed termination, run it
+// under the PRED scheduler, and check the produced schedule.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"transproc"
+)
+
+func main() {
+	// A transactional subsystem offering three services: a compensatable
+	// reservation, a pivot payment, and a retriable notification.
+	shop := transproc.NewSubsystem("shop", 1)
+	shop.MustRegister(transproc.ServiceSpec{
+		Name: "reserve", Kind: transproc.Compensatable, Subsystem: "shop",
+		Compensation: "reserve⁻¹", WriteSet: []string{"stock"}, Cost: 2,
+	})
+	shop.MustRegister(transproc.ServiceSpec{
+		Name: "pay", Kind: transproc.Pivot, Subsystem: "shop",
+		WriteSet: []string{"ledger"}, Cost: 3,
+	})
+	shop.MustRegister(transproc.ServiceSpec{
+		Name: "notify", Kind: transproc.Retriable, Subsystem: "shop",
+		WriteSet: []string{"outbox"}, Cost: 1,
+	})
+	fed := transproc.NewFederation()
+	fed.MustAdd(shop)
+
+	// An order process: reserve ≪ pay ≪ notify. Reserve is undoable
+	// until the payment (the pivot) commits; afterwards the process is
+	// forward-recoverable and notify is guaranteed to finish.
+	order := transproc.NewProcess("Order").
+		Add(1, "reserve", transproc.Compensatable).
+		Add(2, "pay", transproc.Pivot).
+		Add(3, "notify", transproc.Retriable).
+		Seq(1, 2).Seq(2, 3).
+		MustBuild()
+
+	if err := transproc.ValidateGuaranteedTermination(order); err != nil {
+		log.Fatalf("process rejected: %v", err)
+	}
+
+	eng, err := transproc.NewEngine(fed, transproc.Config{Mode: transproc.PRED})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run([]*transproc.Process{order})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("schedule:", res.Schedule)
+	ok, _, _, err := res.Schedule.PRED()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("prefix-reducible:", ok)
+	fmt.Printf("stock=%d ledger=%d outbox=%d (virtual makespan %d)\n",
+		shop.Get("stock"), shop.Get("ledger"), shop.Get("outbox"), res.Metrics.Makespan)
+
+	// Now make the pivot fail: the process backward-recovers and leaves
+	// no effects — the guaranteed-termination generalization of
+	// atomicity.
+	shop2 := transproc.NewSubsystem("shop", 1)
+	shop2.MustRegister(transproc.ServiceSpec{
+		Name: "reserve", Kind: transproc.Compensatable, Subsystem: "shop",
+		Compensation: "reserve⁻¹", WriteSet: []string{"stock"}, Cost: 2,
+	})
+	shop2.MustRegister(transproc.ServiceSpec{
+		Name: "pay", Kind: transproc.Pivot, Subsystem: "shop",
+		WriteSet: []string{"ledger"}, Cost: 3,
+	})
+	shop2.MustRegister(transproc.ServiceSpec{
+		Name: "notify", Kind: transproc.Retriable, Subsystem: "shop",
+		WriteSet: []string{"outbox"}, Cost: 1,
+	})
+	fed2 := transproc.NewFederation()
+	fed2.MustAdd(shop2)
+	shop2.ForceFail("pay", 1)
+
+	eng2, _ := transproc.NewEngine(fed2, transproc.Config{Mode: transproc.PRED})
+	res2, err := eng2.Run([]*transproc.Process{order})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwith failing payment:", res2.Schedule)
+	fmt.Printf("aborted=%v stock=%d ledger=%d (all effects undone)\n",
+		res2.Outcomes["Order"].Aborted, shop2.Get("stock"), shop2.Get("ledger"))
+}

@@ -1,0 +1,3 @@
+module transproc
+
+go 1.22

@@ -1,0 +1,326 @@
+// Package composite implements Section 3.6 of the paper: increasing
+// parallelism between conflicting activities with the *weak order* of
+// the composite systems theory [ABFS97, AFPS99].
+//
+// The process scheduler's output feeds hierarchical lower-level
+// schedulers — the transactional subsystems. Under the *strong* order an
+// activity is invoked only after the previous conflicting one has
+// terminated. Under the *weak* order both can execute in parallel as
+// long as the overall effect is the same as the strong order; the
+// subsystem guarantees this with commit-order serializability [BBG89]:
+// the commit order of conflicting local transactions is forced to equal
+// the weak order.
+//
+// The package simulates one subsystem executing a batch of local
+// transactions with declared pairwise (weak) order constraints between
+// conflicting transactions, and measures the makespan under both
+// regimes. It also models the re-invocation treatment the paper
+// describes: when a retriable activity's local transaction T_ik aborts
+// after partial execution, a weakly-ordered T_jl that ran in parallel
+// must abort and restart too — without raising an exception of P_j.
+package composite
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Txn is one local transaction to execute in the subsystem.
+type Txn struct {
+	ID   string
+	Cost int64
+	// Retriable transactions may abort transiently and are re-invoked.
+	AbortProb float64
+	// MaxAborts bounds injected aborts (so runs terminate).
+	MaxAborts int
+}
+
+// Order is a pairwise constraint: Before must appear to execute before
+// After — strongly (no overlap) or weakly (overlap allowed, commit order
+// enforced).
+type Order struct {
+	Before, After string
+}
+
+// Mode selects the ordering regime.
+type Mode int
+
+const (
+	// Strong executes conflicting transactions without overlap.
+	Strong Mode = iota
+	// Weak overlaps conflicting transactions and enforces the order at
+	// commit time (commit order serializability).
+	Weak
+)
+
+// String returns the mode label.
+func (m Mode) String() string {
+	if m == Strong {
+		return "strong"
+	}
+	return "weak"
+}
+
+// Stats reports one simulation run.
+type Stats struct {
+	Makespan int64
+	// Aborts counts injected transient aborts.
+	Aborts int
+	// CascadeRestarts counts restarts of transactions forced by the
+	// abort of a weakly-preceding transaction they overlapped with.
+	CascadeRestarts int
+	CommitOrder     []string
+}
+
+// Executor simulates one subsystem with a fixed parallelism degree.
+type Executor struct {
+	Parallelism int
+	Mode        Mode
+	rng         *rand.Rand
+}
+
+// NewExecutor returns an executor. Parallelism < 1 means unbounded.
+func NewExecutor(mode Mode, parallelism int, seed int64) *Executor {
+	return &Executor{Parallelism: parallelism, Mode: mode, rng: rand.New(rand.NewSource(seed))}
+}
+
+type runEvent struct {
+	at  int64
+	seq int
+	id  string
+}
+
+type runHeap []runEvent
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.(runEvent)) }
+func (h *runHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// Run executes the batch under the executor's mode and returns stats.
+// Orders must be acyclic.
+func (ex *Executor) Run(txns []Txn, orders []Order) (*Stats, error) {
+	byID := make(map[string]*Txn, len(txns))
+	for i := range txns {
+		t := &txns[i]
+		if t.Cost < 1 {
+			t.Cost = 1
+		}
+		if _, dup := byID[t.ID]; dup {
+			return nil, fmt.Errorf("composite: duplicate transaction %q", t.ID)
+		}
+		byID[t.ID] = t
+	}
+	preds := make(map[string][]string)
+	succs := make(map[string][]string)
+	for _, o := range orders {
+		if byID[o.Before] == nil || byID[o.After] == nil {
+			return nil, fmt.Errorf("composite: order references unknown transaction (%q, %q)", o.Before, o.After)
+		}
+		preds[o.After] = append(preds[o.After], o.Before)
+		succs[o.Before] = append(succs[o.Before], o.After)
+	}
+	if cyclic(byID, succs) {
+		return nil, fmt.Errorf("composite: order constraints contain a cycle")
+	}
+
+	st := &Stats{}
+	var clock int64
+	seq := 0
+	committed := make(map[string]bool, len(txns))
+	started := make(map[string]int64)  // execution start time (latest attempt)
+	finished := make(map[string]int64) // execution end time (awaiting commit)
+	abortsLeft := make(map[string]int, len(txns))
+	for _, t := range txns {
+		abortsLeft[t.ID] = t.MaxAborts
+	}
+	running := runHeap{}
+	slots := ex.Parallelism
+	if slots < 1 {
+		slots = len(txns)
+	}
+	inFlight := 0
+
+	canStart := func(id string) bool {
+		if _, done := committed[id]; done {
+			return false
+		}
+		if _, executing := started[id]; executing {
+			return false
+		}
+		if _, waiting := finished[id]; waiting {
+			return false
+		}
+		for _, p := range preds[id] {
+			switch ex.Mode {
+			case Strong:
+				if !committed[p] {
+					return false
+				}
+			case Weak:
+				// Overlap allowed: the predecessor only needs to have
+				// started (the subsystem interleaves them and enforces
+				// the commit order).
+				if !committed[p] {
+					if _, ok := started[p]; !ok {
+						if _, ok := finished[p]; !ok {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+
+	// commitReady commits transactions whose execution finished and
+	// whose predecessors committed (commit order serializability).
+	commitReady := func() {
+		for changed := true; changed; {
+			changed = false
+			var ready []string
+			for id := range finished {
+				ok := true
+				for _, p := range preds[id] {
+					if !committed[p] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					ready = append(ready, id)
+				}
+			}
+			sort.Strings(ready)
+			for _, id := range ready {
+				committed[id] = true
+				delete(finished, id)
+				st.CommitOrder = append(st.CommitOrder, id)
+				changed = true
+			}
+		}
+	}
+
+	for len(committed) < len(txns) {
+		launched := false
+		var ids []string
+		for id := range byID {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if inFlight >= slots {
+				break
+			}
+			if canStart(id) {
+				started[id] = clock
+				seq++
+				heap.Push(&running, runEvent{at: clock + byID[id].Cost, seq: seq, id: id})
+				inFlight++
+				launched = true
+			}
+		}
+		if len(running) == 0 {
+			if launched {
+				continue
+			}
+			commitReady()
+			if len(committed) < len(txns) && len(running) == 0 {
+				return nil, fmt.Errorf("composite: stuck with %d of %d committed", len(committed), len(txns))
+			}
+			continue
+		}
+		ev := heap.Pop(&running).(runEvent)
+		inFlight--
+		clock = ev.at
+		t := byID[ev.id]
+		delete(started, ev.id)
+		// Transient abort?
+		if abortsLeft[ev.id] > 0 && t.AbortProb > 0 && ex.rng.Float64() < t.AbortProb {
+			abortsLeft[ev.id]--
+			st.Aborts++
+			// Weak order: parallel weakly-following transactions that
+			// overlapped with the aborted one must restart too (their
+			// interleaved reads are invalid); this is not a failure of
+			// their process — they are simply re-invoked (Section 3.6).
+			if ex.Mode == Weak {
+				for _, s := range succs[ev.id] {
+					if _, executing := started[s]; executing {
+						// Cancel and restart.
+						for i := range running {
+							if running[i].id == s {
+								heap.Remove(&running, i)
+								inFlight--
+								break
+							}
+						}
+						delete(started, s)
+						st.CascadeRestarts++
+					} else if _, waiting := finished[s]; waiting {
+						delete(finished, s)
+						st.CascadeRestarts++
+					}
+				}
+			}
+			continue // re-invoked on the next round
+		}
+		finished[ev.id] = clock
+		commitReady()
+	}
+	st.Makespan = clock
+	return st, nil
+}
+
+func cyclic(byID map[string]*Txn, succs map[string][]string) bool {
+	color := make(map[string]int, len(byID))
+	var visit func(string) bool
+	visit = func(n string) bool {
+		color[n] = 1
+		for _, m := range succs[n] {
+			switch color[m] {
+			case 1:
+				return true
+			case 0:
+				if visit(m) {
+					return true
+				}
+			}
+		}
+		color[n] = 2
+		return false
+	}
+	for id := range byID {
+		if color[id] == 0 && visit(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare runs the same batch under both orders with the same seed and
+// returns (strong, weak) stats — the experiment of Section 3.6: the weak
+// order increases parallelism of conflicting activities.
+func Compare(txns []Txn, orders []Order, parallelism int, seed int64) (*Stats, *Stats, error) {
+	strong, err := NewExecutor(Strong, parallelism, seed).Run(append([]Txn(nil), txns...), orders)
+	if err != nil {
+		return nil, nil, err
+	}
+	weak, err := NewExecutor(Weak, parallelism, seed).Run(append([]Txn(nil), txns...), orders)
+	if err != nil {
+		return nil, nil, err
+	}
+	return strong, weak, nil
+}

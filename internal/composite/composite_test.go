@@ -1,0 +1,164 @@
+package composite
+
+import (
+	"fmt"
+	"testing"
+)
+
+func chainTxns(n int, cost int64) ([]Txn, []Order) {
+	txns := make([]Txn, n)
+	var orders []Order
+	for i := range txns {
+		txns[i] = Txn{ID: fmt.Sprintf("t%02d", i), Cost: cost}
+		if i > 0 {
+			orders = append(orders, Order{Before: fmt.Sprintf("t%02d", i-1), After: fmt.Sprintf("t%02d", i)})
+		}
+	}
+	return txns, orders
+}
+
+func TestStrongOrderSerializesChain(t *testing.T) {
+	txns, orders := chainTxns(5, 10)
+	st, err := NewExecutor(Strong, 0, 1).Run(txns, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Makespan != 50 {
+		t.Fatalf("strong chain makespan = %d, want 50", st.Makespan)
+	}
+	for i, id := range st.CommitOrder {
+		if id != fmt.Sprintf("t%02d", i) {
+			t.Fatalf("commit order broken: %v", st.CommitOrder)
+		}
+	}
+}
+
+func TestWeakOrderOverlapsChain(t *testing.T) {
+	txns, orders := chainTxns(5, 10)
+	st, err := NewExecutor(Weak, 0, 1).Run(txns, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All overlap (a transaction may start once its predecessor
+	// started); a cascade of start delays of zero means makespan ≈ one
+	// transaction's cost.
+	if st.Makespan >= 50 {
+		t.Fatalf("weak order gained no parallelism: makespan %d", st.Makespan)
+	}
+	// Commit order must still follow the weak order.
+	for i, id := range st.CommitOrder {
+		if id != fmt.Sprintf("t%02d", i) {
+			t.Fatalf("commit order broken: %v", st.CommitOrder)
+		}
+	}
+}
+
+func TestCompareWeakBeatsStrong(t *testing.T) {
+	txns, orders := chainTxns(8, 7)
+	strong, weak, err := Compare(txns, orders, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.Makespan >= strong.Makespan {
+		t.Fatalf("weak (%d) must beat strong (%d) on a conflict chain", weak.Makespan, strong.Makespan)
+	}
+}
+
+func TestIndependentTxnsSameUnderBothModes(t *testing.T) {
+	txns := []Txn{{ID: "a", Cost: 5}, {ID: "b", Cost: 5}, {ID: "c", Cost: 5}}
+	strong, weak, err := Compare(txns, nil, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong.Makespan != 5 || weak.Makespan != 5 {
+		t.Fatalf("independent transactions should fully overlap: strong %d, weak %d", strong.Makespan, weak.Makespan)
+	}
+}
+
+func TestParallelismLimit(t *testing.T) {
+	txns := []Txn{{ID: "a", Cost: 5}, {ID: "b", Cost: 5}, {ID: "c", Cost: 5}, {ID: "d", Cost: 5}}
+	st, err := NewExecutor(Weak, 2, 1).Run(txns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Makespan != 10 {
+		t.Fatalf("with 2 slots, 4 transactions of cost 5 take 10, got %d", st.Makespan)
+	}
+}
+
+func TestRetriableAbortRestartsWeakFollowers(t *testing.T) {
+	// t0 aborts once; t1 weakly follows and overlaps; it must restart
+	// without being treated as its own failure.
+	txns := []Txn{
+		{ID: "t0", Cost: 10, AbortProb: 1.0, MaxAborts: 1},
+		{ID: "t1", Cost: 10},
+	}
+	orders := []Order{{Before: "t0", After: "t1"}}
+	st, err := NewExecutor(Weak, 0, 7).Run(txns, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aborts != 1 {
+		t.Fatalf("aborts = %d, want 1", st.Aborts)
+	}
+	if st.CascadeRestarts != 1 {
+		t.Fatalf("cascade restarts = %d, want 1 (Section 3.6)", st.CascadeRestarts)
+	}
+	if len(st.CommitOrder) != 2 || st.CommitOrder[0] != "t0" {
+		t.Fatalf("commit order = %v", st.CommitOrder)
+	}
+}
+
+func TestStrongModeNoCascades(t *testing.T) {
+	txns := []Txn{
+		{ID: "t0", Cost: 10, AbortProb: 1.0, MaxAborts: 1},
+		{ID: "t1", Cost: 10},
+	}
+	orders := []Order{{Before: "t0", After: "t1"}}
+	st, err := NewExecutor(Strong, 0, 7).Run(txns, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CascadeRestarts != 0 {
+		t.Fatal("strong order never overlaps, so no cascading restarts")
+	}
+	if st.Makespan != 30 { // 10 (aborted) + 10 (retry) + 10 (t1)
+		t.Fatalf("makespan = %d, want 30", st.Makespan)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := NewExecutor(Weak, 0, 1).Run(
+		[]Txn{{ID: "a"}, {ID: "a"}}, nil); err == nil {
+		t.Fatal("duplicate ids must be rejected")
+	}
+	if _, err := NewExecutor(Weak, 0, 1).Run(
+		[]Txn{{ID: "a"}}, []Order{{Before: "a", After: "zz"}}); err == nil {
+		t.Fatal("unknown order target must be rejected")
+	}
+	if _, err := NewExecutor(Weak, 0, 1).Run(
+		[]Txn{{ID: "a"}, {ID: "b"}},
+		[]Order{{Before: "a", After: "b"}, {Before: "b", After: "a"}}); err == nil {
+		t.Fatal("cyclic orders must be rejected")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	txns := []Txn{
+		{ID: "t0", Cost: 4, AbortProb: 0.5, MaxAborts: 3},
+		{ID: "t1", Cost: 6, AbortProb: 0.5, MaxAborts: 3},
+		{ID: "t2", Cost: 5},
+	}
+	orders := []Order{{Before: "t0", After: "t2"}}
+	a, err := NewExecutor(Weak, 0, 99).Run(append([]Txn(nil), txns...), orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewExecutor(Weak, 0, 99).Run(append([]Txn(nil), txns...), orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Aborts != b.Aborts {
+		t.Fatal("same seed must reproduce the run")
+	}
+}

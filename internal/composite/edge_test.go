@@ -1,0 +1,88 @@
+package composite
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModeString(t *testing.T) {
+	if Strong.String() != "strong" || Weak.String() != "weak" {
+		t.Fatal("mode labels wrong")
+	}
+}
+
+func TestSingleTransaction(t *testing.T) {
+	for _, m := range []Mode{Strong, Weak} {
+		st, err := NewExecutor(m, 0, 1).Run([]Txn{{ID: "only", Cost: 7}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Makespan != 7 || len(st.CommitOrder) != 1 {
+			t.Fatalf("%v: %+v", m, st)
+		}
+	}
+}
+
+func TestZeroCostNormalized(t *testing.T) {
+	st, err := NewExecutor(Strong, 0, 1).Run([]Txn{{ID: "z"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Makespan != 1 {
+		t.Fatalf("zero cost must normalize to 1, makespan %d", st.Makespan)
+	}
+}
+
+func TestDiamondOrders(t *testing.T) {
+	// a before both b and c; both before d. Weak mode pipelines; the
+	// commit order must still respect the constraints.
+	txns := []Txn{{ID: "a", Cost: 4}, {ID: "b", Cost: 4}, {ID: "c", Cost: 4}, {ID: "d", Cost: 4}}
+	orders := []Order{
+		{Before: "a", After: "b"}, {Before: "a", After: "c"},
+		{Before: "b", After: "d"}, {Before: "c", After: "d"},
+	}
+	st, err := NewExecutor(Weak, 0, 1).Run(txns, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, id := range st.CommitOrder {
+		pos[id] = i
+	}
+	for _, o := range orders {
+		if pos[o.Before] > pos[o.After] {
+			t.Fatalf("commit order violates %v: %v", o, st.CommitOrder)
+		}
+	}
+	if st.Makespan >= 16 {
+		t.Fatalf("weak diamond should overlap: makespan %d", st.Makespan)
+	}
+}
+
+func TestRepeatedAbortsEventuallyCommit(t *testing.T) {
+	txns := []Txn{{ID: "a", Cost: 3, AbortProb: 1.0, MaxAborts: 5}}
+	st, err := NewExecutor(Weak, 0, 2).Run(txns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aborts != 5 {
+		t.Fatalf("aborts = %d, want 5", st.Aborts)
+	}
+	if st.Makespan != 18 { // 6 attempts × 3
+		t.Fatalf("makespan = %d", st.Makespan)
+	}
+}
+
+func TestStatsCommitOrderComplete(t *testing.T) {
+	txns := []Txn{{ID: "x", Cost: 1}, {ID: "y", Cost: 1}, {ID: "z", Cost: 1}}
+	st, err := NewExecutor(Strong, 1, 3).Run(txns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(st.CommitOrder, ",") != "x,y,z" {
+		t.Fatalf("commit order = %v", st.CommitOrder)
+	}
+	if st.Makespan != 3 {
+		t.Fatalf("one slot serializes: makespan %d", st.Makespan)
+	}
+}

@@ -1,0 +1,219 @@
+package conflict
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"transproc/internal/activity"
+)
+
+func TestAddConflictSymmetric(t *testing.T) {
+	tab := NewTable()
+	tab.AddConflict("a", "b")
+	if !tab.Conflicts("a", "b") || !tab.Conflicts("b", "a") {
+		t.Fatal("conflict relation must be symmetric")
+	}
+	if tab.Conflicts("a", "c") {
+		t.Fatal("undeclared pair must commute")
+	}
+	if !tab.Commute("a", "c") {
+		t.Fatal("Commute must be the complement of Conflicts")
+	}
+}
+
+func TestSelfConflict(t *testing.T) {
+	tab := NewTable()
+	if tab.Conflicts("w", "w") {
+		t.Fatal("services commute with themselves by default")
+	}
+	tab.AddConflict("w", "w")
+	if !tab.Conflicts("w", "w") {
+		t.Fatal("declared self-conflict not honoured")
+	}
+}
+
+func TestPerfectCommutativityViaBase(t *testing.T) {
+	tab := NewTable()
+	tab.MapBase("a⁻¹", "a")
+	tab.MapBase("b⁻¹", "b")
+	tab.AddConflict("a", "b")
+	// Section 3.2: if a and b conflict, then all combinations with the
+	// compensating activities conflict too.
+	combos := [][2]string{
+		{"a", "b"}, {"a⁻¹", "b"}, {"a", "b⁻¹"}, {"a⁻¹", "b⁻¹"},
+	}
+	for _, c := range combos {
+		if !tab.Conflicts(c[0], c[1]) {
+			t.Errorf("perfect commutativity violated: %s vs %s should conflict", c[0], c[1])
+		}
+	}
+}
+
+func TestPerfectCommutativityCommutingSide(t *testing.T) {
+	tab := NewTable()
+	tab.MapBase("a⁻¹", "a")
+	tab.MapBase("c⁻¹", "c")
+	tab.AddConflict("a", "b")
+	for _, pair := range [][2]string{{"a", "c"}, {"a⁻¹", "c"}, {"a", "c⁻¹"}, {"a⁻¹", "c⁻¹"}} {
+		if tab.Conflicts(pair[0], pair[1]) {
+			t.Errorf("commuting pair %v reported as conflicting", pair)
+		}
+	}
+}
+
+func TestAddConflictOnInverseName(t *testing.T) {
+	tab := NewTable()
+	tab.MapBase("a⁻¹", "a")
+	tab.AddConflict("a⁻¹", "b") // declared on the inverse
+	if !tab.Conflicts("a", "b") {
+		t.Fatal("conflict declared via inverse must reach the base")
+	}
+}
+
+func TestBase(t *testing.T) {
+	tab := NewTable()
+	tab.MapBase("undo", "do")
+	if tab.Base("undo") != "do" || tab.Base("do") != "do" || tab.Base("x") != "x" {
+		t.Fatal("Base resolution wrong")
+	}
+}
+
+func TestConflictingWith(t *testing.T) {
+	tab := NewTable()
+	tab.AddConflict("a", "b")
+	tab.AddConflict("a", "c")
+	got := tab.ConflictingWith("a", []string{"b", "c", "d", "b"})
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("ConflictingWith = %v, want [b c]", got)
+	}
+}
+
+func TestPairsAndString(t *testing.T) {
+	tab := NewTable()
+	tab.AddConflict("b", "a")
+	tab.AddConflict("c", "c")
+	pairs := tab.Pairs()
+	if len(pairs) != 2 {
+		t.Fatalf("Pairs = %v", pairs)
+	}
+	if pairs[0] != [2]string{"a", "b"} || pairs[1] != [2]string{"c", "c"} {
+		t.Fatalf("Pairs order = %v", pairs)
+	}
+	if got := tab.String(); got != "{a~b, c~c}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	tab := NewTable()
+	tab.MapBase("u", "a")
+	tab.AddConflict("a", "b")
+	cp := tab.Clone()
+	cp.AddConflict("x", "y")
+	if tab.Conflicts("x", "y") {
+		t.Fatal("clone is not independent")
+	}
+	if !cp.Conflicts("u", "b") {
+		t.Fatal("clone lost base mapping")
+	}
+}
+
+func TestFromRegistryDerivedConflicts(t *testing.T) {
+	reg := activity.NewRegistry()
+	reg.MustRegister(activity.Spec{
+		Name: "writeX", Kind: activity.Compensatable, Subsystem: "s",
+		Compensation: "unwriteX", WriteSet: []string{"x"},
+	})
+	reg.MustRegister(activity.Spec{Name: "unwriteX", Kind: activity.Compensation, Subsystem: "s"})
+	reg.MustRegister(activity.Spec{Name: "readX", Kind: activity.Retriable, Subsystem: "s", ReadSet: []string{"x"}})
+	reg.MustRegister(activity.Spec{Name: "readY", Kind: activity.Retriable, Subsystem: "s", ReadSet: []string{"y"}})
+	reg.MustRegister(activity.Spec{Name: "writeY", Kind: activity.Pivot, Subsystem: "s", WriteSet: []string{"y"}})
+
+	tab := FromRegistry(reg)
+	if !tab.Conflicts("writeX", "readX") {
+		t.Error("write/read on same item must conflict")
+	}
+	if tab.Conflicts("writeX", "readY") {
+		t.Error("disjoint items must commute")
+	}
+	if !tab.Conflicts("writeY", "readY") {
+		t.Error("writeY/readY must conflict")
+	}
+	if !tab.Conflicts("readX", "unwriteX") {
+		t.Error("perfect commutativity: the compensation of writeX conflicts with readX")
+	}
+	if tab.Conflicts("readX", "readX") {
+		t.Error("pure readers must not self-conflict")
+	}
+	if !tab.Conflicts("writeX", "writeX") {
+		t.Error("writers self-conflict")
+	}
+}
+
+func TestFromRegistryReadersCommute(t *testing.T) {
+	reg := activity.NewRegistry()
+	reg.MustRegister(activity.Spec{Name: "r1", Kind: activity.Retriable, Subsystem: "s", ReadSet: []string{"x"}})
+	reg.MustRegister(activity.Spec{Name: "r2", Kind: activity.Retriable, Subsystem: "s", ReadSet: []string{"x"}})
+	tab := FromRegistry(reg)
+	if tab.Conflicts("r1", "r2") {
+		t.Fatal("two readers of the same item commute")
+	}
+}
+
+// Property: Conflicts is symmetric and invariant under base substitution
+// for random tables.
+func TestConflictProperties(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := NewTable()
+		for _, n := range names {
+			tab.MapBase(n+"⁻¹", n)
+		}
+		for i := 0; i < 5; i++ {
+			x := names[rng.Intn(len(names))]
+			y := names[rng.Intn(len(names))]
+			tab.AddConflict(x, y)
+		}
+		for _, x := range names {
+			for _, y := range names {
+				if tab.Conflicts(x, y) != tab.Conflicts(y, x) {
+					return false
+				}
+				if tab.Conflicts(x, y) != tab.Conflicts(x+"⁻¹", y+"⁻¹") {
+					return false
+				}
+				if tab.Conflicts(x, y) != tab.Conflicts(x+"⁻¹", y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommutativeServicesDoNotSelfConflict(t *testing.T) {
+	reg := activity.NewRegistry()
+	reg.MustRegister(activity.Spec{
+		Name: "incr", Kind: activity.Retriable, Subsystem: "s",
+		WriteSet: []string{"counter"}, Commutative: true,
+	})
+	reg.MustRegister(activity.Spec{
+		Name: "set", Kind: activity.Retriable, Subsystem: "s",
+		WriteSet: []string{"counter"},
+	})
+	tab := FromRegistry(reg)
+	if tab.Conflicts("incr", "incr") {
+		t.Fatal("commutative writers must not self-conflict (increments commute)")
+	}
+	if !tab.Conflicts("set", "set") {
+		t.Fatal("non-commutative writers self-conflict")
+	}
+	if !tab.Conflicts("incr", "set") {
+		t.Fatal("distinct services on the same item still conflict")
+	}
+}

@@ -1,0 +1,196 @@
+package paper
+
+import (
+	"transproc/internal/activity"
+	"transproc/internal/process"
+	"transproc/internal/subsystem"
+)
+
+// Federation builds a federation of simulated subsystems providing the
+// services of P1, P2 and P3 with read/write sets that induce exactly the
+// paper's conflict relation: (a11,a21), (a12,a24), (a15,a25), (a11,a31)
+// conflict; everything else commutes.
+func Federation(seed int64) *subsystem.Federation {
+	fed := subsystem.NewFederation()
+
+	subA := subsystem.New("subA", seed)
+	subA.MustRegister(activity.Spec{
+		Name: SvcA11, Kind: activity.Compensatable, Subsystem: "subA",
+		Compensation: process.DefaultCompensationName(SvcA11), WriteSet: []string{"i1", "i2"}, Cost: 2,
+	})
+	subA.MustRegister(activity.Spec{
+		Name: SvcA21, Kind: activity.Compensatable, Subsystem: "subA",
+		Compensation: process.DefaultCompensationName(SvcA21), WriteSet: []string{"i1"}, Cost: 2,
+	})
+	subA.MustRegister(activity.Spec{
+		Name: SvcA31, Kind: activity.Compensatable, Subsystem: "subA",
+		Compensation: process.DefaultCompensationName(SvcA31), WriteSet: []string{"i2"}, Cost: 2,
+	})
+	fed.MustAdd(subA)
+
+	subB := subsystem.New("subB", seed+1)
+	subB.MustRegister(activity.Spec{
+		Name: SvcA12, Kind: activity.Pivot, Subsystem: "subB", WriteSet: []string{"j"}, Cost: 3,
+	})
+	subB.MustRegister(activity.Spec{
+		Name: SvcA24, Kind: activity.Retriable, Subsystem: "subB", WriteSet: []string{"j"}, Cost: 1,
+	})
+	fed.MustAdd(subB)
+
+	subC := subsystem.New("subC", seed+2)
+	subC.MustRegister(activity.Spec{
+		Name: SvcA15, Kind: activity.Retriable, Subsystem: "subC", WriteSet: []string{"k"}, Cost: 1,
+	})
+	subC.MustRegister(activity.Spec{
+		Name: SvcA25, Kind: activity.Retriable, Subsystem: "subC", WriteSet: []string{"k"}, Cost: 1,
+	})
+	fed.MustAdd(subC)
+
+	subD := subsystem.New("subD", seed+3)
+	subD.MustRegister(activity.Spec{
+		Name: SvcA13, Kind: activity.Compensatable, Subsystem: "subD",
+		Compensation: process.DefaultCompensationName(SvcA13), WriteSet: []string{"d13"}, Cost: 2,
+	})
+	subD.MustRegister(activity.Spec{
+		Name: SvcA14, Kind: activity.Pivot, Subsystem: "subD", WriteSet: []string{"d14"}, Cost: 2,
+	})
+	subD.MustRegister(activity.Spec{
+		Name: SvcA16, Kind: activity.Retriable, Subsystem: "subD", WriteSet: []string{"d16"}, Cost: 1,
+	})
+	subD.MustRegister(activity.Spec{
+		Name: SvcA22, Kind: activity.Compensatable, Subsystem: "subD",
+		Compensation: process.DefaultCompensationName(SvcA22), WriteSet: []string{"d22"}, Cost: 2,
+	})
+	subD.MustRegister(activity.Spec{
+		Name: SvcA23, Kind: activity.Pivot, Subsystem: "subD", WriteSet: []string{"d23"}, Cost: 2,
+	})
+	subD.MustRegister(activity.Spec{
+		Name: SvcA32, Kind: activity.Pivot, Subsystem: "subD", WriteSet: []string{"d32"}, Cost: 2,
+	})
+	subD.MustRegister(activity.Spec{
+		Name: SvcA33, Kind: activity.Retriable, Subsystem: "subD", WriteSet: []string{"d33"}, Cost: 1,
+	})
+	fed.MustAdd(subD)
+
+	return fed
+}
+
+// CIM service names (Figure 1).
+const (
+	SvcDesign    = "design"    // CAD, compensatable
+	SvcEnterBOM  = "enterBOM"  // PDM, compensatable
+	SvcTest      = "test"      // test DB, pivot (can fail)
+	SvcTechDoc   = "techdoc"   // documentation repository, retriable
+	SvcDocCAD    = "docCAD"    // alternative: document drawing for reuse
+	SvcReadBOM   = "readBOM"   // PDM, production side (conflicts enterBOM)
+	SvcOrderMat  = "orderMat"  // business application, compensatable
+	SvcScheduleP = "scheduleP" // program repository, compensatable
+	SvcProduce   = "produce"   // production floor, pivot, no inverse
+	SvcUpdatePDB = "updatePDB" // product DBMS, retriable
+)
+
+// CIMFederation builds the subsystems of the computer-integrated
+// manufacturing scenario of Section 2 / Figure 1: CAD, PDM, test
+// database, documentation repository, business application, program
+// repository, production floor and product DBMS.
+func CIMFederation(seed int64) *subsystem.Federation {
+	fed := subsystem.NewFederation()
+
+	cad := subsystem.New("cad", seed)
+	cad.MustRegister(activity.Spec{
+		Name: SvcDesign, Kind: activity.Compensatable, Subsystem: "cad",
+		Compensation: process.DefaultCompensationName(SvcDesign), WriteSet: []string{"drawing"}, Cost: 8,
+	})
+	fed.MustAdd(cad)
+
+	pdm := subsystem.New("pdm", seed+1)
+	pdm.MustRegister(activity.Spec{
+		Name: SvcEnterBOM, Kind: activity.Compensatable, Subsystem: "pdm",
+		Compensation: process.DefaultCompensationName(SvcEnterBOM), WriteSet: []string{"bom"}, Cost: 2,
+	})
+	pdm.MustRegister(activity.Spec{
+		Name: SvcReadBOM, Kind: activity.Compensatable, Subsystem: "pdm",
+		Compensation: process.DefaultCompensationName(SvcReadBOM),
+		ReadSet:      []string{"bom"}, WriteSet: []string{"bomCopy"}, Cost: 1,
+	})
+	fed.MustAdd(pdm)
+
+	testdb := subsystem.New("testdb", seed+2)
+	testdb.MustRegister(activity.Spec{
+		Name: SvcTest, Kind: activity.Pivot, Subsystem: "testdb", WriteSet: []string{"testResult"}, Cost: 4,
+	})
+	fed.MustAdd(testdb)
+
+	docs := subsystem.New("docs", seed+3)
+	docs.MustRegister(activity.Spec{
+		Name: SvcTechDoc, Kind: activity.Retriable, Subsystem: "docs", WriteSet: []string{"techdoc"}, Cost: 2,
+	})
+	docs.MustRegister(activity.Spec{
+		Name: SvcDocCAD, Kind: activity.Retriable, Subsystem: "docs", WriteSet: []string{"caddoc"}, Cost: 2,
+	})
+	fed.MustAdd(docs)
+
+	biz := subsystem.New("biz", seed+4)
+	biz.MustRegister(activity.Spec{
+		Name: SvcOrderMat, Kind: activity.Compensatable, Subsystem: "biz",
+		Compensation: process.DefaultCompensationName(SvcOrderMat), WriteSet: []string{"orders"}, Cost: 2,
+	})
+	fed.MustAdd(biz)
+
+	progs := subsystem.New("progs", seed+5)
+	progs.MustRegister(activity.Spec{
+		Name: SvcScheduleP, Kind: activity.Compensatable, Subsystem: "progs",
+		Compensation: process.DefaultCompensationName(SvcScheduleP), WriteSet: []string{"plan"}, Cost: 2,
+	})
+	fed.MustAdd(progs)
+
+	floor := subsystem.New("floor", seed+6)
+	floor.MustRegister(activity.Spec{
+		Name: SvcProduce, Kind: activity.Pivot, Subsystem: "floor", WriteSet: []string{"parts"}, Cost: 6,
+	})
+	fed.MustAdd(floor)
+
+	pdb := subsystem.New("pdb", seed+7)
+	pdb.MustRegister(activity.Spec{
+		Name: SvcUpdatePDB, Kind: activity.Retriable, Subsystem: "pdb", WriteSet: []string{"productdb"}, Cost: 1,
+	})
+	fed.MustAdd(pdb)
+
+	return fed
+}
+
+// CIMConstruction builds the construction process of Figure 1:
+//
+//	design^c ≪ enterBOM^c ≪ test^p ≪ techdoc^r,
+//
+// with the alternative that a failed test compensates the PDM entry and
+// documents the CAD drawing for later reuse instead (Section 2.1).
+func CIMConstruction(id process.ID) *process.Process {
+	return process.NewBuilder(id).
+		Add(1, SvcDesign, activity.Compensatable).
+		Add(2, SvcEnterBOM, activity.Compensatable).
+		Add(3, SvcTest, activity.Pivot).
+		Add(4, SvcTechDoc, activity.Retriable).
+		Add(5, SvcDocCAD, activity.Retriable).
+		Chain(1, 2, 5). // preferred: enter BOM and continue; alternative: document drawing
+		Seq(2, 3).
+		Seq(3, 4).
+		MustBuild()
+}
+
+// CIMProduction builds the production process of Figure 1:
+//
+//	readBOM^c ≪ orderMat^c ≪ scheduleP^c ≪ produce^p ≪ updatePDB^r.
+//
+// readBOM conflicts with the construction process's enterBOM (both touch
+// the PDM's bill of materials); produce has no inverse.
+func CIMProduction(id process.ID) *process.Process {
+	return process.NewBuilder(id).
+		Add(1, SvcReadBOM, activity.Compensatable).
+		Add(2, SvcOrderMat, activity.Compensatable).
+		Add(3, SvcScheduleP, activity.Compensatable).
+		Add(4, SvcProduce, activity.Pivot).
+		Add(5, SvcUpdatePDB, activity.Retriable).
+		Seq(1, 2).Seq(2, 3).Seq(3, 4).Seq(4, 5).
+		MustBuild()
+}

@@ -1,0 +1,95 @@
+// Package paper provides the running examples of the PODS'99 paper as
+// reusable fixtures: the processes P1 (Figure 2), P2 (Figure 4) and P3
+// (Figure 9), their conflict relation, and the concrete process schedules
+// of Figures 4, 7, 8 and 9. They are shared by the test suite, the
+// benchmark harness and the tpsim command.
+package paper
+
+import (
+	"transproc/internal/activity"
+	"transproc/internal/conflict"
+	"transproc/internal/process"
+)
+
+// Service names of the paper's activities. The paper uses abstract
+// a_{i_k}; we name services after them so traces read like the paper.
+const (
+	SvcA11 = "a11" // compensatable
+	SvcA12 = "a12" // pivot
+	SvcA13 = "a13" // compensatable
+	SvcA14 = "a14" // pivot
+	SvcA15 = "a15" // retriable
+	SvcA16 = "a16" // retriable
+
+	SvcA21 = "a21" // compensatable
+	SvcA22 = "a22" // compensatable
+	SvcA23 = "a23" // pivot
+	SvcA24 = "a24" // retriable
+	SvcA25 = "a25" // retriable
+
+	SvcA31 = "a31" // compensatable
+	SvcA32 = "a32" // pivot
+	SvcA33 = "a33" // retriable
+)
+
+// P1 builds the paper's process P1 (Figure 2):
+//
+//	a11^c ≪ a12^p ≪ a13^c ≪ a14^p
+//	with (a12 ≪ a13) ◁ (a12 ≪ a15) and a15^r ≪ a16^r.
+//
+// a15 (and then a16) is executed only after a13 failed, or after a14
+// failed and a13 was compensated.
+func P1() *process.Process {
+	return process.NewBuilder("P1").
+		Add(1, SvcA11, activity.Compensatable).
+		Add(2, SvcA12, activity.Pivot).
+		Add(3, SvcA13, activity.Compensatable).
+		Add(4, SvcA14, activity.Pivot).
+		Add(5, SvcA15, activity.Retriable).
+		Add(6, SvcA16, activity.Retriable).
+		Seq(1, 2).
+		Chain(2, 3, 5). // preferred a13, alternative a15
+		Seq(3, 4).
+		Seq(5, 6).
+		MustBuild()
+}
+
+// P2 builds the paper's process P2 (Figure 4): the linear process
+// a21^c ≪ a22^c ≪ a23^p ≪ a24^r ≪ a25^r.
+func P2() *process.Process {
+	return process.NewBuilder("P2").
+		Add(1, SvcA21, activity.Compensatable).
+		Add(2, SvcA22, activity.Compensatable).
+		Add(3, SvcA23, activity.Pivot).
+		Add(4, SvcA24, activity.Retriable).
+		Add(5, SvcA25, activity.Retriable).
+		Seq(1, 2).Seq(2, 3).Seq(3, 4).Seq(4, 5).
+		MustBuild()
+}
+
+// P3 builds the process P3 of Figure 9: a31^c ≪ a32^p ≪ a33^r, where a31
+// conflicts with a11 of P1.
+func P3() *process.Process {
+	return process.NewBuilder("P3").
+		Add(1, SvcA31, activity.Compensatable).
+		Add(2, SvcA32, activity.Pivot).
+		Add(3, SvcA33, activity.Retriable).
+		Seq(1, 2).Seq(2, 3).
+		MustBuild()
+}
+
+// Conflicts returns the conflict relation of the paper's Figures 4 and 9:
+// the pairs (a11, a21), (a12, a24), (a15, a25) and (a11, a31) do not
+// commute; everything else commutes. Perfect commutativity lifts each
+// conflict to the compensating activities.
+func Conflicts() *conflict.Table {
+	t := conflict.NewTable()
+	for _, svc := range []string{SvcA11, SvcA13, SvcA21, SvcA22, SvcA31} {
+		t.MapBase(process.DefaultCompensationName(svc), svc)
+	}
+	t.AddConflict(SvcA11, SvcA21)
+	t.AddConflict(SvcA12, SvcA24)
+	t.AddConflict(SvcA15, SvcA25)
+	t.AddConflict(SvcA11, SvcA31)
+	return t
+}

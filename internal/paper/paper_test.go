@@ -1,0 +1,108 @@
+package paper
+
+import (
+	"testing"
+
+	"transproc/internal/process"
+)
+
+// TestFixturesMatchPaper pins the fixtures to the paper's definitions.
+func TestFixturesMatchPaper(t *testing.T) {
+	p1, p2, p3 := P1(), P2(), P3()
+	if p1.Len() != 6 || p2.Len() != 5 || p3.Len() != 3 {
+		t.Fatalf("sizes: %d %d %d", p1.Len(), p2.Len(), p3.Len())
+	}
+	for _, p := range []*process.Process{p1, p2, p3} {
+		if err := process.ValidateGuaranteedTermination(p); err != nil {
+			t.Errorf("%s: %v", p.ID, err)
+		}
+		if ok, why := process.IsWellFormedFlex(p); !ok {
+			t.Errorf("%s not well formed: %s", p.ID, why)
+		}
+	}
+	// s_{1_0} = a12, s_{2_0} = a23, s_{3_0} = a32.
+	for _, c := range []struct {
+		p    *process.Process
+		want int
+	}{{p1, 2}, {p2, 3}, {p3, 2}} {
+		sd, ok := c.p.StateDetermining()
+		if !ok || sd != c.want {
+			t.Errorf("%s: s_0 = %d, want %d", c.p.ID, sd, c.want)
+		}
+	}
+}
+
+// TestConflictsExactlyThePapers verifies the conflict relation contains
+// exactly the pairs of Figures 4 and 9.
+func TestConflictsExactlyThePapers(t *testing.T) {
+	tab := Conflicts()
+	svcs := []string{
+		SvcA11, SvcA12, SvcA13, SvcA14, SvcA15, SvcA16,
+		SvcA21, SvcA22, SvcA23, SvcA24, SvcA25,
+		SvcA31, SvcA32, SvcA33,
+	}
+	want := map[[2]string]bool{
+		{SvcA11, SvcA21}: true,
+		{SvcA12, SvcA24}: true,
+		{SvcA15, SvcA25}: true,
+		{SvcA11, SvcA31}: true,
+	}
+	for i, a := range svcs {
+		for j := i + 1; j < len(svcs); j++ {
+			b := svcs[j]
+			key := [2]string{a, b}
+			if tab.Conflicts(a, b) != want[key] {
+				t.Errorf("Conflicts(%s, %s) = %v, want %v", a, b, tab.Conflicts(a, b), want[key])
+			}
+		}
+	}
+	// Perfect commutativity reaches the inverses.
+	if !tab.Conflicts(process.DefaultCompensationName(SvcA11), SvcA21) {
+		t.Error("a11⁻¹ must conflict a21")
+	}
+}
+
+// TestFederationInducesSameConflicts checks that the simulated
+// subsystems' read/write sets derive the paper's conflict relation.
+func TestFederationInducesSameConflicts(t *testing.T) {
+	fed := Federation(1)
+	tab, err := fed.ConflictTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{
+		{SvcA11, SvcA21}, {SvcA12, SvcA24}, {SvcA15, SvcA25}, {SvcA11, SvcA31},
+	} {
+		if !tab.Conflicts(pair[0], pair[1]) {
+			t.Errorf("federation table misses conflict %v", pair)
+		}
+	}
+	if tab.Conflicts(SvcA21, SvcA31) {
+		t.Error("a21 and a31 must commute (they share no item)")
+	}
+	if tab.Conflicts(SvcA13, SvcA22) {
+		t.Error("a13 and a22 must commute")
+	}
+}
+
+// TestCIMFixtures validates the Figure-1 processes.
+func TestCIMFixtures(t *testing.T) {
+	c := CIMConstruction("Pc")
+	p := CIMProduction("Pp")
+	for _, proc := range []*process.Process{c, p} {
+		if err := process.ValidateGuaranteedTermination(proc); err != nil {
+			t.Errorf("%s: %v", proc.ID, err)
+		}
+	}
+	fed := CIMFederation(1)
+	tab, err := fed.ConflictTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Conflicts(SvcEnterBOM, SvcReadBOM) {
+		t.Error("the two PDM activities must conflict (Figure 1)")
+	}
+	if tab.Conflicts(SvcDesign, SvcProduce) {
+		t.Error("CAD and production floor commute")
+	}
+}

@@ -1,0 +1,131 @@
+package process
+
+import (
+	"fmt"
+	"sort"
+
+	"transproc/internal/activity"
+)
+
+// Subprocess composition. The paper's conclusion names the extension of
+// the framework to "transactional execution guarantees of subprocesses"
+// as future work; this file provides the structural part: a process with
+// guaranteed termination can be embedded as a subprocess of another,
+// with its activities renumbered into the parent's id space and its
+// entry/exit points wired into the parent's precedence order.
+//
+// The composition preserves guaranteed termination when used in the
+// positions the flex grammar allows for an activity of the subprocess's
+// *effective kind*:
+//
+//   - a subprocess whose activities are all compensatable behaves like a
+//     compensatable activity (it can always be fully compensated);
+//   - a subprocess with guaranteed termination that contains
+//     non-compensatable activities behaves like a pivot: once its first
+//     state-determining activity commits, it can only complete forward —
+//     so the parent must treat it like a pivot (provide an all-retriable
+//     alternative or place it last);
+//   - a subprocess consisting only of retriable activities behaves like
+//     a retriable activity.
+//
+// EffectiveKind reports this classification; Embed performs the wiring.
+// Callers should re-validate the composed process with
+// ValidateGuaranteedTermination, which remains the authoritative check.
+
+// EffectiveKind classifies a process with guaranteed termination by the
+// termination guarantee it offers when used as a subprocess: it returns
+// activity.Compensatable semantics ("c") when every activity is
+// compensatable, "r" when every activity is retriable, and "p"
+// otherwise.
+func EffectiveKind(p *Process) string {
+	allComp, allRet := true, true
+	for _, a := range p.Activities() {
+		if a.Kind.NonCompensatable() {
+			allComp = false
+		}
+		if !a.Kind.GuaranteedToCommit() {
+			allRet = false
+		}
+	}
+	switch {
+	case allComp:
+		return "c"
+	case allRet:
+		return "r"
+	default:
+		return "p"
+	}
+}
+
+// Embed copies every activity and edge of sub into the builder,
+// renumbering local ids by adding offset. The ids used by sub must all
+// be small enough that offset+id does not collide with existing ids —
+// Build reports collisions. It returns the renumbered entry (root) ids
+// and exit (leaf) ids so the caller can wire the subprocess into the
+// parent's precedence order with Seq/Chain.
+func (b *Builder) Embed(sub *Process, offset int) (entries, exits []int) {
+	for _, a := range sub.Activities() {
+		if a.Kind == activity.Compensatable {
+			b.AddComp(a.Local+offset, a.Service, a.Kind, a.Compensation)
+		} else {
+			b.Add(a.Local+offset, a.Service, a.Kind)
+		}
+	}
+	for _, a := range sub.Activities() {
+		for _, chain := range sub.Chains(a.Local) {
+			shifted := make([]int, len(chain))
+			for i, t := range chain {
+				shifted[i] = t + offset
+			}
+			b.Chain(a.Local+offset, shifted...)
+		}
+	}
+	for _, r := range sub.Roots() {
+		entries = append(entries, r+offset)
+	}
+	for _, a := range sub.Activities() {
+		if len(sub.Succs(a.Local)) == 0 {
+			exits = append(exits, a.Local+offset)
+		}
+	}
+	sort.Ints(entries)
+	sort.Ints(exits)
+	return entries, exits
+}
+
+// Compose builds a sequential composition of subprocesses: each
+// subprocess's exits precede the next subprocess's entries. It is a
+// convenience over Embed for the common pipeline case. The composed
+// process is validated for guaranteed termination.
+func Compose(id ID, subs ...*Process) (*Process, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("process: compose needs at least one subprocess")
+	}
+	b := NewBuilder(id)
+	offset := 0
+	var prevExits []int
+	for _, sub := range subs {
+		maxLocal := 0
+		for _, a := range sub.Activities() {
+			if a.Local > maxLocal {
+				maxLocal = a.Local
+			}
+		}
+		entries, exits := b.Embed(sub, offset)
+		for _, pe := range prevExits {
+			for _, en := range entries {
+				b.Seq(pe, en)
+			}
+		}
+		prevExits = exits
+		offset += maxLocal
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("process: composing %s: %w", id, err)
+	}
+	if err := ValidateGuaranteedTermination(p); err != nil {
+		return nil, fmt.Errorf("process: composition %s violates guaranteed termination: %w", id, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,142 @@
+package process_test
+
+import (
+	"strings"
+	"testing"
+
+	"transproc/internal/activity"
+	"transproc/internal/paper"
+	"transproc/internal/process"
+)
+
+func TestEffectiveKind(t *testing.T) {
+	allC := process.NewBuilder("C").
+		Add(1, "a", activity.Compensatable).
+		Add(2, "b", activity.Compensatable).
+		Seq(1, 2).MustBuild()
+	if got := process.EffectiveKind(allC); got != "c" {
+		t.Fatalf("EffectiveKind(all-compensatable) = %q", got)
+	}
+	allR := process.NewBuilder("R").
+		Add(1, "a", activity.Retriable).MustBuild()
+	if got := process.EffectiveKind(allR); got != "r" {
+		t.Fatalf("EffectiveKind(all-retriable) = %q", got)
+	}
+	if got := process.EffectiveKind(paper.P1()); got != "p" {
+		t.Fatalf("EffectiveKind(P1) = %q, want p", got)
+	}
+}
+
+func TestEmbedWiring(t *testing.T) {
+	sub := process.NewBuilder("SUB").
+		Add(1, "x", activity.Compensatable).
+		Add(2, "y", activity.Compensatable).
+		Seq(1, 2).MustBuild()
+	b := process.NewBuilder("PARENT").
+		Add(1, "start", activity.Compensatable)
+	entries, exits := b.Embed(sub, 10)
+	if len(entries) != 1 || entries[0] != 11 {
+		t.Fatalf("entries = %v", entries)
+	}
+	if len(exits) != 1 || exits[0] != 12 {
+		t.Fatalf("exits = %v", exits)
+	}
+	b.Seq(1, entries[0])
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if !p.Before(1, 12) {
+		t.Fatal("precedence not wired through the subprocess")
+	}
+	if p.Activity(11).Compensation != "x⁻¹" {
+		t.Fatalf("compensation not preserved: %q", p.Activity(11).Compensation)
+	}
+}
+
+func TestComposePipeline(t *testing.T) {
+	// booking (all compensatable) → payment (pivot + retriable tail):
+	// a valid sequential composition per the flex grammar.
+	booking := process.NewBuilder("BOOK").
+		Add(1, "reserveA", activity.Compensatable).
+		Add(2, "reserveB", activity.Compensatable).
+		Seq(1, 2).MustBuild()
+	payment := process.NewBuilder("PAY").
+		Add(1, "charge", activity.Pivot).
+		Add(2, "receipt", activity.Retriable).
+		Seq(1, 2).MustBuild()
+	p, err := process.Compose("Trip", booking, payment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if err := process.ValidateGuaranteedTermination(p); err != nil {
+		t.Fatal(err)
+	}
+	// The whole booking precedes the whole payment.
+	if !p.Before(1, 4) {
+		t.Fatal("composition order broken")
+	}
+	sd, ok := p.StateDetermining()
+	if !ok || p.Activity(sd).Service != "charge" {
+		t.Fatalf("state-determining = %d", sd)
+	}
+	// Executions behave like the grammar prescribes: a charge failure
+	// compensates both reservations.
+	execs, err := process.Executions(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range execs {
+		if strings.Contains(e.String(), "a3✗ a2⁻¹ a1⁻¹") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected backward recovery execution, got %v", execs)
+	}
+}
+
+func TestComposeRejectsIllFormed(t *testing.T) {
+	// pivot-first then compensatable-only: the second subprocess cannot
+	// follow a pivot without an alternative.
+	pay := process.NewBuilder("PAY").
+		Add(1, "charge", activity.Pivot).MustBuild()
+	book := process.NewBuilder("BOOK").
+		Add(1, "reserve", activity.Compensatable).MustBuild()
+	if _, err := process.Compose("BAD", pay, book); err == nil {
+		t.Fatal("composition violating guaranteed termination must be rejected")
+	}
+	if !strings.Contains(strings.ToLower(mustErr(process.Compose("BAD", pay, book)).Error()), "guaranteed termination") {
+		t.Fatal("error should name the violated property")
+	}
+}
+
+func TestComposeEmpty(t *testing.T) {
+	if _, err := process.Compose("E"); err == nil {
+		t.Fatal("empty composition must be rejected")
+	}
+}
+
+func TestComposeThreeStages(t *testing.T) {
+	c := func(id process.ID, svc string) *process.Process {
+		return process.NewBuilder(id).Add(1, svc, activity.Compensatable).MustBuild()
+	}
+	r := process.NewBuilder("TAIL").
+		Add(1, "notify", activity.Retriable).MustBuild()
+	p, err := process.Compose("Chain", c("A", "s1"), c("B", "s2"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 || !p.Before(1, 3) {
+		t.Fatalf("composition wrong: %s", p)
+	}
+}
+
+func mustErr(_ *process.Process, err error) error { return err }

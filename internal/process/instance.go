@@ -1,0 +1,917 @@
+package process
+
+import (
+	"fmt"
+	"sort"
+
+	"transproc/internal/activity"
+)
+
+// Status is the runtime state of one activity within a process instance.
+type Status int
+
+const (
+	// Pending: not yet invoked.
+	Pending Status = iota
+	// Prepared: the local transaction executed successfully but its
+	// commit is deferred (two phase commit, Lemma 1). Prepared
+	// activities satisfy intra-process precedence but are revocable.
+	Prepared
+	// Committed: the activity (local transaction) committed.
+	Committed
+	// Failed: the activity failed permanently (Definition 4).
+	Failed
+	// Compensated: the activity committed and was later compensated.
+	Compensated
+	// AbortedPrepared: the activity was prepared and then rolled back.
+	AbortedPrepared
+	// Abandoned: the activity was on an execution path that was given
+	// up in favour of an alternative, and was never invoked.
+	Abandoned
+)
+
+// String returns a short status label.
+func (s Status) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Prepared:
+		return "prepared"
+	case Committed:
+		return "committed"
+	case Failed:
+		return "failed"
+	case Compensated:
+		return "compensated"
+	case AbortedPrepared:
+		return "aborted-prepared"
+	case Abandoned:
+		return "abandoned"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Mode is the recovery state of a process (Section 3.1): a process with
+// guaranteed termination is backward-recoverable until its
+// state-determining activity s_{i_0} has committed, and
+// forward-recoverable afterwards.
+type Mode int
+
+const (
+	// BREC: backward recovery applies; the completion consists only of
+	// compensating activities.
+	BREC Mode = iota
+	// FREC: forward recovery is guaranteed; the completion consists of
+	// local backward recovery to a state-determining element plus
+	// retriable activities.
+	FREC
+)
+
+// String returns the paper's notation for the mode.
+func (m Mode) String() string {
+	if m == BREC {
+		return "B-REC"
+	}
+	return "F-REC"
+}
+
+// StepKind classifies a recovery step.
+type StepKind int
+
+const (
+	// StepCompensate executes the compensating activity a⁻¹ of a
+	// committed compensatable activity.
+	StepCompensate StepKind = iota
+	// StepAbortPrepared rolls back a prepared (not yet committed) local
+	// transaction; by atomicity of subsystem transactions this leaves
+	// no effects and needs no compensation.
+	StepAbortPrepared
+	// StepInvoke invokes an activity of the forward recovery path
+	// (always retriable in a process with guaranteed termination).
+	StepInvoke
+)
+
+// String returns a short step-kind label.
+func (k StepKind) String() string {
+	switch k {
+	case StepCompensate:
+		return "compensate"
+	case StepAbortPrepared:
+		return "abort-prepared"
+	case StepInvoke:
+		return "invoke"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// Step is one element of a recovery plan or completion C(P). Steps are
+// ordered: compensations in reverse precedence order of their base
+// activities, forward invocations in precedence order.
+type Step struct {
+	Kind    StepKind
+	Local   int    // the activity the step refers to
+	Service string // service to invoke (compensating service for StepCompensate)
+}
+
+// String renders the step.
+func (s Step) String() string {
+	return fmt.Sprintf("%s(a_%d:%s)", s.Kind, s.Local, s.Service)
+}
+
+// chainKey addresses one alternative chain: the idx-th chain leaving node.
+type chainKey struct {
+	node, idx int
+}
+
+// Instance is the mutable execution state of a single process. It is the
+// control-flow oracle shared by schedulers, the schedule checker (for
+// replay) and the validators. Instance is not safe for concurrent use;
+// callers serialize access.
+type Instance struct {
+	p      *Process
+	status map[int]Status
+	altIdx map[chainKey]int
+
+	// pendingAdvance holds, while a failure recovery is in progress, the
+	// chain to advance once the branch's compensations have been applied.
+	pendingAdvance *chainKey
+	pendingComp    map[int]bool // locals whose compensation is outstanding
+
+	aborting   bool // Abort was requested; completion in progress
+	terminated bool
+	committed  bool // terminated with (overall) commit of the chosen path
+}
+
+// NewInstance returns a fresh instance for the process.
+func NewInstance(p *Process) *Instance {
+	in := &Instance{
+		p:           p,
+		status:      make(map[int]Status, p.Len()),
+		altIdx:      make(map[chainKey]int),
+		pendingComp: make(map[int]bool),
+	}
+	for _, id := range p.order {
+		in.status[id] = Pending
+	}
+	return in
+}
+
+// Process returns the process definition.
+func (in *Instance) Process() *Process { return in.p }
+
+// Status returns the status of an activity.
+func (in *Instance) Status(local int) Status { return in.status[local] }
+
+// Terminated reports whether the process has reached a terminal state.
+func (in *Instance) Terminated() bool { return in.terminated }
+
+// Aborting reports whether an abort (completion) is in progress.
+func (in *Instance) Aborting() bool { return in.aborting }
+
+// CommittedOutcome reports whether the terminated process ended with C_i
+// after a regular (non-abort) execution path.
+func (in *Instance) CommittedOutcome() bool { return in.terminated && in.committed }
+
+// Mode returns B-REC or F-REC: the process is forward-recoverable once a
+// non-compensatable activity has committed (the state-determining
+// activity s_{i_0} is by construction the first such activity).
+func (in *Instance) Mode() Mode {
+	for id, st := range in.status {
+		if st == Committed && in.p.byID[id].Kind.NonCompensatable() {
+			return FREC
+		}
+	}
+	return BREC
+}
+
+// selected computes the set of activities on the currently chosen
+// execution path.
+func (in *Instance) selected() map[int]bool {
+	sel := make(map[int]bool, in.p.Len())
+	var visit func(n int)
+	visit = func(n int) {
+		if sel[n] {
+			return
+		}
+		sel[n] = true
+		for ci, chain := range in.p.chains[n] {
+			k := in.altIdx[chainKey{n, ci}]
+			if k < len(chain) {
+				visit(chain[k])
+			}
+		}
+	}
+	for _, r := range in.p.roots {
+		visit(r)
+	}
+	return sel
+}
+
+// Frontier returns the local ids of activities that are ready to be
+// invoked: pending, on the selected path, with every predecessor
+// committed, and with no recovery outstanding on their selecting chain.
+// A merely *prepared* predecessor does not enable its successors: its
+// commit is deferred and it may still be rolled back, and a rolled-back
+// activity must never have committed successors. The result is sorted.
+func (in *Instance) Frontier() []int {
+	if in.terminated || in.aborting {
+		return nil
+	}
+	sel := in.selected()
+	var out []int
+	for _, id := range in.p.order {
+		if in.status[id] != Pending || !sel[id] {
+			continue
+		}
+		ready := true
+		for _, h := range in.p.preds[id] {
+			if in.status[h] != Committed {
+				ready = false
+				break
+			}
+		}
+		if ready && !in.blockedByRecovery(id) {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// blockedByRecovery reports whether id is the alternative that is waiting
+// for compensations of the abandoned sibling branch to finish: all
+// activities succeeding the abandoned alternative must have been
+// compensated before the next alternative executes (Section 3.1).
+func (in *Instance) blockedByRecovery(id int) bool {
+	return len(in.pendingComp) > 0
+}
+
+// Done reports whether the selected path has fully executed (nothing
+// pending on it and no recovery outstanding). A done, non-aborting
+// process is ready for its commit C_i.
+func (in *Instance) Done() bool {
+	if in.terminated {
+		return true
+	}
+	if len(in.pendingComp) > 0 || in.pendingAdvance != nil {
+		return false
+	}
+	sel := in.selected()
+	for id, isSel := range sel {
+		if isSel && in.status[id] == Pending {
+			return false
+		}
+	}
+	return true
+}
+
+// PreparedSet returns the prepared (deferred-commit) activities, sorted.
+func (in *Instance) PreparedSet() []int {
+	var out []int
+	for id, st := range in.status {
+		if st == Prepared {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MarkPrepared records that the activity's local transaction executed
+// successfully with its commit deferred (non-compensatable activities
+// under Lemma 1).
+func (in *Instance) MarkPrepared(local int) error {
+	return in.transition(local, Pending, Prepared)
+}
+
+// MarkCommitted records the commit of the activity's local transaction.
+// Pending activities commit directly (no deferral); prepared activities
+// commit when the two phase commit protocol completes.
+func (in *Instance) MarkCommitted(local int) error {
+	st, ok := in.status[local]
+	if !ok {
+		return fmt.Errorf("process %s: unknown activity %d", in.p.ID, local)
+	}
+	if st != Pending && st != Prepared && !((st == Abandoned || st == AbortedPrepared) && in.aborting) {
+		// Abandoned and rolled-back activities may still commit during
+		// an abort: the forward recovery path re-activates the
+		// lowest-priority retriable alternative and re-invokes
+		// rolled-back retriables.
+		return fmt.Errorf("process %s: activity %d cannot commit from %v", in.p.ID, local, st)
+	}
+	in.status[local] = Committed
+	return nil
+}
+
+// MarkCompensated records that the compensating activity of local has
+// committed. When all compensations of an abandoned branch have been
+// applied, the next alternative becomes executable.
+func (in *Instance) MarkCompensated(local int) error {
+	if err := in.transition(local, Committed, Compensated); err != nil {
+		return err
+	}
+	if in.pendingComp[local] {
+		delete(in.pendingComp, local)
+		if len(in.pendingComp) == 0 && in.pendingAdvance != nil {
+			in.altIdx[*in.pendingAdvance]++
+			in.pendingAdvance = nil
+		}
+	}
+	return nil
+}
+
+// MarkAbortedPrepared records the rollback of a prepared activity.
+func (in *Instance) MarkAbortedPrepared(local int) error {
+	return in.transition(local, Prepared, AbortedPrepared)
+}
+
+// ResetPrepared returns a prepared activity to pending: its local
+// transaction was rolled back for reasons that are not a failure of the
+// process (e.g. a weak-order dependency aborted, Section 3.6) and it
+// will simply be re-invoked.
+func (in *Instance) ResetPrepared(local int) error {
+	return in.transition(local, Prepared, Pending)
+}
+
+// MarkTerminated records the terminal event of the process. committed is
+// true for C_i after a regular path, false only for pure backward
+// recovery (in the completed schedule even aborts end as C_i, Def. 8.2c).
+func (in *Instance) MarkTerminated(committed bool) {
+	in.terminated = true
+	in.committed = committed
+}
+
+func (in *Instance) transition(local int, from, to Status) error {
+	st, ok := in.status[local]
+	if !ok {
+		return fmt.Errorf("process %s: unknown activity %d", in.p.ID, local)
+	}
+	if st != from {
+		return fmt.Errorf("process %s: activity %d is %v, want %v", in.p.ID, local, st, from)
+	}
+	in.status[local] = to
+	return nil
+}
+
+// FailurePlan is the reaction to the permanent failure of an activity
+// (or to an abort): compensations and rollbacks to perform, and either
+// the head of the alternative path that becomes executable afterwards,
+// or the fact that the process aborts.
+type FailurePlan struct {
+	// Steps to execute, in order: compensations of committed activities
+	// of the abandoned branch in reverse precedence order, and rollbacks
+	// of prepared activities.
+	Steps []Step
+	// NextAlt is the activity that heads the alternative execution path
+	// (0 when the process aborts instead).
+	NextAlt int
+	// Abort is true when no alternative exists and the process performs
+	// backward recovery (only possible in B-REC).
+	Abort bool
+}
+
+// MarkFailed records the permanent failure of a compensatable or pivot
+// activity and computes the recovery plan per the preference order ◁: the
+// nearest enclosing choice point with an untried alternative is located,
+// every committed activity of the abandoned branch is scheduled for
+// compensation (they are all compensatable in a process with guaranteed
+// termination), and the next alternative is activated once those
+// compensations have been applied. Without such a choice point, a B-REC
+// process aborts; for an F-REC process this would violate guaranteed
+// termination and is reported as an error.
+func (in *Instance) MarkFailed(local int) (FailurePlan, error) {
+	a := in.p.byID[local]
+	if a == nil {
+		return FailurePlan{}, fmt.Errorf("process %s: unknown activity %d", in.p.ID, local)
+	}
+	if a.Kind.GuaranteedToCommit() {
+		return FailurePlan{}, fmt.Errorf("process %s: retriable activity %d cannot fail permanently (Definition 3)", in.p.ID, local)
+	}
+	if st := in.status[local]; st != Pending {
+		return FailurePlan{}, fmt.Errorf("process %s: activity %d is %v, cannot fail", in.p.ID, local, st)
+	}
+	in.status[local] = Failed
+
+	key, branchHead, ok := in.findChoicePoint(local)
+	if !ok {
+		if in.Mode() == FREC {
+			return FailurePlan{}, fmt.Errorf("process %s: activity %d failed in F-REC with no alternative: guaranteed termination violated", in.p.ID, local)
+		}
+		plan := in.backwardRecoveryPlan()
+		in.beginAbort()
+		return plan, nil
+	}
+
+	// Abandon the branch rooted at branchHead: compensate its committed
+	// activities (reverse precedence order), roll back its prepared
+	// ones, abandon its pending ones.
+	branch := in.p.Subtree(branchHead)
+	steps, err := in.abandonNodes(branch)
+	if err != nil {
+		return FailurePlan{}, err
+	}
+	next := in.p.chains[key.node][key.idx][in.altIdx[key]+1]
+	if len(in.pendingComp) == 0 {
+		in.altIdx[key]++
+	} else {
+		k := key
+		in.pendingAdvance = &k
+	}
+	return FailurePlan{Steps: steps, NextAlt: next}, nil
+}
+
+// findChoicePoint locates the nearest enclosing (node, chain) whose
+// current alternative's branch contains the failed activity and which has
+// an untried later alternative not blocked by a committed
+// non-compensatable activity inside the branch. "Nearest" means the
+// branch head is maximal in the precedence order.
+func (in *Instance) findChoicePoint(failed int) (chainKey, int, bool) {
+	type cand struct {
+		key  chainKey
+		head int
+	}
+	var cands []cand
+	for node, chains := range in.p.chains {
+		for ci, chain := range chains {
+			key := chainKey{node, ci}
+			k := in.altIdx[key]
+			if k >= len(chain)-1 {
+				continue // no later alternative
+			}
+			head := chain[k]
+			if head != failed && !in.p.Before(head, failed) {
+				continue // failed activity not inside this branch
+			}
+			// A committed non-compensatable inside the branch pins it:
+			// the branch cannot be abandoned (compensation unavailable).
+			pinned := false
+			for _, n := range in.p.Subtree(head) {
+				if in.status[n] == Committed && in.p.byID[n].Kind.NonCompensatable() {
+					pinned = true
+					break
+				}
+			}
+			if !pinned {
+				cands = append(cands, cand{key, head})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return chainKey{}, 0, false
+	}
+	// Nearest: branch head maximal in ≪; ties broken by id for
+	// determinism.
+	sort.Slice(cands, func(i, j int) bool {
+		if in.p.Before(cands[j].head, cands[i].head) {
+			return true
+		}
+		if in.p.Before(cands[i].head, cands[j].head) {
+			return false
+		}
+		return cands[i].head > cands[j].head
+	})
+	return cands[0].key, cands[0].head, true
+}
+
+// abandonNodes marks the given nodes abandoned/compensating and returns
+// the recovery steps (compensations in reverse precedence order first,
+// then rollbacks of prepared activities).
+func (in *Instance) abandonNodes(nodes []int) ([]Step, error) {
+	var comp, rollback []int
+	for _, n := range nodes {
+		switch in.status[n] {
+		case Committed:
+			a := in.p.byID[n]
+			if a.Kind.NonCompensatable() {
+				return nil, fmt.Errorf("process %s: cannot abandon committed non-compensatable activity %d", in.p.ID, n)
+			}
+			comp = append(comp, n)
+		case Prepared:
+			rollback = append(rollback, n)
+		case Pending:
+			in.status[n] = Abandoned
+		}
+	}
+	in.sortReverseOrder(comp)
+	steps := make([]Step, 0, len(comp)+len(rollback))
+	for _, n := range comp {
+		in.pendingComp[n] = true
+		steps = append(steps, Step{Kind: StepCompensate, Local: n, Service: in.p.byID[n].Compensation})
+	}
+	for _, n := range rollback {
+		in.status[n] = AbortedPrepared
+		steps = append(steps, Step{Kind: StepAbortPrepared, Local: n, Service: in.p.byID[n].Service})
+	}
+	return steps, nil
+}
+
+// sortReverseOrder sorts locals so that ≪-later activities come first
+// (compensating activities must be executed in reverse order of the
+// original activities, Lemma 2).
+func (in *Instance) sortReverseOrder(locals []int) {
+	sort.Slice(locals, func(i, j int) bool {
+		a, b := locals[i], locals[j]
+		if in.p.Before(b, a) {
+			return true
+		}
+		if in.p.Before(a, b) {
+			return false
+		}
+		return a > b
+	})
+}
+
+// backwardRecoveryPlan compensates every committed activity (all
+// compensatable in B-REC) in reverse precedence order and rolls back
+// every prepared activity.
+func (in *Instance) backwardRecoveryPlan() FailurePlan {
+	var comp, rollback []int
+	for _, id := range in.p.order {
+		switch in.status[id] {
+		case Committed:
+			comp = append(comp, id)
+		case Prepared:
+			rollback = append(rollback, id)
+		}
+	}
+	in.sortReverseOrder(comp)
+	in.sortReverseOrder(rollback)
+	steps := make([]Step, 0, len(comp)+len(rollback))
+	// Prepared activities are rolled back first: they may be
+	// non-compensatable activities whose locks would otherwise block the
+	// compensations, and rollback is always safe (atomicity).
+	for _, n := range rollback {
+		in.status[n] = AbortedPrepared
+		steps = append(steps, Step{Kind: StepAbortPrepared, Local: n, Service: in.p.byID[n].Service})
+	}
+	for _, n := range comp {
+		in.pendingComp[n] = true
+		steps = append(steps, Step{Kind: StepCompensate, Local: n, Service: in.p.byID[n].Compensation})
+	}
+	return FailurePlan{Abort: true, Steps: steps}
+}
+
+func (in *Instance) beginAbort() {
+	in.aborting = true
+	for _, id := range in.p.order {
+		if in.status[id] == Pending {
+			in.status[id] = Abandoned
+		}
+	}
+}
+
+// Completion computes C(P): the set of activities to be executed for
+// recovery purposes from the current state (Section 3.1). In B-REC it
+// consists only of compensating activities (plus rollbacks of prepared
+// activities); in F-REC it consists of local backward recovery to the
+// latest committed state-determining element followed by the retriable
+// activities of the forward recovery path (the alternative with lowest
+// priority, which consists only of retriable activities).
+func (in *Instance) Completion() ([]Step, error) {
+	if in.terminated {
+		return nil, nil
+	}
+	if in.Mode() == BREC {
+		plan := in.completionBackward()
+		return plan, nil
+	}
+	return in.completionForward()
+}
+
+func (in *Instance) completionBackward() []Step {
+	var comp, rollback []int
+	for _, id := range in.p.order {
+		switch in.status[id] {
+		case Committed:
+			comp = append(comp, id)
+		case Prepared:
+			rollback = append(rollback, id)
+		}
+	}
+	in.sortReverseOrder(comp)
+	in.sortReverseOrder(rollback)
+	steps := make([]Step, 0, len(comp)+len(rollback))
+	for _, n := range rollback {
+		steps = append(steps, Step{Kind: StepAbortPrepared, Local: n, Service: in.p.byID[n].Service})
+	}
+	for _, n := range comp {
+		steps = append(steps, Step{Kind: StepCompensate, Local: n, Service: in.p.byID[n].Compensation})
+	}
+	return steps
+}
+
+// completionForward computes the F-REC completion: determine the forward
+// recovery path (continuing past committed non-compensatable anchors and
+// otherwise switching to the lowest-priority alternative at every choice
+// point), compensate committed compensatable activities that are not
+// needed by that path, and invoke the path's remaining activities.
+func (in *Instance) completionForward() ([]Step, error) {
+	keep := make(map[int]bool) // committed work the path builds on
+	var invoke []int           // pending activities of the forward path
+	var rollback []int         // prepared activities to roll back
+	visited := make(map[int]bool)
+
+	var walk func(n int) error
+	walk = func(n int) error {
+		if visited[n] {
+			return nil
+		}
+		visited[n] = true
+		for ci, chain := range in.p.chains[n] {
+			key := chainKey{n, ci}
+			k := in.altIdx[key]
+			if k >= len(chain) {
+				continue
+			}
+			// The current alternative is pinned if its branch contains a
+			// committed non-compensatable activity; otherwise the abort
+			// jumps to the lowest-priority alternative.
+			j := len(chain) - 1
+			if in.branchPinned(chain[k]) {
+				j = k
+			}
+			m := chain[j]
+			switch in.status[m] {
+			case Committed:
+				keep[m] = true
+			case Prepared:
+				// Prepared work beyond the anchors is rolled back unless
+				// it is itself pinned below (it cannot be: pinning only
+				// considers committed activities). Roll it back and
+				// re-invoke if it is retriable and on the path.
+				rollback = append(rollback, m)
+				if in.p.byID[m].Kind == activity.Retriable {
+					invoke = append(invoke, m)
+				} else {
+					return fmt.Errorf("process %s: prepared non-retriable activity %d on forward recovery path", in.p.ID, m)
+				}
+			case Pending, Abandoned:
+				if in.p.byID[m].Kind != activity.Retriable {
+					return fmt.Errorf("process %s: forward recovery path contains non-retriable activity %d: guaranteed termination violated", in.p.ID, m)
+				}
+				invoke = append(invoke, m)
+			case Failed, Compensated, AbortedPrepared:
+				return fmt.Errorf("process %s: forward recovery path reaches activity %d in state %v", in.p.ID, m, in.status[m])
+			}
+			if err := walk(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range in.p.roots {
+		switch in.status[r] {
+		case Committed:
+			keep[r] = true
+		case Prepared:
+			rollback = append(rollback, r)
+		case Pending:
+			// Root never ran: in F-REC this means a parallel root branch
+			// has not started; it is not required for the completion.
+			continue
+		}
+		if in.status[r] == Committed || in.status[r] == Prepared {
+			if err := walk(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// keep must be closed under predecessors: committed work the path's
+	// activities depend on is retained.
+	keepClosed := make(map[int]bool)
+	var closeUp func(n int)
+	closeUp = func(n int) {
+		for _, h := range in.p.preds[n] {
+			if in.status[h] == Committed && !keepClosed[h] {
+				keepClosed[h] = true
+				closeUp(h)
+			}
+		}
+	}
+	for n := range keep {
+		keepClosed[n] = true
+		closeUp(n)
+	}
+	for _, n := range invoke {
+		closeUp(n)
+	}
+
+	var comp []int
+	for _, id := range in.p.order {
+		switch in.status[id] {
+		case Committed:
+			if !keepClosed[id] {
+				if in.p.byID[id].Kind.NonCompensatable() {
+					return nil, fmt.Errorf("process %s: committed non-compensatable activity %d off the forward recovery path", in.p.ID, id)
+				}
+				comp = append(comp, id)
+			}
+		case Prepared:
+			found := false
+			for _, r := range rollback {
+				if r == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				rollback = append(rollback, id)
+			}
+		}
+	}
+	in.sortReverseOrder(comp)
+	in.sortReverseOrder(rollback)
+	// Order the invocations in precedence order.
+	sort.Slice(invoke, func(i, j int) bool {
+		a, b := invoke[i], invoke[j]
+		if in.p.Before(a, b) {
+			return true
+		}
+		if in.p.Before(b, a) {
+			return false
+		}
+		return a < b
+	})
+
+	steps := make([]Step, 0, len(comp)+len(rollback)+len(invoke))
+	for _, n := range rollback {
+		steps = append(steps, Step{Kind: StepAbortPrepared, Local: n, Service: in.p.byID[n].Service})
+	}
+	for _, n := range comp {
+		steps = append(steps, Step{Kind: StepCompensate, Local: n, Service: in.p.byID[n].Compensation})
+	}
+	for _, n := range invoke {
+		steps = append(steps, Step{Kind: StepInvoke, Local: n, Service: in.p.byID[n].Service})
+	}
+	return steps, nil
+}
+
+// branchPinned reports whether the branch rooted at head contains a
+// committed non-compensatable activity (which makes the branch impossible
+// to abandon).
+func (in *Instance) branchPinned(head int) bool {
+	for _, n := range in.p.Subtree(head) {
+		if in.status[n] == Committed && in.p.byID[n].Kind.NonCompensatable() {
+			return true
+		}
+	}
+	return false
+}
+
+// Abort requests the termination of the process for recovery purposes
+// (the abort A_i, or the group abort of Definition 8.2b for an active
+// process). It returns the completion C(P_i) as an executable plan and
+// moves the instance into the aborting state; the caller executes the
+// steps and finally calls MarkTerminated.
+func (in *Instance) Abort() ([]Step, error) {
+	if in.terminated {
+		return nil, fmt.Errorf("process %s: already terminated", in.p.ID)
+	}
+	steps, err := in.Completion()
+	if err != nil {
+		return nil, err
+	}
+	in.beginAbort()
+	return steps, nil
+}
+
+// ApplyStep records the effect of an executed recovery step on the
+// instance state.
+func (in *Instance) ApplyStep(s Step) error {
+	switch s.Kind {
+	case StepCompensate:
+		return in.MarkCompensated(s.Local)
+	case StepAbortPrepared:
+		if in.status[s.Local] == AbortedPrepared {
+			return nil // already recorded by the plan computation
+		}
+		return in.MarkAbortedPrepared(s.Local)
+	case StepInvoke:
+		return in.MarkCommitted(s.Local)
+	default:
+		return fmt.Errorf("process %s: unknown step kind %v", in.p.ID, s.Kind)
+	}
+}
+
+// PotentialRecoveryServices returns the set of services that might still
+// be invoked by or for this process: services of activities not yet
+// committed (on any alternative path) and compensating services of
+// committed compensatable activities that could appear in some future
+// completion (those not strictly before every committed
+// non-compensatable anchor). A scheduler uses this set to decide whether
+// another process may safely conflict with this one while it is active:
+// if none of these services conflicts with the other activity, no
+// completion of this process can ever close a conflict cycle through it
+// (the "quasi commit" exploitation of Example 10).
+func (in *Instance) PotentialRecoveryServices() map[string]bool {
+	out := make(map[string]bool)
+	// Anchors: committed non-compensatable activities.
+	var anchors []int
+	for _, id := range in.p.order {
+		if in.status[id] == Committed && in.p.byID[id].Kind.NonCompensatable() {
+			anchors = append(anchors, id)
+		}
+	}
+	for _, id := range in.p.order {
+		a := in.p.byID[id]
+		switch in.status[id] {
+		case Pending, Abandoned, Prepared, AbortedPrepared, Failed:
+			// Might (re-)execute on some path or during completion.
+			if in.status[id] != Failed {
+				out[a.Service] = true
+			}
+		case Committed:
+			if a.Kind != activity.Compensatable {
+				continue
+			}
+			// Compensation possible unless the activity is locked in
+			// before a committed non-compensatable anchor.
+			locked := false
+			for _, anc := range anchors {
+				if in.p.Before(id, anc) {
+					locked = true
+					break
+				}
+			}
+			if !locked {
+				out[a.Compensation] = true
+			}
+		}
+	}
+	return out
+}
+
+// PotentialForwardServices returns the services of retriable activities
+// that are not yet committed: the set of services that can appear on a
+// *forward* recovery path of this process. Unlike compensations (which a
+// cascading scheduler can order correctly by aborting dependents first),
+// forward-path activities cannot be cancelled — another process must not
+// be allowed to conflict-precede them unless it can never need to.
+func (in *Instance) PotentialForwardServices() map[string]bool {
+	out := make(map[string]bool)
+	for _, id := range in.p.order {
+		a := in.p.byID[id]
+		if a.Kind != activity.Retriable {
+			continue
+		}
+		if st := in.status[id]; st != Committed && st != Compensated {
+			out[a.Service] = true
+		}
+	}
+	return out
+}
+
+// UncommittedServices returns the services of activities that have not
+// (yet) committed — pending, abandoned, prepared or rolled back, on any
+// path. A scheduler uses this as the set of service classes the process
+// may still touch.
+func (in *Instance) UncommittedServices() map[string]bool {
+	out := make(map[string]bool)
+	for _, id := range in.p.order {
+		switch in.status[id] {
+		case Pending, Abandoned, Prepared, AbortedPrepared:
+			out[in.p.byID[id].Service] = true
+		}
+	}
+	return out
+}
+
+// Snapshot returns a copy of the per-activity statuses, for reporting.
+func (in *Instance) Snapshot() map[int]Status {
+	out := make(map[int]Status, len(in.status))
+	for k, v := range in.status {
+		out[k] = v
+	}
+	return out
+}
+
+// Clone returns a deep copy of the instance (used by exhaustive
+// validators).
+func (in *Instance) Clone() *Instance {
+	cp := &Instance{
+		p:           in.p,
+		status:      make(map[int]Status, len(in.status)),
+		altIdx:      make(map[chainKey]int, len(in.altIdx)),
+		pendingComp: make(map[int]bool, len(in.pendingComp)),
+		aborting:    in.aborting,
+		terminated:  in.terminated,
+		committed:   in.committed,
+	}
+	for k, v := range in.status {
+		cp.status[k] = v
+	}
+	for k, v := range in.altIdx {
+		cp.altIdx[k] = v
+	}
+	for k, v := range in.pendingComp {
+		cp.pendingComp[k] = v
+	}
+	if in.pendingAdvance != nil {
+		k := *in.pendingAdvance
+		cp.pendingAdvance = &k
+	}
+	return cp
+}

@@ -1,0 +1,238 @@
+package process_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"transproc/internal/activity"
+	"transproc/internal/process"
+	"transproc/internal/workload"
+)
+
+// randomInstanceWalk drives a random instance through commits, failures
+// and an optional abort, returning the instance. It never performs an
+// illegal transition.
+func randomInstanceWalk(rng *rand.Rand, p *process.Process, steps int) *process.Instance {
+	in := process.NewInstance(p)
+	for i := 0; i < steps && !in.Terminated(); i++ {
+		f := in.Frontier()
+		if len(f) == 0 {
+			if in.Done() && !in.Aborting() {
+				in.MarkTerminated(true)
+			}
+			break
+		}
+		a := f[rng.Intn(len(f))]
+		kind := p.Activity(a).Kind
+		switch {
+		case rng.Float64() < 0.15 && !kind.GuaranteedToCommit():
+			plan, err := in.MarkFailed(a)
+			if err != nil {
+				panic(err)
+			}
+			for _, st := range plan.Steps {
+				if err := in.ApplyStep(st); err != nil {
+					panic(err)
+				}
+			}
+			if plan.Abort {
+				in.MarkTerminated(false)
+			}
+		case rng.Float64() < 0.15 && kind.NonCompensatable():
+			if err := in.MarkPrepared(a); err != nil {
+				panic(err)
+			}
+		default:
+			if err := in.MarkCommitted(a); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return in
+}
+
+// Property: at every reachable state of a well-formed process, the
+// completion C(P) is computable, its compensations appear in reverse
+// precedence order, and its forward invocations are all retriable.
+func TestPropertyCompletionAlwaysComputable(t *testing.T) {
+	services := []string{"s1", "s2", "s3", "s4"}
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomWellFormed(rng, "P", services)
+		in := randomInstanceWalk(rng, p, int(steps%24))
+		if in.Terminated() {
+			return true
+		}
+		stepsC, err := in.Completion()
+		if err != nil {
+			t.Logf("seed %d: completion failed: %v", seed, err)
+			return false
+		}
+		// Compensations in reverse precedence order.
+		var lastComp = -1
+		for _, st := range stepsC {
+			if st.Kind != process.StepCompensate {
+				continue
+			}
+			if lastComp >= 0 && p.Before(lastComp, st.Local) {
+				t.Logf("seed %d: compensations out of reverse order: %v", seed, stepsC)
+				return false
+			}
+			lastComp = st.Local
+		}
+		// Forward invocations are retriable.
+		for _, st := range stepsC {
+			if st.Kind == process.StepInvoke && p.Activity(st.Local).Kind != activity.Retriable {
+				t.Logf("seed %d: non-retriable forward step %v", seed, st)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the frontier contains only pending activities whose
+// predecessors are all satisfied, and Done implies an empty frontier.
+func TestPropertyFrontierInvariants(t *testing.T) {
+	services := []string{"x", "y", "z"}
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomWellFormed(rng, "P", services)
+		in := randomInstanceWalk(rng, p, int(steps%16))
+		for _, a := range in.Frontier() {
+			if in.Status(a) != process.Pending {
+				return false
+			}
+			for _, h := range p.Preds(a) {
+				if st := in.Status(h); st != process.Committed && st != process.Prepared {
+					return false
+				}
+			}
+		}
+		if in.Done() && !in.Aborting() && len(in.Frontier()) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an abort from any reachable state terminates with an
+// executable plan, and applying the plan leaves no committed
+// compensatable activity that is not ≪-before a committed
+// non-compensatable anchor (everything else was compensated).
+func TestPropertyAbortAlwaysTerminates(t *testing.T) {
+	services := []string{"u", "v", "w", "q"}
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomWellFormed(rng, "P", services)
+		in := randomInstanceWalk(rng, p, int(steps%20))
+		if in.Terminated() {
+			return true
+		}
+		plan, err := in.Abort()
+		if err != nil {
+			t.Logf("seed %d: abort failed: %v", seed, err)
+			return false
+		}
+		for _, st := range plan {
+			if err := in.ApplyStep(st); err != nil {
+				t.Logf("seed %d: applying %v failed: %v", seed, st, err)
+				return false
+			}
+		}
+		in.MarkTerminated(false)
+		// Anchors: committed non-compensatables.
+		var anchors []int
+		for _, a := range p.Activities() {
+			if in.Status(a.Local) == process.Committed && a.Kind.NonCompensatable() {
+				anchors = append(anchors, a.Local)
+			}
+		}
+		for _, a := range p.Activities() {
+			if a.Kind != activity.Compensatable || in.Status(a.Local) != process.Committed {
+				continue
+			}
+			covered := false
+			for _, anc := range anchors {
+				if p.Before(a.Local, anc) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Logf("seed %d: committed compensatable %d survives without anchor", seed, a.Local)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Executions never reports an aborted execution with effects
+// and never a completed execution without effects (guaranteed
+// termination, Section 3.1), across random well-formed processes.
+func TestPropertyExecutionsEffectFreedom(t *testing.T) {
+	services := []string{"m", "n", "o"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomWellFormed(rng, "P", services)
+		execs, err := process.Executions(p)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, e := range execs {
+			if !e.Completed && e.Effective {
+				t.Logf("seed %d: aborted execution with effects: %s", seed, e)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PotentialRecoveryServices always contains every service of
+// the current completion (the potential set is a sound over-
+// approximation).
+func TestPropertyPotentialCoversCompletion(t *testing.T) {
+	services := []string{"a", "b", "c", "d"}
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomWellFormed(rng, "P", services)
+		in := randomInstanceWalk(rng, p, int(steps%20))
+		if in.Terminated() {
+			return true
+		}
+		pot := in.PotentialRecoveryServices()
+		comp, err := in.Completion()
+		if err != nil {
+			return false
+		}
+		for _, st := range comp {
+			if st.Kind == process.StepAbortPrepared {
+				continue
+			}
+			if !pot[st.Service] {
+				t.Logf("seed %d: completion step %v not in potential set %v", seed, st, pot)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+package process_test
+
+import (
+	"strings"
+	"testing"
+
+	"transproc/internal/activity"
+	"transproc/internal/paper"
+	"transproc/internal/process"
+)
+
+// TestExample1ValidExecutions reproduces Figure 3: the four valid
+// executions of P1 (plus the degenerate execution where a11 itself fails
+// and the process terminates without ever having effects).
+func TestExample1ValidExecutions(t *testing.T) {
+	execs, err := process.Executions(paper.P1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool, len(execs))
+	for _, e := range execs {
+		got[e.String()] = true
+	}
+	want := []string{
+		"⟨a1 a2 a3 a4⟩C",             // all succeed
+		"⟨a1 a2 a3✗ a5 a6⟩C",         // a13 fails -> alternative
+		"⟨a1 a2 a3 a4✗ a3⁻¹ a5 a6⟩C", // a14 fails -> compensate a13 -> alternative
+		"⟨a1 a2✗ a1⁻¹⟩A",             // pivot fails -> backward recovery
+		"⟨a1✗⟩A",                     // a11 fails immediately
+	}
+	if len(execs) != len(want) {
+		t.Fatalf("got %d executions %v, want %d", len(execs), execs, len(want))
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing execution %s (have %v)", w, execs)
+		}
+	}
+	// Figure 3 shows the four executions that involve the pivot a12
+	// being reached; exactly four of ours do.
+	n := 0
+	for _, e := range execs {
+		if strings.Contains(e.String(), "a2") {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Errorf("expected 4 executions reaching a12 (Figure 3), got %d", n)
+	}
+}
+
+func TestExecutionsLinearP2(t *testing.T) {
+	execs, err := process.Executions(paper.P2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scenarios: success; a23 fails; a22 fails; a21 fails.
+	want := map[string]bool{
+		"⟨a1 a2 a3 a4 a5⟩C":      true,
+		"⟨a1 a2 a3✗ a2⁻¹ a1⁻¹⟩A": true,
+		"⟨a1 a2✗ a1⁻¹⟩A":         true,
+		"⟨a1✗⟩A":                 true,
+	}
+	if len(execs) != len(want) {
+		t.Fatalf("executions = %v", execs)
+	}
+	for _, e := range execs {
+		if !want[e.String()] {
+			t.Errorf("unexpected execution %s", e)
+		}
+	}
+}
+
+func TestExecutionsEffectiveFlag(t *testing.T) {
+	execs, err := process.Executions(paper.P2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range execs {
+		if e.Completed && !e.Effective {
+			t.Errorf("completed execution %s must be effective", e)
+		}
+		if !e.Completed && e.Effective {
+			t.Errorf("aborted execution %s must be effect-free (guaranteed termination)", e)
+		}
+	}
+}
+
+func TestValidateGuaranteedTerminationPaperProcesses(t *testing.T) {
+	for _, p := range []*process.Process{paper.P1(), paper.P2(), paper.P3()} {
+		if err := process.ValidateGuaranteedTermination(p); err != nil {
+			t.Errorf("%s: %v", p.ID, err)
+		}
+	}
+}
+
+func TestValidateGuaranteedTerminationViolation(t *testing.T) {
+	// Pivot followed by a compensatable with no alternative: the
+	// compensatable's failure in F-REC cannot be recovered.
+	bad := process.NewBuilder("BAD").
+		Add(1, "p", activity.Pivot).
+		Add(2, "c", activity.Compensatable).
+		Seq(1, 2).
+		MustBuild()
+	if err := process.ValidateGuaranteedTermination(bad); err == nil {
+		t.Fatal("violating process accepted")
+	}
+}
+
+func TestValidateGuaranteedTerminationTwoPivotsNoAlt(t *testing.T) {
+	bad := process.NewBuilder("BAD2").
+		Add(1, "p1", activity.Pivot).
+		Add(2, "p2", activity.Pivot).
+		Seq(1, 2).
+		MustBuild()
+	if err := process.ValidateGuaranteedTermination(bad); err == nil {
+		t.Fatal("two pivots without an all-retriable alternative must be rejected")
+	}
+}
+
+func TestValidateGuaranteedTerminationTwoPivotsWithAlt(t *testing.T) {
+	ok := process.NewBuilder("OK2").
+		Add(1, "p1", activity.Pivot).
+		Add(2, "p2", activity.Pivot).
+		Add(3, "r", activity.Retriable).
+		Chain(1, 2, 3).
+		MustBuild()
+	if err := process.ValidateGuaranteedTermination(ok); err != nil {
+		t.Fatalf("pivot chain with retriable alternative rejected: %v", err)
+	}
+}
+
+func TestValidateGuaranteedTerminationAllCompensatable(t *testing.T) {
+	p := process.NewBuilder("C3").
+		Add(1, "x", activity.Compensatable).
+		Add(2, "y", activity.Compensatable).
+		Add(3, "z", activity.Compensatable).
+		Seq(1, 2).Seq(2, 3).
+		MustBuild()
+	if err := process.ValidateGuaranteedTermination(p); err != nil {
+		t.Fatalf("all-compensatable chain rejected: %v", err)
+	}
+}
+
+func TestValidateGuaranteedTerminationAllRetriable(t *testing.T) {
+	p := process.NewBuilder("R3").
+		Add(1, "x", activity.Retriable).
+		Add(2, "y", activity.Retriable).
+		Seq(1, 2).
+		MustBuild()
+	if err := process.ValidateGuaranteedTermination(p); err != nil {
+		t.Fatalf("all-retriable chain rejected: %v", err)
+	}
+}
+
+func TestIsWellFormedFlexAccepts(t *testing.T) {
+	cases := []*process.Process{
+		paper.P1(),
+		paper.P2(),
+		paper.P3(),
+		process.NewBuilder("CPR").
+			Add(1, "c", activity.Compensatable).
+			Add(2, "p", activity.Pivot).
+			Add(3, "r", activity.Retriable).
+			Seq(1, 2).Seq(2, 3).MustBuild(),
+		process.NewBuilder("C").
+			Add(1, "c", activity.Compensatable).MustBuild(),
+		process.NewBuilder("R").
+			Add(1, "r", activity.Retriable).MustBuild(),
+		process.NewBuilder("P").
+			Add(1, "p", activity.Pivot).MustBuild(),
+	}
+	for _, p := range cases {
+		if ok, why := process.IsWellFormedFlex(p); !ok {
+			t.Errorf("%s rejected: %s", p.ID, why)
+		}
+	}
+}
+
+func TestIsWellFormedFlexRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *process.Process
+		frag string
+	}{
+		{
+			"pivot then compensatable no alternative",
+			process.NewBuilder("B1").
+				Add(1, "p", activity.Pivot).
+				Add(2, "c", activity.Compensatable).
+				Seq(1, 2).MustBuild(),
+			"without an alternative",
+		},
+		{
+			"two pivots no alternative",
+			process.NewBuilder("B2").
+				Add(1, "p1", activity.Pivot).
+				Add(2, "p2", activity.Pivot).
+				Seq(1, 2).MustBuild(),
+			"without an alternative",
+		},
+		{
+			"alternative not all-retriable",
+			process.NewBuilder("B3").
+				Add(1, "p1", activity.Pivot).
+				Add(2, "p2", activity.Pivot).
+				Add(3, "c", activity.Compensatable).
+				Chain(1, 2, 3).MustBuild(),
+			"not all-retriable",
+		},
+		{
+			"parallel successors",
+			process.NewBuilder("B4").
+				Add(1, "c", activity.Compensatable).
+				Add(2, "x", activity.Retriable).
+				Add(3, "y", activity.Retriable).
+				Seq(1, 2).Seq(1, 3).MustBuild(),
+			"parallel successors",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ok, why := process.IsWellFormedFlex(c.p)
+			if ok {
+				t.Fatalf("accepted ill-formed process")
+			}
+			if c.frag != "" && !strings.Contains(why, c.frag) {
+				t.Fatalf("reason %q missing %q", why, c.frag)
+			}
+		})
+	}
+}
+
+// Structural checker and exhaustive validator must agree on chains.
+func TestWellFormedConsistency(t *testing.T) {
+	type tc struct {
+		name string
+		p    *process.Process
+	}
+	cases := []tc{
+		{"P1", paper.P1()},
+		{"P2", paper.P2()},
+		{"P3", paper.P3()},
+		{"bad pivot-comp", process.NewBuilder("X").
+			Add(1, "p", activity.Pivot).
+			Add(2, "c", activity.Compensatable).
+			Seq(1, 2).MustBuild()},
+		{"nested ok", process.NewBuilder("N").
+			Add(1, "c1", activity.Compensatable).
+			Add(2, "p1", activity.Pivot).
+			Add(3, "c2", activity.Compensatable).
+			Add(4, "p2", activity.Pivot).
+			Add(5, "r2", activity.Retriable).
+			Add(6, "r3", activity.Retriable).
+			Seq(1, 2).
+			Chain(2, 3, 6). // nested structure with retriable alternative
+			Seq(3, 4).
+			Seq(4, 5).
+			MustBuild()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			structural, _ := process.IsWellFormedFlex(c.p)
+			exhaustive := process.ValidateGuaranteedTermination(c.p) == nil
+			if structural != exhaustive {
+				t.Fatalf("structural=%v exhaustive=%v disagree", structural, exhaustive)
+			}
+		})
+	}
+}

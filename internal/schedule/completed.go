@@ -1,0 +1,221 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"transproc/internal/activity"
+	"transproc/internal/process"
+)
+
+// Completed constructs the completed process schedule S̃ of S
+// (Definition 8): all activities of S are kept except abort activities
+// (8.2a); all active processes are treated as aborted by a set-oriented
+// group abort appended at the end of S (8.2b); for every process that
+// does not commit regularly, the activities of its completion C(P_i) are
+// added, ordered after the process's original activities and before its
+// C_i (8.2c, 8.3b, 8.3c); conflicting activities of different
+// completions are ordered (8.3d/8.3f) — canonically, per Lemmas 2 and 3:
+// compensating activities in reverse order of their base activities and
+// before conflicting retriable forward-recovery activities, with
+// forward-recovery activities following the serialization order of their
+// processes. The canonical order is without loss of generality: the
+// lemmas show any order violating it cannot be reduced.
+//
+// The result is a new Schedule whose event sequence realizes ≪̃_S; the
+// original schedule is not modified.
+func (s *Schedule) Completed() (*Schedule, error) {
+	insts, err := Replay(s.procs, s.events)
+	if err != nil {
+		return nil, fmt.Errorf("schedule: completing an illegal schedule: %w", err)
+	}
+
+	out := &Schedule{
+		Table:      s.Table,
+		EffectFree: s.EffectFree,
+		procs:      s.procs,
+		order:      s.order,
+	}
+	// 8.2a drops the abort activities A_i because the completion
+	// replaces them; we keep them as inert markers so that the completed
+	// schedule remains replayable (they carry no conflicts and do not
+	// affect any criterion).
+	out.events = append(out.events, s.events...)
+
+	active := activeIn(s.events)
+	if len(active) == 0 {
+		return out, nil
+	}
+
+	// 8.2b: group abort of all active processes.
+	out.events = append(out.events, Event{Type: GroupAbort, Group: append([]process.ID(nil), active...)})
+
+	// Gather the completion steps of every active process.
+	var completions []pendingSteps
+	for _, id := range active {
+		steps, err := insts[id].Completion()
+		if err != nil {
+			return nil, fmt.Errorf("schedule: completion of %s: %w", id, err)
+		}
+		completions = append(completions, pendingSteps{id, steps})
+	}
+
+	// Canonical order. Phase A: compensations of all completions, in
+	// reverse order of their base activities' positions in S (Lemma 2).
+	// Phase B: forward-recovery invocations, grouped by process in
+	// serialization order (ties by first appearance), each process's
+	// steps in their completion order (8.3b). StepAbortPrepared does not
+	// occur in theory-level schedules (no prepared state) and is
+	// ignored if present: an aborted prepared transaction has no
+	// effects and therefore no schedule event.
+	pos := make(map[string]int) // "proc/local" -> last Invoke position
+	for i, e := range out.events {
+		if e.Type == Invoke && !e.Inverse {
+			pos[fmt.Sprintf("%s/%d", e.Proc, e.Local)] = i
+		}
+	}
+	var comps []compStepG
+	var forwards []pendingSteps
+	for _, c := range completions {
+		fw := pendingSteps{proc: c.proc}
+		for _, st := range c.steps {
+			switch st.Kind {
+			case process.StepCompensate:
+				comps = append(comps, compStepG{c.proc, st, pos[fmt.Sprintf("%s/%d", c.proc, st.Local)]})
+			case process.StepInvoke:
+				fw.steps = append(fw.steps, st)
+			}
+		}
+		forwards = append(forwards, fw)
+	}
+	sort.SliceStable(comps, func(i, j int) bool { return comps[i].at > comps[j].at })
+
+	serOrder := s.completionRank(comps2locals(comps), forwards)
+	sort.SliceStable(forwards, func(i, j int) bool { return serOrder[forwards[i].proc] < serOrder[forwards[j].proc] })
+
+	for _, c := range comps {
+		p := s.procs[c.proc]
+		a := p.Activity(c.st.Local)
+		out.events = append(out.events, Event{
+			Type: Invoke, Proc: c.proc, Local: c.st.Local,
+			Service: c.st.Service, Kind: activity.Compensation, Inverse: true,
+		})
+		_ = a
+	}
+	for _, fw := range forwards {
+		p := s.procs[fw.proc]
+		for _, st := range fw.steps {
+			a := p.Activity(st.Local)
+			out.events = append(out.events, Event{
+				Type: Invoke, Proc: fw.proc, Local: st.Local,
+				Service: st.Service, Kind: a.Kind,
+			})
+		}
+	}
+	// 8.2c: the aborted processes terminate with C_i, in serialization
+	// order.
+	terms := append([]process.ID(nil), active...)
+	sort.SliceStable(terms, func(i, j int) bool { return serOrder[terms[i]] < serOrder[terms[j]] })
+	for _, id := range terms {
+		out.events = append(out.events, Event{Type: Terminate, Proc: id, Committed: false})
+	}
+	return out, nil
+}
+
+// pendingSteps is one active process's completion (or its forward part).
+type pendingSteps struct {
+	proc  process.ID
+	steps []process.Step
+}
+
+// compStepG is a compensation step with the schedule position of its
+// base activity.
+type compStepG struct {
+	proc process.ID
+	st   process.Step
+	at   int
+}
+
+func comps2locals(comps []compStepG) map[process.ID]map[int]bool {
+	out := make(map[process.ID]map[int]bool)
+	for _, c := range comps {
+		if out[c.proc] == nil {
+			out[c.proc] = make(map[int]bool)
+		}
+		out[c.proc][c.st.Local] = true
+	}
+	return out
+}
+
+// completionRank orders the forward phases of the active processes'
+// completions (realizing the free choices of Definition 8.3d/8.3f so
+// that reducibility is preserved whenever possible): it topologically
+// sorts the graph whose edges are
+//
+//   - conflicts between *surviving* executed activities (those neither
+//     compensated in S nor scheduled for compensation by a completion —
+//     a compensation pair cancels and orders nothing), and
+//   - conflicts between a surviving executed activity of p and a forward
+//     step of r (mandatory p → r: the step is appended after it).
+//
+// On a cycle the first-appearance order is used; the reduction will then
+// fail, which is the correct verdict.
+func (s *Schedule) completionRank(toCompensate map[process.ID]map[int]bool, forwards []pendingSteps) map[process.ID]int {
+	compensatedInS := make(map[process.ID]map[int]bool)
+	for _, e := range s.events {
+		if e.Type == Invoke && e.Inverse {
+			if compensatedInS[e.Proc] == nil {
+				compensatedInS[e.Proc] = make(map[int]bool)
+			}
+			compensatedInS[e.Proc][e.Local] = true
+		}
+	}
+	surviving := func(e Event) bool {
+		if e.Type != Invoke || e.Inverse {
+			return false
+		}
+		return !compensatedInS[e.Proc][e.Local] && !toCompensate[e.Proc][e.Local]
+	}
+	g := newGraph()
+	for _, id := range s.order {
+		g.AddNode(id)
+	}
+	for i := 0; i < len(s.events); i++ {
+		if !surviving(s.events[i]) {
+			continue
+		}
+		for j := i + 1; j < len(s.events); j++ {
+			if !surviving(s.events[j]) {
+				continue
+			}
+			if s.conflictsEvents(s.events[i], s.events[j]) {
+				g.AddEdge(s.events[i].Proc, s.events[j].Proc)
+			}
+		}
+		// Mandatory edges against forward steps.
+		for _, fw := range forwards {
+			if fw.proc == s.events[i].Proc {
+				continue
+			}
+			for _, st := range fw.steps {
+				if s.Table.Conflicts(s.events[i].Service, st.Service) {
+					g.AddEdge(s.events[i].Proc, fw.proc)
+					break
+				}
+			}
+		}
+	}
+	rank := make(map[process.ID]int, len(s.order))
+	if topo, ok := g.TopoOrder(); ok {
+		for i, id := range topo {
+			rank[id] = i
+		}
+	}
+	base := len(rank)
+	for i, id := range s.order {
+		if _, seen := rank[id]; !seen {
+			rank[id] = base + i
+		}
+	}
+	return rank
+}

@@ -1,0 +1,129 @@
+// Package schedule implements the process-schedule theory of the paper:
+// process schedules (Definition 7), conflict-based serializability,
+// completed process schedules S̃ (Definition 8), the reduction rules and
+// reducibility RED (Definition 9), prefix-reducibility PRED
+// (Definition 10) and process-recoverability Proc-REC (Definition 11).
+package schedule
+
+import (
+	"fmt"
+
+	"transproc/internal/activity"
+	"transproc/internal/process"
+)
+
+// EventType classifies schedule events.
+type EventType int
+
+const (
+	// Invoke is a committed activity invocation (a regular activity or,
+	// with Inverse set, a compensating activity a⁻¹).
+	Invoke EventType = iota
+	// FailedInvoke records the permanent failure of an activity. Failed
+	// invocations aborted atomically in the subsystem and have no
+	// effects; they do not participate in conflicts but drive the
+	// process's alternative selection during replay.
+	FailedInvoke
+	// AbortBegin is the abort activity A_i of a process: the request to
+	// terminate the process for recovery purposes. In the completed
+	// schedule it is replaced by the activities of the completion
+	// C(P_i) (Definition 8.2a/8.2c).
+	AbortBegin
+	// Terminate is the termination event of a process: C_i, or the end
+	// of an abort's completion (which Definition 8.2c also turns into
+	// C_i in the completed schedule).
+	Terminate
+	// GroupAbort is the set-oriented abort A(P_{n_1} … P_{n_s}) added to
+	// the end of a schedule when completing it (Definition 8.2b).
+	GroupAbort
+)
+
+// String returns a short label for the event type.
+func (t EventType) String() string {
+	switch t {
+	case Invoke:
+		return "invoke"
+	case FailedInvoke:
+		return "fail"
+	case AbortBegin:
+		return "abort"
+	case Terminate:
+		return "terminate"
+	case GroupAbort:
+		return "group-abort"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// Event is one element of a process schedule. The slice order of events
+// in a Schedule is the observed total order; the schedule's partial order
+// ≪_S is induced from it (intra-process orders plus conflict pairs).
+type Event struct {
+	Type EventType
+	Proc process.ID
+	// Local is the activity id within the process; for Inverse events it
+	// is the id of the compensated activity.
+	Local int
+	// Service is the invoked service (the compensating service for
+	// Inverse events).
+	Service string
+	// Kind is the termination guarantee of the invoked activity
+	// (activity.Compensation for Inverse events).
+	Kind activity.Kind
+	// Inverse marks a compensating activity a⁻¹.
+	Inverse bool
+	// Committed is set on Terminate events that conclude a regular
+	// execution path; false means the termination concluded an abort's
+	// completion.
+	Committed bool
+	// Group lists the aborted processes of a GroupAbort event.
+	Group []process.ID
+}
+
+// Effectful reports whether the event is a committed (possibly
+// compensating) activity invocation, i.e. participates in the conflict
+// relation.
+func (e Event) Effectful() bool { return e.Type == Invoke }
+
+// Label renders the event in the paper's notation, e.g. "a_{1_3}",
+// "a_{1_3}⁻¹", "C_1", "A(P1,P2)".
+func (e Event) Label() string {
+	switch e.Type {
+	case Invoke:
+		if e.Inverse {
+			return fmt.Sprintf("a_{%s_%d}⁻¹", trimP(e.Proc), e.Local)
+		}
+		return fmt.Sprintf("a_{%s_%d}^%s", trimP(e.Proc), e.Local, e.Kind)
+	case FailedInvoke:
+		return fmt.Sprintf("a_{%s_%d}✗", trimP(e.Proc), e.Local)
+	case AbortBegin:
+		return fmt.Sprintf("A_%s", trimP(e.Proc))
+	case Terminate:
+		if e.Committed {
+			return fmt.Sprintf("C_%s", trimP(e.Proc))
+		}
+		return fmt.Sprintf("C_%s(ab)", trimP(e.Proc))
+	case GroupAbort:
+		s := "A("
+		for i, p := range e.Group {
+			if i > 0 {
+				s += ","
+			}
+			s += string(p)
+		}
+		return s + ")"
+	default:
+		return "?"
+	}
+}
+
+func trimP(id process.ID) string {
+	s := string(id)
+	// "P1" renders as "1" to match the paper's a_{1_3} notation; names
+	// that do not look like P<number> are kept as-is.
+	if len(s) > 1 && (s[0] == 'P' || s[0] == 'p') && s[1] >= '0' && s[1] <= '9' {
+		return s[1:]
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+package schedule_test
+
+import (
+	"strings"
+	"testing"
+
+	"transproc/internal/activity"
+	"transproc/internal/conflict"
+	"transproc/internal/paper"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+)
+
+func TestCompletedScheduleKeepsAbortMarkers(t *testing.T) {
+	// An explicit abort leaves A_i in the schedule; the completed
+	// schedule keeps it as an inert marker so S̃ remains replayable, and
+	// completing is idempotent.
+	s := schedule.MustNew(paper.Conflicts(), paper.P2())
+	s.MustPlay(
+		schedule.Ok("P2", 1),
+		schedule.Ab("P2"),
+		schedule.Comp("P2", 1),
+		schedule.A("P2"),
+	)
+	comp, err := s.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(comp.String(), "A_2") {
+		t.Fatalf("abort marker lost: %s", comp)
+	}
+	comp2, err := comp.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp2.Len() != comp.Len() {
+		t.Fatal("completion must be idempotent")
+	}
+}
+
+func TestGroupAbortReplayUnknownMember(t *testing.T) {
+	s := schedule.MustNew(paper.Conflicts(), paper.P2())
+	evs := []schedule.Event{
+		{Type: schedule.GroupAbort, Group: []process.ID{"GHOST"}},
+	}
+	if _, err := schedule.Replay(map[process.ID]*process.Process{"P2": paper.P2()}, evs); err == nil {
+		t.Fatal("group abort of an unknown process must be rejected")
+	}
+	_ = s
+}
+
+func TestPrefixOfCompletedIsReducibleForPREDSchedule(t *testing.T) {
+	// For a schedule that is PRED, completing any prefix yields a
+	// reducible schedule by definition; verify on Figure 7's S''.
+	s := fig7(t)
+	for k := 1; k <= s.Len(); k++ {
+		pre := s.Prefix(k)
+		comp, err := pre.Completed()
+		if err != nil {
+			t.Fatalf("prefix %d: %v", k, err)
+		}
+		if red := comp.Reduce(); !red.Serial {
+			t.Fatalf("prefix %d not reducible: %s", k, red.Describe())
+		}
+	}
+}
+
+func TestSelfConflictOrdersSameService(t *testing.T) {
+	tab := conflict.NewTable()
+	tab.AddConflict("w", "w")
+	p1 := process.NewBuilder("P1").Add(1, "w", activity.Pivot).MustBuild()
+	p2 := process.NewBuilder("P2").Add(1, "w", activity.Pivot).MustBuild()
+	s := schedule.MustNew(tab, p1, p2)
+	s.MustPlay(schedule.Ok("P1", 1), schedule.Ok("P2", 1))
+	g := s.SerializationGraph()
+	if !g.HasEdge("P1", "P2") {
+		t.Fatal("self-conflicting service must order the processes")
+	}
+	if !s.Serializable() {
+		t.Fatal("one-directional order is serializable")
+	}
+}
+
+func TestReductionDescribeNegative(t *testing.T) {
+	s := fig4b(t)
+	red := s.Reduce()
+	if red.Serial {
+		t.Fatal("Figure 4(b) must not reduce to serial")
+	}
+	if !strings.Contains(red.Describe(), "NOT serializable") {
+		t.Fatalf("describe = %q", red.Describe())
+	}
+}
+
+func TestEventLabelVariants(t *testing.T) {
+	cases := []struct {
+		e    schedule.Event
+		want string
+	}{
+		{schedule.Event{Type: schedule.Invoke, Proc: "P1", Local: 2, Kind: activity.Pivot}, "a_{1_2}^p"},
+		{schedule.Event{Type: schedule.Invoke, Proc: "Order", Local: 1, Inverse: true}, "a_{Order_1}⁻¹"},
+		{schedule.Event{Type: schedule.FailedInvoke, Proc: "P3", Local: 4}, "a_{3_4}✗"},
+		{schedule.Event{Type: schedule.AbortBegin, Proc: "P9"}, "A_9"},
+		{schedule.Event{Type: schedule.Terminate, Proc: "P1", Committed: true}, "C_1"},
+		{schedule.Event{Type: schedule.Terminate, Proc: "P1"}, "C_1(ab)"},
+		{schedule.Event{Type: schedule.GroupAbort, Group: []process.ID{"P1", "P2"}}, "A(P1,P2)"},
+	}
+	for _, c := range cases {
+		if got := c.e.Label(); got != c.want {
+			t.Errorf("Label() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	for _, c := range []struct {
+		tp   schedule.EventType
+		want string
+	}{
+		{schedule.Invoke, "invoke"},
+		{schedule.FailedInvoke, "fail"},
+		{schedule.AbortBegin, "abort"},
+		{schedule.Terminate, "terminate"},
+		{schedule.GroupAbort, "group-abort"},
+	} {
+		if c.tp.String() != c.want {
+			t.Errorf("%d = %q, want %q", int(c.tp), c.tp.String(), c.want)
+		}
+	}
+}

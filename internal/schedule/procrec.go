@@ -1,0 +1,247 @@
+package schedule
+
+import (
+	"fmt"
+
+	"transproc/internal/process"
+)
+
+// ProcRecViolation describes one violation of process-recoverability.
+type ProcRecViolation struct {
+	Rule   int // 1 or 2, per Definition 11
+	Detail string
+	// I and J are the event indices of the conflicting pair a_{i_k} ≪_S
+	// a_{j_l} that the violation concerns.
+	I, J int
+	// At is the event index at which the violation manifests: the index
+	// of C_j (rule 1) or of a_{j_m} (rule 2).
+	At int
+}
+
+// ProcessRecoverable checks process-recoverability (Definition 11): for
+// each pair of conflicting activities a_{i_k} ≪_S a_{j_l} of processes
+// P_i and P_j:
+//
+//  1. C_i precedes C_j in S; and
+//  2. the next non-compensatable activity a_{j_m} of P_j following
+//     a_{j_l} succeeds in S the next non-compensatable activity a_{i_n}
+//     of P_i following a_{i_k}.
+//
+// The check is meaningful on complete schedules (every process
+// terminated); on incomplete schedules it reports the violations
+// already visible. It returns true with no violations when the schedule
+// is process-recoverable.
+func (s *Schedule) ProcessRecoverable() (bool, []ProcRecViolation) {
+	var violations []ProcRecViolation
+
+	termAt := make(map[string]int)
+	for i, e := range s.events {
+		if e.Type == Terminate {
+			termAt[string(e.Proc)] = i
+		}
+	}
+
+	for i := 0; i < len(s.events); i++ {
+		for j := i + 1; j < len(s.events); j++ {
+			ei, ej := s.events[i], s.events[j]
+			if !s.conflictsEvents(ei, ej) {
+				continue
+			}
+			// Rule 1: C_i ≪_S C_j.
+			ti, iOK := termAt[string(ei.Proc)]
+			tj, jOK := termAt[string(ej.Proc)]
+			switch {
+			case jOK && !iOK:
+				violations = append(violations, ProcRecViolation{
+					Rule: 1, I: i, J: j, At: tj,
+					Detail: fmt.Sprintf("%s ≪ %s but %s terminated while %s is still active",
+						ei.Label(), ej.Label(), ej.Proc, ei.Proc),
+				})
+			case jOK && iOK && tj < ti:
+				violations = append(violations, ProcRecViolation{
+					Rule: 1, I: i, J: j, At: tj,
+					Detail: fmt.Sprintf("%s ≪ %s but C_%s ≪ C_%s",
+						ei.Label(), ej.Label(), trimP(ej.Proc), trimP(ei.Proc)),
+				})
+			}
+			// Rule 2: the next executed non-compensatable of P_j after
+			// a_{j_l} must follow the next executed non-compensatable of
+			// P_i after a_{i_k}.
+			jm := s.nextNonCompensatable(j, ej)
+			if jm < 0 {
+				continue
+			}
+			in := s.nextNonCompensatable(i, ei)
+			if in < 0 {
+				// P_i never executed a following non-compensatable
+				// activity; if P_i terminated, rule 2 is vacuous, but if
+				// P_i is still active the commit of a_{j_m} has outrun a
+				// possibly pending one (covered by rule 1 once P_j
+				// terminates), so only flag it when P_i later executes
+				// one — which "in < 0" excludes.
+				continue
+			}
+			if jm < in {
+				violations = append(violations, ProcRecViolation{
+					Rule: 2, I: i, J: j, At: jm,
+					Detail: fmt.Sprintf("%s ≪ %s but non-compensatable %s precedes %s",
+						ei.Label(), ej.Label(), s.events[jm].Label(), s.events[in].Label()),
+				})
+			}
+		}
+	}
+	return len(violations) == 0, violations
+}
+
+// ViolationMaterialized reports whether a process-recoverability
+// violation actually endangers reducibility: Definition 11 is the
+// *syntactic* sufficient condition a scheduler enforces because "the
+// activities of the completion of a process are not known in advance"
+// (Section 3.5). A concrete schedule that violates it can still be PRED
+// when, at the point the violation manifests, the completion of the
+// earlier process P_i contains no activity conflicting with the later
+// process P_j — the potential cycle of Theorem 1's proof never
+// materializes. This predicate decides exactly that, so that
+// PRED ⇒ serializable ∧ (Proc-REC up to non-materialized violations)
+// is a strict, testable form of Theorem 1.
+func (s *Schedule) ViolationMaterialized(v ProcRecViolation) bool {
+	ei, ej := s.events[v.I], s.events[v.J]
+	cut := v.At // prefix up to but excluding the offending event
+	prefix := s.events[:cut]
+	insts, err := Replay(s.procs, prefix)
+	if err != nil {
+		return true // be conservative
+	}
+	in := insts[ei.Proc]
+	if in == nil || in.Terminated() {
+		return false
+	}
+	steps, err := in.Completion()
+	if err != nil {
+		return true
+	}
+	// Effective activities of P_j within the prefix: executed and not
+	// compensated away (a compensated activity forms an effect-free
+	// pair and cannot participate in a conflict cycle). The pair's
+	// a_{j_l} itself is included on the same condition. Activities that
+	// a process's *own* completion is about to compensate are equally
+	// non-effective: their pairs cancel during completion.
+	compensated := make(map[string]map[int]bool)
+	markComp := func(proc string, local int) {
+		if compensated[proc] == nil {
+			compensated[proc] = make(map[int]bool)
+		}
+		compensated[proc][local] = true
+	}
+	for _, e := range prefix {
+		if e.Type == Invoke && e.Inverse {
+			markComp(string(e.Proc), e.Local)
+		}
+	}
+	for _, st := range steps {
+		if st.Kind == process.StepCompensate {
+			markComp(string(ei.Proc), st.Local)
+		}
+	}
+	if jin := insts[ej.Proc]; jin != nil && !jin.Terminated() {
+		if jSteps, err := jin.Completion(); err == nil {
+			for _, st := range jSteps {
+				if st.Kind == process.StepCompensate {
+					markComp(string(ej.Proc), st.Local)
+				}
+			}
+		}
+	}
+	type jEvent struct {
+		service string
+		pos     int
+	}
+	var jEvents []jEvent
+	for pos, e := range prefix {
+		if e.Proc == ej.Proc && e.Effectful() && !e.Inverse && !compensated[string(e.Proc)][e.Local] {
+			jEvents = append(jEvents, jEvent{e.Service, pos})
+		}
+	}
+	if !compensated[string(ej.Proc)][ej.Local] {
+		jEvents = append(jEvents, jEvent{ej.Service, v.J})
+	}
+
+	// A conflict between P_i's completion and P_j's surviving work only
+	// closes a cycle when a surviving conflicting pair still orders
+	// P_i before P_j at the cut: otherwise the completion merely orders
+	// P_j before P_i, which is harmless.
+	orderedBefore := false
+	for a := 0; a < len(prefix) && !orderedBefore; a++ {
+		ea := prefix[a]
+		if ea.Proc != ei.Proc || !ea.Effectful() || ea.Inverse || compensated[string(ea.Proc)][ea.Local] {
+			continue
+		}
+		for b := a + 1; b < len(prefix); b++ {
+			eb := prefix[b]
+			if eb.Proc != ej.Proc || !eb.Effectful() || eb.Inverse || compensated[string(eb.Proc)][eb.Local] {
+				continue
+			}
+			if s.conflictsEvents(ea, eb) {
+				orderedBefore = true
+				break
+			}
+		}
+	}
+	if !orderedBefore {
+		return false
+	}
+	basePos := make(map[int]int)
+	for pos, e := range prefix {
+		if e.Proc == ei.Proc && e.Type == Invoke && !e.Inverse {
+			basePos[e.Local] = pos
+		}
+	}
+	for _, st := range steps {
+		if st.Kind == process.StepAbortPrepared { // no effects
+			continue
+		}
+		for _, je := range jEvents {
+			if !s.Table.Conflicts(st.Service, je.service) {
+				continue
+			}
+			if st.Kind == process.StepCompensate && je.pos > basePos[st.Local] {
+				// The conflicting P_j event sits between the base and
+				// its appended compensation: the pair is blocked.
+				return true
+			}
+			if st.Kind == process.StepInvoke {
+				// A forward-recovery activity appended after the
+				// conflicting event closes the cycle with the
+				// surviving P_i → P_j order.
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nextNonCompensatable returns the index of the first Invoke event of
+// the same process after position k whose activity is
+// non-compensatable in the precedence order following the activity at k
+// (or any later one of that process when the anchor event is itself a
+// completion step), or -1.
+func (s *Schedule) nextNonCompensatable(k int, anchor Event) int {
+	p := s.procs[anchor.Proc]
+	for m := k + 1; m < len(s.events); m++ {
+		e := s.events[m]
+		if e.Proc != anchor.Proc || e.Type != Invoke || e.Inverse {
+			continue
+		}
+		a := p.Activity(e.Local)
+		if a == nil || !a.Kind.NonCompensatable() {
+			continue
+		}
+		// "following a_{j_l}": by the process's precedence order when
+		// comparable; completion activities executed later count as
+		// following.
+		if anchor.Inverse || p.Before(anchor.Local, e.Local) || !p.Before(e.Local, anchor.Local) {
+			return m
+		}
+	}
+	return -1
+}

@@ -1,0 +1,212 @@
+package schedule_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"transproc/internal/conflict"
+	"transproc/internal/paper"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+	"transproc/internal/workload"
+)
+
+func TestProcRecSerialOK(t *testing.T) {
+	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
+	s.MustPlay(
+		schedule.Ok("P1", 1), schedule.Ok("P1", 2), schedule.Ok("P1", 3),
+		schedule.Ok("P1", 4), schedule.C("P1"),
+		schedule.Ok("P2", 1), schedule.Ok("P2", 2), schedule.Ok("P2", 3),
+		schedule.Ok("P2", 4), schedule.Ok("P2", 5), schedule.C("P2"),
+	)
+	ok, v := s.ProcessRecoverable()
+	if !ok {
+		t.Fatalf("serial schedule must be process-recoverable: %v", v)
+	}
+}
+
+func TestProcRecFig7OK(t *testing.T) {
+	s := fig7(t)
+	ok, v := s.ProcessRecoverable()
+	if !ok {
+		t.Fatalf("Figure 7 execution must be process-recoverable: %v", v)
+	}
+}
+
+func TestProcRecRule1Violation(t *testing.T) {
+	// P2 terminates before P1 although a11 ≪ a21: C_2 ≪ C_1 violates
+	// Definition 11.1.
+	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
+	s.MustPlay(
+		schedule.Ok("P1", 1),
+		schedule.Ok("P2", 1), schedule.Ok("P2", 2), schedule.Ok("P2", 3),
+		schedule.Ok("P2", 4), schedule.Ok("P2", 5), schedule.C("P2"),
+		schedule.Ok("P1", 2), schedule.Ok("P1", 3), schedule.Ok("P1", 4),
+		schedule.C("P1"),
+	)
+	ok, vs := s.ProcessRecoverable()
+	if ok {
+		t.Fatal("C_2 before C_1 must violate process-recoverability")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Rule == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a rule-1 violation, got %v", vs)
+	}
+}
+
+func TestProcRecRule2Violation(t *testing.T) {
+	// S_t1 extended: P2's pivot a23 (non-compensatable following a21)
+	// commits before P1's pivot a12 (following a11): Definition 11.2.
+	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
+	s.MustPlay(
+		schedule.Ok("P1", 1),
+		schedule.Ok("P2", 1), schedule.Ok("P2", 2), schedule.Ok("P2", 3),
+		schedule.Ok("P1", 2),
+	)
+	ok, vs := s.ProcessRecoverable()
+	if ok {
+		t.Fatal("a23 before a12 must violate rule 2")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Rule == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a rule-2 violation, got %v", vs)
+	}
+}
+
+func TestProcRecFig4aPrefixViolation(t *testing.T) {
+	// The Example 8 prefix is exactly a rule-2 situation once a12 runs.
+	s := fig4a(t)
+	ok, _ := s.ProcessRecoverable()
+	if ok {
+		t.Fatal("S_t2 of Figure 4(a) violates process-recoverability (its prefix S_t1 is not reducible)")
+	}
+}
+
+// ---- Theorem 1: PRED ⇒ serializable ∧ process-recoverable -------------
+
+func TestTheorem1Property(t *testing.T) {
+	services := []string{"s1", "s2", "s3", "s4", "s5", "s6"}
+	nPRED := 0
+	for trial := 0; trial < 400; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		tab := conflict.NewTable()
+		// Random conflict relation over the service universe.
+		for i := 0; i < len(services); i++ {
+			for j := i; j < len(services); j++ {
+				if rng.Float64() < 0.3 {
+					tab.AddConflict(services[i], services[j])
+				}
+			}
+		}
+		nProcs := 2 + rng.Intn(2)
+		procs := make([]*process.Process, nProcs)
+		for i := range procs {
+			procs[i] = workload.RandomWellFormed(rng, process.ID(fmt.Sprintf("P%d", i+1)), services)
+			if err := process.ValidateGuaranteedTermination(procs[i]); err != nil {
+				t.Fatalf("trial %d: generator produced invalid process: %v", trial, err)
+			}
+		}
+		s := workload.RandomSchedule(rng, tab, procs, 40)
+		pred, _, _, err := s.PRED()
+		if err != nil {
+			t.Fatalf("trial %d: %v (schedule %s)", trial, err, s)
+		}
+		if !pred {
+			continue
+		}
+		nPRED++
+		if !s.EffectiveSerializable() {
+			t.Fatalf("trial %d: PRED schedule not serializable: %s", trial, s)
+		}
+		// Theorem 1 (strict form): a PRED schedule is serializable, and
+		// any Definition-11 violation it contains must be one whose
+		// potential conflict cycle never materializes (the completion of
+		// the earlier process does not conflict with the later process).
+		if ok, vs := s.ProcessRecoverable(); !ok {
+			for _, v := range vs {
+				if s.ViolationMaterialized(v) {
+					t.Fatalf("trial %d: PRED schedule with a materialized Proc-REC violation: %s\nviolation: %+v", trial, s, v)
+				}
+			}
+		}
+	}
+	if nPRED < 20 {
+		t.Fatalf("property test exercised only %d PRED schedules; generator too adversarial", nPRED)
+	}
+	t.Logf("Theorem 1 verified on %d PRED schedules", nPRED)
+}
+
+// Lemma 2: in any PRED schedule whose completed schedule executes two
+// conflicting compensations, they appear in reverse order of their base
+// activities.
+func TestLemma2Property(t *testing.T) {
+	for trial := 0; trial < 300; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		tab := conflict.NewTable()
+		services := []string{"x", "y", "z"}
+		tab.AddConflict("x", "x")
+		tab.AddConflict("x", "y")
+		procs := []*process.Process{
+			workload.RandomWellFormed(rng, "P1", services),
+			workload.RandomWellFormed(rng, "P2", services),
+		}
+		s := workload.RandomSchedule(rng, tab, procs, 30)
+		pred, _, _, err := s.PRED()
+		if err != nil || !pred {
+			continue
+		}
+		comp, err := s.Completed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := comp.Events()
+		basePos := make(map[string]int)
+		for i, e := range evs {
+			if e.Type == schedule.Invoke && !e.Inverse {
+				basePos[fmt.Sprintf("%s/%d", e.Proc, e.Local)] = i
+			}
+		}
+		var inverses []schedule.Event
+		var invPos []int
+		for i, e := range evs {
+			if e.Type == schedule.Invoke && e.Inverse {
+				inverses = append(inverses, e)
+				invPos = append(invPos, i)
+			}
+		}
+		for i := 0; i < len(inverses); i++ {
+			for j := i + 1; j < len(inverses); j++ {
+				a, b := inverses[i], inverses[j]
+				if a.Proc == b.Proc {
+					continue
+				}
+				if !tab.Conflicts(a.Service, b.Service) {
+					continue
+				}
+				pa := basePos[fmt.Sprintf("%s/%d", a.Proc, a.Local)]
+				pb := basePos[fmt.Sprintf("%s/%d", b.Proc, b.Local)]
+				// Lemma 2 constrains pairs that are open concurrently;
+				// a pair fully closed before the other's base executed
+				// reduces independently and may appear in any order.
+				if pa >= invPos[j] || pb >= invPos[i] {
+					continue
+				}
+				// a⁻¹ before b⁻¹ requires base(a) after base(b).
+				if invPos[i] < invPos[j] && pa < pb {
+					t.Fatalf("trial %d: Lemma 2 violated in %s", trial, comp)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reduction is the result of applying the three transformation rules of
+// Definition 9 to a completed process schedule: the commutativity rule
+// (adjacent commuting activities may be swapped), the compensation rule
+// (an activity and its compensating activity with nothing conflicting
+// between them are removed), and the effect-free activity rule
+// (effect-free activities of non-committing processes are removed).
+type Reduction struct {
+	// Remaining holds the events that survive reduction.
+	Remaining []Event
+	// RemovedPairs counts compensation-rule removals.
+	RemovedPairs int
+	// RemovedEffectFree counts effect-free-rule removals.
+	RemovedEffectFree int
+	// Serial reports whether the remaining events are
+	// conflict-equivalent to a serial process schedule (the commutativity
+	// rule can then produce it).
+	Serial bool
+	// SerialOrder is a witness serialization order when Serial.
+	SerialOrder []string
+}
+
+// Reduce applies the reduction rules of Definition 9 to the schedule
+// (which should be a completed schedule) until fixpoint and reports
+// whether the remainder is serializable.
+//
+// The compensation rule is decided as: a pair (a, a⁻¹) of the same
+// activity instance is removable iff no event ordered between them
+// conflicts with a — any non-conflicting in-between event can be
+// commuted out by the commutativity rule, while a conflicting one can
+// cross neither boundary (perfect commutativity makes "conflicts with a"
+// and "conflicts with a⁻¹" the same predicate). Removal is applied
+// innermost-first and iterated, which handles nested compensation.
+func (s *Schedule) Reduce() *Reduction {
+	events := append([]Event(nil), s.events...)
+	red := &Reduction{}
+
+	committed := make(map[string]bool) // procs that commit regularly
+	for _, e := range events {
+		if e.Type == Terminate && e.Committed {
+			committed[string(e.Proc)] = true
+		}
+	}
+
+	// Effect-free activity rule (Definition 9.3): remove effect-free
+	// activities of processes that do not commit regularly in S.
+	if s.EffectFree != nil {
+		kept := events[:0]
+		for _, e := range events {
+			if e.Type == Invoke && !e.Inverse && !committed[string(e.Proc)] && s.EffectFree(e.Service) {
+				red.RemovedEffectFree++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		events = kept
+	}
+
+	// Compensation rule (Definition 9.2) to fixpoint.
+	for {
+		removed := false
+		for i := 0; i < len(events) && !removed; i++ {
+			e := events[i]
+			if e.Type != Invoke || e.Inverse {
+				continue
+			}
+			// Find this instance's compensation later in the sequence.
+			for j := i + 1; j < len(events); j++ {
+				f := events[j]
+				if f.Type == Invoke && f.Inverse && f.Proc == e.Proc && f.Local == e.Local {
+					blocked := false
+					for k := i + 1; k < j; k++ {
+						if s.conflictsAny(events[k], e) {
+							blocked = true
+							break
+						}
+					}
+					if !blocked {
+						events = append(events[:j:j], events[j+1:]...)
+						events = append(events[:i:i], events[i+1:]...)
+						red.RemovedPairs++
+						removed = true
+					}
+					break
+				}
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+
+	red.Remaining = events
+	g := graphOf(events, s.conflictsEvents)
+	order, ok := g.TopoOrder()
+	red.Serial = ok
+	if ok {
+		for _, id := range order {
+			red.SerialOrder = append(red.SerialOrder, string(id))
+		}
+	}
+	return red
+}
+
+// conflictsAny is like conflictsEvents but also treats same-process
+// events as blocking when they conflict by service: an event of the same
+// process that does not commute with the pair cannot be commuted across
+// it either.
+func (s *Schedule) conflictsAny(a, b Event) bool {
+	if !a.Effectful() || !b.Effectful() {
+		return false
+	}
+	if a.Proc == b.Proc && a.Local == b.Local {
+		return false // the pair itself
+	}
+	return s.Table.Conflicts(a.Service, b.Service)
+}
+
+// RED reports whether the schedule is reducible (Definition 9): its
+// completed process schedule can be transformed into a serial process
+// schedule by the three reduction rules.
+func (s *Schedule) RED() (bool, *Reduction, error) {
+	comp, err := s.Completed()
+	if err != nil {
+		return false, nil, err
+	}
+	red := comp.Reduce()
+	return red.Serial, red, nil
+}
+
+// PRED reports whether the schedule is prefix-reducible (Definition 10):
+// every prefix of S is reducible. On failure it returns the length of
+// the shortest non-reducible prefix and its reduction.
+func (s *Schedule) PRED() (bool, int, *Reduction, error) {
+	for k := 1; k <= len(s.events); k++ {
+		prefix := s.Prefix(k)
+		ok, red, err := prefix.RED()
+		if err != nil {
+			return false, k, nil, fmt.Errorf("prefix of length %d: %w", k, err)
+		}
+		if !ok {
+			return false, k, red, nil
+		}
+	}
+	return true, 0, nil, nil
+}
+
+// Describe renders the reduction result for human consumption.
+func (r *Reduction) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "removed %d compensation pair(s), %d effect-free activitie(s); %d event(s) remain",
+		r.RemovedPairs, r.RemovedEffectFree, len(r.Remaining))
+	if r.Serial {
+		fmt.Fprintf(&b, "; serializable as %s", strings.Join(r.SerialOrder, " → "))
+	} else {
+		b.WriteString("; NOT serializable (conflict cycle remains)")
+	}
+	return b.String()
+}

@@ -1,0 +1,212 @@
+package schedule_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"transproc/internal/activity"
+	"transproc/internal/conflict"
+	"transproc/internal/paper"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+	"transproc/internal/workload"
+)
+
+// TestEffectFreeRule exercises Definition 9.3: effect-free activities
+// (pure readers) of non-committing processes are removed by the
+// reduction and stop contributing conflicts.
+func TestEffectFreeRule(t *testing.T) {
+	tab := conflict.NewTable()
+	tab.AddConflict("read", "write")
+	// P1 reads (effect-free), P2 writes; P1 never commits.
+	p1 := process.NewBuilder("P1").
+		Add(1, "read", activity.Retriable).
+		MustBuild()
+	p2 := process.NewBuilder("P2").
+		Add(1, "write", activity.Pivot).
+		MustBuild()
+	s := schedule.MustNew(tab, p1, p2)
+	s.EffectFree = func(svc string) bool { return svc == "read" }
+	s.MustPlay(
+		schedule.Ok("P1", 1),
+		schedule.Ok("P2", 1),
+		schedule.C("P2"),
+	)
+	comp, err := s.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := comp.Reduce()
+	if red.RemovedEffectFree != 1 {
+		t.Fatalf("effect-free removals = %d, want 1", red.RemovedEffectFree)
+	}
+	if !red.Serial {
+		t.Fatal("after removing the reader the rest must be serializable")
+	}
+	// With the same schedule but no EffectFree declaration the reader
+	// stays.
+	s2 := schedule.MustNew(tab.Clone(), p1, p2)
+	s2.MustPlay(schedule.Ok("P1", 1), schedule.Ok("P2", 1), schedule.C("P2"))
+	comp2, err := s2.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red2 := comp2.Reduce(); red2.RemovedEffectFree != 0 {
+		t.Fatal("no effect-free removals expected without the declaration")
+	}
+}
+
+// TestEffectFreeRuleKeepsCommittedProcesses verifies the rule applies
+// only to processes that do not commit regularly.
+func TestEffectFreeRuleKeepsCommittedProcesses(t *testing.T) {
+	tab := conflict.NewTable()
+	p1 := process.NewBuilder("P1").
+		Add(1, "read", activity.Retriable).
+		MustBuild()
+	s := schedule.MustNew(tab, p1)
+	s.EffectFree = func(svc string) bool { return true }
+	s.MustPlay(schedule.Ok("P1", 1), schedule.C("P1"))
+	red := s.Reduce()
+	if red.RemovedEffectFree != 0 {
+		t.Fatal("activities of committed processes must be kept (Definition 9.3)")
+	}
+}
+
+// Property: reduction never *creates* a conflict cycle — if the
+// completed schedule is serializable as-is, the reduction's remainder
+// is serializable too.
+func TestPropertyReductionPreservesSerializability(t *testing.T) {
+	services := []string{"x", "y", "z", "w"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := conflict.NewTable()
+		for i := 0; i < len(services); i++ {
+			for j := i; j < len(services); j++ {
+				if rng.Float64() < 0.35 {
+					tab.AddConflict(services[i], services[j])
+				}
+			}
+		}
+		procs := []*process.Process{
+			workload.RandomWellFormed(rng, "P1", services),
+			workload.RandomWellFormed(rng, "P2", services),
+		}
+		s := workload.RandomSchedule(rng, tab, procs, 24)
+		comp, err := s.Completed()
+		if err != nil {
+			return true // not all random states complete (fine)
+		}
+		if !comp.Serializable() {
+			return true
+		}
+		red := comp.Reduce()
+		if !red.Serial {
+			t.Logf("seed %d: reduction broke serializability: %s", seed, comp)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the reduction removes each compensation pair at most once
+// and leaves no inverse event whose base is absent... more precisely:
+// in the remainder, every inverse event still has its base event before
+// it (pairs are removed together or kept together).
+func TestPropertyReductionPairsConsistent(t *testing.T) {
+	services := []string{"a", "b", "c"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := conflict.NewTable()
+		tab.AddConflict("a", "b")
+		tab.AddConflict("a", "a")
+		procs := []*process.Process{
+			workload.RandomWellFormed(rng, "P1", services),
+			workload.RandomWellFormed(rng, "P2", services),
+		}
+		s := workload.RandomSchedule(rng, tab, procs, 24)
+		comp, err := s.Completed()
+		if err != nil {
+			return true
+		}
+		red := comp.Reduce()
+		type key struct {
+			proc  process.ID
+			local int
+		}
+		basePresent := map[key]bool{}
+		for _, e := range red.Remaining {
+			if e.Type == schedule.Invoke && !e.Inverse {
+				basePresent[key{e.Proc, e.Local}] = true
+			}
+		}
+		for _, e := range red.Remaining {
+			if e.Type == schedule.Invoke && e.Inverse {
+				if !basePresent[key{e.Proc, e.Local}] {
+					t.Logf("seed %d: orphan inverse %s in remainder", seed, e.Label())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RED is monotone under completion — a completed schedule's
+// own completion is itself (completing is idempotent).
+func TestPropertyCompletionIdempotent(t *testing.T) {
+	services := []string{"p", "q", "r"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := conflict.NewTable()
+		tab.AddConflict("p", "q")
+		procs := []*process.Process{
+			workload.RandomWellFormed(rng, "P1", services),
+			workload.RandomWellFormed(rng, "P2", services),
+		}
+		s := workload.RandomSchedule(rng, tab, procs, 20)
+		comp, err := s.Completed()
+		if err != nil {
+			return true
+		}
+		comp2, err := comp.Completed()
+		if err != nil {
+			t.Logf("seed %d: completing a completed schedule failed: %v", seed, err)
+			return false
+		}
+		if comp2.Len() != comp.Len() {
+			t.Logf("seed %d: completion not idempotent: %d vs %d events\nS̃ =%s\nS̃̃=%s",
+				seed, comp.Len(), comp2.Len(), comp, comp2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReduceOnPaperCompleteSchedule sanity-checks Reduce on a complete
+// (all-committed) schedule: nothing to remove, serial order P1 → P2.
+func TestReduceOnPaperCompleteSchedule(t *testing.T) {
+	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
+	s.MustPlay(
+		schedule.Ok("P1", 1), schedule.Ok("P1", 2), schedule.Ok("P1", 3),
+		schedule.Ok("P1", 4), schedule.C("P1"),
+		schedule.Ok("P2", 1), schedule.Ok("P2", 2), schedule.Ok("P2", 3),
+		schedule.Ok("P2", 4), schedule.Ok("P2", 5), schedule.C("P2"),
+	)
+	red := s.Reduce()
+	if red.RemovedPairs != 0 || red.RemovedEffectFree != 0 {
+		t.Fatalf("nothing removable: %+v", red)
+	}
+	if !red.Serial || len(red.SerialOrder) != 2 || red.SerialOrder[0] != "P1" {
+		t.Fatalf("serial order = %v", red.SerialOrder)
+	}
+}

@@ -1,0 +1,507 @@
+package schedule_test
+
+import (
+	"strings"
+	"testing"
+
+	"transproc/internal/activity"
+	"transproc/internal/paper"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+)
+
+// fig4a builds the serializable process schedule S_t2 of Example 4 /
+// Figure 4(a): ⟨a11 a21 a22 a23 a12 a13 a24⟩ with conflicts
+// (a11,a21), (a12,a24), (a15,a25).
+func fig4a(t testing.TB) *schedule.Schedule {
+	t.Helper()
+	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
+	return s.MustPlay(
+		schedule.Ok("P1", 1),
+		schedule.Ok("P2", 1),
+		schedule.Ok("P2", 2),
+		schedule.Ok("P2", 3),
+		schedule.Ok("P1", 2),
+		schedule.Ok("P1", 3),
+		schedule.Ok("P2", 4),
+	)
+}
+
+// fig4b builds the non-serializable process schedule S'_t2 of Example 3 /
+// Figure 4(b): a24 executes before a12, closing the cycle P1 → P2 → P1.
+func fig4b(t testing.TB) *schedule.Schedule {
+	t.Helper()
+	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
+	return s.MustPlay(
+		schedule.Ok("P1", 1),
+		schedule.Ok("P2", 1),
+		schedule.Ok("P2", 2),
+		schedule.Ok("P2", 3),
+		schedule.Ok("P2", 4),
+		schedule.Ok("P1", 2),
+		schedule.Ok("P1", 3),
+	)
+}
+
+// fig7 builds the prefix-reducible execution S” of Example 7/9 /
+// Figure 7: P2's non-compensatable activities are deferred until C_1.
+func fig7(t testing.TB) *schedule.Schedule {
+	t.Helper()
+	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
+	return s.MustPlay(
+		schedule.Ok("P1", 1),
+		schedule.Ok("P2", 1),
+		schedule.Ok("P2", 2),
+		schedule.Ok("P1", 2),
+		schedule.Ok("P1", 3),
+		schedule.Ok("P1", 4),
+		schedule.C("P1"),
+		schedule.Ok("P2", 3),
+		schedule.Ok("P2", 4),
+		schedule.Ok("P2", 5),
+		schedule.C("P2"),
+	)
+}
+
+// fig9 builds the quasi-commit interleaving of Example 10 / Figure 9:
+// a31 (conflicting with a11) executes after P1's pivot a12, so the
+// compensation of a11 can no longer introduce a cycle.
+func fig9(t testing.TB) *schedule.Schedule {
+	t.Helper()
+	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P3())
+	return s.MustPlay(
+		schedule.Ok("P1", 1),
+		schedule.Ok("P1", 2),
+		schedule.Ok("P3", 1),
+		schedule.Ok("P3", 2),
+		schedule.Ok("P1", 3),
+		schedule.Ok("P1", 4),
+		schedule.C("P1"),
+		schedule.Ok("P3", 3),
+		schedule.C("P3"),
+	)
+}
+
+func TestExample3NotSerializable(t *testing.T) {
+	s := fig4b(t)
+	if s.Serializable() {
+		t.Fatal("S'_t2 of Example 3 must not be serializable (cycle P1→P2→P1)")
+	}
+	g := s.SerializationGraph()
+	if !g.HasEdge("P1", "P2") || !g.HasEdge("P2", "P1") {
+		t.Fatalf("expected both edges, got %v", g.Edges())
+	}
+}
+
+func TestExample4Serializable(t *testing.T) {
+	s := fig4a(t)
+	if !s.Serializable() {
+		t.Fatal("S_t2 of Example 4 must be serializable")
+	}
+	g := s.SerializationGraph()
+	if !g.HasEdge("P1", "P2") || g.HasEdge("P2", "P1") {
+		t.Fatalf("expected only P1→P2, got %v", g.Edges())
+	}
+}
+
+func TestExample5CompletedSchedule(t *testing.T) {
+	s := fig4a(t)
+	comp, err := s.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := comp.String()
+	// Completion adds a13⁻¹, a15, a16 (C(P1)) and a25 (C(P2)), with
+	// the compensation first and P1's forward path before P2's (the
+	// serialization order), then C_1 and C_2.
+	wantOrder := []string{
+		"a_{1_3}⁻¹", "a_{1_5}^r", "a_{1_6}^r", "a_{2_5}^r", "C_1", "C_2",
+	}
+	idx := -1
+	for _, w := range wantOrder {
+		at := strings.Index(got, w)
+		if at < 0 {
+			t.Fatalf("completed schedule %s missing %s", got, w)
+		}
+		if at < idx {
+			t.Fatalf("completed schedule %s has %s out of order", got, w)
+		}
+		idx = at
+	}
+	if !strings.Contains(got, "A(P1,P2)") {
+		t.Fatalf("completed schedule %s missing group abort", got)
+	}
+	if !comp.Serializable() {
+		t.Fatal("S̃_t2 must be serializable (Example 5)")
+	}
+}
+
+func TestExample6Reduction(t *testing.T) {
+	s := fig4a(t)
+	comp, err := s.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := comp.Reduce()
+	if red.RemovedPairs != 1 {
+		t.Fatalf("Example 6: exactly the pair (a13, a13⁻¹) is removable; removed %d", red.RemovedPairs)
+	}
+	if !red.Serial {
+		t.Fatalf("reduced S̃_t2 must be serializable: %s", red.Describe())
+	}
+	ok, _, err := s.RED()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("S_t2 is RED (Example 6)")
+	}
+}
+
+func TestExample8NotPRED(t *testing.T) {
+	s := fig4a(t)
+	ok, at, red, err := s.PRED()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("S_t2 must not be prefix-reducible (Example 8)")
+	}
+	// The failing prefix is S_t1 = ⟨a11 a21 a22 a23⟩: P2 reached F-REC
+	// while P1 is in B-REC; compensating a11 closes a cycle that cannot
+	// be eliminated because a21 has no available compensation.
+	if at != 4 {
+		t.Fatalf("shortest non-reducible prefix has length %d, want 4 (S_t1)", at)
+	}
+	if red.Serial {
+		t.Fatal("the failing prefix's reduction must retain a cycle")
+	}
+}
+
+func TestExample8PrefixDetails(t *testing.T) {
+	s := fig4a(t).Prefix(4)
+	insts, err := schedule.Replay(map[process.ID]*process.Process{
+		"P1": s.Process("P1"), "P2": s.Process("P2"),
+	}, s.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts["P1"].Mode() != process.BREC {
+		t.Fatal("P1 must be B-REC at t1")
+	}
+	if insts["P2"].Mode() != process.FREC {
+		t.Fatal("P2 must be F-REC at t1")
+	}
+	comp, err := s.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := comp.String()
+	for _, w := range []string{"a_{1_1}⁻¹", "a_{2_4}^r", "a_{2_5}^r"} {
+		if !strings.Contains(got, w) {
+			t.Fatalf("S̃_t1 %s missing %s (Figure 8)", got, w)
+		}
+	}
+	if comp.Serializable() {
+		t.Fatal("S̃_t1 contains the cycle a11 ≪ a21 ≪ a11⁻¹ (Example 8)")
+	}
+}
+
+func TestExample7And9Fig7PRED(t *testing.T) {
+	s := fig7(t)
+	ok, _, err := s.RED()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("S'' of Example 7 must be RED")
+	}
+	okP, at, _, err := s.PRED()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okP {
+		t.Fatalf("S'' of Example 9 must be PRED; failed at prefix %d", at)
+	}
+}
+
+func TestExample10QuasiCommit(t *testing.T) {
+	s := fig9(t)
+	ok, at, _, err := s.PRED()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("Figure 9 execution must be PRED (quasi-commit of a12); failed at prefix %d", at)
+	}
+}
+
+func TestQuasiCommitContrast(t *testing.T) {
+	// If a31 runs while P1 is still B-REC and P3 then advances past its
+	// own pivot before P1 terminates, the schedule is not PRED
+	// (Lemma 1.1 violated).
+	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P3())
+	s.MustPlay(
+		schedule.Ok("P1", 1),
+		schedule.Ok("P3", 1),
+		schedule.Ok("P3", 2), // P3's pivot commits while P1 is B-REC
+	)
+	ok, _, _, err := s.PRED()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("pivot of P3 committing while P1 (conflicting predecessor) is B-REC must violate PRED")
+	}
+}
+
+func TestBothBRECFullCompensationIsRED(t *testing.T) {
+	// The classical situation of Section 3.5's discussion: while both
+	// processes are still fully compensatable, the completed schedule
+	// reduces to empty.
+	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P3())
+	s.MustPlay(schedule.Ok("P1", 1), schedule.Ok("P3", 1))
+	ok, red, err := s.RED()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("both-B-REC prefix must be RED: %s", red.Describe())
+	}
+	if red.RemovedPairs != 2 {
+		t.Fatalf("both compensation pairs must be removed, got %d", red.RemovedPairs)
+	}
+}
+
+func TestClassicalAllCompensatableIsPRED(t *testing.T) {
+	// Section 3.5: "If all inverses were available and the classical
+	// undo procedure could be applied, the prefix S_t1 would be
+	// reducible." Rebuild P1/P2 with every activity compensatable and
+	// replay the Figure 4(a) order: now PRED holds.
+	q1 := process.NewBuilder("P1").
+		Add(1, paper.SvcA11, activity.Compensatable).
+		Add(2, paper.SvcA12, activity.Compensatable).
+		Add(3, paper.SvcA13, activity.Compensatable).
+		Seq(1, 2).Seq(2, 3).MustBuild()
+	q2 := process.NewBuilder("P2").
+		Add(1, paper.SvcA21, activity.Compensatable).
+		Add(2, paper.SvcA22, activity.Compensatable).
+		Add(3, paper.SvcA23, activity.Compensatable).
+		Add(4, paper.SvcA24, activity.Compensatable).
+		Seq(1, 2).Seq(2, 3).Seq(3, 4).MustBuild()
+	s := schedule.MustNew(paper.Conflicts(), q1, q2)
+	s.MustPlay(
+		schedule.Ok("P1", 1),
+		schedule.Ok("P2", 1),
+		schedule.Ok("P2", 2),
+		schedule.Ok("P2", 3),
+		schedule.Ok("P1", 2),
+		schedule.Ok("P1", 3),
+		schedule.Ok("P2", 4),
+	)
+	ok, at, _, err := s.PRED()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("classical all-compensatable S_t2 must be PRED; failed at prefix %d", at)
+	}
+}
+
+func TestSerialScheduleIsPRED(t *testing.T) {
+	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
+	s.MustPlay(
+		schedule.Ok("P1", 1), schedule.Ok("P1", 2), schedule.Ok("P1", 3),
+		schedule.Ok("P1", 4), schedule.C("P1"),
+		schedule.Ok("P2", 1), schedule.Ok("P2", 2), schedule.Ok("P2", 3),
+		schedule.Ok("P2", 4), schedule.Ok("P2", 5), schedule.C("P2"),
+	)
+	ok, at, _, err := s.PRED()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("serial schedules are trivially PRED; failed at prefix %d", at)
+	}
+}
+
+func TestScheduleWithFailureAndAlternativePRED(t *testing.T) {
+	// P1 alone: a13 fails, alternative a15 a16 runs, C_1. Every prefix
+	// must be reducible.
+	s := schedule.MustNew(paper.Conflicts(), paper.P1())
+	s.MustPlay(
+		schedule.Ok("P1", 1),
+		schedule.Ok("P1", 2),
+		schedule.Failv("P1", 3),
+		schedule.Ok("P1", 5),
+		schedule.Ok("P1", 6),
+		schedule.C("P1"),
+	)
+	ok, at, _, err := s.PRED()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("single-process execution with alternative must be PRED; prefix %d", at)
+	}
+}
+
+func TestScheduleWithCompensationEventsPRED(t *testing.T) {
+	// a14 fails; a13 is compensated inside the schedule itself; then
+	// the alternative runs.
+	s := schedule.MustNew(paper.Conflicts(), paper.P1())
+	s.MustPlay(
+		schedule.Ok("P1", 1),
+		schedule.Ok("P1", 2),
+		schedule.Ok("P1", 3),
+		schedule.Failv("P1", 4),
+		schedule.Comp("P1", 3),
+		schedule.Ok("P1", 5),
+		schedule.Ok("P1", 6),
+		schedule.C("P1"),
+	)
+	ok, at, _, err := s.PRED()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("execution with in-schedule compensation must be PRED; prefix %d", at)
+	}
+}
+
+func TestExplicitAbortSchedule(t *testing.T) {
+	// P2 aborts in B-REC: A_2, compensations in reverse order, C_2(ab).
+	s := schedule.MustNew(paper.Conflicts(), paper.P2())
+	s.MustPlay(
+		schedule.Ok("P2", 1),
+		schedule.Ok("P2", 2),
+		schedule.Ab("P2"),
+		schedule.Comp("P2", 2),
+		schedule.Comp("P2", 1),
+		schedule.A("P2"),
+	)
+	ok, _, _, err := s.PRED()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("backward-recovered abort must be PRED")
+	}
+	if got := s.Active(); len(got) != 0 {
+		t.Fatalf("no active processes after the abort terminated, got %v", got)
+	}
+}
+
+func TestIllegalSchedulesRejected(t *testing.T) {
+	mk := func() *schedule.Schedule {
+		return schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
+	}
+	if err := mk().Invoke("P1", 3); err == nil {
+		t.Fatal("a13 before a11/a12 violates ≪_1")
+	}
+	if err := mk().Invoke("P1", 5); err == nil {
+		t.Fatal("a15 without a13 failing violates ◁_1")
+	}
+	if err := mk().Invoke("P9", 1); err == nil {
+		t.Fatal("unknown process must be rejected")
+	}
+	if err := mk().Invoke("P1", 99); err == nil {
+		t.Fatal("unknown activity must be rejected")
+	}
+	if err := mk().Commit("P1"); err == nil {
+		t.Fatal("C_1 before P1 is done must be rejected")
+	}
+	if err := mk().Compensate("P1", 1); err == nil {
+		t.Fatal("compensating a pending activity must be rejected")
+	}
+	if err := mk().FinishAbort("P1"); err == nil {
+		t.Fatal("abort termination without an abort must be rejected")
+	}
+	s := mk()
+	if err := s.Invoke("P1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compensate("P1", 2); err == nil {
+		t.Fatal("compensating a pivot must be rejected")
+	}
+}
+
+func TestDuplicateProcessRejected(t *testing.T) {
+	if _, err := schedule.New(paper.Conflicts(), paper.P1(), paper.P1()); err == nil {
+		t.Fatal("duplicate process ids must be rejected")
+	}
+}
+
+func TestPrefixAndEvents(t *testing.T) {
+	s := fig4a(t)
+	if s.Len() != 7 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	p := s.Prefix(3)
+	if p.Len() != 3 {
+		t.Fatalf("prefix Len = %d", p.Len())
+	}
+	if q := s.Prefix(100); q.Len() != 7 {
+		t.Fatal("over-long prefix must clamp")
+	}
+	evs := s.Events()
+	evs[0].Local = 99
+	if s.Events()[0].Local == 99 {
+		t.Fatal("Events must return a copy")
+	}
+}
+
+func TestConflictPairs(t *testing.T) {
+	s := fig4a(t)
+	pairs := s.ConflictPairs()
+	// (a11, a21) and (a12, a24).
+	if len(pairs) != 2 {
+		t.Fatalf("ConflictPairs = %v, want 2 pairs", pairs)
+	}
+}
+
+func TestCompletedOfCompleteScheduleIsIdentity(t *testing.T) {
+	s := fig7(t)
+	comp, err := s.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() != s.Len() {
+		t.Fatalf("complete schedule should gain no events: %d vs %d", comp.Len(), s.Len())
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	s := fig4b(t)
+	g := s.SerializationGraph()
+	if _, ok := g.TopoOrder(); ok {
+		t.Fatal("cyclic graph must have no topological order")
+	}
+	if !g.WouldCreateCycle("P1", "P2") {
+		t.Fatal("adding P1→P2 when P2→P1 exists closes a cycle")
+	}
+	nodes := g.Nodes()
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestEventLabels(t *testing.T) {
+	s := fig4a(t)
+	str := s.String()
+	for _, w := range []string{"a_{1_1}^c", "a_{1_2}^p", "a_{2_4}^r"} {
+		if !strings.Contains(str, w) {
+			t.Errorf("schedule string %q missing %q", str, w)
+		}
+	}
+}
+
+func TestGraphDOT(t *testing.T) {
+	s := fig4a(t)
+	dot := s.SerializationGraph().DOT("S")
+	for _, frag := range []string{"digraph S", `"P1" -> "P2"`, `"P1";`} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, dot)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package scheduler implements the transactional process scheduler the
+// paper's correctness criterion is designed for: an online scheduler
+// that executes processes against transactional subsystems while
+// maintaining prefix-reducibility (PRED) of the observed process
+// schedule — and therefore serializability and process-recoverability
+// (Theorem 1).
+//
+// The PRED protocol operationalizes the paper's results:
+//
+//   - conflicting activities are ordered and the process-level conflict
+//     graph is kept acyclic (serializability);
+//   - an activity may conflict with an executed activity of an *active*
+//     process only when that process can provably no longer invalidate
+//     it — it is forward-recoverable and none of its potential recovery
+//     services conflicts (the quasi-commit exploitation of Example 10) —
+//     or, in cascading mode, when the new activity is compensatable
+//     (Lemma 1.2) and the scheduler accepts a cascading abort;
+//   - commits of non-compensatable activities are deferred and performed
+//     atomically per process with a two phase commit protocol once every
+//     conflicting predecessor process has terminated (Lemma 1,
+//     Section 3.5);
+//   - compensating activities execute in reverse order of their base
+//     activities, also across processes (Lemma 2), and before
+//     conflicting retriable forward-recovery activities (Lemma 3);
+//   - every decision is written to a write-ahead log first, so a crash
+//     is resolved by the group abort of Definition 8.2b (backward
+//     completion of B-REC processes, forward completion of F-REC
+//     processes, presumed-commit/abort resolution of in-doubt
+//     transactions).
+//
+// Baselines for the benchmark harness: a serial scheduler, a
+// conservative process-level locking scheduler, and a CC-only scheduler
+// that orders conflicts for serializability but ignores recovery (the
+// approach of [AAHD97] the paper argues is insufficient).
+package scheduler
+
+import (
+	"transproc/internal/wal"
+)
+
+// Mode selects the scheduling policy.
+type Mode int
+
+const (
+	// PRED is the paper's protocol in avoidance flavour: dependencies on
+	// active processes are allowed only when the active process's
+	// potential completions provably cannot conflict (quasi-commit).
+	// No cascading aborts ever occur.
+	PRED Mode = iota
+	// PREDCascade additionally allows compensatable activities to
+	// depend on active backward-recoverable processes (the Figure 7
+	// pattern); if such a predecessor aborts, dependents are
+	// cascade-aborted in reverse order (Lemma 2) and restarted.
+	PREDCascade
+	// Serial runs one process at a time.
+	Serial
+	// Conservative admits a process only when its full service
+	// footprint does not conflict with any running process
+	// (process-level conservative locking).
+	Conservative
+	// CCOnly orders conflicting activities for serializability but
+	// ignores recovery entirely: no deferred commits, no Lemma-1
+	// blocking. Under failures it produces non-PRED schedules and can
+	// leave inconsistencies (Section 2.2's motivating anomaly).
+	CCOnly
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case PRED:
+		return "pred"
+	case PREDCascade:
+		return "pred-cascade"
+	case Serial:
+		return "serial"
+	case Conservative:
+		return "conservative"
+	case CCOnly:
+		return "cc-only"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes an engine run.
+type Config struct {
+	Mode Mode
+	// Log is the scheduler's write-ahead log; defaults to an in-memory
+	// log.
+	Log wal.Log
+	// MaxRestarts bounds per-process restarts after cascading, wound or
+	// victim aborts; beyond it the process terminates aborted.
+	// Restarts re-enter with exponential backoff. Default 8.
+	MaxRestarts int
+	// CrashAfterEvents, when positive, stops the run abruptly after
+	// that many invocation completions, simulating a scheduler crash;
+	// subsystem and log state survive for recovery.
+	CrashAfterEvents int
+	// BlockPivots switches the PRED modes from "execute non-compensatable
+	// activities into the prepared state and defer their commit" to
+	// "do not even execute them while conflicting predecessors are
+	// active" (the ablation of the deferred-commit design).
+	BlockPivots bool
+	// WeakOrder executes activity invocations under the weak order of
+	// Section 3.6: conflicting local transactions may overlap inside a
+	// subsystem, with the commit order enforced by the subsystem
+	// (commit-order serializability). When a weakly preceding
+	// transaction aborts, overlapped dependents are rolled back and
+	// re-invoked — not treated as failures of their processes. Applies
+	// to the PRED-family modes.
+	WeakOrder bool
+	// MaxStalls bounds deadlock-resolution victim aborts per run.
+	// Default 256.
+	MaxStalls int
+	// DebugFirstStall prints the engine state at the first stall
+	// resolution (diagnostic aid).
+	DebugFirstStall bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Log == nil {
+		c.Log = wal.NewMemLog()
+	}
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = 8
+	}
+	if c.MaxStalls == 0 {
+		c.MaxStalls = 256
+	}
+	return c
+}
+
+// Metrics aggregates counters of one run. Times are in virtual ticks.
+type Metrics struct {
+	Makespan       int64
+	Invocations    int64 // subsystem invocations attempted (incl. retries)
+	Retries        int64 // transient retriable re-invocations
+	Compensations  int64
+	Rollbacks      int64 // prepared transactions rolled back
+	Deferrals      int64 // commit deferrals of non-compensatable activities
+	TwoPCCommits   int64 // prepared transactions committed via 2PC
+	LockWaits      int64 // dispatch attempts denied by subsystem locks
+	PolicyWaits    int64 // dispatch attempts denied by the policy
+	Cascades       int64 // cascading aborts triggered
+	WeakDeps       int64 // commit-order dependencies recorded (weak order)
+	WeakOrderWaits int64 // weak commits delayed by ErrOrder
+	WeakRestarts   int64 // re-invocations forced by aborted weak dependencies
+	Restarts       int64 // process restarts
+	VictimAborts   int64 // stall-resolution aborts
+	CommittedProcs int
+	AbortedProcs   int
+}
+
+// Throughput returns committed processes per 1000 virtual ticks.
+func (m Metrics) Throughput() float64 {
+	if m.Makespan == 0 {
+		return 0
+	}
+	return float64(m.CommittedProcs) * 1000 / float64(m.Makespan)
+}
+
+// Outcome summarizes one process's fate.
+type Outcome struct {
+	Committed bool
+	Aborted   bool
+	Restarts  int
+	Start     int64
+	End       int64
+}

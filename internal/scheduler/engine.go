@@ -1,0 +1,1554 @@
+package scheduler
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"transproc/internal/activity"
+	"transproc/internal/conflict"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+	"transproc/internal/subsystem"
+	"transproc/internal/twopc"
+	"transproc/internal/wal"
+)
+
+// ErrCrashed is returned by Run when the configured crash point was
+// reached; federation and log state survive for Recover.
+var ErrCrashed = errors.New("scheduler: injected crash")
+
+// procState is the engine-level state of a process.
+type procState int
+
+const (
+	psRunning procState = iota
+	psAborting
+	psDone
+)
+
+// preparedTx remembers an in-doubt local transaction per activity.
+type preparedTx struct {
+	sub     *subsystem.Subsystem
+	tx      subsystem.TxID
+	service string
+	seq     int64 // global completion sequence of the prepare
+	weak    bool  // invoked under the weak order
+}
+
+// engEvent is one effective event in the engine's history, used both for
+// conflict-graph maintenance and to build the final observed schedule.
+type engEvent struct {
+	seq     int64
+	proc    process.ID
+	local   int
+	service string
+	kind    activity.Kind
+	typ     schedule.EventType
+	inverse bool
+	// tentative marks prepared invocations whose commit is deferred;
+	// they are erased if rolled back.
+	tentative bool
+	erased    bool
+	// compensated marks base invocations undone later (they stop
+	// contributing conflict-graph edges).
+	compensated bool
+	committed   bool // Terminate events: regular C_i
+	group       []process.ID
+}
+
+// procRT is the runtime of one process.
+type procRT struct {
+	id      process.ID
+	def     *process.Process
+	inst    *process.Instance
+	state   procState
+	arrival int
+
+	arrivalTime     int64
+	recovery        []process.Step // queued recovery steps (sequential)
+	recoveryBusy    bool           // a recovery step is in flight
+	recoveryBusySvc string
+	abortPending    bool       // abort requested, waiting for in-flight work
+	restartable     bool       // restart after the pending abort completes
+	origin          process.ID // original id across restarts
+	restarts        int
+	prepared        map[int]preparedTx
+	running         map[int]string // in-flight invocations: local -> service
+	attempts        map[int]int
+	start, end      int64
+	committedSeq    map[int]int64 // local -> completion seq of its commit/prepare
+}
+
+// completion is a scheduled future event in virtual time.
+type completion struct {
+	at, seq int64
+	proc    process.ID
+	isStep  bool
+	step    process.Step
+	local   int
+	service string
+	kind    activity.Kind
+	res     *subsystem.Result
+	failed  bool // the local transaction aborted
+	weak    bool // invoked under the weak order (Section 3.6)
+	tries   int  // commit-order wait retries (safety bound)
+}
+
+type completionHeap []*completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h completionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)   { *h = append(*h, x.(*completion)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine executes a set of processes against a federation of
+// transactional subsystems under a scheduling policy.
+type Engine struct {
+	cfg   Config
+	fed   *subsystem.Federation
+	table *conflict.Table
+	log   wal.Log
+	coord *twopc.Coordinator
+
+	clock   int64
+	seq     int64
+	queue   completionHeap
+	procs   []*procRT
+	byID    map[process.ID]*procRT
+	pending []*procRT // not yet admitted (Serial/Conservative gating)
+
+	events []*engEvent
+	// edges is the process conflict graph with reference counts; it
+	// includes edges to/from terminated processes (history matters for
+	// serializability).
+	edges map[[2]process.ID]int
+
+	metrics     Metrics
+	completions int
+	crashed     bool
+	outcomes    map[process.ID]*Outcome
+	origProcs   []*process.Process
+	allProcs    []*process.Process // including restarts
+
+	// forced-graph cache, invalidated whenever effective events, edges,
+	// recovery queues or process states change.
+	version     int64
+	fctx        *forcedCtx
+	fctxVersion int64
+	// confCache memoizes conflict-table lookups (the table is fixed for
+	// the run).
+	confCache map[[2]string]bool
+}
+
+// bump invalidates the forced-graph cache.
+func (e *Engine) bump() { e.version++ }
+
+// conflicts is a memoized front end to the conflict table; the table is
+// immutable during a run and the check sits on every hot path.
+func (e *Engine) conflicts(a, b string) bool {
+	if a > b {
+		a, b = b, a
+	}
+	k := [2]string{a, b}
+	if v, ok := e.confCache[k]; ok {
+		return v
+	}
+	v := e.table.Conflicts(a, b)
+	e.confCache[k] = v
+	return v
+}
+
+// forced returns the current round's forced-graph context.
+func (e *Engine) forced() *forcedCtx {
+	if e.fctx == nil || e.fctxVersion != e.version {
+		e.fctx = e.newForcedCtx()
+		e.fctxVersion = e.version
+	}
+	return e.fctx
+}
+
+// New creates an engine over the federation. The conflict table is
+// derived from the subsystems' declared read/write sets.
+func New(fed *subsystem.Federation, cfg Config) (*Engine, error) {
+	table, err := fed.ConflictTable()
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:       cfg,
+		fed:       fed,
+		table:     table,
+		log:       cfg.Log,
+		coord:     twopc.New(cfg.Log),
+		byID:      make(map[process.ID]*procRT),
+		edges:     make(map[[2]process.ID]int),
+		outcomes:  make(map[process.ID]*Outcome),
+		confCache: make(map[[2]string]bool),
+	}, nil
+}
+
+// Table returns the conflict table the engine scheduled under.
+func (e *Engine) Table() *conflict.Table { return e.table }
+
+// Log returns the engine's write-ahead log (for recovery).
+func (e *Engine) Log() wal.Log { return e.log }
+
+// Result is the outcome of a run.
+type Result struct {
+	// Schedule is the observed process schedule, reconstructed from the
+	// finalized events; it can be checked with PRED(), Serializable()
+	// and ProcessRecoverable().
+	Schedule *schedule.Schedule
+	Metrics  Metrics
+	Outcomes map[process.ID]*Outcome
+	Crashed  bool
+}
+
+// Job is a process with an arrival time in virtual ticks.
+type Job struct {
+	Proc    *process.Process
+	Arrival int64
+}
+
+// Run executes the processes to completion (or crash) and returns the
+// observed schedule plus metrics; all processes arrive at time zero.
+func (e *Engine) Run(procs []*process.Process) (*Result, error) {
+	jobs := make([]Job, len(procs))
+	for i, p := range procs {
+		jobs[i] = Job{Proc: p}
+	}
+	return e.RunJobs(jobs)
+}
+
+// RunJobs executes the processes to completion (or crash), admitting
+// each when the virtual clock reaches its arrival time. Process
+// definitions must have guaranteed termination; services they reference
+// must exist in the federation.
+func (e *Engine) RunJobs(jobs []Job) (*Result, error) {
+	procs := make([]*process.Process, len(jobs))
+	for i, j := range jobs {
+		procs[i] = j.Proc
+	}
+	for _, p := range procs {
+		if err := process.ValidateGuaranteedTermination(p); err != nil {
+			return nil, fmt.Errorf("scheduler: process %s lacks guaranteed termination: %w", p.ID, err)
+		}
+		for _, a := range p.Activities() {
+			spec, ok := e.fed.Spec(a.Service)
+			if !ok {
+				return nil, fmt.Errorf("scheduler: process %s uses unknown service %q", p.ID, a.Service)
+			}
+			if spec.Kind != a.Kind {
+				return nil, fmt.Errorf("scheduler: process %s activity %d declares %v for service %q of kind %v",
+					p.ID, a.Local, a.Kind, a.Service, spec.Kind)
+			}
+			if a.Kind == activity.Compensatable && spec.Compensation != a.Compensation {
+				return nil, fmt.Errorf("scheduler: process %s activity %d compensation %q, subsystem provides %q",
+					p.ID, a.Local, a.Compensation, spec.Compensation)
+			}
+		}
+	}
+	e.origProcs = procs
+	for i, j := range jobs {
+		rt := e.newRT(j.Proc, i, j.Proc.ID)
+		rt.arrivalTime = j.Arrival
+		e.pending = append(e.pending, rt)
+	}
+	e.admit()
+
+	stalls := 0
+	for {
+		if e.crashed {
+			break
+		}
+		progressed := e.dispatchAll()
+		if e.admit() {
+			progressed = true
+		}
+		if len(e.queue) == 0 {
+			if progressed {
+				continue
+			}
+			if e.allDone() {
+				break
+			}
+			// Idle until the next arrival, if any.
+			if next, ok := e.nextArrival(); ok && next > e.clock {
+				e.clock = next
+				continue
+			}
+			stalls++
+			if stalls > e.cfg.MaxStalls {
+				return nil, fmt.Errorf("scheduler: stalled with active processes and no progress (mode %v)\n%s", e.cfg.Mode, e.stallDump())
+			}
+			if !e.resolveStall() {
+				return nil, fmt.Errorf("scheduler: unresolvable stall (mode %v)\n%s", e.cfg.Mode, e.stallDump())
+			}
+			continue
+		}
+		// Admit arrivals that precede the next completion.
+		if next, ok := e.nextArrival(); ok && next <= e.queue[0].at {
+			if next > e.clock {
+				e.clock = next
+			}
+			e.admit()
+			continue
+		}
+		ev := heap.Pop(&e.queue).(*completion)
+		if ev.at > e.clock {
+			e.clock = ev.at
+		}
+		if err := e.handleCompletion(ev); err != nil {
+			return nil, err
+		}
+		e.completions++
+		if e.cfg.CrashAfterEvents > 0 && e.completions >= e.cfg.CrashAfterEvents {
+			e.crashed = true
+		}
+	}
+
+	e.metrics.Makespan = e.clock
+	res := &Result{
+		Schedule: e.buildSchedule(),
+		Metrics:  e.metrics,
+		Outcomes: e.outcomes,
+		Crashed:  e.crashed,
+	}
+	if e.crashed {
+		return res, ErrCrashed
+	}
+	return res, nil
+}
+
+func (e *Engine) newRT(p *process.Process, arrival int, origin process.ID) *procRT {
+	rt := &procRT{
+		id:           p.ID,
+		def:          p,
+		inst:         process.NewInstance(p),
+		state:        psRunning,
+		arrival:      arrival,
+		origin:       origin,
+		prepared:     make(map[int]preparedTx),
+		running:      make(map[int]string),
+		attempts:     make(map[int]int),
+		committedSeq: make(map[int]int64),
+		start:        e.clock,
+	}
+	e.allProcs = append(e.allProcs, p)
+	e.outcomes[p.ID] = &Outcome{Start: e.clock}
+	return rt
+}
+
+// admit moves pending processes into the running set per the policy and
+// reports whether any process was admitted.
+func (e *Engine) admit() bool {
+	var keep []*procRT
+	admitted := false
+	for _, rt := range e.pending {
+		if e.mayStart(rt) {
+			e.procs = append(e.procs, rt)
+			e.byID[rt.id] = rt
+			rt.start = e.clock
+			e.outcomes[rt.id].Start = e.clock
+			e.log.Append(wal.Record{Type: wal.RecStart, Proc: string(rt.id)})
+			admitted = true
+		} else {
+			keep = append(keep, rt)
+		}
+	}
+	e.pending = keep
+	if admitted {
+		e.bump()
+	}
+	return admitted
+}
+
+// nextArrival returns the earliest future arrival among pending jobs.
+func (e *Engine) nextArrival() (int64, bool) {
+	found := false
+	var min int64
+	for _, rt := range e.pending {
+		if rt.arrivalTime > e.clock && (!found || rt.arrivalTime < min) {
+			min = rt.arrivalTime
+			found = true
+		}
+	}
+	return min, found
+}
+
+// mayStart implements the admission policies.
+func (e *Engine) mayStart(rt *procRT) bool {
+	if rt.arrivalTime > e.clock {
+		return false
+	}
+	switch e.cfg.Mode {
+	case Serial:
+		for _, o := range e.procs {
+			if o.state != psDone {
+				return false
+			}
+		}
+		return true
+	case Conservative:
+		// Admit only when the process's full service footprint does not
+		// conflict with that of any running process.
+		mine := e.footprint(rt.def)
+		for _, o := range e.procs {
+			if o.state == psDone {
+				continue
+			}
+			for _, s1 := range mine {
+				for _, s2 := range e.footprint(o.def) {
+					if e.table.Conflicts(s1, s2) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+func (e *Engine) footprint(p *process.Process) []string {
+	var out []string
+	for _, a := range p.Activities() {
+		out = append(out, a.Service)
+		if a.Compensation != "" {
+			out = append(out, a.Compensation)
+		}
+	}
+	return out
+}
+
+func (e *Engine) allDone() bool {
+	if len(e.pending) > 0 {
+		return false
+	}
+	for _, rt := range e.procs {
+		if rt.state != psDone {
+			return false
+		}
+	}
+	return true
+}
+
+// cost returns the virtual duration of a service invocation.
+func (e *Engine) cost(service string) int64 {
+	spec, ok := e.fed.Spec(service)
+	if !ok || spec.Cost < 1 {
+		return 1
+	}
+	return int64(spec.Cost)
+}
+
+// dispatchAll attempts to make progress on every process; returns true
+// when at least one new invocation was issued or terminal transition
+// occurred.
+func (e *Engine) dispatchAll() bool {
+	progressed := false
+	for _, rt := range e.procs {
+		if rt.state == psDone {
+			continue
+		}
+		if e.dispatchProc(rt) {
+			progressed = true
+		}
+	}
+	return progressed
+}
+
+func (e *Engine) dispatchProc(rt *procRT) bool {
+	// Recovery steps run strictly sequentially and drain before a
+	// pending abort is honoured (the instance's alternative bookkeeping
+	// must settle before the completion is computed).
+	if len(rt.recovery) > 0 {
+		if rt.recoveryBusy {
+			return false
+		}
+		return e.dispatchRecoveryStep(rt)
+	}
+	// Abort requested while work was in flight: start it when drained.
+	if rt.abortPending && len(rt.running) == 0 && !rt.recoveryBusy && rt.state != psAborting {
+		if err := e.beginAbort(rt); err == nil {
+			return true
+		}
+		return false
+	}
+	if rt.state == psAborting {
+		if rt.recoveryBusy || len(rt.running) > 0 {
+			return false
+		}
+		e.finishAbort(rt)
+		return true
+	}
+	// Regular execution: finish or dispatch frontier activities.
+	if rt.inst.Done() && len(rt.running) == 0 {
+		return e.tryFinish(rt)
+	}
+	progressed := false
+	for _, local := range rt.inst.Frontier() {
+		if _, inFlight := rt.running[local]; inFlight {
+			continue
+		}
+		a := rt.def.Activity(local)
+		// Intra-process: all predecessors must be fully committed (a
+		// prepared non-compensatable defers its successors, so that a
+		// rolled-back prepared transaction never has committed
+		// successors).
+		if !e.predsCommitted(rt, local) {
+			continue
+		}
+		if ok, _ := e.mayDispatch(rt, a); !ok {
+			e.metrics.PolicyWaits++
+			continue
+		}
+		if e.invoke(rt, local, a.Service, a.Kind, false, process.Step{}) {
+			progressed = true
+		}
+	}
+	return progressed
+}
+
+func (e *Engine) predsCommitted(rt *procRT, local int) bool {
+	for _, h := range rt.def.Preds(local) {
+		if rt.inst.Status(h) != process.Committed {
+			return false
+		}
+	}
+	return true
+}
+
+// invoke issues a subsystem invocation and schedules its completion.
+// In weak-order mode, regular activity invocations never block on
+// subsystem locks: conflicting in-doubt transactions become commit-order
+// dependencies instead (Section 3.6). Recovery steps always use the
+// strong order.
+func (e *Engine) invoke(rt *procRT, local int, service string, kind activity.Kind, isStep bool, step process.Step) bool {
+	var res *subsystem.Result
+	var err error
+	weak := e.cfg.WeakOrder && !isStep &&
+		(e.cfg.Mode == PRED || e.cfg.Mode == PREDCascade)
+	if weak {
+		sub, ok := e.fed.Owner(service)
+		if !ok {
+			panic(fmt.Sprintf("scheduler: unknown service %q", service))
+		}
+		var deps []subsystem.TxID
+		res, deps, err = sub.InvokeWeak(string(rt.origin), service)
+		// A commit-order dependency is only safe on a transaction that
+		// resolves at its own completion — a compensatable activity's
+		// local transaction. Non-compensatable ones may have their 2PC
+		// commit deferred until *our* process terminates (Lemma 1),
+		// which would deadlock the commit order. On such a dependency,
+		// roll back and wait like a strong lock conflict.
+		if err == nil {
+			for _, d := range deps {
+				svc, ok := sub.TxService(d)
+				risky := !ok
+				if ok {
+					if spec, found := e.fed.Spec(svc); found {
+						risky = spec.Kind != activity.Compensatable && spec.Kind != activity.Compensation
+					}
+				}
+				if risky {
+					if rbErr := sub.AbortPrepared(res.Tx); rbErr != nil {
+						panic(fmt.Sprintf("scheduler: weak fallback rollback: %v", rbErr))
+					}
+					e.metrics.Invocations++
+					e.metrics.LockWaits++
+					return false
+				}
+			}
+		}
+		e.metrics.WeakDeps += int64(len(deps))
+	} else {
+		res, err = e.fed.Invoke(string(rt.origin), service, subsystem.Prepare)
+	}
+	e.metrics.Invocations++
+	switch {
+	case errors.Is(err, subsystem.ErrLocked):
+		e.metrics.LockWaits++
+		return false
+	case errors.Is(err, subsystem.ErrAborted):
+		res = nil
+	case err != nil:
+		panic(fmt.Sprintf("scheduler: invoke %s/%s: %v", rt.id, service, err))
+	}
+	e.seq++
+	c := &completion{
+		at: e.clock + e.cost(service), seq: e.seq,
+		proc: rt.id, isStep: isStep, step: step,
+		local: local, service: service, kind: kind,
+		res: res, failed: res == nil, weak: weak,
+	}
+	if isStep {
+		rt.recoveryBusy = true
+		rt.recoveryBusySvc = service
+	} else {
+		rt.running[local] = service
+	}
+	e.bump()
+	e.log.Append(wal.Record{
+		Type: wal.RecDispatch, Proc: string(rt.id), Local: local, Service: service,
+	})
+	heap.Push(&e.queue, c)
+	return true
+}
+
+// handleCompletion processes one finished invocation.
+func (e *Engine) handleCompletion(c *completion) error {
+	rt := e.byID[c.proc]
+	if rt == nil {
+		return fmt.Errorf("scheduler: completion for unknown process %s", c.proc)
+	}
+	if c.isStep {
+		return e.handleStepCompletion(rt, c)
+	}
+	delete(rt.running, c.local)
+	e.bump()
+
+	// Orphaned completion: while the invocation was in flight, its
+	// branch was abandoned or the process began aborting (a parallel
+	// sibling failed). The outcome is discarded; a successful local
+	// transaction is rolled back — atomicity guarantees no effects.
+	if st := rt.inst.Status(c.local); st != process.Pending {
+		if !c.failed && c.res != nil {
+			sub, _ := e.fed.Owner(c.service)
+			if err := sub.AbortPrepared(c.res.Tx); err == nil {
+				e.metrics.Rollbacks++
+				e.log.Append(wal.Record{
+					Type: wal.RecResolved, Proc: string(rt.id), Local: c.local,
+					Service: c.service, Subsystem: sub.Name(), Tx: int64(c.res.Tx), Commit: false,
+				})
+			}
+		}
+		return nil
+	}
+
+	if c.failed {
+		if c.kind.GuaranteedToCommit() {
+			// Transient failure of a retriable activity: re-invoke.
+			e.metrics.Retries++
+			rt.attempts[c.local]++
+			e.log.Append(wal.Record{Type: wal.RecOutcome, Proc: string(rt.id), Local: c.local, Service: c.service, Outcome: "aborted"})
+			return nil
+		}
+		return e.handlePermanentFailure(rt, c)
+	}
+
+	// Success: the local transaction is prepared at the subsystem.
+	e.log.Append(wal.Record{
+		Type: wal.RecOutcome, Proc: string(rt.id), Local: c.local, Service: c.service,
+		Subsystem: e.subsystemOf(c.service), Tx: int64(c.res.Tx), Outcome: "prepared",
+	})
+	if e.commitImmediately(rt, c.kind) {
+		sub, _ := e.fed.Owner(c.service)
+		if c.weak {
+			// Commit-order serializability (Section 3.6): the commit
+			// may have to wait for weakly preceding transactions, or
+			// the invocation may have to be redone when one of them
+			// aborted.
+			switch err := sub.WeakCommittable(c.res.Tx); {
+			case errors.Is(err, subsystem.ErrOrder):
+				c.tries++
+				if c.tries > 100000 {
+					return fmt.Errorf("scheduler: weak commit of %s/%s starved (commit-order wait)", rt.id, c.service)
+				}
+				e.metrics.WeakOrderWaits++
+				e.seq++
+				c.at = e.clock + 1
+				c.seq = e.seq
+				rt.running[c.local] = c.service // still occupies its slot
+				heap.Push(&e.queue, c)
+				return nil
+			case errors.Is(err, subsystem.ErrDependencyAborted):
+				e.metrics.WeakRestarts++
+				if err := sub.AbortPrepared(c.res.Tx); err != nil {
+					return fmt.Errorf("scheduler: weak rollback %s/%s: %w", rt.id, c.service, err)
+				}
+				// The activity stays pending and is simply re-invoked;
+				// this is not a failure of the process (Section 3.6).
+				return nil
+			case err != nil:
+				return fmt.Errorf("scheduler: weak commit %s/%s: %w", rt.id, c.service, err)
+			}
+		}
+		if err := sub.CommitPrepared(c.res.Tx); err != nil {
+			return fmt.Errorf("scheduler: commit %s/%s: %w", rt.id, c.service, err)
+		}
+		e.log.Append(wal.Record{
+			Type: wal.RecResolved, Proc: string(rt.id), Local: c.local,
+			Service: c.service, Subsystem: sub.Name(), Tx: int64(c.res.Tx), Commit: true,
+		})
+		if err := rt.inst.MarkCommitted(c.local); err != nil {
+			return fmt.Errorf("scheduler: %w", err)
+		}
+		e.appendEvent(&engEvent{
+			proc: rt.id, local: c.local, service: c.service, kind: c.kind, typ: schedule.Invoke,
+		}, c.seq)
+		rt.committedSeq[c.local] = c.seq
+	} else {
+		// Deferred commit (Lemma 1): hold the prepared transaction.
+		e.metrics.Deferrals++
+		if err := rt.inst.MarkPrepared(c.local); err != nil {
+			return fmt.Errorf("scheduler: %w", err)
+		}
+		sub, _ := e.fed.Owner(c.service)
+		rt.prepared[c.local] = preparedTx{sub: sub, tx: c.res.Tx, service: c.service, seq: c.seq, weak: c.weak}
+		ev := &engEvent{
+			proc: rt.id, local: c.local, service: c.service, kind: c.kind,
+			typ: schedule.Invoke, tentative: true,
+		}
+		e.appendEvent(ev, c.seq)
+		rt.committedSeq[c.local] = c.seq
+	}
+	return nil
+}
+
+// commitImmediately decides whether an activity's local transaction
+// commits right at completion. Compensatable activities always commit
+// (they are undoable); non-compensatable ones commit immediately only
+// when the mode ignores recovery (CCOnly) or never interleaves
+// (Serial/Conservative), or when the process has no active conflicting
+// predecessor (Lemma 1's deferral condition is already satisfied).
+func (e *Engine) commitImmediately(rt *procRT, kind activity.Kind) bool {
+	if kind == activity.Compensatable {
+		return true
+	}
+	switch e.cfg.Mode {
+	case CCOnly, Serial, Conservative:
+		return true
+	default:
+		return !e.hasActiveConflictPred(rt)
+	}
+}
+
+// hasActiveConflictPred reports whether any non-terminated process has
+// an edge into rt in the conflict graph.
+func (e *Engine) hasActiveConflictPred(rt *procRT) bool {
+	for k, n := range e.edges {
+		if n <= 0 || k[1] != rt.id {
+			continue
+		}
+		if q := e.byID[k[0]]; q != nil && q.state != psDone {
+			return true
+		}
+	}
+	return false
+}
+
+// subsystemOf names the owning subsystem of a service.
+func (e *Engine) subsystemOf(service string) string {
+	if sub, ok := e.fed.Owner(service); ok {
+		return sub.Name()
+	}
+	return ""
+}
+
+// appendEvent records an effective event and adds its conflict-graph
+// edges against all earlier effective events.
+func (e *Engine) appendEvent(ev *engEvent, seq int64) {
+	ev.seq = seq
+	// Inverse (compensating) events never contribute conflict-graph
+	// edges: the pair ⟨a a⁻¹⟩ is effect-free, and the Lemma-2 dispatch
+	// guard already verified no conflicting later work of another
+	// process exists before the compensation ran.
+	if ev.typ == schedule.Invoke && !ev.inverse {
+		for _, old := range e.events {
+			if old.erased || old.compensated || old.inverse || old.typ != schedule.Invoke || old.proc == ev.proc {
+				continue
+			}
+			if e.conflicts(old.service, ev.service) {
+				e.addEdge(old.proc, ev.proc)
+			}
+		}
+	}
+	e.events = append(e.events, ev)
+	e.bump()
+}
+
+func (e *Engine) addEdge(a, b process.ID) {
+	if a == b {
+		return
+	}
+	e.edges[[2]process.ID{a, b}]++
+}
+
+// removeEventEdges decrements the edges an event contributed when it is
+// erased (rollback) or compensated.
+func (e *Engine) removeEventEdges(ev *engEvent) {
+	for _, old := range e.events {
+		if old == ev || old.erased || old.compensated || old.inverse || old.typ != schedule.Invoke {
+			continue
+		}
+		if old.proc == ev.proc {
+			continue
+		}
+		if e.conflicts(old.service, ev.service) {
+			var key [2]process.ID
+			if old.seq < ev.seq {
+				key = [2]process.ID{old.proc, ev.proc}
+			} else {
+				key = [2]process.ID{ev.proc, old.proc}
+			}
+			if e.edges[key] > 0 {
+				e.edges[key]--
+			}
+		}
+	}
+	e.bump()
+}
+
+// wouldCycle reports whether adding edges from the given predecessors to
+// rt closes a cycle in the conflict graph.
+func (e *Engine) wouldCycle(preds map[process.ID]bool, to process.ID) bool {
+	// DFS from `to` over positive edges; if we reach any pred, the new
+	// edge pred->to closes a cycle.
+	stack := []process.ID{to}
+	seen := map[process.ID]bool{}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if n != to && preds[n] {
+			return true
+		}
+		for k, cnt := range e.edges {
+			if cnt > 0 && k[0] == n {
+				stack = append(stack, k[1])
+			}
+		}
+	}
+	return false
+}
+
+// conflictPreds returns, for a prospective activity of rt, the set of
+// processes with an earlier effective conflicting event.
+func (e *Engine) conflictPreds(rt *procRT, service string) map[process.ID]bool {
+	preds := make(map[process.ID]bool)
+	for svc, owners := range e.forced().bySvc {
+		if !e.conflicts(svc, service) {
+			continue
+		}
+		for p := range owners {
+			if p != rt.id {
+				preds[p] = true
+			}
+		}
+	}
+	return preds
+}
+
+// mayDispatch implements the per-activity scheduling rules.
+func (e *Engine) mayDispatch(rt *procRT, a *process.Activity) (bool, string) {
+	switch e.cfg.Mode {
+	case Serial, Conservative:
+		return true, "" // admission already serialized conflicts
+	}
+	preds := e.conflictPreds(rt, a.Service)
+	if e.cfg.Mode == CCOnly {
+		if len(preds) == 0 {
+			return true, ""
+		}
+		if e.wouldCycle(preds, rt.id) {
+			return false, "serializability: edge would close a cycle"
+		}
+		return true, ""
+	}
+	// PRED modes: dependencies on active processes are restricted.
+	for q := range preds {
+		qrt := e.byID[q]
+		if qrt == nil || qrt.state == psDone {
+			continue
+		}
+		if e.safeQuasiCommit(qrt, a.Service) {
+			continue
+		}
+		if e.cfg.Mode == PREDCascade && a.Kind == activity.Compensatable && qrt.state == psRunning &&
+			qrt.arrival <= rt.arrival && !e.forwardConflict(qrt, a.Service) {
+			// Figure-7 pattern: a compensatable activity may depend on
+			// an active process — if that process unwinds, the
+			// dependent is cascade-aborted first (Lemma 2 order). Two
+			// guards keep this from wedging: none of the predecessor's
+			// still-uncommitted services may conflict (a conflicting
+			// forward-recovery activity could not be cancelled, and a
+			// conflicting regular activity would later be blocked by
+			// *our* new survivor, wedging the predecessor behind its
+			// own follower); and dependencies may only point from older
+			// to younger processes (age priority), keeping the
+			// wait-for relation among deferred commits acyclic.
+			continue
+		}
+		return false, fmt.Sprintf("recovery: depends on active process %s (Lemma 1)", q)
+	}
+	// The dispatch must keep the forced ordering graph of the completed
+	// current schedule acyclic (prefix-reducibility, maintained
+	// inductively).
+	fc := e.forced()
+	if !fc.acyclicWith(fc.newEdges(rt.id, a.Service, false)) {
+		return false, "completed-schedule ordering would become cyclic"
+	}
+	if e.cfg.BlockPivots && a.Kind.NonCompensatable() && e.hasActiveConflictPred(rt) {
+		return false, "pivot blocked until predecessors terminate (ablation mode)"
+	}
+	return true, ""
+}
+
+// safeQuasiCommit reports whether q can no longer produce a recovery
+// activity conflicting with service: q is forward-recoverable and none
+// of its potential recovery services conflicts (Example 10).
+func (e *Engine) safeQuasiCommit(q *procRT, service string) bool {
+	if q.state != psRunning || q.inst.Mode() != process.FREC {
+		return false
+	}
+	for svc := range q.inst.PotentialRecoveryServices() {
+		if e.table.Conflicts(svc, service) {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardConflict reports whether q's potential forward recovery
+// services conflict with the given service.
+func (e *Engine) forwardConflict(q *procRT, service string) bool {
+	for svc := range q.inst.PotentialForwardServices() {
+		if e.conflicts(svc, service) {
+			return true
+		}
+	}
+	return false
+}
+
+// futureConflict reports whether any service q may still invoke (on any
+// path, any kind) conflicts with the given service.
+func (e *Engine) futureConflict(q *procRT, service string) bool {
+	for svc := range q.inst.UncommittedServices() {
+		if e.conflicts(svc, service) {
+			return true
+		}
+	}
+	return false
+}
+
+// lemma1ClearForward gates a forward-recovery invocation (StepInvoke):
+// it must not conflict-follow an effective activity of an active
+// process that could still need a conflicting recovery of its own
+// (the "arbitrary conflicts can be introduced to S̃" hazard of
+// Section 3.5). Aborting processes are waited for only through their
+// queued compensations (lemma3Clear); their remaining forward paths
+// merely order against ours.
+func (e *Engine) lemma1ClearForward(rt *procRT, st process.Step) bool {
+	for q := range e.conflictPreds(rt, st.Service) {
+		qrt := e.byID[q]
+		if qrt == nil || qrt.state == psDone || qrt.state == psAborting {
+			continue
+		}
+		if !e.safeQuasiCommit(qrt, st.Service) {
+			return false
+		}
+	}
+	return true
+}
+
+// handlePermanentFailure reacts to the definitive failure of a
+// compensatable or pivot activity (Definition 4).
+func (e *Engine) handlePermanentFailure(rt *procRT, c *completion) error {
+	e.log.Append(wal.Record{Type: wal.RecFailed, Proc: string(rt.id), Local: c.local, Service: c.service})
+	e.seq++
+	e.appendEvent(&engEvent{
+		proc: rt.id, local: c.local, service: c.service, kind: c.kind, typ: schedule.FailedInvoke,
+	}, e.seq)
+	plan, err := rt.inst.MarkFailed(c.local)
+	if err != nil {
+		return fmt.Errorf("scheduler: %w", err)
+	}
+	if rt.abortPending {
+		// An abort is already queued; its completion supersedes the
+		// failure's local plan.
+		return nil
+	}
+	if plan.Abort {
+		rt.restartable = false
+		rt.state = psAborting
+		rt.recovery = plan.Steps
+		e.log.Append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
+		e.seq++
+		e.appendEvent(&engEvent{proc: rt.id, typ: schedule.AbortBegin}, e.seq)
+		e.cascadeDependents(rt)
+		return nil
+	}
+	rt.recovery = plan.Steps
+	return nil
+}
+
+// beginAbort starts the abort A_i of a process, computing its completion
+// C(P_i) and queueing the steps.
+func (e *Engine) beginAbort(rt *procRT) error {
+	steps, err := rt.inst.Abort()
+	if err != nil {
+		return fmt.Errorf("scheduler: abort %s: %w", rt.id, err)
+	}
+	rt.abortPending = false
+	rt.state = psAborting
+	rt.recovery = steps
+	e.log.Append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
+	e.seq++
+	e.appendEvent(&engEvent{proc: rt.id, typ: schedule.AbortBegin}, e.seq)
+	e.cascadeDependents(rt)
+	return nil
+}
+
+// cascadeDependents aborts active processes that depend on rt through
+// conflict edges when rt's completion will compensate conflicting work
+// (cascading aborts, only possible in PREDCascade mode). The Lemma-2
+// dispatch guard makes the dependents' compensations execute before
+// rt's own.
+func (e *Engine) cascadeDependents(rt *procRT) {
+	if e.cfg.Mode != PREDCascade {
+		return
+	}
+	// Which bases will rt compensate, and from which position on?
+	type comp struct {
+		service string
+		baseSeq int64
+	}
+	comps := make([]comp, 0, len(rt.recovery))
+	for _, st := range rt.recovery {
+		if st.Kind == process.StepCompensate {
+			comps = append(comps, comp{st.Service, rt.committedSeq[st.Local]})
+		}
+	}
+	if len(comps) == 0 {
+		return
+	}
+	for k, n := range e.edges {
+		if n <= 0 || k[0] != rt.id {
+			continue
+		}
+		q := e.byID[k[1]]
+		if q == nil || q.state != psRunning || q.abortPending {
+			continue
+		}
+		// q must cascade only if it holds effective (uncompensated)
+		// work that conflicts with a compensation and was executed
+		// *after* the compensated base — only then would the base's
+		// compensation pair be blocked (Lemma 2 demands q's conflicting
+		// work unwinds first).
+		depends := false
+		for _, ev := range e.events {
+			if ev.proc != q.id || ev.erased || ev.compensated || ev.inverse || ev.typ != schedule.Invoke {
+				continue
+			}
+			for _, c := range comps {
+				if ev.seq > c.baseSeq && e.conflicts(ev.service, c.service) {
+					depends = true
+					break
+				}
+			}
+			if depends {
+				break
+			}
+		}
+		if !depends {
+			continue
+		}
+		e.metrics.Cascades++
+		q.abortPending = true
+		q.restartable = true
+	}
+}
+
+// dispatchRecoveryStep issues the next queued recovery step, honouring
+// the cross-process ordering constraints of Lemmas 2 and 3.
+func (e *Engine) dispatchRecoveryStep(rt *procRT) bool {
+	st := rt.recovery[0]
+	switch st.Kind {
+	case process.StepAbortPrepared:
+		// Resolve immediately (no subsystem work to simulate).
+		rt.recovery = rt.recovery[1:]
+		ptx, ok := rt.prepared[st.Local]
+		if ok {
+			if err := ptx.sub.AbortPrepared(ptx.tx); err == nil {
+				e.metrics.Rollbacks++
+				e.log.Append(wal.Record{
+					Type: wal.RecResolved, Proc: string(rt.id), Local: st.Local,
+					Service: ptx.service, Subsystem: ptx.sub.Name(), Tx: int64(ptx.tx), Commit: false,
+				})
+			}
+			delete(rt.prepared, st.Local)
+		}
+		// Erase the tentative event and its edges.
+		for _, ev := range e.events {
+			if ev.proc == rt.id && ev.local == st.Local && ev.tentative && !ev.erased {
+				ev.erased = true
+				e.removeEventEdges(ev)
+			}
+		}
+		_ = rt.inst.ApplyStep(st)
+		e.bump()
+		return true
+	case process.StepCompensate:
+		if e.cfg.Mode != CCOnly && !e.lemma2Clear(rt, st) {
+			e.metrics.PolicyWaits++
+			return false
+		}
+		return e.invoke(rt, st.Local, st.Service, activity.Compensation, true, st)
+	case process.StepInvoke:
+		if e.cfg.Mode != CCOnly {
+			if !e.lemma3Clear(rt, st) {
+				e.debugDeny(rt, st, "lemma3")
+				e.metrics.PolicyWaits++
+				return false
+			}
+			if !e.lemma1ClearForward(rt, st) {
+				e.debugDeny(rt, st, "lemma1fwd")
+				e.metrics.PolicyWaits++
+				return false
+			}
+			// Forced-order check: wait while the step's new edges close
+			// a cycle that waiting can still break (some process on the
+			// cycle path is active). A cycle whose other participants
+			// already terminated cannot be avoided — the completion
+			// step must run eventually, so it proceeds.
+			fc := e.forced()
+			if !fc.acyclicWithActive(fc.newEdges(rt.id, st.Service, true), func(id process.ID) bool {
+				q := e.byID[id]
+				return q != nil && q.state != psDone
+			}) {
+				e.debugDeny(rt, st, "forced-cycle")
+				e.metrics.PolicyWaits++
+				return false
+			}
+			// Defer to aborting processes whose queued conflicting
+			// forward steps are forced before ours. When forced paths
+			// exist in both directions (over-approximated soft edges),
+			// the tie breaks by age then id, so exactly one side
+			// proceeds and the mutual wait cannot deadlock.
+			for _, o := range e.procs {
+				if o == rt || o.state != psAborting {
+					continue
+				}
+				for _, os := range o.recovery {
+					if os.Kind != process.StepInvoke || !e.conflicts(os.Service, st.Service) {
+						continue
+					}
+					if !fc.pathExists(o.id, rt.id) {
+						continue
+					}
+					if fc.pathExists(rt.id, o.id) {
+						// Mutual: older (or lower id) goes first.
+						if rt.arrival < o.arrival || (rt.arrival == o.arrival && rt.id < o.id) {
+							continue
+						}
+					}
+					e.debugDeny(rt, st, fmt.Sprintf("defer-to-%s", o.id))
+					e.metrics.PolicyWaits++
+					return false
+				}
+			}
+		}
+		a := rt.def.Activity(st.Local)
+		return e.invoke(rt, st.Local, st.Service, a.Kind, true, st)
+	}
+	return false
+}
+
+// lemma2Clear enforces the cross-process reverse order of compensations:
+// the compensation of an activity executed at sequence T must wait while
+// another active process still has effective conflicting work executed
+// after T (that process compensates first — it is cascading).
+func (e *Engine) lemma2Clear(rt *procRT, st process.Step) bool {
+	baseSeq := rt.committedSeq[st.Local]
+	for _, ev := range e.events {
+		if ev.proc == rt.id || ev.erased || ev.compensated || ev.inverse || ev.typ != schedule.Invoke {
+			continue
+		}
+		if ev.seq <= baseSeq {
+			continue
+		}
+		q := e.byID[ev.proc]
+		if q == nil || q.state == psDone {
+			continue
+		}
+		if e.conflicts(ev.service, st.Service) {
+			return false
+		}
+	}
+	return true
+}
+
+// lemma3Clear defers a forward-recovery invocation while another active
+// process has a conflicting compensation still queued: compensations
+// precede conflicting retriable activities in the completion (Lemma 3).
+func (e *Engine) lemma3Clear(rt *procRT, st process.Step) bool {
+	for _, o := range e.procs {
+		if o == rt || o.state == psDone {
+			continue
+		}
+		for _, os := range o.recovery {
+			if os.Kind == process.StepCompensate && e.conflicts(os.Service, st.Service) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// handleStepCompletion finishes a recovery-step invocation.
+func (e *Engine) handleStepCompletion(rt *procRT, c *completion) error {
+	rt.recoveryBusy = false
+	rt.recoveryBusySvc = ""
+	e.bump()
+	if c.failed {
+		// Compensations and forward-recovery activities are retriable;
+		// transient failures are re-invoked.
+		e.metrics.Retries++
+		return nil
+	}
+	// Commit the step's local transaction now.
+	sub, _ := e.fed.Owner(c.service)
+	if err := sub.CommitPrepared(c.res.Tx); err != nil {
+		return fmt.Errorf("scheduler: commit step %s/%s: %w", rt.id, c.service, err)
+	}
+	if len(rt.recovery) > 0 && rt.recovery[0] == c.step {
+		rt.recovery = rt.recovery[1:]
+	}
+	switch c.step.Kind {
+	case process.StepCompensate:
+		e.metrics.Compensations++
+		e.log.Append(wal.Record{Type: wal.RecCompensate, Proc: string(rt.id), Local: c.local, Service: c.service})
+		// The base event stops contributing conflicts.
+		for _, ev := range e.events {
+			if ev.proc == rt.id && ev.local == c.local && !ev.inverse && !ev.compensated && !ev.erased && ev.typ == schedule.Invoke {
+				ev.compensated = true
+				e.removeEventEdges(ev)
+			}
+		}
+		e.appendEvent(&engEvent{
+			proc: rt.id, local: c.local, service: c.service,
+			kind: activity.Compensation, typ: schedule.Invoke, inverse: true,
+		}, c.seq)
+	case process.StepInvoke:
+		e.log.Append(wal.Record{
+			Type: wal.RecOutcome, Proc: string(rt.id), Local: c.local, Service: c.service,
+			Subsystem: sub.Name(), Tx: int64(c.res.Tx), Outcome: "committed",
+		})
+		e.appendEvent(&engEvent{
+			proc: rt.id, local: c.local, service: c.service, kind: c.kind, typ: schedule.Invoke,
+		}, c.seq)
+		rt.committedSeq[c.local] = c.seq
+	}
+	if err := rt.inst.ApplyStep(c.step); err != nil {
+		return fmt.Errorf("scheduler: %w", err)
+	}
+	return nil
+}
+
+// tryFinish commits a process whose selected path has fully executed:
+// the prepared non-compensatable activities are committed atomically
+// via 2PC once no active conflicting predecessor remains (Lemma 1),
+// then C_i is emitted.
+func (e *Engine) tryFinish(rt *procRT) bool {
+	if len(rt.prepared) > 0 {
+		if e.hasActiveConflictPred(rt) {
+			return false
+		}
+		if !e.commitPreparedSet(rt) {
+			return false
+		}
+	}
+	e.terminate(rt, true)
+	return true
+}
+
+// commitPreparedSet performs the atomic 2PC commit of rt's prepared set.
+func (e *Engine) commitPreparedSet(rt *procRT) bool {
+	locals := make([]int, 0, len(rt.prepared))
+	for l := range rt.prepared {
+		// Skip transactions already marked for rollback (a failure plan
+		// abandoned their branch; the queued StepAbortPrepared resolves
+		// them).
+		if rt.inst.Status(l) == process.Prepared {
+			locals = append(locals, l)
+		}
+	}
+	sort.Ints(locals)
+	if len(locals) == 0 {
+		return true
+	}
+	// Weak-order preflight: every weakly invoked participant must be
+	// committable (its commit-order predecessors committed). A still-
+	// pending predecessor delays the whole set; an aborted predecessor
+	// rolls the participant back for re-invocation.
+	for _, l := range locals {
+		ptx := rt.prepared[l]
+		if !ptx.weak {
+			continue
+		}
+		switch err := ptx.sub.WeakCommittable(ptx.tx); {
+		case errors.Is(err, subsystem.ErrOrder):
+			e.metrics.WeakOrderWaits++
+			return false
+		case errors.Is(err, subsystem.ErrDependencyAborted):
+			e.metrics.WeakRestarts++
+			if err := ptx.sub.AbortPrepared(ptx.tx); err != nil {
+				panic(fmt.Sprintf("scheduler: weak rollback: %v", err))
+			}
+			if err := rt.inst.ResetPrepared(l); err != nil {
+				panic(fmt.Sprintf("scheduler: %v", err))
+			}
+			for _, ev := range e.events {
+				if ev.proc == rt.id && ev.local == l && ev.tentative && !ev.erased {
+					ev.erased = true
+					e.removeEventEdges(ev)
+				}
+			}
+			delete(rt.prepared, l)
+			e.bump()
+			return false // the activity re-invokes; try again later
+		case err != nil:
+			panic(fmt.Sprintf("scheduler: weak committable: %v", err))
+		}
+	}
+	parts := make([]twopc.Participant, 0, len(locals))
+	for _, l := range locals {
+		ptx := rt.prepared[l]
+		parts = append(parts, twopc.Participant{
+			Sub: ptx.sub, Tx: ptx.tx, Proc: string(rt.id), Local: l, Service: ptx.service,
+		})
+	}
+	if err := e.coord.CommitAll(string(rt.id), parts); err != nil {
+		panic(fmt.Sprintf("scheduler: 2PC commit of %s: %v", rt.id, err))
+	}
+	for _, l := range locals {
+		e.metrics.TwoPCCommits++
+		if err := rt.inst.MarkCommitted(l); err != nil {
+			panic(fmt.Sprintf("scheduler: %v", err))
+		}
+		// The activity joins the observed schedule at its *commit*
+		// point, not its prepare point: its commit was deferred, and a
+		// prefix of the schedule cut between prepare and commit must
+		// not contain it (the subsystem's locks guarantee no
+		// conflicting activity ran in between, so moving it is
+		// conflict-order preserving).
+		for i, ev := range e.events {
+			if ev.proc == rt.id && ev.local == l && ev.tentative && !ev.erased {
+				ev.tentative = false
+				e.seq++
+				ev.seq = e.seq
+				e.events = append(append(e.events[:i:i], e.events[i+1:]...), ev)
+				rt.committedSeq[l] = ev.seq
+				break
+			}
+		}
+		delete(rt.prepared, l)
+	}
+	e.bump()
+	return true
+}
+
+// commitDeferredIfPossible is called when a process terminates: other
+// processes waiting on it may now commit their prepared sets and
+// continue (their successors were deferred).
+func (e *Engine) commitDeferredIfPossible() {
+	for _, rt := range e.procs {
+		if rt.state != psRunning || len(rt.prepared) == 0 || rt.abortPending || len(rt.recovery) > 0 {
+			continue
+		}
+		if !e.hasActiveConflictPred(rt) {
+			e.commitPreparedSet(rt)
+		}
+	}
+}
+
+// finishAbort concludes an abort whose completion steps have drained.
+func (e *Engine) finishAbort(rt *procRT) {
+	// Roll back any leftover prepared transactions (safety net; the
+	// completion normally contains explicit StepAbortPrepared steps).
+	for l, ptx := range rt.prepared {
+		if err := ptx.sub.AbortPrepared(ptx.tx); err == nil {
+			e.metrics.Rollbacks++
+			e.log.Append(wal.Record{
+				Type: wal.RecResolved, Proc: string(rt.id), Local: l,
+				Service: ptx.service, Subsystem: ptx.sub.Name(), Tx: int64(ptx.tx), Commit: false,
+			})
+		}
+		for _, ev := range e.events {
+			if ev.proc == rt.id && ev.local == l && ev.tentative && !ev.erased {
+				ev.erased = true
+				e.removeEventEdges(ev)
+			}
+		}
+		delete(rt.prepared, l)
+	}
+	e.terminate(rt, false)
+	if rt.restartable && rt.restarts < e.cfg.MaxRestarts {
+		e.restart(rt)
+	}
+}
+
+// terminate emits the terminal event of a process.
+func (e *Engine) terminate(rt *procRT, committed bool) {
+	rt.state = psDone
+	rt.end = e.clock
+	out := e.outcomes[rt.id]
+	out.End = e.clock
+	out.Committed = committed
+	out.Aborted = !committed
+	if committed {
+		e.metrics.CommittedProcs++
+	} else {
+		e.metrics.AbortedProcs++
+	}
+	e.log.Append(wal.Record{Type: wal.RecTerminate, Proc: string(rt.id), Committed: committed})
+	e.seq++
+	e.appendEvent(&engEvent{proc: rt.id, typ: schedule.Terminate, committed: committed}, e.seq)
+	rt.inst.MarkTerminated(committed)
+	e.commitDeferredIfPossible()
+}
+
+// restart re-enters an aborted process as a fresh instance under a
+// derived id.
+func (e *Engine) restart(rt *procRT) {
+	e.metrics.Restarts++
+	newID := process.ID(fmt.Sprintf("%s+r%d", rt.origin, rt.restarts+1))
+	def := rt.def.WithID(newID)
+	nrt := e.newRT(def, rt.arrival, rt.origin)
+	nrt.restarts = rt.restarts + 1
+	// Exponential backoff before re-entry, so the contention that
+	// caused the abort can drain first.
+	nrt.arrivalTime = e.clock + int64(4<<nrt.restarts)
+	e.outcomes[newID].Restarts = nrt.restarts
+	e.pending = append(e.pending, nrt) // admitted (and logged) at its backoff arrival
+}
+
+// debugDeny traces step denials when DebugFirstStall is on.
+func (e *Engine) debugDeny(rt *procRT, st process.Step, why string) {
+	if e.cfg.DebugFirstStall && e.metrics.PolicyWaits%500 == 0 {
+		fmt.Printf("DENY step %s/%v: %s (clock %d)\n", rt.id, st, why, e.clock)
+	}
+}
+
+// stallDump renders the engine state for stall diagnostics.
+func (e *Engine) stallDump() string {
+	s := fmt.Sprintf("clock=%d pending=%d\n", e.clock, len(e.pending))
+	for _, rt := range e.procs {
+		if rt.state == psDone {
+			continue
+		}
+		s += fmt.Sprintf("  %s state=%d mode=%v done=%v running=%d recovery=%d busy=%v abortPending=%v prepared=%d frontier=%v\n",
+			rt.id, rt.state, rt.inst.Mode(), rt.inst.Done(), len(rt.running), len(rt.recovery), rt.recoveryBusy, rt.abortPending, len(rt.prepared), rt.inst.Frontier())
+		if len(rt.recovery) > 0 {
+			st := rt.recovery[0]
+			s += fmt.Sprintf("    next step: %v\n", st)
+			if st.Kind == process.StepInvoke {
+				fc := e.forced()
+				ok := fc.acyclicWithActive(fc.newEdges(rt.id, st.Service, true), func(id process.ID) bool {
+					q := e.byID[id]
+					return q != nil && q.state != psDone
+				})
+				s += fmt.Sprintf("    gates: lemma3=%v lemma1fwd=%v forced=%v newEdges=%v\n",
+					e.lemma3Clear(rt, st), e.lemma1ClearForward(rt, st), ok, fc.newEdges(rt.id, st.Service, true))
+			}
+		}
+	}
+	for k, n := range e.edges {
+		if n > 0 {
+			s += fmt.Sprintf("  edge %s->%s (%d)\n", k[0], k[1], n)
+		}
+	}
+	for sub, recs := range e.fed.InDoubt() {
+		s += fmt.Sprintf("  in-doubt at %s: %v\n", sub, recs)
+	}
+	for _, ev := range e.events {
+		if ev.typ != schedule.Invoke {
+			continue
+		}
+		s += fmt.Sprintf("  ev seq=%d %s/%d %s inv=%v tent=%v comp=%v erased=%v\n",
+			ev.seq, ev.proc, ev.local, ev.service, ev.inverse, ev.tentative, ev.compensated, ev.erased)
+	}
+	return s
+}
+
+// resolveStall aborts one blocked process to break a scheduling stall.
+func (e *Engine) resolveStall() bool {
+	var victim *procRT
+	for _, rt := range e.procs {
+		if rt.state != psRunning || len(rt.running) > 0 || rt.recoveryBusy || rt.abortPending {
+			continue
+		}
+		if rt.inst.Done() {
+			continue // waiting to finish, not a dispatch stall
+		}
+		if victim == nil || rt.arrival > victim.arrival {
+			victim = rt
+		}
+	}
+	if victim == nil {
+		// A done process blocked on its deferred 2PC commit can still
+		// deadlock with an aborting process's completion; abort it too
+		// (it restarts afterwards).
+		for _, rt := range e.procs {
+			if rt.state != psRunning || len(rt.running) > 0 || rt.recoveryBusy || rt.abortPending {
+				continue
+			}
+			if rt.inst.Done() && len(rt.prepared) > 0 && e.hasActiveConflictPred(rt) {
+				if victim == nil || rt.arrival > victim.arrival {
+					victim = rt
+				}
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	if e.cfg.DebugFirstStall && e.metrics.VictimAborts == 0 {
+		fmt.Printf("FIRST STALL victim=%s\n%s\n", victim.id, e.stallDump())
+	}
+	e.metrics.VictimAborts++
+	victim.restartable = true
+	victim.abortPending = true
+	return e.dispatchProc(victim)
+}
+
+// buildSchedule materializes the observed process schedule from the
+// finalized events.
+func (e *Engine) buildSchedule() *schedule.Schedule {
+	s := schedule.MustNew(e.table.Clone())
+	for _, p := range e.allProcs {
+		if err := s.AddProcess(p); err != nil {
+			panic(err)
+		}
+	}
+	for _, ev := range e.events {
+		if ev.erased || ev.tentative {
+			continue
+		}
+		s.AppendUnchecked(schedule.Event{
+			Type: ev.typ, Proc: ev.proc, Local: ev.local, Service: ev.service,
+			Kind: ev.kind, Inverse: ev.inverse, Committed: ev.committed, Group: ev.group,
+		})
+	}
+	return s
+}

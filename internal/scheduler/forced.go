@@ -1,0 +1,270 @@
+package scheduler
+
+import (
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+)
+
+// forcedCtx captures, for one dispatch round, the *forced* ordering
+// edges of the completed current schedule: conflicts between surviving
+// executed activities, and conflicts between a surviving executed
+// activity and a potential completion activity of an active process
+// (completion activities are appended after everything executed, so such
+// a conflict forces the executed activity's process before the active
+// one). Prefix-reducibility is maintained inductively by refusing any
+// dispatch whose new forced edges would close a cycle — the operational
+// form of "the completed process schedule S̃ has always to be considered"
+// (Section 3.5).
+type forcedCtx struct {
+	e *Engine
+	// pots maps each non-terminated process to the services its future
+	// completions might still invoke. For running processes this is the
+	// potential recovery set; for aborting processes the services of
+	// their queued forward steps.
+	pots map[process.ID]map[string]bool
+	// bySvc indexes the surviving effective activities (executed and
+	// not compensated/erased, plus in-flight invocations) by service:
+	// service -> set of owning processes.
+	bySvc map[string]map[process.ID]bool
+	// edges is the forced edge set.
+	edges map[[2]process.ID]bool
+}
+
+// newForcedCtx builds the round context.
+func (e *Engine) newForcedCtx() *forcedCtx {
+	f := &forcedCtx{
+		e:     e,
+		pots:  make(map[process.ID]map[string]bool),
+		bySvc: make(map[string]map[process.ID]bool),
+		edges: make(map[[2]process.ID]bool),
+	}
+	for _, rt := range e.procs {
+		switch rt.state {
+		case psRunning:
+			f.pots[rt.id] = rt.inst.PotentialRecoveryServices()
+		case psAborting:
+			set := make(map[string]bool)
+			for _, st := range rt.recovery {
+				if st.Kind == process.StepInvoke {
+					set[st.Service] = true
+				}
+			}
+			f.pots[rt.id] = set
+		}
+	}
+	add := func(proc process.ID, svc string) {
+		set := f.bySvc[svc]
+		if set == nil {
+			set = make(map[process.ID]bool)
+			f.bySvc[svc] = set
+		}
+		set[proc] = true
+	}
+	for _, ev := range e.events {
+		if ev.typ != schedule.Invoke || ev.erased || ev.compensated || ev.inverse {
+			continue
+		}
+		add(ev.proc, ev.service)
+	}
+	// In-flight invocations participate as survivors: they will commit
+	// (or vanish atomically) and their pending conflict edges must be
+	// visible to concurrent dispatch decisions.
+	for _, rt := range e.procs {
+		for _, svc := range rt.running {
+			add(rt.id, svc)
+		}
+		if rt.recoveryBusy && rt.recoveryBusySvc != "" {
+			add(rt.id, rt.recoveryBusySvc)
+		}
+	}
+	// Executed-executed edges.
+	for k, n := range e.edges {
+		if n > 0 {
+			f.edges[k] = true
+		}
+	}
+	// Executed-vs-potential-completion edges, computed per distinct
+	// (survivor service, process potential) pair.
+	for svc, owners := range f.bySvc {
+		for q, pot := range f.pots {
+			if !f.conflictsAny(pot, svc) {
+				continue
+			}
+			for p := range owners {
+				if p != q {
+					f.edges[[2]process.ID{p, q}] = true
+				}
+			}
+		}
+	}
+	return f
+}
+
+func (f *forcedCtx) conflictsAny(pot map[string]bool, service string) bool {
+	for svc := range pot {
+		if f.e.conflicts(svc, service) {
+			return true
+		}
+	}
+	return false
+}
+
+// newEdges computes the forced edges a dispatch of service by proc would
+// add. When the dispatch is a queued forward-recovery step, potential
+// sets of other *aborting* processes do not force edges (the relative
+// order of two queued forward steps is free and realized by actual
+// execution order).
+func (f *forcedCtx) newEdges(proc process.ID, service string, isStep bool) [][2]process.ID {
+	var out [][2]process.ID
+	for svc, owners := range f.bySvc {
+		if !f.e.conflicts(svc, service) {
+			continue
+		}
+		for p := range owners {
+			if p != proc {
+				out = append(out, [2]process.ID{p, proc})
+			}
+		}
+	}
+	for q, pot := range f.pots {
+		if q == proc {
+			continue
+		}
+		if isStep {
+			if qrt := f.e.byID[q]; qrt != nil && qrt.state == psAborting {
+				continue
+			}
+		}
+		if f.conflictsAny(pot, service) {
+			out = append(out, [2]process.ID{proc, q})
+		}
+	}
+	return out
+}
+
+// acyclicWith reports whether none of the given new edges closes a
+// cycle through itself in (base ∪ extra). The base contains
+// conservative soft edges (conflicts with *potential* completions);
+// such over-approximated edges may already form phantom cycles among
+// other processes, which must not veto unrelated dispatches — only a
+// cycle that the candidate's own edges participate in is a reason to
+// deny.
+func (f *forcedCtx) acyclicWith(extra [][2]process.ID) bool {
+	if len(extra) == 0 {
+		return true
+	}
+	adj := make(map[process.ID][]process.ID, len(f.edges)+len(extra))
+	for k := range f.edges {
+		if k[0] != k[1] {
+			adj[k[0]] = append(adj[k[0]], k[1])
+		}
+	}
+	for _, k := range extra {
+		if k[0] != k[1] {
+			adj[k[0]] = append(adj[k[0]], k[1])
+		}
+	}
+	reaches := func(from, to process.ID) bool {
+		stack := []process.ID{from}
+		seen := map[process.ID]bool{}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, adj[n]...)
+		}
+		return false
+	}
+	for _, k := range extra {
+		if k[0] == k[1] {
+			continue
+		}
+		if reaches(k[1], k[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+// acyclicWithActive is acyclicWith, but a cycle only counts when at
+// least one process on the closing path satisfies isActive — cycles
+// consisting entirely of terminated processes cannot be avoided by
+// waiting.
+func (f *forcedCtx) acyclicWithActive(extra [][2]process.ID, isActive func(process.ID) bool) bool {
+	if len(extra) == 0 {
+		return true
+	}
+	adj := make(map[process.ID][]process.ID, len(f.edges)+len(extra))
+	for k := range f.edges {
+		if k[0] != k[1] {
+			adj[k[0]] = append(adj[k[0]], k[1])
+		}
+	}
+	for _, k := range extra {
+		if k[0] != k[1] {
+			adj[k[0]] = append(adj[k[0]], k[1])
+		}
+	}
+	for _, k := range extra {
+		if k[0] == k[1] {
+			continue
+		}
+		// BFS from k[1] to k[0]; remember whether any intermediate (or
+		// the endpoints) are active.
+		type node struct {
+			id        process.ID
+			sawActive bool
+		}
+		start := node{k[1], isActive(k[1]) || isActive(k[0])}
+		stack := []node{start}
+		best := make(map[process.ID]int) // 0 unseen, 1 seen-inactive, 2 seen-active
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			level := 1
+			if n.sawActive {
+				level = 2
+			}
+			if best[n.id] >= level {
+				continue
+			}
+			best[n.id] = level
+			if n.id == k[0] && n.sawActive {
+				return false
+			}
+			for _, m := range adj[n.id] {
+				stack = append(stack, node{m, n.sawActive || isActive(m)})
+			}
+		}
+	}
+	return true
+}
+
+// pathExists reports whether a forced path from a to b exists.
+func (f *forcedCtx) pathExists(a, b process.ID) bool {
+	stack := []process.ID{a}
+	seen := make(map[process.ID]bool)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for k := range f.edges {
+			if k[0] == n {
+				stack = append(stack, k[1])
+			}
+		}
+	}
+	return false
+}

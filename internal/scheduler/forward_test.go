@@ -1,0 +1,160 @@
+package scheduler_test
+
+import (
+	"strings"
+	"testing"
+
+	"transproc/internal/activity"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+	"transproc/internal/scheduler"
+	"transproc/internal/subsystem"
+	"transproc/internal/workload"
+)
+
+// TestAvoidancePreventsWedge constructs a deterministic mutual
+// wait between two processes that a lock-based scheduler would resolve
+// with a victim abort; the avoidance protocol's forced-order graph
+// instead refuses the wedge-forming dispatch up front and serializes
+// the two processes — no abort needed.
+//
+//	Pa: c(h1) ≪ c(h2) ≪ p ≪ r(x)
+//	Pb: c(h2) ≪ p ≪ ( c(h1) ≪ r(x) | r(h2) )
+//
+// Pa blocks on c(h2): Pb is active and its potential recovery services
+// include h2. Pb blocks on c(h1): Pa is active and backward-recoverable.
+// The stall resolver aborts Pb (younger); its completion runs the
+// lowest-priority alternative r(h2) as a forward recovery invocation,
+// then Pb restarts once Pa finished.
+func TestAvoidancePreventsWedge(t *testing.T) {
+	sub := subsystem.New("rm", 1)
+	reg := func(name string, kind activity.Kind, item string) {
+		spec := activity.Spec{Name: name, Kind: kind, Subsystem: "rm", WriteSet: []string{item}, Cost: 1}
+		if kind == activity.Compensatable {
+			spec.Compensation = name + "⁻¹"
+		}
+		sub.MustRegister(spec)
+	}
+	reg("cH1", activity.Compensatable, "h1")
+	reg("cH1b", activity.Compensatable, "h1")
+	reg("cH2", activity.Compensatable, "h2")
+	reg("cH2b", activity.Compensatable, "h2")
+	reg("rH2", activity.Retriable, "h2")
+	reg("piv", activity.Pivot, "pv1")
+	reg("piv2", activity.Pivot, "pv2")
+	reg("rX", activity.Retriable, "x")
+	fed := subsystem.NewFederation()
+	fed.MustAdd(sub)
+
+	pa := process.NewBuilder("Pa").
+		Add(1, "cH1", activity.Compensatable).
+		Add(2, "cH2", activity.Compensatable).
+		Add(3, "piv", activity.Pivot).
+		Add(4, "rX", activity.Retriable).
+		Seq(1, 2).Seq(2, 3).Seq(3, 4).
+		MustBuild()
+	pb := process.NewBuilder("Pb").
+		Add(1, "cH2b", activity.Compensatable).
+		Add(2, "piv2", activity.Pivot).
+		Add(3, "cH1b", activity.Compensatable).
+		Add(4, "rX", activity.Retriable).
+		Add(5, "rH2", activity.Retriable).
+		Seq(1, 2).
+		Chain(2, 3, 5). // preferred c(h1) continuation, retriable alternative
+		Seq(3, 4).
+		MustBuild()
+
+	eng, err := scheduler.New(fed, scheduler.Config{Mode: scheduler.PRED})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run([]*process.Process{pa, pb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := verifySchedule(t, res)
+	if !res.Outcomes["Pa"].Committed {
+		t.Fatalf("Pa must commit: %s", s)
+	}
+	// The forced-order graph sees the potential wedge through the
+	// processes' *potential* services and serializes them up front: no
+	// victim abort is ever needed, and both processes commit. (The
+	// engine's actual forward-recovery path is exercised by
+	// TestForwardRecoveryWorkload below, where multi-party contention
+	// defeats avoidance.)
+	if res.Metrics.VictimAborts != 0 {
+		t.Fatalf("avoidance mode should have prevented the wedge: %s", s)
+	}
+	if !res.Outcomes["Pb"].Committed {
+		t.Fatalf("Pb must commit: %s", s)
+	}
+	if strings.Contains(s.String(), "(ab)") {
+		t.Fatalf("no aborts expected: %s", s)
+	}
+	for item, v := range fed.Snapshot() {
+		if v < 0 {
+			t.Fatalf("%s negative", item)
+		}
+	}
+}
+
+// TestForwardRecoveryWorkload pins a workload (found by search) where
+// high contention forces victim aborts of forward-recoverable
+// processes: the engine executes forward recovery invocations between
+// A_i and C_i(ab), through the Lemma-3 and forced-order gates, and the
+// result remains PRED and consistent.
+func TestForwardRecoveryWorkload(t *testing.T) {
+	p := workload.DefaultProfile(218)
+	p.Processes = 16
+	p.ConflictProb = 0.85
+	p.PermFailureProb = 0.2
+	p.ParallelProb = 0.5
+	w := workload.MustGenerate(p)
+	eng, err := scheduler.New(w.Fed, scheduler.Config{Mode: scheduler.PRED})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.RunJobs(w.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.VictimAborts == 0 {
+		t.Fatal("scenario must produce victim aborts (seed drift?)")
+	}
+	// Find a forward recovery invocation: a retriable Invoke between an
+	// AbortBegin and the abort termination of the same process.
+	evs := res.Schedule.Events()
+	forward := false
+	for i, e := range evs {
+		if e.Type != schedule.AbortBegin {
+			continue
+		}
+		for j := i + 1; j < len(evs); j++ {
+			f := evs[j]
+			if f.Proc != e.Proc {
+				continue
+			}
+			if f.Type == schedule.Invoke && !f.Inverse && f.Kind == activity.Retriable {
+				forward = true
+			}
+			if f.Type == schedule.Terminate {
+				break
+			}
+		}
+	}
+	if !forward {
+		t.Fatal("no forward recovery invocation found (seed drift?)")
+	}
+	ok, at, _, err := res.Schedule.PRED()
+	if err != nil || !ok {
+		t.Fatalf("PRED = %v at=%d err=%v", ok, at, err)
+	}
+	for item, v := range w.Fed.Snapshot() {
+		if v < 0 {
+			t.Fatalf("%s negative (%d)", item, v)
+		}
+	}
+	if n := len(w.Fed.InDoubt()); n != 0 {
+		t.Fatalf("%d in-doubt transactions remain", n)
+	}
+}

@@ -1,0 +1,305 @@
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"transproc/internal/process"
+	"transproc/internal/subsystem"
+	"transproc/internal/twopc"
+	"transproc/internal/wal"
+)
+
+// RecoveryReport summarizes what crash recovery did.
+type RecoveryReport struct {
+	// Resolved2PC counts in-doubt transactions committed / rolled back
+	// during resolution (presumed commit after a logged decision,
+	// presumed abort otherwise).
+	Resolved2PCCommitted int
+	Resolved2PCAborted   int
+	// BackwardRecovered lists processes completed by compensation.
+	BackwardRecovered []process.ID
+	// ForwardRecovered lists processes completed by their forward
+	// recovery path.
+	ForwardRecovered []process.ID
+	// AlreadyTerminated lists processes the log shows as terminated.
+	AlreadyTerminated []process.ID
+	// Compensations and ForwardInvocations executed during recovery.
+	Compensations      int
+	ForwardInvocations int
+}
+
+// Recover performs crash recovery: it analyzes the write-ahead log,
+// resolves in-doubt two-phase-commit transactions, rebuilds the state of
+// every active process, and executes the group abort of Definition 8.2b
+// — compensating B-REC processes backward and driving F-REC processes
+// forward along their retriable paths. Compensations across processes
+// run in reverse global order of their base activities (Lemma 2) and
+// before conflicting forward invocations (Lemma 3).
+//
+// The federation must be the surviving subsystem state; defs the process
+// definitions known to the scheduler (by original id).
+func Recover(fed *subsystem.Federation, log wal.Log, defs []*process.Process) (*RecoveryReport, error) {
+	recs, err := log.Records()
+	if err != nil {
+		return nil, err
+	}
+	images, err := wal.Analyze(recs)
+	if err == wal.ErrNoLog {
+		return &RecoveryReport{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[process.ID]*process.Process, len(defs))
+	for _, p := range defs {
+		byID[p.ID] = p
+	}
+
+	coord := twopc.New(log)
+	report := &RecoveryReport{}
+
+	// Deterministic order over processes.
+	var ids []string
+	for id := range images {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	// Phase 1: resolve in-doubt transactions (presumed commit when a
+	// decision record exists, presumed abort otherwise).
+	for _, id := range ids {
+		img := images[id]
+		c, a, err := coord.Resolve(fed, img)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: resolving 2PC for %s: %w", id, err)
+		}
+		report.Resolved2PCCommitted += c
+		report.Resolved2PCAborted += a
+	}
+
+	// Phase 1b: orphaned in-doubt transactions. An invocation may have
+	// been dispatched (locks acquired, transaction prepared at the
+	// subsystem) without its outcome reaching the log before the crash.
+	// The log then has no prepared record, so the coordinator presumes
+	// abort: any subsystem in-doubt transaction not known to the log is
+	// rolled back — the classical "no prepare record → abort" rule.
+	known := make(map[string]map[int64]bool) // subsystem -> tx set
+	for _, img := range images {
+		for _, ptx := range img.Prepared {
+			if known[ptx.Subsystem] == nil {
+				known[ptx.Subsystem] = make(map[int64]bool)
+			}
+			known[ptx.Subsystem][ptx.Tx] = true
+		}
+	}
+	for subName, recsInDoubt := range fed.InDoubt() {
+		sub, _ := fed.Subsystem(subName)
+		for _, r := range recsInDoubt {
+			if known[subName][int64(r.Tx)] {
+				continue
+			}
+			if err := sub.AbortPrepared(r.Tx); err != nil {
+				return nil, fmt.Errorf("scheduler: aborting orphaned transaction %d at %s: %w", r.Tx, subName, err)
+			}
+			report.Resolved2PCAborted++
+		}
+	}
+
+	// Re-read the log: phase 1 appended resolution records that the
+	// instance rebuild must observe (a decided prepared transaction is
+	// now committed, an undecided one rolled back).
+	recs, err = log.Records()
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: rebuild instances of active processes and compute their
+	// completions.
+	type pendingCompletion struct {
+		id    process.ID
+		def   *process.Process
+		inst  *process.Instance
+		steps []process.Step
+		// seqOf maps a local id to the WAL position of its commit, for
+		// the global reverse ordering of compensations.
+		seqOf map[int]int
+	}
+	var completions []*pendingCompletion
+	for _, id := range ids {
+		img := images[id]
+		if img.Terminated {
+			report.AlreadyTerminated = append(report.AlreadyTerminated, process.ID(id))
+			continue
+		}
+		def := byID[resolveOrigin(process.ID(id))]
+		if def == nil {
+			return nil, fmt.Errorf("scheduler: recovery found unknown process %q in the log", id)
+		}
+		if def.ID != process.ID(id) {
+			def = def.WithID(process.ID(id))
+		}
+		inst, seqOf, err := rebuildInstance(def, recs)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: rebuilding %s: %w", id, err)
+		}
+		mode := inst.Mode()
+		steps, err := inst.Abort()
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: completion of %s: %w", id, err)
+		}
+		completions = append(completions, &pendingCompletion{
+			id: process.ID(id), def: def, inst: inst, steps: steps, seqOf: seqOf,
+		})
+		if mode == process.BREC {
+			report.BackwardRecovered = append(report.BackwardRecovered, process.ID(id))
+		} else {
+			report.ForwardRecovered = append(report.ForwardRecovered, process.ID(id))
+		}
+	}
+
+	// Phase 3: execute the group abort. First all rollbacks of leftover
+	// prepared transactions (no effects), then all compensations in
+	// reverse global order of their bases (Lemma 2), then the forward
+	// invocations per process in order (after conflicting compensations,
+	// Lemma 3 — trivially satisfied by running all compensations first).
+	type globalStep struct {
+		pc   *pendingCompletion
+		st   process.Step
+		base int // WAL position of the base commit (compensations)
+	}
+	var rollbacks, comps, forwards []globalStep
+	for _, pc := range completions {
+		for _, st := range pc.steps {
+			switch st.Kind {
+			case process.StepAbortPrepared:
+				rollbacks = append(rollbacks, globalStep{pc: pc, st: st})
+			case process.StepCompensate:
+				comps = append(comps, globalStep{pc: pc, st: st, base: pc.seqOf[st.Local]})
+			case process.StepInvoke:
+				forwards = append(forwards, globalStep{pc: pc, st: st})
+			}
+		}
+	}
+	sort.SliceStable(comps, func(i, j int) bool { return comps[i].base > comps[j].base })
+
+	exec := func(gs globalStep) error {
+		switch gs.st.Kind {
+		case process.StepAbortPrepared:
+			// Already handled in phase 1 (presumed abort resolved the
+			// in-doubt transaction); just update the instance.
+			return gs.pc.inst.ApplyStep(gs.st)
+		case process.StepCompensate, process.StepInvoke:
+			for {
+				_, err := fed.Invoke(string(resolveOrigin(gs.pc.id)), gs.st.Service, subsystem.AutoCommit)
+				if err == nil {
+					break
+				}
+				if errors.Is(err, subsystem.ErrAborted) {
+					continue // retriable: re-invoke
+				}
+				// Lock conflicts cannot persist here: recovery runs
+				// sequentially and phase 1 released in-doubt locks.
+				return fmt.Errorf("scheduler: recovery invoking %s: %w", gs.st.Service, err)
+			}
+			if gs.st.Kind == process.StepCompensate {
+				report.Compensations++
+				log.Append(wal.Record{Type: wal.RecCompensate, Proc: string(gs.pc.id), Local: gs.st.Local, Service: gs.st.Service})
+			} else {
+				report.ForwardInvocations++
+				log.Append(wal.Record{Type: wal.RecOutcome, Proc: string(gs.pc.id), Local: gs.st.Local, Service: gs.st.Service, Outcome: "committed"})
+			}
+			return gs.pc.inst.ApplyStep(gs.st)
+		}
+		return nil
+	}
+	for _, gs := range rollbacks {
+		if err := exec(gs); err != nil {
+			return nil, err
+		}
+	}
+	for _, gs := range comps {
+		if err := exec(gs); err != nil {
+			return nil, err
+		}
+	}
+	for _, gs := range forwards {
+		if err := exec(gs); err != nil {
+			return nil, err
+		}
+	}
+	for _, pc := range completions {
+		pc.inst.MarkTerminated(false)
+		log.Append(wal.Record{Type: wal.RecTerminate, Proc: string(pc.id), Committed: false})
+	}
+	return report, nil
+}
+
+// resolveOrigin strips a restart suffix ("P1+r2" -> "P1").
+func resolveOrigin(id process.ID) process.ID {
+	s := string(id)
+	for i := 0; i < len(s); i++ {
+		if s[i] == '+' {
+			return process.ID(s[:i])
+		}
+	}
+	return id
+}
+
+// rebuildInstance replays a process's WAL records into a fresh instance
+// and returns it together with the WAL position of each commit.
+func rebuildInstance(def *process.Process, recs []wal.Record) (*process.Instance, map[int]int, error) {
+	inst := process.NewInstance(def)
+	seqOf := make(map[int]int)
+	for i, r := range recs {
+		if r.Proc != string(def.ID) {
+			continue
+		}
+		switch r.Type {
+		case wal.RecOutcome:
+			switch r.Outcome {
+			case "committed":
+				if st := inst.Status(r.Local); st == process.Pending || st == process.Prepared {
+					if err := inst.MarkCommitted(r.Local); err != nil {
+						return nil, nil, err
+					}
+					seqOf[r.Local] = i
+				}
+			case "prepared":
+				if inst.Status(r.Local) == process.Pending {
+					if err := inst.MarkPrepared(r.Local); err != nil {
+						return nil, nil, err
+					}
+					seqOf[r.Local] = i
+				}
+			}
+		case wal.RecResolved:
+			if r.Commit {
+				if inst.Status(r.Local) == process.Prepared {
+					if err := inst.MarkCommitted(r.Local); err != nil {
+						return nil, nil, err
+					}
+					seqOf[r.Local] = i
+				}
+			} else if inst.Status(r.Local) == process.Prepared {
+				if err := inst.MarkAbortedPrepared(r.Local); err != nil {
+					return nil, nil, err
+				}
+			}
+		case wal.RecFailed:
+			if inst.Status(r.Local) == process.Pending {
+				if _, err := inst.MarkFailed(r.Local); err != nil {
+					return nil, nil, err
+				}
+			}
+		case wal.RecCompensate:
+			if inst.Status(r.Local) == process.Committed {
+				if err := inst.MarkCompensated(r.Local); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return inst, seqOf, nil
+}

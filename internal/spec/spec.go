@@ -1,0 +1,202 @@
+// Package spec provides a declarative JSON format for defining
+// federations of transactional subsystems and transactional processes,
+// so that deployments can be described in configuration instead of
+// code. Activity kinds are declared once, on the services; processes
+// reference services by name and inherit the termination guarantees.
+//
+// Example document:
+//
+//	{
+//	  "subsystems": [
+//	    {"name": "hotel", "seed": 1, "services": [
+//	      {"name": "book", "kind": "compensatable", "compensation": "book⁻¹",
+//	       "writes": ["rooms"], "cost": 2},
+//	      {"name": "confirm", "kind": "retriable", "writes": ["mail"]}
+//	    ]}
+//	  ],
+//	  "processes": [
+//	    {"id": "Trip",
+//	     "activities": [{"local": 1, "service": "book"},
+//	                    {"local": 2, "service": "confirm"}],
+//	     "seq": [[1, 2]],
+//	     "arrival": 0}
+//	  ]
+//	}
+//
+// Chains (alternative execution paths, the preference order ◁) are
+// declared as {"from": 2, "alts": [3, 5]}.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"transproc/internal/activity"
+	"transproc/internal/process"
+	"transproc/internal/scheduler"
+	"transproc/internal/subsystem"
+)
+
+// File is the root document.
+type File struct {
+	Subsystems []SubsystemSpec `json:"subsystems"`
+	Processes  []ProcessSpec   `json:"processes"`
+}
+
+// SubsystemSpec declares one simulated resource manager.
+type SubsystemSpec struct {
+	Name     string        `json:"name"`
+	Seed     int64         `json:"seed"`
+	Services []ServiceSpec `json:"services"`
+}
+
+// ServiceSpec declares one service.
+type ServiceSpec struct {
+	Name         string   `json:"name"`
+	Kind         string   `json:"kind"` // compensatable | pivot | retriable
+	Compensation string   `json:"compensation,omitempty"`
+	Reads        []string `json:"reads,omitempty"`
+	Writes       []string `json:"writes,omitempty"`
+	Commutative  bool     `json:"commutative,omitempty"`
+	FailureProb  float64  `json:"failureProb,omitempty"`
+	Cost         int      `json:"cost,omitempty"`
+}
+
+// ProcessSpec declares one process; activity kinds are inherited from
+// the referenced services.
+type ProcessSpec struct {
+	ID         string         `json:"id"`
+	Activities []ActivitySpec `json:"activities"`
+	Seq        [][2]int       `json:"seq,omitempty"`
+	Chains     []ChainSpec    `json:"chains,omitempty"`
+	Arrival    int64          `json:"arrival,omitempty"`
+}
+
+// ActivitySpec declares one activity.
+type ActivitySpec struct {
+	Local   int    `json:"local"`
+	Service string `json:"service"`
+}
+
+// ChainSpec declares a ◁-ordered alternative chain from an activity.
+type ChainSpec struct {
+	From int   `json:"from"`
+	Alts []int `json:"alts"`
+}
+
+// Parse decodes a document and performs syntactic validation.
+func Parse(data []byte) (*File, error) {
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if err := checkEOF(dec); err != nil {
+		return nil, err
+	}
+	if len(f.Subsystems) == 0 {
+		return nil, fmt.Errorf("spec: no subsystems declared")
+	}
+	if len(f.Processes) == 0 {
+		return nil, fmt.Errorf("spec: no processes declared")
+	}
+	return &f, nil
+}
+
+func checkEOF(dec *json.Decoder) error {
+	if dec.More() {
+		return fmt.Errorf("spec: trailing data after document")
+	}
+	return nil
+}
+
+// kindOf maps the textual kind.
+func kindOf(s string) (activity.Kind, error) {
+	switch s {
+	case "compensatable":
+		return activity.Compensatable, nil
+	case "pivot":
+		return activity.Pivot, nil
+	case "retriable":
+		return activity.Retriable, nil
+	default:
+		return 0, fmt.Errorf("spec: unknown kind %q (want compensatable|pivot|retriable)", s)
+	}
+}
+
+// Build materializes the document: subsystems with their services, and
+// processes as scheduler jobs (kinds inherited from the services).
+// Every process is validated for guaranteed termination.
+func (f *File) Build() (*subsystem.Federation, []scheduler.Job, error) {
+	fed := subsystem.NewFederation()
+	for _, ss := range f.Subsystems {
+		sub := subsystem.New(ss.Name, ss.Seed)
+		for _, sv := range ss.Services {
+			kind, err := kindOf(sv.Kind)
+			if err != nil {
+				return nil, nil, fmt.Errorf("spec: subsystem %s service %s: %w", ss.Name, sv.Name, err)
+			}
+			comp := sv.Compensation
+			if kind == activity.Compensatable && comp == "" {
+				comp = process.DefaultCompensationName(sv.Name)
+			}
+			if err := sub.Register(activity.Spec{
+				Name: sv.Name, Kind: kind, Subsystem: ss.Name,
+				Compensation: comp,
+				ReadSet:      sv.Reads, WriteSet: sv.Writes,
+				Commutative: sv.Commutative,
+				FailureProb: sv.FailureProb, Cost: sv.Cost,
+			}); err != nil {
+				return nil, nil, fmt.Errorf("spec: %w", err)
+			}
+		}
+		if err := fed.Add(sub); err != nil {
+			return nil, nil, fmt.Errorf("spec: %w", err)
+		}
+	}
+
+	var jobs []scheduler.Job
+	for _, ps := range f.Processes {
+		if ps.ID == "" {
+			return nil, nil, fmt.Errorf("spec: process without id")
+		}
+		b := process.NewBuilder(process.ID(ps.ID))
+		for _, as := range ps.Activities {
+			svcSpec, ok := fed.Spec(as.Service)
+			if !ok {
+				return nil, nil, fmt.Errorf("spec: process %s references unknown service %q", ps.ID, as.Service)
+			}
+			if svcSpec.Kind == activity.Compensatable {
+				b.AddComp(as.Local, as.Service, svcSpec.Kind, svcSpec.Compensation)
+			} else {
+				b.Add(as.Local, as.Service, svcSpec.Kind)
+			}
+		}
+		for _, e := range ps.Seq {
+			b.Seq(e[0], e[1])
+		}
+		for _, c := range ps.Chains {
+			b.Chain(c.From, c.Alts...)
+		}
+		p, err := b.Build()
+		if err != nil {
+			return nil, nil, fmt.Errorf("spec: process %s: %w", ps.ID, err)
+		}
+		if err := process.ValidateGuaranteedTermination(p); err != nil {
+			return nil, nil, fmt.Errorf("spec: process %s: %w", ps.ID, err)
+		}
+		jobs = append(jobs, scheduler.Job{Proc: p, Arrival: ps.Arrival})
+	}
+	return fed, jobs, nil
+}
+
+// Load parses and builds in one step.
+func Load(data []byte) (*subsystem.Federation, []scheduler.Job, error) {
+	f, err := Parse(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.Build()
+}

@@ -1,0 +1,155 @@
+package subsystem
+
+import (
+	"fmt"
+	"sort"
+
+	"transproc/internal/activity"
+	"transproc/internal/conflict"
+)
+
+// Federation is the set of transactional subsystems a process scheduler
+// coordinates (Â, the union of all provided services). It routes service
+// invocations to the owning subsystem and derives the activity registry
+// and conflict table the scheduler works with.
+type Federation struct {
+	subs  map[string]*Subsystem
+	route map[string]*Subsystem // service -> subsystem
+	order []string
+}
+
+// NewFederation returns an empty federation.
+func NewFederation() *Federation {
+	return &Federation{
+		subs:  make(map[string]*Subsystem),
+		route: make(map[string]*Subsystem),
+	}
+}
+
+// Add registers a subsystem and indexes its services. Service names must
+// be unique across the federation.
+func (f *Federation) Add(s *Subsystem) error {
+	if _, dup := f.subs[s.Name()]; dup {
+		return fmt.Errorf("federation: duplicate subsystem %q", s.Name())
+	}
+	for _, svc := range s.Services() {
+		if owner, dup := f.route[svc]; dup {
+			return fmt.Errorf("federation: service %q provided by both %q and %q", svc, owner.Name(), s.Name())
+		}
+	}
+	f.subs[s.Name()] = s
+	f.order = append(f.order, s.Name())
+	for _, svc := range s.Services() {
+		f.route[svc] = s
+	}
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (f *Federation) MustAdd(s *Subsystem) {
+	if err := f.Add(s); err != nil {
+		panic(err)
+	}
+}
+
+// Subsystem returns a subsystem by name.
+func (f *Federation) Subsystem(name string) (*Subsystem, bool) {
+	s, ok := f.subs[name]
+	return s, ok
+}
+
+// Subsystems returns the subsystems in registration order.
+func (f *Federation) Subsystems() []*Subsystem {
+	out := make([]*Subsystem, 0, len(f.order))
+	for _, n := range f.order {
+		out = append(out, f.subs[n])
+	}
+	return out
+}
+
+// Owner returns the subsystem providing a service.
+func (f *Federation) Owner(service string) (*Subsystem, bool) {
+	s, ok := f.route[service]
+	return s, ok
+}
+
+// Invoke routes an invocation to the owning subsystem.
+func (f *Federation) Invoke(proc, service string, mode Mode) (*Result, error) {
+	s, ok := f.route[service]
+	if !ok {
+		return nil, fmt.Errorf("federation: unknown service %q", service)
+	}
+	return s.Invoke(proc, service, mode)
+}
+
+// Spec returns the spec of a service anywhere in the federation.
+func (f *Federation) Spec(service string) (activity.Spec, bool) {
+	s, ok := f.route[service]
+	if !ok {
+		return activity.Spec{}, false
+	}
+	return s.Lookup(service)
+}
+
+// Services returns all service names across the federation, sorted.
+func (f *Federation) Services() []string {
+	out := make([]string, 0, len(f.route))
+	for svc := range f.route {
+		out = append(out, svc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registry builds the activity registry Â of the federation.
+func (f *Federation) Registry() (*activity.Registry, error) {
+	reg := activity.NewRegistry()
+	for _, name := range f.order {
+		s := f.subs[name]
+		for _, svc := range s.Services() {
+			spec, _ := s.Lookup(svc)
+			if err := reg.Register(spec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := reg.Validate(); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+// ConflictTable derives the conflict relation from the declared
+// read/write sets of all services (plus perfect commutativity for
+// compensations).
+func (f *Federation) ConflictTable() (*conflict.Table, error) {
+	reg, err := f.Registry()
+	if err != nil {
+		return nil, err
+	}
+	return conflict.FromRegistry(reg), nil
+}
+
+// Snapshot returns the committed stores of all subsystems, keyed
+// "subsystem/item".
+func (f *Federation) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	for _, name := range f.order {
+		for item, v := range f.subs[name].Snapshot() {
+			out[name+"/"+item] = v
+		}
+	}
+	return out
+}
+
+// InDoubt returns all prepared transactions across subsystems, keyed by
+// subsystem name.
+func (f *Federation) InDoubt() map[string][]InDoubtRecord {
+	out := make(map[string][]InDoubtRecord)
+	for _, name := range f.order {
+		if recs := f.subs[name].InDoubt(); len(recs) > 0 {
+			out[name] = recs
+		}
+	}
+	return out
+}

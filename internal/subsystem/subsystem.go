@@ -1,0 +1,473 @@
+// Package subsystem simulates the transactional subsystems of the paper
+// (Section 2.3): autonomous resource managers that execute service
+// invocations as local ACID transactions and provide either compensation
+// for committed services or a two phase commit interface (prepared,
+// in-doubt transactions) — the functionality a transactional
+// coordination agent wraps around an application system.
+//
+// The simulated resource manager stores int64-valued data items. A
+// service reads its read set and applies per-item deltas to its write
+// set; the compensating service applies the inverse deltas, making the
+// pair ⟨a a⁻¹⟩ effect-free by construction (Definition 2). Local
+// transactions use strict two phase locking at data-item granularity;
+// transactions of the same process share locks (a process's activities
+// never block each other). Lock conflicts are reported immediately with
+// ErrLocked instead of blocking, so a discrete-event scheduler can queue
+// the invocation and retry when the holder releases.
+package subsystem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"transproc/internal/activity"
+)
+
+// ErrLocked is returned when an invocation cannot acquire its locks
+// because a transaction of another process holds them (possibly a
+// prepared, in-doubt transaction whose commit is deferred).
+var ErrLocked = errors.New("subsystem: lock conflict")
+
+// ErrAborted is returned when the invocation's local transaction aborted
+// (forced failure or injected failure probability).
+var ErrAborted = errors.New("subsystem: local transaction aborted")
+
+// TxID identifies a local transaction within a subsystem.
+type TxID int64
+
+// Mode selects the commit behaviour of an invocation.
+type Mode int
+
+const (
+	// AutoCommit commits the local transaction immediately on success.
+	AutoCommit Mode = iota
+	// Prepare leaves the successful local transaction in the prepared
+	// (in-doubt) state, holding its locks, until CommitPrepared or
+	// AbortPrepared is called (the deferred commit of Lemma 1).
+	Prepare
+)
+
+// Result describes a completed invocation.
+type Result struct {
+	Tx      TxID
+	Outcome activity.Outcome
+	// Reads holds the values of the service's read set at execution
+	// time; commutativity is defined over such return values
+	// (Definition 6).
+	Reads map[string]int64
+}
+
+// Mutation is one applied write, kept in the subsystem journal.
+type Mutation struct {
+	Seq     int64
+	Tx      TxID
+	Proc    string
+	Service string
+	Item    string
+	Delta   int64
+}
+
+// txn is a local transaction.
+type txn struct {
+	id       TxID
+	proc     string
+	service  string
+	writes   map[string]int64 // buffered deltas
+	reads    map[string]int64
+	prepared bool
+	// weakDeps holds commit-order dependencies of a weakly invoked
+	// transaction (Section 3.6); empty for strongly locked ones.
+	weakDeps []TxID
+}
+
+// lockState tracks item locks: readers (shared) and one writer
+// (exclusive), keyed by owning process (activities of one process share
+// ownership).
+type lockState struct {
+	readers map[string]int // proc -> count
+	writer  string         // proc holding X, or ""
+	writerN int
+}
+
+// Subsystem is a simulated transactional resource manager. It is safe
+// for concurrent use.
+type Subsystem struct {
+	name string
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	store    map[string]int64
+	journal  []Mutation
+	seq      int64
+	nextTx   TxID
+	services map[string]*svc
+	locks    map[string]*lockState
+	inDoubt  map[TxID]*txn
+	// resolved records, for transactions that were once in doubt,
+	// whether they committed (true) or aborted (false, by absence);
+	// weak-order dependents consult it to learn their dependencies'
+	// outcomes.
+	resolved map[TxID]bool
+	// forced failure outcomes per service (deterministic injection).
+	forceFail map[string]int
+	// stats
+	invocations int64
+	aborts      int64
+	lockDenials int64
+}
+
+type svc struct {
+	spec   activity.Spec
+	deltas map[string]int64 // write item -> delta
+}
+
+// New returns an empty subsystem. The seed drives probabilistic failure
+// injection; subsystems with the same seed and call sequence behave
+// identically.
+func New(name string, seed int64) *Subsystem {
+	return &Subsystem{
+		name:      name,
+		rng:       rand.New(rand.NewSource(seed)),
+		store:     make(map[string]int64),
+		services:  make(map[string]*svc),
+		locks:     make(map[string]*lockState),
+		inDoubt:   make(map[TxID]*txn),
+		resolved:  make(map[TxID]bool),
+		forceFail: make(map[string]int),
+	}
+}
+
+// Name returns the subsystem name.
+func (s *Subsystem) Name() string { return s.name }
+
+// Register adds a service to the subsystem. The service's writes apply
+// +1 per write-set item; if the spec declares a compensation, the
+// compensating service is registered automatically with the inverse
+// deltas and kind activity.Compensation.
+func (s *Subsystem) Register(spec activity.Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if spec.Subsystem != s.name {
+		return fmt.Errorf("subsystem %s: spec %q belongs to subsystem %q", s.name, spec.Name, spec.Subsystem)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.services[spec.Name]; dup {
+		return fmt.Errorf("subsystem %s: duplicate service %q", s.name, spec.Name)
+	}
+	deltas := make(map[string]int64, len(spec.WriteSet))
+	for _, item := range spec.WriteSet {
+		deltas[item] = 1
+	}
+	s.services[spec.Name] = &svc{spec: spec, deltas: deltas}
+	if spec.Kind == activity.Compensatable {
+		inv := make(map[string]int64, len(deltas))
+		for item, d := range deltas {
+			inv[item] = -d
+		}
+		compSpec := activity.Spec{
+			Name:      spec.Compensation,
+			Kind:      activity.Compensation,
+			Subsystem: s.name,
+			ReadSet:   append([]string(nil), spec.ReadSet...),
+			WriteSet:  append([]string(nil), spec.WriteSet...),
+			Cost:      spec.Cost,
+		}
+		if _, dup := s.services[compSpec.Name]; dup {
+			return fmt.Errorf("subsystem %s: compensation %q already registered", s.name, compSpec.Name)
+		}
+		s.services[compSpec.Name] = &svc{spec: compSpec, deltas: inv}
+	}
+	return nil
+}
+
+// MustRegister is Register that panics on error.
+func (s *Subsystem) MustRegister(spec activity.Spec) {
+	if err := s.Register(spec); err != nil {
+		panic(err)
+	}
+}
+
+// Services returns the registered service names, sorted.
+func (s *Subsystem) Services() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.services))
+	for n := range s.services {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForceFail makes the next n invocations of the service abort,
+// regardless of its failure probability. Deterministic test hook.
+func (s *Subsystem) ForceFail(service string, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.forceFail[service] += n
+}
+
+// Invoke executes one invocation of the service on behalf of a process
+// as a local transaction.
+//
+//   - If the locks cannot be acquired (another process holds conflicting
+//     item locks, possibly through a prepared transaction), it returns
+//     ErrLocked and nothing changes.
+//   - If the transaction aborts (forced or probabilistic failure), it
+//     returns a Result with Outcome Aborted and ErrAborted; atomicity of
+//     the local transaction guarantees no effects.
+//   - On success with AutoCommit the writes are applied and locks
+//     released; with Prepare the transaction stays in-doubt, holding
+//     locks, until CommitPrepared/AbortPrepared.
+func (s *Subsystem) Invoke(proc, service string, mode Mode) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv, ok := s.services[service]
+	if !ok {
+		return nil, fmt.Errorf("subsystem %s: unknown service %q", s.name, service)
+	}
+	s.invocations++
+
+	// Acquire strict-2PL item locks (all-or-nothing; no partial holds).
+	if holder, ok := s.canLock(proc, sv); !ok {
+		s.lockDenials++
+		return nil, fmt.Errorf("%w: %s/%s held by %s", ErrLocked, s.name, service, holder)
+	}
+
+	// Decide the outcome: forced failures first, then probability.
+	fail := false
+	if s.forceFail[service] > 0 {
+		s.forceFail[service]--
+		fail = true
+	} else if sv.spec.FailureProb > 0 && s.rng.Float64() < sv.spec.FailureProb {
+		fail = true
+	}
+	if fail {
+		s.aborts++
+		return &Result{Outcome: activity.Aborted}, ErrAborted
+	}
+
+	s.nextTx++
+	t := &txn{
+		id:      s.nextTx,
+		proc:    proc,
+		service: service,
+		writes:  make(map[string]int64, len(sv.deltas)),
+		reads:   make(map[string]int64, len(sv.spec.ReadSet)),
+	}
+	for _, item := range sv.spec.ReadSet {
+		t.reads[item] = s.store[item]
+	}
+	for item, d := range sv.deltas {
+		t.writes[item] = d
+	}
+
+	if mode == AutoCommit {
+		s.applyLocked(t)
+		return &Result{Tx: t.id, Outcome: activity.Committed, Reads: t.reads}, nil
+	}
+	// Prepared: take the locks durably until 2PC resolution.
+	s.lock(proc, sv)
+	t.prepared = true
+	s.inDoubt[t.id] = t
+	return &Result{Tx: t.id, Outcome: activity.Prepared, Reads: t.reads}, nil
+}
+
+// canLock reports whether proc could acquire the service's locks, and
+// when not, names a blocking process.
+func (s *Subsystem) canLock(proc string, sv *svc) (string, bool) {
+	for _, item := range sv.spec.ReadSet {
+		if ls := s.locks[item]; ls != nil && ls.writer != "" && ls.writer != proc {
+			return ls.writer, false
+		}
+	}
+	for item := range sv.deltas {
+		ls := s.locks[item]
+		if ls == nil {
+			continue
+		}
+		if ls.writer != "" && ls.writer != proc {
+			return ls.writer, false
+		}
+		for r := range ls.readers {
+			if r != proc {
+				return r, false
+			}
+		}
+	}
+	return "", true
+}
+
+// lock records the locks of a prepared transaction.
+func (s *Subsystem) lock(proc string, sv *svc) {
+	for _, item := range sv.spec.ReadSet {
+		ls := s.lockState(item)
+		if ls.readers == nil {
+			ls.readers = make(map[string]int)
+		}
+		ls.readers[proc]++
+	}
+	for item := range sv.deltas {
+		ls := s.lockState(item)
+		ls.writer = proc
+		ls.writerN++
+	}
+}
+
+// unlock releases the locks of a prepared transaction.
+func (s *Subsystem) unlock(t *txn) {
+	sv := s.services[t.service]
+	for _, item := range sv.spec.ReadSet {
+		if ls := s.locks[item]; ls != nil && ls.readers != nil {
+			ls.readers[t.proc]--
+			if ls.readers[t.proc] <= 0 {
+				delete(ls.readers, t.proc)
+			}
+		}
+	}
+	for item := range sv.deltas {
+		if ls := s.locks[item]; ls != nil && ls.writer == t.proc {
+			ls.writerN--
+			if ls.writerN <= 0 {
+				ls.writer = ""
+				ls.writerN = 0
+			}
+		}
+	}
+}
+
+func (s *Subsystem) lockState(item string) *lockState {
+	ls := s.locks[item]
+	if ls == nil {
+		ls = &lockState{}
+		s.locks[item] = ls
+	}
+	return ls
+}
+
+// applyLocked applies a transaction's writes to the store and journal.
+func (s *Subsystem) applyLocked(t *txn) {
+	for item, d := range t.writes {
+		s.store[item] += d
+		s.seq++
+		s.journal = append(s.journal, Mutation{
+			Seq: s.seq, Tx: t.id, Proc: t.proc, Service: t.service, Item: item, Delta: d,
+		})
+	}
+}
+
+// CommitPrepared commits an in-doubt transaction (second phase of 2PC):
+// its writes are applied and its locks released.
+func (s *Subsystem) CommitPrepared(id TxID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.inDoubt[id]
+	if !ok {
+		return fmt.Errorf("subsystem %s: transaction %d is not in doubt", s.name, id)
+	}
+	if err := s.weakCommittableLocked(t); err != nil {
+		// Weak-order dependencies must have committed first (Section
+		// 3.6); strongly locked transactions have none and pass.
+		return err
+	}
+	s.applyLocked(t)
+	if len(t.weakDeps) == 0 {
+		s.unlock(t)
+	}
+	s.resolved[id] = true
+	delete(s.inDoubt, id)
+	return nil
+}
+
+// AbortPrepared rolls an in-doubt transaction back: nothing is applied
+// and its locks are released. Atomicity guarantees no effects.
+func (s *Subsystem) AbortPrepared(id TxID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.inDoubt[id]
+	if !ok {
+		return fmt.Errorf("subsystem %s: transaction %d is not in doubt", s.name, id)
+	}
+	s.aborts++
+	if len(t.weakDeps) == 0 {
+		s.unlock(t)
+	}
+	delete(s.inDoubt, id)
+	return nil
+}
+
+// InDoubtRecord describes a prepared transaction awaiting 2PC
+// resolution; exposed for crash recovery.
+type InDoubtRecord struct {
+	Tx      TxID
+	Proc    string
+	Service string
+}
+
+// InDoubt returns the prepared transactions, sorted by id.
+func (s *Subsystem) InDoubt() []InDoubtRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]InDoubtRecord, 0, len(s.inDoubt))
+	for _, t := range s.inDoubt {
+		out = append(out, InDoubtRecord{Tx: t.id, Proc: t.proc, Service: t.service})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tx < out[j].Tx })
+	return out
+}
+
+// Get returns the committed value of an item.
+func (s *Subsystem) Get(item string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store[item]
+}
+
+// Set initializes an item's value (test/setup hook).
+func (s *Subsystem) Set(item string, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store[item] = v
+}
+
+// Snapshot returns a copy of the committed store.
+func (s *Subsystem) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.store))
+	for k, v := range s.store {
+		out[k] = v
+	}
+	return out
+}
+
+// Journal returns a copy of the applied-mutation journal.
+func (s *Subsystem) Journal() []Mutation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Mutation(nil), s.journal...)
+}
+
+// Stats reports counters: total invocations, aborted invocations and
+// lock denials.
+func (s *Subsystem) Stats() (invocations, aborts, lockDenials int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.invocations, s.aborts, s.lockDenials
+}
+
+// Lookup returns the spec of a registered service.
+func (s *Subsystem) Lookup(service string) (activity.Spec, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv, ok := s.services[service]
+	if !ok {
+		return activity.Spec{}, false
+	}
+	return sv.spec, true
+}

@@ -1,0 +1,144 @@
+package subsystem
+
+import (
+	"errors"
+	"testing"
+
+	"transproc/internal/activity"
+)
+
+func weakSub(t *testing.T) *Subsystem {
+	t.Helper()
+	s := New("rm", 1)
+	s.MustRegister(activity.Spec{
+		Name: "w", Kind: activity.Pivot, Subsystem: "rm", WriteSet: []string{"x"},
+	})
+	s.MustRegister(activity.Spec{
+		Name: "r", Kind: activity.Retriable, Subsystem: "rm", ReadSet: []string{"x"}, WriteSet: []string{"out"},
+	})
+	s.MustRegister(activity.Spec{
+		Name: "other", Kind: activity.Retriable, Subsystem: "rm", WriteSet: []string{"z"},
+	})
+	return s
+}
+
+func TestInvokeWeakOverlapsConflicts(t *testing.T) {
+	s := weakSub(t)
+	r1, deps1, err := s.InvokeWeak("P1", "w")
+	if err != nil || len(deps1) != 0 {
+		t.Fatalf("first weak invoke: %v deps=%v", err, deps1)
+	}
+	// A strong invoke would be lock-blocked... weak one records a dep.
+	r2, deps2, err := s.InvokeWeak("P2", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps2) != 1 || deps2[0] != r1.Tx {
+		t.Fatalf("deps2 = %v, want [%d]", deps2, r1.Tx)
+	}
+	// Commit order enforced: the dependent cannot commit first.
+	if err := s.CommitPreparedWeak(r2.Tx); !errors.Is(err, ErrOrder) {
+		t.Fatalf("dependent commit must be refused: %v", err)
+	}
+	if err := s.CommitPreparedWeak(r1.Tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitPreparedWeak(r2.Tx); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("x") != 2 {
+		t.Fatalf("x = %d", s.Get("x"))
+	}
+}
+
+func TestInvokeWeakIndependentNoDeps(t *testing.T) {
+	s := weakSub(t)
+	_, _, err := s.InvokeWeak("P1", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, deps, err := s.InvokeWeak("P2", "other")
+	if err != nil || len(deps) != 0 {
+		t.Fatalf("independent weak invoke: %v deps=%v", err, deps)
+	}
+}
+
+func TestInvokeWeakReadWriteDependency(t *testing.T) {
+	s := weakSub(t)
+	rw, _, err := s.InvokeWeak("P1", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, deps, err := s.InvokeWeak("P2", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 1 || deps[0] != rw.Tx {
+		t.Fatalf("reader must depend on writer: %v", deps)
+	}
+}
+
+func TestWeakDependencyAbortCascades(t *testing.T) {
+	s := weakSub(t)
+	r1, _, err := s.InvokeWeak("P1", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := s.InvokeWeak("P2", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The predecessor aborts (e.g. a transient retriable abort after
+	// partial execution, Section 3.6).
+	if err := s.AbortPrepared(r1.Tx); err != nil {
+		t.Fatal(err)
+	}
+	// The dependent must be rolled back and re-invoked.
+	if err := s.CommitPreparedWeak(r2.Tx); !errors.Is(err, ErrDependencyAborted) {
+		t.Fatalf("dependent must be restarted: %v", err)
+	}
+	if s.Get("x") != 0 {
+		t.Fatal("nothing may be applied")
+	}
+	// Re-invocation succeeds with no dependencies left.
+	r3, deps, err := s.InvokeWeak("P2", "w")
+	if err != nil || len(deps) != 0 {
+		t.Fatalf("re-invoke: %v deps=%v", err, deps)
+	}
+	if err := s.CommitPreparedWeak(r3.Tx); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("x") != 1 {
+		t.Fatalf("x = %d", s.Get("x"))
+	}
+}
+
+func TestWeakFailureInjection(t *testing.T) {
+	s := weakSub(t)
+	s.ForceFail("w", 1)
+	_, _, err := s.InvokeWeak("P1", "w")
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := s.InvokeWeak("P1", "nope"); err == nil {
+		t.Fatal("unknown service must fail")
+	}
+}
+
+func TestWeakTransactionsVisibleInInDoubt(t *testing.T) {
+	s := weakSub(t)
+	r1, _, _ := s.InvokeWeak("P1", "w")
+	recs := s.InDoubt()
+	if len(recs) != 1 || recs[0].Tx != r1.Tx {
+		t.Fatalf("in doubt = %v", recs)
+	}
+	if err := s.AbortPrepared(r1.Tx); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.InDoubt()) != 0 {
+		t.Fatal("rollback must clear in-doubt state")
+	}
+	if s.Get("x") != 0 {
+		t.Fatal("aborted weak transaction must leave no effects")
+	}
+}

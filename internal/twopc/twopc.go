@@ -1,0 +1,142 @@
+// Package twopc implements the atomic commitment of all
+// non-compensatable activities of a process. Lemma 1 of the paper
+// requires the commits of non-compensatable activities to be deferred
+// until every conflicting predecessor process has committed, and
+// Section 3.5 requires "the commitment of all non-compensatable
+// activities of P_j … to be performed atomically by exploiting a two
+// phase commit protocol in order to ensure that either all activities
+// commit or none of them".
+//
+// The first phase (prepare) already happened when the subsystems
+// executed the activities into the prepared state (subsystem.Prepare);
+// the coordinator here implements the decision and the second phase,
+// writing the decision to the scheduler's write-ahead log first so that
+// a crash between decision and completion is resolved by presumed
+// commit during recovery.
+package twopc
+
+import (
+	"fmt"
+
+	"transproc/internal/subsystem"
+	"transproc/internal/wal"
+)
+
+// Participant is one prepared local transaction taking part in the
+// atomic commit.
+type Participant struct {
+	Sub     *subsystem.Subsystem
+	Tx      subsystem.TxID
+	Proc    string
+	Local   int
+	Service string
+}
+
+// Coordinator drives the second phase of 2PC against the subsystems,
+// journaling to the write-ahead log.
+type Coordinator struct {
+	log wal.Log
+	// CrashAfterDecision, when set, makes CommitAll stop right after
+	// logging the decision and before resolving any participant — a
+	// deterministic crash-injection point for recovery tests.
+	CrashAfterDecision bool
+	// CrashAfterFirstResolve stops after resolving exactly one
+	// participant.
+	CrashAfterFirstResolve bool
+}
+
+// ErrCrashed is returned when an injected crash point stopped the
+// protocol; the decision is durable and recovery must finish the job.
+var ErrCrashed = fmt.Errorf("twopc: injected crash")
+
+// New returns a coordinator writing to the given log.
+func New(log wal.Log) *Coordinator { return &Coordinator{log: log} }
+
+// CommitAll atomically commits the prepared transactions of one
+// process. All participants must already be prepared (phase one); the
+// decision record makes the outcome durable, after which every
+// participant is committed (presumed commit). Partial failures after
+// the decision are repaired by Resolve during recovery.
+func (c *Coordinator) CommitAll(proc string, parts []Participant) error {
+	if len(parts) == 0 {
+		return nil
+	}
+	if _, err := c.log.Append(wal.Record{Type: wal.RecDecision, Proc: proc}); err != nil {
+		return fmt.Errorf("twopc: logging decision for %s: %w", proc, err)
+	}
+	if c.CrashAfterDecision {
+		return ErrCrashed
+	}
+	for i, p := range parts {
+		if err := p.Sub.CommitPrepared(p.Tx); err != nil {
+			return fmt.Errorf("twopc: committing %s tx %d at %s: %w", proc, p.Tx, p.Sub.Name(), err)
+		}
+		if _, err := c.log.Append(wal.Record{
+			Type: wal.RecResolved, Proc: proc, Local: p.Local,
+			Service: p.Service, Subsystem: p.Sub.Name(), Tx: int64(p.Tx), Commit: true,
+		}); err != nil {
+			return fmt.Errorf("twopc: logging resolution: %w", err)
+		}
+		if c.CrashAfterFirstResolve && i == 0 {
+			return ErrCrashed
+		}
+	}
+	return nil
+}
+
+// AbortAll rolls back the prepared transactions of a process (no
+// decision record needed: presumed abort when no decision was logged).
+func (c *Coordinator) AbortAll(proc string, parts []Participant) error {
+	for _, p := range parts {
+		if err := p.Sub.AbortPrepared(p.Tx); err != nil {
+			return fmt.Errorf("twopc: aborting %s tx %d at %s: %w", proc, p.Tx, p.Sub.Name(), err)
+		}
+		if _, err := c.log.Append(wal.Record{
+			Type: wal.RecResolved, Proc: proc, Local: p.Local,
+			Service: p.Service, Subsystem: p.Sub.Name(), Tx: int64(p.Tx), Commit: false,
+		}); err != nil {
+			return fmt.Errorf("twopc: logging resolution: %w", err)
+		}
+	}
+	return nil
+}
+
+// Resolve finishes in-doubt transactions after a crash: if a decision
+// was logged for the process, unresolved prepared transactions are
+// committed (presumed commit); otherwise they are rolled back (presumed
+// abort). It returns the number of transactions committed and aborted.
+func (c *Coordinator) Resolve(fed *subsystem.Federation, img *wal.ProcImage) (committed, aborted int, err error) {
+	for local, ptx := range img.Prepared {
+		if img.Resolved[local] {
+			continue
+		}
+		sub, ok := fed.Subsystem(ptx.Subsystem)
+		if !ok {
+			return committed, aborted, fmt.Errorf("twopc: unknown subsystem %q during resolution", ptx.Subsystem)
+		}
+		if img.Decided {
+			if err := sub.CommitPrepared(subsystem.TxID(ptx.Tx)); err != nil {
+				return committed, aborted, err
+			}
+			if _, err := c.log.Append(wal.Record{
+				Type: wal.RecResolved, Proc: img.Proc, Local: local,
+				Service: ptx.Service, Subsystem: ptx.Subsystem, Tx: ptx.Tx, Commit: true,
+			}); err != nil {
+				return committed, aborted, err
+			}
+			committed++
+		} else {
+			if err := sub.AbortPrepared(subsystem.TxID(ptx.Tx)); err != nil {
+				return committed, aborted, err
+			}
+			if _, err := c.log.Append(wal.Record{
+				Type: wal.RecResolved, Proc: img.Proc, Local: local,
+				Service: ptx.Service, Subsystem: ptx.Subsystem, Tx: ptx.Tx, Commit: false,
+			}); err != nil {
+				return committed, aborted, err
+			}
+			aborted++
+		}
+	}
+	return committed, aborted, nil
+}

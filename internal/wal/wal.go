@@ -1,0 +1,319 @@
+// Package wal provides the process scheduler's write-ahead log: every
+// scheduling decision and termination is recorded before it takes
+// effect, so that after a crash the recovery manager can reconstruct the
+// state of every active process and execute the group abort
+// A(P_{n_1} … P_{n_s}) of Definition 8.2b — completing B-REC processes
+// backward and F-REC processes forward.
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// RecType classifies log records.
+type RecType int
+
+const (
+	// RecStart: a process was admitted.
+	RecStart RecType = iota
+	// RecDispatch: an activity invocation was sent to a subsystem.
+	RecDispatch
+	// RecOutcome: an invocation terminated (committed, aborted or
+	// prepared with a transaction id for later 2PC resolution).
+	RecOutcome
+	// RecCompensate: a compensating activity committed.
+	RecCompensate
+	// RecFailed: an activity failed permanently (Definition 4).
+	RecFailed
+	// RecAbortBegin: the abort A_i of a process began.
+	RecAbortBegin
+	// RecDecision: the 2PC commit decision for a process's prepared
+	// transactions was taken (the atomic commit of all
+	// non-compensatable activities, Section 3.5).
+	RecDecision
+	// RecResolved: one prepared transaction was committed or rolled
+	// back at its subsystem.
+	RecResolved
+	// RecTerminate: the process terminated (C_i, or abort completion).
+	RecTerminate
+)
+
+// String returns a short label.
+func (t RecType) String() string {
+	switch t {
+	case RecStart:
+		return "start"
+	case RecDispatch:
+		return "dispatch"
+	case RecOutcome:
+		return "outcome"
+	case RecCompensate:
+		return "compensate"
+	case RecFailed:
+		return "failed"
+	case RecAbortBegin:
+		return "abort-begin"
+	case RecDecision:
+		return "decision"
+	case RecResolved:
+		return "resolved"
+	case RecTerminate:
+		return "terminate"
+	default:
+		return fmt.Sprintf("RecType(%d)", int(t))
+	}
+}
+
+// Record is one log entry.
+type Record struct {
+	LSN       int64   `json:"lsn"`
+	Type      RecType `json:"type"`
+	Proc      string  `json:"proc"`
+	Local     int     `json:"local,omitempty"`
+	Service   string  `json:"service,omitempty"`
+	Subsystem string  `json:"subsystem,omitempty"`
+	Tx        int64   `json:"tx,omitempty"`
+	// Outcome for RecOutcome: "committed", "aborted", "prepared".
+	Outcome string `json:"outcome,omitempty"`
+	// Committed for RecTerminate: regular C_i vs abort completion.
+	Committed bool `json:"committed,omitempty"`
+	// Commit for RecResolved: the prepared transaction was committed
+	// (true) or rolled back (false).
+	Commit bool `json:"commit,omitempty"`
+}
+
+// Log is an append-only record log.
+type Log interface {
+	// Append writes a record (assigning its LSN) and returns the LSN.
+	Append(Record) (int64, error)
+	// Records returns all records in order.
+	Records() ([]Record, error)
+	// Close releases resources.
+	Close() error
+}
+
+// MemLog is an in-memory Log, useful for tests and simulations.
+type MemLog struct {
+	mu   sync.Mutex
+	recs []Record
+	next int64
+}
+
+// NewMemLog returns an empty in-memory log.
+func NewMemLog() *MemLog { return &MemLog{} }
+
+// Append implements Log.
+func (l *MemLog) Append(r Record) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	r.LSN = l.next
+	l.recs = append(l.recs, r)
+	return r.LSN, nil
+}
+
+// Records implements Log.
+func (l *MemLog) Records() ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Record(nil), l.recs...), nil
+}
+
+// Close implements Log.
+func (l *MemLog) Close() error { return nil }
+
+// FileLog is a JSON-lines file-backed Log.
+type FileLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	next int64
+	path string
+	sync bool
+}
+
+// OpenFile opens (or creates) a file log at path. When syncEvery is
+// true every append is flushed and fsynced — the write-ahead guarantee;
+// false trades durability for speed in simulations.
+func OpenFile(path string, syncEvery bool) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &FileLog{f: f, w: bufio.NewWriter(f), path: path, sync: syncEvery}
+	// Find the last LSN.
+	recs, err := l.Records()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if n := len(recs); n > 0 {
+		l.next = recs[n-1].LSN
+	}
+	return l, nil
+}
+
+// Append implements Log.
+func (l *FileLog) Append(r Record) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	r.LSN = l.next
+	b, err := json.Marshal(r)
+	if err != nil {
+		return 0, fmt.Errorf("wal: marshal: %w", err)
+	}
+	if _, err := l.w.Write(append(b, '\n')); err != nil {
+		return 0, fmt.Errorf("wal: write: %w", err)
+	}
+	if l.sync {
+		if err := l.w.Flush(); err != nil {
+			return 0, fmt.Errorf("wal: flush: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	return r.LSN, nil
+}
+
+// Records implements Log. It tolerates a torn final line (crash during
+// append) by stopping at the first undecodable record.
+func (l *FileLog) Records() ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return nil, fmt.Errorf("wal: flush: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	var out []Record
+	sc := bufio.NewScanner(l.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			break // torn tail record: ignore it and everything after
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("wal: scan: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
+		return nil, fmt.Errorf("wal: seek end: %w", err)
+	}
+	return out, nil
+}
+
+// Close implements Log.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// ErrNoLog marks analysis of an empty log.
+var ErrNoLog = errors.New("wal: no records")
+
+// ProcImage is the reconstructed state of one process after a crash.
+type ProcImage struct {
+	Proc string
+	// Committed activities (local ids) in commit order.
+	Committed []int
+	// Compensated activities.
+	Compensated []int
+	// Failed activities.
+	Failed []int
+	// Prepared holds in-doubt transactions keyed by local id.
+	Prepared map[int]PreparedTx
+	// Decided is set when a 2PC commit decision was logged but not all
+	// RecResolved records followed: recovery must re-commit the
+	// prepared transactions (presumed commit after decision).
+	Decided bool
+	// Resolved holds local ids whose prepared transaction was resolved.
+	Resolved map[int]bool
+	// Aborting is true when RecAbortBegin was logged without a
+	// RecTerminate.
+	Aborting bool
+	// Terminated and TerminatedCommitted mirror RecTerminate.
+	Terminated          bool
+	TerminatedCommitted bool
+}
+
+// PreparedTx identifies an in-doubt transaction at a subsystem.
+type PreparedTx struct {
+	Subsystem string
+	Tx        int64
+	Service   string
+}
+
+// Analyze scans the log and reconstructs per-process images. Processes
+// that already terminated are included with Terminated set; the caller
+// selects the active ones for the group abort.
+func Analyze(recs []Record) (map[string]*ProcImage, error) {
+	if len(recs) == 0 {
+		return nil, ErrNoLog
+	}
+	images := make(map[string]*ProcImage)
+	img := func(proc string) *ProcImage {
+		im := images[proc]
+		if im == nil {
+			im = &ProcImage{
+				Proc:     proc,
+				Prepared: make(map[int]PreparedTx),
+				Resolved: make(map[int]bool),
+			}
+			images[proc] = im
+		}
+		return im
+	}
+	for _, r := range recs {
+		switch r.Type {
+		case RecStart:
+			img(r.Proc)
+		case RecOutcome:
+			im := img(r.Proc)
+			switch r.Outcome {
+			case "committed":
+				im.Committed = append(im.Committed, r.Local)
+				delete(im.Prepared, r.Local)
+			case "prepared":
+				im.Prepared[r.Local] = PreparedTx{Subsystem: r.Subsystem, Tx: r.Tx, Service: r.Service}
+			}
+		case RecCompensate:
+			im := img(r.Proc)
+			im.Compensated = append(im.Compensated, r.Local)
+		case RecFailed:
+			im := img(r.Proc)
+			im.Failed = append(im.Failed, r.Local)
+		case RecAbortBegin:
+			img(r.Proc).Aborting = true
+		case RecDecision:
+			img(r.Proc).Decided = true
+		case RecResolved:
+			im := img(r.Proc)
+			im.Resolved[r.Local] = true
+			if r.Commit {
+				im.Committed = append(im.Committed, r.Local)
+			}
+			delete(im.Prepared, r.Local)
+		case RecTerminate:
+			im := img(r.Proc)
+			im.Terminated = true
+			im.TerminatedCommitted = r.Committed
+		}
+	}
+	return images, nil
+}

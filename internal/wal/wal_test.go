@@ -1,0 +1,168 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemLogAppendAndRecords(t *testing.T) {
+	l := NewMemLog()
+	lsn1, err := l.Append(Record{Type: RecStart, Proc: "P1"})
+	if err != nil || lsn1 != 1 {
+		t.Fatalf("lsn1 = %d, %v", lsn1, err)
+	}
+	lsn2, _ := l.Append(Record{Type: RecDispatch, Proc: "P1", Local: 1, Service: "x"})
+	if lsn2 != 2 {
+		t.Fatalf("lsn2 = %d", lsn2)
+	}
+	recs, err := l.Records()
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("records = %v, %v", recs, err)
+	}
+	if recs[0].Type != RecStart || recs[1].Service != "x" {
+		t.Fatalf("records content wrong: %+v", recs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	l, err := OpenFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Type: RecStart, Proc: "P1"})
+	l.Append(Record{Type: RecOutcome, Proc: "P1", Local: 2, Outcome: "prepared", Tx: 7, Subsystem: "s"})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: LSNs continue.
+	l2, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	lsn, err := l2.Append(Record{Type: RecTerminate, Proc: "P1", Committed: true})
+	if err != nil || lsn != 3 {
+		t.Fatalf("lsn = %d, %v", lsn, err)
+	}
+	recs, err := l2.Records()
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("records = %v, %v", recs, err)
+	}
+	if recs[1].Outcome != "prepared" || recs[1].Tx != 7 {
+		t.Fatalf("record = %+v", recs[1])
+	}
+}
+
+func TestFileLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	l, err := OpenFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Type: RecStart, Proc: "P1"})
+	l.Close()
+	// Simulate a torn write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"lsn":2,"type":1,"proc":"P1","loc`)
+	f.Close()
+	l2, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, err := l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("torn tail must be ignored, got %d records", len(recs))
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(nil); err != ErrNoLog {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAnalyzeImages(t *testing.T) {
+	recs := []Record{
+		{Type: RecStart, Proc: "P1"},
+		{Type: RecDispatch, Proc: "P1", Local: 1, Service: "a"},
+		{Type: RecOutcome, Proc: "P1", Local: 1, Outcome: "committed"},
+		{Type: RecOutcome, Proc: "P1", Local: 2, Outcome: "prepared", Tx: 9, Subsystem: "s", Service: "p"},
+		{Type: RecStart, Proc: "P2"},
+		{Type: RecOutcome, Proc: "P2", Local: 1, Outcome: "committed"},
+		{Type: RecFailed, Proc: "P2", Local: 2},
+		{Type: RecCompensate, Proc: "P2", Local: 1},
+		{Type: RecAbortBegin, Proc: "P2"},
+		{Type: RecTerminate, Proc: "P2", Committed: false},
+	}
+	images, err := Analyze(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := images["P1"]
+	if len(p1.Committed) != 1 || p1.Committed[0] != 1 {
+		t.Fatalf("p1 committed = %v", p1.Committed)
+	}
+	if tx, ok := p1.Prepared[2]; !ok || tx.Tx != 9 || tx.Subsystem != "s" {
+		t.Fatalf("p1 prepared = %v", p1.Prepared)
+	}
+	if p1.Terminated {
+		t.Fatal("p1 must be active")
+	}
+	p2 := images["P2"]
+	if !p2.Terminated || p2.TerminatedCommitted {
+		t.Fatal("p2 must have terminated by abort")
+	}
+	if !p2.Aborting || len(p2.Compensated) != 1 || len(p2.Failed) != 1 {
+		t.Fatalf("p2 image = %+v", p2)
+	}
+}
+
+func TestAnalyzeDecisionAndResolution(t *testing.T) {
+	recs := []Record{
+		{Type: RecStart, Proc: "P1"},
+		{Type: RecOutcome, Proc: "P1", Local: 2, Outcome: "prepared", Tx: 5, Subsystem: "s", Service: "p"},
+		{Type: RecOutcome, Proc: "P1", Local: 3, Outcome: "prepared", Tx: 6, Subsystem: "s", Service: "r"},
+		{Type: RecDecision, Proc: "P1"},
+		{Type: RecResolved, Proc: "P1", Local: 2, Tx: 5, Commit: true},
+	}
+	images, err := Analyze(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := images["P1"]
+	if !p1.Decided {
+		t.Fatal("decision must be recorded")
+	}
+	if p1.Resolved[3] || !p1.Resolved[2] {
+		t.Fatalf("resolved = %v", p1.Resolved)
+	}
+	if _, stillPrepared := p1.Prepared[3]; !stillPrepared {
+		t.Fatal("tx 6 must remain in doubt")
+	}
+	if _, gone := p1.Prepared[2]; gone {
+		t.Fatal("tx 5 must be resolved")
+	}
+}
+
+func TestRecTypeString(t *testing.T) {
+	for rt := RecStart; rt <= RecTerminate; rt++ {
+		if rt.String() == "" {
+			t.Fatalf("empty label for %d", int(rt))
+		}
+	}
+	if RecType(99).String() != "RecType(99)" {
+		t.Fatal("unknown label")
+	}
+}

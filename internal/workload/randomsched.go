@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"transproc/internal/activity"
+	"transproc/internal/conflict"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+)
+
+// RandomWellFormed builds a random well-formed chain process over the
+// given service-name universe: an optional compensatable prefix, a
+// pivot, a retriable tail, and optionally a nested structure after the
+// pivot with the retriable tail as its lowest-priority alternative. The
+// result has guaranteed termination by construction; it is used by the
+// Theorem-1 property tests and by tpsim's e9 experiment.
+func RandomWellFormed(rng *rand.Rand, id process.ID, services []string) *process.Process {
+	b := process.NewBuilder(id)
+	local := 0
+	add := func(kind activity.Kind) int {
+		local++
+		b.Add(local, services[rng.Intn(len(services))], kind)
+		return local
+	}
+	nComp := rng.Intn(3)
+	var prev int
+	for i := 0; i < nComp; i++ {
+		n := add(activity.Compensatable)
+		if prev != 0 {
+			b.Seq(prev, n)
+		}
+		prev = n
+	}
+	p := add(activity.Pivot)
+	if prev != 0 {
+		b.Seq(prev, p)
+	}
+	nRet := 1 + rng.Intn(2)
+	var retHead, retPrev int
+	for i := 0; i < nRet; i++ {
+		n := add(activity.Retriable)
+		if i == 0 {
+			retHead = n
+		} else {
+			b.Seq(retPrev, n)
+		}
+		retPrev = n
+	}
+	if rng.Intn(2) == 0 {
+		c := add(activity.Compensatable)
+		b.Chain(p, c, retHead)
+		p2 := add(activity.Pivot)
+		b.Seq(c, p2)
+	} else {
+		b.Seq(p, retHead)
+	}
+	return b.MustBuild()
+}
+
+// RandomSchedule interleaves the processes randomly for up to `steps`
+// events, injecting permanent failures (~10%) and aborts (~5%), and
+// returns the resulting legal process schedule. The recovery steps of
+// failures and aborts are themselves replayed into the schedule, so the
+// result exercises compensations, alternatives and completions.
+func RandomSchedule(rng *rand.Rand, tab *conflict.Table, procs []*process.Process, steps int) *schedule.Schedule {
+	s := schedule.MustNew(tab, procs...)
+	insts := make(map[process.ID]*process.Instance, len(procs))
+	aborting := make(map[process.ID][]process.Step)
+	for _, p := range procs {
+		insts[p.ID] = process.NewInstance(p)
+	}
+	must := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("workload: random schedule generation: %v", err))
+		}
+	}
+	for i := 0; i < steps; i++ {
+		var cands []process.ID
+		for id, in := range insts {
+			if in.Terminated() {
+				continue
+			}
+			if len(aborting[id]) > 0 || len(in.Frontier()) > 0 || in.Done() || in.Aborting() {
+				cands = append(cands, id)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		id := cands[rng.Intn(len(cands))]
+		in := insts[id]
+		switch {
+		case len(aborting[id]) > 0:
+			st := aborting[id][0]
+			aborting[id] = aborting[id][1:]
+			switch st.Kind {
+			case process.StepCompensate:
+				must(s.Compensate(id, st.Local))
+			case process.StepInvoke:
+				must(s.Invoke(id, st.Local))
+			}
+			must(in.ApplyStep(st))
+			if len(aborting[id]) == 0 && in.Aborting() {
+				must(s.FinishAbort(id))
+				in.MarkTerminated(false)
+			}
+		case in.Aborting():
+			must(s.FinishAbort(id))
+			in.MarkTerminated(false)
+		case in.Done():
+			must(s.Commit(id))
+			in.MarkTerminated(true)
+		default:
+			f := in.Frontier()
+			a := f[rng.Intn(len(f))]
+			kind := in.Process().Activity(a).Kind
+			r := rng.Float64()
+			switch {
+			case r < 0.10 && !kind.GuaranteedToCommit():
+				must(s.Fail(id, a))
+				plan, err := in.MarkFailed(a)
+				must(err)
+				aborting[id] = plan.Steps
+				if plan.Abort && len(plan.Steps) == 0 {
+					must(s.FinishAbort(id))
+					in.MarkTerminated(false)
+				}
+			case r < 0.15:
+				steps, err := in.Abort()
+				must(err)
+				must(s.BeginAbort(id))
+				if len(steps) == 0 {
+					must(s.FinishAbort(id))
+					in.MarkTerminated(false)
+				} else {
+					aborting[id] = steps
+				}
+			default:
+				must(s.Invoke(id, a))
+				must(in.MarkCommitted(a))
+			}
+		}
+	}
+	return s
+}

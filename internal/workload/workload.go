@@ -1,0 +1,276 @@
+// Package workload generates synthetic federations and transactional
+// processes for the benchmark harness: well-formed flex processes
+// (guaranteed termination by construction) over a pool of services with
+// a controllable conflict rate, failure probabilities and costs.
+//
+// The paper evaluates no concrete workload (it is a theory paper); this
+// generator provides the CIM-like mixes its motivation describes so the
+// scheduler protocols can be compared quantitatively.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"transproc/internal/activity"
+	"transproc/internal/process"
+	"transproc/internal/scheduler"
+	"transproc/internal/subsystem"
+)
+
+// Profile parameterizes a generated workload.
+type Profile struct {
+	Seed int64
+	// Processes is the number of processes to generate.
+	Processes int
+	// Subsystems is the number of simulated resource managers.
+	Subsystems int
+	// ServicesPerSubsystem controls the service pool size (per kind).
+	ServicesPerSubsystem int
+	// MinActivities and MaxActivities bound the process length.
+	MinActivities, MaxActivities int
+	// ConflictProb is the probability that a service writes its
+	// subsystem's shared hot item (two hot writers conflict); the
+	// remaining services write private items and commute.
+	ConflictProb float64
+	// NestedProb is the probability that a process has a nested
+	// well-formed structure after its pivot (with an all-retriable
+	// lowest-priority alternative).
+	NestedProb float64
+	// ParallelProb is the probability that the compensatable prefix
+	// fans out into two parallel (AND) branches that join at the pivot
+	// — the general partial orders of Definition 5.
+	ParallelProb float64
+	// PermFailureProb is the per-invocation failure probability of
+	// compensatable and pivot services (permanent failures driving
+	// alternatives and backward recovery).
+	PermFailureProb float64
+	// TransientFailureProb is the per-invocation abort probability of
+	// retriable services (transient, retried).
+	TransientFailureProb float64
+	// MinCost and MaxCost bound per-service virtual execution cost.
+	MinCost, MaxCost int
+	// ArrivalSpacing is the inter-arrival gap in virtual ticks (0 means
+	// all processes arrive at time zero).
+	ArrivalSpacing int64
+}
+
+// DefaultProfile returns a moderate baseline profile.
+func DefaultProfile(seed int64) Profile {
+	return Profile{
+		Seed:                 seed,
+		Processes:            16,
+		Subsystems:           4,
+		ServicesPerSubsystem: 4,
+		MinActivities:        4,
+		MaxActivities:        8,
+		ConflictProb:         0.3,
+		NestedProb:           0.3,
+		ParallelProb:         0.25,
+		PermFailureProb:      0.05,
+		TransientFailureProb: 0.10,
+		MinCost:              1,
+		MaxCost:              4,
+		ArrivalSpacing:       0,
+	}
+}
+
+// Workload is a generated federation plus jobs.
+type Workload struct {
+	Fed  *subsystem.Federation
+	Jobs []scheduler.Job
+	// Pool lists the generated service names by kind.
+	Pool Pool
+}
+
+// Pool holds the generated service names.
+type Pool struct {
+	Compensatable []string
+	Pivot         []string
+	Retriable     []string
+}
+
+// Generate builds the federation and processes of a profile. The same
+// profile (including seed) generates the identical workload, so
+// scheduler modes can be compared on equal terms by regenerating it.
+func Generate(p Profile) (*Workload, error) {
+	if p.Processes <= 0 || p.Subsystems <= 0 || p.ServicesPerSubsystem <= 0 {
+		return nil, fmt.Errorf("workload: profile needs positive counts")
+	}
+	if p.MinActivities < 2 || p.MaxActivities < p.MinActivities {
+		return nil, fmt.Errorf("workload: activity bounds invalid (min %d, max %d)", p.MinActivities, p.MaxActivities)
+	}
+	if p.MinCost < 1 {
+		p.MinCost = 1
+	}
+	if p.MaxCost < p.MinCost {
+		p.MaxCost = p.MinCost
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	fed := subsystem.NewFederation()
+	var pool Pool
+
+	cost := func() int { return p.MinCost + rng.Intn(p.MaxCost-p.MinCost+1) }
+	for s := 0; s < p.Subsystems; s++ {
+		name := fmt.Sprintf("rm%d", s)
+		sub := subsystem.New(name, p.Seed+int64(s)+1)
+		hot := fmt.Sprintf("%s/hot", name)
+		// A service either writes the subsystem's shared hot item (it
+		// then conflicts with every other hot writer including itself)
+		// or its private counter, which it updates commutatively
+		// (increments commute — the semantically rich commutativity the
+		// unified theory is built for), so it conflicts with nothing.
+		item := func(svc string) (string, bool) {
+			if rng.Float64() < p.ConflictProb {
+				return hot, false
+			}
+			return fmt.Sprintf("%s/%s", name, svc), true
+		}
+		for i := 0; i < p.ServicesPerSubsystem; i++ {
+			c := fmt.Sprintf("c%d_%d", s, i)
+			it, commutes := item(c)
+			sub.MustRegister(activity.Spec{
+				Name: c, Kind: activity.Compensatable, Subsystem: name,
+				Compensation: process.DefaultCompensationName(c),
+				WriteSet:     []string{it}, Commutative: commutes,
+				FailureProb: p.PermFailureProb, Cost: cost(),
+			})
+			pool.Compensatable = append(pool.Compensatable, c)
+
+			pv := fmt.Sprintf("p%d_%d", s, i)
+			it, commutes = item(pv)
+			sub.MustRegister(activity.Spec{
+				Name: pv, Kind: activity.Pivot, Subsystem: name,
+				WriteSet: []string{it}, Commutative: commutes,
+				FailureProb: p.PermFailureProb, Cost: cost(),
+			})
+			pool.Pivot = append(pool.Pivot, pv)
+
+			r := fmt.Sprintf("r%d_%d", s, i)
+			it, commutes = item(r)
+			sub.MustRegister(activity.Spec{
+				Name: r, Kind: activity.Retriable, Subsystem: name,
+				WriteSet: []string{it}, Commutative: commutes,
+				FailureProb: p.TransientFailureProb, Cost: cost(),
+			})
+			pool.Retriable = append(pool.Retriable, r)
+		}
+		fed.MustAdd(sub)
+	}
+
+	jobs := make([]scheduler.Job, 0, p.Processes)
+	for i := 0; i < p.Processes; i++ {
+		id := process.ID(fmt.Sprintf("W%d", i+1))
+		proc, err := buildProcess(rng, id, pool, p)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, scheduler.Job{Proc: proc, Arrival: int64(i) * p.ArrivalSpacing})
+	}
+	return &Workload{Fed: fed, Jobs: jobs, Pool: pool}, nil
+}
+
+// MustGenerate is Generate that panics on error, for benchmarks.
+func MustGenerate(p Profile) *Workload {
+	w, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// buildProcess assembles a well-formed flex process:
+//
+//	c* p r*                         (plain)
+//	c* p (c p r*) | r*              (nested, with retriable alternative)
+//
+// The generated structure has guaranteed termination by construction.
+func buildProcess(rng *rand.Rand, id process.ID, pool Pool, p Profile) (*process.Process, error) {
+	n := p.MinActivities + rng.Intn(p.MaxActivities-p.MinActivities+1)
+	b := process.NewBuilder(id)
+	local := 0
+	add := func(kind activity.Kind, pool []string) int {
+		local++
+		b.Add(local, pool[rng.Intn(len(pool))], kind)
+		return local
+	}
+
+	// Compensatable prefix (at least one when n allows), optionally
+	// fanning out into two parallel branches that join at the pivot.
+	nComp := n / 2
+	if nComp < 1 {
+		nComp = 1
+	}
+	pivot := 0
+	if nComp >= 3 && rng.Float64() < p.ParallelProb {
+		root := add(activity.Compensatable, pool.Compensatable)
+		rest := nComp - 1
+		left := rest / 2
+		right := rest - left
+		if right == 0 {
+			right = 1
+		}
+		branch := func(n int) int {
+			prev := root
+			first := true
+			for i := 0; i < n; i++ {
+				cur := add(activity.Compensatable, pool.Compensatable)
+				if first {
+					b.Seq(root, cur)
+					first = false
+				} else {
+					b.Seq(prev, cur)
+				}
+				prev = cur
+			}
+			return prev
+		}
+		lEnd := branch(left)
+		rEnd := branch(right)
+		pivot = add(activity.Pivot, pool.Pivot)
+		if lEnd != root {
+			b.Seq(lEnd, pivot)
+		}
+		b.Seq(rEnd, pivot)
+	} else {
+		prev := 0
+		for i := 0; i < nComp; i++ {
+			cur := add(activity.Compensatable, pool.Compensatable)
+			if prev != 0 {
+				b.Seq(prev, cur)
+			}
+			prev = cur
+		}
+		pivot = add(activity.Pivot, pool.Pivot)
+		b.Seq(prev, pivot)
+	}
+
+	nRet := n - nComp - 1
+	if nRet < 1 {
+		nRet = 1
+	}
+	// Retriable tail (the guaranteed continuation).
+	retHead := add(activity.Retriable, pool.Retriable)
+	rprev := retHead
+	for i := 1; i < nRet; i++ {
+		cur := add(activity.Retriable, pool.Retriable)
+		b.Seq(rprev, cur)
+		rprev = cur
+	}
+
+	if rng.Float64() < p.NestedProb {
+		// Nested structure: pivot -> (c p) preferred, retriable tail as
+		// the lowest-priority alternative.
+		c2 := add(activity.Compensatable, pool.Compensatable)
+		p2 := add(activity.Pivot, pool.Pivot)
+		b.Chain(pivot, c2, retHead)
+		b.Seq(c2, p2)
+	} else {
+		b.Seq(pivot, retHead)
+	}
+	proc, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("workload: building %s: %w", id, err)
+	}
+	return proc, nil
+}
