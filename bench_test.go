@@ -17,6 +17,7 @@ import (
 
 	"transproc"
 	"transproc/internal/composite"
+	"transproc/internal/metrics"
 	"transproc/internal/paper"
 	"transproc/internal/process"
 	"transproc/internal/schedule"
@@ -155,6 +156,9 @@ func BenchmarkPREDCheckLarge(b *testing.B) {
 func benchProfile(conflict, fail float64) workload.Profile {
 	p := workload.DefaultProfile(42)
 	p.Processes = 24
+	if testing.Short() {
+		p.Processes = 8
+	}
 	p.ConflictProb = conflict
 	p.PermFailureProb = fail
 	return p
@@ -360,6 +364,36 @@ func BenchmarkCrashRecovery(b *testing.B) {
 		if _, err := scheduler.Recover(w.Fed, eng.Log(), defs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineInstrumentation measures the cost of the observability
+// layer on the full scheduler: "noop" runs with no registry (the
+// default nil no-op sink — its per-call overhead must be a nil check
+// and nothing else), "instrumented" with a live registry recording
+// counters, histograms and the decision trace.
+func BenchmarkEngineInstrumentation(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		reg  func() *metrics.Registry
+	}{
+		{"noop", func() *metrics.Registry { return nil }},
+		{"instrumented", metrics.New},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			p := benchProfile(0.4, 0.08)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w := workload.MustGenerate(p)
+				eng, err := scheduler.New(w.Fed, scheduler.Config{Mode: scheduler.PREDCascade, Metrics: v.reg()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.RunJobs(w.Jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

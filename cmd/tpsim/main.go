@@ -5,12 +5,18 @@
 // Usage:
 //
 //	tpsim [experiment ...]
-//	tpsim run <spec.json> [mode]
+//	tpsim -metrics[=text|json]
+//	tpsim run [-metrics[=text|json]] <spec.json> [mode]
 //
 // where experiment is one of e1..e12, b1, b2, b4, b5, or "all" (default),
 // and mode is pred (default), pred-cascade, serial, conservative or
 // cc-only. "run" executes a declarative process definition (see
 // internal/spec for the format and examples/specs for samples).
+//
+// -metrics attaches an observability registry to the run and dumps its
+// snapshot (counters, histograms, per-service latencies, WAL totals and
+// the decision-trace tail) after execution; bare "tpsim -metrics" runs
+// a fault-injected demo workload under the instrumented scheduler.
 package main
 
 import (
@@ -53,14 +59,25 @@ func main() {
 	}
 	sort.Strings(names)
 
-	args := os.Args[1:]
+	metricsFormat, args, err := extractMetricsFlag(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if len(args) >= 2 && args[0] == "run" {
 		mode := ""
 		if len(args) >= 3 {
 			mode = args[2]
 		}
-		if err := runSpecFile(args[1], mode); err != nil {
+		if err := runSpecFile(args[1], mode, metricsFormat); err != nil {
 			fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) == 0 && metricsFormat != "" {
+		if err := metricsDemo(metricsFormat); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics demo failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

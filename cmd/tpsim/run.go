@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"transproc/internal/metrics"
 	"transproc/internal/scheduler"
 	"transproc/internal/sim"
 	"transproc/internal/spec"
@@ -11,8 +12,10 @@ import (
 
 // runSpecFile loads a declarative JSON definition and executes it under
 // the requested mode (default pred), printing the schedule, a
-// per-process timeline and the correctness verdicts.
-func runSpecFile(path string, modeName string) error {
+// per-process timeline and the correctness verdicts. A non-empty
+// metricsFormat ("text" or "json") attaches an observability registry
+// and dumps its snapshot after the run.
+func runSpecFile(path string, modeName string, metricsFormat string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -25,7 +28,11 @@ func runSpecFile(path string, modeName string) error {
 	if err != nil {
 		return err
 	}
-	eng, err := scheduler.New(fed, scheduler.Config{Mode: mode})
+	var reg *metrics.Registry
+	if metricsFormat != "" {
+		reg = metrics.New()
+	}
+	eng, err := scheduler.New(fed, scheduler.Config{Mode: mode, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -52,6 +59,10 @@ func runSpecFile(path string, modeName string) error {
 	fmt.Println("serializable (committed projection):", srl)
 	if n := len(fed.InDoubt()); n > 0 {
 		fmt.Printf("WARNING: %d in-doubt transactions remain\n", n)
+	}
+	if reg != nil {
+		fmt.Println()
+		return dumpSnapshot(reg, metricsFormat)
 	}
 	return nil
 }

@@ -1,3 +1,5 @@
 module transproc
 
-go 1.22
+go 1.23.0
+
+toolchain go1.24.0

@@ -35,6 +35,7 @@
 package scheduler
 
 import (
+	"transproc/internal/metrics"
 	"transproc/internal/wal"
 )
 
@@ -110,6 +111,11 @@ type Config struct {
 	// re-invoked — not treated as failures of their processes. Applies
 	// to the PRED-family modes.
 	WeakOrder bool
+	// Metrics is the observability registry the engine (and the
+	// subsystems, 2PC coordinator and WAL it drives) records counters,
+	// histograms and the decision trace into. nil (the default) is a
+	// no-op sink that adds zero allocations to the hot path.
+	Metrics *metrics.Registry
 	// MaxStalls bounds deadlock-resolution victim aborts per run.
 	// Default 256.
 	MaxStalls int

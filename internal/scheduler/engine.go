@@ -8,6 +8,7 @@ import (
 
 	"transproc/internal/activity"
 	"transproc/internal/conflict"
+	"transproc/internal/metrics"
 	"transproc/internal/process"
 	"transproc/internal/schedule"
 	"transproc/internal/subsystem"
@@ -79,6 +80,10 @@ type procRT struct {
 	attempts        map[int]int
 	start, end      int64
 	committedSeq    map[int]int64 // local -> completion seq of its commit/prepare
+	// blockedSince is the clock at which the finished process first
+	// found its deferred 2PC commit blocked by an active conflicting
+	// predecessor (-1 while not blocked); feeds HistProcBlocked.
+	blockedSince int64
 }
 
 // completion is a scheduled future event in virtual time.
@@ -138,6 +143,7 @@ type Engine struct {
 	edges map[[2]process.ID]int
 
 	metrics     Metrics
+	reg         *metrics.Registry // observability registry (nil = no-op)
 	completions int
 	crashed     bool
 	outcomes    map[process.ID]*Outcome
@@ -189,17 +195,29 @@ func New(fed *subsystem.Federation, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		fed:       fed,
 		table:     table,
 		log:       cfg.Log,
 		coord:     twopc.New(cfg.Log),
+		reg:       cfg.Metrics,
 		byID:      make(map[process.ID]*procRT),
 		edges:     make(map[[2]process.ID]int),
 		outcomes:  make(map[process.ID]*Outcome),
 		confCache: make(map[[2]string]bool),
-	}, nil
+	}
+	if e.reg != nil {
+		// Wire the registry through the whole stack: the coordinator
+		// (prepared-set sizes), every subsystem (invocation counters,
+		// in-doubt sizes) and the WAL (append/fsync totals).
+		e.coord.Metrics = e.reg
+		fed.SetMetrics(e.reg)
+		if il, ok := e.log.(wal.Instrumented); ok {
+			il.SetMetrics(e.reg)
+		}
+	}
+	return e, nil
 }
 
 // Table returns the conflict table the engine scheduled under.
@@ -348,6 +366,7 @@ func (e *Engine) newRT(p *process.Process, arrival int, origin process.ID) *proc
 		attempts:     make(map[int]int),
 		committedSeq: make(map[int]int64),
 		start:        e.clock,
+		blockedSince: -1,
 	}
 	e.allProcs = append(e.allProcs, p)
 	e.outcomes[p.ID] = &Outcome{Start: e.clock}
@@ -366,6 +385,8 @@ func (e *Engine) admit() bool {
 			rt.start = e.clock
 			e.outcomes[rt.id].Start = e.clock
 			e.log.Append(wal.Record{Type: wal.RecStart, Proc: string(rt.id)})
+			e.reg.Inc(metrics.ProcsAdmitted)
+			e.reg.Trace(metrics.TAdmit, e.clock, string(rt.id), 0, "", "")
 			admitted = true
 		} else {
 			keep = append(keep, rt)
@@ -515,8 +536,10 @@ func (e *Engine) dispatchProc(rt *procRT) bool {
 		if !e.predsCommitted(rt, local) {
 			continue
 		}
-		if ok, _ := e.mayDispatch(rt, a); !ok {
+		if ok, why := e.mayDispatch(rt, a); !ok {
 			e.metrics.PolicyWaits++
+			e.reg.Inc(metrics.InvokePolicyBlocked)
+			e.reg.Trace(metrics.TPolicyWait, e.clock, string(rt.id), local, a.Service, why)
 			continue
 		}
 		if e.invoke(rt, local, a.Service, a.Kind, false, process.Step{}) {
@@ -573,11 +596,14 @@ func (e *Engine) invoke(rt *procRT, local int, service string, kind activity.Kin
 					}
 					e.metrics.Invocations++
 					e.metrics.LockWaits++
+					e.reg.Inc(metrics.InvokeLockBlocked)
+					e.reg.Trace(metrics.TLockWait, e.clock, string(rt.id), local, service, "weak-order dependency on non-compensatable")
 					return false
 				}
 			}
 		}
 		e.metrics.WeakDeps += int64(len(deps))
+		e.reg.Add(metrics.WeakDeps, int64(len(deps)))
 	} else {
 		res, err = e.fed.Invoke(string(rt.origin), service, subsystem.Prepare)
 	}
@@ -585,6 +611,8 @@ func (e *Engine) invoke(rt *procRT, local int, service string, kind activity.Kin
 	switch {
 	case errors.Is(err, subsystem.ErrLocked):
 		e.metrics.LockWaits++
+		e.reg.Inc(metrics.InvokeLockBlocked)
+		e.reg.Trace(metrics.TLockWait, e.clock, string(rt.id), local, service, "")
 		return false
 	case errors.Is(err, subsystem.ErrAborted):
 		res = nil
@@ -608,6 +636,8 @@ func (e *Engine) invoke(rt *procRT, local int, service string, kind activity.Kin
 	e.log.Append(wal.Record{
 		Type: wal.RecDispatch, Proc: string(rt.id), Local: local, Service: service,
 	})
+	e.reg.Inc(metrics.InvokeDispatched)
+	e.reg.Trace(metrics.TDispatch, e.clock, string(rt.id), local, service, "")
 	heap.Push(&e.queue, c)
 	return true
 }
@@ -623,6 +653,11 @@ func (e *Engine) handleCompletion(c *completion) error {
 	}
 	delete(rt.running, c.local)
 	e.bump()
+	if c.tries == 0 {
+		// First completion of this invocation (not a commit-order wait
+		// retry): record the per-service latency.
+		e.reg.ObserveService(c.service, e.cost(c.service))
+	}
 
 	// Orphaned completion: while the invocation was in flight, its
 	// branch was abandoned or the process began aborting (a parallel
@@ -633,6 +668,8 @@ func (e *Engine) handleCompletion(c *completion) error {
 			sub, _ := e.fed.Owner(c.service)
 			if err := sub.AbortPrepared(c.res.Tx); err == nil {
 				e.metrics.Rollbacks++
+				e.reg.Inc(metrics.RollbacksOrphaned)
+				e.reg.Trace(metrics.TRollback, e.clock, string(rt.id), c.local, c.service, "orphaned completion")
 				e.log.Append(wal.Record{
 					Type: wal.RecResolved, Proc: string(rt.id), Local: c.local,
 					Service: c.service, Subsystem: sub.Name(), Tx: int64(c.res.Tx), Commit: false,
@@ -646,6 +683,8 @@ func (e *Engine) handleCompletion(c *completion) error {
 		if c.kind.GuaranteedToCommit() {
 			// Transient failure of a retriable activity: re-invoke.
 			e.metrics.Retries++
+			e.reg.Inc(metrics.RetriesTransient)
+			e.reg.Trace(metrics.TRetry, e.clock, string(rt.id), c.local, c.service, "")
 			rt.attempts[c.local]++
 			e.log.Append(wal.Record{Type: wal.RecOutcome, Proc: string(rt.id), Local: c.local, Service: c.service, Outcome: "aborted"})
 			return nil
@@ -672,6 +711,8 @@ func (e *Engine) handleCompletion(c *completion) error {
 					return fmt.Errorf("scheduler: weak commit of %s/%s starved (commit-order wait)", rt.id, c.service)
 				}
 				e.metrics.WeakOrderWaits++
+				e.reg.Inc(metrics.WeakOrderWaits)
+				e.reg.Trace(metrics.TWeakWait, e.clock, string(rt.id), c.local, c.service, "")
 				e.seq++
 				c.at = e.clock + 1
 				c.seq = e.seq
@@ -680,6 +721,8 @@ func (e *Engine) handleCompletion(c *completion) error {
 				return nil
 			case errors.Is(err, subsystem.ErrDependencyAborted):
 				e.metrics.WeakRestarts++
+				e.reg.Inc(metrics.WeakRestarts)
+				e.reg.Trace(metrics.TWeakRestart, e.clock, string(rt.id), c.local, c.service, "")
 				if err := sub.AbortPrepared(c.res.Tx); err != nil {
 					return fmt.Errorf("scheduler: weak rollback %s/%s: %w", rt.id, c.service, err)
 				}
@@ -704,9 +747,15 @@ func (e *Engine) handleCompletion(c *completion) error {
 			proc: rt.id, local: c.local, service: c.service, kind: c.kind, typ: schedule.Invoke,
 		}, c.seq)
 		rt.committedSeq[c.local] = c.seq
+		e.reg.Inc(metrics.CommitsImmediate)
+		e.reg.Trace(metrics.TCommit, e.clock, string(rt.id), c.local, c.service, "")
 	} else {
 		// Deferred commit (Lemma 1): hold the prepared transaction.
 		e.metrics.Deferrals++
+		e.reg.Inc(metrics.CommitsDeferred)
+		if e.reg != nil {
+			e.reg.Trace(metrics.TDeferCommit, e.clock, string(rt.id), c.local, c.service, e.firstActivePred(rt))
+		}
 		if err := rt.inst.MarkPrepared(c.local); err != nil {
 			return fmt.Errorf("scheduler: %w", err)
 		}
@@ -752,6 +801,22 @@ func (e *Engine) hasActiveConflictPred(rt *procRT) bool {
 		}
 	}
 	return false
+}
+
+// firstActivePred names one active conflicting predecessor of rt — the
+// process a deferred commit is waiting on (trace detail for the
+// defer-commit decision). Which one is named is arbitrary when several
+// exist.
+func (e *Engine) firstActivePred(rt *procRT) string {
+	for k, n := range e.edges {
+		if n <= 0 || k[1] != rt.id {
+			continue
+		}
+		if q := e.byID[k[0]]; q != nil && q.state != psDone {
+			return string(k[0])
+		}
+	}
+	return ""
 }
 
 // subsystemOf names the owning subsystem of a service.
@@ -975,6 +1040,7 @@ func (e *Engine) lemma1ClearForward(rt *procRT, st process.Step) bool {
 // compensatable or pivot activity (Definition 4).
 func (e *Engine) handlePermanentFailure(rt *procRT, c *completion) error {
 	e.log.Append(wal.Record{Type: wal.RecFailed, Proc: string(rt.id), Local: c.local, Service: c.service})
+	e.reg.Trace(metrics.TFail, e.clock, string(rt.id), c.local, c.service, "")
 	e.seq++
 	e.appendEvent(&engEvent{
 		proc: rt.id, local: c.local, service: c.service, kind: c.kind, typ: schedule.FailedInvoke,
@@ -993,12 +1059,16 @@ func (e *Engine) handlePermanentFailure(rt *procRT, c *completion) error {
 		rt.state = psAborting
 		rt.recovery = plan.Steps
 		e.log.Append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
+		e.reg.Inc(metrics.BackwardRecoveries)
+		e.reg.Trace(metrics.TBackward, e.clock, string(rt.id), c.local, c.service, "")
 		e.seq++
 		e.appendEvent(&engEvent{proc: rt.id, typ: schedule.AbortBegin}, e.seq)
 		e.cascadeDependents(rt)
 		return nil
 	}
 	rt.recovery = plan.Steps
+	e.reg.Inc(metrics.ForwardRecoveries)
+	e.reg.Trace(metrics.TForward, e.clock, string(rt.id), c.local, c.service, "")
 	return nil
 }
 
@@ -1013,6 +1083,8 @@ func (e *Engine) beginAbort(rt *procRT) error {
 	rt.state = psAborting
 	rt.recovery = steps
 	e.log.Append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
+	e.reg.Inc(metrics.BackwardRecoveries)
+	e.reg.Trace(metrics.TBackward, e.clock, string(rt.id), 0, "", "")
 	e.seq++
 	e.appendEvent(&engEvent{proc: rt.id, typ: schedule.AbortBegin}, e.seq)
 	e.cascadeDependents(rt)
@@ -1074,6 +1146,8 @@ func (e *Engine) cascadeDependents(rt *procRT) {
 			continue
 		}
 		e.metrics.Cascades++
+		e.reg.Inc(metrics.CascadeAborts)
+		e.reg.Trace(metrics.TCascade, e.clock, string(q.id), 0, "", string(rt.id))
 		q.abortPending = true
 		q.restartable = true
 	}
@@ -1091,6 +1165,8 @@ func (e *Engine) dispatchRecoveryStep(rt *procRT) bool {
 		if ok {
 			if err := ptx.sub.AbortPrepared(ptx.tx); err == nil {
 				e.metrics.Rollbacks++
+				e.reg.Inc(metrics.DeferredRolledBack)
+				e.reg.Trace(metrics.TRollback, e.clock, string(rt.id), st.Local, ptx.service, "abandoned branch")
 				e.log.Append(wal.Record{
 					Type: wal.RecResolved, Proc: string(rt.id), Local: st.Local,
 					Service: ptx.service, Subsystem: ptx.sub.Name(), Tx: int64(ptx.tx), Commit: false,
@@ -1220,10 +1296,13 @@ func (e *Engine) handleStepCompletion(rt *procRT, c *completion) error {
 	rt.recoveryBusy = false
 	rt.recoveryBusySvc = ""
 	e.bump()
+	e.reg.ObserveService(c.service, e.cost(c.service))
 	if c.failed {
 		// Compensations and forward-recovery activities are retriable;
 		// transient failures are re-invoked.
 		e.metrics.Retries++
+		e.reg.Inc(metrics.RetriesTransient)
+		e.reg.Trace(metrics.TRetry, e.clock, string(rt.id), c.local, c.service, "recovery step")
 		return nil
 	}
 	// Commit the step's local transaction now.
@@ -1237,6 +1316,8 @@ func (e *Engine) handleStepCompletion(rt *procRT, c *completion) error {
 	switch c.step.Kind {
 	case process.StepCompensate:
 		e.metrics.Compensations++
+		e.reg.Inc(metrics.CompensationsIssued)
+		e.reg.Trace(metrics.TCompensate, e.clock, string(rt.id), c.local, c.service, "")
 		e.log.Append(wal.Record{Type: wal.RecCompensate, Proc: string(rt.id), Local: c.local, Service: c.service})
 		// The base event stops contributing conflicts.
 		for _, ev := range e.events {
@@ -1250,6 +1331,7 @@ func (e *Engine) handleStepCompletion(rt *procRT, c *completion) error {
 			kind: activity.Compensation, typ: schedule.Invoke, inverse: true,
 		}, c.seq)
 	case process.StepInvoke:
+		e.reg.Trace(metrics.TRecoveryStep, e.clock, string(rt.id), c.local, c.service, "")
 		e.log.Append(wal.Record{
 			Type: wal.RecOutcome, Proc: string(rt.id), Local: c.local, Service: c.service,
 			Subsystem: sub.Name(), Tx: int64(c.res.Tx), Outcome: "committed",
@@ -1272,6 +1354,9 @@ func (e *Engine) handleStepCompletion(rt *procRT, c *completion) error {
 func (e *Engine) tryFinish(rt *procRT) bool {
 	if len(rt.prepared) > 0 {
 		if e.hasActiveConflictPred(rt) {
+			if rt.blockedSince < 0 {
+				rt.blockedSince = e.clock
+			}
 			return false
 		}
 		if !e.commitPreparedSet(rt) {
@@ -1309,9 +1394,14 @@ func (e *Engine) commitPreparedSet(rt *procRT) bool {
 		switch err := ptx.sub.WeakCommittable(ptx.tx); {
 		case errors.Is(err, subsystem.ErrOrder):
 			e.metrics.WeakOrderWaits++
+			e.reg.Inc(metrics.WeakOrderWaits)
+			e.reg.Trace(metrics.TWeakWait, e.clock, string(rt.id), l, ptx.service, "")
 			return false
 		case errors.Is(err, subsystem.ErrDependencyAborted):
 			e.metrics.WeakRestarts++
+			e.reg.Inc(metrics.WeakRestarts)
+			e.reg.Inc(metrics.DeferredRolledBack)
+			e.reg.Trace(metrics.TWeakRestart, e.clock, string(rt.id), l, ptx.service, "")
 			if err := ptx.sub.AbortPrepared(ptx.tx); err != nil {
 				panic(fmt.Sprintf("scheduler: weak rollback: %v", err))
 			}
@@ -1343,6 +1433,8 @@ func (e *Engine) commitPreparedSet(rt *procRT) bool {
 	}
 	for _, l := range locals {
 		e.metrics.TwoPCCommits++
+		e.reg.Inc(metrics.DeferredCommitted2PC)
+		e.reg.Trace(metrics.TTwoPCCommit, e.clock, string(rt.id), l, rt.prepared[l].service, "")
 		if err := rt.inst.MarkCommitted(l); err != nil {
 			panic(fmt.Sprintf("scheduler: %v", err))
 		}
@@ -1363,6 +1455,10 @@ func (e *Engine) commitPreparedSet(rt *procRT) bool {
 			}
 		}
 		delete(rt.prepared, l)
+	}
+	if rt.blockedSince >= 0 {
+		e.reg.Observe(metrics.HistProcBlocked, e.clock-rt.blockedSince)
+		rt.blockedSince = -1
 	}
 	e.bump()
 	return true
@@ -1389,6 +1485,8 @@ func (e *Engine) finishAbort(rt *procRT) {
 	for l, ptx := range rt.prepared {
 		if err := ptx.sub.AbortPrepared(ptx.tx); err == nil {
 			e.metrics.Rollbacks++
+			e.reg.Inc(metrics.DeferredRolledBack)
+			e.reg.Trace(metrics.TRollback, e.clock, string(rt.id), l, ptx.service, "abort leftover")
 			e.log.Append(wal.Record{
 				Type: wal.RecResolved, Proc: string(rt.id), Local: l,
 				Service: ptx.service, Subsystem: ptx.sub.Name(), Tx: int64(ptx.tx), Commit: false,
@@ -1416,11 +1514,17 @@ func (e *Engine) terminate(rt *procRT, committed bool) {
 	out.End = e.clock
 	out.Committed = committed
 	out.Aborted = !committed
+	fate := "aborted"
 	if committed {
 		e.metrics.CommittedProcs++
+		e.reg.Inc(metrics.ProcsCommitted)
+		fate = "committed"
 	} else {
 		e.metrics.AbortedProcs++
+		e.reg.Inc(metrics.ProcsAborted)
 	}
+	e.reg.Observe(metrics.HistProcDuration, e.clock-rt.start)
+	e.reg.Trace(metrics.TTerminate, e.clock, string(rt.id), 0, "", fate)
 	e.log.Append(wal.Record{Type: wal.RecTerminate, Proc: string(rt.id), Committed: committed})
 	e.seq++
 	e.appendEvent(&engEvent{proc: rt.id, typ: schedule.Terminate, committed: committed}, e.seq)
@@ -1432,6 +1536,7 @@ func (e *Engine) terminate(rt *procRT, committed bool) {
 // derived id.
 func (e *Engine) restart(rt *procRT) {
 	e.metrics.Restarts++
+	e.reg.Inc(metrics.ProcsRestarted)
 	newID := process.ID(fmt.Sprintf("%s+r%d", rt.origin, rt.restarts+1))
 	def := rt.def.WithID(newID)
 	nrt := e.newRT(def, rt.arrival, rt.origin)
@@ -1527,6 +1632,8 @@ func (e *Engine) resolveStall() bool {
 		fmt.Printf("FIRST STALL victim=%s\n%s\n", victim.id, e.stallDump())
 	}
 	e.metrics.VictimAborts++
+	e.reg.Inc(metrics.VictimAborts)
+	e.reg.Trace(metrics.TVictim, e.clock, string(victim.id), 0, "", "stall resolution")
 	victim.restartable = true
 	victim.abortPending = true
 	return e.dispatchProc(victim)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"transproc/internal/metrics"
 	"transproc/internal/process"
 	"transproc/internal/subsystem"
 	"transproc/internal/twopc"
@@ -41,6 +42,14 @@ type RecoveryReport struct {
 // The federation must be the surviving subsystem state; defs the process
 // definitions known to the scheduler (by original id).
 func Recover(fed *subsystem.Federation, log wal.Log, defs []*process.Process) (*RecoveryReport, error) {
+	return RecoverWithMetrics(fed, log, defs, nil)
+}
+
+// RecoverWithMetrics is Recover with an observability registry attached:
+// 2PC resolutions, orphan rollbacks, the group abort and every recovery
+// step are recorded as counters and decision-trace events. A nil
+// registry makes it identical to Recover.
+func RecoverWithMetrics(fed *subsystem.Federation, log wal.Log, defs []*process.Process, m *metrics.Registry) (*RecoveryReport, error) {
 	recs, err := log.Records()
 	if err != nil {
 		return nil, err
@@ -58,6 +67,13 @@ func Recover(fed *subsystem.Federation, log wal.Log, defs []*process.Process) (*
 	}
 
 	coord := twopc.New(log)
+	coord.Metrics = m
+	if m != nil {
+		fed.SetMetrics(m)
+		if il, ok := log.(wal.Instrumented); ok {
+			il.SetMetrics(m)
+		}
+	}
 	report := &RecoveryReport{}
 
 	// Deterministic order over processes.
@@ -104,6 +120,8 @@ func Recover(fed *subsystem.Federation, log wal.Log, defs []*process.Process) (*
 				return nil, fmt.Errorf("scheduler: aborting orphaned transaction %d at %s: %w", r.Tx, subName, err)
 			}
 			report.Resolved2PCAborted++
+			m.Inc(metrics.RollbacksOrphaned)
+			m.Trace(metrics.TRollback, 0, "", int(r.Tx), "", "no prepare record: presumed abort")
 		}
 	}
 
@@ -154,9 +172,19 @@ func Recover(fed *subsystem.Federation, log wal.Log, defs []*process.Process) (*
 		})
 		if mode == process.BREC {
 			report.BackwardRecovered = append(report.BackwardRecovered, process.ID(id))
+			m.Inc(metrics.BackwardRecoveries)
+			m.Trace(metrics.TBackward, 0, id, 0, "", "group abort: B-REC")
 		} else {
 			report.ForwardRecovered = append(report.ForwardRecovered, process.ID(id))
+			m.Inc(metrics.ForwardRecoveries)
+			m.Trace(metrics.TForward, 0, id, 0, "", "group abort: F-REC")
 		}
+	}
+	if len(completions) > 0 {
+		// One group abort covers all interrupted processes
+		// (Definition 8.2b).
+		m.Inc(metrics.GroupAborts)
+		m.Trace(metrics.TGroupAbort, 0, "", len(completions), "", "")
 	}
 
 	// Phase 3: execute the group abort. First all rollbacks of leftover
@@ -205,9 +233,13 @@ func Recover(fed *subsystem.Federation, log wal.Log, defs []*process.Process) (*
 			}
 			if gs.st.Kind == process.StepCompensate {
 				report.Compensations++
+				m.Inc(metrics.RecoveryCompensations)
+				m.Trace(metrics.TCompensate, 0, string(gs.pc.id), gs.st.Local, gs.st.Service, "recovery")
 				log.Append(wal.Record{Type: wal.RecCompensate, Proc: string(gs.pc.id), Local: gs.st.Local, Service: gs.st.Service})
 			} else {
 				report.ForwardInvocations++
+				m.Inc(metrics.RecoveryForwardInvokes)
+				m.Trace(metrics.TRecoveryStep, 0, string(gs.pc.id), gs.st.Local, gs.st.Service, "recovery")
 				log.Append(wal.Record{Type: wal.RecOutcome, Proc: string(gs.pc.id), Local: gs.st.Local, Service: gs.st.Service, Outcome: "committed"})
 			}
 			return gs.pc.inst.ApplyStep(gs.st)

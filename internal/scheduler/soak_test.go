@@ -65,9 +65,13 @@ func TestProtocolSoak(t *testing.T) {
 // after every run, each process either committed (its effects present)
 // or aborted effect-free/forward-complete — concretely, no data item may
 // ever go negative, and the number of in-doubt transactions must be
-// zero.
+// zero. With -short the sweep shrinks.
 func TestSoakEffectConsistency(t *testing.T) {
-	for seed := int64(1); seed <= 12; seed++ {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
 		p := workload.DefaultProfile(seed)
 		p.Processes = 10
 		p.ConflictProb = 0.5

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"transproc/internal/composite"
+	"transproc/internal/metrics"
 	"transproc/internal/process"
 	"transproc/internal/scheduler"
 	"transproc/internal/workload"
@@ -82,20 +83,35 @@ func RunMode(p workload.Profile, cfg scheduler.Config) (*scheduler.Result, error
 
 // CompareSchedulers runs the same workload under every mode (experiment
 // B1): who wins on makespan/throughput, at what cost in compensations,
-// deferrals, cascades and restarts.
+// deferrals, cascades and restarts. Each run carries its own metrics
+// registry; the derived columns report the deferred-commit rate (share
+// of successful activity commits that went through Lemma-1 deferral),
+// the compensation rate (compensations per terminated process) and the
+// mean time a finished process spent blocked on its deferred 2PC commit.
 func CompareSchedulers(p workload.Profile, modes []scheduler.Mode) (*Table, error) {
 	t := &Table{
 		Title: fmt.Sprintf("B1 scheduler comparison (procs=%d, conflict=%.2f, permFail=%.2f, seed=%d)",
 			p.Processes, p.ConflictProb, p.PermFailureProb, p.Seed),
 		Columns: []string{"mode", "makespan", "throughput", "committed", "aborted",
-			"compens", "defer", "2pc", "cascades", "restarts", "policyWaits", "lockWaits", "PRED"},
+			"compens", "defer", "deferRate", "compRate", "meanBlocked",
+			"2pc", "cascades", "restarts", "policyWaits", "lockWaits", "PRED"},
 	}
 	for _, mode := range modes {
-		res, err := RunMode(p, scheduler.Config{Mode: mode})
+		reg := metrics.New()
+		res, err := RunMode(p, scheduler.Config{Mode: mode, Metrics: reg})
 		if err != nil {
 			return nil, fmt.Errorf("sim: mode %v: %w", mode, err)
 		}
 		m := res.Metrics
+		deferRate := 0.0
+		if commits := reg.Counter(metrics.CommitsImmediate) + reg.Counter(metrics.CommitsDeferred); commits > 0 {
+			deferRate = float64(reg.Counter(metrics.CommitsDeferred)) / float64(commits)
+		}
+		compRate := 0.0
+		if done := m.CommittedProcs + m.AbortedProcs; done > 0 {
+			compRate = float64(reg.Counter(metrics.CompensationsIssued)) / float64(done)
+		}
+		meanBlocked := reg.Hist(metrics.HistProcBlocked).Mean
 		pred := "-"
 		if mode != scheduler.CCOnly {
 			ok, _, _, err := res.Schedule.PRED()
@@ -116,6 +132,9 @@ func CompareSchedulers(p workload.Profile, modes []scheduler.Mode) (*Table, erro
 			fmt.Sprintf("%d", m.AbortedProcs),
 			fmt.Sprintf("%d", m.Compensations),
 			fmt.Sprintf("%d", m.Deferrals),
+			fmt.Sprintf("%.2f", deferRate),
+			fmt.Sprintf("%.2f", compRate),
+			fmt.Sprintf("%.1f", meanBlocked),
 			fmt.Sprintf("%d", m.TwoPCCommits),
 			fmt.Sprintf("%d", m.Cascades),
 			fmt.Sprintf("%d", m.Restarts),

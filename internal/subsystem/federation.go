@@ -6,6 +6,7 @@ import (
 
 	"transproc/internal/activity"
 	"transproc/internal/conflict"
+	"transproc/internal/metrics"
 )
 
 // Federation is the set of transactional subsystems a process scheduler
@@ -65,6 +66,14 @@ func (f *Federation) Subsystems() []*Subsystem {
 		out = append(out, f.subs[n])
 	}
 	return out
+}
+
+// SetMetrics attaches an observability registry to every subsystem of
+// the federation (nil detaches).
+func (f *Federation) SetMetrics(m *metrics.Registry) {
+	for _, name := range f.order {
+		f.subs[name].SetMetrics(m)
+	}
 }
 
 // Owner returns the subsystem providing a service.

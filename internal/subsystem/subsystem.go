@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"transproc/internal/activity"
+	"transproc/internal/metrics"
 )
 
 // ErrLocked is returned when an invocation cannot acquire its locks
@@ -117,6 +118,9 @@ type Subsystem struct {
 	invocations int64
 	aborts      int64
 	lockDenials int64
+	// m is the optional observability registry (nil = no-op); it
+	// receives invocation counters and in-doubt set-size observations.
+	m *metrics.Registry
 }
 
 type svc struct {
@@ -142,6 +146,13 @@ func New(name string, seed int64) *Subsystem {
 
 // Name returns the subsystem name.
 func (s *Subsystem) Name() string { return s.name }
+
+// SetMetrics attaches an observability registry (nil detaches).
+func (s *Subsystem) SetMetrics(m *metrics.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = m
+}
 
 // Register adds a service to the subsystem. The service's writes apply
 // +1 per write-set item; if the spec declares a compensation, the
@@ -232,10 +243,12 @@ func (s *Subsystem) Invoke(proc, service string, mode Mode) (*Result, error) {
 		return nil, fmt.Errorf("subsystem %s: unknown service %q", s.name, service)
 	}
 	s.invocations++
+	s.m.Inc(metrics.SubInvocations)
 
 	// Acquire strict-2PL item locks (all-or-nothing; no partial holds).
 	if holder, ok := s.canLock(proc, sv); !ok {
 		s.lockDenials++
+		s.m.Inc(metrics.SubLockDenials)
 		return nil, fmt.Errorf("%w: %s/%s held by %s", ErrLocked, s.name, service, holder)
 	}
 
@@ -249,6 +262,7 @@ func (s *Subsystem) Invoke(proc, service string, mode Mode) (*Result, error) {
 	}
 	if fail {
 		s.aborts++
+		s.m.Inc(metrics.SubAborts)
 		return &Result{Outcome: activity.Aborted}, ErrAborted
 	}
 
@@ -275,6 +289,7 @@ func (s *Subsystem) Invoke(proc, service string, mode Mode) (*Result, error) {
 	s.lock(proc, sv)
 	t.prepared = true
 	s.inDoubt[t.id] = t
+	s.m.Observe(metrics.HistInDoubt, int64(len(s.inDoubt)))
 	return &Result{Tx: t.id, Outcome: activity.Prepared, Reads: t.reads}, nil
 }
 
@@ -394,6 +409,7 @@ func (s *Subsystem) AbortPrepared(id TxID) error {
 		return fmt.Errorf("subsystem %s: transaction %d is not in doubt", s.name, id)
 	}
 	s.aborts++
+	s.m.Inc(metrics.SubAborts)
 	if len(t.weakDeps) == 0 {
 		s.unlock(t)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"transproc/internal/activity"
+	"transproc/internal/metrics"
 )
 
 // Weak-order support (Section 3.6 of the paper): under the weak order,
@@ -37,6 +38,7 @@ func (s *Subsystem) InvokeWeak(proc, service string) (*Result, []TxID, error) {
 		return nil, nil, fmt.Errorf("subsystem %s: unknown service %q", s.name, service)
 	}
 	s.invocations++
+	s.m.Inc(metrics.SubInvocations)
 
 	// Outcome decision (forced failures, probability) as in Invoke.
 	fail := false
@@ -48,6 +50,7 @@ func (s *Subsystem) InvokeWeak(proc, service string) (*Result, []TxID, error) {
 	}
 	if fail {
 		s.aborts++
+		s.m.Inc(metrics.SubAborts)
 		return &Result{Outcome: activity.Aborted}, nil, ErrAborted
 	}
 
@@ -80,6 +83,7 @@ func (s *Subsystem) InvokeWeak(proc, service string) (*Result, []TxID, error) {
 	t.prepared = true
 	t.weakDeps = append(t.weakDeps, deps...)
 	s.inDoubt[t.id] = t
+	s.m.Observe(metrics.HistInDoubt, int64(len(s.inDoubt)))
 	return &Result{Tx: t.id, Outcome: activity.Prepared, Reads: t.reads}, deps, nil
 }
 
@@ -123,6 +127,7 @@ func (s *Subsystem) CommitPreparedWeak(id TxID) error {
 	if err := s.weakCommittableLocked(t); err != nil {
 		if err == ErrDependencyAborted {
 			s.aborts++
+			s.m.Inc(metrics.SubAborts)
 			delete(s.inDoubt, id)
 		}
 		return err

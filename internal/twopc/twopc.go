@@ -18,6 +18,7 @@ package twopc
 import (
 	"fmt"
 
+	"transproc/internal/metrics"
 	"transproc/internal/subsystem"
 	"transproc/internal/wal"
 )
@@ -36,6 +37,10 @@ type Participant struct {
 // journaling to the write-ahead log.
 type Coordinator struct {
 	log wal.Log
+	// Metrics is the optional observability registry (nil = no-op): it
+	// receives decision counts, per-participant resolution counters and
+	// the prepared-set size histogram.
+	Metrics *metrics.Registry
 	// CrashAfterDecision, when set, makes CommitAll stop right after
 	// logging the decision and before resolving any participant — a
 	// deterministic crash-injection point for recovery tests.
@@ -61,6 +66,8 @@ func (c *Coordinator) CommitAll(proc string, parts []Participant) error {
 	if len(parts) == 0 {
 		return nil
 	}
+	c.Metrics.Inc(metrics.TwoPCDecisions)
+	c.Metrics.Observe(metrics.HistPreparedSet, int64(len(parts)))
 	if _, err := c.log.Append(wal.Record{Type: wal.RecDecision, Proc: proc}); err != nil {
 		return fmt.Errorf("twopc: logging decision for %s: %w", proc, err)
 	}
@@ -91,6 +98,7 @@ func (c *Coordinator) AbortAll(proc string, parts []Participant) error {
 		if err := p.Sub.AbortPrepared(p.Tx); err != nil {
 			return fmt.Errorf("twopc: aborting %s tx %d at %s: %w", proc, p.Tx, p.Sub.Name(), err)
 		}
+		c.Metrics.Inc(metrics.DeferredRolledBack)
 		if _, err := c.log.Append(wal.Record{
 			Type: wal.RecResolved, Proc: proc, Local: p.Local,
 			Service: p.Service, Subsystem: p.Sub.Name(), Tx: int64(p.Tx), Commit: false,
@@ -118,6 +126,7 @@ func (c *Coordinator) Resolve(fed *subsystem.Federation, img *wal.ProcImage) (co
 			if err := sub.CommitPrepared(subsystem.TxID(ptx.Tx)); err != nil {
 				return committed, aborted, err
 			}
+			c.Metrics.Inc(metrics.DeferredCommitted2PC)
 			if _, err := c.log.Append(wal.Record{
 				Type: wal.RecResolved, Proc: img.Proc, Local: local,
 				Service: ptx.Service, Subsystem: ptx.Subsystem, Tx: ptx.Tx, Commit: true,
@@ -129,6 +138,7 @@ func (c *Coordinator) Resolve(fed *subsystem.Federation, img *wal.ProcImage) (co
 			if err := sub.AbortPrepared(subsystem.TxID(ptx.Tx)); err != nil {
 				return committed, aborted, err
 			}
+			c.Metrics.Inc(metrics.DeferredRolledBack)
 			if _, err := c.log.Append(wal.Record{
 				Type: wal.RecResolved, Proc: img.Proc, Local: local,
 				Service: ptx.Service, Subsystem: ptx.Subsystem, Tx: ptx.Tx, Commit: false,

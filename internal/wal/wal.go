@@ -14,6 +14,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"transproc/internal/metrics"
 )
 
 // RecType classifies log records.
@@ -98,15 +100,29 @@ type Log interface {
 	Close() error
 }
 
+// Instrumented is implemented by logs that can record append/fsync
+// counters into a metrics registry.
+type Instrumented interface {
+	SetMetrics(*metrics.Registry)
+}
+
 // MemLog is an in-memory Log, useful for tests and simulations.
 type MemLog struct {
 	mu   sync.Mutex
 	recs []Record
 	next int64
+	m    *metrics.Registry
 }
 
 // NewMemLog returns an empty in-memory log.
 func NewMemLog() *MemLog { return &MemLog{} }
+
+// SetMetrics attaches a registry; appends are counted into it.
+func (l *MemLog) SetMetrics(m *metrics.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.m = m
+}
 
 // Append implements Log.
 func (l *MemLog) Append(r Record) (int64, error) {
@@ -115,6 +131,7 @@ func (l *MemLog) Append(r Record) (int64, error) {
 	l.next++
 	r.LSN = l.next
 	l.recs = append(l.recs, r)
+	l.m.Inc(metrics.WALAppends)
 	return r.LSN, nil
 }
 
@@ -136,6 +153,15 @@ type FileLog struct {
 	next int64
 	path string
 	sync bool
+	m    *metrics.Registry
+}
+
+// SetMetrics attaches a registry; appends, written bytes and fsyncs are
+// counted into it.
+func (l *FileLog) SetMetrics(m *metrics.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.m = m
 }
 
 // OpenFile opens (or creates) a file log at path. When syncEvery is
@@ -172,6 +198,8 @@ func (l *FileLog) Append(r Record) (int64, error) {
 	if _, err := l.w.Write(append(b, '\n')); err != nil {
 		return 0, fmt.Errorf("wal: write: %w", err)
 	}
+	l.m.Inc(metrics.WALAppends)
+	l.m.Add(metrics.WALBytes, int64(len(b))+1)
 	if l.sync {
 		if err := l.w.Flush(); err != nil {
 			return 0, fmt.Errorf("wal: flush: %w", err)
@@ -179,6 +207,7 @@ func (l *FileLog) Append(r Record) (int64, error) {
 		if err := l.f.Sync(); err != nil {
 			return 0, fmt.Errorf("wal: fsync: %w", err)
 		}
+		l.m.Inc(metrics.WALFsyncs)
 	}
 	return r.LSN, nil
 }
