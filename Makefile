@@ -1,0 +1,35 @@
+# Reproduction of "Concurrency Control and Recovery in Transactional
+# Process Management" (Schuldt, Alonso, Schek — PODS 1999).
+
+GO ?= go
+
+.PHONY: build test test-short race diff bench fuzz-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# The differential battery: >= 50 seeded workloads through both the
+# sequential engine and the concurrent runtime under the race detector.
+diff:
+	GOMAXPROCS=4 $(GO) test -race -run 'TestDifferential' ./internal/runtime -v
+
+# Regenerate the committed throughput baseline.
+bench:
+	scripts/bench-json.sh 5x > BENCH_runtime.json
+	@cat BENCH_runtime.json
+
+# Short native-fuzzing smoke (CI runs 30s per target).
+fuzz-smoke:
+	$(GO) test -fuzz FuzzProcessValidate -fuzztime 30s ./internal/process
+	$(GO) test -fuzz FuzzScheduleReduce -fuzztime 30s ./internal/schedule
+
+ci: build test race diff

@@ -6,12 +6,14 @@
 //
 //	tpsim [experiment ...]
 //	tpsim -metrics[=text|json]
-//	tpsim run [-metrics[=text|json]] <spec.json> [mode]
+//	tpsim run [-metrics[=text|json]] [-runtime=concurrent] <spec.json> [mode]
 //
 // where experiment is one of e1..e12, b1, b2, b4, b5, or "all" (default),
 // and mode is pred (default), pred-cascade, serial, conservative or
 // cc-only. "run" executes a declarative process definition (see
-// internal/spec for the format and examples/specs for samples).
+// internal/spec for the format and examples/specs for samples);
+// -runtime=concurrent executes it on the goroutine-per-process runtime
+// (internal/runtime) instead of the sequential discrete-event engine.
 //
 // -metrics attaches an observability registry to the run and dumps its
 // snapshot (counters, histograms, per-service latencies, WAL totals and
@@ -64,12 +66,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	engine, args, err := extractRuntimeFlag(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if len(args) >= 2 && args[0] == "run" {
 		mode := ""
 		if len(args) >= 3 {
 			mode = args[2]
 		}
-		if err := runSpecFile(args[1], mode, metricsFormat); err != nil {
+		if err := runSpecFile(args[1], mode, metricsFormat, engine); err != nil {
 			fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
 			os.Exit(1)
 		}

@@ -34,6 +34,30 @@ func extractMetricsFlag(args []string) (format string, rest []string, err error)
 	return format, rest, nil
 }
 
+// extractRuntimeFlag strips -runtime[=sequential|concurrent] (one or
+// two dashes) from the argument list. It returns the selected engine
+// ("" when absent, which means sequential) and the remaining arguments.
+func extractRuntimeFlag(args []string) (engine string, rest []string, err error) {
+	for _, a := range args {
+		name, value, hasValue := a, "", false
+		if i := strings.IndexByte(a, '='); i >= 0 {
+			name, value, hasValue = a[:i], a[i+1:], true
+		}
+		if name != "-runtime" && name != "--runtime" {
+			rest = append(rest, a)
+			continue
+		}
+		if !hasValue {
+			value = "concurrent"
+		}
+		if value != "sequential" && value != "concurrent" {
+			return "", nil, fmt.Errorf("invalid -runtime engine %q (sequential|concurrent)", value)
+		}
+		engine = value
+	}
+	return engine, rest, nil
+}
+
 // dumpSnapshot writes the registry's snapshot to stdout in the
 // requested format. The text report includes the last 20 decision-trace
 // events as a readable tail.

@@ -7,6 +7,7 @@ import (
 )
 
 func TestKindString(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		k    Kind
 		want string
@@ -25,6 +26,7 @@ func TestKindString(t *testing.T) {
 }
 
 func TestKindValid(t *testing.T) {
+	t.Parallel()
 	for _, k := range []Kind{Compensatable, Pivot, Retriable, Compensation} {
 		if !k.Valid() {
 			t.Errorf("kind %v should be valid", k)
@@ -36,6 +38,7 @@ func TestKindValid(t *testing.T) {
 }
 
 func TestKindNonCompensatable(t *testing.T) {
+	t.Parallel()
 	if Compensatable.NonCompensatable() {
 		t.Error("compensatable activities are compensatable")
 	}
@@ -47,6 +50,7 @@ func TestKindNonCompensatable(t *testing.T) {
 }
 
 func TestKindGuaranteedToCommit(t *testing.T) {
+	t.Parallel()
 	if Compensatable.GuaranteedToCommit() || Pivot.GuaranteedToCommit() {
 		t.Error("compensatable and pivot activities can fail (Definition 4)")
 	}
@@ -63,6 +67,7 @@ func validSpec() Spec {
 }
 
 func TestSpecValidateOK(t *testing.T) {
+	t.Parallel()
 	s := validSpec()
 	if err := s.Validate(); err != nil {
 		t.Fatalf("valid spec rejected: %v", err)
@@ -70,6 +75,7 @@ func TestSpecValidateOK(t *testing.T) {
 }
 
 func TestSpecValidateErrors(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name   string
 		mutate func(*Spec)
@@ -102,6 +108,7 @@ func TestSpecValidateErrors(t *testing.T) {
 }
 
 func TestOutcomeString(t *testing.T) {
+	t.Parallel()
 	if Committed.String() != "committed" || Aborted.String() != "aborted" || Prepared.String() != "prepared" {
 		t.Error("outcome labels wrong")
 	}
@@ -111,6 +118,7 @@ func TestOutcomeString(t *testing.T) {
 }
 
 func TestInvocationString(t *testing.T) {
+	t.Parallel()
 	inv := Invocation{Service: "pay", Attempt: 3, Outcome: Aborted}
 	if got := inv.String(); got != "pay(3)=aborted" {
 		t.Errorf("invocation string = %q", got)
@@ -128,6 +136,7 @@ func newTestRegistry(t *testing.T) *Registry {
 }
 
 func TestRegistryRegisterAndLookup(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry(t)
 	if r.Len() != 4 {
 		t.Fatalf("Len = %d, want 4", r.Len())
@@ -142,6 +151,7 @@ func TestRegistryRegisterAndLookup(t *testing.T) {
 }
 
 func TestRegistryDuplicate(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry(t)
 	err := r.Register(Spec{Name: "book", Kind: Retriable, Subsystem: "x"})
 	if err == nil || !strings.Contains(err.Error(), "duplicate") {
@@ -150,6 +160,7 @@ func TestRegistryDuplicate(t *testing.T) {
 }
 
 func TestRegistryRegisterInvalid(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	if err := r.Register(Spec{}); err == nil {
 		t.Fatal("registering an invalid spec must fail")
@@ -157,6 +168,7 @@ func TestRegistryRegisterInvalid(t *testing.T) {
 }
 
 func TestMustRegisterPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("MustRegister must panic on invalid spec")
@@ -166,6 +178,7 @@ func TestMustRegisterPanics(t *testing.T) {
 }
 
 func TestCompensationOf(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry(t)
 	c, err := r.CompensationOf("book")
 	if err != nil || c.Name != "cancel" {
@@ -180,6 +193,7 @@ func TestCompensationOf(t *testing.T) {
 }
 
 func TestCompensationOfUnregisteredInverse(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	r.MustRegister(Spec{Name: "a", Kind: Compensatable, Subsystem: "s", Compensation: "undo-a"})
 	if _, err := r.CompensationOf("a"); err == nil {
@@ -188,6 +202,7 @@ func TestCompensationOfUnregisteredInverse(t *testing.T) {
 }
 
 func TestCompensationOfWrongKind(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	r.MustRegister(Spec{Name: "a", Kind: Compensatable, Subsystem: "s", Compensation: "b"})
 	r.MustRegister(Spec{Name: "b", Kind: Retriable, Subsystem: "s"})
@@ -197,12 +212,14 @@ func TestCompensationOfWrongKind(t *testing.T) {
 }
 
 func TestRegistryValidateOK(t *testing.T) {
+	t.Parallel()
 	if err := newTestRegistry(t).Validate(); err != nil {
 		t.Fatalf("valid registry rejected: %v", err)
 	}
 }
 
 func TestRegistryValidateCrossSubsystem(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	r.MustRegister(Spec{Name: "a", Kind: Compensatable, Subsystem: "s1", Compensation: "undo"})
 	r.MustRegister(Spec{Name: "undo", Kind: Compensation, Subsystem: "s2"})
@@ -212,6 +229,7 @@ func TestRegistryValidateCrossSubsystem(t *testing.T) {
 }
 
 func TestRegistryValidateSharedInverse(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	r.MustRegister(Spec{Name: "a", Kind: Compensatable, Subsystem: "s", Compensation: "undo"})
 	r.MustRegister(Spec{Name: "b", Kind: Compensatable, Subsystem: "s", Compensation: "undo"})
@@ -222,6 +240,7 @@ func TestRegistryValidateSharedInverse(t *testing.T) {
 }
 
 func TestRegistryValidateOrphanCompensation(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	r.MustRegister(Spec{Name: "undo", Kind: Compensation, Subsystem: "s"})
 	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "not the inverse") {
@@ -230,6 +249,7 @@ func TestRegistryValidateOrphanCompensation(t *testing.T) {
 }
 
 func TestBaseOf(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry(t)
 	if got := r.BaseOf("cancel"); got != "book" {
 		t.Errorf("BaseOf(cancel) = %q, want book", got)
@@ -243,6 +263,7 @@ func TestBaseOf(t *testing.T) {
 }
 
 func TestRegistryNames(t *testing.T) {
+	t.Parallel()
 	r := newTestRegistry(t)
 	names := r.Names()
 	if len(names) != 4 {
@@ -262,6 +283,7 @@ func TestRegistryNames(t *testing.T) {
 // Property: a registered spec is always returned unchanged by Lookup
 // (the registry stores a copy, so mutating the input later is harmless).
 func TestRegistryCopiesSpec(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	s := Spec{Name: "a", Kind: Retriable, Subsystem: "s", Cost: 7}
 	if err := r.Register(s); err != nil {
@@ -277,6 +299,7 @@ func TestRegistryCopiesSpec(t *testing.T) {
 // Property-based: Kind.String is injective over the valid kinds and
 // NonCompensatable is the complement of being Compensatable.
 func TestKindProperties(t *testing.T) {
+	t.Parallel()
 	f := func(raw uint8) bool {
 		k := Kind(raw % 4)
 		return k.NonCompensatable() == (k != Compensatable)

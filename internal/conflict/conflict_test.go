@@ -9,6 +9,7 @@ import (
 )
 
 func TestAddConflictSymmetric(t *testing.T) {
+	t.Parallel()
 	tab := NewTable()
 	tab.AddConflict("a", "b")
 	if !tab.Conflicts("a", "b") || !tab.Conflicts("b", "a") {
@@ -23,6 +24,7 @@ func TestAddConflictSymmetric(t *testing.T) {
 }
 
 func TestSelfConflict(t *testing.T) {
+	t.Parallel()
 	tab := NewTable()
 	if tab.Conflicts("w", "w") {
 		t.Fatal("services commute with themselves by default")
@@ -34,6 +36,7 @@ func TestSelfConflict(t *testing.T) {
 }
 
 func TestPerfectCommutativityViaBase(t *testing.T) {
+	t.Parallel()
 	tab := NewTable()
 	tab.MapBase("a⁻¹", "a")
 	tab.MapBase("b⁻¹", "b")
@@ -51,6 +54,7 @@ func TestPerfectCommutativityViaBase(t *testing.T) {
 }
 
 func TestPerfectCommutativityCommutingSide(t *testing.T) {
+	t.Parallel()
 	tab := NewTable()
 	tab.MapBase("a⁻¹", "a")
 	tab.MapBase("c⁻¹", "c")
@@ -63,6 +67,7 @@ func TestPerfectCommutativityCommutingSide(t *testing.T) {
 }
 
 func TestAddConflictOnInverseName(t *testing.T) {
+	t.Parallel()
 	tab := NewTable()
 	tab.MapBase("a⁻¹", "a")
 	tab.AddConflict("a⁻¹", "b") // declared on the inverse
@@ -72,6 +77,7 @@ func TestAddConflictOnInverseName(t *testing.T) {
 }
 
 func TestBase(t *testing.T) {
+	t.Parallel()
 	tab := NewTable()
 	tab.MapBase("undo", "do")
 	if tab.Base("undo") != "do" || tab.Base("do") != "do" || tab.Base("x") != "x" {
@@ -80,6 +86,7 @@ func TestBase(t *testing.T) {
 }
 
 func TestConflictingWith(t *testing.T) {
+	t.Parallel()
 	tab := NewTable()
 	tab.AddConflict("a", "b")
 	tab.AddConflict("a", "c")
@@ -90,6 +97,7 @@ func TestConflictingWith(t *testing.T) {
 }
 
 func TestPairsAndString(t *testing.T) {
+	t.Parallel()
 	tab := NewTable()
 	tab.AddConflict("b", "a")
 	tab.AddConflict("c", "c")
@@ -106,6 +114,7 @@ func TestPairsAndString(t *testing.T) {
 }
 
 func TestClone(t *testing.T) {
+	t.Parallel()
 	tab := NewTable()
 	tab.MapBase("u", "a")
 	tab.AddConflict("a", "b")
@@ -120,6 +129,7 @@ func TestClone(t *testing.T) {
 }
 
 func TestFromRegistryDerivedConflicts(t *testing.T) {
+	t.Parallel()
 	reg := activity.NewRegistry()
 	reg.MustRegister(activity.Spec{
 		Name: "writeX", Kind: activity.Compensatable, Subsystem: "s",
@@ -152,6 +162,7 @@ func TestFromRegistryDerivedConflicts(t *testing.T) {
 }
 
 func TestFromRegistryReadersCommute(t *testing.T) {
+	t.Parallel()
 	reg := activity.NewRegistry()
 	reg.MustRegister(activity.Spec{Name: "r1", Kind: activity.Retriable, Subsystem: "s", ReadSet: []string{"x"}})
 	reg.MustRegister(activity.Spec{Name: "r2", Kind: activity.Retriable, Subsystem: "s", ReadSet: []string{"x"}})
@@ -164,6 +175,7 @@ func TestFromRegistryReadersCommute(t *testing.T) {
 // Property: Conflicts is symmetric and invariant under base substitution
 // for random tables.
 func TestConflictProperties(t *testing.T) {
+	t.Parallel()
 	names := []string{"a", "b", "c", "d", "e"}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -197,6 +209,7 @@ func TestConflictProperties(t *testing.T) {
 }
 
 func TestCommutativeServicesDoNotSelfConflict(t *testing.T) {
+	t.Parallel()
 	reg := activity.NewRegistry()
 	reg.MustRegister(activity.Spec{
 		Name: "incr", Kind: activity.Retriable, Subsystem: "s",

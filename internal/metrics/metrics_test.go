@@ -9,6 +9,7 @@ import (
 )
 
 func TestCounters(t *testing.T) {
+	t.Parallel()
 	r := New()
 	r.Inc(CommitsDeferred)
 	r.Add(CommitsDeferred, 2)
@@ -25,6 +26,7 @@ func TestCounters(t *testing.T) {
 }
 
 func TestCounterNamesComplete(t *testing.T) {
+	t.Parallel()
 	seen := make(map[string]bool)
 	for c := CounterID(0); c < numCounters; c++ {
 		name := c.String()
@@ -49,6 +51,7 @@ func TestCounterNamesComplete(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
+	t.Parallel()
 	r := New()
 	for _, v := range []int64{0, 1, 1, 3, 8, 100} {
 		r.Observe(HistProcDuration, v)
@@ -73,6 +76,7 @@ func TestHistogram(t *testing.T) {
 }
 
 func TestHistogramNegativeClamps(t *testing.T) {
+	t.Parallel()
 	r := New()
 	r.Observe(HistInDoubt, -5)
 	d := r.Hist(HistInDoubt)
@@ -82,6 +86,7 @@ func TestHistogramNegativeClamps(t *testing.T) {
 }
 
 func TestServiceHistogram(t *testing.T) {
+	t.Parallel()
 	r := New()
 	r.ObserveService("book", 2)
 	r.ObserveService("book", 4)
@@ -96,6 +101,7 @@ func TestServiceHistogram(t *testing.T) {
 }
 
 func TestTraceRingWraps(t *testing.T) {
+	t.Parallel()
 	r := NewSized(4)
 	for i := 0; i < 10; i++ {
 		r.Trace(TDispatch, int64(i), "P1", i, "svc", "")
@@ -118,6 +124,7 @@ func TestTraceRingWraps(t *testing.T) {
 }
 
 func TestTraceDisabled(t *testing.T) {
+	t.Parallel()
 	r := NewSized(0)
 	r.Trace(TCommit, 1, "P1", 0, "", "")
 	if n := len(r.Events()); n != 0 {
@@ -126,6 +133,7 @@ func TestTraceDisabled(t *testing.T) {
 }
 
 func TestCountTrace(t *testing.T) {
+	t.Parallel()
 	r := New()
 	r.Trace(TCompensate, 1, "P1", 1, "a", "")
 	r.Trace(TCompensate, 2, "P2", 1, "b", "")
@@ -136,6 +144,7 @@ func TestCountTrace(t *testing.T) {
 }
 
 func TestSnapshotJSONRoundTrip(t *testing.T) {
+	t.Parallel()
 	r := New()
 	r.Inc(CommitsDeferred)
 	r.Observe(HistPreparedSet, 3)
@@ -160,6 +169,7 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 }
 
 func TestSnapshotText(t *testing.T) {
+	t.Parallel()
 	r := New()
 	r.Inc(CommitsDeferred)
 	r.Inc(CompensationsIssued)
@@ -181,6 +191,7 @@ func TestSnapshotText(t *testing.T) {
 }
 
 func TestNilRegistryIsNoop(t *testing.T) {
+	t.Parallel()
 	var r *Registry
 	r.Inc(CommitsDeferred)
 	r.Add(WALBytes, 10)
@@ -202,6 +213,7 @@ func TestNilRegistryIsNoop(t *testing.T) {
 // TestNoopRegistryZeroAlloc guards the acceptance criterion: a nil
 // registry must add zero allocations to the scheduler hot path.
 func TestNoopRegistryZeroAlloc(t *testing.T) {
+	t.Parallel()
 	var r *Registry
 	allocs := testing.AllocsPerRun(1000, func() {
 		r.Inc(InvokeDispatched)
@@ -216,6 +228,7 @@ func TestNoopRegistryZeroAlloc(t *testing.T) {
 }
 
 func TestConcurrentRecording(t *testing.T) {
+	t.Parallel()
 	r := New()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {

@@ -10,6 +10,7 @@ import (
 )
 
 func TestEffectiveKind(t *testing.T) {
+	t.Parallel()
 	allC := process.NewBuilder("C").
 		Add(1, "a", activity.Compensatable).
 		Add(2, "b", activity.Compensatable).
@@ -28,6 +29,7 @@ func TestEffectiveKind(t *testing.T) {
 }
 
 func TestEmbedWiring(t *testing.T) {
+	t.Parallel()
 	sub := process.NewBuilder("SUB").
 		Add(1, "x", activity.Compensatable).
 		Add(2, "y", activity.Compensatable).
@@ -58,6 +60,7 @@ func TestEmbedWiring(t *testing.T) {
 }
 
 func TestComposePipeline(t *testing.T) {
+	t.Parallel()
 	// booking (all compensatable) → payment (pivot + retriable tail):
 	// a valid sequential composition per the flex grammar.
 	booking := process.NewBuilder("BOOK").
@@ -104,6 +107,7 @@ func TestComposePipeline(t *testing.T) {
 }
 
 func TestComposeRejectsIllFormed(t *testing.T) {
+	t.Parallel()
 	// pivot-first then compensatable-only: the second subprocess cannot
 	// follow a pivot without an alternative.
 	pay := process.NewBuilder("PAY").
@@ -119,12 +123,14 @@ func TestComposeRejectsIllFormed(t *testing.T) {
 }
 
 func TestComposeEmpty(t *testing.T) {
+	t.Parallel()
 	if _, err := process.Compose("E"); err == nil {
 		t.Fatal("empty composition must be rejected")
 	}
 }
 
 func TestComposeThreeStages(t *testing.T) {
+	t.Parallel()
 	c := func(id process.ID, svc string) *process.Process {
 		return process.NewBuilder(id).Add(1, svc, activity.Compensatable).MustBuild()
 	}

@@ -1,0 +1,85 @@
+package process_test
+
+import (
+	"fmt"
+	"testing"
+
+	"transproc/internal/activity"
+	"transproc/internal/process"
+)
+
+// decodeProcess builds a process from fuzz bytes: a byte-driven mix of
+// activity kinds, sequential (AND) edges and alternative (preference)
+// chains over a small service pool. Returns nil when the bytes do not
+// encode a buildable process (cycles, duplicate edges, bad alternative
+// structure — the builder rejects those).
+func decodeProcess(data []byte) *process.Process {
+	if len(data) < 3 {
+		return nil
+	}
+	n := int(data[0]%9) + 2 // 2..10 activities
+	idx := 1
+	next := func() byte {
+		v := data[idx]
+		idx++
+		if idx >= len(data) {
+			idx = 1
+		}
+		return v
+	}
+	kinds := []activity.Kind{activity.Compensatable, activity.Pivot, activity.Retriable}
+	b := process.NewBuilder("F")
+	for i := 1; i <= n; i++ {
+		b.Add(i, fmt.Sprintf("s%d", int(next())%6), kinds[int(next())%3])
+	}
+	for i := 2; i <= n; {
+		v := next()
+		h := int(v)%(i-1) + 1
+		if v%5 == 0 && i < n {
+			b.Chain(h, i, i+1) // alternative branch in preference order
+			i += 2
+		} else {
+			b.Seq(h, i)
+			i++
+		}
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// FuzzProcessValidate cross-checks the paper's structural guarantee on
+// random process graphs: any process the well-formed flex grammar
+// accepts (IsWellFormedFlex, the [ZNBB94] shape) must also pass the
+// exhaustive guaranteed-termination exploration, and its execution tree
+// must be enumerable. A divergence means either the grammar admits a
+// non-terminating structure or the explorer is broken — both are
+// protocol-level bugs.
+func FuzzProcessValidate(f *testing.F) {
+	// c -> p -> r chain (the canonical well-formed shape).
+	f.Add([]byte{1, 0, 0, 1, 1, 2, 2, 1, 1})
+	// Longer mixed chain.
+	f.Add([]byte{4, 0, 0, 3, 0, 1, 1, 2, 2, 5, 2, 1, 1, 1})
+	// Alternative branch (byte divisible by five triggers Chain).
+	f.Add([]byte{3, 0, 0, 1, 1, 2, 2, 4, 2, 5, 10})
+	// Parallel joins (multiple Seq edges from one head).
+	f.Add([]byte{6, 0, 0, 1, 0, 2, 0, 3, 1, 4, 2, 1, 1, 2, 1, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeProcess(data)
+		if p == nil {
+			t.Skip("unbuildable byte encoding")
+		}
+		wf, why := process.IsWellFormedFlex(p)
+		err := process.ValidateGuaranteedTermination(p)
+		if wf && err != nil {
+			t.Fatalf("grammar accepts (%s) but termination is not guaranteed: %v\n%s", why, err, p)
+		}
+		if wf {
+			if _, err := process.Executions(p); err != nil {
+				t.Fatalf("well-formed flex but executions not enumerable: %v\n%s", err, p)
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 )
 
 func TestBuilderP1Structure(t *testing.T) {
+	t.Parallel()
 	p := paper.P1()
 	if p.Len() != 6 {
 		t.Fatalf("P1 has %d activities, want 6", p.Len())
@@ -33,6 +34,7 @@ func TestBuilderP1Structure(t *testing.T) {
 }
 
 func TestBuilderErrors(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name  string
 		build func() (*process.Process, error)
@@ -100,6 +102,7 @@ func TestBuilderErrors(t *testing.T) {
 }
 
 func TestBuilderExternalPredecessorIntoAlternative(t *testing.T) {
+	t.Parallel()
 	// A node inside an alternative branch must not be entered from
 	// outside the branch.
 	_, err := process.NewBuilder("P").
@@ -117,6 +120,7 @@ func TestBuilderExternalPredecessorIntoAlternative(t *testing.T) {
 }
 
 func TestStateDetermining(t *testing.T) {
+	t.Parallel()
 	p1 := paper.P1()
 	s, ok := p1.StateDetermining()
 	if !ok || s != 2 {
@@ -137,6 +141,7 @@ func TestStateDetermining(t *testing.T) {
 }
 
 func TestSubtree(t *testing.T) {
+	t.Parallel()
 	p := paper.P1()
 	got := p.Subtree(3)
 	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
@@ -149,6 +154,7 @@ func TestSubtree(t *testing.T) {
 }
 
 func TestServices(t *testing.T) {
+	t.Parallel()
 	p := paper.P2()
 	got := p.Services()
 	want := []string{"a21", "a22", "a23", "a24", "a25"}
@@ -163,6 +169,7 @@ func TestServices(t *testing.T) {
 }
 
 func TestProcessString(t *testing.T) {
+	t.Parallel()
 	s := paper.P3().String()
 	for _, frag := range []string{"P3", "a_1^c(a31)", "a_2^p(a32)", "a_3^r(a33)"} {
 		if !strings.Contains(s, frag) {
@@ -172,6 +179,7 @@ func TestProcessString(t *testing.T) {
 }
 
 func TestDefaultCompensationName(t *testing.T) {
+	t.Parallel()
 	if got := process.DefaultCompensationName("x"); got != "x⁻¹" {
 		t.Fatalf("DefaultCompensationName = %q", got)
 	}
@@ -187,6 +195,7 @@ func TestDefaultCompensationName(t *testing.T) {
 // --- Instance: happy path -------------------------------------------------
 
 func TestInstanceHappyPath(t *testing.T) {
+	t.Parallel()
 	p := paper.P1()
 	in := process.NewInstance(p)
 	if in.Mode() != process.BREC {
@@ -218,6 +227,7 @@ func TestInstanceHappyPath(t *testing.T) {
 }
 
 func TestInstanceModeSwitchOnPivot(t *testing.T) {
+	t.Parallel()
 	p := paper.P2()
 	in := process.NewInstance(p)
 	in.MarkCommitted(1)
@@ -232,6 +242,7 @@ func TestInstanceModeSwitchOnPivot(t *testing.T) {
 }
 
 func TestPreparedDefersSuccessors(t *testing.T) {
+	t.Parallel()
 	p := paper.P2()
 	in := process.NewInstance(p)
 	in.MarkCommitted(1)
@@ -268,6 +279,7 @@ func TestPreparedDefersSuccessors(t *testing.T) {
 // --- Instance: failures and alternatives (Figure 2 semantics) -------------
 
 func TestFailureOfA13SwitchesToAlternative(t *testing.T) {
+	t.Parallel()
 	p := paper.P1()
 	in := process.NewInstance(p)
 	in.MarkCommitted(1)
@@ -294,6 +306,7 @@ func TestFailureOfA13SwitchesToAlternative(t *testing.T) {
 }
 
 func TestFailureOfA14CompensatesA13(t *testing.T) {
+	t.Parallel()
 	p := paper.P1()
 	in := process.NewInstance(p)
 	for _, a := range []int{1, 2, 3} {
@@ -329,6 +342,7 @@ func TestFailureOfA14CompensatesA13(t *testing.T) {
 }
 
 func TestFailureOfPivotA12Aborts(t *testing.T) {
+	t.Parallel()
 	p := paper.P1()
 	in := process.NewInstance(p)
 	in.MarkCommitted(1)
@@ -355,6 +369,7 @@ func TestFailureOfPivotA12Aborts(t *testing.T) {
 }
 
 func TestFailureOfA11AbortsEmpty(t *testing.T) {
+	t.Parallel()
 	p := paper.P1()
 	in := process.NewInstance(p)
 	plan, err := in.MarkFailed(1)
@@ -367,6 +382,7 @@ func TestFailureOfA11AbortsEmpty(t *testing.T) {
 }
 
 func TestRetriableCannotFail(t *testing.T) {
+	t.Parallel()
 	p := paper.P1()
 	in := process.NewInstance(p)
 	in.MarkCommitted(1)
@@ -379,6 +395,7 @@ func TestRetriableCannotFail(t *testing.T) {
 }
 
 func TestCompensationsReverseOrder(t *testing.T) {
+	t.Parallel()
 	// Linear chain of three compensatables then a pivot; pivot failure
 	// aborts, compensations must be in reverse order (Lemma 2,
 	// intra-process part).
@@ -407,6 +424,7 @@ func TestCompensationsReverseOrder(t *testing.T) {
 }
 
 func TestFailedPreparedRollbackInAbandonedBranch(t *testing.T) {
+	t.Parallel()
 	// a1^c ≪ (a2^c preferred | a4^r alt), a2 ≪ a3^p; prepare a3, then
 	// fail... a3 is prepared so cannot fail; instead fail nothing —
 	// test the rollback path by failing a2's sibling scenario: build
@@ -434,6 +452,7 @@ func TestFailedPreparedRollbackInAbandonedBranch(t *testing.T) {
 }
 
 func TestCommittedPivotPinsBranch(t *testing.T) {
+	t.Parallel()
 	// Preferred branch contains a committed pivot; a later compensatable
 	// in the same branch fails; the branch cannot be abandoned, and
 	// since the process is F-REC with no deeper alternative this is a
@@ -468,6 +487,7 @@ func TestCommittedPivotPinsBranch(t *testing.T) {
 }
 
 func TestPreparedBranchCanBeAbandoned(t *testing.T) {
+	t.Parallel()
 	// Same shape as above but the inner pivot is only prepared: the
 	// branch is not pinned, so the alternative is taken and the
 	// prepared pivot rolled back.
@@ -503,6 +523,7 @@ func TestPreparedBranchCanBeAbandoned(t *testing.T) {
 // --- Completion C(P): Example 2 -------------------------------------------
 
 func TestExample2CompletionBREC(t *testing.T) {
+	t.Parallel()
 	p := paper.P1()
 	in := process.NewInstance(p)
 	in.MarkCommitted(1) // a11 executed correctly, pivot not yet
@@ -516,6 +537,7 @@ func TestExample2CompletionBREC(t *testing.T) {
 }
 
 func TestExample2CompletionFREC(t *testing.T) {
+	t.Parallel()
 	p := paper.P1()
 	in := process.NewInstance(p)
 	for _, a := range []int{1, 2, 3} {
@@ -541,6 +563,7 @@ func TestExample2CompletionFREC(t *testing.T) {
 }
 
 func TestCompletionAfterPivotOnlyForwardPath(t *testing.T) {
+	t.Parallel()
 	p := paper.P2()
 	in := process.NewInstance(p)
 	for _, a := range []int{1, 2, 3} {
@@ -563,6 +586,7 @@ func TestCompletionAfterPivotOnlyForwardPath(t *testing.T) {
 }
 
 func TestCompletionFullPathEmpty(t *testing.T) {
+	t.Parallel()
 	p := paper.P2()
 	in := process.NewInstance(p)
 	for a := 1; a <= 5; a++ {
@@ -578,6 +602,7 @@ func TestCompletionFullPathEmpty(t *testing.T) {
 }
 
 func TestCompletionWithPreparedPivot(t *testing.T) {
+	t.Parallel()
 	p := paper.P2()
 	in := process.NewInstance(p)
 	in.MarkCommitted(1)
@@ -601,6 +626,7 @@ func TestCompletionWithPreparedPivot(t *testing.T) {
 }
 
 func TestAbortMarksTerminalAndCompletionEmptyAfter(t *testing.T) {
+	t.Parallel()
 	p := paper.P2()
 	in := process.NewInstance(p)
 	in.MarkCommitted(1)
@@ -629,6 +655,7 @@ func TestAbortMarksTerminalAndCompletionEmptyAfter(t *testing.T) {
 }
 
 func TestInstanceTransitionErrors(t *testing.T) {
+	t.Parallel()
 	p := paper.P2()
 	in := process.NewInstance(p)
 	if err := in.MarkCommitted(99); err == nil {
@@ -656,6 +683,7 @@ func TestInstanceTransitionErrors(t *testing.T) {
 }
 
 func TestSnapshotIndependent(t *testing.T) {
+	t.Parallel()
 	in := process.NewInstance(paper.P2())
 	snap := in.Snapshot()
 	snap[1] = process.Committed
@@ -665,6 +693,7 @@ func TestSnapshotIndependent(t *testing.T) {
 }
 
 func TestCloneIndependent(t *testing.T) {
+	t.Parallel()
 	in := process.NewInstance(paper.P1())
 	in.MarkCommitted(1)
 	cp := in.Clone()
@@ -678,6 +707,7 @@ func TestCloneIndependent(t *testing.T) {
 }
 
 func TestParallelBranchesFrontier(t *testing.T) {
+	t.Parallel()
 	// Two parallel chains from a root; both heads in the frontier.
 	p := process.NewBuilder("PAR").
 		Add(1, "root", activity.Compensatable).
@@ -704,6 +734,7 @@ func TestParallelBranchesFrontier(t *testing.T) {
 }
 
 func TestParallelBranchFailureAbortsWhole(t *testing.T) {
+	t.Parallel()
 	p := process.NewBuilder("PAR").
 		Add(1, "root", activity.Compensatable).
 		Add(2, "left", activity.Compensatable).

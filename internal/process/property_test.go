@@ -56,6 +56,7 @@ func randomInstanceWalk(rng *rand.Rand, p *process.Process, steps int) *process.
 // completion C(P) is computable, its compensations appear in reverse
 // precedence order, and its forward invocations are all retriable.
 func TestPropertyCompletionAlwaysComputable(t *testing.T) {
+	t.Parallel()
 	services := []string{"s1", "s2", "s3", "s4"}
 	f := func(seed int64, steps uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -98,6 +99,7 @@ func TestPropertyCompletionAlwaysComputable(t *testing.T) {
 // Property: the frontier contains only pending activities whose
 // predecessors are all satisfied, and Done implies an empty frontier.
 func TestPropertyFrontierInvariants(t *testing.T) {
+	t.Parallel()
 	services := []string{"x", "y", "z"}
 	f := func(seed int64, steps uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -128,6 +130,7 @@ func TestPropertyFrontierInvariants(t *testing.T) {
 // compensatable activity that is not ≪-before a committed
 // non-compensatable anchor (everything else was compensated).
 func TestPropertyAbortAlwaysTerminates(t *testing.T) {
+	t.Parallel()
 	services := []string{"u", "v", "w", "q"}
 	f := func(seed int64, steps uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -182,6 +185,7 @@ func TestPropertyAbortAlwaysTerminates(t *testing.T) {
 // and never a completed execution without effects (guaranteed
 // termination, Section 3.1), across random well-formed processes.
 func TestPropertyExecutionsEffectFreedom(t *testing.T) {
+	t.Parallel()
 	services := []string{"m", "n", "o"}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -208,6 +212,7 @@ func TestPropertyExecutionsEffectFreedom(t *testing.T) {
 // the current completion (the potential set is a sound over-
 // approximation).
 func TestPropertyPotentialCoversCompletion(t *testing.T) {
+	t.Parallel()
 	services := []string{"a", "b", "c", "d"}
 	f := func(seed int64, steps uint8) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -13,6 +13,7 @@ import (
 // executions of P1 (plus the degenerate execution where a11 itself fails
 // and the process terminates without ever having effects).
 func TestExample1ValidExecutions(t *testing.T) {
+	t.Parallel()
 	execs, err := process.Executions(paper.P1())
 	if err != nil {
 		t.Fatal(err)
@@ -50,6 +51,7 @@ func TestExample1ValidExecutions(t *testing.T) {
 }
 
 func TestExecutionsLinearP2(t *testing.T) {
+	t.Parallel()
 	execs, err := process.Executions(paper.P2())
 	if err != nil {
 		t.Fatal(err)
@@ -72,6 +74,7 @@ func TestExecutionsLinearP2(t *testing.T) {
 }
 
 func TestExecutionsEffectiveFlag(t *testing.T) {
+	t.Parallel()
 	execs, err := process.Executions(paper.P2())
 	if err != nil {
 		t.Fatal(err)
@@ -87,6 +90,7 @@ func TestExecutionsEffectiveFlag(t *testing.T) {
 }
 
 func TestValidateGuaranteedTerminationPaperProcesses(t *testing.T) {
+	t.Parallel()
 	for _, p := range []*process.Process{paper.P1(), paper.P2(), paper.P3()} {
 		if err := process.ValidateGuaranteedTermination(p); err != nil {
 			t.Errorf("%s: %v", p.ID, err)
@@ -95,6 +99,7 @@ func TestValidateGuaranteedTerminationPaperProcesses(t *testing.T) {
 }
 
 func TestValidateGuaranteedTerminationViolation(t *testing.T) {
+	t.Parallel()
 	// Pivot followed by a compensatable with no alternative: the
 	// compensatable's failure in F-REC cannot be recovered.
 	bad := process.NewBuilder("BAD").
@@ -108,6 +113,7 @@ func TestValidateGuaranteedTerminationViolation(t *testing.T) {
 }
 
 func TestValidateGuaranteedTerminationTwoPivotsNoAlt(t *testing.T) {
+	t.Parallel()
 	bad := process.NewBuilder("BAD2").
 		Add(1, "p1", activity.Pivot).
 		Add(2, "p2", activity.Pivot).
@@ -119,6 +125,7 @@ func TestValidateGuaranteedTerminationTwoPivotsNoAlt(t *testing.T) {
 }
 
 func TestValidateGuaranteedTerminationTwoPivotsWithAlt(t *testing.T) {
+	t.Parallel()
 	ok := process.NewBuilder("OK2").
 		Add(1, "p1", activity.Pivot).
 		Add(2, "p2", activity.Pivot).
@@ -131,6 +138,7 @@ func TestValidateGuaranteedTerminationTwoPivotsWithAlt(t *testing.T) {
 }
 
 func TestValidateGuaranteedTerminationAllCompensatable(t *testing.T) {
+	t.Parallel()
 	p := process.NewBuilder("C3").
 		Add(1, "x", activity.Compensatable).
 		Add(2, "y", activity.Compensatable).
@@ -143,6 +151,7 @@ func TestValidateGuaranteedTerminationAllCompensatable(t *testing.T) {
 }
 
 func TestValidateGuaranteedTerminationAllRetriable(t *testing.T) {
+	t.Parallel()
 	p := process.NewBuilder("R3").
 		Add(1, "x", activity.Retriable).
 		Add(2, "y", activity.Retriable).
@@ -154,6 +163,7 @@ func TestValidateGuaranteedTerminationAllRetriable(t *testing.T) {
 }
 
 func TestIsWellFormedFlexAccepts(t *testing.T) {
+	t.Parallel()
 	cases := []*process.Process{
 		paper.P1(),
 		paper.P2(),
@@ -178,6 +188,7 @@ func TestIsWellFormedFlexAccepts(t *testing.T) {
 }
 
 func TestIsWellFormedFlexRejects(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name string
 		p    *process.Process
@@ -233,6 +244,7 @@ func TestIsWellFormedFlexRejects(t *testing.T) {
 
 // Structural checker and exhaustive validator must agree on chains.
 func TestWellFormedConsistency(t *testing.T) {
+	t.Parallel()
 	type tc struct {
 		name string
 		p    *process.Process

@@ -1,0 +1,1085 @@
+// Package runtime is the concurrent execution engine for transactional
+// process management: one goroutine per process drives invocations
+// against the (already internally locked) subsystems, while every
+// scheduling decision — conflict-predecessor checks, Lemma-1 commit
+// deferral, Lemma-2/3 recovery ordering, forced-order acyclicity — is
+// taken inside a small serial section shared with the pure policy layer
+// (internal/scheduler/policy).
+//
+// The sequential discrete-event engine (internal/scheduler) remains the
+// reference oracle: both engines share the identical decision code, so
+// a schedule the runtime produces differs from the oracle's only in
+// interleaving, never in admissibility. The differential test in this
+// package asserts exactly that: every concurrently observed schedule is
+// PRED and per-process terminal outcomes match the oracle.
+//
+// Concurrency structure:
+//
+//   - r.mu guards the policy state, the per-process runtimes and the
+//     event history; decisions and completion bookkeeping run under it.
+//   - Subsystem work (Invoke + simulated service time) runs outside the
+//     lock; the in-flight invocation is registered first so concurrent
+//     decisions see it as a survivor in the forced-order graph.
+//   - Lock ordering is r.mu -> subsystem.mu only; the subsystems' own
+//     mutexes are the per-service conflict shards.
+//   - r.cond is broadcast after every state mutation; blocked workers
+//     re-evaluate their gates. Each mutation advances a progress
+//     generation; a global stall is declared only when every live
+//     worker has re-evaluated at the current generation with nothing
+//     in flight, and is broken by aborting the youngest runnable
+//     process, which restarts with progress-based exponential backoff.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"transproc/internal/activity"
+	"transproc/internal/metrics"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+	"transproc/internal/scheduler"
+	"transproc/internal/scheduler/policy"
+	"transproc/internal/subsystem"
+	"transproc/internal/twopc"
+	"transproc/internal/wal"
+)
+
+// Config parameterizes a runtime run.
+type Config struct {
+	// Mode selects the scheduling policy. The runtime supports PRED,
+	// PREDCascade, Serial, Conservative and CCOnly; the weak order and
+	// crash injection of the sequential engine are not implemented here.
+	Mode scheduler.Mode
+	// Log is the write-ahead log; defaults to an in-memory log.
+	Log wal.Log
+	// Workers caps the number of concurrently admitted processes
+	// (admission control). 0 means unlimited.
+	Workers int
+	// Tick is the real duration of one virtual cost unit of service
+	// time. 0 means services complete without sleeping (maximum
+	// interleaving pressure, minimum wall clock).
+	Tick time.Duration
+	// MaxRestarts bounds per-process restarts (default 8).
+	MaxRestarts int
+	// MaxStalls bounds stall-resolution victim aborts (default 256).
+	MaxStalls int
+	// Metrics is the observability registry; nil is a no-op sink.
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Log == nil {
+		c.Log = wal.NewMemLog()
+	}
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = 8
+	}
+	if c.MaxStalls == 0 {
+		c.MaxStalls = 256
+	}
+	return c
+}
+
+// Result is the outcome of a concurrent run.
+type Result struct {
+	// Schedule is the observed process schedule (completion order under
+	// the serial section); check it with PRED(), Serializable() and
+	// ProcessRecoverable().
+	Schedule *schedule.Schedule
+	Metrics  scheduler.Metrics
+	Outcomes map[process.ID]*scheduler.Outcome
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+type procState int
+
+const (
+	psRunning procState = iota
+	psAborting
+	psDone
+)
+
+type preparedTx struct {
+	sub     *subsystem.Subsystem
+	tx      subsystem.TxID
+	service string
+}
+
+// procRT is the runtime of one process; its fields are guarded by the
+// runtime mutex (the owning worker mutates them only under it).
+type procRT struct {
+	id           process.ID
+	def          *process.Process
+	inst         *process.Instance
+	state        procState
+	arrival      int
+	origin       process.ID
+	restarts     int
+	recovery     []process.Step
+	recoveryBusy bool
+	busySvc      string
+	abortPending bool
+	restartable  bool
+	prepared     map[int]preparedTx
+	running      map[int]string // in-flight invocation: local -> service
+	start        time.Time
+}
+
+// Runtime executes processes concurrently, one goroutine each.
+type Runtime struct {
+	cfg   Config
+	fed   *subsystem.Federation
+	pol   *policy.State
+	log   wal.Log
+	coord *twopc.Coordinator
+	reg   *metrics.Registry
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	seq         int64
+	completions int64     // finished invocations (backoff progress gauge)
+	procs       []*procRT // admitted, admission order (includes done)
+	byID        map[process.ID]*procRT
+	active      int // admitted and not done
+	live        int // workers whose goroutine still participates
+	inFlight    int // workers outside the lock doing subsystem work
+	waiting     int // workers blocked on cond (diagnostics)
+	victims     int
+	err         error
+	canceled    bool
+
+	// Quiescence detection. progress increments on every state change
+	// that could unblock a worker; lastEval[wid] records the progress
+	// generation at which worker wid last evaluated its gates and found
+	// nothing to do; upToDate counts workers whose lastEval equals the
+	// current generation. A global stall is declared only when every
+	// live worker has re-evaluated at the current generation with
+	// nothing in flight — merely being parked in cond.Wait is not
+	// enough, since a worker may be signaled but not yet rescheduled.
+	progress int64
+	lastEval []int64
+	upToDate int
+
+	metrics  scheduler.Metrics
+	outcomes map[process.ID]*scheduler.Outcome
+	allProcs []*process.Process
+	start    time.Time
+}
+
+// New creates a runtime over the federation.
+func New(fed *subsystem.Federation, cfg Config) (*Runtime, error) {
+	table, err := fed.ConflictTable()
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	r := &Runtime{
+		cfg:      cfg,
+		fed:      fed,
+		pol:      policy.New(table, policy.Config{Mode: policyMode(cfg.Mode)}),
+		log:      cfg.Log,
+		coord:    twopc.New(cfg.Log),
+		reg:      cfg.Metrics,
+		byID:     make(map[process.ID]*procRT),
+		outcomes: make(map[process.ID]*scheduler.Outcome),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	if r.reg != nil {
+		r.coord.Metrics = r.reg
+		fed.SetMetrics(r.reg)
+		if il, ok := r.log.(wal.Instrumented); ok {
+			il.SetMetrics(r.reg)
+		}
+	}
+	return r, nil
+}
+
+func policyMode(m scheduler.Mode) policy.Mode {
+	switch m {
+	case scheduler.PRED:
+		return policy.PRED
+	case scheduler.PREDCascade:
+		return policy.PREDCascade
+	case scheduler.Serial:
+		return policy.Serial
+	case scheduler.Conservative:
+		return policy.Conservative
+	default:
+		return policy.CCOnly
+	}
+}
+
+// Run executes the jobs to completion. Arrival times are in ticks
+// (real delay Arrival*Tick before the process contends for admission).
+// The context cancels the run: in-flight service time finishes, no new
+// work starts, and ctx.Err() is returned.
+func (r *Runtime) Run(ctx context.Context, jobs []scheduler.Job) (*Result, error) {
+	if err := scheduler.ValidateJobs(r.fed, jobs); err != nil {
+		return nil, err
+	}
+	r.start = time.Now()
+	r.live = len(jobs)
+	r.lastEval = make([]int64, len(jobs))
+	for i := range r.lastEval {
+		r.lastEval[i] = -1
+	}
+
+	// Cancellation watcher: wakes every blocked worker.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			r.mu.Lock()
+			r.canceled = true
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(idx int, job scheduler.Job) {
+			defer wg.Done()
+			r.worker(idx, job)
+		}(i, j)
+	}
+	wg.Wait()
+	close(watchDone)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	elapsed := time.Since(r.start)
+	if r.cfg.Tick > 0 {
+		r.metrics.Makespan = int64(elapsed / r.cfg.Tick)
+	} else {
+		r.metrics.Makespan = elapsed.Nanoseconds()
+	}
+	res := &Result{
+		Schedule: r.pol.BuildSchedule(r.allProcs),
+		Metrics:  r.metrics,
+		Outcomes: r.outcomes,
+		Elapsed:  elapsed,
+	}
+	if r.err != nil {
+		return res, r.err
+	}
+	if r.canceled {
+		return res, ctx.Err()
+	}
+	return res, nil
+}
+
+// bump advances the progress generation after a state change that may
+// unblock other workers, and wakes everyone to re-evaluate. Called with
+// r.mu held.
+func (r *Runtime) bump() {
+	r.progress++
+	r.upToDate = 0
+	r.cond.Broadcast()
+}
+
+// sleepTicks simulates service time.
+func (r *Runtime) sleepTicks(n int64) {
+	if r.cfg.Tick > 0 && n > 0 {
+		time.Sleep(time.Duration(n) * r.cfg.Tick)
+	}
+}
+
+func (r *Runtime) cost(service string) int64 {
+	spec, ok := r.fed.Spec(service)
+	if !ok || spec.Cost < 1 {
+		return 1
+	}
+	return int64(spec.Cost)
+}
+
+// worker drives one process (including its restarts) to termination.
+func (r *Runtime) worker(idx int, job scheduler.Job) {
+	if job.Arrival > 0 {
+		r.sleepTicks(job.Arrival)
+	}
+	def := job.Proc
+	restarts := 0
+	for {
+		rt := r.admit(def, idx, job.Proc.ID, restarts)
+		if rt == nil {
+			break // run is over (error or canceled)
+		}
+		again := r.drive(rt)
+		if !again {
+			break
+		}
+		// Restart under a derived id after exponential backoff. Backoff
+		// is measured in system progress, not wall time: the contention
+		// that caused the abort must drain first, so re-entry waits for
+		// exponentially many invocation completions by other processes
+		// (or for the system to go idle). A wall-clock sleep would be
+		// no backoff at all under Tick=0 — the deadlock would re-form
+		// instantly with the same opponents and the same victim.
+		restarts = rt.restarts + 1
+		newID := process.ID(fmt.Sprintf("%s+r%d", rt.origin, restarts))
+		def = rt.def.WithID(newID)
+		if !r.backoff(idx, int64(4<<restarts)) {
+			break
+		}
+	}
+	r.mu.Lock()
+	r.live--
+	r.bump()
+	r.mu.Unlock()
+}
+
+// backoff blocks until `n` further invocations completed or no other
+// process is active; false when the run ended first.
+func (r *Runtime) backoff(wid int, n int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	target := r.completions + n
+	for r.completions < target && r.active > 0 {
+		if !r.wait(wid, nil) {
+			return false
+		}
+	}
+	return r.err == nil && !r.canceled
+}
+
+// admit blocks until the admission policy lets the process in, then
+// registers it; nil when the run ended first.
+func (r *Runtime) admit(def *process.Process, idx int, origin process.ID, restarts int) *procRT {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for !r.mayStart(def) {
+		if !r.wait(idx, nil) {
+			return nil
+		}
+	}
+	rt := &procRT{
+		id:       def.ID,
+		def:      def,
+		inst:     process.NewInstance(def),
+		arrival:  idx,
+		origin:   origin,
+		restarts: restarts,
+		prepared: make(map[int]preparedTx),
+		running:  make(map[int]string),
+		start:    time.Now(),
+	}
+	r.procs = append(r.procs, rt)
+	r.byID[rt.id] = rt
+	r.allProcs = append(r.allProcs, def)
+	r.outcomes[rt.id] = &scheduler.Outcome{Restarts: restarts, Start: r.ticksSince(r.start)}
+	r.active++
+	r.log.Append(wal.Record{Type: wal.RecStart, Proc: string(rt.id)})
+	r.reg.Inc(metrics.ProcsAdmitted)
+	if restarts > 0 {
+		r.metrics.Restarts++
+		r.reg.Inc(metrics.ProcsRestarted)
+	}
+	r.pol.Bump()
+	r.bump()
+	return rt
+}
+
+// ticksSince converts a wall-clock instant into virtual ticks since the
+// run started (0 when Tick is unset).
+func (r *Runtime) ticksSince(t time.Time) int64 {
+	if r.cfg.Tick <= 0 {
+		return 0
+	}
+	return int64(t.Sub(r.start) / r.cfg.Tick)
+}
+
+// mayStart implements admission control: the worker cap plus the
+// Serial / Conservative admission policies (per-activity decisions for
+// those modes are vacuous — admission is the policy).
+func (r *Runtime) mayStart(def *process.Process) bool {
+	if r.cfg.Workers > 0 && r.active >= r.cfg.Workers {
+		return false
+	}
+	switch r.cfg.Mode {
+	case scheduler.Serial:
+		return r.active == 0
+	case scheduler.Conservative:
+		mine := scheduler.Footprint(def)
+		for _, o := range r.procs {
+			if o.state == psDone {
+				continue
+			}
+			for _, s1 := range mine {
+				for _, s2 := range scheduler.Footprint(o.def) {
+					if r.pol.Conflicts(s1, s2) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// wait blocks worker wid on the condition variable until some state
+// changes. A global stall is declared only once every live worker has
+// re-evaluated its gates at the current progress generation and found
+// nothing to do, with nothing in flight — merely counting parked
+// workers would race against workers that were signaled but not yet
+// rescheduled, victimizing (or failing) a process whose gates already
+// cleared. Stalls are broken by victim abort. Returns false when the
+// run is over. Called with r.mu held; self is the caller's process
+// (nil during admission and backoff).
+func (r *Runtime) wait(wid int, self *procRT) bool {
+	if r.err != nil || r.canceled {
+		return false
+	}
+	if r.lastEval[wid] != r.progress {
+		r.lastEval[wid] = r.progress
+		r.upToDate++
+	}
+	if r.upToDate >= r.live && r.inFlight == 0 && !r.actionableAbortPending() {
+		// Genuine stall: every gate was re-checked this generation.
+		victim := r.resolveStall()
+		if victim == nil {
+			r.err = fmt.Errorf("runtime: unresolvable stall (mode %v)\n%s", r.cfg.Mode, r.stallDump())
+			r.cond.Broadcast()
+			return false
+		}
+		// The victim's abortPending flag is a state change: start a new
+		// generation so the stall detector re-arms only after everyone
+		// re-evaluated, and wake the victim's worker. Return without
+		// parking — our own broadcast precedes the Wait, so parking here
+		// could sleep through the only wake-up (e.g. when the victim's
+		// pending recovery is gated and it parks right back without
+		// bumping); re-evaluating our gates instead re-enters wait at
+		// the new generation.
+		r.bump()
+		return true
+	}
+	r.waiting++
+	r.cond.Wait()
+	r.waiting--
+	return r.err == nil && !r.canceled
+}
+
+// actionableAbortPending reports whether some process holds an
+// unconsumed abort request its worker can act on immediately (no queued
+// recovery steps that could be gated). While one exists, declaring a
+// new stall would be spurious: the woken workers merely re-blocked
+// before that victim's worker consumed the flag. An abortPending
+// process with gated recovery steps does NOT suppress stall handling —
+// waiting on it could deadlock, so another victim may be taken
+// (bounded by MaxStalls, as in the sequential engine).
+func (r *Runtime) actionableAbortPending() bool {
+	for _, rt := range r.procs {
+		if rt.state != psDone && rt.abortPending && len(rt.recovery) == 0 && !rt.recoveryBusy && len(rt.running) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveStall aborts the youngest runnable process (it restarts); a
+// done process blocked on its deferred 2PC commit is the fallback
+// victim, mirroring the sequential engine.
+func (r *Runtime) resolveStall() *procRT {
+	if r.victims >= r.cfg.MaxStalls {
+		return nil
+	}
+	var victim *procRT
+	for _, rt := range r.procs {
+		if rt.state != psRunning || len(rt.running) > 0 || rt.recoveryBusy || rt.abortPending {
+			continue
+		}
+		if rt.inst.Done() {
+			continue
+		}
+		if victim == nil || rt.arrival > victim.arrival {
+			victim = rt
+		}
+	}
+	if victim == nil {
+		for _, rt := range r.procs {
+			if rt.state != psRunning || len(rt.running) > 0 || rt.recoveryBusy || rt.abortPending {
+				continue
+			}
+			if rt.inst.Done() && len(rt.prepared) > 0 && r.pol.HasActiveConflictPred(r.view(), rt.id) {
+				if victim == nil || rt.arrival > victim.arrival {
+					victim = rt
+				}
+			}
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	r.victims++
+	r.metrics.VictimAborts++
+	r.reg.Inc(metrics.VictimAborts)
+	victim.restartable = true
+	victim.abortPending = true
+	return victim
+}
+
+// stepKind is the action the serial section hands a worker.
+type stepKind int
+
+const (
+	sWait   stepKind = iota // nothing dispatchable; block
+	sAgain                  // progressed under the lock; re-evaluate
+	sInvoke                 // perform the prepared invocation outside the lock
+	sDone                   // process terminated
+)
+
+type workItem struct {
+	local   int
+	service string
+	kind    activity.Kind
+	isStep  bool
+	step    process.Step
+}
+
+// drive runs one admitted process to termination. Returns true when the
+// process aborted restartably and should re-enter.
+func (r *Runtime) drive(rt *procRT) (restart bool) {
+	r.mu.Lock()
+	for {
+		if r.err != nil || r.canceled {
+			break
+		}
+		kind, item := r.step(rt)
+		switch kind {
+		case sAgain:
+			r.bump()
+			continue
+		case sDone:
+			restart = rt.restartable && rt.restarts < r.cfg.MaxRestarts
+			r.bump()
+			r.mu.Unlock()
+			return restart
+		case sWait:
+			if !r.wait(rt.arrival, rt) {
+				r.mu.Unlock()
+				return false
+			}
+			continue
+		}
+		// sInvoke: the in-flight registration (running / recoveryBusy)
+		// happened in step(); do the subsystem work unlocked.
+		r.inFlight++
+		r.mu.Unlock()
+		res, err := r.fed.Invoke(string(rt.origin), item.service, subsystem.Prepare)
+		locked := errors.Is(err, subsystem.ErrLocked)
+		failed := errors.Is(err, subsystem.ErrAborted)
+		if err != nil && !locked && !failed {
+			panic(fmt.Sprintf("runtime: invoke %s/%s: %v", rt.id, item.service, err))
+		}
+		if !locked {
+			r.sleepTicks(r.cost(item.service))
+		}
+		r.mu.Lock()
+		r.inFlight--
+		if locked {
+			// A conflicting local transaction holds the subsystem lock;
+			// undo the registration and wait for its resolution.
+			r.unregister(rt, item)
+			r.metrics.Invocations++
+			r.metrics.LockWaits++
+			r.reg.Inc(metrics.InvokeLockBlocked)
+			r.bump()
+			if !r.wait(rt.arrival, rt) {
+				r.mu.Unlock()
+				return false
+			}
+			continue
+		}
+		r.complete(rt, item, res, failed)
+		r.bump()
+	}
+	r.mu.Unlock()
+	return false
+}
+
+func (r *Runtime) unregister(rt *procRT, item workItem) {
+	if item.isStep {
+		rt.recoveryBusy = false
+		rt.busySvc = ""
+	} else {
+		delete(rt.running, item.local)
+	}
+	r.pol.Bump()
+}
+
+// step is the serial-section decision: what should this worker do next?
+// Called with r.mu held.
+func (r *Runtime) step(rt *procRT) (stepKind, workItem) {
+	v := r.view()
+	// Recovery steps drain strictly sequentially, before a pending
+	// abort is honoured.
+	if len(rt.recovery) > 0 {
+		st := rt.recovery[0]
+		switch st.Kind {
+		case process.StepAbortPrepared:
+			rt.recovery = rt.recovery[1:]
+			if ptx, ok := rt.prepared[st.Local]; ok {
+				if err := ptx.sub.AbortPrepared(ptx.tx); err == nil {
+					r.metrics.Rollbacks++
+					r.reg.Inc(metrics.DeferredRolledBack)
+					r.log.Append(wal.Record{
+						Type: wal.RecResolved, Proc: string(rt.id), Local: st.Local,
+						Service: ptx.service, Subsystem: ptx.sub.Name(), Tx: int64(ptx.tx), Commit: false,
+					})
+				}
+				delete(rt.prepared, st.Local)
+			}
+			r.pol.EraseTentative(rt.id, st.Local)
+			_ = rt.inst.ApplyStep(st)
+			r.pol.Bump()
+			return sAgain, workItem{}
+		case process.StepCompensate:
+			if r.cfg.Mode != scheduler.CCOnly && !r.pol.Lemma2Clear(v, rt.id, st) {
+				r.metrics.PolicyWaits++
+				return sWait, workItem{}
+			}
+			if !r.fed.Lockable(string(rt.origin), st.Service) {
+				return sWait, workItem{}
+			}
+			return r.register(rt, workItem{local: st.Local, service: st.Service, kind: activity.Compensation, isStep: true, step: st})
+		case process.StepInvoke:
+			if r.cfg.Mode != scheduler.CCOnly {
+				if !r.pol.Lemma3Clear(v, rt.id, st) || !r.pol.Lemma1ClearForward(v, rt.id, st) ||
+					!r.pol.StepForcedClear(v, rt.id, st) {
+					r.metrics.PolicyWaits++
+					return sWait, workItem{}
+				}
+				if _, defer2 := r.pol.DeferToAborting(v, rt.id, st); defer2 {
+					r.metrics.PolicyWaits++
+					return sWait, workItem{}
+				}
+			}
+			if !r.fed.Lockable(string(rt.origin), st.Service) {
+				return sWait, workItem{}
+			}
+			a := rt.def.Activity(st.Local)
+			return r.register(rt, workItem{local: st.Local, service: st.Service, kind: a.Kind, isStep: true, step: st})
+		}
+		return sWait, workItem{}
+	}
+	if rt.abortPending && rt.state != psAborting {
+		steps, err := rt.inst.Abort()
+		if err != nil {
+			r.err = fmt.Errorf("runtime: abort %s: %w", rt.id, err)
+			return sDone, workItem{}
+		}
+		rt.abortPending = false
+		rt.state = psAborting
+		rt.recovery = steps
+		r.log.Append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
+		r.reg.Inc(metrics.BackwardRecoveries)
+		r.seq++
+		r.pol.AppendEvent(&policy.Event{Seq: r.seq, Proc: rt.id, Typ: schedule.AbortBegin})
+		r.cascadeDependents(rt)
+		return sAgain, workItem{}
+	}
+	if rt.state == psAborting {
+		// Completion drained: roll back leftovers and terminate.
+		for l, ptx := range rt.prepared {
+			if err := ptx.sub.AbortPrepared(ptx.tx); err == nil {
+				r.metrics.Rollbacks++
+				r.reg.Inc(metrics.DeferredRolledBack)
+				r.log.Append(wal.Record{
+					Type: wal.RecResolved, Proc: string(rt.id), Local: l,
+					Service: ptx.service, Subsystem: ptx.sub.Name(), Tx: int64(ptx.tx), Commit: false,
+				})
+			}
+			r.pol.EraseTentative(rt.id, l)
+			delete(rt.prepared, l)
+		}
+		r.terminate(rt, false)
+		return sDone, workItem{}
+	}
+	if rt.inst.Done() {
+		if len(rt.prepared) > 0 {
+			if r.pol.HasActiveConflictPred(v, rt.id) {
+				return sWait, workItem{} // Lemma 1: hold the 2PC commit
+			}
+			if !r.commitPreparedSet(rt) {
+				return sWait, workItem{}
+			}
+		}
+		r.terminate(rt, true)
+		return sDone, workItem{}
+	}
+	// Regular forward execution. The single worker linearizes parallel
+	// branches: pick the first dispatchable frontier activity.
+	for _, local := range rt.inst.Frontier() {
+		a := rt.def.Activity(local)
+		if !r.predsCommitted(rt, local) {
+			continue
+		}
+		if ok, _ := r.pol.MayDispatch(v, rt.id, a); !ok {
+			r.metrics.PolicyWaits++
+			r.reg.Inc(metrics.InvokePolicyBlocked)
+			continue
+		}
+		// Probe the subsystem's item locks under the serial section: a
+		// held lock means parking here, not an invocation attempt whose
+		// ErrLocked bounce would wake (and be woken by) other blocked
+		// workers in an endless retry storm. Lock releases always come
+		// with a progress bump, so parked workers re-probe in time.
+		if !r.fed.Lockable(string(rt.origin), a.Service) {
+			continue
+		}
+		return r.register(rt, workItem{local: local, service: a.Service, kind: a.Kind})
+	}
+	return sWait, workItem{}
+}
+
+// register records the invocation as in flight (visible to concurrent
+// forced-order decisions) and hands it to the worker.
+func (r *Runtime) register(rt *procRT, item workItem) (stepKind, workItem) {
+	if item.isStep {
+		rt.recoveryBusy = true
+		rt.busySvc = item.service
+	} else {
+		rt.running[item.local] = item.service
+	}
+	r.pol.Bump()
+	r.log.Append(wal.Record{Type: wal.RecDispatch, Proc: string(rt.id), Local: item.local, Service: item.service})
+	r.reg.Inc(metrics.InvokeDispatched)
+	return sInvoke, item
+}
+
+func (r *Runtime) predsCommitted(rt *procRT, local int) bool {
+	for _, h := range rt.def.Preds(local) {
+		if rt.inst.Status(h) != process.Committed {
+			return false
+		}
+	}
+	return true
+}
+
+// complete handles a finished invocation under the lock.
+func (r *Runtime) complete(rt *procRT, item workItem, res *subsystem.Result, failed bool) {
+	r.metrics.Invocations++
+	r.completions++
+	r.unregister(rt, item)
+	r.reg.ObserveService(item.service, r.cost(item.service))
+	if item.isStep {
+		r.completeStep(rt, item, res, failed)
+		return
+	}
+	if failed {
+		if item.kind.GuaranteedToCommit() {
+			r.metrics.Retries++
+			r.reg.Inc(metrics.RetriesTransient)
+			r.log.Append(wal.Record{Type: wal.RecOutcome, Proc: string(rt.id), Local: item.local, Service: item.service, Outcome: "aborted"})
+			return
+		}
+		r.permanentFailure(rt, item)
+		return
+	}
+	r.log.Append(wal.Record{
+		Type: wal.RecOutcome, Proc: string(rt.id), Local: item.local, Service: item.service,
+		Subsystem: r.subsystemOf(item.service), Tx: int64(res.Tx), Outcome: "prepared",
+	})
+	sub, _ := r.fed.Owner(item.service)
+	r.seq++
+	if r.commitImmediately(rt, item.kind) {
+		if err := sub.CommitPrepared(res.Tx); err != nil {
+			r.err = fmt.Errorf("runtime: commit %s/%s: %w", rt.id, item.service, err)
+			return
+		}
+		r.log.Append(wal.Record{
+			Type: wal.RecResolved, Proc: string(rt.id), Local: item.local,
+			Service: item.service, Subsystem: sub.Name(), Tx: int64(res.Tx), Commit: true,
+		})
+		if err := rt.inst.MarkCommitted(item.local); err != nil {
+			r.err = fmt.Errorf("runtime: %w", err)
+			return
+		}
+		r.pol.AppendEvent(&policy.Event{
+			Seq: r.seq, Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind, Typ: schedule.Invoke,
+		})
+		r.reg.Inc(metrics.CommitsImmediate)
+	} else {
+		r.metrics.Deferrals++
+		r.reg.Inc(metrics.CommitsDeferred)
+		if err := rt.inst.MarkPrepared(item.local); err != nil {
+			r.err = fmt.Errorf("runtime: %w", err)
+			return
+		}
+		rt.prepared[item.local] = preparedTx{sub: sub, tx: res.Tx, service: item.service}
+		r.pol.AppendEvent(&policy.Event{
+			Seq: r.seq, Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind,
+			Typ: schedule.Invoke, Tentative: true,
+		})
+	}
+}
+
+func (r *Runtime) commitImmediately(rt *procRT, kind activity.Kind) bool {
+	if kind == activity.Compensatable {
+		return true
+	}
+	switch r.cfg.Mode {
+	case scheduler.CCOnly, scheduler.Serial, scheduler.Conservative:
+		return true
+	default:
+		return !r.pol.HasActiveConflictPred(r.view(), rt.id)
+	}
+}
+
+func (r *Runtime) subsystemOf(service string) string {
+	if sub, ok := r.fed.Owner(service); ok {
+		return sub.Name()
+	}
+	return ""
+}
+
+// permanentFailure reacts to the definitive failure of a compensatable
+// or pivot activity.
+func (r *Runtime) permanentFailure(rt *procRT, item workItem) {
+	r.log.Append(wal.Record{Type: wal.RecFailed, Proc: string(rt.id), Local: item.local, Service: item.service})
+	r.seq++
+	r.pol.AppendEvent(&policy.Event{
+		Seq: r.seq, Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind, Typ: schedule.FailedInvoke,
+	})
+	plan, err := rt.inst.MarkFailed(item.local)
+	if err != nil {
+		r.err = fmt.Errorf("runtime: %w", err)
+		return
+	}
+	if rt.abortPending {
+		return // the queued abort supersedes the local plan
+	}
+	if plan.Abort {
+		rt.restartable = false
+		rt.state = psAborting
+		rt.recovery = plan.Steps
+		r.log.Append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
+		r.reg.Inc(metrics.BackwardRecoveries)
+		r.seq++
+		r.pol.AppendEvent(&policy.Event{Seq: r.seq, Proc: rt.id, Typ: schedule.AbortBegin})
+		r.cascadeDependents(rt)
+		return
+	}
+	rt.recovery = plan.Steps
+	r.reg.Inc(metrics.ForwardRecoveries)
+}
+
+// cascadeDependents marks conflicting dependents of an unwinding
+// process for cascading abort (PREDCascade mode only).
+func (r *Runtime) cascadeDependents(rt *procRT) {
+	for _, id := range r.pol.CascadeVictims(r.view(), rt.id, rt.recovery) {
+		q := r.byID[id]
+		if q == nil || q.state != psRunning || q.abortPending {
+			continue
+		}
+		r.metrics.Cascades++
+		r.reg.Inc(metrics.CascadeAborts)
+		q.abortPending = true
+		q.restartable = true
+	}
+}
+
+// completeStep handles a finished recovery-step invocation.
+func (r *Runtime) completeStep(rt *procRT, item workItem, res *subsystem.Result, failed bool) {
+	if failed {
+		// Compensations and forward-recovery steps are retriable.
+		r.metrics.Retries++
+		r.reg.Inc(metrics.RetriesTransient)
+		return
+	}
+	sub, _ := r.fed.Owner(item.service)
+	if err := sub.CommitPrepared(res.Tx); err != nil {
+		r.err = fmt.Errorf("runtime: commit step %s/%s: %w", rt.id, item.service, err)
+		return
+	}
+	if len(rt.recovery) > 0 && rt.recovery[0] == item.step {
+		rt.recovery = rt.recovery[1:]
+	}
+	r.seq++
+	switch item.step.Kind {
+	case process.StepCompensate:
+		r.metrics.Compensations++
+		r.reg.Inc(metrics.CompensationsIssued)
+		r.log.Append(wal.Record{Type: wal.RecCompensate, Proc: string(rt.id), Local: item.local, Service: item.service})
+		r.pol.MarkCompensated(rt.id, item.local)
+		r.pol.AppendEvent(&policy.Event{
+			Seq: r.seq, Proc: rt.id, Local: item.local, Service: item.service,
+			Kind: activity.Compensation, Typ: schedule.Invoke, Inverse: true,
+		})
+	case process.StepInvoke:
+		r.log.Append(wal.Record{
+			Type: wal.RecOutcome, Proc: string(rt.id), Local: item.local, Service: item.service,
+			Subsystem: sub.Name(), Tx: int64(res.Tx), Outcome: "committed",
+		})
+		r.pol.AppendEvent(&policy.Event{
+			Seq: r.seq, Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind, Typ: schedule.Invoke,
+		})
+	}
+	if err := rt.inst.ApplyStep(item.step); err != nil {
+		r.err = fmt.Errorf("runtime: %w", err)
+	}
+}
+
+// commitPreparedSet performs the atomic 2PC commit of the prepared set
+// once Lemma 1 released it. Called with r.mu held (lock order
+// r.mu -> subsystem.mu).
+func (r *Runtime) commitPreparedSet(rt *procRT) bool {
+	locals := make([]int, 0, len(rt.prepared))
+	for l := range rt.prepared {
+		if rt.inst.Status(l) == process.Prepared {
+			locals = append(locals, l)
+		}
+	}
+	sort.Ints(locals)
+	if len(locals) == 0 {
+		return true
+	}
+	parts := make([]twopc.Participant, 0, len(locals))
+	for _, l := range locals {
+		ptx := rt.prepared[l]
+		parts = append(parts, twopc.Participant{
+			Sub: ptx.sub, Tx: ptx.tx, Proc: string(rt.id), Local: l, Service: ptx.service,
+		})
+	}
+	if err := r.coord.CommitAll(string(rt.id), parts); err != nil {
+		r.err = fmt.Errorf("runtime: 2PC commit of %s: %w", rt.id, err)
+		return false
+	}
+	for _, l := range locals {
+		r.metrics.TwoPCCommits++
+		r.reg.Inc(metrics.DeferredCommitted2PC)
+		if err := rt.inst.MarkCommitted(l); err != nil {
+			r.err = fmt.Errorf("runtime: %w", err)
+			return false
+		}
+		r.seq++
+		r.pol.FinalizeTentative(rt.id, l, r.seq)
+		delete(rt.prepared, l)
+	}
+	r.pol.Bump()
+	return true
+}
+
+// terminate emits the terminal event. Called with r.mu held.
+func (r *Runtime) terminate(rt *procRT, committed bool) {
+	rt.state = psDone
+	r.active--
+	out := r.outcomes[rt.id]
+	out.End = r.ticksSince(time.Now())
+	out.Committed = committed
+	out.Aborted = !committed
+	if committed {
+		r.metrics.CommittedProcs++
+		r.reg.Inc(metrics.ProcsCommitted)
+	} else {
+		r.metrics.AbortedProcs++
+		r.reg.Inc(metrics.ProcsAborted)
+	}
+	r.reg.Observe(metrics.HistProcDuration, r.ticksSince(time.Now())-out.Start)
+	r.log.Append(wal.Record{Type: wal.RecTerminate, Proc: string(rt.id), Committed: committed})
+	r.seq++
+	r.pol.AppendEvent(&policy.Event{Seq: r.seq, Proc: rt.id, Typ: schedule.Terminate, Committed: committed})
+	rt.inst.MarkTerminated(committed)
+}
+
+// view adapts the runtime's process table to the policy View.
+type rtView struct{ r *Runtime }
+
+func (r *Runtime) view() policy.View { return rtView{r} }
+
+func (v rtView) Procs() []process.ID {
+	out := make([]process.ID, len(v.r.procs))
+	for i, rt := range v.r.procs {
+		out[i] = rt.id
+	}
+	return out
+}
+
+func (v rtView) Phase(id process.ID) policy.Phase {
+	rt := v.r.byID[id]
+	if rt == nil {
+		return policy.Done
+	}
+	switch rt.state {
+	case psRunning:
+		return policy.Running
+	case psAborting:
+		return policy.Aborting
+	default:
+		return policy.Done
+	}
+}
+
+func (v rtView) Arrival(id process.ID) int {
+	if rt := v.r.byID[id]; rt != nil {
+		return rt.arrival
+	}
+	return 0
+}
+
+func (v rtView) Instance(id process.ID) *process.Instance {
+	if rt := v.r.byID[id]; rt != nil {
+		return rt.inst
+	}
+	return nil
+}
+
+func (v rtView) RecoverySteps(id process.ID) []process.Step {
+	if rt := v.r.byID[id]; rt != nil {
+		return rt.recovery
+	}
+	return nil
+}
+
+func (v rtView) InFlight(id process.ID) []string {
+	rt := v.r.byID[id]
+	if rt == nil {
+		return nil
+	}
+	out := make([]string, 0, len(rt.running)+1)
+	for _, svc := range rt.running {
+		out = append(out, svc)
+	}
+	if rt.recoveryBusy && rt.busySvc != "" {
+		out = append(out, rt.busySvc)
+	}
+	return out
+}
+
+// stallDump renders the runtime state for stall diagnostics.
+func (r *Runtime) stallDump() string {
+	s := fmt.Sprintf("live=%d active=%d inFlight=%d waiting=%d victims=%d progress=%d\n", r.live, r.active, r.inFlight, r.waiting, r.victims, r.progress)
+	for _, rt := range r.procs {
+		if rt.state == psDone {
+			continue
+		}
+		s += fmt.Sprintf("  %s state=%d mode=%v done=%v running=%d recovery=%d busy=%v abortPending=%v prepared=%d frontier=%v\n",
+			rt.id, rt.state, rt.inst.Mode(), rt.inst.Done(), len(rt.running), len(rt.recovery), rt.recoveryBusy, rt.abortPending, len(rt.prepared), rt.inst.Frontier())
+		if len(rt.recovery) > 0 {
+			st := rt.recovery[0]
+			s += fmt.Sprintf("    next step: %v\n", st)
+			if st.Kind == process.StepInvoke {
+				s += fmt.Sprintf("    gates: lemma3=%v lemma1fwd=%v forced=%v newEdges=%v\n",
+					r.pol.Lemma3Clear(r.view(), rt.id, st), r.pol.Lemma1ClearForward(r.view(), rt.id, st),
+					r.pol.StepForcedClear(r.view(), rt.id, st), r.pol.ForcedEdgesFor(r.view(), rt.id, st.Service, true))
+			}
+			if st.Kind == process.StepCompensate {
+				s += fmt.Sprintf("    gates: lemma2=%v\n", r.pol.Lemma2Clear(r.view(), rt.id, st))
+			}
+		}
+	}
+	for _, k := range r.pol.EdgeList() {
+		s += fmt.Sprintf("  edge %s->%s\n", k[0], k[1])
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+package schedule_test
+
+import (
+	"testing"
+
+	"transproc/internal/paper"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+)
+
+// FuzzScheduleReduce drives random operation sequences over the paper's
+// two example processes and checks the reducibility machinery:
+//
+//   - PRED on the full schedule implies RED (the full schedule is its
+//     own last prefix),
+//   - a reported shortest non-reducible prefix is in range and minimal
+//     (the prefix one event shorter is prefix-reducible),
+//   - the check is deterministic.
+//
+// Invalid operations are rejected by the schedule's transition checks
+// and simply skipped, so arbitrary bytes explore the space of legal
+// schedules.
+func FuzzScheduleReduce(f *testing.F) {
+	// Figure 4(a): serializable interleaving of P1 and P2.
+	f.Add([]byte{0, 1, 3, 5, 2, 4, 7, 64, 65})
+	// Figure 4(b): conflict cycle P1 -> P2 -> P1.
+	f.Add([]byte{0, 1, 3, 5, 7, 2, 4})
+	// Failure, abort and compensation ops.
+	f.Add([]byte{0, 2, 34, 80, 48, 64})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			t.Skip("long inputs only slow the quadratic PRED check down")
+		}
+		s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
+		procs := []process.ID{"P1", "P2"}
+		for _, b := range data {
+			p := procs[int(b)&1]
+			local := int(b>>1)%5 + 1
+			switch (b >> 4) % 6 {
+			case 0, 1:
+				_ = s.Invoke(p, local)
+			case 2:
+				_ = s.Fail(p, local)
+			case 3:
+				_ = s.Compensate(p, local)
+			case 4:
+				_ = s.Commit(p)
+			case 5:
+				_ = s.BeginAbort(p)
+			}
+		}
+		ok, at, _, err := s.PRED()
+		if err != nil {
+			t.Skip("schedule state not completable")
+		}
+		ok2, at2, _, err2 := s.PRED()
+		if err2 != nil || ok2 != ok || at2 != at {
+			t.Fatalf("PRED not deterministic: (%v,%d,%v) vs (%v,%d,%v)", ok, at, err, ok2, at2, err2)
+		}
+		if ok {
+			full, _, err := s.RED()
+			if err != nil {
+				t.Fatalf("PRED ok but RED errors: %v\n%s", err, s)
+			}
+			if !full {
+				t.Fatalf("PRED ok but full schedule not reducible:\n%s", s)
+			}
+			return
+		}
+		if at < 1 || at > s.Len() {
+			t.Fatalf("non-reducible prefix length %d out of range [1,%d]", at, s.Len())
+		}
+		if shorterOK, _, _, err := s.Prefix(at - 1).PRED(); err == nil && !shorterOK {
+			t.Fatalf("prefix %d reported shortest, but prefix %d is already non-reducible", at, at-1)
+		}
+	})
+}

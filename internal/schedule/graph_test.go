@@ -12,6 +12,7 @@ import (
 )
 
 func TestCompletedScheduleKeepsAbortMarkers(t *testing.T) {
+	t.Parallel()
 	// An explicit abort leaves A_i in the schedule; the completed
 	// schedule keeps it as an inert marker so S̃ remains replayable, and
 	// completing is idempotent.
@@ -39,6 +40,7 @@ func TestCompletedScheduleKeepsAbortMarkers(t *testing.T) {
 }
 
 func TestGroupAbortReplayUnknownMember(t *testing.T) {
+	t.Parallel()
 	s := schedule.MustNew(paper.Conflicts(), paper.P2())
 	evs := []schedule.Event{
 		{Type: schedule.GroupAbort, Group: []process.ID{"GHOST"}},
@@ -50,6 +52,7 @@ func TestGroupAbortReplayUnknownMember(t *testing.T) {
 }
 
 func TestPrefixOfCompletedIsReducibleForPREDSchedule(t *testing.T) {
+	t.Parallel()
 	// For a schedule that is PRED, completing any prefix yields a
 	// reducible schedule by definition; verify on Figure 7's S''.
 	s := fig7(t)
@@ -66,6 +69,7 @@ func TestPrefixOfCompletedIsReducibleForPREDSchedule(t *testing.T) {
 }
 
 func TestSelfConflictOrdersSameService(t *testing.T) {
+	t.Parallel()
 	tab := conflict.NewTable()
 	tab.AddConflict("w", "w")
 	p1 := process.NewBuilder("P1").Add(1, "w", activity.Pivot).MustBuild()
@@ -82,6 +86,7 @@ func TestSelfConflictOrdersSameService(t *testing.T) {
 }
 
 func TestReductionDescribeNegative(t *testing.T) {
+	t.Parallel()
 	s := fig4b(t)
 	red := s.Reduce()
 	if red.Serial {
@@ -93,6 +98,7 @@ func TestReductionDescribeNegative(t *testing.T) {
 }
 
 func TestEventLabelVariants(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		e    schedule.Event
 		want string
@@ -113,6 +119,7 @@ func TestEventLabelVariants(t *testing.T) {
 }
 
 func TestEventTypeStrings(t *testing.T) {
+	t.Parallel()
 	for _, c := range []struct {
 		tp   schedule.EventType
 		want string

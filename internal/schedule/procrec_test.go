@@ -13,6 +13,7 @@ import (
 )
 
 func TestProcRecSerialOK(t *testing.T) {
+	t.Parallel()
 	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
 	s.MustPlay(
 		schedule.Ok("P1", 1), schedule.Ok("P1", 2), schedule.Ok("P1", 3),
@@ -27,6 +28,7 @@ func TestProcRecSerialOK(t *testing.T) {
 }
 
 func TestProcRecFig7OK(t *testing.T) {
+	t.Parallel()
 	s := fig7(t)
 	ok, v := s.ProcessRecoverable()
 	if !ok {
@@ -35,6 +37,7 @@ func TestProcRecFig7OK(t *testing.T) {
 }
 
 func TestProcRecRule1Violation(t *testing.T) {
+	t.Parallel()
 	// P2 terminates before P1 although a11 ≪ a21: C_2 ≪ C_1 violates
 	// Definition 11.1.
 	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
@@ -61,6 +64,7 @@ func TestProcRecRule1Violation(t *testing.T) {
 }
 
 func TestProcRecRule2Violation(t *testing.T) {
+	t.Parallel()
 	// S_t1 extended: P2's pivot a23 (non-compensatable following a21)
 	// commits before P1's pivot a12 (following a11): Definition 11.2.
 	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
@@ -85,6 +89,7 @@ func TestProcRecRule2Violation(t *testing.T) {
 }
 
 func TestProcRecFig4aPrefixViolation(t *testing.T) {
+	t.Parallel()
 	// The Example 8 prefix is exactly a rule-2 situation once a12 runs.
 	s := fig4a(t)
 	ok, _ := s.ProcessRecoverable()
@@ -96,6 +101,7 @@ func TestProcRecFig4aPrefixViolation(t *testing.T) {
 // ---- Theorem 1: PRED ⇒ serializable ∧ process-recoverable -------------
 
 func TestTheorem1Property(t *testing.T) {
+	t.Parallel()
 	services := []string{"s1", "s2", "s3", "s4", "s5", "s6"}
 	nPRED := 0
 	for trial := 0; trial < 400; trial++ {
@@ -151,6 +157,7 @@ func TestTheorem1Property(t *testing.T) {
 // conflicting compensations, they appear in reverse order of their base
 // activities.
 func TestLemma2Property(t *testing.T) {
+	t.Parallel()
 	for trial := 0; trial < 300; trial++ {
 		rng := rand.New(rand.NewSource(int64(1000 + trial)))
 		tab := conflict.NewTable()

@@ -17,6 +17,7 @@ import (
 // (pure readers) of non-committing processes are removed by the
 // reduction and stop contributing conflicts.
 func TestEffectFreeRule(t *testing.T) {
+	t.Parallel()
 	tab := conflict.NewTable()
 	tab.AddConflict("read", "write")
 	// P1 reads (effect-free), P2 writes; P1 never commits.
@@ -60,6 +61,7 @@ func TestEffectFreeRule(t *testing.T) {
 // TestEffectFreeRuleKeepsCommittedProcesses verifies the rule applies
 // only to processes that do not commit regularly.
 func TestEffectFreeRuleKeepsCommittedProcesses(t *testing.T) {
+	t.Parallel()
 	tab := conflict.NewTable()
 	p1 := process.NewBuilder("P1").
 		Add(1, "read", activity.Retriable).
@@ -77,6 +79,7 @@ func TestEffectFreeRuleKeepsCommittedProcesses(t *testing.T) {
 // completed schedule is serializable as-is, the reduction's remainder
 // is serializable too.
 func TestPropertyReductionPreservesSerializability(t *testing.T) {
+	t.Parallel()
 	services := []string{"x", "y", "z", "w"}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -117,6 +120,7 @@ func TestPropertyReductionPreservesSerializability(t *testing.T) {
 // in the remainder, every inverse event still has its base event before
 // it (pairs are removed together or kept together).
 func TestPropertyReductionPairsConsistent(t *testing.T) {
+	t.Parallel()
 	services := []string{"a", "b", "c"}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -161,6 +165,7 @@ func TestPropertyReductionPairsConsistent(t *testing.T) {
 // Property: RED is monotone under completion — a completed schedule's
 // own completion is itself (completing is idempotent).
 func TestPropertyCompletionIdempotent(t *testing.T) {
+	t.Parallel()
 	services := []string{"p", "q", "r"}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -195,6 +200,7 @@ func TestPropertyCompletionIdempotent(t *testing.T) {
 // TestReduceOnPaperCompleteSchedule sanity-checks Reduce on a complete
 // (all-committed) schedule: nothing to remove, serial order P1 → P2.
 func TestReduceOnPaperCompleteSchedule(t *testing.T) {
+	t.Parallel()
 	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
 	s.MustPlay(
 		schedule.Ok("P1", 1), schedule.Ok("P1", 2), schedule.Ok("P1", 3),

@@ -83,6 +83,7 @@ func fig9(t testing.TB) *schedule.Schedule {
 }
 
 func TestExample3NotSerializable(t *testing.T) {
+	t.Parallel()
 	s := fig4b(t)
 	if s.Serializable() {
 		t.Fatal("S'_t2 of Example 3 must not be serializable (cycle P1→P2→P1)")
@@ -94,6 +95,7 @@ func TestExample3NotSerializable(t *testing.T) {
 }
 
 func TestExample4Serializable(t *testing.T) {
+	t.Parallel()
 	s := fig4a(t)
 	if !s.Serializable() {
 		t.Fatal("S_t2 of Example 4 must be serializable")
@@ -105,6 +107,7 @@ func TestExample4Serializable(t *testing.T) {
 }
 
 func TestExample5CompletedSchedule(t *testing.T) {
+	t.Parallel()
 	s := fig4a(t)
 	comp, err := s.Completed()
 	if err != nil {
@@ -137,6 +140,7 @@ func TestExample5CompletedSchedule(t *testing.T) {
 }
 
 func TestExample6Reduction(t *testing.T) {
+	t.Parallel()
 	s := fig4a(t)
 	comp, err := s.Completed()
 	if err != nil {
@@ -159,6 +163,7 @@ func TestExample6Reduction(t *testing.T) {
 }
 
 func TestExample8NotPRED(t *testing.T) {
+	t.Parallel()
 	s := fig4a(t)
 	ok, at, red, err := s.PRED()
 	if err != nil {
@@ -179,6 +184,7 @@ func TestExample8NotPRED(t *testing.T) {
 }
 
 func TestExample8PrefixDetails(t *testing.T) {
+	t.Parallel()
 	s := fig4a(t).Prefix(4)
 	insts, err := schedule.Replay(map[process.ID]*process.Process{
 		"P1": s.Process("P1"), "P2": s.Process("P2"),
@@ -208,6 +214,7 @@ func TestExample8PrefixDetails(t *testing.T) {
 }
 
 func TestExample7And9Fig7PRED(t *testing.T) {
+	t.Parallel()
 	s := fig7(t)
 	ok, _, err := s.RED()
 	if err != nil {
@@ -226,6 +233,7 @@ func TestExample7And9Fig7PRED(t *testing.T) {
 }
 
 func TestExample10QuasiCommit(t *testing.T) {
+	t.Parallel()
 	s := fig9(t)
 	ok, at, _, err := s.PRED()
 	if err != nil {
@@ -237,6 +245,7 @@ func TestExample10QuasiCommit(t *testing.T) {
 }
 
 func TestQuasiCommitContrast(t *testing.T) {
+	t.Parallel()
 	// If a31 runs while P1 is still B-REC and P3 then advances past its
 	// own pivot before P1 terminates, the schedule is not PRED
 	// (Lemma 1.1 violated).
@@ -256,6 +265,7 @@ func TestQuasiCommitContrast(t *testing.T) {
 }
 
 func TestBothBRECFullCompensationIsRED(t *testing.T) {
+	t.Parallel()
 	// The classical situation of Section 3.5's discussion: while both
 	// processes are still fully compensatable, the completed schedule
 	// reduces to empty.
@@ -274,6 +284,7 @@ func TestBothBRECFullCompensationIsRED(t *testing.T) {
 }
 
 func TestClassicalAllCompensatableIsPRED(t *testing.T) {
+	t.Parallel()
 	// Section 3.5: "If all inverses were available and the classical
 	// undo procedure could be applied, the prefix S_t1 would be
 	// reducible." Rebuild P1/P2 with every activity compensatable and
@@ -309,6 +320,7 @@ func TestClassicalAllCompensatableIsPRED(t *testing.T) {
 }
 
 func TestSerialScheduleIsPRED(t *testing.T) {
+	t.Parallel()
 	s := schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
 	s.MustPlay(
 		schedule.Ok("P1", 1), schedule.Ok("P1", 2), schedule.Ok("P1", 3),
@@ -326,6 +338,7 @@ func TestSerialScheduleIsPRED(t *testing.T) {
 }
 
 func TestScheduleWithFailureAndAlternativePRED(t *testing.T) {
+	t.Parallel()
 	// P1 alone: a13 fails, alternative a15 a16 runs, C_1. Every prefix
 	// must be reducible.
 	s := schedule.MustNew(paper.Conflicts(), paper.P1())
@@ -347,6 +360,7 @@ func TestScheduleWithFailureAndAlternativePRED(t *testing.T) {
 }
 
 func TestScheduleWithCompensationEventsPRED(t *testing.T) {
+	t.Parallel()
 	// a14 fails; a13 is compensated inside the schedule itself; then
 	// the alternative runs.
 	s := schedule.MustNew(paper.Conflicts(), paper.P1())
@@ -370,6 +384,7 @@ func TestScheduleWithCompensationEventsPRED(t *testing.T) {
 }
 
 func TestExplicitAbortSchedule(t *testing.T) {
+	t.Parallel()
 	// P2 aborts in B-REC: A_2, compensations in reverse order, C_2(ab).
 	s := schedule.MustNew(paper.Conflicts(), paper.P2())
 	s.MustPlay(
@@ -393,6 +408,7 @@ func TestExplicitAbortSchedule(t *testing.T) {
 }
 
 func TestIllegalSchedulesRejected(t *testing.T) {
+	t.Parallel()
 	mk := func() *schedule.Schedule {
 		return schedule.MustNew(paper.Conflicts(), paper.P1(), paper.P2())
 	}
@@ -427,12 +443,14 @@ func TestIllegalSchedulesRejected(t *testing.T) {
 }
 
 func TestDuplicateProcessRejected(t *testing.T) {
+	t.Parallel()
 	if _, err := schedule.New(paper.Conflicts(), paper.P1(), paper.P1()); err == nil {
 		t.Fatal("duplicate process ids must be rejected")
 	}
 }
 
 func TestPrefixAndEvents(t *testing.T) {
+	t.Parallel()
 	s := fig4a(t)
 	if s.Len() != 7 {
 		t.Fatalf("Len = %d", s.Len())
@@ -452,6 +470,7 @@ func TestPrefixAndEvents(t *testing.T) {
 }
 
 func TestConflictPairs(t *testing.T) {
+	t.Parallel()
 	s := fig4a(t)
 	pairs := s.ConflictPairs()
 	// (a11, a21) and (a12, a24).
@@ -461,6 +480,7 @@ func TestConflictPairs(t *testing.T) {
 }
 
 func TestCompletedOfCompleteScheduleIsIdentity(t *testing.T) {
+	t.Parallel()
 	s := fig7(t)
 	comp, err := s.Completed()
 	if err != nil {
@@ -472,6 +492,7 @@ func TestCompletedOfCompleteScheduleIsIdentity(t *testing.T) {
 }
 
 func TestGraphBasics(t *testing.T) {
+	t.Parallel()
 	s := fig4b(t)
 	g := s.SerializationGraph()
 	if _, ok := g.TopoOrder(); ok {
@@ -487,6 +508,7 @@ func TestGraphBasics(t *testing.T) {
 }
 
 func TestEventLabels(t *testing.T) {
+	t.Parallel()
 	s := fig4a(t)
 	str := s.String()
 	for _, w := range []string{"a_{1_1}^c", "a_{1_2}^p", "a_{2_4}^r"} {
@@ -497,6 +519,7 @@ func TestEventLabels(t *testing.T) {
 }
 
 func TestGraphDOT(t *testing.T) {
+	t.Parallel()
 	s := fig4a(t)
 	dot := s.SerializationGraph().DOT("S")
 	for _, frag := range []string{"digraph S", `"P1" -> "P2"`, `"P1";`} {

@@ -11,6 +11,7 @@ import (
 	"transproc/internal/metrics"
 	"transproc/internal/process"
 	"transproc/internal/schedule"
+	"transproc/internal/scheduler/policy"
 	"transproc/internal/subsystem"
 	"transproc/internal/twopc"
 	"transproc/internal/wal"
@@ -38,27 +39,6 @@ type preparedTx struct {
 	weak    bool  // invoked under the weak order
 }
 
-// engEvent is one effective event in the engine's history, used both for
-// conflict-graph maintenance and to build the final observed schedule.
-type engEvent struct {
-	seq     int64
-	proc    process.ID
-	local   int
-	service string
-	kind    activity.Kind
-	typ     schedule.EventType
-	inverse bool
-	// tentative marks prepared invocations whose commit is deferred;
-	// they are erased if rolled back.
-	tentative bool
-	erased    bool
-	// compensated marks base invocations undone later (they stop
-	// contributing conflict-graph edges).
-	compensated bool
-	committed   bool // Terminate events: regular C_i
-	group       []process.ID
-}
-
 // procRT is the runtime of one process.
 type procRT struct {
 	id      process.ID
@@ -79,7 +59,6 @@ type procRT struct {
 	running         map[int]string // in-flight invocations: local -> service
 	attempts        map[int]int
 	start, end      int64
-	committedSeq    map[int]int64 // local -> completion seq of its commit/prepare
 	// blockedSince is the clock at which the finished process first
 	// found its deferred 2PC commit blocked by an active conflicting
 	// predecessor (-1 while not blocked); feeds HistProcBlocked.
@@ -121,13 +100,18 @@ func (h *completionHeap) Pop() any {
 }
 
 // Engine executes a set of processes against a federation of
-// transactional subsystems under a scheduling policy.
+// transactional subsystems under a scheduling policy. The pure PRED
+// decisions (conflict graph, forced ordering, Lemma 1-3 gates) live in
+// internal/scheduler/policy and are shared with the concurrent runtime;
+// the engine contributes the discrete-event loop, virtual time,
+// subsystem interaction, 2PC, the WAL and the weak order.
 type Engine struct {
 	cfg   Config
 	fed   *subsystem.Federation
 	table *conflict.Table
 	log   wal.Log
 	coord *twopc.Coordinator
+	pol   *policy.State
 
 	clock   int64
 	seq     int64
@@ -136,12 +120,6 @@ type Engine struct {
 	byID    map[process.ID]*procRT
 	pending []*procRT // not yet admitted (Serial/Conservative gating)
 
-	events []*engEvent
-	// edges is the process conflict graph with reference counts; it
-	// includes edges to/from terminated processes (history matters for
-	// serializability).
-	edges map[[2]process.ID]int
-
 	metrics     Metrics
 	reg         *metrics.Registry // observability registry (nil = no-op)
 	completions int
@@ -149,42 +127,93 @@ type Engine struct {
 	outcomes    map[process.ID]*Outcome
 	origProcs   []*process.Process
 	allProcs    []*process.Process // including restarts
-
-	// forced-graph cache, invalidated whenever effective events, edges,
-	// recovery queues or process states change.
-	version     int64
-	fctx        *forcedCtx
-	fctxVersion int64
-	// confCache memoizes conflict-table lookups (the table is fixed for
-	// the run).
-	confCache map[[2]string]bool
 }
 
-// bump invalidates the forced-graph cache.
-func (e *Engine) bump() { e.version++ }
+// engView adapts the engine's process table to the policy's View.
+type engView struct{ e *Engine }
 
-// conflicts is a memoized front end to the conflict table; the table is
-// immutable during a run and the check sits on every hot path.
-func (e *Engine) conflicts(a, b string) bool {
-	if a > b {
-		a, b = b, a
+func (v engView) Procs() []process.ID {
+	out := make([]process.ID, len(v.e.procs))
+	for i, rt := range v.e.procs {
+		out[i] = rt.id
 	}
-	k := [2]string{a, b}
-	if v, ok := e.confCache[k]; ok {
-		return v
-	}
-	v := e.table.Conflicts(a, b)
-	e.confCache[k] = v
-	return v
+	return out
 }
 
-// forced returns the current round's forced-graph context.
-func (e *Engine) forced() *forcedCtx {
-	if e.fctx == nil || e.fctxVersion != e.version {
-		e.fctx = e.newForcedCtx()
-		e.fctxVersion = e.version
+func (v engView) Phase(id process.ID) policy.Phase {
+	rt := v.e.byID[id]
+	if rt == nil {
+		return policy.Done
 	}
-	return e.fctx
+	switch rt.state {
+	case psRunning:
+		return policy.Running
+	case psAborting:
+		return policy.Aborting
+	default:
+		return policy.Done
+	}
+}
+
+func (v engView) Arrival(id process.ID) int {
+	if rt := v.e.byID[id]; rt != nil {
+		return rt.arrival
+	}
+	return 0
+}
+
+func (v engView) Instance(id process.ID) *process.Instance {
+	if rt := v.e.byID[id]; rt != nil {
+		return rt.inst
+	}
+	return nil
+}
+
+func (v engView) RecoverySteps(id process.ID) []process.Step {
+	if rt := v.e.byID[id]; rt != nil {
+		return rt.recovery
+	}
+	return nil
+}
+
+func (v engView) InFlight(id process.ID) []string {
+	rt := v.e.byID[id]
+	if rt == nil {
+		return nil
+	}
+	out := make([]string, 0, len(rt.running)+1)
+	for _, svc := range rt.running {
+		out = append(out, svc)
+	}
+	if rt.recoveryBusy && rt.recoveryBusySvc != "" {
+		out = append(out, rt.recoveryBusySvc)
+	}
+	return out
+}
+
+// view returns the policy view over the engine.
+func (e *Engine) view() policy.View { return engView{e} }
+
+// bump invalidates the policy's forced-graph cache.
+func (e *Engine) bump() { e.pol.Bump() }
+
+// conflicts is the memoized conflict check shared with the policy.
+func (e *Engine) conflicts(a, b string) bool { return e.pol.Conflicts(a, b) }
+
+// policyMode maps the engine mode onto the policy layer's mode.
+func policyMode(m Mode) policy.Mode {
+	switch m {
+	case PRED:
+		return policy.PRED
+	case PREDCascade:
+		return policy.PREDCascade
+	case Serial:
+		return policy.Serial
+	case Conservative:
+		return policy.Conservative
+	default:
+		return policy.CCOnly
+	}
 }
 
 // New creates an engine over the federation. The conflict table is
@@ -196,16 +225,15 @@ func New(fed *subsystem.Federation, cfg Config) (*Engine, error) {
 	}
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:       cfg,
-		fed:       fed,
-		table:     table,
-		log:       cfg.Log,
-		coord:     twopc.New(cfg.Log),
-		reg:       cfg.Metrics,
-		byID:      make(map[process.ID]*procRT),
-		edges:     make(map[[2]process.ID]int),
-		outcomes:  make(map[process.ID]*Outcome),
-		confCache: make(map[[2]string]bool),
+		cfg:      cfg,
+		fed:      fed,
+		table:    table,
+		log:      cfg.Log,
+		coord:    twopc.New(cfg.Log),
+		reg:      cfg.Metrics,
+		pol:      policy.New(table, policy.Config{Mode: policyMode(cfg.Mode), BlockPivots: cfg.BlockPivots}),
+		byID:     make(map[process.ID]*procRT),
+		outcomes: make(map[process.ID]*Outcome),
 	}
 	if e.reg != nil {
 		// Wire the registry through the whole stack: the coordinator
@@ -243,6 +271,33 @@ type Job struct {
 	Arrival int64
 }
 
+// ValidateJobs checks that the processes of a job set have guaranteed
+// termination and reference only services the federation provides with
+// matching kinds; both engines run it before execution.
+func ValidateJobs(fed *subsystem.Federation, jobs []Job) error {
+	for _, j := range jobs {
+		p := j.Proc
+		if err := process.ValidateGuaranteedTermination(p); err != nil {
+			return fmt.Errorf("scheduler: process %s lacks guaranteed termination: %w", p.ID, err)
+		}
+		for _, a := range p.Activities() {
+			spec, ok := fed.Spec(a.Service)
+			if !ok {
+				return fmt.Errorf("scheduler: process %s uses unknown service %q", p.ID, a.Service)
+			}
+			if spec.Kind != a.Kind {
+				return fmt.Errorf("scheduler: process %s activity %d declares %v for service %q of kind %v",
+					p.ID, a.Local, a.Kind, a.Service, spec.Kind)
+			}
+			if a.Kind == activity.Compensatable && spec.Compensation != a.Compensation {
+				return fmt.Errorf("scheduler: process %s activity %d compensation %q, subsystem provides %q",
+					p.ID, a.Local, a.Compensation, spec.Compensation)
+			}
+		}
+	}
+	return nil
+}
+
 // Run executes the processes to completion (or crash) and returns the
 // observed schedule plus metrics; all processes arrive at time zero.
 func (e *Engine) Run(procs []*process.Process) (*Result, error) {
@@ -258,28 +313,12 @@ func (e *Engine) Run(procs []*process.Process) (*Result, error) {
 // definitions must have guaranteed termination; services they reference
 // must exist in the federation.
 func (e *Engine) RunJobs(jobs []Job) (*Result, error) {
+	if err := ValidateJobs(e.fed, jobs); err != nil {
+		return nil, err
+	}
 	procs := make([]*process.Process, len(jobs))
 	for i, j := range jobs {
 		procs[i] = j.Proc
-	}
-	for _, p := range procs {
-		if err := process.ValidateGuaranteedTermination(p); err != nil {
-			return nil, fmt.Errorf("scheduler: process %s lacks guaranteed termination: %w", p.ID, err)
-		}
-		for _, a := range p.Activities() {
-			spec, ok := e.fed.Spec(a.Service)
-			if !ok {
-				return nil, fmt.Errorf("scheduler: process %s uses unknown service %q", p.ID, a.Service)
-			}
-			if spec.Kind != a.Kind {
-				return nil, fmt.Errorf("scheduler: process %s activity %d declares %v for service %q of kind %v",
-					p.ID, a.Local, a.Kind, a.Service, spec.Kind)
-			}
-			if a.Kind == activity.Compensatable && spec.Compensation != a.Compensation {
-				return nil, fmt.Errorf("scheduler: process %s activity %d compensation %q, subsystem provides %q",
-					p.ID, a.Local, a.Compensation, spec.Compensation)
-			}
-		}
 	}
 	e.origProcs = procs
 	for i, j := range jobs {
@@ -364,7 +403,6 @@ func (e *Engine) newRT(p *process.Process, arrival int, origin process.ID) *proc
 		prepared:     make(map[int]preparedTx),
 		running:      make(map[int]string),
 		attempts:     make(map[int]int),
-		committedSeq: make(map[int]int64),
 		start:        e.clock,
 		blockedSince: -1,
 	}
@@ -428,13 +466,13 @@ func (e *Engine) mayStart(rt *procRT) bool {
 	case Conservative:
 		// Admit only when the process's full service footprint does not
 		// conflict with that of any running process.
-		mine := e.footprint(rt.def)
+		mine := Footprint(rt.def)
 		for _, o := range e.procs {
 			if o.state == psDone {
 				continue
 			}
 			for _, s1 := range mine {
-				for _, s2 := range e.footprint(o.def) {
+				for _, s2 := range Footprint(o.def) {
 					if e.table.Conflicts(s1, s2) {
 						return false
 					}
@@ -447,7 +485,9 @@ func (e *Engine) mayStart(rt *procRT) bool {
 	}
 }
 
-func (e *Engine) footprint(p *process.Process) []string {
+// Footprint lists every service a process definition can touch,
+// including compensations (used by conservative admission).
+func Footprint(p *process.Process) []string {
 	var out []string
 	for _, a := range p.Activities() {
 		out = append(out, a.Service)
@@ -536,7 +576,7 @@ func (e *Engine) dispatchProc(rt *procRT) bool {
 		if !e.predsCommitted(rt, local) {
 			continue
 		}
-		if ok, why := e.mayDispatch(rt, a); !ok {
+		if ok, why := e.pol.MayDispatch(e.view(), rt.id, a); !ok {
 			e.metrics.PolicyWaits++
 			e.reg.Inc(metrics.InvokePolicyBlocked)
 			e.reg.Trace(metrics.TPolicyWait, e.clock, string(rt.id), local, a.Service, why)
@@ -743,10 +783,9 @@ func (e *Engine) handleCompletion(c *completion) error {
 		if err := rt.inst.MarkCommitted(c.local); err != nil {
 			return fmt.Errorf("scheduler: %w", err)
 		}
-		e.appendEvent(&engEvent{
-			proc: rt.id, local: c.local, service: c.service, kind: c.kind, typ: schedule.Invoke,
-		}, c.seq)
-		rt.committedSeq[c.local] = c.seq
+		e.pol.AppendEvent(&policy.Event{
+			Seq: c.seq, Proc: rt.id, Local: c.local, Service: c.service, Kind: c.kind, Typ: schedule.Invoke,
+		})
 		e.reg.Inc(metrics.CommitsImmediate)
 		e.reg.Trace(metrics.TCommit, e.clock, string(rt.id), c.local, c.service, "")
 	} else {
@@ -754,19 +793,17 @@ func (e *Engine) handleCompletion(c *completion) error {
 		e.metrics.Deferrals++
 		e.reg.Inc(metrics.CommitsDeferred)
 		if e.reg != nil {
-			e.reg.Trace(metrics.TDeferCommit, e.clock, string(rt.id), c.local, c.service, e.firstActivePred(rt))
+			e.reg.Trace(metrics.TDeferCommit, e.clock, string(rt.id), c.local, c.service, e.pol.FirstActivePred(e.view(), rt.id))
 		}
 		if err := rt.inst.MarkPrepared(c.local); err != nil {
 			return fmt.Errorf("scheduler: %w", err)
 		}
 		sub, _ := e.fed.Owner(c.service)
 		rt.prepared[c.local] = preparedTx{sub: sub, tx: c.res.Tx, service: c.service, seq: c.seq, weak: c.weak}
-		ev := &engEvent{
-			proc: rt.id, local: c.local, service: c.service, kind: c.kind,
-			typ: schedule.Invoke, tentative: true,
-		}
-		e.appendEvent(ev, c.seq)
-		rt.committedSeq[c.local] = c.seq
+		e.pol.AppendEvent(&policy.Event{
+			Seq: c.seq, Proc: rt.id, Local: c.local, Service: c.service, Kind: c.kind,
+			Typ: schedule.Invoke, Tentative: true,
+		})
 	}
 	return nil
 }
@@ -785,38 +822,8 @@ func (e *Engine) commitImmediately(rt *procRT, kind activity.Kind) bool {
 	case CCOnly, Serial, Conservative:
 		return true
 	default:
-		return !e.hasActiveConflictPred(rt)
+		return !e.pol.HasActiveConflictPred(e.view(), rt.id)
 	}
-}
-
-// hasActiveConflictPred reports whether any non-terminated process has
-// an edge into rt in the conflict graph.
-func (e *Engine) hasActiveConflictPred(rt *procRT) bool {
-	for k, n := range e.edges {
-		if n <= 0 || k[1] != rt.id {
-			continue
-		}
-		if q := e.byID[k[0]]; q != nil && q.state != psDone {
-			return true
-		}
-	}
-	return false
-}
-
-// firstActivePred names one active conflicting predecessor of rt — the
-// process a deferred commit is waiting on (trace detail for the
-// defer-commit decision). Which one is named is arbitrary when several
-// exist.
-func (e *Engine) firstActivePred(rt *procRT) string {
-	for k, n := range e.edges {
-		if n <= 0 || k[1] != rt.id {
-			continue
-		}
-		if q := e.byID[k[0]]; q != nil && q.state != psDone {
-			return string(k[0])
-		}
-	}
-	return ""
 }
 
 // subsystemOf names the owning subsystem of a service.
@@ -827,224 +834,15 @@ func (e *Engine) subsystemOf(service string) string {
 	return ""
 }
 
-// appendEvent records an effective event and adds its conflict-graph
-// edges against all earlier effective events.
-func (e *Engine) appendEvent(ev *engEvent, seq int64) {
-	ev.seq = seq
-	// Inverse (compensating) events never contribute conflict-graph
-	// edges: the pair ⟨a a⁻¹⟩ is effect-free, and the Lemma-2 dispatch
-	// guard already verified no conflicting later work of another
-	// process exists before the compensation ran.
-	if ev.typ == schedule.Invoke && !ev.inverse {
-		for _, old := range e.events {
-			if old.erased || old.compensated || old.inverse || old.typ != schedule.Invoke || old.proc == ev.proc {
-				continue
-			}
-			if e.conflicts(old.service, ev.service) {
-				e.addEdge(old.proc, ev.proc)
-			}
-		}
-	}
-	e.events = append(e.events, ev)
-	e.bump()
-}
-
-func (e *Engine) addEdge(a, b process.ID) {
-	if a == b {
-		return
-	}
-	e.edges[[2]process.ID{a, b}]++
-}
-
-// removeEventEdges decrements the edges an event contributed when it is
-// erased (rollback) or compensated.
-func (e *Engine) removeEventEdges(ev *engEvent) {
-	for _, old := range e.events {
-		if old == ev || old.erased || old.compensated || old.inverse || old.typ != schedule.Invoke {
-			continue
-		}
-		if old.proc == ev.proc {
-			continue
-		}
-		if e.conflicts(old.service, ev.service) {
-			var key [2]process.ID
-			if old.seq < ev.seq {
-				key = [2]process.ID{old.proc, ev.proc}
-			} else {
-				key = [2]process.ID{ev.proc, old.proc}
-			}
-			if e.edges[key] > 0 {
-				e.edges[key]--
-			}
-		}
-	}
-	e.bump()
-}
-
-// wouldCycle reports whether adding edges from the given predecessors to
-// rt closes a cycle in the conflict graph.
-func (e *Engine) wouldCycle(preds map[process.ID]bool, to process.ID) bool {
-	// DFS from `to` over positive edges; if we reach any pred, the new
-	// edge pred->to closes a cycle.
-	stack := []process.ID{to}
-	seen := map[process.ID]bool{}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if seen[n] {
-			continue
-		}
-		seen[n] = true
-		if n != to && preds[n] {
-			return true
-		}
-		for k, cnt := range e.edges {
-			if cnt > 0 && k[0] == n {
-				stack = append(stack, k[1])
-			}
-		}
-	}
-	return false
-}
-
-// conflictPreds returns, for a prospective activity of rt, the set of
-// processes with an earlier effective conflicting event.
-func (e *Engine) conflictPreds(rt *procRT, service string) map[process.ID]bool {
-	preds := make(map[process.ID]bool)
-	for svc, owners := range e.forced().bySvc {
-		if !e.conflicts(svc, service) {
-			continue
-		}
-		for p := range owners {
-			if p != rt.id {
-				preds[p] = true
-			}
-		}
-	}
-	return preds
-}
-
-// mayDispatch implements the per-activity scheduling rules.
-func (e *Engine) mayDispatch(rt *procRT, a *process.Activity) (bool, string) {
-	switch e.cfg.Mode {
-	case Serial, Conservative:
-		return true, "" // admission already serialized conflicts
-	}
-	preds := e.conflictPreds(rt, a.Service)
-	if e.cfg.Mode == CCOnly {
-		if len(preds) == 0 {
-			return true, ""
-		}
-		if e.wouldCycle(preds, rt.id) {
-			return false, "serializability: edge would close a cycle"
-		}
-		return true, ""
-	}
-	// PRED modes: dependencies on active processes are restricted.
-	for q := range preds {
-		qrt := e.byID[q]
-		if qrt == nil || qrt.state == psDone {
-			continue
-		}
-		if e.safeQuasiCommit(qrt, a.Service) {
-			continue
-		}
-		if e.cfg.Mode == PREDCascade && a.Kind == activity.Compensatable && qrt.state == psRunning &&
-			qrt.arrival <= rt.arrival && !e.forwardConflict(qrt, a.Service) {
-			// Figure-7 pattern: a compensatable activity may depend on
-			// an active process — if that process unwinds, the
-			// dependent is cascade-aborted first (Lemma 2 order). Two
-			// guards keep this from wedging: none of the predecessor's
-			// still-uncommitted services may conflict (a conflicting
-			// forward-recovery activity could not be cancelled, and a
-			// conflicting regular activity would later be blocked by
-			// *our* new survivor, wedging the predecessor behind its
-			// own follower); and dependencies may only point from older
-			// to younger processes (age priority), keeping the
-			// wait-for relation among deferred commits acyclic.
-			continue
-		}
-		return false, fmt.Sprintf("recovery: depends on active process %s (Lemma 1)", q)
-	}
-	// The dispatch must keep the forced ordering graph of the completed
-	// current schedule acyclic (prefix-reducibility, maintained
-	// inductively).
-	fc := e.forced()
-	if !fc.acyclicWith(fc.newEdges(rt.id, a.Service, false)) {
-		return false, "completed-schedule ordering would become cyclic"
-	}
-	if e.cfg.BlockPivots && a.Kind.NonCompensatable() && e.hasActiveConflictPred(rt) {
-		return false, "pivot blocked until predecessors terminate (ablation mode)"
-	}
-	return true, ""
-}
-
-// safeQuasiCommit reports whether q can no longer produce a recovery
-// activity conflicting with service: q is forward-recoverable and none
-// of its potential recovery services conflicts (Example 10).
-func (e *Engine) safeQuasiCommit(q *procRT, service string) bool {
-	if q.state != psRunning || q.inst.Mode() != process.FREC {
-		return false
-	}
-	for svc := range q.inst.PotentialRecoveryServices() {
-		if e.table.Conflicts(svc, service) {
-			return false
-		}
-	}
-	return true
-}
-
-// forwardConflict reports whether q's potential forward recovery
-// services conflict with the given service.
-func (e *Engine) forwardConflict(q *procRT, service string) bool {
-	for svc := range q.inst.PotentialForwardServices() {
-		if e.conflicts(svc, service) {
-			return true
-		}
-	}
-	return false
-}
-
-// futureConflict reports whether any service q may still invoke (on any
-// path, any kind) conflicts with the given service.
-func (e *Engine) futureConflict(q *procRT, service string) bool {
-	for svc := range q.inst.UncommittedServices() {
-		if e.conflicts(svc, service) {
-			return true
-		}
-	}
-	return false
-}
-
-// lemma1ClearForward gates a forward-recovery invocation (StepInvoke):
-// it must not conflict-follow an effective activity of an active
-// process that could still need a conflicting recovery of its own
-// (the "arbitrary conflicts can be introduced to S̃" hazard of
-// Section 3.5). Aborting processes are waited for only through their
-// queued compensations (lemma3Clear); their remaining forward paths
-// merely order against ours.
-func (e *Engine) lemma1ClearForward(rt *procRT, st process.Step) bool {
-	for q := range e.conflictPreds(rt, st.Service) {
-		qrt := e.byID[q]
-		if qrt == nil || qrt.state == psDone || qrt.state == psAborting {
-			continue
-		}
-		if !e.safeQuasiCommit(qrt, st.Service) {
-			return false
-		}
-	}
-	return true
-}
-
 // handlePermanentFailure reacts to the definitive failure of a
 // compensatable or pivot activity (Definition 4).
 func (e *Engine) handlePermanentFailure(rt *procRT, c *completion) error {
 	e.log.Append(wal.Record{Type: wal.RecFailed, Proc: string(rt.id), Local: c.local, Service: c.service})
 	e.reg.Trace(metrics.TFail, e.clock, string(rt.id), c.local, c.service, "")
 	e.seq++
-	e.appendEvent(&engEvent{
-		proc: rt.id, local: c.local, service: c.service, kind: c.kind, typ: schedule.FailedInvoke,
-	}, e.seq)
+	e.pol.AppendEvent(&policy.Event{
+		Seq: e.seq, Proc: rt.id, Local: c.local, Service: c.service, Kind: c.kind, Typ: schedule.FailedInvoke,
+	})
 	plan, err := rt.inst.MarkFailed(c.local)
 	if err != nil {
 		return fmt.Errorf("scheduler: %w", err)
@@ -1062,7 +860,7 @@ func (e *Engine) handlePermanentFailure(rt *procRT, c *completion) error {
 		e.reg.Inc(metrics.BackwardRecoveries)
 		e.reg.Trace(metrics.TBackward, e.clock, string(rt.id), c.local, c.service, "")
 		e.seq++
-		e.appendEvent(&engEvent{proc: rt.id, typ: schedule.AbortBegin}, e.seq)
+		e.pol.AppendEvent(&policy.Event{Seq: e.seq, Proc: rt.id, Typ: schedule.AbortBegin})
 		e.cascadeDependents(rt)
 		return nil
 	}
@@ -1086,7 +884,7 @@ func (e *Engine) beginAbort(rt *procRT) error {
 	e.reg.Inc(metrics.BackwardRecoveries)
 	e.reg.Trace(metrics.TBackward, e.clock, string(rt.id), 0, "", "")
 	e.seq++
-	e.appendEvent(&engEvent{proc: rt.id, typ: schedule.AbortBegin}, e.seq)
+	e.pol.AppendEvent(&policy.Event{Seq: e.seq, Proc: rt.id, Typ: schedule.AbortBegin})
 	e.cascadeDependents(rt)
 	return nil
 }
@@ -1097,52 +895,9 @@ func (e *Engine) beginAbort(rt *procRT) error {
 // dispatch guard makes the dependents' compensations execute before
 // rt's own.
 func (e *Engine) cascadeDependents(rt *procRT) {
-	if e.cfg.Mode != PREDCascade {
-		return
-	}
-	// Which bases will rt compensate, and from which position on?
-	type comp struct {
-		service string
-		baseSeq int64
-	}
-	comps := make([]comp, 0, len(rt.recovery))
-	for _, st := range rt.recovery {
-		if st.Kind == process.StepCompensate {
-			comps = append(comps, comp{st.Service, rt.committedSeq[st.Local]})
-		}
-	}
-	if len(comps) == 0 {
-		return
-	}
-	for k, n := range e.edges {
-		if n <= 0 || k[0] != rt.id {
-			continue
-		}
-		q := e.byID[k[1]]
+	for _, id := range e.pol.CascadeVictims(e.view(), rt.id, rt.recovery) {
+		q := e.byID[id]
 		if q == nil || q.state != psRunning || q.abortPending {
-			continue
-		}
-		// q must cascade only if it holds effective (uncompensated)
-		// work that conflicts with a compensation and was executed
-		// *after* the compensated base — only then would the base's
-		// compensation pair be blocked (Lemma 2 demands q's conflicting
-		// work unwinds first).
-		depends := false
-		for _, ev := range e.events {
-			if ev.proc != q.id || ev.erased || ev.compensated || ev.inverse || ev.typ != schedule.Invoke {
-				continue
-			}
-			for _, c := range comps {
-				if ev.seq > c.baseSeq && e.conflicts(ev.service, c.service) {
-					depends = true
-					break
-				}
-			}
-			if depends {
-				break
-			}
-		}
-		if !depends {
 			continue
 		}
 		e.metrics.Cascades++
@@ -1175,120 +930,43 @@ func (e *Engine) dispatchRecoveryStep(rt *procRT) bool {
 			delete(rt.prepared, st.Local)
 		}
 		// Erase the tentative event and its edges.
-		for _, ev := range e.events {
-			if ev.proc == rt.id && ev.local == st.Local && ev.tentative && !ev.erased {
-				ev.erased = true
-				e.removeEventEdges(ev)
-			}
-		}
+		e.pol.EraseTentative(rt.id, st.Local)
 		_ = rt.inst.ApplyStep(st)
 		e.bump()
 		return true
 	case process.StepCompensate:
-		if e.cfg.Mode != CCOnly && !e.lemma2Clear(rt, st) {
+		if e.cfg.Mode != CCOnly && !e.pol.Lemma2Clear(e.view(), rt.id, st) {
 			e.metrics.PolicyWaits++
 			return false
 		}
 		return e.invoke(rt, st.Local, st.Service, activity.Compensation, true, st)
 	case process.StepInvoke:
 		if e.cfg.Mode != CCOnly {
-			if !e.lemma3Clear(rt, st) {
+			if !e.pol.Lemma3Clear(e.view(), rt.id, st) {
 				e.debugDeny(rt, st, "lemma3")
 				e.metrics.PolicyWaits++
 				return false
 			}
-			if !e.lemma1ClearForward(rt, st) {
+			if !e.pol.Lemma1ClearForward(e.view(), rt.id, st) {
 				e.debugDeny(rt, st, "lemma1fwd")
 				e.metrics.PolicyWaits++
 				return false
 			}
-			// Forced-order check: wait while the step's new edges close
-			// a cycle that waiting can still break (some process on the
-			// cycle path is active). A cycle whose other participants
-			// already terminated cannot be avoided — the completion
-			// step must run eventually, so it proceeds.
-			fc := e.forced()
-			if !fc.acyclicWithActive(fc.newEdges(rt.id, st.Service, true), func(id process.ID) bool {
-				q := e.byID[id]
-				return q != nil && q.state != psDone
-			}) {
+			if !e.pol.StepForcedClear(e.view(), rt.id, st) {
 				e.debugDeny(rt, st, "forced-cycle")
 				e.metrics.PolicyWaits++
 				return false
 			}
-			// Defer to aborting processes whose queued conflicting
-			// forward steps are forced before ours. When forced paths
-			// exist in both directions (over-approximated soft edges),
-			// the tie breaks by age then id, so exactly one side
-			// proceeds and the mutual wait cannot deadlock.
-			for _, o := range e.procs {
-				if o == rt || o.state != psAborting {
-					continue
-				}
-				for _, os := range o.recovery {
-					if os.Kind != process.StepInvoke || !e.conflicts(os.Service, st.Service) {
-						continue
-					}
-					if !fc.pathExists(o.id, rt.id) {
-						continue
-					}
-					if fc.pathExists(rt.id, o.id) {
-						// Mutual: older (or lower id) goes first.
-						if rt.arrival < o.arrival || (rt.arrival == o.arrival && rt.id < o.id) {
-							continue
-						}
-					}
-					e.debugDeny(rt, st, fmt.Sprintf("defer-to-%s", o.id))
-					e.metrics.PolicyWaits++
-					return false
-				}
+			if o, defer2 := e.pol.DeferToAborting(e.view(), rt.id, st); defer2 {
+				e.debugDeny(rt, st, fmt.Sprintf("defer-to-%s", o))
+				e.metrics.PolicyWaits++
+				return false
 			}
 		}
 		a := rt.def.Activity(st.Local)
 		return e.invoke(rt, st.Local, st.Service, a.Kind, true, st)
 	}
 	return false
-}
-
-// lemma2Clear enforces the cross-process reverse order of compensations:
-// the compensation of an activity executed at sequence T must wait while
-// another active process still has effective conflicting work executed
-// after T (that process compensates first — it is cascading).
-func (e *Engine) lemma2Clear(rt *procRT, st process.Step) bool {
-	baseSeq := rt.committedSeq[st.Local]
-	for _, ev := range e.events {
-		if ev.proc == rt.id || ev.erased || ev.compensated || ev.inverse || ev.typ != schedule.Invoke {
-			continue
-		}
-		if ev.seq <= baseSeq {
-			continue
-		}
-		q := e.byID[ev.proc]
-		if q == nil || q.state == psDone {
-			continue
-		}
-		if e.conflicts(ev.service, st.Service) {
-			return false
-		}
-	}
-	return true
-}
-
-// lemma3Clear defers a forward-recovery invocation while another active
-// process has a conflicting compensation still queued: compensations
-// precede conflicting retriable activities in the completion (Lemma 3).
-func (e *Engine) lemma3Clear(rt *procRT, st process.Step) bool {
-	for _, o := range e.procs {
-		if o == rt || o.state == psDone {
-			continue
-		}
-		for _, os := range o.recovery {
-			if os.Kind == process.StepCompensate && e.conflicts(os.Service, st.Service) {
-				return false
-			}
-		}
-	}
-	return true
 }
 
 // handleStepCompletion finishes a recovery-step invocation.
@@ -1320,26 +998,20 @@ func (e *Engine) handleStepCompletion(rt *procRT, c *completion) error {
 		e.reg.Trace(metrics.TCompensate, e.clock, string(rt.id), c.local, c.service, "")
 		e.log.Append(wal.Record{Type: wal.RecCompensate, Proc: string(rt.id), Local: c.local, Service: c.service})
 		// The base event stops contributing conflicts.
-		for _, ev := range e.events {
-			if ev.proc == rt.id && ev.local == c.local && !ev.inverse && !ev.compensated && !ev.erased && ev.typ == schedule.Invoke {
-				ev.compensated = true
-				e.removeEventEdges(ev)
-			}
-		}
-		e.appendEvent(&engEvent{
-			proc: rt.id, local: c.local, service: c.service,
-			kind: activity.Compensation, typ: schedule.Invoke, inverse: true,
-		}, c.seq)
+		e.pol.MarkCompensated(rt.id, c.local)
+		e.pol.AppendEvent(&policy.Event{
+			Seq: c.seq, Proc: rt.id, Local: c.local, Service: c.service,
+			Kind: activity.Compensation, Typ: schedule.Invoke, Inverse: true,
+		})
 	case process.StepInvoke:
 		e.reg.Trace(metrics.TRecoveryStep, e.clock, string(rt.id), c.local, c.service, "")
 		e.log.Append(wal.Record{
 			Type: wal.RecOutcome, Proc: string(rt.id), Local: c.local, Service: c.service,
 			Subsystem: sub.Name(), Tx: int64(c.res.Tx), Outcome: "committed",
 		})
-		e.appendEvent(&engEvent{
-			proc: rt.id, local: c.local, service: c.service, kind: c.kind, typ: schedule.Invoke,
-		}, c.seq)
-		rt.committedSeq[c.local] = c.seq
+		e.pol.AppendEvent(&policy.Event{
+			Seq: c.seq, Proc: rt.id, Local: c.local, Service: c.service, Kind: c.kind, Typ: schedule.Invoke,
+		})
 	}
 	if err := rt.inst.ApplyStep(c.step); err != nil {
 		return fmt.Errorf("scheduler: %w", err)
@@ -1353,7 +1025,7 @@ func (e *Engine) handleStepCompletion(rt *procRT, c *completion) error {
 // then C_i is emitted.
 func (e *Engine) tryFinish(rt *procRT) bool {
 	if len(rt.prepared) > 0 {
-		if e.hasActiveConflictPred(rt) {
+		if e.pol.HasActiveConflictPred(e.view(), rt.id) {
 			if rt.blockedSince < 0 {
 				rt.blockedSince = e.clock
 			}
@@ -1408,12 +1080,7 @@ func (e *Engine) commitPreparedSet(rt *procRT) bool {
 			if err := rt.inst.ResetPrepared(l); err != nil {
 				panic(fmt.Sprintf("scheduler: %v", err))
 			}
-			for _, ev := range e.events {
-				if ev.proc == rt.id && ev.local == l && ev.tentative && !ev.erased {
-					ev.erased = true
-					e.removeEventEdges(ev)
-				}
-			}
+			e.pol.EraseTentative(rt.id, l)
 			delete(rt.prepared, l)
 			e.bump()
 			return false // the activity re-invokes; try again later
@@ -1438,22 +1105,8 @@ func (e *Engine) commitPreparedSet(rt *procRT) bool {
 		if err := rt.inst.MarkCommitted(l); err != nil {
 			panic(fmt.Sprintf("scheduler: %v", err))
 		}
-		// The activity joins the observed schedule at its *commit*
-		// point, not its prepare point: its commit was deferred, and a
-		// prefix of the schedule cut between prepare and commit must
-		// not contain it (the subsystem's locks guarantee no
-		// conflicting activity ran in between, so moving it is
-		// conflict-order preserving).
-		for i, ev := range e.events {
-			if ev.proc == rt.id && ev.local == l && ev.tentative && !ev.erased {
-				ev.tentative = false
-				e.seq++
-				ev.seq = e.seq
-				e.events = append(append(e.events[:i:i], e.events[i+1:]...), ev)
-				rt.committedSeq[l] = ev.seq
-				break
-			}
-		}
+		e.seq++
+		e.pol.FinalizeTentative(rt.id, l, e.seq)
 		delete(rt.prepared, l)
 	}
 	if rt.blockedSince >= 0 {
@@ -1472,7 +1125,7 @@ func (e *Engine) commitDeferredIfPossible() {
 		if rt.state != psRunning || len(rt.prepared) == 0 || rt.abortPending || len(rt.recovery) > 0 {
 			continue
 		}
-		if !e.hasActiveConflictPred(rt) {
+		if !e.pol.HasActiveConflictPred(e.view(), rt.id) {
 			e.commitPreparedSet(rt)
 		}
 	}
@@ -1492,12 +1145,7 @@ func (e *Engine) finishAbort(rt *procRT) {
 				Service: ptx.service, Subsystem: ptx.sub.Name(), Tx: int64(ptx.tx), Commit: false,
 			})
 		}
-		for _, ev := range e.events {
-			if ev.proc == rt.id && ev.local == l && ev.tentative && !ev.erased {
-				ev.erased = true
-				e.removeEventEdges(ev)
-			}
-		}
+		e.pol.EraseTentative(rt.id, l)
 		delete(rt.prepared, l)
 	}
 	e.terminate(rt, false)
@@ -1527,7 +1175,7 @@ func (e *Engine) terminate(rt *procRT, committed bool) {
 	e.reg.Trace(metrics.TTerminate, e.clock, string(rt.id), 0, "", fate)
 	e.log.Append(wal.Record{Type: wal.RecTerminate, Proc: string(rt.id), Committed: committed})
 	e.seq++
-	e.appendEvent(&engEvent{proc: rt.id, typ: schedule.Terminate, committed: committed}, e.seq)
+	e.pol.AppendEvent(&policy.Event{Seq: e.seq, Proc: rt.id, Typ: schedule.Terminate, Committed: committed})
 	rt.inst.MarkTerminated(committed)
 	e.commitDeferredIfPossible()
 }
@@ -1568,30 +1216,23 @@ func (e *Engine) stallDump() string {
 			st := rt.recovery[0]
 			s += fmt.Sprintf("    next step: %v\n", st)
 			if st.Kind == process.StepInvoke {
-				fc := e.forced()
-				ok := fc.acyclicWithActive(fc.newEdges(rt.id, st.Service, true), func(id process.ID) bool {
-					q := e.byID[id]
-					return q != nil && q.state != psDone
-				})
 				s += fmt.Sprintf("    gates: lemma3=%v lemma1fwd=%v forced=%v newEdges=%v\n",
-					e.lemma3Clear(rt, st), e.lemma1ClearForward(rt, st), ok, fc.newEdges(rt.id, st.Service, true))
+					e.pol.Lemma3Clear(e.view(), rt.id, st), e.pol.Lemma1ClearForward(e.view(), rt.id, st),
+					e.pol.StepForcedClear(e.view(), rt.id, st), e.pol.ForcedEdgesFor(e.view(), rt.id, st.Service, true))
 			}
 		}
 	}
-	for k, n := range e.edges {
-		if n > 0 {
-			s += fmt.Sprintf("  edge %s->%s (%d)\n", k[0], k[1], n)
-		}
+	for _, k := range e.pol.EdgeList() {
+		s += fmt.Sprintf("  edge %s->%s\n", k[0], k[1])
 	}
 	for sub, recs := range e.fed.InDoubt() {
 		s += fmt.Sprintf("  in-doubt at %s: %v\n", sub, recs)
 	}
-	for _, ev := range e.events {
-		if ev.typ != schedule.Invoke {
+	for _, ev := range e.pol.Events() {
+		if ev.Typ != schedule.Invoke {
 			continue
 		}
-		s += fmt.Sprintf("  ev seq=%d %s/%d %s inv=%v tent=%v comp=%v erased=%v\n",
-			ev.seq, ev.proc, ev.local, ev.service, ev.inverse, ev.tentative, ev.compensated, ev.erased)
+		s += fmt.Sprintf("  ev %s\n", ev)
 	}
 	return s
 }
@@ -1618,7 +1259,7 @@ func (e *Engine) resolveStall() bool {
 			if rt.state != psRunning || len(rt.running) > 0 || rt.recoveryBusy || rt.abortPending {
 				continue
 			}
-			if rt.inst.Done() && len(rt.prepared) > 0 && e.hasActiveConflictPred(rt) {
+			if rt.inst.Done() && len(rt.prepared) > 0 && e.pol.HasActiveConflictPred(e.view(), rt.id) {
 				if victim == nil || rt.arrival > victim.arrival {
 					victim = rt
 				}
@@ -1642,20 +1283,5 @@ func (e *Engine) resolveStall() bool {
 // buildSchedule materializes the observed process schedule from the
 // finalized events.
 func (e *Engine) buildSchedule() *schedule.Schedule {
-	s := schedule.MustNew(e.table.Clone())
-	for _, p := range e.allProcs {
-		if err := s.AddProcess(p); err != nil {
-			panic(err)
-		}
-	}
-	for _, ev := range e.events {
-		if ev.erased || ev.tentative {
-			continue
-		}
-		s.AppendUnchecked(schedule.Event{
-			Type: ev.typ, Proc: ev.proc, Local: ev.local, Service: ev.service,
-			Kind: ev.kind, Inverse: ev.inverse, Committed: ev.committed, Group: ev.group,
-		})
-	}
-	return s
+	return e.pol.BuildSchedule(e.allProcs)
 }

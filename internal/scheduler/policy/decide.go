@@ -1,0 +1,339 @@
+package policy
+
+import (
+	"fmt"
+
+	"transproc/internal/activity"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+)
+
+// HasActiveConflictPred reports whether any non-terminated process has
+// an edge into id in the conflict graph — Lemma 1's commit-deferral
+// condition.
+func (s *State) HasActiveConflictPred(v View, id process.ID) bool {
+	for k, n := range s.edges {
+		if n <= 0 || k[1] != id {
+			continue
+		}
+		if v.Phase(k[0]) != Done {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstActivePred names one active conflicting predecessor of id — the
+// process a deferred commit is waiting on (trace detail for the
+// defer-commit decision). Which one is named is arbitrary when several
+// exist; "" when none.
+func (s *State) FirstActivePred(v View, id process.ID) string {
+	for k, n := range s.edges {
+		if n <= 0 || k[1] != id {
+			continue
+		}
+		if v.Phase(k[0]) != Done {
+			return string(k[0])
+		}
+	}
+	return ""
+}
+
+// wouldCycle reports whether adding edges from the given predecessors to
+// `to` closes a cycle in the conflict graph.
+func (s *State) wouldCycle(preds map[process.ID]bool, to process.ID) bool {
+	// DFS from `to` over positive edges; if we reach any pred, the new
+	// edge pred->to closes a cycle.
+	stack := []process.ID{to}
+	seen := map[process.ID]bool{}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if n != to && preds[n] {
+			return true
+		}
+		for k, cnt := range s.edges {
+			if cnt > 0 && k[0] == n {
+				stack = append(stack, k[1])
+			}
+		}
+	}
+	return false
+}
+
+// conflictPreds returns, for a prospective activity of id, the set of
+// processes with an earlier effective conflicting event (executed or in
+// flight).
+func (s *State) conflictPreds(v View, id process.ID, service string) map[process.ID]bool {
+	preds := make(map[process.ID]bool)
+	for svc, owners := range s.forced(v).bySvc {
+		if !s.Conflicts(svc, service) {
+			continue
+		}
+		for p := range owners {
+			if p != id {
+				preds[p] = true
+			}
+		}
+	}
+	return preds
+}
+
+// MayDispatch implements the per-activity scheduling rules for a regular
+// (non-recovery) invocation of the given activity by process id. When
+// denied, the returned string names the rule.
+func (s *State) MayDispatch(v View, id process.ID, a *process.Activity) (bool, string) {
+	switch s.cfg.Mode {
+	case Serial, Conservative:
+		return true, "" // admission already serialized conflicts
+	}
+	preds := s.conflictPreds(v, id, a.Service)
+	if s.cfg.Mode == CCOnly {
+		if len(preds) == 0 {
+			return true, ""
+		}
+		if s.wouldCycle(preds, id) {
+			return false, "serializability: edge would close a cycle"
+		}
+		return true, ""
+	}
+	// PRED modes: dependencies on active processes are restricted.
+	for q := range preds {
+		if v.Phase(q) == Done {
+			continue
+		}
+		if s.safeQuasiCommit(v, q, a.Service) {
+			continue
+		}
+		if s.cfg.Mode == PREDCascade && a.Kind == activity.Compensatable && v.Phase(q) == Running &&
+			v.Arrival(q) <= v.Arrival(id) && !s.forwardConflict(v, q, a.Service) {
+			// Figure-7 pattern: a compensatable activity may depend on
+			// an active process — if that process unwinds, the
+			// dependent is cascade-aborted first (Lemma 2 order). Two
+			// guards keep this from wedging: none of the predecessor's
+			// still-uncommitted services may conflict (a conflicting
+			// forward-recovery activity could not be cancelled, and a
+			// conflicting regular activity would later be blocked by
+			// *our* new survivor, wedging the predecessor behind its
+			// own follower); and dependencies may only point from older
+			// to younger processes (age priority), keeping the
+			// wait-for relation among deferred commits acyclic.
+			continue
+		}
+		return false, fmt.Sprintf("recovery: depends on active process %s (Lemma 1)", q)
+	}
+	// The dispatch must keep the forced ordering graph of the completed
+	// current schedule acyclic (prefix-reducibility, maintained
+	// inductively).
+	fc := s.forced(v)
+	if !fc.acyclicWith(fc.newEdges(id, a.Service, false)) {
+		return false, "completed-schedule ordering would become cyclic"
+	}
+	if s.cfg.BlockPivots && a.Kind.NonCompensatable() && s.HasActiveConflictPred(v, id) {
+		return false, "pivot blocked until predecessors terminate (ablation mode)"
+	}
+	return true, ""
+}
+
+// safeQuasiCommit reports whether q can no longer produce a recovery
+// activity conflicting with service: q is forward-recoverable and none
+// of its potential recovery services conflicts (Example 10).
+func (s *State) safeQuasiCommit(v View, q process.ID, service string) bool {
+	inst := v.Instance(q)
+	if v.Phase(q) != Running || inst == nil || inst.Mode() != process.FREC {
+		return false
+	}
+	for svc := range inst.PotentialRecoveryServices() {
+		if s.Conflicts(svc, service) {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardConflict reports whether q's potential forward recovery
+// services conflict with the given service.
+func (s *State) forwardConflict(v View, q process.ID, service string) bool {
+	inst := v.Instance(q)
+	if inst == nil {
+		return false
+	}
+	for svc := range inst.PotentialForwardServices() {
+		if s.Conflicts(svc, service) {
+			return true
+		}
+	}
+	return false
+}
+
+// Lemma1ClearForward gates a forward-recovery invocation (StepInvoke):
+// it must not conflict-follow an effective activity of an active
+// process that could still need a conflicting recovery of its own
+// (the "arbitrary conflicts can be introduced to S̃" hazard of
+// Section 3.5). Aborting processes are waited for only through their
+// queued compensations (Lemma3Clear); their remaining forward paths
+// merely order against ours.
+func (s *State) Lemma1ClearForward(v View, id process.ID, st process.Step) bool {
+	for q := range s.conflictPreds(v, id, st.Service) {
+		if ph := v.Phase(q); ph == Done || ph == Aborting {
+			continue
+		}
+		if !s.safeQuasiCommit(v, q, st.Service) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lemma2Clear enforces the cross-process reverse order of compensations:
+// the compensation of an activity executed at sequence T must wait while
+// another active process still has effective conflicting work executed
+// after T (that process compensates first — it is cascading).
+func (s *State) Lemma2Clear(v View, id process.ID, st process.Step) bool {
+	baseSeq := s.BaseSeq(id, st.Local)
+	for _, ev := range s.events {
+		if ev.Proc == id || !ev.effective() {
+			continue
+		}
+		if ev.Seq <= baseSeq {
+			continue
+		}
+		if v.Phase(ev.Proc) == Done {
+			continue
+		}
+		if s.Conflicts(ev.Service, st.Service) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lemma3Clear defers a forward-recovery invocation while another active
+// process has a conflicting compensation still queued: compensations
+// precede conflicting retriable activities in the completion (Lemma 3).
+func (s *State) Lemma3Clear(v View, id process.ID, st process.Step) bool {
+	for _, o := range v.Procs() {
+		if o == id || v.Phase(o) == Done {
+			continue
+		}
+		for _, os := range v.RecoverySteps(o) {
+			if os.Kind == process.StepCompensate && s.Conflicts(os.Service, st.Service) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StepForcedClear checks a forward-recovery step against the forced
+// ordering graph: wait while the step's new edges close a cycle that
+// waiting can still break (some process on the cycle path is active). A
+// cycle whose other participants already terminated cannot be avoided —
+// the completion step must run eventually, so it proceeds.
+func (s *State) StepForcedClear(v View, id process.ID, st process.Step) bool {
+	fc := s.forced(v)
+	return fc.acyclicWithActive(fc.newEdges(id, st.Service, true), func(q process.ID) bool {
+		return v.Phase(q) != Done
+	})
+}
+
+// DeferToAborting defers a forward-recovery step to aborting processes
+// whose queued conflicting forward steps are forced before ours. When
+// forced paths exist in both directions (over-approximated soft edges),
+// the tie breaks by age then id, so exactly one side proceeds and the
+// mutual wait cannot deadlock. It returns the process deferred to, if
+// any.
+func (s *State) DeferToAborting(v View, id process.ID, st process.Step) (process.ID, bool) {
+	fc := s.forced(v)
+	for _, o := range v.Procs() {
+		if o == id || v.Phase(o) != Aborting {
+			continue
+		}
+		for _, os := range v.RecoverySteps(o) {
+			if os.Kind != process.StepInvoke || !s.Conflicts(os.Service, st.Service) {
+				continue
+			}
+			if !fc.pathExists(o, id) {
+				continue
+			}
+			if fc.pathExists(id, o) {
+				// Mutual: older (or lower id) goes first.
+				if v.Arrival(id) < v.Arrival(o) || (v.Arrival(id) == v.Arrival(o) && id < o) {
+					continue
+				}
+			}
+			return o, true
+		}
+	}
+	return "", false
+}
+
+// CascadeVictims selects the running processes that must cascade-abort
+// when `of` aborts and will compensate conflicting work (PREDCascade
+// mode): a dependent q cascades only if it holds effective
+// (uncompensated) work that conflicts with one of of's upcoming
+// compensations and was executed *after* the compensated base — only
+// then would the base's compensation pair be blocked (Lemma 2 demands
+// q's conflicting work unwinds first). Callers filter processes whose
+// abort is already pending.
+func (s *State) CascadeVictims(v View, of process.ID, recovery []process.Step) []process.ID {
+	if s.cfg.Mode != PREDCascade {
+		return nil
+	}
+	// Which bases will `of` compensate, and from which position on?
+	type comp struct {
+		service string
+		baseSeq int64
+	}
+	comps := make([]comp, 0, len(recovery))
+	for _, st := range recovery {
+		if st.Kind == process.StepCompensate {
+			comps = append(comps, comp{st.Service, s.BaseSeq(of, st.Local)})
+		}
+	}
+	if len(comps) == 0 {
+		return nil
+	}
+	var victims []process.ID
+	for k, n := range s.edges {
+		if n <= 0 || k[0] != of {
+			continue
+		}
+		q := k[1]
+		if v.Phase(q) != Running {
+			continue
+		}
+		depends := false
+		for _, ev := range s.events {
+			if ev.Proc != q || !ev.effective() {
+				continue
+			}
+			for _, c := range comps {
+				if ev.Seq > c.baseSeq && s.Conflicts(ev.Service, c.service) {
+					depends = true
+					break
+				}
+			}
+			if depends {
+				break
+			}
+		}
+		if depends {
+			victims = append(victims, q)
+		}
+	}
+	return victims
+}
+
+// String renders one effective-history line (diagnostics).
+func (ev *Event) String() string {
+	if ev.Typ != schedule.Invoke {
+		return fmt.Sprintf("seq=%d %s %v", ev.Seq, ev.Proc, ev.Typ)
+	}
+	return fmt.Sprintf("seq=%d %s/%d %s inv=%v tent=%v comp=%v erased=%v",
+		ev.Seq, ev.Proc, ev.Local, ev.Service, ev.Inverse, ev.Tentative, ev.Compensated, ev.Erased)
+}

@@ -1,8 +1,7 @@
-package scheduler
+package policy
 
 import (
 	"transproc/internal/process"
-	"transproc/internal/schedule"
 )
 
 // forcedCtx captures, for one dispatch round, the *forced* ordering
@@ -16,7 +15,7 @@ import (
 // form of "the completed process schedule S̃ has always to be considered"
 // (Section 3.5).
 type forcedCtx struct {
-	e *Engine
+	s *State
 	// pots maps each non-terminated process to the services its future
 	// completions might still invoke. For running processes this is the
 	// potential recovery set; for aborting processes the services of
@@ -28,28 +27,47 @@ type forcedCtx struct {
 	bySvc map[string]map[process.ID]bool
 	// edges is the forced edge set.
 	edges map[[2]process.ID]bool
+	// phase snapshots the view's phases at build time (for newEdges'
+	// aborting-process exemption).
+	phase map[process.ID]Phase
 }
 
-// newForcedCtx builds the round context.
-func (e *Engine) newForcedCtx() *forcedCtx {
+// forced returns the current round's forced-graph context, rebuilt when
+// the state version moved since the cached one.
+func (s *State) forced(v View) *forcedCtx {
+	if s.fctx == nil || s.fctxVersion != s.version {
+		s.fctx = s.newForcedCtx(v)
+		s.fctxVersion = s.version
+	}
+	return s.fctx
+}
+
+// newForcedCtx builds the round context from the view.
+func (s *State) newForcedCtx(v View) *forcedCtx {
 	f := &forcedCtx{
-		e:     e,
+		s:     s,
 		pots:  make(map[process.ID]map[string]bool),
 		bySvc: make(map[string]map[process.ID]bool),
 		edges: make(map[[2]process.ID]bool),
+		phase: make(map[process.ID]Phase),
 	}
-	for _, rt := range e.procs {
-		switch rt.state {
-		case psRunning:
-			f.pots[rt.id] = rt.inst.PotentialRecoveryServices()
-		case psAborting:
+	procs := v.Procs()
+	for _, id := range procs {
+		ph := v.Phase(id)
+		f.phase[id] = ph
+		switch ph {
+		case Running:
+			if inst := v.Instance(id); inst != nil {
+				f.pots[id] = inst.PotentialRecoveryServices()
+			}
+		case Aborting:
 			set := make(map[string]bool)
-			for _, st := range rt.recovery {
+			for _, st := range v.RecoverySteps(id) {
 				if st.Kind == process.StepInvoke {
 					set[st.Service] = true
 				}
 			}
-			f.pots[rt.id] = set
+			f.pots[id] = set
 		}
 	}
 	add := func(proc process.ID, svc string) {
@@ -60,25 +78,22 @@ func (e *Engine) newForcedCtx() *forcedCtx {
 		}
 		set[proc] = true
 	}
-	for _, ev := range e.events {
-		if ev.typ != schedule.Invoke || ev.erased || ev.compensated || ev.inverse {
+	for _, ev := range s.events {
+		if !ev.effective() {
 			continue
 		}
-		add(ev.proc, ev.service)
+		add(ev.Proc, ev.Service)
 	}
 	// In-flight invocations participate as survivors: they will commit
 	// (or vanish atomically) and their pending conflict edges must be
 	// visible to concurrent dispatch decisions.
-	for _, rt := range e.procs {
-		for _, svc := range rt.running {
-			add(rt.id, svc)
-		}
-		if rt.recoveryBusy && rt.recoveryBusySvc != "" {
-			add(rt.id, rt.recoveryBusySvc)
+	for _, id := range procs {
+		for _, svc := range v.InFlight(id) {
+			add(id, svc)
 		}
 	}
 	// Executed-executed edges.
-	for k, n := range e.edges {
+	for k, n := range s.edges {
 		if n > 0 {
 			f.edges[k] = true
 		}
@@ -102,7 +117,7 @@ func (e *Engine) newForcedCtx() *forcedCtx {
 
 func (f *forcedCtx) conflictsAny(pot map[string]bool, service string) bool {
 	for svc := range pot {
-		if f.e.conflicts(svc, service) {
+		if f.s.Conflicts(svc, service) {
 			return true
 		}
 	}
@@ -117,7 +132,7 @@ func (f *forcedCtx) conflictsAny(pot map[string]bool, service string) bool {
 func (f *forcedCtx) newEdges(proc process.ID, service string, isStep bool) [][2]process.ID {
 	var out [][2]process.ID
 	for svc, owners := range f.bySvc {
-		if !f.e.conflicts(svc, service) {
+		if !f.s.Conflicts(svc, service) {
 			continue
 		}
 		for p := range owners {
@@ -130,16 +145,19 @@ func (f *forcedCtx) newEdges(proc process.ID, service string, isStep bool) [][2]
 		if q == proc {
 			continue
 		}
-		if isStep {
-			if qrt := f.e.byID[q]; qrt != nil && qrt.state == psAborting {
-				continue
-			}
+		if isStep && f.phase[q] == Aborting {
+			continue
 		}
 		if f.conflictsAny(pot, service) {
 			out = append(out, [2]process.ID{proc, q})
 		}
 	}
 	return out
+}
+
+// ForcedEdgesFor exposes newEdges for diagnostics (stall dumps).
+func (s *State) ForcedEdgesFor(v View, id process.ID, service string, isStep bool) [][2]process.ID {
+	return s.forced(v).newEdges(id, service, isStep)
 }
 
 // acyclicWith reports whether none of the given new edges closes a

@@ -1,0 +1,319 @@
+// Package policy implements the pure PRED scheduling decisions of the
+// paper, factored out of any particular execution engine: the effective
+// event history and process conflict graph, the forced-ordering context
+// that maintains prefix-reducibility inductively, Lemma 1's commit
+// deferral condition, the quasi-commit exploitation of Example 10, the
+// Lemma 2/3 ordering of compensations and forward-recovery steps, and
+// cascade-victim selection.
+//
+// Two engines share this layer: the sequential discrete-event engine
+// (internal/scheduler) — the reference oracle — and the concurrent
+// goroutine-per-process runtime (internal/runtime). The policy State is
+// NOT internally synchronized: the sequential engine calls it from its
+// single event loop, the concurrent runtime from within its serial
+// section (all calls under the runtime mutex).
+//
+// Engine-dynamic facts (process phases, instances, queued recovery
+// steps, in-flight invocations) are supplied through the View interface
+// so that the decisions stay pure functions of the observable state.
+package policy
+
+import (
+	"transproc/internal/activity"
+	"transproc/internal/conflict"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+)
+
+// Mode selects the scheduling policy (mirrors the engine-level mode; the
+// policy layer defines its own copy to stay import-cycle free).
+type Mode int
+
+const (
+	// PRED is the paper's protocol in avoidance flavour.
+	PRED Mode = iota
+	// PREDCascade additionally allows compensatable activities to depend
+	// on active backward-recoverable processes (the Figure 7 pattern).
+	PREDCascade
+	// Serial runs one process at a time (admission-level policy; every
+	// per-activity dispatch is allowed).
+	Serial
+	// Conservative admits only non-conflicting footprints (admission
+	// level; every per-activity dispatch is allowed).
+	Conservative
+	// CCOnly orders conflicts for serializability but ignores recovery.
+	CCOnly
+)
+
+// Config parameterizes the decision rules.
+type Config struct {
+	Mode Mode
+	// BlockPivots switches the PRED modes from "prepare and defer the
+	// commit" to "do not even execute non-compensatable activities while
+	// conflicting predecessors are active" (ablation mode).
+	BlockPivots bool
+}
+
+// Phase is the policy-visible lifecycle state of a process.
+type Phase int
+
+const (
+	// Running processes execute forward work (possibly with queued
+	// forward-recovery steps after a non-fatal failure).
+	Running Phase = iota
+	// Aborting processes drain their completion C(P_i).
+	Aborting
+	// Done processes have terminated (committed or aborted).
+	Done
+)
+
+// View supplies the per-process dynamic facts the pure decisions need.
+// Implementations are engine-specific; all methods must be cheap and
+// must tolerate ids the engine no longer tracks (report them Done).
+type View interface {
+	// Procs lists the admitted processes (any phase), in admission
+	// order — decision iteration order follows it.
+	Procs() []process.ID
+	// Phase returns the lifecycle phase; Done for unknown ids.
+	Phase(id process.ID) Phase
+	// Arrival is the admission rank used for age-priority tie breaks.
+	Arrival(id process.ID) int
+	// Instance returns the process's instance for potential-service-set
+	// queries; nil for unknown ids.
+	Instance(id process.ID) *process.Instance
+	// RecoverySteps returns the queued completion steps of the process
+	// (compensations and forward invocations not yet executed).
+	RecoverySteps(id process.ID) []process.Step
+	// InFlight lists the services of the process's in-flight
+	// invocations (issued, completion pending).
+	InFlight(id process.ID) []string
+}
+
+// Event is one effective event in the observed history, used both for
+// conflict-graph maintenance and to build the final observed schedule.
+type Event struct {
+	Seq     int64
+	Proc    process.ID
+	Local   int
+	Service string
+	Kind    activity.Kind
+	Typ     schedule.EventType
+	Inverse bool
+	// Tentative marks prepared invocations whose commit is deferred;
+	// they are erased if rolled back.
+	Tentative bool
+	Erased    bool
+	// Compensated marks base invocations undone later (they stop
+	// contributing conflict-graph edges).
+	Compensated bool
+	Committed   bool // Terminate events: regular C_i
+	Group       []process.ID
+}
+
+// effective reports whether the event currently contributes
+// conflict-graph edges.
+func (ev *Event) effective() bool {
+	return ev.Typ == schedule.Invoke && !ev.Erased && !ev.Compensated && !ev.Inverse
+}
+
+// State is the shared decision state: the event history, the process
+// conflict graph with reference counts (edges to/from terminated
+// processes included — history matters for serializability), and the
+// memoized conflict relation.
+type State struct {
+	cfg    Config
+	table  *conflict.Table
+	events []*Event
+	edges  map[[2]process.ID]int
+	// confCache memoizes conflict-table lookups (the table is fixed for
+	// the run and the check sits on every hot path).
+	confCache map[[2]string]bool
+
+	// forced-graph cache, invalidated whenever effective events, edges,
+	// recovery queues or process states change (Bump).
+	version     int64
+	fctx        *forcedCtx
+	fctxVersion int64
+}
+
+// New creates an empty decision state over a fixed conflict table.
+func New(table *conflict.Table, cfg Config) *State {
+	return &State{
+		cfg:       cfg,
+		table:     table,
+		edges:     make(map[[2]process.ID]int),
+		confCache: make(map[[2]string]bool),
+	}
+}
+
+// Table returns the conflict table decisions are made under.
+func (s *State) Table() *conflict.Table { return s.table }
+
+// Mode returns the configured policy mode.
+func (s *State) Mode() Mode { return s.cfg.Mode }
+
+// Bump invalidates the forced-graph cache; engines call it whenever
+// View-visible state changes (admission, dispatch, completion, phase
+// transitions).
+func (s *State) Bump() { s.version++ }
+
+// Conflicts is the memoized front end to the conflict table.
+func (s *State) Conflicts(a, b string) bool {
+	if a > b {
+		a, b = b, a
+	}
+	k := [2]string{a, b}
+	if v, ok := s.confCache[k]; ok {
+		return v
+	}
+	v := s.table.Conflicts(a, b)
+	s.confCache[k] = v
+	return v
+}
+
+// AppendEvent records an effective event (Seq set by the caller) and
+// adds its conflict-graph edges against all earlier effective events.
+// Inverse (compensating) events never contribute edges: the pair
+// ⟨a a⁻¹⟩ is effect-free, and the Lemma-2 dispatch guard already
+// verified no conflicting later work of another process exists before
+// the compensation ran.
+func (s *State) AppendEvent(ev *Event) {
+	if ev.Typ == schedule.Invoke && !ev.Inverse {
+		for _, old := range s.events {
+			if !old.effective() || old.Proc == ev.Proc {
+				continue
+			}
+			if s.Conflicts(old.Service, ev.Service) {
+				s.addEdge(old.Proc, ev.Proc)
+			}
+		}
+	}
+	s.events = append(s.events, ev)
+	s.Bump()
+}
+
+// Events exposes the raw history (for diagnostics and cascade
+// decisions); callers must not mutate the returned slice.
+func (s *State) Events() []*Event { return s.events }
+
+func (s *State) addEdge(a, b process.ID) {
+	if a == b {
+		return
+	}
+	s.edges[[2]process.ID{a, b}]++
+}
+
+// removeEventEdges decrements the edges an event contributed when it is
+// erased (rollback) or compensated.
+func (s *State) removeEventEdges(ev *Event) {
+	for _, old := range s.events {
+		if old == ev || !old.effective() || old.Proc == ev.Proc {
+			continue
+		}
+		if s.Conflicts(old.Service, ev.Service) {
+			var key [2]process.ID
+			if old.Seq < ev.Seq {
+				key = [2]process.ID{old.Proc, ev.Proc}
+			} else {
+				key = [2]process.ID{ev.Proc, old.Proc}
+			}
+			if s.edges[key] > 0 {
+				s.edges[key]--
+			}
+		}
+	}
+	s.Bump()
+}
+
+// EraseTentative erases the live tentative event of (proc, local) —
+// a rolled-back prepared invocation — removing its edges. It reports
+// whether an event was erased.
+func (s *State) EraseTentative(proc process.ID, local int) bool {
+	erased := false
+	for _, ev := range s.events {
+		if ev.Proc == proc && ev.Local == local && ev.Tentative && !ev.Erased {
+			ev.Erased = true
+			s.removeEventEdges(ev)
+			erased = true
+		}
+	}
+	return erased
+}
+
+// MarkCompensated marks the live base invocation of (proc, local) as
+// compensated; it stops contributing conflict edges.
+func (s *State) MarkCompensated(proc process.ID, local int) {
+	for _, ev := range s.events {
+		if ev.Proc == proc && ev.Local == local && !ev.Inverse && !ev.Compensated && !ev.Erased && ev.Typ == schedule.Invoke {
+			ev.Compensated = true
+			s.removeEventEdges(ev)
+		}
+	}
+}
+
+// FinalizeTentative commits a tentative event at 2PC time: the activity
+// joins the observed schedule at its *commit* point, not its prepare
+// point — a prefix cut between prepare and commit must not contain it
+// (the subsystem's locks guarantee no conflicting activity ran in
+// between, so moving it is conflict-order preserving). The event is
+// re-sequenced to newSeq and moved to the end of the history.
+func (s *State) FinalizeTentative(proc process.ID, local int, newSeq int64) bool {
+	for i, ev := range s.events {
+		if ev.Proc == proc && ev.Local == local && ev.Tentative && !ev.Erased {
+			ev.Tentative = false
+			ev.Seq = newSeq
+			s.events = append(append(s.events[:i:i], s.events[i+1:]...), ev)
+			s.Bump()
+			return true
+		}
+	}
+	return false
+}
+
+// BaseSeq returns the history sequence of the live (non-erased,
+// non-compensated) base invocation of (proc, local), or 0 when none
+// exists. It identifies the position T of Lemma 2's "activity executed
+// at T".
+func (s *State) BaseSeq(proc process.ID, local int) int64 {
+	var seq int64
+	for _, ev := range s.events {
+		if ev.Proc == proc && ev.Local == local && ev.Typ == schedule.Invoke &&
+			!ev.Inverse && !ev.Erased && !ev.Compensated {
+			seq = ev.Seq
+		}
+	}
+	return seq
+}
+
+// EdgeList returns the positive conflict-graph edges (diagnostics).
+func (s *State) EdgeList() [][2]process.ID {
+	out := make([][2]process.ID, 0, len(s.edges))
+	for k, n := range s.edges {
+		if n > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// BuildSchedule materializes the observed process schedule from the
+// finalized events; it can be checked with PRED(), Serializable() and
+// ProcessRecoverable().
+func (s *State) BuildSchedule(procs []*process.Process) *schedule.Schedule {
+	sched := schedule.MustNew(s.table.Clone())
+	for _, p := range procs {
+		if err := sched.AddProcess(p); err != nil {
+			panic(err)
+		}
+	}
+	for _, ev := range s.events {
+		if ev.Erased || ev.Tentative {
+			continue
+		}
+		sched.AppendUnchecked(schedule.Event{
+			Type: ev.Typ, Proc: ev.Proc, Local: ev.Local, Service: ev.Service,
+			Kind: ev.Kind, Inverse: ev.Inverse, Committed: ev.Committed, Group: ev.Group,
+		})
+	}
+	return sched
+}

@@ -44,6 +44,7 @@ const validDoc = `{
 }`
 
 func TestLoadAndRun(t *testing.T) {
+	t.Parallel()
 	fed, jobs, err := Load([]byte(validDoc))
 	if err != nil {
 		t.Fatal(err)
@@ -78,6 +79,7 @@ func TestLoadAndRun(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name string
 		doc  string
@@ -100,6 +102,7 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestBuildErrors(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name string
 		doc  string
@@ -156,6 +159,7 @@ func TestBuildErrors(t *testing.T) {
 }
 
 func TestAlternativeChainFromSpec(t *testing.T) {
+	t.Parallel()
 	fed, jobs, err := Load([]byte(validDoc))
 	if err != nil {
 		t.Fatal(err)

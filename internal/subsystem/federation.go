@@ -82,6 +82,16 @@ func (f *Federation) Owner(service string) (*Subsystem, bool) {
 	return s, ok
 }
 
+// Lockable reports whether proc could currently acquire the item locks
+// of the named service (false for unknown services).
+func (f *Federation) Lockable(proc, service string) bool {
+	s, ok := f.route[service]
+	if !ok {
+		return false
+	}
+	return s.Lockable(proc, service)
+}
+
 // Invoke routes an invocation to the owning subsystem.
 func (f *Federation) Invoke(proc, service string, mode Mode) (*Result, error) {
 	s, ok := f.route[service]

@@ -114,6 +114,12 @@ type Subsystem struct {
 	resolved map[TxID]bool
 	// forced failure outcomes per service (deterministic injection).
 	forceFail map[string]int
+	// failRules makes every invocation of a service by a given process
+	// abort, keyed proc+"/"+service. Unlike forceFail it is persistent
+	// (restarted incarnations fail identically), which makes terminal
+	// process fates independent of interleaving — the property the
+	// differential runtime-vs-engine tests rely on.
+	failRules map[string]bool
 	// stats
 	invocations int64
 	aborts      int64
@@ -141,6 +147,7 @@ func New(name string, seed int64) *Subsystem {
 		inDoubt:   make(map[TxID]*txn),
 		resolved:  make(map[TxID]bool),
 		forceFail: make(map[string]int),
+		failRules: make(map[string]bool),
 	}
 }
 
@@ -223,6 +230,33 @@ func (s *Subsystem) ForceFail(service string, n int) {
 	s.forceFail[service] += n
 }
 
+// FailService makes every invocation of the service by the process
+// abort, persistently (ForceFail's counted variant expires; this rule
+// does not, so restarts replay the same failure). Deterministic test
+// hook; proc must match the name passed to Invoke (engines pass the
+// process origin).
+func (s *Subsystem) FailService(proc, service string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failRules[proc+"/"+service] = true
+}
+
+// Lockable reports whether proc could currently acquire the service's
+// strict-2PL item locks (a snapshot; no state changes). Schedulers use
+// it to park a process instead of burning an invocation attempt that
+// would return ErrLocked; a racing acquisition between the probe and
+// the Invoke still yields ErrLocked, so the probe is advisory.
+func (s *Subsystem) Lockable(proc, service string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv, ok := s.services[service]
+	if !ok {
+		return false
+	}
+	_, free := s.canLock(proc, sv)
+	return free
+}
+
 // Invoke executes one invocation of the service on behalf of a process
 // as a local transaction.
 //
@@ -252,9 +286,11 @@ func (s *Subsystem) Invoke(proc, service string, mode Mode) (*Result, error) {
 		return nil, fmt.Errorf("%w: %s/%s held by %s", ErrLocked, s.name, service, holder)
 	}
 
-	// Decide the outcome: forced failures first, then probability.
+	// Decide the outcome: deterministic rules first, then probability.
 	fail := false
-	if s.forceFail[service] > 0 {
+	if s.failRules[proc+"/"+service] {
+		fail = true
+	} else if s.forceFail[service] > 0 {
 		s.forceFail[service]--
 		fail = true
 	} else if sv.spec.FailureProb > 0 && s.rng.Float64() < sv.spec.FailureProb {

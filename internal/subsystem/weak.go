@@ -40,9 +40,12 @@ func (s *Subsystem) InvokeWeak(proc, service string) (*Result, []TxID, error) {
 	s.invocations++
 	s.m.Inc(metrics.SubInvocations)
 
-	// Outcome decision (forced failures, probability) as in Invoke.
+	// Outcome decision (deterministic rules, forced failures,
+	// probability) as in Invoke.
 	fail := false
-	if s.forceFail[service] > 0 {
+	if s.failRules[proc+"/"+service] {
+		fail = true
+	} else if s.forceFail[service] > 0 {
 		s.forceFail[service]--
 		fail = true
 	} else if sv.spec.FailureProb > 0 && s.rng.Float64() < sv.spec.FailureProb {

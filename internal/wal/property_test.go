@@ -25,6 +25,7 @@ func randomRecord(rng *rand.Rand) Record {
 // Property: a file-backed log returns exactly the records appended, in
 // order, with sequential LSNs — including across a close/reopen.
 func TestPropertyFileLogRoundTrip(t *testing.T) {
+	t.Parallel()
 	dir := t.TempDir()
 	n := 0
 	f := func(seed int64, countRaw uint8) bool {
@@ -86,6 +87,7 @@ func TestPropertyFileLogRoundTrip(t *testing.T) {
 // and holding unresolved prepared transactions after a decision +
 // complete resolution.
 func TestPropertyAnalyzeDeterministic(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64, countRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		var recs []Record
@@ -110,6 +112,7 @@ func TestPropertyAnalyzeDeterministic(t *testing.T) {
 // Property: MemLog and FileLog agree on the visible record sequence for
 // the same appends.
 func TestPropertyMemFileEquivalence(t *testing.T) {
+	t.Parallel()
 	dir := t.TempDir()
 	n := 0
 	f := func(seed int64, countRaw uint8) bool {

@@ -7,6 +7,7 @@ import (
 )
 
 func TestMemLogAppendAndRecords(t *testing.T) {
+	t.Parallel()
 	l := NewMemLog()
 	lsn1, err := l.Append(Record{Type: RecStart, Proc: "P1"})
 	if err != nil || lsn1 != 1 {
@@ -29,6 +30,7 @@ func TestMemLogAppendAndRecords(t *testing.T) {
 }
 
 func TestFileLogRoundTrip(t *testing.T) {
+	t.Parallel()
 	path := filepath.Join(t.TempDir(), "wal.jsonl")
 	l, err := OpenFile(path, true)
 	if err != nil {
@@ -59,6 +61,7 @@ func TestFileLogRoundTrip(t *testing.T) {
 }
 
 func TestFileLogTornTail(t *testing.T) {
+	t.Parallel()
 	path := filepath.Join(t.TempDir(), "wal.jsonl")
 	l, err := OpenFile(path, true)
 	if err != nil {
@@ -88,12 +91,14 @@ func TestFileLogTornTail(t *testing.T) {
 }
 
 func TestAnalyzeEmpty(t *testing.T) {
+	t.Parallel()
 	if _, err := Analyze(nil); err != ErrNoLog {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestAnalyzeImages(t *testing.T) {
+	t.Parallel()
 	recs := []Record{
 		{Type: RecStart, Proc: "P1"},
 		{Type: RecDispatch, Proc: "P1", Local: 1, Service: "a"},
@@ -130,6 +135,7 @@ func TestAnalyzeImages(t *testing.T) {
 }
 
 func TestAnalyzeDecisionAndResolution(t *testing.T) {
+	t.Parallel()
 	recs := []Record{
 		{Type: RecStart, Proc: "P1"},
 		{Type: RecOutcome, Proc: "P1", Local: 2, Outcome: "prepared", Tx: 5, Subsystem: "s", Service: "p"},
@@ -157,6 +163,7 @@ func TestAnalyzeDecisionAndResolution(t *testing.T) {
 }
 
 func TestRecTypeString(t *testing.T) {
+	t.Parallel()
 	for rt := RecStart; rt <= RecTerminate; rt++ {
 		if rt.String() == "" {
 			t.Fatalf("empty label for %d", int(rt))

@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench-json.sh — run BenchmarkRuntimeThroughput and render the result
+# as a small JSON baseline (committed as BENCH_runtime.json). Reads the
+# standard `go test -bench` text output and extracts, per workers=N
+# sub-benchmark, the ns/op and the reported procs/sec metric.
+#
+# Usage: scripts/bench-json.sh [benchtime] > BENCH_runtime.json
+set -eu
+
+BENCHTIME="${1:-5x}"
+
+go test -run '^$' -bench BenchmarkRuntimeThroughput -benchtime "$BENCHTIME" \
+	./internal/runtime |
+	awk -v benchtime="$BENCHTIME" '
+	/^goos:/   { goos = $2 }
+	/^goarch:/ { goarch = $2 }
+	/^BenchmarkRuntimeThroughput\// {
+		split($1, parts, "=")
+		sub(/-[0-9]+$/, "", parts[2])
+		n = ++count
+		workers[n] = parts[2]
+		nsop[n] = $3
+		procs[n] = $5
+	}
+	END {
+		if (count == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
+		printf "{\n"
+		printf "  \"benchmark\": \"BenchmarkRuntimeThroughput\",\n"
+		printf "  \"goos\": \"%s\",\n", goos
+		printf "  \"goarch\": \"%s\",\n", goarch
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"results\": [\n"
+		for (i = 1; i <= count; i++) {
+			printf "    {\"workers\": %s, \"ns_per_op\": %s, \"procs_per_sec\": %s}%s\n", \
+				workers[i], nsop[i], procs[i], (i < count ? "," : "")
+		}
+		printf "  ]\n"
+		printf "}\n"
+	}'
