@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race diff bench fuzz-smoke ci
+.PHONY: build test test-short race diff torture coverage-floor bench fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,17 @@ race:
 diff:
 	GOMAXPROCS=4 $(GO) test -race -run 'TestDifferential' ./internal/runtime -v
 
+# The crash-torture battery: 200 deterministic crash/recover scenarios
+# under the race detector. Reproduce one failure with
+# `go test ./internal/fault -run TortureBattery -torture.seed=N -v`.
+torture:
+	$(GO) test -race -run TestTortureBattery -torture.count=200 -v ./internal/fault
+	$(GO) test -race -run TestRuntimeKillRecover ./internal/runtime
+
+# Coverage floor for the recovery-critical packages.
+coverage-floor:
+	scripts/coverage-floor.sh 75
+
 # Regenerate the committed throughput baseline.
 bench:
 	scripts/bench-json.sh 5x > BENCH_runtime.json
@@ -31,5 +42,6 @@ bench:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzProcessValidate -fuzztime 30s ./internal/process
 	$(GO) test -fuzz FuzzScheduleReduce -fuzztime 30s ./internal/schedule
+	$(GO) test -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal
 
-ci: build test race diff
+ci: build test race diff torture coverage-floor

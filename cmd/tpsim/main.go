@@ -7,6 +7,7 @@
 //	tpsim [experiment ...]
 //	tpsim -metrics[=text|json]
 //	tpsim run [-metrics[=text|json]] [-runtime=concurrent] <spec.json> [mode]
+//	tpsim torture [-seeds N] [-first S] [-seed K] [-json]
 //
 // where experiment is one of e1..e12, b1, b2, b4, b5, or "all" (default),
 // and mode is pred (default), pred-cascade, serial, conservative or
@@ -14,6 +15,9 @@
 // internal/spec for the format and examples/specs for samples);
 // -runtime=concurrent executes it on the goroutine-per-process runtime
 // (internal/runtime) instead of the sequential discrete-event engine.
+// "torture" runs the deterministic crash-torture battery (internal/fault)
+// and exits non-zero when any seeded scenario violates a recovery
+// guarantee.
 //
 // -metrics attaches an observability registry to the run and dumps its
 // snapshot (counters, histograms, per-service latencies, WAL totals and
@@ -70,6 +74,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if len(args) >= 1 && args[0] == "torture" {
+		if err := runTorture(args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "torture failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if len(args) >= 2 && args[0] == "run" {
 		mode := ""

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"transproc/internal/fault"
+)
+
+// runTorture implements "tpsim torture": the crash-torture battery as a
+// command, for CI jobs and for reproducing a failing seed outside the
+// test harness.
+//
+//	tpsim torture [-seeds N] [-first S] [-seed K] [-json]
+//
+// -seeds runs the scenarios of seeds [first, first+N); -seed runs a
+// single scenario verbosely. -json dumps the summary as JSON. The exit
+// status is non-zero when any scenario violates a recovery guarantee;
+// every failure message embeds the seed that reproduces it.
+func runTorture(args []string) error {
+	fs := flag.NewFlagSet("torture", flag.ContinueOnError)
+	seeds := fs.Int64("seeds", 200, "number of torture seeds to run")
+	first := fs.Int64("first", 0, "first seed of the battery")
+	one := fs.Int64("seed", -1, "run only this seed (verbose reproduction)")
+	asJSON := fs.Bool("json", false, "emit the summary as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "tpsim-torture")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	if *one >= 0 {
+		sc := fault.ScenarioFor(*one)
+		fmt.Printf("seed %d: class=%s engine=%s mode=%v plan=%+v\n",
+			sc.Seed, sc.Class, sc.Engine, sc.Mode, sc.Plan)
+		if err := fault.RunScenario(sc, dir); err != nil {
+			return err
+		}
+		fmt.Println("scenario passed: all recovery guarantees hold")
+		return nil
+	}
+
+	sum := fault.RunTorture(*first, *seeds, dir)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("torture: %d scenarios (seeds %d..%d), %d armed, %d unarmed\n",
+			sum.Scenarios, *first, *first+*seeds-1, sum.Crashed, sum.Clean)
+		classes := make([]string, 0, len(sum.ByClass))
+		for class := range sum.ByClass {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			fmt.Printf("  %-24s %d\n", class, sum.ByClass[class])
+		}
+		for _, f := range sum.Failures {
+			fmt.Printf("  FAIL %s\n", f)
+		}
+	}
+	if n := len(sum.Failures); n > 0 {
+		return fmt.Errorf("%d of %d scenarios violated a recovery guarantee (reproduce with: tpsim torture -seed=N)", n, sum.Scenarios)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"fmt"
+
+	"transproc/internal/activity"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+	"transproc/internal/scheduler"
+	"transproc/internal/subsystem"
+	"transproc/internal/wal"
+)
+
+// CheckInput is everything CheckRecovered needs about a finished
+// crash-recovery cycle.
+type CheckInput struct {
+	// Fed is the surviving federation recovery ran against.
+	Fed *subsystem.Federation
+	// Log is the (unwrapped) write-ahead log after recovery.
+	Log wal.Log
+	// Defs are the original process definitions (by origin id).
+	Defs []*process.Process
+	// PreCrashRecords is the number of log records that were durable
+	// when the (final) crash hit; everything after is recovery's tail.
+	PreCrashRecords int
+}
+
+// CheckRecovered asserts the paper's recovery guarantees over the
+// post-recovery state:
+//
+//  1. every process the log mentions reached a terminal state (no lost
+//     pivots, guaranteed termination through the group abort);
+//  2. no in-doubt transaction survives at any subsystem;
+//  3. the combined pre-crash + recovery schedule reconstructed from
+//     the log is prefix-reducible (PRED, Theorem 1);
+//  4. recovery's compensations ran in reverse global order of their
+//     base activities (Lemma 2);
+//  5. subsystem state equals the deltas of exactly the committed
+//     activities in that schedule — nothing lost, nothing applied
+//     twice (exactly-once across the crash);
+//  6. a further Recover over the same state is a no-op (idempotent
+//     recovery).
+//
+// The returned error describes the first violated invariant.
+func CheckRecovered(in CheckInput) error {
+	recs, err := in.Log.Records()
+	if err != nil {
+		return fmt.Errorf("reading log: %w", err)
+	}
+	images, err := wal.Analyze(recs)
+	if err == wal.ErrNoLog {
+		images = nil
+	} else if err != nil {
+		return fmt.Errorf("analyzing log: %w", err)
+	}
+
+	// 1. Terminal states.
+	for id, img := range images {
+		if !img.Terminated {
+			return fmt.Errorf("process %s not terminal after recovery", id)
+		}
+	}
+
+	// 2. No in-doubt transactions.
+	if doubt := in.Fed.InDoubt(); len(doubt) > 0 {
+		return fmt.Errorf("in-doubt transactions survive recovery: %v", doubt)
+	}
+
+	// 3. PRED over the combined schedule.
+	table, err := in.Fed.ConflictTable()
+	if err != nil {
+		return fmt.Errorf("conflict table: %w", err)
+	}
+	sched, err := ScheduleFromWAL(table, in.Defs, recs, in.PreCrashRecords)
+	if err != nil {
+		return fmt.Errorf("reconstructing schedule: %w", err)
+	}
+	ok, at, _, err := sched.PRED()
+	if err != nil {
+		return fmt.Errorf("PRED check: %w", err)
+	}
+	if !ok {
+		return fmt.Errorf("combined schedule not prefix-reducible (prefix %d):\n%s", at, sched)
+	}
+
+	// 4. Lemma 2 over recovery's tail: the group abort compensates in
+	// strictly decreasing order of the base activities' commit
+	// positions — also across interrupted recovery passes, since a
+	// later pass only re-plans compensations whose bases precede the
+	// last one the interrupted pass logged.
+	base := make(map[string]int) // "proc/local" -> commit position
+	for i, r := range recs {
+		committed := (r.Type == wal.RecResolved && r.Commit) ||
+			(r.Type == wal.RecOutcome && r.Outcome == "committed")
+		if committed {
+			base[fmt.Sprintf("%s/%d", r.Proc, r.Local)] = i
+		}
+	}
+	last := -1
+	for i := in.PreCrashRecords; i < len(recs); i++ {
+		r := recs[i]
+		if r.Type != wal.RecCompensate {
+			continue
+		}
+		b, known := base[fmt.Sprintf("%s/%d", r.Proc, r.Local)]
+		if !known {
+			return fmt.Errorf("recovery compensated %s/%d whose base commit is not in the log", r.Proc, r.Local)
+		}
+		if last >= 0 && b >= last {
+			return fmt.Errorf("Lemma 2 violated: recovery compensation of %s/%d (base @%d) after base @%d", r.Proc, r.Local, b, last)
+		}
+		last = b
+	}
+
+	// 5. Exactly-once effects: replay the committed invocations'
+	// write-set deltas and compare with the subsystems' stores.
+	want := make(map[string]int64)
+	for _, ev := range sched.Events() {
+		if ev.Type != schedule.Invoke {
+			continue
+		}
+		spec, ok := in.Fed.Spec(ev.Service)
+		if !ok {
+			return fmt.Errorf("schedule uses unknown service %q", ev.Service)
+		}
+		delta := int64(1)
+		if spec.Kind == activity.Compensation {
+			delta = -1
+		}
+		sub, _ := in.Fed.Owner(ev.Service)
+		for _, item := range spec.WriteSet {
+			want[sub.Name()+"/"+item] += delta
+		}
+	}
+	got := in.Fed.Snapshot()
+	for item, v := range got {
+		if v < 0 {
+			return fmt.Errorf("item %s negative after recovery (%d)", item, v)
+		}
+		if v != want[item] {
+			return fmt.Errorf("item %s: subsystem has %d, log-committed work accounts for %d", item, v, want[item])
+		}
+	}
+	for item, v := range want {
+		if v != 0 && got[item] != v {
+			return fmt.Errorf("item %s: log-committed work accounts for %d, subsystem has %d", item, v, got[item])
+		}
+	}
+
+	// 6. Idempotence: a second recovery changes nothing.
+	before := len(recs)
+	report, err := scheduler.Recover(in.Fed, in.Log, in.Defs)
+	if err != nil {
+		return fmt.Errorf("second recovery: %w", err)
+	}
+	after, err := in.Log.Records()
+	if err != nil {
+		return fmt.Errorf("re-reading log: %w", err)
+	}
+	if len(after) != before {
+		return fmt.Errorf("second recovery appended %d records (want 0)", len(after)-before)
+	}
+	if report.Compensations != 0 || report.ForwardInvocations != 0 ||
+		report.Resolved2PCCommitted != 0 || report.Resolved2PCAborted != 0 {
+		return fmt.Errorf("second recovery did work: %+v", report)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"transproc/internal/activity"
+	"transproc/internal/conflict"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+	"transproc/internal/wal"
+)
+
+// ScheduleFromWAL reconstructs the observed process schedule — the
+// pre-crash execution and everything recovery appended — from the
+// write-ahead log. Only durably committed work becomes an event, and
+// every event sits at its *commit* position: a 2PC-deferred local
+// transaction (Lemma 1) joins the schedule at the RecResolved record
+// that commits it, not at its earlier "prepared" outcome — exactly
+// like the engines' tentative events (policy.FinalizeTentative), whose
+// correctness argument carries over: the subsystem holds the
+// transaction's locks between prepare and commit, so no conflicting
+// activity ran in between and the late anchoring is conflict-order
+// preserving, while a prefix cut inside that window must not contain
+// the still-uncommitted event.
+//
+//	RecOutcome  "committed"  -> Invoke (immediate local commit)
+//	RecResolved Commit=true  -> Invoke (deferred 2PC commit)
+//	RecCompensate            -> Invoke, Inverse
+//	RecFailed                -> FailedInvoke
+//	RecAbortBegin            -> AbortBegin
+//	RecTerminate             -> Terminate
+//
+// Prepared-but-unresolved transactions (rolled back by recovery's
+// presumed abort) contribute nothing, mirroring the atomicity of local
+// transactions. Recovery aborts every process the crash interrupted
+// without logging an abort record of its own (the crash is the abort
+// trigger, Definition 8.2b), so an AbortBegin is synthesized at such a
+// process's first record past the crash boundary preCrash (pass
+// len(recs) for a crash-free log). Compensations logged by the running
+// engine are failure-plan partial rollbacks and need no abort. The
+// result can be checked with PRED() like any engine-built schedule.
+func ScheduleFromWAL(table *conflict.Table, defs []*process.Process, recs []wal.Record, preCrash int) (*schedule.Schedule, error) {
+	byOrigin := make(map[process.ID]*process.Process, len(defs))
+	for _, p := range defs {
+		byOrigin[p.ID] = p
+	}
+
+	// Instantiate a definition for every process id the log mentions
+	// (restarts run under derived ids like "W3+r1").
+	var procs []*process.Process
+	seen := make(map[string]bool)
+	for _, r := range recs {
+		if r.Proc == "" || seen[r.Proc] {
+			continue
+		}
+		seen[r.Proc] = true
+		origin := r.Proc
+		if i := strings.IndexByte(origin, '+'); i >= 0 {
+			origin = origin[:i]
+		}
+		def := byOrigin[process.ID(origin)]
+		if def == nil {
+			return nil, fmt.Errorf("fault: log mentions unknown process %q", r.Proc)
+		}
+		if string(def.ID) != r.Proc {
+			def = def.WithID(process.ID(r.Proc))
+		}
+		procs = append(procs, def)
+	}
+
+	s, err := schedule.New(table, procs...)
+	if err != nil {
+		return nil, err
+	}
+	kindOf := func(proc string, local int) (activity.Kind, error) {
+		for _, p := range procs {
+			if string(p.ID) == proc {
+				a := p.Activity(local)
+				if a == nil {
+					return 0, fmt.Errorf("fault: process %s has no activity %d", proc, local)
+				}
+				return a.Kind, nil
+			}
+		}
+		return 0, fmt.Errorf("fault: unknown process %q", proc)
+	}
+	aborting := make(map[string]bool)
+	ensureAbort := func(proc string) {
+		if aborting[proc] {
+			return
+		}
+		aborting[proc] = true
+		s.AppendUnchecked(schedule.Event{Type: schedule.AbortBegin, Proc: process.ID(proc)})
+	}
+	// invoked dedups forward commits: recovery's redo-commit path logs a
+	// RecResolved for a transaction whose committed outcome already made
+	// it to the log before the crash (the crash hit the window between
+	// the force-log and the subsystem-side apply), and an interrupted
+	// recovery pass may re-resolve what an earlier pass already logged.
+	invoked := make(map[string]bool)
+	invoke := func(r wal.Record) error {
+		key := fmt.Sprintf("%s/%d", r.Proc, r.Local)
+		if invoked[key] {
+			return nil
+		}
+		invoked[key] = true
+		k, err := kindOf(r.Proc, r.Local)
+		if err != nil {
+			return err
+		}
+		s.AppendUnchecked(schedule.Event{
+			Type: schedule.Invoke, Proc: process.ID(r.Proc), Local: r.Local,
+			Service: r.Service, Kind: k,
+		})
+		return nil
+	}
+	for i, r := range recs {
+		// Past the crash boundary, any step work for a process marks it
+		// as crash-aborted: recovery only compensates, resolves and runs
+		// abort-completion activities (phase 3 terminates it uncommitted).
+		if i >= preCrash {
+			switch r.Type {
+			case wal.RecCompensate, wal.RecOutcome, wal.RecFailed:
+				ensureAbort(r.Proc)
+			}
+		}
+		switch r.Type {
+		case wal.RecResolved:
+			if !r.Commit {
+				continue
+			}
+			if err := invoke(r); err != nil {
+				return nil, err
+			}
+		case wal.RecOutcome:
+			if r.Outcome != "committed" {
+				continue
+			}
+			if err := invoke(r); err != nil {
+				return nil, err
+			}
+		case wal.RecCompensate:
+			s.AppendUnchecked(schedule.Event{
+				Type: schedule.Invoke, Proc: process.ID(r.Proc), Local: r.Local,
+				Service: r.Service, Kind: activity.Compensation, Inverse: true,
+			})
+		case wal.RecFailed:
+			k, err := kindOf(r.Proc, r.Local)
+			if err != nil {
+				return nil, err
+			}
+			s.AppendUnchecked(schedule.Event{
+				Type: schedule.FailedInvoke, Proc: process.ID(r.Proc), Local: r.Local,
+				Service: r.Service, Kind: k,
+			})
+		case wal.RecAbortBegin:
+			ensureAbort(r.Proc)
+		case wal.RecTerminate:
+			if !r.Committed {
+				ensureAbort(r.Proc)
+			}
+			s.AppendUnchecked(schedule.Event{
+				Type: schedule.Terminate, Proc: process.ID(r.Proc), Committed: r.Committed,
+			})
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,373 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"transproc/internal/activity"
+	"transproc/internal/process"
+	"transproc/internal/runtime"
+	"transproc/internal/scheduler"
+	"transproc/internal/subsystem"
+	"transproc/internal/wal"
+	"transproc/internal/workload"
+)
+
+// Scenario is one fully determined crash-torture case: a seeded
+// workload, a fault plan and the engine/log flavour to run it under.
+// ScenarioFor(seed) is a pure function, so a failing seed reproduces
+// the exact same scenario anywhere.
+type Scenario struct {
+	Seed  int64
+	Class string
+	Mode  scheduler.Mode
+	// Engine selects the execution engine: "engine" (sequential
+	// discrete-event scheduler) or "runtime" (concurrent).
+	Engine string
+	// FileWAL runs over a file-backed log that is closed and reopened
+	// across the crash (exercising torn-tail handling).
+	FileWAL bool
+	// GarbageTail appends a partial junk record to the file after the
+	// crash instead of tearing the final record.
+	GarbageTail bool
+	// CrashRecoveryAfter, when positive, crashes the first Recover
+	// pass after that many appended records; a second pass then
+	// finishes the job.
+	CrashRecoveryAfter int
+	Plan               Plan
+}
+
+// ScenarioFor derives the deterministic scenario of a seed. Ten
+// scenario classes cycle by seed: WAL-budget crashes (mem and file,
+// torn and garbage tails), every named crash point, concurrent-runtime
+// kills and crash-during-recovery double faults.
+func ScenarioFor(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed*6364136223846793005 + 1442695040888963407))
+	sc := Scenario{Seed: seed, Engine: "engine", Mode: scheduler.PRED}
+	if seed%3 == 0 {
+		sc.Mode = scheduler.PREDCascade
+	}
+	budget := 5 + rng.Intn(140)
+	hits := 1 + rng.Intn(40)
+	sc.Plan.Seed = seed
+	switch seed % 10 {
+	case 0:
+		sc.Class = "wal-budget"
+		sc.Plan.CrashAfterWALRecords = budget
+	case 1:
+		sc.Class = "before-forcelog"
+		sc.Plan.CrashAtPoint = PointBeforeForceLog
+		sc.Plan.CrashAtCount = hits
+	case 2:
+		sc.Class = "after-forcelog"
+		sc.Plan.CrashAtPoint = PointAfterForceLog
+		sc.Plan.CrashAtCount = hits
+	case 3:
+		sc.Class = "2pc-after-decision"
+		sc.Plan.CrashAtPoint = PointAfterDecision
+		sc.Plan.CrashAtCount = 1 + rng.Intn(3)
+	case 4:
+		sc.Class = "2pc-mid-resolve"
+		sc.Plan.CrashAtPoint = PointMidResolve
+		sc.Plan.CrashAtCount = 1 + rng.Intn(3)
+	case 5:
+		sc.Class = "file-torn-tail"
+		sc.FileWAL = true
+		sc.Plan.CrashAfterWALRecords = budget
+		sc.Plan.TornTailBytes = 1 + rng.Intn(30)
+	case 6:
+		sc.Class = "file-garbage-tail"
+		sc.FileWAL = true
+		sc.GarbageTail = true
+		sc.Plan.CrashAfterWALRecords = budget
+	case 7:
+		sc.Class = "runtime-kill-dispatch"
+		sc.Engine = "runtime"
+		sc.Plan.KillAtDispatch = 1 + rng.Intn(30)
+	case 8:
+		sc.Class = "runtime-wal-budget"
+		sc.Engine = "runtime"
+		sc.Plan.CrashAfterWALRecords = budget
+	case 9:
+		sc.Class = "crash-during-recovery"
+		sc.Plan.CrashAfterWALRecords = budget
+		sc.CrashRecoveryAfter = 1 + rng.Intn(12)
+	}
+	// Deterministic permanent failures for roughly a third of the
+	// processes (compensatable or pivot forward services only, like
+	// the differential battery: retriables fail only transiently and
+	// compensations never, per the paper's perfect-compensation
+	// assumption).
+	sc.Plan.SubsystemFail = chooseFailures(seed)
+	return sc
+}
+
+// tortureProfile is the workload every scenario of a seed runs.
+func tortureProfile(seed int64) workload.Profile {
+	p := workload.DefaultProfile(seed)
+	p.Processes = 12
+	p.ConflictProb = 0.4
+	p.PermFailureProb = 0
+	p.TransientFailureProb = 0.10
+	return p
+}
+
+// chooseFailures picks the deterministic failure rules of a seed
+// against its own workload.
+func chooseFailures(seed int64) []SubsystemFail {
+	w, err := workload.Generate(tortureProfile(seed))
+	if err != nil {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed*7919 + 13))
+	var rules []SubsystemFail
+	for _, j := range w.Jobs {
+		if rng.Float64() >= 0.35 {
+			continue
+		}
+		var candidates []string
+		for _, svc := range scheduler.Footprint(j.Proc) {
+			spec, ok := w.Fed.Spec(svc)
+			if ok && (spec.Kind == activity.Compensatable || spec.Kind == activity.Pivot) {
+				candidates = append(candidates, svc)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		sort.Strings(candidates)
+		rules = append(rules, SubsystemFail{
+			Proc:    string(j.Proc.ID),
+			Service: candidates[rng.Intn(len(candidates))],
+		})
+	}
+	return rules
+}
+
+// RunScenario executes one scenario end to end: run until the injected
+// crash (or clean finish), mangle the log tail where the plan says so,
+// recover — possibly crashing and re-recovering — and check every
+// recovery guarantee. dir is where file-backed logs live (a temp dir
+// is created under os.TempDir when empty). The returned error
+// describes the violated invariant; nil means the scenario passed.
+func RunScenario(sc Scenario, dir string) error {
+	w, err := workload.Generate(tortureProfile(sc.Seed))
+	if err != nil {
+		return fmt.Errorf("seed %d: generating workload: %w", sc.Seed, err)
+	}
+	for _, r := range sc.Plan.SubsystemFail {
+		sub, ok := w.Fed.Owner(r.Service)
+		if !ok {
+			return fmt.Errorf("seed %d: no owner for failed service %s", sc.Seed, r.Service)
+		}
+		sub.FailService(r.Proc, r.Service)
+	}
+	defs := make([]*process.Process, 0, len(w.Jobs))
+	for _, j := range w.Jobs {
+		defs = append(defs, j.Proc)
+	}
+
+	var inner wal.Log
+	var path string
+	if sc.FileWAL {
+		if dir == "" {
+			td, err := os.MkdirTemp("", "torture")
+			if err != nil {
+				return fmt.Errorf("seed %d: %w", sc.Seed, err)
+			}
+			defer os.RemoveAll(td)
+			dir = td
+		}
+		path = filepath.Join(dir, fmt.Sprintf("wal-%d.log", sc.Seed))
+		fl, err := wal.OpenFile(path, false)
+		if err != nil {
+			return fmt.Errorf("seed %d: opening log: %w", sc.Seed, err)
+		}
+		inner = fl
+	} else {
+		inner = wal.NewMemLog()
+	}
+	fw := WrapWAL(inner, sc.Plan.CrashAfterWALRecords)
+	inj := NewInjector(sc.Plan)
+
+	crashed, err := runUntilCrash(sc, w.Fed, fw, inj, w.Jobs)
+	if err != nil {
+		return fmt.Errorf("seed %d (%s): run: %w", sc.Seed, sc.Class, err)
+	}
+
+	// Reopen across the crash; torn and garbage tails only exist for
+	// file-backed logs and only make sense when the run actually
+	// crashed (a clean run's final append returned — tearing it would
+	// simulate losing an acknowledged write, which no log survives).
+	recLog := inner
+	if sc.FileWAL {
+		if err := inner.Close(); err != nil {
+			return fmt.Errorf("seed %d: closing log: %w", sc.Seed, err)
+		}
+		if crashed {
+			if sc.Plan.TornTailBytes > 0 {
+				if err := tearTail(path, sc.Plan.TornTailBytes); err != nil {
+					return fmt.Errorf("seed %d: tearing tail: %w", sc.Seed, err)
+				}
+			}
+			if sc.GarbageTail {
+				if err := appendGarbage(path); err != nil {
+					return fmt.Errorf("seed %d: garbage tail: %w", sc.Seed, err)
+				}
+			}
+		}
+		fl, err := wal.OpenFile(path, false)
+		if err != nil {
+			return fmt.Errorf("seed %d: reopening log: %w", sc.Seed, err)
+		}
+		recLog = fl
+		defer fl.Close()
+	}
+	preRecs, err := recLog.Records()
+	if err != nil {
+		return fmt.Errorf("seed %d: reading pre-recovery log: %w", sc.Seed, err)
+	}
+	pre := len(preRecs)
+
+	// First recovery, optionally crashed mid-way by a fresh WAL budget
+	// (double-fault: the recovering system dies too).
+	if crashed && sc.CrashRecoveryAfter > 0 {
+		rw := WrapWAL(recLog, sc.CrashRecoveryAfter)
+		rerr := Protect(func() error {
+			_, e := scheduler.Recover(w.Fed, rw, defs)
+			return e
+		})
+		if rerr != nil {
+			if _, isCrash := AsCrash(rerr); !isCrash {
+				return fmt.Errorf("seed %d (%s): interrupted recovery: %w", sc.Seed, sc.Class, rerr)
+			}
+		}
+	}
+	if _, err := scheduler.Recover(w.Fed, recLog, defs); err != nil {
+		return fmt.Errorf("seed %d (%s): recovery: %w", sc.Seed, sc.Class, err)
+	}
+
+	if err := CheckRecovered(CheckInput{
+		Fed: w.Fed, Log: recLog, Defs: defs, PreCrashRecords: pre,
+	}); err != nil {
+		return fmt.Errorf("seed %d (%s): %w", sc.Seed, sc.Class, err)
+	}
+	return nil
+}
+
+// runUntilCrash drives the scenario's engine until the injected crash
+// or clean completion; crashed reports which.
+func runUntilCrash(sc Scenario, fed *subsystem.Federation, log wal.Log, inj *Injector, jobs []scheduler.Job) (crashed bool, err error) {
+	switch sc.Engine {
+	case "runtime":
+		r, err := runtime.New(fed, runtime.Config{
+			Mode: sc.Mode, Log: log, MaxRestarts: 64, Inject: inj.Point,
+		})
+		if err != nil {
+			return false, err
+		}
+		_, err = r.Run(context.Background(), jobs)
+		if err == nil {
+			return false, nil
+		}
+		if errors.Is(err, scheduler.ErrCrashed) {
+			return true, nil
+		}
+		return false, err
+	default:
+		eng, err := scheduler.New(fed, scheduler.Config{
+			Mode: sc.Mode, Log: log, MaxRestarts: 64, Inject: inj.Point,
+		})
+		if err != nil {
+			return false, err
+		}
+		_, err = eng.RunJobs(jobs)
+		if err == nil {
+			return false, nil
+		}
+		if errors.Is(err, scheduler.ErrCrashed) {
+			return true, nil
+		}
+		return false, err
+	}
+}
+
+// tearTail truncates up to n bytes off the file's final record (never
+// reaching into earlier, acknowledged records): the write that was in
+// flight when the crash hit reached the disk only partially.
+func tearTail(path string, n int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	// The final record spans from after the second-to-last newline to
+	// the end (including its own terminating newline).
+	end := len(data)
+	body := data[:end-1] // strip the final '\n' before searching
+	lastStart := 0
+	for i := len(body) - 1; i >= 0; i-- {
+		if body[i] == '\n' {
+			lastStart = i + 1
+			break
+		}
+	}
+	lastLen := end - lastStart
+	if n > lastLen {
+		n = lastLen
+	}
+	return os.Truncate(path, int64(end-n))
+}
+
+// appendGarbage writes a partial junk record with no terminating
+// newline — the torn write left arbitrary bytes behind.
+func appendGarbage(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(`{"lsn":9999,"type":2,"pr`)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Summary aggregates a torture batch.
+type Summary struct {
+	Scenarios int            `json:"scenarios"`
+	Crashed   int            `json:"crashed"`
+	Clean     int            `json:"clean"`
+	Failures  []string       `json:"failures,omitempty"`
+	ByClass   map[string]int `json:"byClass"`
+}
+
+// RunTorture runs the scenarios of seeds [first, first+n) and collects
+// a summary; every failure message embeds the reproducing seed.
+func RunTorture(first, n int64, dir string) Summary {
+	sum := Summary{ByClass: make(map[string]int)}
+	for seed := first; seed < first+n; seed++ {
+		sc := ScenarioFor(seed)
+		sum.Scenarios++
+		sum.ByClass[sc.Class]++
+		// Armed-plan attribution (the scenario checks its invariants
+		// either way; a plan can legitimately outlive the run, e.g. a
+		// budget larger than the log).
+		if sc.Plan.CrashAfterWALRecords > 0 || sc.Plan.CrashAtPoint != "" || sc.Plan.KillAtDispatch > 0 {
+			sum.Crashed++
+		} else {
+			sum.Clean++
+		}
+		if err := RunScenario(sc, dir); err != nil {
+			sum.Failures = append(sum.Failures, err.Error())
+		}
+	}
+	return sum
+}

@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"sync"
+
+	"transproc/internal/metrics"
+	"transproc/internal/wal"
+)
+
+// WAL is a fault-injectable write-ahead-log wrapper: it delegates to a
+// real backend and crashes the run (panics with the Crash sentinel)
+// from inside the append that exhausts its record budget. The panic
+// fires after the record reached the backend — the write is on disk
+// (or in memory) but the caller never observes the append returning,
+// exactly the window a torn write lives in; a file-backed scenario can
+// then mangle that final record's bytes (Plan.TornTailBytes) before
+// recovery reopens the log.
+//
+// After the trip every further append is dropped: the crashed system
+// must not write. Reads pass through so the harness can inspect the
+// log; recovery should run against the unwrapped backend (Inner).
+type WAL struct {
+	inner wal.Log
+
+	mu       sync.Mutex
+	budget   int // crash when accepted reaches budget; 0 = never
+	accepted int
+	tripped  bool
+}
+
+// WrapWAL wraps a backend with a crash budget of n accepted records
+// (0 disables the budget; the wrapper is then transparent).
+func WrapWAL(inner wal.Log, n int) *WAL {
+	return &WAL{inner: inner, budget: n}
+}
+
+// Inner returns the wrapped backend (for recovery after the crash).
+func (w *WAL) Inner() wal.Log { return w.inner }
+
+// Tripped reports whether the budget crash fired.
+func (w *WAL) Tripped() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tripped
+}
+
+// Release disarms the wrapper: no further crash, appends pass through
+// again (used by harnesses that reuse the wrapper across run phases).
+func (w *WAL) Release() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.budget = 0
+	w.tripped = false
+}
+
+// Append delegates to the backend, panicking with the crash sentinel
+// on the budget-exhausting record; post-crash appends are dropped.
+func (w *WAL) Append(rec wal.Record) (int64, error) {
+	w.mu.Lock()
+	if w.tripped {
+		w.mu.Unlock()
+		return 0, nil // the crashed system's writes go nowhere
+	}
+	lsn, err := w.inner.Append(rec)
+	if err != nil {
+		w.mu.Unlock()
+		return lsn, err
+	}
+	w.accepted++
+	if w.budget > 0 && w.accepted >= w.budget {
+		w.tripped = true
+		w.mu.Unlock()
+		panic(Crash{Point: PointWALAppend})
+	}
+	w.mu.Unlock()
+	return lsn, nil
+}
+
+// Records delegates to the backend.
+func (w *WAL) Records() ([]wal.Record, error) { return w.inner.Records() }
+
+// Close delegates to the backend.
+func (w *WAL) Close() error { return w.inner.Close() }
+
+// SetMetrics forwards the registry to an instrumented backend.
+func (w *WAL) SetMetrics(m *metrics.Registry) {
+	if il, ok := w.inner.(wal.Instrumented); ok {
+		il.SetMetrics(m)
+	}
+}

@@ -1,0 +1,70 @@
+package runtime_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"transproc/internal/fault"
+	"transproc/internal/process"
+	"transproc/internal/runtime"
+	"transproc/internal/scheduler"
+	"transproc/internal/wal"
+	"transproc/internal/workload"
+)
+
+// TestRuntimeKillRecover sweeps kill points through the concurrent
+// runtime's dispatch gate: the run is crashed at the K-th dispatch, the
+// surviving WAL and subsystem state are handed to the sequential
+// scheduler.Recover, and the result must satisfy every recovery
+// guarantee of the paper (prefix-reducible combined schedule, all
+// processes terminal, Lemma-2 compensation order, exactly-once effects,
+// idempotent recovery) — the differential-style check across the
+// engine boundary: a concurrent execution, recovered sequentially.
+func TestRuntimeKillRecover(t *testing.T) {
+	t.Parallel()
+	kills := []int{1, 2, 3, 5, 8, 13, 21}
+	if testing.Short() {
+		kills = []int{1, 3, 8}
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, k := range kills {
+			p := workload.DefaultProfile(seed)
+			p.Processes = 8
+			p.ConflictProb = 0.4
+			p.PermFailureProb = 0
+			p.TransientFailureProb = 0.1
+			w := workload.MustGenerate(p)
+			defs := make([]*process.Process, 0, len(w.Jobs))
+			for _, j := range w.Jobs {
+				defs = append(defs, j.Proc)
+			}
+			log := wal.NewMemLog()
+			inj := fault.NewInjector(fault.Plan{KillAtDispatch: k})
+			rt, err := runtime.New(w.Fed, runtime.Config{
+				Mode: scheduler.PRED, Log: log, MaxRestarts: 64, Inject: inj.Point,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = rt.Run(context.Background(), w.Jobs)
+			if err != nil && !errors.Is(err, scheduler.ErrCrashed) {
+				t.Fatalf("seed %d kill %d: run: %v", seed, k, err)
+			}
+			crashed := err != nil
+			recs, err := log.Records()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pre := len(recs)
+			if _, err := scheduler.Recover(w.Fed, log, defs); err != nil {
+				t.Fatalf("seed %d kill %d: recover: %v", seed, k, err)
+			}
+			if err := fault.CheckRecovered(fault.CheckInput{
+				Fed: w.Fed, Log: log, Defs: defs, PreCrashRecords: pre,
+			}); err != nil {
+				t.Fatalf("seed %d kill %d (crashed=%v): %v", seed, k, crashed, err)
+			}
+		}
+	}
+}

@@ -52,8 +52,8 @@ import (
 // Config parameterizes a runtime run.
 type Config struct {
 	// Mode selects the scheduling policy. The runtime supports PRED,
-	// PREDCascade, Serial, Conservative and CCOnly; the weak order and
-	// crash injection of the sequential engine are not implemented here.
+	// PREDCascade, Serial, Conservative and CCOnly; the weak order of
+	// the sequential engine is not implemented here.
 	Mode scheduler.Mode
 	// Log is the write-ahead log; defaults to an in-memory log.
 	Log wal.Log
@@ -70,6 +70,15 @@ type Config struct {
 	MaxStalls int
 	// Metrics is the observability registry; nil is a no-op sink.
 	Metrics *metrics.Registry
+	// Inject, when non-nil, is called at named crash points — the
+	// dispatch gate ("runtime:dispatch") and, via the 2PC coordinator,
+	// "twopc:after-decision" / "twopc:mid-resolve". A fault plan
+	// (internal/fault) may panic through it with a crash sentinel; the
+	// runtime recovers the sentinel, stops issuing work and WAL appends,
+	// and Run returns scheduler.ErrCrashed with the partial result,
+	// leaving log and subsystem state for scheduler.Recover. No-op when
+	// nil.
+	Inject func(point string)
 }
 
 func (c Config) withDefaults() Config {
@@ -197,7 +206,53 @@ func New(fed *subsystem.Federation, cfg Config) (*Runtime, error) {
 			il.SetMetrics(r.reg)
 		}
 	}
+	r.coord.Inject = cfg.Inject
 	return r, nil
+}
+
+// guard runs f, converting an injected-crash sentinel panic into the
+// run-terminating error every worker observes; ok is false when the
+// crash tripped. Called with r.mu held — the panic must not unwind
+// past the critical section, so it is caught right here and the
+// workers are woken to drain. Non-sentinel panics propagate.
+func (r *Runtime) guard(f func()) (ok bool) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		crash, isCrash := v.(interface{ InjectedCrash() string })
+		if !isCrash {
+			panic(v)
+		}
+		if r.err == nil {
+			r.err = fmt.Errorf("%w (injected at %s)", scheduler.ErrCrashed, crash.InjectedCrash())
+		}
+		r.cond.Broadcast()
+	}()
+	f()
+	return true
+}
+
+// append force-logs a record unless the run already crashed; false
+// means the record did not reach the log (the caller must not apply
+// the state change the record announces).
+func (r *Runtime) append(rec wal.Record) bool {
+	if r.err != nil {
+		return false
+	}
+	return r.guard(func() { r.log.Append(rec) })
+}
+
+// inject fires a named crash point; false when it tripped the crash.
+func (r *Runtime) inject(point string) bool {
+	if r.cfg.Inject == nil {
+		return true
+	}
+	if r.err != nil {
+		return false
+	}
+	return r.guard(func() { r.cfg.Inject(point) })
 }
 
 func policyMode(m scheduler.Mode) policy.Mode {
@@ -377,7 +432,7 @@ func (r *Runtime) admit(def *process.Process, idx int, origin process.ID, restar
 	r.allProcs = append(r.allProcs, def)
 	r.outcomes[rt.id] = &scheduler.Outcome{Restarts: restarts, Start: r.ticksSince(r.start)}
 	r.active++
-	r.log.Append(wal.Record{Type: wal.RecStart, Proc: string(rt.id)})
+	r.append(wal.Record{Type: wal.RecStart, Proc: string(rt.id)})
 	r.reg.Inc(metrics.ProcsAdmitted)
 	if restarts > 0 {
 		r.metrics.Restarts++
@@ -586,6 +641,14 @@ func (r *Runtime) drive(rt *procRT) (restart bool) {
 		}
 		r.mu.Lock()
 		r.inFlight--
+		if r.err != nil {
+			// The run crashed while this invocation was in flight: do
+			// not commit, log or apply its outcome. A prepared local
+			// transaction stays in doubt with no prepared record — the
+			// orphan recovery rule presumes it aborted.
+			r.unregister(rt, item)
+			break
+		}
 		if locked {
 			// A conflicting local transaction holds the subsystem lock;
 			// undo the registration and wait for its resolution.
@@ -632,7 +695,7 @@ func (r *Runtime) step(rt *procRT) (stepKind, workItem) {
 				if err := ptx.sub.AbortPrepared(ptx.tx); err == nil {
 					r.metrics.Rollbacks++
 					r.reg.Inc(metrics.DeferredRolledBack)
-					r.log.Append(wal.Record{
+					r.append(wal.Record{
 						Type: wal.RecResolved, Proc: string(rt.id), Local: st.Local,
 						Service: ptx.service, Subsystem: ptx.sub.Name(), Tx: int64(ptx.tx), Commit: false,
 					})
@@ -681,7 +744,7 @@ func (r *Runtime) step(rt *procRT) (stepKind, workItem) {
 		rt.abortPending = false
 		rt.state = psAborting
 		rt.recovery = steps
-		r.log.Append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
+		r.append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
 		r.reg.Inc(metrics.BackwardRecoveries)
 		r.seq++
 		r.pol.AppendEvent(&policy.Event{Seq: r.seq, Proc: rt.id, Typ: schedule.AbortBegin})
@@ -694,7 +757,7 @@ func (r *Runtime) step(rt *procRT) (stepKind, workItem) {
 			if err := ptx.sub.AbortPrepared(ptx.tx); err == nil {
 				r.metrics.Rollbacks++
 				r.reg.Inc(metrics.DeferredRolledBack)
-				r.log.Append(wal.Record{
+				r.append(wal.Record{
 					Type: wal.RecResolved, Proc: string(rt.id), Local: l,
 					Service: ptx.service, Subsystem: ptx.sub.Name(), Tx: int64(ptx.tx), Commit: false,
 				})
@@ -745,6 +808,9 @@ func (r *Runtime) step(rt *procRT) (stepKind, workItem) {
 // register records the invocation as in flight (visible to concurrent
 // forced-order decisions) and hands it to the worker.
 func (r *Runtime) register(rt *procRT, item workItem) (stepKind, workItem) {
+	if !r.inject("runtime:dispatch") {
+		return sAgain, workItem{} // crash tripped; drive's loop head exits
+	}
 	if item.isStep {
 		rt.recoveryBusy = true
 		rt.busySvc = item.service
@@ -752,7 +818,10 @@ func (r *Runtime) register(rt *procRT, item workItem) (stepKind, workItem) {
 		rt.running[item.local] = item.service
 	}
 	r.pol.Bump()
-	r.log.Append(wal.Record{Type: wal.RecDispatch, Proc: string(rt.id), Local: item.local, Service: item.service})
+	if !r.append(wal.Record{Type: wal.RecDispatch, Proc: string(rt.id), Local: item.local, Service: item.service}) {
+		r.unregister(rt, item)
+		return sAgain, workItem{}
+	}
 	r.reg.Inc(metrics.InvokeDispatched)
 	return sInvoke, item
 }
@@ -780,16 +849,18 @@ func (r *Runtime) complete(rt *procRT, item workItem, res *subsystem.Result, fai
 		if item.kind.GuaranteedToCommit() {
 			r.metrics.Retries++
 			r.reg.Inc(metrics.RetriesTransient)
-			r.log.Append(wal.Record{Type: wal.RecOutcome, Proc: string(rt.id), Local: item.local, Service: item.service, Outcome: "aborted"})
+			r.append(wal.Record{Type: wal.RecOutcome, Proc: string(rt.id), Local: item.local, Service: item.service, Outcome: "aborted"})
 			return
 		}
 		r.permanentFailure(rt, item)
 		return
 	}
-	r.log.Append(wal.Record{
+	if !r.append(wal.Record{
 		Type: wal.RecOutcome, Proc: string(rt.id), Local: item.local, Service: item.service,
 		Subsystem: r.subsystemOf(item.service), Tx: int64(res.Tx), Outcome: "prepared",
-	})
+	}) {
+		return // crashed: the transaction stays in doubt for recovery
+	}
 	sub, _ := r.fed.Owner(item.service)
 	r.seq++
 	if r.commitImmediately(rt, item.kind) {
@@ -797,7 +868,7 @@ func (r *Runtime) complete(rt *procRT, item workItem, res *subsystem.Result, fai
 			r.err = fmt.Errorf("runtime: commit %s/%s: %w", rt.id, item.service, err)
 			return
 		}
-		r.log.Append(wal.Record{
+		r.append(wal.Record{
 			Type: wal.RecResolved, Proc: string(rt.id), Local: item.local,
 			Service: item.service, Subsystem: sub.Name(), Tx: int64(res.Tx), Commit: true,
 		})
@@ -846,7 +917,7 @@ func (r *Runtime) subsystemOf(service string) string {
 // permanentFailure reacts to the definitive failure of a compensatable
 // or pivot activity.
 func (r *Runtime) permanentFailure(rt *procRT, item workItem) {
-	r.log.Append(wal.Record{Type: wal.RecFailed, Proc: string(rt.id), Local: item.local, Service: item.service})
+	r.append(wal.Record{Type: wal.RecFailed, Proc: string(rt.id), Local: item.local, Service: item.service})
 	r.seq++
 	r.pol.AppendEvent(&policy.Event{
 		Seq: r.seq, Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind, Typ: schedule.FailedInvoke,
@@ -863,7 +934,7 @@ func (r *Runtime) permanentFailure(rt *procRT, item workItem) {
 		rt.restartable = false
 		rt.state = psAborting
 		rt.recovery = plan.Steps
-		r.log.Append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
+		r.append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
 		r.reg.Inc(metrics.BackwardRecoveries)
 		r.seq++
 		r.pol.AppendEvent(&policy.Event{Seq: r.seq, Proc: rt.id, Typ: schedule.AbortBegin})
@@ -897,7 +968,27 @@ func (r *Runtime) completeStep(rt *procRT, item workItem, res *subsystem.Result,
 		r.reg.Inc(metrics.RetriesTransient)
 		return
 	}
+	// Log the step outcome (with subsystem and transaction id), then
+	// commit: a crash between the two is repaired by recovery's redo
+	// rule (ProcImage.RedoCommit), a crash before the log write leaves
+	// an orphan that recovery presumes aborted and re-executes.
 	sub, _ := r.fed.Owner(item.service)
+	var logged bool
+	switch item.step.Kind {
+	case process.StepCompensate:
+		logged = r.append(wal.Record{
+			Type: wal.RecCompensate, Proc: string(rt.id), Local: item.local, Service: item.service,
+			Subsystem: sub.Name(), Tx: int64(res.Tx),
+		})
+	case process.StepInvoke:
+		logged = r.append(wal.Record{
+			Type: wal.RecOutcome, Proc: string(rt.id), Local: item.local, Service: item.service,
+			Subsystem: sub.Name(), Tx: int64(res.Tx), Outcome: "committed",
+		})
+	}
+	if !logged {
+		return // crashed: the step never happened as far as the log knows
+	}
 	if err := sub.CommitPrepared(res.Tx); err != nil {
 		r.err = fmt.Errorf("runtime: commit step %s/%s: %w", rt.id, item.service, err)
 		return
@@ -910,17 +1001,12 @@ func (r *Runtime) completeStep(rt *procRT, item workItem, res *subsystem.Result,
 	case process.StepCompensate:
 		r.metrics.Compensations++
 		r.reg.Inc(metrics.CompensationsIssued)
-		r.log.Append(wal.Record{Type: wal.RecCompensate, Proc: string(rt.id), Local: item.local, Service: item.service})
 		r.pol.MarkCompensated(rt.id, item.local)
 		r.pol.AppendEvent(&policy.Event{
 			Seq: r.seq, Proc: rt.id, Local: item.local, Service: item.service,
 			Kind: activity.Compensation, Typ: schedule.Invoke, Inverse: true,
 		})
 	case process.StepInvoke:
-		r.log.Append(wal.Record{
-			Type: wal.RecOutcome, Proc: string(rt.id), Local: item.local, Service: item.service,
-			Subsystem: sub.Name(), Tx: int64(res.Tx), Outcome: "committed",
-		})
 		r.pol.AppendEvent(&policy.Event{
 			Seq: r.seq, Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind, Typ: schedule.Invoke,
 		})
@@ -951,8 +1037,12 @@ func (r *Runtime) commitPreparedSet(rt *procRT) bool {
 			Sub: ptx.sub, Tx: ptx.tx, Proc: string(rt.id), Local: l, Service: ptx.service,
 		})
 	}
-	if err := r.coord.CommitAll(string(rt.id), parts); err != nil {
-		r.err = fmt.Errorf("runtime: 2PC commit of %s: %w", rt.id, err)
+	var cerr error
+	if !r.guard(func() { cerr = r.coord.CommitAll(string(rt.id), parts) }) {
+		return false // injected crash mid-2PC; recovery finishes the job
+	}
+	if cerr != nil {
+		r.err = fmt.Errorf("runtime: 2PC commit of %s: %w", rt.id, cerr)
 		return false
 	}
 	for _, l := range locals {
@@ -986,7 +1076,7 @@ func (r *Runtime) terminate(rt *procRT, committed bool) {
 		r.reg.Inc(metrics.ProcsAborted)
 	}
 	r.reg.Observe(metrics.HistProcDuration, r.ticksSince(time.Now())-out.Start)
-	r.log.Append(wal.Record{Type: wal.RecTerminate, Proc: string(rt.id), Committed: committed})
+	r.append(wal.Record{Type: wal.RecTerminate, Proc: string(rt.id), Committed: committed})
 	r.seq++
 	r.pol.AppendEvent(&policy.Event{Seq: r.seq, Proc: rt.id, Typ: schedule.Terminate, Committed: committed})
 	rt.inst.MarkTerminated(committed)

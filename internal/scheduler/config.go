@@ -119,6 +119,15 @@ type Config struct {
 	// MaxStalls bounds deadlock-resolution victim aborts per run.
 	// Default 256.
 	MaxStalls int
+	// Inject, when non-nil, is called at named crash points around the
+	// engine's force-log sites ("sched:before-forcelog",
+	// "sched:after-forcelog") and is propagated to the 2PC coordinator
+	// ("twopc:after-decision", "twopc:mid-resolve"). A fault plan
+	// (internal/fault) may panic through it with a crash sentinel;
+	// RunJobs recovers the sentinel and returns ErrCrashed together with
+	// the partial result, leaving log and subsystem state for Recover.
+	// No-op when nil.
+	Inject func(point string)
 	// DebugFirstStall prints the engine state at the first stall
 	// resolution (diagnostic aid).
 	DebugFirstStall bool

@@ -245,7 +245,24 @@ func New(fed *subsystem.Federation, cfg Config) (*Engine, error) {
 			il.SetMetrics(e.reg)
 		}
 	}
+	e.coord.Inject = cfg.Inject
 	return e, nil
+}
+
+// append force-logs a record, bracketing the write with the configured
+// crash points. Crash injection aside, it behaves exactly like a
+// direct Append to the WAL.
+func (e *Engine) append(rec wal.Record) {
+	e.inject("sched:before-forcelog")
+	e.log.Append(rec)
+	e.inject("sched:after-forcelog")
+}
+
+// inject fires a named crash point; no-op without a configured hook.
+func (e *Engine) inject(point string) {
+	if e.cfg.Inject != nil {
+		e.cfg.Inject(point)
+	}
 }
 
 // Table returns the conflict table the engine scheduled under.
@@ -312,7 +329,30 @@ func (e *Engine) Run(procs []*process.Process) (*Result, error) {
 // each when the virtual clock reaches its arrival time. Process
 // definitions must have guaranteed termination; services they reference
 // must exist in the federation.
-func (e *Engine) RunJobs(jobs []Job) (*Result, error) {
+func (e *Engine) RunJobs(jobs []Job) (res *Result, err error) {
+	// An armed fault plan (Config.Inject, or a fault-wrapped WAL) stops
+	// the run by panicking with a crash sentinel; recover it here and
+	// hand back the partial result so the caller can drive Recover over
+	// the surviving log and subsystem state.
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		crash, ok := v.(interface{ InjectedCrash() string })
+		if !ok {
+			panic(v)
+		}
+		e.crashed = true
+		e.metrics.Makespan = e.clock
+		res = &Result{
+			Schedule: e.buildSchedule(),
+			Metrics:  e.metrics,
+			Outcomes: e.outcomes,
+			Crashed:  true,
+		}
+		err = fmt.Errorf("%w (injected at %s)", ErrCrashed, crash.InjectedCrash())
+	}()
 	if err := ValidateJobs(e.fed, jobs); err != nil {
 		return nil, err
 	}
@@ -380,7 +420,7 @@ func (e *Engine) RunJobs(jobs []Job) (*Result, error) {
 	}
 
 	e.metrics.Makespan = e.clock
-	res := &Result{
+	res = &Result{
 		Schedule: e.buildSchedule(),
 		Metrics:  e.metrics,
 		Outcomes: e.outcomes,
@@ -422,7 +462,7 @@ func (e *Engine) admit() bool {
 			e.byID[rt.id] = rt
 			rt.start = e.clock
 			e.outcomes[rt.id].Start = e.clock
-			e.log.Append(wal.Record{Type: wal.RecStart, Proc: string(rt.id)})
+			e.append(wal.Record{Type: wal.RecStart, Proc: string(rt.id)})
 			e.reg.Inc(metrics.ProcsAdmitted)
 			e.reg.Trace(metrics.TAdmit, e.clock, string(rt.id), 0, "", "")
 			admitted = true
@@ -673,7 +713,7 @@ func (e *Engine) invoke(rt *procRT, local int, service string, kind activity.Kin
 		rt.running[local] = service
 	}
 	e.bump()
-	e.log.Append(wal.Record{
+	e.append(wal.Record{
 		Type: wal.RecDispatch, Proc: string(rt.id), Local: local, Service: service,
 	})
 	e.reg.Inc(metrics.InvokeDispatched)
@@ -710,7 +750,7 @@ func (e *Engine) handleCompletion(c *completion) error {
 				e.metrics.Rollbacks++
 				e.reg.Inc(metrics.RollbacksOrphaned)
 				e.reg.Trace(metrics.TRollback, e.clock, string(rt.id), c.local, c.service, "orphaned completion")
-				e.log.Append(wal.Record{
+				e.append(wal.Record{
 					Type: wal.RecResolved, Proc: string(rt.id), Local: c.local,
 					Service: c.service, Subsystem: sub.Name(), Tx: int64(c.res.Tx), Commit: false,
 				})
@@ -726,14 +766,14 @@ func (e *Engine) handleCompletion(c *completion) error {
 			e.reg.Inc(metrics.RetriesTransient)
 			e.reg.Trace(metrics.TRetry, e.clock, string(rt.id), c.local, c.service, "")
 			rt.attempts[c.local]++
-			e.log.Append(wal.Record{Type: wal.RecOutcome, Proc: string(rt.id), Local: c.local, Service: c.service, Outcome: "aborted"})
+			e.append(wal.Record{Type: wal.RecOutcome, Proc: string(rt.id), Local: c.local, Service: c.service, Outcome: "aborted"})
 			return nil
 		}
 		return e.handlePermanentFailure(rt, c)
 	}
 
 	// Success: the local transaction is prepared at the subsystem.
-	e.log.Append(wal.Record{
+	e.append(wal.Record{
 		Type: wal.RecOutcome, Proc: string(rt.id), Local: c.local, Service: c.service,
 		Subsystem: e.subsystemOf(c.service), Tx: int64(c.res.Tx), Outcome: "prepared",
 	})
@@ -776,7 +816,7 @@ func (e *Engine) handleCompletion(c *completion) error {
 		if err := sub.CommitPrepared(c.res.Tx); err != nil {
 			return fmt.Errorf("scheduler: commit %s/%s: %w", rt.id, c.service, err)
 		}
-		e.log.Append(wal.Record{
+		e.append(wal.Record{
 			Type: wal.RecResolved, Proc: string(rt.id), Local: c.local,
 			Service: c.service, Subsystem: sub.Name(), Tx: int64(c.res.Tx), Commit: true,
 		})
@@ -837,7 +877,7 @@ func (e *Engine) subsystemOf(service string) string {
 // handlePermanentFailure reacts to the definitive failure of a
 // compensatable or pivot activity (Definition 4).
 func (e *Engine) handlePermanentFailure(rt *procRT, c *completion) error {
-	e.log.Append(wal.Record{Type: wal.RecFailed, Proc: string(rt.id), Local: c.local, Service: c.service})
+	e.append(wal.Record{Type: wal.RecFailed, Proc: string(rt.id), Local: c.local, Service: c.service})
 	e.reg.Trace(metrics.TFail, e.clock, string(rt.id), c.local, c.service, "")
 	e.seq++
 	e.pol.AppendEvent(&policy.Event{
@@ -856,7 +896,7 @@ func (e *Engine) handlePermanentFailure(rt *procRT, c *completion) error {
 		rt.restartable = false
 		rt.state = psAborting
 		rt.recovery = plan.Steps
-		e.log.Append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
+		e.append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
 		e.reg.Inc(metrics.BackwardRecoveries)
 		e.reg.Trace(metrics.TBackward, e.clock, string(rt.id), c.local, c.service, "")
 		e.seq++
@@ -880,7 +920,7 @@ func (e *Engine) beginAbort(rt *procRT) error {
 	rt.abortPending = false
 	rt.state = psAborting
 	rt.recovery = steps
-	e.log.Append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
+	e.append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
 	e.reg.Inc(metrics.BackwardRecoveries)
 	e.reg.Trace(metrics.TBackward, e.clock, string(rt.id), 0, "", "")
 	e.seq++
@@ -922,7 +962,7 @@ func (e *Engine) dispatchRecoveryStep(rt *procRT) bool {
 				e.metrics.Rollbacks++
 				e.reg.Inc(metrics.DeferredRolledBack)
 				e.reg.Trace(metrics.TRollback, e.clock, string(rt.id), st.Local, ptx.service, "abandoned branch")
-				e.log.Append(wal.Record{
+				e.append(wal.Record{
 					Type: wal.RecResolved, Proc: string(rt.id), Local: st.Local,
 					Service: ptx.service, Subsystem: ptx.sub.Name(), Tx: int64(ptx.tx), Commit: false,
 				})
@@ -983,8 +1023,24 @@ func (e *Engine) handleStepCompletion(rt *procRT, c *completion) error {
 		e.reg.Trace(metrics.TRetry, e.clock, string(rt.id), c.local, c.service, "recovery step")
 		return nil
 	}
-	// Commit the step's local transaction now.
+	// Log the step outcome, then commit its local transaction. The
+	// record carries the subsystem and transaction id so that a crash
+	// in the window between the force-log and the commit is repaired by
+	// recovery's redo rule (Analyze collects these into
+	// ProcImage.RedoCommit) instead of presuming abort.
 	sub, _ := e.fed.Owner(c.service)
+	switch c.step.Kind {
+	case process.StepCompensate:
+		e.append(wal.Record{
+			Type: wal.RecCompensate, Proc: string(rt.id), Local: c.local, Service: c.service,
+			Subsystem: sub.Name(), Tx: int64(c.res.Tx),
+		})
+	case process.StepInvoke:
+		e.append(wal.Record{
+			Type: wal.RecOutcome, Proc: string(rt.id), Local: c.local, Service: c.service,
+			Subsystem: sub.Name(), Tx: int64(c.res.Tx), Outcome: "committed",
+		})
+	}
 	if err := sub.CommitPrepared(c.res.Tx); err != nil {
 		return fmt.Errorf("scheduler: commit step %s/%s: %w", rt.id, c.service, err)
 	}
@@ -996,7 +1052,6 @@ func (e *Engine) handleStepCompletion(rt *procRT, c *completion) error {
 		e.metrics.Compensations++
 		e.reg.Inc(metrics.CompensationsIssued)
 		e.reg.Trace(metrics.TCompensate, e.clock, string(rt.id), c.local, c.service, "")
-		e.log.Append(wal.Record{Type: wal.RecCompensate, Proc: string(rt.id), Local: c.local, Service: c.service})
 		// The base event stops contributing conflicts.
 		e.pol.MarkCompensated(rt.id, c.local)
 		e.pol.AppendEvent(&policy.Event{
@@ -1005,10 +1060,6 @@ func (e *Engine) handleStepCompletion(rt *procRT, c *completion) error {
 		})
 	case process.StepInvoke:
 		e.reg.Trace(metrics.TRecoveryStep, e.clock, string(rt.id), c.local, c.service, "")
-		e.log.Append(wal.Record{
-			Type: wal.RecOutcome, Proc: string(rt.id), Local: c.local, Service: c.service,
-			Subsystem: sub.Name(), Tx: int64(c.res.Tx), Outcome: "committed",
-		})
 		e.pol.AppendEvent(&policy.Event{
 			Seq: c.seq, Proc: rt.id, Local: c.local, Service: c.service, Kind: c.kind, Typ: schedule.Invoke,
 		})
@@ -1140,7 +1191,7 @@ func (e *Engine) finishAbort(rt *procRT) {
 			e.metrics.Rollbacks++
 			e.reg.Inc(metrics.DeferredRolledBack)
 			e.reg.Trace(metrics.TRollback, e.clock, string(rt.id), l, ptx.service, "abort leftover")
-			e.log.Append(wal.Record{
+			e.append(wal.Record{
 				Type: wal.RecResolved, Proc: string(rt.id), Local: l,
 				Service: ptx.service, Subsystem: ptx.sub.Name(), Tx: int64(ptx.tx), Commit: false,
 			})
@@ -1173,7 +1224,7 @@ func (e *Engine) terminate(rt *procRT, committed bool) {
 	}
 	e.reg.Observe(metrics.HistProcDuration, e.clock-rt.start)
 	e.reg.Trace(metrics.TTerminate, e.clock, string(rt.id), 0, "", fate)
-	e.log.Append(wal.Record{Type: wal.RecTerminate, Proc: string(rt.id), Committed: committed})
+	e.append(wal.Record{Type: wal.RecTerminate, Proc: string(rt.id), Committed: committed})
 	e.seq++
 	e.pol.AppendEvent(&policy.Event{Seq: e.seq, Proc: rt.id, Typ: schedule.Terminate, Committed: committed})
 	rt.inst.MarkTerminated(committed)

@@ -110,10 +110,33 @@ func RecoverWithMetrics(fed *subsystem.Federation, log wal.Log, defs []*process.
 			known[ptx.Subsystem][ptx.Tx] = true
 		}
 	}
+	// Redo rule: the log may show a transaction as committed (a step
+	// outcome or resolution record carrying its id) while the crash hit
+	// before the subsystem commit was applied. Such transactions are
+	// in doubt at the subsystem with no prepared record, but they must
+	// be committed, not presumed aborted — the log is the authority.
+	redo := make(map[string]map[int64]bool) // subsystem -> tx set
+	for _, img := range images {
+		for _, ptx := range img.RedoCommit {
+			if redo[ptx.Subsystem] == nil {
+				redo[ptx.Subsystem] = make(map[int64]bool)
+			}
+			redo[ptx.Subsystem][ptx.Tx] = true
+		}
+	}
 	for subName, recsInDoubt := range fed.InDoubt() {
 		sub, _ := fed.Subsystem(subName)
 		for _, r := range recsInDoubt {
 			if known[subName][int64(r.Tx)] {
+				continue
+			}
+			if redo[subName][int64(r.Tx)] {
+				if err := sub.CommitPrepared(r.Tx); err != nil {
+					return nil, fmt.Errorf("scheduler: redoing commit of transaction %d at %s: %w", r.Tx, subName, err)
+				}
+				report.Resolved2PCCommitted++
+				m.Inc(metrics.DeferredCommitted2PC)
+				m.Trace(metrics.TCommit, 0, "", int(r.Tx), "", "logged as committed: redo")
 				continue
 			}
 			if err := sub.AbortPrepared(r.Tx); err != nil {
@@ -219,8 +242,16 @@ func RecoverWithMetrics(fed *subsystem.Federation, log wal.Log, defs []*process.
 			// in-doubt transaction); just update the instance.
 			return gs.pc.inst.ApplyStep(gs.st)
 		case process.StepCompensate, process.StepInvoke:
+			// Prepare, force-log the outcome with the transaction id,
+			// then commit. A crash between the log write and the commit
+			// leaves an in-doubt transaction the next recovery redoes
+			// via RedoCommit (exactly-once); a crash before the log
+			// write leaves an orphan the next recovery presumes aborted
+			// and the step is simply re-executed.
+			var res *subsystem.Result
 			for {
-				_, err := fed.Invoke(string(resolveOrigin(gs.pc.id)), gs.st.Service, subsystem.AutoCommit)
+				var err error
+				res, err = fed.Invoke(string(resolveOrigin(gs.pc.id)), gs.st.Service, subsystem.Prepare)
 				if err == nil {
 					break
 				}
@@ -231,16 +262,29 @@ func RecoverWithMetrics(fed *subsystem.Federation, log wal.Log, defs []*process.
 				// sequentially and phase 1 released in-doubt locks.
 				return fmt.Errorf("scheduler: recovery invoking %s: %w", gs.st.Service, err)
 			}
+			sub, ok := fed.Owner(gs.st.Service)
+			if !ok {
+				return fmt.Errorf("scheduler: recovery found unknown service %q", gs.st.Service)
+			}
 			if gs.st.Kind == process.StepCompensate {
 				report.Compensations++
 				m.Inc(metrics.RecoveryCompensations)
 				m.Trace(metrics.TCompensate, 0, string(gs.pc.id), gs.st.Local, gs.st.Service, "recovery")
-				log.Append(wal.Record{Type: wal.RecCompensate, Proc: string(gs.pc.id), Local: gs.st.Local, Service: gs.st.Service})
+				log.Append(wal.Record{
+					Type: wal.RecCompensate, Proc: string(gs.pc.id), Local: gs.st.Local,
+					Service: gs.st.Service, Subsystem: sub.Name(), Tx: int64(res.Tx),
+				})
 			} else {
 				report.ForwardInvocations++
 				m.Inc(metrics.RecoveryForwardInvokes)
 				m.Trace(metrics.TRecoveryStep, 0, string(gs.pc.id), gs.st.Local, gs.st.Service, "recovery")
-				log.Append(wal.Record{Type: wal.RecOutcome, Proc: string(gs.pc.id), Local: gs.st.Local, Service: gs.st.Service, Outcome: "committed"})
+				log.Append(wal.Record{
+					Type: wal.RecOutcome, Proc: string(gs.pc.id), Local: gs.st.Local,
+					Service: gs.st.Service, Subsystem: sub.Name(), Tx: int64(res.Tx), Outcome: "committed",
+				})
+			}
+			if err := sub.CommitPrepared(res.Tx); err != nil {
+				return fmt.Errorf("scheduler: recovery committing %s: %w", gs.st.Service, err)
 			}
 			return gs.pc.inst.ApplyStep(gs.st)
 		}
@@ -256,6 +300,30 @@ func RecoverWithMetrics(fed *subsystem.Federation, log wal.Log, defs []*process.
 			return nil, err
 		}
 	}
+	// Forward completion invocations append new committed events after
+	// everything already in the log, so any conflict with an earlier
+	// committed activity orders that activity's process first. Live,
+	// the dispatch gates keep such edges acyclic; here they are gone,
+	// so run the forward steps in a topological order of the
+	// serialization edges the log witnesses (built after the
+	// compensations ran: a compensated base no longer constrains).
+	if len(forwards) > 0 {
+		recsNow, err := log.Records()
+		if err != nil {
+			return nil, err
+		}
+		fwSteps := make(map[process.ID][]string)
+		for _, gs := range forwards {
+			fwSteps[gs.pc.id] = append(fwSteps[gs.pc.id], gs.st.Service)
+		}
+		rank, err := commitSerializationRanks(fed, recsNow, fwSteps)
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(forwards, func(i, j int) bool {
+			return rank[forwards[i].pc.id] < rank[forwards[j].pc.id]
+		})
+	}
 	for _, gs := range forwards {
 		if err := exec(gs); err != nil {
 			return nil, err
@@ -266,6 +334,129 @@ func RecoverWithMetrics(fed *subsystem.Federation, log wal.Log, defs []*process.
 		log.Append(wal.Record{Type: wal.RecTerminate, Proc: string(pc.id), Committed: false})
 	}
 	return report, nil
+}
+
+// commitSerializationRanks orders the log's processes consistently with
+// the serialization edges the recovered schedule will contain: P
+// precedes Q when a committed, uncompensated activity of P conflicts
+// with a later one of Q, and also when such an activity of P conflicts
+// with a forward completion step Q has yet to run (the step is appended
+// after everything in the log, so that edge is mandatory — mirroring
+// Schedule.completionRank). Committed activities sit at their *commit*
+// position: immediate commits at the committed outcome record,
+// 2PC-deferred commits at the RecResolved record (Lemma 1). The result
+// is a deterministic topological order (ties broken by first-commit
+// position, then id). A correct log cannot contain a cycle; should one
+// appear anyway, the remaining processes fall back to the tie-break
+// order.
+func commitSerializationRanks(fed *subsystem.Federation, recs []wal.Record, fwSteps map[process.ID][]string) (map[process.ID]int, error) {
+	table, err := fed.ConflictTable()
+	if err != nil {
+		return nil, err
+	}
+	compensated := make(map[string]bool) // "proc/local"
+	for _, r := range recs {
+		if r.Type == wal.RecCompensate {
+			compensated[fmt.Sprintf("%s/%d", r.Proc, r.Local)] = true
+		}
+	}
+	type commEv struct {
+		proc process.ID
+		svc  string
+	}
+	var evs []commEv
+	first := make(map[process.ID]int)
+	nodes := make(map[process.ID]bool)
+	emitted := make(map[string]bool) // "proc/local" (redo-commit dedup)
+	for i, r := range recs {
+		if r.Proc != "" {
+			nodes[process.ID(r.Proc)] = true
+		}
+		committed := (r.Type == wal.RecOutcome && r.Outcome == "committed") ||
+			(r.Type == wal.RecResolved && r.Commit)
+		key := fmt.Sprintf("%s/%d", r.Proc, r.Local)
+		if !committed || compensated[key] || emitted[key] {
+			continue
+		}
+		emitted[key] = true
+		p := process.ID(r.Proc)
+		if _, ok := first[p]; !ok {
+			first[p] = i
+		}
+		evs = append(evs, commEv{proc: p, svc: r.Service})
+	}
+	succ := make(map[process.ID]map[process.ID]bool)
+	indeg := make(map[process.ID]int)
+	addEdge := func(a, b process.ID) {
+		if a == b || succ[a][b] {
+			return
+		}
+		if succ[a] == nil {
+			succ[a] = make(map[process.ID]bool)
+		}
+		succ[a][b] = true
+		indeg[b]++
+	}
+	for i := 0; i < len(evs); i++ {
+		for j := i + 1; j < len(evs); j++ {
+			if table.Conflicts(evs[i].svc, evs[j].svc) {
+				addEdge(evs[i].proc, evs[j].proc)
+			}
+		}
+		for q, steps := range fwSteps {
+			if q == evs[i].proc {
+				continue
+			}
+			for _, svc := range steps {
+				if table.Conflicts(evs[i].svc, svc) {
+					addEdge(evs[i].proc, q)
+					break
+				}
+			}
+		}
+	}
+	order := make([]process.ID, 0, len(nodes))
+	for p := range nodes {
+		order = append(order, p)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		fi, oki := first[order[i]]
+		fj, okj := first[order[j]]
+		if oki && okj && fi != fj {
+			return fi < fj
+		}
+		if oki != okj {
+			return oki // processes with committed work first
+		}
+		return order[i] < order[j]
+	})
+	rank := make(map[process.ID]int, len(order))
+	placed := make(map[process.ID]bool)
+	for len(rank) < len(order) {
+		var pick process.ID
+		found := false
+		for _, p := range order {
+			if !placed[p] && indeg[p] == 0 {
+				pick, found = p, true
+				break
+			}
+		}
+		if !found {
+			for _, p := range order {
+				if !placed[p] {
+					placed[p] = true
+					rank[p] = len(rank)
+				}
+			}
+			break
+		}
+		placed[pick] = true
+		rank[pick] = len(rank)
+		for q := range succ[pick] {
+			indeg[q]--
+		}
+	}
+	return rank, nil
 }
 
 // resolveOrigin strips a restart suffix ("P1+r2" -> "P1").
@@ -315,7 +506,11 @@ func rebuildInstance(def *process.Process, recs []wal.Record) (*process.Instance
 					seqOf[r.Local] = i
 				}
 			} else if inst.Status(r.Local) == process.Prepared {
-				if err := inst.MarkAbortedPrepared(r.Local); err != nil {
+				// Presumed abort rolled the local transaction back without
+				// failing the process: the activity returns to pending so a
+				// forward-recovery completion can re-invoke it (an
+				// aborted-prepared activity would poison the F-REC path).
+				if err := inst.ResetPrepared(r.Local); err != nil {
 					return nil, nil, err
 				}
 			}

@@ -108,9 +108,10 @@ type Subsystem struct {
 	locks    map[string]*lockState
 	inDoubt  map[TxID]*txn
 	// resolved records, for transactions that were once in doubt,
-	// whether they committed (true) or aborted (false, by absence);
-	// weak-order dependents consult it to learn their dependencies'
-	// outcomes.
+	// whether they committed (true) or aborted (false); weak-order
+	// dependents consult it to learn their dependencies' outcomes, and
+	// crash recovery consults it (TxFate) to tolerate a crash between a
+	// resolution's subsystem-side apply and its log record.
 	resolved map[TxID]bool
 	// forced failure outcomes per service (deterministic injection).
 	forceFail map[string]int
@@ -449,8 +450,26 @@ func (s *Subsystem) AbortPrepared(id TxID) error {
 	if len(t.weakDeps) == 0 {
 		s.unlock(t)
 	}
+	s.resolved[id] = false
 	delete(s.inDoubt, id)
 	return nil
+}
+
+// TxFate reports the durable fate of a transaction that was once in
+// doubt here: committed (true) or rolled back (false). known is false
+// for transactions still in doubt or never prepared at this subsystem.
+// Crash recovery consults it when a presumed resolution finds the
+// transaction already gone — the crash hit the window between the
+// subsystem-side resolution and its log record, and the log must record
+// the fate that actually happened.
+func (s *Subsystem) TxFate(id TxID) (committed, known bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, inDoubt := s.inDoubt[id]; inDoubt {
+		return false, false
+	}
+	committed, known = s.resolved[id]
+	return committed, known
 }
 
 // InDoubtRecord describes a prepared transaction awaiting 2PC

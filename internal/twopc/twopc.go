@@ -17,6 +17,7 @@ package twopc
 
 import (
 	"fmt"
+	"sort"
 
 	"transproc/internal/metrics"
 	"transproc/internal/subsystem"
@@ -48,6 +49,13 @@ type Coordinator struct {
 	// CrashAfterFirstResolve stops after resolving exactly one
 	// participant.
 	CrashAfterFirstResolve bool
+	// Inject, when non-nil, is called at named crash points:
+	// "twopc:after-decision" right after the decision record is forced,
+	// and "twopc:mid-resolve" after the first participant's resolution
+	// — the window between prepare and commit of the remaining
+	// participants. A fault plan (internal/fault) may panic through it
+	// with a crash sentinel the calling engine recovers; no-op when nil.
+	Inject func(point string)
 }
 
 // ErrCrashed is returned when an injected crash point stopped the
@@ -56,6 +64,12 @@ var ErrCrashed = fmt.Errorf("twopc: injected crash")
 
 // New returns a coordinator writing to the given log.
 func New(log wal.Log) *Coordinator { return &Coordinator{log: log} }
+
+func (c *Coordinator) inject(point string) {
+	if c.Inject != nil {
+		c.Inject(point)
+	}
+}
 
 // CommitAll atomically commits the prepared transactions of one
 // process. All participants must already be prepared (phase one); the
@@ -74,6 +88,7 @@ func (c *Coordinator) CommitAll(proc string, parts []Participant) error {
 	if c.CrashAfterDecision {
 		return ErrCrashed
 	}
+	c.inject("twopc:after-decision")
 	for i, p := range parts {
 		if err := p.Sub.CommitPrepared(p.Tx); err != nil {
 			return fmt.Errorf("twopc: committing %s tx %d at %s: %w", proc, p.Tx, p.Sub.Name(), err)
@@ -86,6 +101,9 @@ func (c *Coordinator) CommitAll(proc string, parts []Participant) error {
 		}
 		if c.CrashAfterFirstResolve && i == 0 {
 			return ErrCrashed
+		}
+		if i == 0 {
+			c.inject("twopc:mid-resolve")
 		}
 	}
 	return nil
@@ -113,39 +131,54 @@ func (c *Coordinator) AbortAll(proc string, parts []Participant) error {
 // was logged for the process, unresolved prepared transactions are
 // committed (presumed commit); otherwise they are rolled back (presumed
 // abort). It returns the number of transactions committed and aborted.
+//
+// Participants are resolved in ascending local order so that recovery
+// writes the same log for the same crash image on every run. If the
+// subsystem already resolved a transaction (a crash fell between the
+// subsystem commit/abort and its resolution record), the subsystem's
+// journaled fate wins over the presumption and only the log record is
+// replayed — resolution stays idempotent across repeated recoveries.
 func (c *Coordinator) Resolve(fed *subsystem.Federation, img *wal.ProcImage) (committed, aborted int, err error) {
-	for local, ptx := range img.Prepared {
-		if img.Resolved[local] {
-			continue
+	locals := make([]int, 0, len(img.Prepared))
+	for local := range img.Prepared {
+		if !img.Resolved[local] {
+			locals = append(locals, local)
 		}
+	}
+	sort.Ints(locals)
+	for _, local := range locals {
+		ptx := img.Prepared[local]
 		sub, ok := fed.Subsystem(ptx.Subsystem)
 		if !ok {
 			return committed, aborted, fmt.Errorf("twopc: unknown subsystem %q during resolution", ptx.Subsystem)
 		}
-		if img.Decided {
-			if err := sub.CommitPrepared(subsystem.TxID(ptx.Tx)); err != nil {
-				return committed, aborted, err
+		tx := subsystem.TxID(ptx.Tx)
+		commit := img.Decided
+		var rerr error
+		if commit {
+			rerr = sub.CommitPrepared(tx)
+		} else {
+			rerr = sub.AbortPrepared(tx)
+		}
+		if rerr != nil {
+			fate, known := sub.TxFate(tx)
+			if !known {
+				return committed, aborted, rerr
 			}
+			commit = fate
+		}
+		if commit {
 			c.Metrics.Inc(metrics.DeferredCommitted2PC)
-			if _, err := c.log.Append(wal.Record{
-				Type: wal.RecResolved, Proc: img.Proc, Local: local,
-				Service: ptx.Service, Subsystem: ptx.Subsystem, Tx: ptx.Tx, Commit: true,
-			}); err != nil {
-				return committed, aborted, err
-			}
 			committed++
 		} else {
-			if err := sub.AbortPrepared(subsystem.TxID(ptx.Tx)); err != nil {
-				return committed, aborted, err
-			}
 			c.Metrics.Inc(metrics.DeferredRolledBack)
-			if _, err := c.log.Append(wal.Record{
-				Type: wal.RecResolved, Proc: img.Proc, Local: local,
-				Service: ptx.Service, Subsystem: ptx.Subsystem, Tx: ptx.Tx, Commit: false,
-			}); err != nil {
-				return committed, aborted, err
-			}
 			aborted++
+		}
+		if _, err := c.log.Append(wal.Record{
+			Type: wal.RecResolved, Proc: img.Proc, Local: local,
+			Service: ptx.Service, Subsystem: ptx.Subsystem, Tx: ptx.Tx, Commit: commit,
+		}); err != nil {
+			return committed, aborted, err
 		}
 	}
 	return committed, aborted, nil

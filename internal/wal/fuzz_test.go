@@ -1,0 +1,66 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALReplay feeds arbitrary bytes to the file log's open/replay
+// path: whatever is on disk after a crash, OpenFile must come up (the
+// torn tail truncated away, never an error for mere corruption),
+// Records must return only decodable records, Analyze must not panic,
+// and an append to the reopened log must be durable across a further
+// reopen.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("{\"lsn\":1,\"type\":0,\"proc\":\"W1\"}\n"))
+	f.Add([]byte("{\"lsn\":1,\"type\":0,\"proc\":\"W1\"}\n{\"lsn\":2,\"type\":2,\"pr"))
+	f.Add([]byte("garbage\n{\"lsn\":1,\"type\":0,\"proc\":\"W1\"}\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add(bytes.Repeat([]byte{0xff, 0x00, '\n'}, 7))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := OpenFile(path, false)
+		if err != nil {
+			t.Fatalf("OpenFile on arbitrary bytes: %v", err)
+		}
+		recs, err := l.Records()
+		if err != nil {
+			t.Fatalf("Records after open: %v", err)
+		}
+		if _, err := Analyze(recs); err != nil && err != ErrNoLog {
+			// Analyze may reject inconsistent logs, but only with its
+			// sentinel or a descriptive error — reaching here is fine;
+			// the fuzz target only guards against panics.
+			_ = err
+		}
+		lsn, err := l.Append(Record{Type: RecStart, Proc: "fuzz"})
+		if err != nil {
+			t.Fatalf("Append after recovery open: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		re, err := OpenFile(path, false)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer re.Close()
+		again, err := re.Records()
+		if err != nil {
+			t.Fatalf("Records after reopen: %v", err)
+		}
+		if len(again) != len(recs)+1 {
+			t.Fatalf("append not durable: %d records before, %d after", len(recs), len(again))
+		}
+		last := again[len(again)-1]
+		if last.Proc != "fuzz" || last.LSN != lsn {
+			t.Fatalf("appended record corrupted on replay: %+v", last)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"math/rand"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -106,6 +107,89 @@ func TestPropertyAnalyzeDeterministic(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Property: for EVERY byte-prefix of a valid log file — any point a
+// crash could cut the file at — OpenFile succeeds, yields exactly the
+// complete newline-terminated records contained in the prefix (at most
+// the final partial record is dropped), and a subsequent append is
+// durable across a reopen.
+func TestPropertyEveryBytePrefixRecovers(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	full := filepath.Join(dir, "full.jsonl")
+	l, err := OpenFile(full, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 6; i++ {
+		r := randomRecord(rng)
+		lsn, err := l.Append(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.LSN = lsn
+		want = append(want, r)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete records at cut k = number of newline-terminated lines
+	// fully inside data[:k].
+	completeAt := func(k int) int {
+		n := 0
+		for _, b := range data[:k] {
+			if b == '\n' {
+				n++
+			}
+		}
+		return n
+	}
+	for k := 0; k <= len(data); k++ {
+		path := filepath.Join(dir, "cut.jsonl")
+		if err := os.WriteFile(path, data[:k], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		pl, err := OpenFile(path, false)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", k, err)
+		}
+		got, err := pl.Records()
+		if err != nil {
+			t.Fatalf("cut %d: records: %v", k, err)
+		}
+		wantN := completeAt(k)
+		if len(got) != wantN {
+			t.Fatalf("cut %d: %d records, want %d", k, len(got), wantN)
+		}
+		if wantN > 0 && !reflect.DeepEqual(got, want[:wantN]) {
+			t.Fatalf("cut %d: surviving records differ from the appended prefix", k)
+		}
+		if _, err := pl.Append(Record{Type: RecStart, Proc: "post-crash"}); err != nil {
+			t.Fatalf("cut %d: append: %v", k, err)
+		}
+		if err := pl.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", k, err)
+		}
+		re, err := OpenFile(path, false)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", k, err)
+		}
+		again, err := re.Records()
+		re.Close()
+		if err != nil {
+			t.Fatalf("cut %d: records after reopen: %v", k, err)
+		}
+		if len(again) != wantN+1 || again[len(again)-1].Proc != "post-crash" {
+			t.Fatalf("cut %d: post-crash append not durable (%d records)", k, len(again))
+		}
 	}
 }
 

@@ -90,14 +90,25 @@ type Record struct {
 	Commit bool `json:"commit,omitempty"`
 }
 
-// Log is an append-only record log.
-type Log interface {
+// Backend is the minimal append-only store a write-ahead log is built
+// on. MemLog and FileLog are the default implementations; the interface
+// is the seam for fault injection — a wrapper (internal/fault) can
+// interpose on Append to simulate crashes and torn writes while
+// delegating to a real backend underneath.
+type Backend interface {
 	// Append writes a record (assigning its LSN) and returns the LSN.
 	Append(Record) (int64, error)
 	// Records returns all records in order.
 	Records() ([]Record, error)
 	// Close releases resources.
 	Close() error
+}
+
+// Log is an append-only record log. It is identical to Backend; the
+// distinct name keeps the scheduler/2PC/recovery call sites decoupled
+// from the injection seam.
+type Log interface {
+	Backend
 }
 
 // Instrumented is implemented by logs that can record append/fsync
@@ -167,22 +178,69 @@ func (l *FileLog) SetMetrics(m *metrics.Registry) {
 // OpenFile opens (or creates) a file log at path. When syncEvery is
 // true every append is flushed and fsynced — the write-ahead guarantee;
 // false trades durability for speed in simulations.
+//
+// A torn tail (a final record left unterminated or undecodable by a
+// crash mid-write) is truncated away on open, so that at most the final
+// partial record is lost and subsequent appends never splice into
+// garbage — the tail would otherwise shadow every later record from
+// Records.
 func OpenFile(path string, syncEvery bool) (*FileLog, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l := &FileLog{f: f, w: bufio.NewWriter(f), path: path, sync: syncEvery}
-	// Find the last LSN.
-	recs, err := l.Records()
+	recs, validEnd, err := scanValid(f)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > validEnd {
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek end: %w", err)
+	}
+	l := &FileLog{f: f, w: bufio.NewWriter(f), path: path, sync: syncEvery}
 	if n := len(recs); n > 0 {
 		l.next = recs[n-1].LSN
 	}
 	return l, nil
+}
+
+// scanValid reads the decodable newline-terminated prefix of a log file
+// and the byte offset where it ends. A final line that lacks its
+// newline is treated as torn even if it happens to parse: an append
+// must never concatenate onto it.
+func scanValid(f *os.File) ([]Record, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("wal: seek: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 64*1024)
+	var (
+		recs []Record
+		off  int64
+	)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == nil {
+			var r Record
+			if json.Unmarshal(line, &r) != nil {
+				break // torn or corrupt: stop at the last valid record
+			}
+			recs = append(recs, r)
+			off += int64(len(line))
+			continue
+		}
+		if err == io.EOF {
+			break
+		}
+		return nil, 0, fmt.Errorf("wal: scan: %w", err)
+	}
+	return recs, off, nil
 }
 
 // Append implements Log.
@@ -276,6 +334,13 @@ type ProcImage struct {
 	// Aborting is true when RecAbortBegin was logged without a
 	// RecTerminate.
 	Aborting bool
+	// RedoCommit lists transactions the log shows as committed — a
+	// RecResolved with Commit set, or a committed step outcome carrying
+	// its transaction id. If such a transaction is still in doubt at
+	// its subsystem after a crash (the crash hit the window between the
+	// force-log and the subsystem-side apply), recovery must redo the
+	// commit instead of presuming abort.
+	RedoCommit []PreparedTx
 	// Terminated and TerminatedCommitted mirror RecTerminate.
 	Terminated          bool
 	TerminatedCommitted bool
@@ -318,12 +383,18 @@ func Analyze(recs []Record) (map[string]*ProcImage, error) {
 			case "committed":
 				im.Committed = append(im.Committed, r.Local)
 				delete(im.Prepared, r.Local)
+				if r.Tx != 0 && r.Subsystem != "" {
+					im.RedoCommit = append(im.RedoCommit, PreparedTx{Subsystem: r.Subsystem, Tx: r.Tx, Service: r.Service})
+				}
 			case "prepared":
 				im.Prepared[r.Local] = PreparedTx{Subsystem: r.Subsystem, Tx: r.Tx, Service: r.Service}
 			}
 		case RecCompensate:
 			im := img(r.Proc)
 			im.Compensated = append(im.Compensated, r.Local)
+			if r.Tx != 0 && r.Subsystem != "" {
+				im.RedoCommit = append(im.RedoCommit, PreparedTx{Subsystem: r.Subsystem, Tx: r.Tx, Service: r.Service})
+			}
 		case RecFailed:
 			im := img(r.Proc)
 			im.Failed = append(im.Failed, r.Local)
@@ -336,6 +407,9 @@ func Analyze(recs []Record) (map[string]*ProcImage, error) {
 			im.Resolved[r.Local] = true
 			if r.Commit {
 				im.Committed = append(im.Committed, r.Local)
+				if r.Tx != 0 && r.Subsystem != "" {
+					im.RedoCommit = append(im.RedoCommit, PreparedTx{Subsystem: r.Subsystem, Tx: r.Tx, Service: r.Service})
+				}
 			}
 			delete(im.Prepared, r.Local)
 		case RecTerminate:

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Fail when statement coverage of a recovery-critical package drops
+# below the floor. Usage: coverage-floor.sh [floor-percent]
+set -euo pipefail
+
+FLOOR="${1:-75}"
+PKGS=(
+  ./internal/wal
+  ./internal/scheduler
+  ./internal/fault
+)
+
+fail=0
+for pkg in "${PKGS[@]}"; do
+  out=$(go test -count=1 -cover "$pkg" | tail -1)
+  pct=$(echo "$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*' || true)
+  if [ -z "$pct" ]; then
+    echo "NO COVERAGE REPORTED: $out" >&2
+    fail=1
+    continue
+  fi
+  ok=$(awk -v p="$pct" -v f="$FLOOR" 'BEGIN { print (p >= f) ? 1 : 0 }')
+  if [ "$ok" = "1" ]; then
+    echo "ok   $pkg ${pct}% (floor ${FLOOR}%)"
+  else
+    echo "FAIL $pkg ${pct}% is below the ${FLOOR}% floor" >&2
+    fail=1
+  fi
+done
+exit $fail
