@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race diff torture coverage-floor bench fuzz-smoke ci
+.PHONY: build test test-short race diff torture chaos coverage-floor bench fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -26,8 +26,15 @@ diff:
 # under the race detector. Reproduce one failure with
 # `go test ./internal/fault -run TortureBattery -torture.seed=N -v`.
 torture:
-	$(GO) test -race -run TestTortureBattery -torture.count=200 -v ./internal/fault
+	$(GO) test -race -v ./internal/fault -run TestTortureBattery -torture.count=200
 	$(GO) test -race -run TestRuntimeKillRecover ./internal/runtime
+
+# The chaos battery: 200 deterministic unreliable-subsystem scenarios
+# (flaky transport, retries, breakers, ◁ failover) under the race
+# detector. Reproduce one failure with
+# `go test ./internal/chaos -run TestChaosBattery -chaos.seed=N -v`.
+chaos:
+	GOMAXPROCS=4 $(GO) test -race -v ./internal/chaos -run TestChaosBattery -chaos.count=200
 
 # Coverage floor for the recovery-critical packages.
 coverage-floor:
@@ -44,4 +51,4 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzScheduleReduce -fuzztime 30s ./internal/schedule
 	$(GO) test -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal
 
-ci: build test race diff torture coverage-floor
+ci: build test race diff torture chaos coverage-floor

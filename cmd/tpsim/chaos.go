@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"transproc/internal/chaos"
+)
+
+// runChaos implements "tpsim chaos": the unreliable-subsystem chaos
+// battery as a command, for CI jobs and for reproducing a failing seed
+// outside the test harness.
+//
+//	tpsim chaos [-seeds N] [-first S] [-seed K] [-json]
+//
+// -seeds runs the scenarios of seeds [first, first+N); -seed runs a
+// single scenario verbosely. -json dumps the summary as JSON. The exit
+// status is non-zero when any scenario violates a resilience or
+// recovery guarantee; every failure message embeds the seed that
+// reproduces it.
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	seeds := fs.Int64("seeds", 200, "number of chaos seeds to run")
+	first := fs.Int64("first", 0, "first seed of the battery")
+	one := fs.Int64("seed", -1, "run only this seed (verbose reproduction)")
+	asJSON := fs.Bool("json", false, "emit the summary as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *one >= 0 {
+		sc := chaos.ScenarioFor(*one)
+		fmt.Printf("seed %d: class=%s engine=%s mode=%v plan=%+v policy=%+v breaker=%+v crashAfterWAL=%d\n",
+			sc.Seed, sc.Class, sc.Engine, sc.Mode, sc.Plan, sc.Policy, sc.Breaker, sc.CrashAfterWAL)
+		if err := chaos.RunScenario(sc); err != nil {
+			return err
+		}
+		fmt.Println("scenario passed: all resilience guarantees hold")
+		return nil
+	}
+
+	sum := chaos.RunChaos(*first, *seeds)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("chaos: %d scenarios (seeds %d..%d)\n",
+			sum.Scenarios, *first, *first+*seeds-1)
+		classes := make([]string, 0, len(sum.ByClass))
+		for class := range sum.ByClass {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			fmt.Printf("  %-24s %d\n", class, sum.ByClass[class])
+		}
+		for _, f := range sum.Failures {
+			fmt.Printf("  FAIL %s\n", f)
+		}
+	}
+	if n := len(sum.Failures); n > 0 {
+		return fmt.Errorf("%d of %d scenarios violated a resilience guarantee (reproduce with: tpsim chaos -seed=N)", n, sum.Scenarios)
+	}
+	return nil
+}

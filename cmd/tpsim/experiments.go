@@ -415,6 +415,30 @@ func e12() error {
 	return verdict(true, "weak order increases parallelism of conflicting activities (Section 3.6)")
 }
 
+// e13 sweeps the transport outage rate through the resilience layer
+// (flaky transport + typed retries + circuit breakers) and checks that
+// guaranteed termination survives an unreliable network: at every rate
+// each process must still reach commit or abort, with the retry and
+// breaker work the sweep reports as its price.
+func e13() error {
+	p := workload.DefaultProfile(42)
+	p.Processes = 16
+	p.ConflictProb = 0.3
+	p.PermFailureProb = 0
+	t, err := sim.ResilienceSweep(p, []float64{0, 0.10, 0.25, 0.40, 0.55})
+	if err != nil {
+		return err
+	}
+	t.Render(os.Stdout)
+	for _, r := range t.Rows {
+		parts := strings.SplitN(r[5], "/", 2)
+		if len(parts) != 2 || parts[0] != parts[1] {
+			return fmt.Errorf("outage rate %s: only %s processes terminated", r[0], r[5])
+		}
+	}
+	return verdict(true, "every process reaches a terminal state at every outage rate (guaranteed termination under unreliable subsystems)")
+}
+
 func b1() error {
 	p := workload.DefaultProfile(42)
 	p.Processes = 24

@@ -13,7 +13,7 @@ func TestExperimentsPass(t *testing.T) {
 	}{
 		{"e1", e1}, {"e2", e2}, {"e3", e3}, {"e4", e4}, {"e5", e5},
 		{"e6", e6}, {"e7", e7}, {"e8", e8}, {"e9", e9}, {"e10", e10},
-		{"e11", e11}, {"e12", e12},
+		{"e11", e11}, {"e12", e12}, {"e13", e13},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -8,8 +8,9 @@
 //	tpsim -metrics[=text|json]
 //	tpsim run [-metrics[=text|json]] [-runtime=concurrent] <spec.json> [mode]
 //	tpsim torture [-seeds N] [-first S] [-seed K] [-json]
+//	tpsim chaos [-seeds N] [-first S] [-seed K] [-json]
 //
-// where experiment is one of e1..e12, b1, b2, b4, b5, or "all" (default),
+// where experiment is one of e1..e13, b1, b2, b4, b5, or "all" (default),
 // and mode is pred (default), pred-cascade, serial, conservative or
 // cc-only. "run" executes a declarative process definition (see
 // internal/spec for the format and examples/specs for samples);
@@ -17,7 +18,9 @@
 // (internal/runtime) instead of the sequential discrete-event engine.
 // "torture" runs the deterministic crash-torture battery (internal/fault)
 // and exits non-zero when any seeded scenario violates a recovery
-// guarantee.
+// guarantee. "chaos" runs the unreliable-subsystem chaos battery
+// (internal/chaos) — flaky transport, typed retries, circuit breakers,
+// ◁-path failover — and exits non-zero on any resilience violation.
 //
 // -metrics attaches an observability registry to the run and dumps its
 // snapshot (counters, histograms, per-service latencies, WAL totals and
@@ -52,6 +55,7 @@ func main() {
 		{"e10", "Lemmas 1-3 checks on scheduler executions", e10},
 		{"e11", "Section 3.5: no SOT-like criterion for processes", e11},
 		{"e12", "Section 3.6: weak vs strong order", e12},
+		{"e13", "Resilience sweep: termination under increasing outage rate", e13},
 		{"b1", "B1: scheduler comparison and conflict sweep", b1},
 		{"b2", "B2/B3: deferred-commit ablation", b2},
 		{"b4", "B4: crash recovery sweep", b4},
@@ -78,6 +82,13 @@ func main() {
 	if len(args) >= 1 && args[0] == "torture" {
 		if err := runTorture(args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "torture failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) >= 1 && args[0] == "chaos" {
+		if err := runChaos(args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 
+	"transproc/internal/chaos"
 	"transproc/internal/metrics"
 	"transproc/internal/scheduler"
 	"transproc/internal/workload"
@@ -70,10 +71,13 @@ func dumpSnapshot(reg *metrics.Registry, format string) error {
 }
 
 // metricsDemo (bare "tpsim -metrics") runs a fault-injected workload
-// under the instrumented PRED-cascade scheduler and dumps the full
-// observability snapshot: lifecycle counters, deferred-commit and
-// compensation totals, per-service latency histograms, WAL totals and
-// the tail of the decision trace.
+// under the instrumented PRED-cascade scheduler — behind a mildly flaky
+// chaos transport so the resilience counters (retries, idempotent
+// replays, breaker transitions, retry-latency histograms) show up
+// alongside the scheduler's — and dumps the full observability
+// snapshot: lifecycle counters, deferred-commit and compensation
+// totals, per-service latency histograms, WAL totals and the tail of
+// the decision trace.
 func metricsDemo(format string) error {
 	p := workload.DefaultProfile(7)
 	p.PermFailureProb = 0.15
@@ -82,7 +86,11 @@ func metricsDemo(format string) error {
 		return err
 	}
 	reg := metrics.New()
-	eng, err := scheduler.New(w.Fed, scheduler.Config{Mode: scheduler.PREDCascade, Metrics: reg})
+	plan := chaos.Plan{Seed: p.Seed, PTransient: 0.12, PTimeout: 0.05, PDuplicate: 0.05, PSlow: 0.08}
+	layer := chaos.NewLayer(w.Fed, plan, chaos.RetryPolicy{}, chaos.BreakerConfig{}, reg)
+	eng, err := scheduler.New(w.Fed, scheduler.Config{
+		Mode: scheduler.PREDCascade, Metrics: reg, Resilience: layer,
+	})
 	if err != nil {
 		return err
 	}
@@ -90,7 +98,7 @@ func metricsDemo(format string) error {
 		return err
 	}
 	if format == "text" {
-		fmt.Printf("instrumented demo run: %d processes, conflict=%.2f, permFail=%.2f, seed=%d (mode pred-cascade)\n\n",
+		fmt.Printf("instrumented demo run: %d processes, conflict=%.2f, permFail=%.2f, seed=%d (mode pred-cascade, chaos transport)\n\n",
 			p.Processes, p.ConflictProb, p.PermFailureProb, p.Seed)
 	}
 	return dumpSnapshot(reg, format)

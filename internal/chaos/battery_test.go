@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"flag"
+	"testing"
+)
+
+var (
+	chaosSeed  = flag.Int64("chaos.seed", -1, "run only this chaos seed")
+	chaosFirst = flag.Int64("chaos.first", 0, "first chaos seed of the battery")
+	chaosCount = flag.Int64("chaos.count", 200, "number of chaos seeds to run")
+)
+
+// TestChaosBattery runs the seeded scenario battery; every failure
+// message embeds the reproducing seed (re-run one with -chaos.seed).
+func TestChaosBattery(t *testing.T) {
+	if *chaosSeed >= 0 {
+		sc := ScenarioFor(*chaosSeed)
+		t.Logf("seed %d: class=%s engine=%s mode=%v", sc.Seed, sc.Class, sc.Engine, sc.Mode)
+		if err := RunScenario(sc); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	n := *chaosCount
+	if testing.Short() && n > 48 {
+		n = 48
+	}
+	sum := RunChaos(*chaosFirst, n)
+	t.Logf("chaos: %d scenarios, classes %v", sum.Scenarios, sum.ByClass)
+	for _, f := range sum.Failures {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestScenarioForDeterministic pins that scenarios are pure functions
+// of their seed.
+func TestScenarioForDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 32; seed++ {
+		a, b := ScenarioFor(seed), ScenarioFor(seed)
+		if a.Class != b.Class || a.Mode != b.Mode || a.Engine != b.Engine ||
+			a.Plan.PTransient != b.Plan.PTransient || a.Plan.PTimeout != b.Plan.PTimeout ||
+			a.Plan.PDuplicate != b.Plan.PDuplicate || a.Plan.PSlow != b.Plan.PSlow ||
+			a.CrashAfterWAL != b.CrashAfterWAL || len(a.Plan.Outages) != len(b.Plan.Outages) {
+			t.Fatalf("seed %d: ScenarioFor not deterministic", seed)
+		}
+	}
+}
+
+// TestFateDeterministic pins the transport fate function: same seed,
+// same (proc, service, attempt) — same fate; and the distribution
+// roughly matches the plan.
+func TestFateDeterministic(t *testing.T) {
+	p := Plan{Seed: 42, PTransient: 0.2, PTimeout: 0.1, PDuplicate: 0.1, PSlow: 0.1}.withDefaults()
+	counts := make(map[fate]int)
+	for i := int64(0); i < 4000; i++ {
+		f1 := p.fateAt("P1", "svc", i)
+		f2 := p.fateAt("P1", "svc", i)
+		if f1 != f2 {
+			t.Fatalf("attempt %d: fate not deterministic (%v vs %v)", i, f1, f2)
+		}
+		counts[f1]++
+	}
+	frac := func(f ...fate) float64 {
+		n := 0
+		for _, x := range f {
+			n += counts[x]
+		}
+		return float64(n) / 4000
+	}
+	if got := frac(fateTransient); got < 0.15 || got > 0.25 {
+		t.Errorf("transient fraction %.3f, want ~0.20", got)
+	}
+	if got := frac(fateTimeout, fateTimeoutEx); got < 0.06 || got > 0.14 {
+		t.Errorf("timeout fraction %.3f, want ~0.10", got)
+	}
+	if got := frac(fateDeliver, fateSlow, fateDuplicate); got < 0.6 {
+		t.Errorf("delivery fraction %.3f suspiciously low", got)
+	}
+	// Different seeds decorrelate.
+	q := p
+	q.Seed = 43
+	same := 0
+	for i := int64(0); i < 1000; i++ {
+		if p.fateAt("P1", "svc", i) == q.fateAt("P1", "svc", i) {
+			same++
+		}
+	}
+	if same > 990 {
+		t.Errorf("seeds 42 and 43 agree on %d/1000 fates; seed not mixed in", same)
+	}
+}

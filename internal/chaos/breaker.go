@@ -1,0 +1,230 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"transproc/internal/metrics"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// Closed: traffic flows; consecutive transport failures are
+	// counted.
+	Closed BreakerState = iota
+	// Open: traffic fails fast without touching the transport; after
+	// the cooldown the next caller is let through as a probe.
+	Open
+	// HalfOpen: one probe invocation is in flight; its outcome decides
+	// between Closed and re-Open.
+	HalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// BreakerConfig parameterizes the per-subsystem circuit breakers.
+type BreakerConfig struct {
+	// FailThreshold is the consecutive transport-failure count that
+	// opens a closed breaker. Default 4.
+	FailThreshold int
+	// Cooldown is how long an open breaker fails fast before letting a
+	// probe through, measured in breaker decisions (Allow calls across
+	// all subsystems): a deterministic logical clock that both engines
+	// advance just by running. Default 24.
+	Cooldown int64
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailThreshold == 0 {
+		c.FailThreshold = 4
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 24
+	}
+	return c
+}
+
+// breaker is one subsystem's state machine.
+type breaker struct {
+	state    BreakerState
+	consec   int   // consecutive failures while Closed
+	openedAt int64 // decision-clock time the breaker (re)opened
+	probing  bool  // a half-open probe is in flight
+}
+
+// BreakerTransitions counts state transitions (for assertions and the
+// zero-stuck-breakers invariant).
+type BreakerTransitions struct {
+	Opened    int64 // Closed→Open (fresh trips)
+	Reopens   int64 // HalfOpen→Open (failed probes)
+	HalfOpens int64 // Open→HalfOpen (probe admitted)
+	Closed    int64 // HalfOpen→Closed (probe succeeded)
+	FastFails int64 // calls rejected while Open/probing
+}
+
+// BreakerSet keeps one circuit breaker per subsystem over a shared
+// decision clock.
+type BreakerSet struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	now int64 // decision clock: one tick per Allow call
+	m   map[string]*breaker
+	t   BreakerTransitions
+	reg *metrics.Registry
+}
+
+// NewBreakerSet returns an empty breaker set; breakers materialize
+// closed on first use. reg may be nil.
+func NewBreakerSet(cfg BreakerConfig, reg *metrics.Registry) *BreakerSet {
+	return &BreakerSet{cfg: cfg.withDefaults(), m: make(map[string]*breaker), reg: reg}
+}
+
+func (b *BreakerSet) get(sub string) *breaker {
+	br := b.m[sub]
+	if br == nil {
+		br = &breaker{}
+		b.m[sub] = br
+	}
+	return br
+}
+
+// Allow decides whether a call to the subsystem may proceed. probe is
+// true when the call is a half-open probe (its outcome closes or
+// re-opens the breaker; concurrent callers fail fast until it
+// resolves). A denied call counts as a fast failure.
+func (b *BreakerSet) Allow(sub string) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now++
+	br := b.get(sub)
+	switch br.state {
+	case Closed:
+		return true, false
+	case Open:
+		if b.now-br.openedAt >= b.cfg.Cooldown {
+			br.state = HalfOpen
+			br.probing = true
+			b.t.HalfOpens++
+			b.reg.Inc(metrics.BreakerHalfOpen)
+			return true, true
+		}
+	case HalfOpen:
+		if !br.probing {
+			br.probing = true
+			return true, true
+		}
+	}
+	b.t.FastFails++
+	b.reg.Inc(metrics.BreakerFastFails)
+	return false, false
+}
+
+// OnSuccess records that a call reached the subsystem and got an
+// answer (success, lock conflict or genuine local abort all count: the
+// transport worked).
+func (b *BreakerSet) OnSuccess(sub string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.get(sub)
+	br.consec = 0
+	br.probing = false
+	if br.state != Closed {
+		br.state = Closed
+		b.t.Closed++
+		b.reg.Inc(metrics.BreakerClosed)
+	}
+}
+
+// OnFailure records a transport-level failure of a call to the
+// subsystem.
+func (b *BreakerSet) OnFailure(sub string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.get(sub)
+	br.probing = false
+	switch br.state {
+	case HalfOpen:
+		br.state = Open
+		br.openedAt = b.now
+		br.consec = 0
+		b.t.Reopens++
+		b.reg.Inc(metrics.BreakerOpened)
+	case Closed:
+		br.consec++
+		if br.consec >= b.cfg.FailThreshold {
+			br.state = Open
+			br.openedAt = b.now
+			br.consec = 0
+			b.t.Opened++
+			b.reg.Inc(metrics.BreakerOpened)
+		}
+	}
+}
+
+// State returns the subsystem's current breaker state (Closed for
+// never-used subsystems).
+func (b *BreakerSet) State(sub string) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if br := b.m[sub]; br != nil {
+		return br.state
+	}
+	return Closed
+}
+
+// Transitions returns the transition counters.
+func (b *BreakerSet) Transitions() BreakerTransitions {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.t
+}
+
+// OpenBreakers lists subsystems whose breaker is not Closed, sorted.
+func (b *BreakerSet) OpenBreakers() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for sub, br := range b.m {
+		if br.state != Closed {
+			out = append(out, sub)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckConsistent verifies the transition accounting: a breaker leaves
+// the closed state only via a fresh trip (Opened) and returns to it
+// only via a successful probe (Closed) — reopens stay inside the
+// non-closed stretch — so trips minus closes must equal the breakers
+// currently non-closed.
+func (b *BreakerSet) CheckConsistent() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	unresolved := int64(0)
+	for _, br := range b.m {
+		if br.state != Closed {
+			unresolved++
+		}
+	}
+	if b.t.Opened-b.t.Closed != unresolved {
+		return fmt.Errorf("breaker accounting broken: opened=%d closed=%d but %d breakers non-closed",
+			b.t.Opened, b.t.Closed, unresolved)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package chaos
+
+import "testing"
+
+// TestBreakerStateMachine walks the full closed → open → half-open →
+// closed cycle and the half-open → open regression.
+func TestBreakerStateMachine(t *testing.T) {
+	b := NewBreakerSet(BreakerConfig{FailThreshold: 3, Cooldown: 5}, nil)
+
+	if st := b.State("pdm"); st != Closed {
+		t.Fatalf("fresh breaker %v, want closed", st)
+	}
+	// Failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow("pdm"); !ok {
+			t.Fatalf("closed breaker denied call %d", i)
+		}
+		b.OnFailure("pdm")
+	}
+	if st := b.State("pdm"); st != Closed {
+		t.Fatalf("after 2 failures: %v, want closed", st)
+	}
+	// A success resets the consecutive count.
+	if ok, _ := b.Allow("pdm"); !ok {
+		t.Fatal("closed breaker denied call")
+	}
+	b.OnSuccess("pdm")
+	for i := 0; i < 2; i++ {
+		b.Allow("pdm")
+		b.OnFailure("pdm")
+	}
+	if st := b.State("pdm"); st != Closed {
+		t.Fatalf("reset consec count did not survive: %v", st)
+	}
+	// The third consecutive failure opens it.
+	b.Allow("pdm")
+	b.OnFailure("pdm")
+	if st := b.State("pdm"); st != Open {
+		t.Fatalf("after threshold failures: %v, want open", st)
+	}
+	// Open: calls fail fast until the cooldown passes.
+	if ok, _ := b.Allow("pdm"); ok {
+		t.Fatal("open breaker allowed a call inside the cooldown")
+	}
+	// Burn the cooldown on the decision clock (other subsystems' traffic
+	// advances it too).
+	for i := 0; i < 5; i++ {
+		b.Allow("cad")
+		b.OnSuccess("cad")
+	}
+	ok, probe := b.Allow("pdm")
+	if !ok || !probe {
+		t.Fatalf("after cooldown: ok=%v probe=%v, want probe admitted", ok, probe)
+	}
+	if st := b.State("pdm"); st != HalfOpen {
+		t.Fatalf("probe admitted but state %v, want half-open", st)
+	}
+	// While the probe is in flight, other callers fail fast.
+	if ok, _ := b.Allow("pdm"); ok {
+		t.Fatal("half-open breaker admitted a second concurrent call")
+	}
+	// Probe failure re-opens.
+	b.OnFailure("pdm")
+	if st := b.State("pdm"); st != Open {
+		t.Fatalf("failed probe: %v, want open", st)
+	}
+	// Cooldown again; successful probe closes.
+	for i := 0; i < 5; i++ {
+		b.Allow("cad")
+		b.OnSuccess("cad")
+	}
+	if ok, probe := b.Allow("pdm"); !ok || !probe {
+		t.Fatalf("second probe not admitted (ok=%v probe=%v)", ok, probe)
+	}
+	b.OnSuccess("pdm")
+	if st := b.State("pdm"); st != Closed {
+		t.Fatalf("successful probe: %v, want closed", st)
+	}
+
+	tr := b.Transitions()
+	if tr.Opened != 1 || tr.Reopens != 1 || tr.HalfOpens != 2 || tr.Closed != 1 {
+		t.Fatalf("transitions %+v, want opened=1 reopens=1 halfOpens=2 closed=1", tr)
+	}
+	if tr.FastFails == 0 {
+		t.Fatal("no fast-fails recorded")
+	}
+	if err := b.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.OpenBreakers(); len(got) != 0 {
+		t.Fatalf("open breakers %v, want none", got)
+	}
+}
+
+// TestBreakerConsistency pins the transition accounting while a breaker
+// is left open.
+func TestBreakerConsistency(t *testing.T) {
+	b := NewBreakerSet(BreakerConfig{FailThreshold: 1, Cooldown: 1000}, nil)
+	b.Allow("floor")
+	b.OnFailure("floor")
+	if st := b.State("floor"); st != Open {
+		t.Fatalf("state %v, want open", st)
+	}
+	if err := b.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.OpenBreakers(); len(got) != 1 || got[0] != "floor" {
+		t.Fatalf("open breakers %v, want [floor]", got)
+	}
+}

@@ -1,0 +1,159 @@
+// Package chaos is the resilience layer between the scheduler engines
+// and the transactional subsystems: it makes the subsystem boundary
+// unreliable on purpose and keeps the paper's guarantees anyway.
+//
+// The paper's guaranteed-termination result (Definition 5, Theorem 1)
+// rests on activity typing: retriable activities may be re-invoked
+// arbitrarily often, pivot failures are absorbed by alternative
+// execution paths in preference order ◁, and compensation undoes
+// committed compensatable work. This package exercises exactly that
+// machinery under the transient-failure regime real autonomous
+// subsystems exhibit:
+//
+//   - Transport (transport.go) wraps a Federation with a seedable,
+//     deterministic per-(process,service) fault plan injecting transient
+//     delivery failures, latency spikes, timeouts (whose execute/lost
+//     ambiguity only the idempotency table can resolve), duplicate
+//     deliveries and sustained per-subsystem outages.
+//   - Layer (layer.go) is the typed retry policy engine the engines
+//     call through (subsystem.ResilientInvoker): exponential backoff
+//     with seeded jitter, per-process retry budgets and deadline
+//     propagation; only retriable-class activities are retried at the
+//     transport level, per the paper's typing, and budget exhaustion
+//     surfaces as the activity abort the scheduler already handles.
+//   - BreakerSet (breaker.go) keeps a closed/open/half-open circuit
+//     breaker per subsystem; an open breaker fails invocations fast, so
+//     processes steer onto their next ◁ alternative instead of burning
+//     retries against a dead subsystem, falling back to backward
+//     recovery only when no alternative avoids it.
+//   - The battery (battery.go) runs hundreds of seeded scenarios
+//     through both engines and asserts CheckRecovered-style invariants:
+//     PRED of the observed schedule, all processes terminal,
+//     exactly-once effects despite duplicates and retries, Lemma-2
+//     compensation order, and zero stuck breakers.
+//
+// Everything is deterministic per seed: the per-attempt fate of an
+// invocation depends only on (seed, process, service, attempt index),
+// never on interleaving, so a failing seed reproduces anywhere.
+package chaos
+
+import (
+	"math/bits"
+)
+
+// Plan is a deterministic transport-fault plan. Probabilities are per
+// transport attempt; each attempt's fate is a pure function of
+// (Seed, process, service, attempt index).
+type Plan struct {
+	// Seed drives every fate decision.
+	Seed int64
+	// PTransient is the probability of a transient delivery failure:
+	// the invocation never reaches the subsystem (safe to resend).
+	PTransient float64
+	// PTimeout is the probability of a timeout: the reply is lost and —
+	// on half of the timeouts, decided by a further seeded bit — the
+	// invocation executed anyway, leaving a prepared transaction only
+	// the idempotency table can recover.
+	PTimeout float64
+	// PDuplicate is the probability of a duplicate delivery: the
+	// invocation is delivered twice under the same idempotency key.
+	PDuplicate float64
+	// PSlow is the probability of a latency spike of SlowTicks.
+	PSlow float64
+	// SlowTicks is the extra virtual latency of a slow delivery.
+	// Default 16.
+	SlowTicks int64
+	// TimeoutTicks is the virtual latency a timed-out attempt costs the
+	// caller. Default 32.
+	TimeoutTicks int64
+	// Outages are sustained per-subsystem outage windows.
+	Outages []Outage
+}
+
+func (p Plan) withDefaults() Plan {
+	if p.SlowTicks == 0 {
+		p.SlowTicks = 16
+	}
+	if p.TimeoutTicks == 0 {
+		p.TimeoutTicks = 32
+	}
+	return p
+}
+
+// Outage is a sustained outage of one subsystem: every delivery
+// attempt with per-subsystem index in [From, To) fails. Measuring the
+// window in delivery attempts (rather than ticks) keeps scenarios
+// deterministic in the sequential engine and guarantees the window
+// passes: every retry and every breaker probe advances the index.
+type Outage struct {
+	Subsystem string
+	From, To  int64
+}
+
+// fate is the transport-level outcome of one delivery attempt.
+type fate int
+
+const (
+	fateDeliver fate = iota
+	fateTransient
+	fateTimeout   // reply lost, invocation NOT executed
+	fateTimeoutEx // reply lost, invocation executed (ambiguity case)
+	fateDuplicate
+	fateSlow
+)
+
+// mix64 is a splitmix64 finalizer: a bijective avalanche over 64 bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashStr folds a string into a 64-bit value (FNV-1a).
+func hashStr(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// hashAt derives the decision hash of one (proc, service, attempt)
+// triple under the plan's seed. A further salt decorrelates independent
+// decisions of the same attempt (fate vs. executed-bit vs. jitter).
+func (p Plan) hashAt(proc, service string, attempt int64, salt uint64) uint64 {
+	h := mix64(uint64(p.Seed) ^ 0x9e3779b97f4a7c15)
+	h = mix64(h ^ hashStr(proc))
+	h = mix64(h ^ hashStr(service))
+	h = mix64(h ^ uint64(attempt) ^ bits.RotateLeft64(salt, 17))
+	return h
+}
+
+// fateAt decides the deterministic fate of one delivery attempt.
+func (p Plan) fateAt(proc, service string, attempt int64) fate {
+	u := unit(p.hashAt(proc, service, attempt, 0xfa7e))
+	switch {
+	case u < p.PTransient:
+		return fateTransient
+	case u < p.PTransient+p.PTimeout:
+		if p.hashAt(proc, service, attempt, 0xe8ec)&1 == 0 {
+			return fateTimeoutEx
+		}
+		return fateTimeout
+	case u < p.PTransient+p.PTimeout+p.PDuplicate:
+		return fateDuplicate
+	case u < p.PTransient+p.PTimeout+p.PDuplicate+p.PSlow:
+		return fateSlow
+	default:
+		return fateDeliver
+	}
+}

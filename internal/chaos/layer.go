@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"transproc/internal/activity"
+	"transproc/internal/metrics"
+	"transproc/internal/subsystem"
+)
+
+// LayerStats aggregates what the retry layer did.
+type LayerStats struct {
+	Invokes          int64 // InvokeResilient calls
+	Retries          int64 // transport-level retries performed
+	RepliesRecovered int64 // timeouts resolved to success via the idem table
+	BudgetExhausted  int64 // retries denied by an exhausted process budget
+	DeadlineStops    int64 // retries denied by the latency deadline
+	FastFails        int64 // calls rejected by an open breaker
+}
+
+// Layer is the typed retry policy engine: it implements
+// subsystem.ResilientInvoker over a flaky Transport, a BreakerSet and a
+// RetryPolicy. Only retriable-class activities (GuaranteedToCommit per
+// the paper's typing) are retried at the transport level; transport
+// failures of pivot and compensatable activities surface immediately so
+// the scheduler can steer onto the next ◁ alternative or start backward
+// recovery.
+type Layer struct {
+	transport *Transport
+	breakers  *BreakerSet
+	policy    RetryPolicy
+	reg       *metrics.Registry
+
+	mu     sync.Mutex
+	budget map[string]int // remaining retry budget per process
+	stats  LayerStats
+}
+
+// NewLayer wires a resilience layer over the federation. reg may be
+// nil.
+func NewLayer(fed *subsystem.Federation, plan Plan, policy RetryPolicy, bcfg BreakerConfig, reg *metrics.Registry) *Layer {
+	return &Layer{
+		transport: NewTransport(fed, plan, reg),
+		breakers:  NewBreakerSet(bcfg, reg),
+		policy:    policy.withDefaults(),
+		reg:       reg,
+		budget:    make(map[string]int),
+	}
+}
+
+// Transport exposes the flaky transport (battery assertions).
+func (l *Layer) Transport() *Transport { return l.transport }
+
+// Breakers exposes the breaker set (battery assertions).
+func (l *Layer) Breakers() *BreakerSet { return l.breakers }
+
+// Stats returns a snapshot of the layer counters.
+func (l *Layer) Stats() LayerStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// StuckBreakers lists subsystems whose breaker is non-closed even
+// though the most recent delivery to them succeeded — i.e. breakers
+// that should have closed and did not. A breaker that is open because
+// the subsystem genuinely failed last is not stuck.
+func (l *Layer) StuckBreakers() []string {
+	var stuck []string
+	for _, sub := range l.breakers.OpenBreakers() {
+		if !l.transport.LastDeliveryFailed(sub) {
+			stuck = append(stuck, sub)
+		}
+	}
+	return stuck
+}
+
+// takeRetry consumes one unit of the process's retry budget, reporting
+// whether any was left.
+func (l *Layer) takeRetry(proc string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rem, ok := l.budget[proc]
+	if !ok {
+		rem = l.policy.ProcessBudget
+	}
+	if rem <= 0 {
+		return false
+	}
+	l.budget[proc] = rem - 1
+	return true
+}
+
+// InvokeResilient implements subsystem.ResilientInvoker: it drives the
+// keyed invocation through the flaky transport under the breaker and
+// the typed retry policy, and surfaces only outcomes the engines
+// already handle (see the interface contract in internal/subsystem).
+func (l *Layer) InvokeResilient(proc, service string, kind activity.Kind, mode subsystem.Mode, key string) (*subsystem.Result, int64, error) {
+	l.mu.Lock()
+	l.stats.Invokes++
+	l.mu.Unlock()
+
+	subName := service
+	if sub, ok := l.transport.Federation().Owner(service); ok {
+		subName = sub.Name()
+	}
+
+	var lat int64
+	attempts := 0
+	for {
+		ok, _ := l.breakers.Allow(subName)
+		if !ok {
+			// Fail fast: the breaker is open. Surfacing a transient
+			// invocation failure makes the scheduler treat the activity
+			// as failed — retriable activities bounce and are re-invoked
+			// (each bounce advances the breaker's cooldown clock), and
+			// pivot/compensatable failures steer the process onto its
+			// next ◁ alternative instead of stalling on a dead
+			// subsystem.
+			l.mu.Lock()
+			l.stats.FastFails++
+			l.mu.Unlock()
+			l.observe(attempts, lat)
+			return nil, lat, &subsystem.SubsystemError{
+				Subsystem: subName, Service: service,
+				Kind: subsystem.ErrTransient, Detail: "circuit open",
+			}
+		}
+		attempts++
+
+		res, alat, err := l.transport.Invoke(key, proc, service, mode)
+		lat += alat
+		if err == nil || subsystem.FailureKind(err) == subsystem.ErrLocked ||
+			subsystem.FailureKind(err) == subsystem.ErrAborted {
+			// The subsystem answered: success, lock conflict, or a
+			// genuine local abort. All three mean the transport works.
+			l.breakers.OnSuccess(subName)
+			l.observe(attempts, lat)
+			return res, lat, err
+		}
+
+		// Transport-level failure (transient or timeout).
+		l.breakers.OnFailure(subName)
+		if subsystem.FailureKind(err) == subsystem.ErrTimeout {
+			// Resolve the execute/lost ambiguity through the reliable
+			// control plane before anything else: if the invocation
+			// executed and only the reply was lost, its outcome is
+			// recorded under our key and surfacing a failure would
+			// orphan a prepared transaction.
+			if rec, found := l.transport.Lookup(service, key); found {
+				l.mu.Lock()
+				l.stats.RepliesRecovered++
+				l.mu.Unlock()
+				l.reg.Inc(metrics.RepliesRecovered)
+				l.breakers.OnSuccess(subName)
+				l.observe(attempts, lat)
+				return rec, lat, nil
+			}
+		}
+
+		// Typed retry: only activities that are guaranteed to commit
+		// (retriable, compensation) may be re-sent by the layer; a
+		// failed pivot or compensatable invocation is a scheduling
+		// decision the paper assigns to the process layer (◁
+		// alternatives, backward recovery), not the transport.
+		if !kind.GuaranteedToCommit() {
+			l.observe(attempts, lat)
+			return nil, lat, err
+		}
+		if attempts >= l.policy.MaxAttempts {
+			l.observe(attempts, lat)
+			return nil, lat, err
+		}
+		if lat >= l.policy.Deadline {
+			l.mu.Lock()
+			l.stats.DeadlineStops++
+			l.mu.Unlock()
+			l.observe(attempts, lat)
+			return nil, lat, err
+		}
+		if !l.takeRetry(proc) {
+			l.mu.Lock()
+			l.stats.BudgetExhausted++
+			l.mu.Unlock()
+			l.reg.Inc(metrics.RetryBudgetExhausted)
+			l.observe(attempts, lat)
+			return nil, lat, err
+		}
+		lat += l.policy.backoff(l.transport.plan, proc, service, attempts)
+		l.mu.Lock()
+		l.stats.Retries++
+		l.mu.Unlock()
+		l.reg.Inc(metrics.TransportRetries)
+	}
+}
+
+// observe records per-invoke histogram samples.
+func (l *Layer) observe(attempts int, lat int64) {
+	l.reg.Observe(metrics.HistRetryAttempts, int64(attempts))
+	if lat > 0 {
+		l.reg.Observe(metrics.HistRetryLatency, lat)
+	}
+}
+
+// CheckConsistent runs the layer's internal-accounting invariants
+// (battery hook).
+func (l *Layer) CheckConsistent() error {
+	if err := l.breakers.CheckConsistent(); err != nil {
+		return err
+	}
+	ts := l.transport.Stats()
+	if ts.Delivered > ts.Attempts {
+		return fmt.Errorf("transport accounting broken: delivered=%d > attempts=%d", ts.Delivered, ts.Attempts)
+	}
+	return nil
+}

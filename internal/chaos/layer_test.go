@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"transproc/internal/activity"
+	"transproc/internal/subsystem"
+)
+
+// testFed builds a one-subsystem federation with a retriable and a
+// pivot service.
+func testFed(seed int64) *subsystem.Federation {
+	fed := subsystem.NewFederation()
+	s := subsystem.New("s1", seed)
+	s.MustRegister(activity.Spec{
+		Name: "r1", Kind: activity.Retriable, Subsystem: "s1", WriteSet: []string{"x"}, Cost: 1,
+	})
+	s.MustRegister(activity.Spec{
+		Name: "p1", Kind: activity.Pivot, Subsystem: "s1", WriteSet: []string{"y"}, Cost: 1,
+	})
+	fed.MustAdd(s)
+	return fed
+}
+
+// TestTypedRetryThroughOutage: a retriable invocation rides out a
+// two-attempt outage via transport retries; the engine never sees the
+// failures.
+func TestTypedRetryThroughOutage(t *testing.T) {
+	fed := testFed(1)
+	plan := Plan{Seed: 5, Outages: []Outage{{Subsystem: "s1", From: 0, To: 2}}}
+	l := NewLayer(fed, plan, RetryPolicy{}, BreakerConfig{FailThreshold: 10}, nil)
+
+	res, lat, err := l.InvokeResilient("P1", "r1", activity.Retriable, subsystem.Prepare, "k1")
+	if err != nil {
+		t.Fatalf("retriable invocation failed through a finite outage: %v", err)
+	}
+	if res == nil || res.Tx == 0 {
+		t.Fatal("no prepared transaction returned")
+	}
+	if lat <= 0 {
+		t.Fatalf("latency %d, want > 0 (backoff + injected latency)", lat)
+	}
+	if st := l.Stats(); st.Retries != 2 {
+		t.Fatalf("retries %d, want 2 (outage swallowed attempts 0 and 1)", st.Retries)
+	}
+	if ts := l.Transport().Stats(); ts.OutageHits != 2 || ts.Delivered != 1 {
+		t.Fatalf("transport stats %+v, want 2 outage hits and 1 delivery", ts)
+	}
+}
+
+// TestNonRetriableSurfacesImmediately: a pivot's transport failure is
+// the scheduler's decision to make (◁ alternatives / backward
+// recovery), not the layer's — no transport retry happens.
+func TestNonRetriableSurfacesImmediately(t *testing.T) {
+	fed := testFed(1)
+	plan := Plan{Seed: 5, Outages: []Outage{{Subsystem: "s1", From: 0, To: 2}}}
+	l := NewLayer(fed, plan, RetryPolicy{}, BreakerConfig{FailThreshold: 10}, nil)
+
+	res, _, err := l.InvokeResilient("P1", "p1", activity.Pivot, subsystem.Prepare, "k1")
+	if res != nil || !subsystem.IsInvocationFailure(err) {
+		t.Fatalf("want surfaced invocation failure, got res=%v err=%v", res, err)
+	}
+	if st := l.Stats(); st.Retries != 0 {
+		t.Fatalf("layer retried a pivot %d times; typed retry must not", st.Retries)
+	}
+	var se *subsystem.SubsystemError
+	if !errors.As(err, &se) || se.Subsystem != "s1" || se.Service != "p1" {
+		t.Fatalf("error %v does not carry typed subsystem/service", err)
+	}
+}
+
+// TestTimeoutReplyRecovery: when a timed-out invocation actually
+// executed (reply lost), the layer must find its outcome in the
+// idempotency table and return success — never orphan the prepared
+// transaction by surfacing an abort.
+func TestTimeoutReplyRecovery(t *testing.T) {
+	// Find a seed whose first attempt is an executed-timeout.
+	var plan Plan
+	found := false
+	for seed := int64(0); seed < 4096; seed++ {
+		plan = Plan{Seed: seed, PTimeout: 1.0}
+		if plan.fateAt("P1", "r1", 0) == fateTimeoutEx {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no seed yields an executed-timeout first attempt")
+	}
+	fed := testFed(1)
+	l := NewLayer(fed, plan, RetryPolicy{}, BreakerConfig{FailThreshold: 10}, nil)
+
+	res, _, err := l.InvokeResilient("P1", "r1", activity.Retriable, subsystem.Prepare, "k1")
+	if err != nil {
+		t.Fatalf("executed-timeout not recovered: %v", err)
+	}
+	if res == nil || res.Tx == 0 {
+		t.Fatal("recovered reply carries no transaction")
+	}
+	if st := l.Stats(); st.RepliesRecovered != 1 {
+		t.Fatalf("replies recovered %d, want 1", st.RepliesRecovered)
+	}
+	// The prepared transaction is live and owned, not orphaned.
+	sub, _ := fed.Subsystem("s1")
+	if err := sub.CommitPrepared(res.Tx); err != nil {
+		t.Fatalf("recovered transaction not committable: %v", err)
+	}
+}
+
+// TestDuplicateDeliveryExactlyOnce: a duplicated delivery is degraded
+// to an idempotent replay; committing the returned transaction applies
+// the effect exactly once.
+func TestDuplicateDeliveryExactlyOnce(t *testing.T) {
+	fed := testFed(1)
+	plan := Plan{Seed: 7, PDuplicate: 1.0}
+	l := NewLayer(fed, plan, RetryPolicy{}, BreakerConfig{}, nil)
+
+	res, _, err := l.InvokeResilient("P1", "r1", activity.Retriable, subsystem.Prepare, "k1")
+	if err != nil {
+		t.Fatalf("duplicated delivery failed: %v", err)
+	}
+	sub, _ := fed.Subsystem("s1")
+	entries, replays := sub.IdemStats()
+	if entries != 1 || replays != 1 {
+		t.Fatalf("idem entries=%d replays=%d, want 1 and 1 (second delivery deduplicated)", entries, replays)
+	}
+	if err := sub.CommitPrepared(res.Tx); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if got := fed.Snapshot()["s1/x"]; got != 1 {
+		t.Fatalf("item s1/x = %d after a duplicated delivery, want exactly 1", got)
+	}
+}
+
+// TestCircuitOpenFastFail: once the breaker opens, calls fail fast with
+// a typed transient error and never reach the transport.
+func TestCircuitOpenFastFail(t *testing.T) {
+	fed := testFed(1)
+	plan := Plan{Seed: 5, Outages: []Outage{{Subsystem: "s1", From: 0, To: 1 << 40}}}
+	l := NewLayer(fed, plan, RetryPolicy{}, BreakerConfig{FailThreshold: 1, Cooldown: 1000}, nil)
+
+	if _, _, err := l.InvokeResilient("P1", "p1", activity.Pivot, subsystem.Prepare, "k1"); err == nil {
+		t.Fatal("sustained outage did not fail the invocation")
+	}
+	if st := l.Breakers().State("s1"); st != Open {
+		t.Fatalf("breaker %v after threshold failure, want open", st)
+	}
+	before := l.Transport().Stats().Attempts
+
+	_, _, err := l.InvokeResilient("P2", "p1", activity.Pivot, subsystem.Prepare, "k2")
+	if !errors.Is(err, subsystem.ErrTransient) {
+		t.Fatalf("fast-fail error %v, want ErrTransient", err)
+	}
+	var se *subsystem.SubsystemError
+	if !errors.As(err, &se) || se.Detail != "circuit open" {
+		t.Fatalf("fast-fail error %v does not say circuit open", err)
+	}
+	if after := l.Transport().Stats().Attempts; after != before {
+		t.Fatalf("fast-fail still hit the transport (%d -> %d attempts)", before, after)
+	}
+	if st := l.Stats(); st.FastFails == 0 {
+		t.Fatal("no fast-fail recorded")
+	}
+}
+
+// TestRetryBudgetExhaustion: once a process burns its retry budget, the
+// layer stops masking failures and surfaces them.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	fed := testFed(1)
+	plan := Plan{Seed: 5, Outages: []Outage{{Subsystem: "s1", From: 0, To: 1 << 40}}}
+	l := NewLayer(fed, plan, RetryPolicy{ProcessBudget: 3, MaxAttempts: 10, Deadline: 1 << 40},
+		BreakerConfig{FailThreshold: 1 << 30}, nil)
+
+	_, _, err := l.InvokeResilient("P1", "r1", activity.Retriable, subsystem.Prepare, "k1")
+	if !subsystem.IsInvocationFailure(err) {
+		t.Fatalf("want surfaced failure after budget exhaustion, got %v", err)
+	}
+	st := l.Stats()
+	if st.Retries != 3 {
+		t.Fatalf("retries %d, want exactly the budget (3)", st.Retries)
+	}
+	if st.BudgetExhausted != 1 {
+		t.Fatalf("budget exhaustion events %d, want 1", st.BudgetExhausted)
+	}
+	// The budget is per process: another process still gets retries.
+	_, _, _ = l.InvokeResilient("P2", "r1", activity.Retriable, subsystem.Prepare, "k2")
+	if st := l.Stats(); st.Retries <= 3 {
+		t.Fatalf("second process got no retries (total %d)", st.Retries)
+	}
+}

@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBackoffDeterministic property-tests backoff determinism: for
+// random policies, seeds and call sites, the same inputs always produce
+// the identical retry schedule, delays grow up to the cap, and changing
+// the seed changes the jitter.
+func TestBackoffDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		pol := RetryPolicy{
+			MaxAttempts: 2 + rng.Intn(6),
+			BackoffBase: int64(1 + rng.Intn(8)),
+			BackoffCap:  int64(16 + rng.Intn(128)),
+		}.withDefaults()
+		plan := Plan{Seed: rng.Int63()}
+		proc := string(rune('A' + rng.Intn(26)))
+		svc := string(rune('a' + rng.Intn(26)))
+
+		var sched1, sched2 []int64
+		for k := 1; k <= pol.MaxAttempts; k++ {
+			sched1 = append(sched1, pol.backoff(plan, proc, svc, k))
+			sched2 = append(sched2, pol.backoff(plan, proc, svc, k))
+		}
+		for k := range sched1 {
+			if sched1[k] != sched2[k] {
+				t.Fatalf("trial %d: retry %d delay %d then %d — not deterministic", trial, k+1, sched1[k], sched2[k])
+			}
+			if sched1[k] < 1 {
+				t.Fatalf("trial %d: retry %d delay %d < 1", trial, k+1, sched1[k])
+			}
+			if sched1[k] > pol.BackoffCap {
+				t.Fatalf("trial %d: retry %d delay %d exceeds cap %d", trial, k+1, sched1[k], pol.BackoffCap)
+			}
+		}
+
+	}
+}
+
+// TestBackoffSeedSensitivity pins that the jitter actually depends on
+// the seed: with a wide backoff window the chance of two seeds agreeing
+// on a whole 8-retry schedule is negligible.
+func TestBackoffSeedSensitivity(t *testing.T) {
+	pol := RetryPolicy{BackoffBase: 32, BackoffCap: 4096, MaxAttempts: 8}.withDefaults()
+	a, b := Plan{Seed: 1}, Plan{Seed: 2}
+	differs := false
+	for k := 1; k <= 8; k++ {
+		if pol.backoff(a, "P", "s", k) != pol.backoff(b, "P", "s", k) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("8-retry schedules identical under different seeds; jitter ignores the seed")
+	}
+}
+
+// TestBackoffGrowth pins the exponential shape under zero-jitter
+// comparison: the pre-jitter envelope doubles until the cap, and the
+// jittered delay stays within [base/2, base).
+func TestBackoffGrowth(t *testing.T) {
+	pol := RetryPolicy{BackoffBase: 4, BackoffCap: 32, MaxAttempts: 8}.withDefaults()
+	plan := Plan{Seed: 99}
+	envelope := []int64{4, 8, 16, 32, 32, 32, 32, 32}
+	for k := 1; k <= 8; k++ {
+		d := pol.backoff(plan, "P", "s", k)
+		hi := envelope[k-1]
+		lo := hi / 2
+		if d < lo || d >= hi {
+			t.Errorf("retry %d: delay %d outside [%d, %d)", k, d, lo, hi)
+		}
+	}
+}
+
+// TestPolicyDefaults pins the zero-value policy resolution.
+func TestPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	if p.MaxAttempts != 5 || p.BackoffBase != 2 || p.BackoffCap != 64 ||
+		p.Deadline != 256 || p.ProcessBudget != 32 {
+		t.Fatalf("unexpected defaults: %+v", p)
+	}
+}

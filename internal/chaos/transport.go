@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+
+	"transproc/internal/metrics"
+	"transproc/internal/subsystem"
+)
+
+// TransportStats aggregates what a Transport injected and delivered.
+type TransportStats struct {
+	Attempts   int64 // transport attempts observed
+	Delivered  int64 // attempts that reached a subsystem
+	Transient  int64 // injected transient delivery failures
+	Timeouts   int64 // injected timeouts (executed or not)
+	Duplicates int64 // injected duplicate deliveries
+	Slow       int64 // injected latency spikes
+	OutageHits int64 // attempts swallowed by an outage window
+}
+
+// Transport wraps a Federation with the deterministic fault plan: each
+// delivery attempt is either passed through (possibly duplicated or
+// slowed) or fails with a typed transport error. All deliveries go
+// through the idempotency table (InvokeIdem), so duplicates and
+// timeout-recovery replays stay exactly-once.
+type Transport struct {
+	fed  *subsystem.Federation
+	plan Plan
+	reg  *metrics.Registry
+
+	mu sync.Mutex
+	// attempts counts transport attempts per proc+"/"+service — the
+	// attempt index the plan's fate function is keyed on.
+	attempts map[string]int64
+	// subTries counts delivery attempts per subsystem; outage windows
+	// are measured against it.
+	subTries map[string]int64
+	// lastFailed records, per subsystem, whether the most recent
+	// delivery attempt failed at the transport level (the stuck-breaker
+	// invariant consults it).
+	lastFailed map[string]bool
+	stats      TransportStats
+}
+
+// NewTransport wraps the federation with a fault plan. reg may be nil.
+func NewTransport(fed *subsystem.Federation, plan Plan, reg *metrics.Registry) *Transport {
+	return &Transport{
+		fed:        fed,
+		plan:       plan.withDefaults(),
+		reg:        reg,
+		attempts:   make(map[string]int64),
+		subTries:   make(map[string]int64),
+		lastFailed: make(map[string]bool),
+	}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (t *Transport) Stats() TransportStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// LastDeliveryFailed reports whether the most recent delivery attempt
+// to the subsystem failed at the transport level.
+func (t *Transport) LastDeliveryFailed(sub string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastFailed[sub]
+}
+
+// Federation exposes the wrapped federation (the reliable control
+// plane: 2PC resolution, recovery and idempotency lookups bypass the
+// flaky delivery path).
+func (t *Transport) Federation() *subsystem.Federation { return t.fed }
+
+// Invoke delivers one attempt of the keyed invocation. It returns the
+// subsystem's Result on delivery, the virtual latency the transport
+// added, and a typed error: the subsystem's own (ErrLocked/ErrAborted,
+// passed through) or an injected transport failure (ErrTransient,
+// ErrTimeout). An outage window swallows every attempt to the affected
+// subsystem; each swallowed attempt still advances the per-subsystem
+// index, so finite windows always pass.
+func (t *Transport) Invoke(key, proc, service string, mode subsystem.Mode) (*subsystem.Result, int64, error) {
+	sub, ok := t.fed.Owner(service)
+	if !ok {
+		res, err := t.fed.Invoke(proc, service, mode)
+		return res, 0, err
+	}
+	subName := sub.Name()
+
+	t.mu.Lock()
+	ps := proc + "/" + service
+	attempt := t.attempts[ps]
+	t.attempts[ps]++
+	t.subTries[subName]++
+	t.stats.Attempts++
+
+	n := t.subTries[subName] - 1
+	for _, o := range t.plan.Outages {
+		if o.Subsystem == subName && n >= o.From && n < o.To {
+			t.stats.OutageHits++
+			t.lastFailed[subName] = true
+			// Alternate transient/timeout flavours deterministically.
+			kind := subsystem.ErrTransient
+			lat := int64(0)
+			if t.plan.hashAt(proc, service, attempt, 0x07a1)&1 == 0 {
+				kind = subsystem.ErrTimeout
+				lat = t.plan.TimeoutTicks
+			}
+			t.mu.Unlock()
+			t.incKind(kind)
+			return nil, lat, &subsystem.SubsystemError{
+				Subsystem: subName, Service: service, Kind: kind, Detail: "outage",
+			}
+		}
+	}
+
+	f := t.plan.fateAt(proc, service, attempt)
+	switch f {
+	case fateTransient:
+		t.stats.Transient++
+		t.lastFailed[subName] = true
+		t.mu.Unlock()
+		t.reg.Inc(metrics.ChaosTransient)
+		return nil, 0, &subsystem.SubsystemError{
+			Subsystem: subName, Service: service, Kind: subsystem.ErrTransient,
+		}
+	case fateTimeout:
+		t.stats.Timeouts++
+		t.lastFailed[subName] = true
+		t.mu.Unlock()
+		t.reg.Inc(metrics.ChaosTimeouts)
+		return nil, t.plan.TimeoutTicks, &subsystem.SubsystemError{
+			Subsystem: subName, Service: service, Kind: subsystem.ErrTimeout,
+		}
+	}
+
+	// The attempt reaches the subsystem.
+	t.stats.Delivered++
+	switch f {
+	case fateTimeoutEx:
+		t.stats.Timeouts++
+		t.lastFailed[subName] = true
+		t.mu.Unlock()
+		t.reg.Inc(metrics.ChaosTimeouts)
+		// Execute, then lose the reply: the ambiguity the idempotency
+		// table resolves. A failed execution left no effects, so the
+		// lost reply is indistinguishable from fateTimeout — either
+		// way LookupIdem finds nothing and resending is safe.
+		_, _, _ = t.fed.InvokeIdem(key, proc, service, mode)
+		return nil, t.plan.TimeoutTicks, &subsystem.SubsystemError{
+			Subsystem: subName, Service: service, Kind: subsystem.ErrTimeout,
+			Detail: "reply lost",
+		}
+	case fateDuplicate:
+		t.stats.Duplicates++
+		t.mu.Unlock()
+		t.reg.Inc(metrics.ChaosDuplicates)
+		// Deliver twice under the same key; the dedup table makes the
+		// second delivery a replay of the first outcome.
+		res, _, err := t.fed.InvokeIdem(key, proc, service, mode)
+		if err == nil {
+			res, _, err = t.fed.InvokeIdem(key, proc, service, mode)
+		}
+		t.noteDelivery(subName, err)
+		return res, 0, err
+	case fateSlow:
+		t.stats.Slow++
+		t.mu.Unlock()
+		t.reg.Inc(metrics.ChaosSlow)
+		res, _, err := t.fed.InvokeIdem(key, proc, service, mode)
+		t.noteDelivery(subName, err)
+		return res, t.plan.SlowTicks, err
+	default:
+		t.mu.Unlock()
+		res, _, err := t.fed.InvokeIdem(key, proc, service, mode)
+		t.noteDelivery(subName, err)
+		return res, 0, err
+	}
+}
+
+// noteDelivery records that the subsystem answered (success, lock
+// conflict or genuine abort all count: the transport worked).
+func (t *Transport) noteDelivery(subName string, err error) {
+	t.mu.Lock()
+	t.lastFailed[subName] = false
+	t.mu.Unlock()
+	_ = err
+}
+
+// Lookup resolves an idempotency key through the reliable control
+// plane (timeout-ambiguity resolution).
+func (t *Transport) Lookup(service, key string) (*subsystem.Result, bool) {
+	return t.fed.LookupIdem(service, key)
+}
+
+// incKind bumps the matching injection counter.
+func (t *Transport) incKind(kind error) {
+	if errors.Is(kind, subsystem.ErrTimeout) {
+		t.reg.Inc(metrics.ChaosTimeouts)
+	} else {
+		t.reg.Inc(metrics.ChaosTransient)
+	}
+}

@@ -68,6 +68,23 @@ const (
 	SubInvocations
 	SubAborts
 	SubLockDenials
+	IdemReplays
+
+	// Resilience layer (internal/chaos): injected transport faults,
+	// typed retries and reply recovery through the idempotency table.
+	ChaosTransient
+	ChaosTimeouts
+	ChaosDuplicates
+	ChaosSlow
+	TransportRetries
+	RetryBudgetExhausted
+	RepliesRecovered
+
+	// Circuit breakers: state transitions and open-state fast failures.
+	BreakerOpened
+	BreakerHalfOpen
+	BreakerClosed
+	BreakerFastFails
 
 	// Write-ahead log.
 	WALAppends
@@ -106,6 +123,18 @@ var counterNames = [numCounters]string{
 	SubInvocations:         "subsystem.invocations",
 	SubAborts:              "subsystem.aborts",
 	SubLockDenials:         "subsystem.lock_denials",
+	IdemReplays:            "subsystem.idem_replays",
+	ChaosTransient:         "chaos.injected.transient",
+	ChaosTimeouts:          "chaos.injected.timeouts",
+	ChaosDuplicates:        "chaos.injected.duplicates",
+	ChaosSlow:              "chaos.injected.slow",
+	TransportRetries:       "chaos.retries",
+	RetryBudgetExhausted:   "chaos.retry_budget_exhausted",
+	RepliesRecovered:       "chaos.replies_recovered",
+	BreakerOpened:          "breaker.opened",
+	BreakerHalfOpen:        "breaker.half_open",
+	BreakerClosed:          "breaker.closed",
+	BreakerFastFails:       "breaker.fast_fails",
 	WALAppends:             "wal.appends",
 	WALBytes:               "wal.bytes",
 	WALFsyncs:              "wal.fsyncs",
@@ -135,15 +164,23 @@ const (
 	// HistInDoubt is the subsystem in-doubt set size observed after
 	// each prepare.
 	HistInDoubt
+	// HistRetryLatency is the extra virtual latency (backoff + spikes)
+	// a resilient invocation accumulated before it resolved.
+	HistRetryLatency
+	// HistRetryAttempts is the transport attempts per resilient
+	// invocation (1 = first try succeeded).
+	HistRetryAttempts
 
 	numHists
 )
 
 var histNames = [numHists]string{
-	HistProcDuration: "proc.duration_ticks",
-	HistProcBlocked:  "proc.blocked_commit_ticks",
-	HistPreparedSet:  "twopc.prepared_set_size",
-	HistInDoubt:      "subsystem.in_doubt_size",
+	HistProcDuration:  "proc.duration_ticks",
+	HistProcBlocked:   "proc.blocked_commit_ticks",
+	HistPreparedSet:   "twopc.prepared_set_size",
+	HistInDoubt:       "subsystem.in_doubt_size",
+	HistRetryLatency:  "chaos.retry_latency_ticks",
+	HistRetryAttempts: "chaos.attempts_per_invoke",
 }
 
 // String returns the dotted histogram name.

@@ -79,6 +79,12 @@ type Config struct {
 	// leaving log and subsystem state for scheduler.Recover. No-op when
 	// nil.
 	Inject func(point string)
+	// Resilience, when non-nil, routes activity invocations through a
+	// resilience layer (internal/chaos) exactly as in the sequential
+	// engine (scheduler.Config.Resilience): typed retries, breakers and
+	// flaky transport at the invocation boundary; 2PC resolution and
+	// recovery stay on the direct path.
+	Resilience subsystem.ResilientInvoker
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +143,7 @@ type procRT struct {
 	restartable  bool
 	prepared     map[int]preparedTx
 	running      map[int]string // in-flight invocation: local -> service
+	keySeq       int            // idempotency-key counter (resilient invocations)
 	start        time.Time
 }
 
@@ -629,15 +636,30 @@ func (r *Runtime) drive(rt *procRT) (restart bool) {
 		// sInvoke: the in-flight registration (running / recoveryBusy)
 		// happened in step(); do the subsystem work unlocked.
 		r.inFlight++
+		var key string
+		if r.cfg.Resilience != nil {
+			// Key allocated under the lock: fresh per logical invocation
+			// and per incarnation (rt.id carries the restart suffix).
+			key = fmt.Sprintf("%s#%d", rt.id, rt.keySeq)
+			rt.keySeq++
+		}
 		r.mu.Unlock()
-		res, err := r.fed.Invoke(string(rt.origin), item.service, subsystem.Prepare)
+		var res *subsystem.Result
+		var err error
+		var extraLat int64
+		if r.cfg.Resilience != nil {
+			res, extraLat, err = r.cfg.Resilience.InvokeResilient(
+				string(rt.origin), item.service, item.kind, subsystem.Prepare, key)
+		} else {
+			res, err = r.fed.Invoke(string(rt.origin), item.service, subsystem.Prepare)
+		}
 		locked := errors.Is(err, subsystem.ErrLocked)
-		failed := errors.Is(err, subsystem.ErrAborted)
+		failed := subsystem.IsInvocationFailure(err)
 		if err != nil && !locked && !failed {
 			panic(fmt.Sprintf("runtime: invoke %s/%s: %v", rt.id, item.service, err))
 		}
 		if !locked {
-			r.sleepTicks(r.cost(item.service))
+			r.sleepTicks(r.cost(item.service) + extraLat)
 		}
 		r.mu.Lock()
 		r.inFlight--

@@ -36,6 +36,7 @@ package scheduler
 
 import (
 	"transproc/internal/metrics"
+	"transproc/internal/subsystem"
 	"transproc/internal/wal"
 )
 
@@ -131,6 +132,16 @@ type Config struct {
 	// DebugFirstStall prints the engine state at the first stall
 	// resolution (diagnostic aid).
 	DebugFirstStall bool
+	// Resilience, when non-nil, routes regular (strong-order) activity
+	// invocations through a resilience layer (internal/chaos): flaky
+	// transport, typed retries, circuit breakers. The layer surfaces
+	// only outcomes the engine already handles — ErrLocked parks the
+	// activity, invocation failures (ErrAborted/ErrTransient/ErrTimeout)
+	// take the failed-completion path: retriable activities are
+	// re-invoked, everything else steers onto ◁ alternatives or backward
+	// recovery. Weak-order invocations and 2PC resolution stay on the
+	// direct path (the chaos boundary is invocation delivery).
+	Resilience subsystem.ResilientInvoker
 }
 
 func (c Config) withDefaults() Config {

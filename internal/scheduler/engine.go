@@ -58,6 +58,7 @@ type procRT struct {
 	prepared        map[int]preparedTx
 	running         map[int]string // in-flight invocations: local -> service
 	attempts        map[int]int
+	keySeq          int // idempotency-key counter (resilient invocations)
 	start, end      int64
 	// blockedSince is the clock at which the finished process first
 	// found its deferred 2PC commit blocked by an active conflicting
@@ -646,6 +647,7 @@ func (e *Engine) predsCommitted(rt *procRT, local int) bool {
 func (e *Engine) invoke(rt *procRT, local int, service string, kind activity.Kind, isStep bool, step process.Step) bool {
 	var res *subsystem.Result
 	var err error
+	var extraLat int64
 	weak := e.cfg.WeakOrder && !isStep &&
 		(e.cfg.Mode == PRED || e.cfg.Mode == PREDCascade)
 	if weak {
@@ -684,6 +686,14 @@ func (e *Engine) invoke(rt *procRT, local int, service string, kind activity.Kin
 		}
 		e.metrics.WeakDeps += int64(len(deps))
 		e.reg.Add(metrics.WeakDeps, int64(len(deps)))
+	} else if e.cfg.Resilience != nil {
+		// Idempotency key: fresh per logical invocation (keySeq) and per
+		// incarnation (rt.id carries the restart suffix), reused by the
+		// layer across transport attempts of this one invocation.
+		key := fmt.Sprintf("%s#%d", rt.id, rt.keySeq)
+		rt.keySeq++
+		res, extraLat, err = e.cfg.Resilience.InvokeResilient(
+			string(rt.origin), service, kind, subsystem.Prepare, key)
 	} else {
 		res, err = e.fed.Invoke(string(rt.origin), service, subsystem.Prepare)
 	}
@@ -694,14 +704,20 @@ func (e *Engine) invoke(rt *procRT, local int, service string, kind activity.Kin
 		e.reg.Inc(metrics.InvokeLockBlocked)
 		e.reg.Trace(metrics.TLockWait, e.clock, string(rt.id), local, service, "")
 		return false
-	case errors.Is(err, subsystem.ErrAborted):
+	case subsystem.IsInvocationFailure(err):
+		// A genuine local abort, or a transport failure the resilience
+		// layer could not mask (retry budget exhausted, circuit open, or
+		// a non-retriable kind). Either way the invocation provably left
+		// no prepared transaction: take the failed-completion path —
+		// retriable activities are re-invoked, others go to ◁
+		// alternatives / backward recovery.
 		res = nil
 	case err != nil:
 		panic(fmt.Sprintf("scheduler: invoke %s/%s: %v", rt.id, service, err))
 	}
 	e.seq++
 	c := &completion{
-		at: e.clock + e.cost(service), seq: e.seq,
+		at: e.clock + e.cost(service) + extraLat, seq: e.seq,
 		proc: rt.id, isStep: isStep, step: step,
 		local: local, service: service, kind: kind,
 		res: res, failed: res == nil, weak: weak,

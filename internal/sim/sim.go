@@ -94,7 +94,7 @@ func CompareSchedulers(p workload.Profile, modes []scheduler.Mode) (*Table, erro
 			p.Processes, p.ConflictProb, p.PermFailureProb, p.Seed),
 		Columns: []string{"mode", "makespan", "throughput", "committed", "aborted",
 			"compens", "defer", "deferRate", "compRate", "meanBlocked",
-			"2pc", "cascades", "restarts", "policyWaits", "lockWaits", "PRED"},
+			"2pc", "cascades", "restarts", "retries", "policyWaits", "lockWaits", "PRED"},
 	}
 	for _, mode := range modes {
 		reg := metrics.New()
@@ -138,6 +138,7 @@ func CompareSchedulers(p workload.Profile, modes []scheduler.Mode) (*Table, erro
 			fmt.Sprintf("%d", m.TwoPCCommits),
 			fmt.Sprintf("%d", m.Cascades),
 			fmt.Sprintf("%d", m.Restarts),
+			fmt.Sprintf("%d", reg.Counter(metrics.TransportRetries)),
 			fmt.Sprintf("%d", m.PolicyWaits),
 			fmt.Sprintf("%d", m.LockWaits),
 			pred)

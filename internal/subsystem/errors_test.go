@@ -1,0 +1,146 @@
+package subsystem
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestErrorTaxonomy pins that every boundary failure is distinguishable
+// via errors.Is and carries its context via errors.As.
+func TestErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		kind  error
+		other []error
+	}{
+		{ErrLocked, []error{ErrAborted, ErrTransient, ErrTimeout}},
+		{ErrAborted, []error{ErrLocked, ErrTransient, ErrTimeout}},
+		{ErrTransient, []error{ErrLocked, ErrAborted, ErrTimeout}},
+		{ErrTimeout, []error{ErrLocked, ErrAborted, ErrTransient}},
+	}
+	for _, c := range cases {
+		err := error(&SubsystemError{Subsystem: "pdm", Service: "enter", Kind: c.kind, Detail: "d"})
+		if !errors.Is(err, c.kind) {
+			t.Errorf("wrapped %v not matched by errors.Is", c.kind)
+		}
+		for _, o := range c.other {
+			if errors.Is(err, o) {
+				t.Errorf("wrapped %v wrongly matches %v", c.kind, o)
+			}
+		}
+		var se *SubsystemError
+		if !errors.As(err, &se) || se.Subsystem != "pdm" || se.Service != "enter" {
+			t.Errorf("errors.As lost the context of %v", c.kind)
+		}
+		if FailureKind(err) != c.kind {
+			t.Errorf("FailureKind(%v) = %v", err, FailureKind(err))
+		}
+	}
+	if FailureKind(errors.New("unrelated")) != nil {
+		t.Error("FailureKind invented a kind for an unrelated error")
+	}
+	if IsInvocationFailure(&SubsystemError{Kind: ErrLocked}) {
+		t.Error("a lock conflict is not an invocation failure")
+	}
+	for _, k := range []error{ErrAborted, ErrTransient, ErrTimeout} {
+		if !IsInvocationFailure(&SubsystemError{Kind: k}) {
+			t.Errorf("%v not recognized as invocation failure", k)
+		}
+	}
+}
+
+// TestInvokeReturnsTypedErrors pins that Invoke's failures carry the
+// subsystem and service.
+func TestInvokeReturnsTypedErrors(t *testing.T) {
+	s := newSub(t)
+	res, err := s.Invoke("P1", "enter", Prepare)
+	if err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+	// A second process hits the write lock.
+	_, err = s.Invoke("P2", "enter", Prepare)
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("want ErrLocked, got %v", err)
+	}
+	var se *SubsystemError
+	if !errors.As(err, &se) || se.Subsystem != "pdm" || se.Service != "enter" || se.Detail == "" {
+		t.Fatalf("lock error %v lacks context", err)
+	}
+	if err := s.AbortPrepared(res.Tx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvokeIdem pins the idempotent invoke: the first call executes,
+// replays return the recorded outcome without re-executing, and lookups
+// resolve the ambiguity of lost replies.
+func TestInvokeIdem(t *testing.T) {
+	s := newSub(t)
+
+	if _, ok := s.LookupIdem("k1"); ok {
+		t.Fatal("lookup hit before any invocation")
+	}
+	res1, replayed, err := s.InvokeIdem("k1", "P1", "enter", Prepare)
+	if err != nil || replayed {
+		t.Fatalf("first call: res=%v replayed=%v err=%v", res1, replayed, err)
+	}
+	res2, replayed, err := s.InvokeIdem("k1", "P1", "enter", Prepare)
+	if err != nil || !replayed {
+		t.Fatalf("second call not replayed (err=%v)", err)
+	}
+	if res2.Tx != res1.Tx {
+		t.Fatalf("replay returned a different transaction (%d vs %d)", res2.Tx, res1.Tx)
+	}
+	rec, ok := s.LookupIdem("k1")
+	if !ok || rec.Tx != res1.Tx {
+		t.Fatalf("lookup: ok=%v rec=%v", ok, rec)
+	}
+	entries, replays := s.IdemStats()
+	if entries != 1 || replays != 1 {
+		t.Fatalf("idem stats entries=%d replays=%d", entries, replays)
+	}
+	// Exactly one local transaction exists: only one prepared tx to
+	// commit, and the effect applies once.
+	if err := s.CommitPrepared(res1.Tx); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshot()["bom"]; got != 1 {
+		t.Fatalf("bom = %d, want 1 (exactly-once)", got)
+	}
+	// A fresh key executes a fresh transaction.
+	res3, replayed, err := s.InvokeIdem("k2", "P1", "enter", Prepare)
+	if err != nil || replayed || res3.Tx == res1.Tx {
+		t.Fatalf("fresh key reused the old outcome: res=%v replayed=%v err=%v", res3, replayed, err)
+	}
+	if err := s.AbortPrepared(res3.Tx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvokeIdemFailuresNotRecorded pins that failed executions leave
+// no dedup record: an abort has no effects, so re-execution under the
+// same key must be a real execution.
+func TestInvokeIdemFailuresNotRecorded(t *testing.T) {
+	s := newSub(t)
+	// Occupy the lock so the keyed invoke fails with ErrLocked.
+	res, err := s.Invoke("P1", "enter", Prepare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.InvokeIdem("k1", "P2", "enter", Prepare); !errors.Is(err, ErrLocked) {
+		t.Fatalf("want ErrLocked, got %v", err)
+	}
+	if _, ok := s.LookupIdem("k1"); ok {
+		t.Fatal("failed execution was recorded in the idempotency table")
+	}
+	if err := s.AbortPrepared(res.Tx); err != nil {
+		t.Fatal(err)
+	}
+	// Now the same key executes for real.
+	res2, replayed, err := s.InvokeIdem("k1", "P2", "enter", Prepare)
+	if err != nil || replayed {
+		t.Fatalf("retry under same key after failure: replayed=%v err=%v", replayed, err)
+	}
+	if err := s.AbortPrepared(res2.Tx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -101,6 +101,26 @@ func (f *Federation) Invoke(proc, service string, mode Mode) (*Result, error) {
 	return s.Invoke(proc, service, mode)
 }
 
+// InvokeIdem routes an idempotency-keyed invocation to the owning
+// subsystem (see Subsystem.InvokeIdem).
+func (f *Federation) InvokeIdem(key, proc, service string, mode Mode) (*Result, bool, error) {
+	s, ok := f.route[service]
+	if !ok {
+		return nil, false, fmt.Errorf("federation: unknown service %q", service)
+	}
+	return s.InvokeIdem(key, proc, service, mode)
+}
+
+// LookupIdem resolves an idempotency key at the service's owning
+// subsystem (see Subsystem.LookupIdem).
+func (f *Federation) LookupIdem(service, key string) (*Result, bool) {
+	s, ok := f.route[service]
+	if !ok {
+		return nil, false
+	}
+	return s.LookupIdem(key)
+}
+
 // Spec returns the spec of a service anywhere in the federation.
 func (f *Federation) Spec(service string) (activity.Spec, bool) {
 	s, ok := f.route[service]

@@ -17,7 +17,6 @@
 package subsystem
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -26,15 +25,6 @@ import (
 	"transproc/internal/activity"
 	"transproc/internal/metrics"
 )
-
-// ErrLocked is returned when an invocation cannot acquire its locks
-// because a transaction of another process holds them (possibly a
-// prepared, in-doubt transaction whose commit is deferred).
-var ErrLocked = errors.New("subsystem: lock conflict")
-
-// ErrAborted is returned when the invocation's local transaction aborted
-// (forced failure or injected failure probability).
-var ErrAborted = errors.New("subsystem: local transaction aborted")
 
 // TxID identifies a local transaction within a subsystem.
 type TxID int64
@@ -121,6 +111,13 @@ type Subsystem struct {
 	// process fates independent of interleaving — the property the
 	// differential runtime-vs-engine tests rely on.
 	failRules map[string]bool
+	// idem is the idempotency (dedup) table: successful executions
+	// recorded by invocation key. A redelivery under the same key
+	// replays the recorded outcome instead of executing again, keeping
+	// at-least-once transports exactly-once. Aborted executions are not
+	// recorded — atomicity left no effects, so re-executing is safe.
+	idem        map[string]*Result
+	idemReplays int64
 	// stats
 	invocations int64
 	aborts      int64
@@ -149,6 +146,7 @@ func New(name string, seed int64) *Subsystem {
 		resolved:  make(map[TxID]bool),
 		forceFail: make(map[string]int),
 		failRules: make(map[string]bool),
+		idem:      make(map[string]*Result),
 	}
 }
 
@@ -273,6 +271,58 @@ func (s *Subsystem) Lockable(proc, service string) bool {
 func (s *Subsystem) Invoke(proc, service string, mode Mode) (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.invokeLocked(proc, service, mode)
+}
+
+// InvokeIdem is Invoke with an idempotency key: a redelivery under a
+// key whose execution already succeeded replays the recorded Result
+// (replayed=true) without executing anything, so at-least-once
+// transports stay exactly-once. Distinct logical invocations must use
+// distinct keys; retries of the same logical invocation must reuse the
+// key. Failed executions (lock conflicts, aborts) are not recorded —
+// atomicity guarantees they left no effects.
+func (s *Subsystem) InvokeIdem(key, proc, service string, mode Mode) (res *Result, replayed bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.idem[key]; ok {
+		s.idemReplays++
+		s.m.Inc(metrics.IdemReplays)
+		cp := *rec
+		return &cp, true, nil
+	}
+	res, err = s.invokeLocked(proc, service, mode)
+	if err == nil {
+		cp := *res
+		s.idem[key] = &cp
+	}
+	return res, false, err
+}
+
+// LookupIdem reports the recorded outcome of an idempotency key: the
+// Result of its successful execution, or ok=false when the key never
+// executed successfully here. An unreliable transport's caller uses it
+// to resolve ErrTimeout ambiguity — a recorded Result means the
+// invocation did execute and only its reply was lost.
+func (s *Subsystem) LookupIdem(key string) (*Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.idem[key]
+	if !ok {
+		return nil, false
+	}
+	cp := *rec
+	return &cp, true
+}
+
+// IdemStats reports the dedup table size and replay count.
+func (s *Subsystem) IdemStats() (entries int, replays int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idem), s.idemReplays
+}
+
+// invokeLocked is the body of Invoke; the caller holds s.mu.
+func (s *Subsystem) invokeLocked(proc, service string, mode Mode) (*Result, error) {
 	sv, ok := s.services[service]
 	if !ok {
 		return nil, fmt.Errorf("subsystem %s: unknown service %q", s.name, service)
@@ -284,7 +334,10 @@ func (s *Subsystem) Invoke(proc, service string, mode Mode) (*Result, error) {
 	if holder, ok := s.canLock(proc, sv); !ok {
 		s.lockDenials++
 		s.m.Inc(metrics.SubLockDenials)
-		return nil, fmt.Errorf("%w: %s/%s held by %s", ErrLocked, s.name, service, holder)
+		return nil, &SubsystemError{
+			Subsystem: s.name, Service: service, Kind: ErrLocked,
+			Detail: "held by " + holder,
+		}
 	}
 
 	// Decide the outcome: deterministic rules first, then probability.
@@ -300,7 +353,8 @@ func (s *Subsystem) Invoke(proc, service string, mode Mode) (*Result, error) {
 	if fail {
 		s.aborts++
 		s.m.Inc(metrics.SubAborts)
-		return &Result{Outcome: activity.Aborted}, ErrAborted
+		return &Result{Outcome: activity.Aborted},
+			&SubsystemError{Subsystem: s.name, Service: service, Kind: ErrAborted}
 	}
 
 	s.nextTx++

@@ -1,6 +1,7 @@
 package subsystem
 
 import (
+	"errors"
 	"fmt"
 
 	"transproc/internal/activity"
@@ -54,7 +55,8 @@ func (s *Subsystem) InvokeWeak(proc, service string) (*Result, []TxID, error) {
 	if fail {
 		s.aborts++
 		s.m.Inc(metrics.SubAborts)
-		return &Result{Outcome: activity.Aborted}, nil, ErrAborted
+		return &Result{Outcome: activity.Aborted}, nil,
+			&SubsystemError{Subsystem: s.name, Service: service, Kind: ErrAborted}
 	}
 
 	// Commit-order dependencies: every in-doubt transaction of another
@@ -128,7 +130,7 @@ func (s *Subsystem) CommitPreparedWeak(id TxID) error {
 		return fmt.Errorf("subsystem %s: transaction %d is not in doubt", s.name, id)
 	}
 	if err := s.weakCommittableLocked(t); err != nil {
-		if err == ErrDependencyAborted {
+		if errors.Is(err, ErrDependencyAborted) {
 			s.aborts++
 			s.m.Inc(metrics.SubAborts)
 			delete(s.inDoubt, id)

@@ -8,6 +8,7 @@ PKGS=(
   ./internal/wal
   ./internal/scheduler
   ./internal/fault
+  ./internal/chaos
 )
 
 fail=0
