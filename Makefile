@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race diff torture chaos coverage-floor bench fuzz-smoke ci
+.PHONY: build test test-short race diff torture chaos coverage-floor bench bench-recovery fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,15 @@ diff:
 	GOMAXPROCS=4 $(GO) test -race -run 'TestDifferential' ./internal/runtime -v
 
 # The crash-torture battery: 200 deterministic crash/recover scenarios
-# under the race detector. Reproduce one failure with
-# `go test ./internal/fault -run TortureBattery -torture.seed=N -v`.
+# under the race detector — once as seeded, once with fuzzy
+# checkpointing and compaction forced onto every scenario. Reproduce one
+# failure with
+# `go test ./internal/fault -run TortureBattery -torture.seed=N [-torture.ckpt] -v`.
 torture:
 	$(GO) test -race -v ./internal/fault -run TestTortureBattery -torture.count=200
+	$(GO) test -race -v ./internal/fault -run TestTortureBattery -torture.count=200 -torture.ckpt
 	$(GO) test -race -run TestRuntimeKillRecover ./internal/runtime
+	$(GO) test -race -run TestCheckpointConcurrentWithAppends ./internal/runtime
 
 # The chaos battery: 200 deterministic unreliable-subsystem scenarios
 # (flaky transport, retries, breakers, ◁ failover) under the race
@@ -45,10 +49,16 @@ bench:
 	scripts/bench-json.sh 5x > BENCH_runtime.json
 	@cat BENCH_runtime.json
 
+# Regenerate the committed recovery-time-vs-log-length baseline.
+bench-recovery:
+	scripts/bench-recovery.sh > BENCH_recovery.json
+	@cat BENCH_recovery.json
+
 # Short native-fuzzing smoke (CI runs 30s per target).
 fuzz-smoke:
 	$(GO) test -fuzz FuzzProcessValidate -fuzztime 30s ./internal/process
 	$(GO) test -fuzz FuzzScheduleReduce -fuzztime 30s ./internal/schedule
 	$(GO) test -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal
+	$(GO) test -fuzz FuzzCheckpointDecode -fuzztime 30s ./internal/wal
 
 ci: build test race diff torture chaos coverage-floor

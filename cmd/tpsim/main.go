@@ -7,10 +7,11 @@
 //	tpsim [experiment ...]
 //	tpsim -metrics[=text|json]
 //	tpsim run [-metrics[=text|json]] [-runtime=concurrent] <spec.json> [mode]
-//	tpsim torture [-seeds N] [-first S] [-seed K] [-json]
+//	tpsim torture [-seeds N] [-first S] [-seed K] [-ckpt N] [-compact] [-json]
 //	tpsim chaos [-seeds N] [-first S] [-seed K] [-json]
+//	tpsim benchrec [-quick]
 //
-// where experiment is one of e1..e13, b1, b2, b4, b5, or "all" (default),
+// where experiment is one of e1..e14, b1, b2, b4, b5, or "all" (default),
 // and mode is pred (default), pred-cascade, serial, conservative or
 // cc-only. "run" executes a declarative process definition (see
 // internal/spec for the format and examples/specs for samples);
@@ -18,7 +19,11 @@
 // (internal/runtime) instead of the sequential discrete-event engine.
 // "torture" runs the deterministic crash-torture battery (internal/fault)
 // and exits non-zero when any seeded scenario violates a recovery
-// guarantee. "chaos" runs the unreliable-subsystem chaos battery
+// guarantee; -ckpt/-compact force fuzzy checkpointing (and compaction)
+// onto every scenario. "benchrec" emits the recovery-time-vs-log-length
+// sweep behind BENCH_recovery.json: the same crashed run recovered over
+// a full log and over a checkpointed, compacted one.
+// "chaos" runs the unreliable-subsystem chaos battery
 // (internal/chaos) — flaky transport, typed retries, circuit breakers,
 // ◁-path failover — and exits non-zero on any resilience violation.
 //
@@ -56,6 +61,7 @@ func main() {
 		{"e11", "Section 3.5: no SOT-like criterion for processes", e11},
 		{"e12", "Section 3.6: weak vs strong order", e12},
 		{"e13", "Resilience sweep: termination under increasing outage rate", e13},
+		{"e14", "Bounded-time recovery: checkpoint + compaction vs full replay", e14},
 		{"b1", "B1: scheduler comparison and conflict sweep", b1},
 		{"b2", "B2/B3: deferred-commit ablation", b2},
 		{"b4", "B4: crash recovery sweep", b4},
@@ -82,6 +88,13 @@ func main() {
 	if len(args) >= 1 && args[0] == "torture" {
 		if err := runTorture(args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "torture failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) >= 1 && args[0] == "benchrec" {
+		if err := benchRecovery(args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrec failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"transproc/internal/fault"
+	"transproc/internal/process"
+	"transproc/internal/scheduler"
+	"transproc/internal/wal"
+	"transproc/internal/workload"
+)
+
+// recoveryFixture builds a file-backed log carrying roughly size
+// records of terminated history (a clean template run cloned under
+// renamed process ids), arms a crashed live run on top of it, and
+// reports what recovery had to do. withCkpt takes a fuzzy checkpoint
+// and compacts the log before the live run — the history then enters
+// recovery only as the checkpoint summary instead of replayed records.
+type recoveryStats struct {
+	HistoryRecords int     `json:"historyRecords"`
+	TotalRecords   int     `json:"totalRecords"`
+	ReplayRecords  int     `json:"replayRecords"`
+	LiveTail       int     `json:"liveTail"`
+	RecoverMillis  float64 `json:"recoverMillis"`
+	InDoubt        int     `json:"inDoubt"`
+	NonTerminal    int     `json:"nonTerminal"`
+}
+
+// benchSeed fixes the synthetic-history workload; the template run and
+// the crashed live run are both derived from it deterministically.
+const benchSeed = 21
+
+func benchProfile() workload.Profile {
+	p := workload.DefaultProfile(benchSeed)
+	p.Processes = 12
+	p.ConflictProb = 0.4
+	p.PermFailureProb = 0
+	p.TransientFailureProb = 0
+	return p
+}
+
+// cloneRecord renames a template record into clone k's namespace; the
+// log assigns fresh LSNs on append.
+func cloneRecord(r wal.Record, k int) wal.Record {
+	if r.Proc != "" {
+		r.Proc = fmt.Sprintf("%s~%d", r.Proc, k)
+	}
+	return r
+}
+
+// recoveryFixture is one benchmark datapoint.
+func recoveryFixture(size int, withCkpt bool, dir string) (recoveryStats, error) {
+	var st recoveryStats
+
+	// Template: one clean run of the workload on an in-memory log.
+	wt := workload.MustGenerate(benchProfile())
+	tlog := wal.NewMemLog()
+	eng, err := scheduler.New(wt.Fed, scheduler.Config{Mode: scheduler.PRED, Log: tlog, MaxRestarts: 16})
+	if err != nil {
+		return st, err
+	}
+	if _, err := eng.RunJobs(wt.Jobs); err != nil {
+		return st, fmt.Errorf("template run: %w", err)
+	}
+	tmpl, err := tlog.Records()
+	if err != nil {
+		return st, err
+	}
+	if len(tmpl) == 0 {
+		return st, fmt.Errorf("template run produced no records")
+	}
+
+	// History: the template cloned until roughly size records sit in the
+	// file, every clone under renamed (terminated) process ids.
+	path := filepath.Join(dir, fmt.Sprintf("bench-%d-%v.log", size, withCkpt))
+	flog, err := wal.OpenFile(path, false)
+	if err != nil {
+		return st, err
+	}
+	defer flog.Close()
+	clones := size / len(tmpl)
+	if clones < 1 {
+		clones = 1
+	}
+	var histLSN int64
+	for k := 0; k < clones; k++ {
+		for _, r := range tmpl {
+			lsn, err := flog.Append(cloneRecord(r, k))
+			if err != nil {
+				return st, fmt.Errorf("cloning history: %w", err)
+			}
+			histLSN = lsn
+		}
+	}
+	st.HistoryRecords = clones * len(tmpl)
+
+	// Fresh federation for the live run (same services, clean state).
+	w := workload.MustGenerate(benchProfile())
+	defs := make([]*process.Process, 0, len(w.Jobs))
+	for _, j := range w.Jobs {
+		defs = append(defs, j.Proc)
+	}
+	table, err := w.Fed.ConflictTable()
+	if err != nil {
+		return st, err
+	}
+
+	if withCkpt {
+		if _, err := wal.TakeCheckpoint(flog, table.Conflicts, nil, nil); err != nil {
+			return st, fmt.Errorf("checkpoint: %w", err)
+		}
+		if err := flog.Compact(nil); err != nil {
+			return st, fmt.Errorf("compact: %w", err)
+		}
+	}
+
+	// Crashed live run on top of the history.
+	fw := fault.WrapWAL(flog, 60)
+	live, err := scheduler.New(w.Fed, scheduler.Config{Mode: scheduler.PRED, Log: fw, MaxRestarts: 16})
+	if err != nil {
+		return st, err
+	}
+	if _, err := live.RunJobs(w.Jobs); !errors.Is(err, scheduler.ErrCrashed) {
+		return st, fmt.Errorf("live run: want ErrCrashed, got %v", err)
+	}
+
+	// Reopen across the crash and time recovery.
+	if err := flog.Close(); err != nil {
+		return st, err
+	}
+	rlog, err := wal.OpenFile(path, false)
+	if err != nil {
+		return st, err
+	}
+	defer rlog.Close()
+	recs, err := rlog.Records()
+	if err != nil {
+		return st, err
+	}
+	exp := wal.Expand(recs)
+	st.TotalRecords = len(recs)
+	st.ReplayRecords = len(exp.Records)
+	// The live tail is everything the crashed run appended after the
+	// synthetic history (and, in the checkpointed variant, after the
+	// checkpoint — it is taken between the two).
+	for _, r := range recs {
+		if r.Type != wal.RecCheckpoint && r.LSN > histLSN {
+			st.LiveTail++
+		}
+	}
+
+	startT := time.Now()
+	if _, err := scheduler.Recover(w.Fed, rlog, defs); err != nil {
+		return st, fmt.Errorf("recovery: %w", err)
+	}
+	st.RecoverMillis = float64(time.Since(startT).Microseconds()) / 1000
+
+	// Sanity on the recovered state: every live process terminal, no
+	// in-doubt transactions.
+	after, err := rlog.Records()
+	if err != nil {
+		return st, err
+	}
+	images, err := wal.Analyze(wal.Expand(after).Records)
+	if err != nil && err != wal.ErrNoLog {
+		return st, err
+	}
+	for _, img := range images {
+		if !img.Terminated {
+			st.NonTerminal++
+		}
+	}
+	st.InDoubt = len(w.Fed.InDoubt())
+	return st, nil
+}
+
+// benchRecovery implements "tpsim benchrec": the recovery-time vs
+// log-length sweep behind BENCH_recovery.json. For each history size
+// the same crashed run is recovered twice — over the full log and over
+// a checkpointed, compacted one — so the cost of replaying history is
+// isolated from the cost of finishing the crashed processes.
+func benchRecovery(args []string) error {
+	sizes := []int{1000, 10000, 100000}
+	if len(args) > 0 && args[0] == "-quick" {
+		sizes = []int{500, 2000, 8000}
+	}
+	dir, err := os.MkdirTemp("", "tpsim-benchrec")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	type point struct {
+		Size int           `json:"size"`
+		Full recoveryStats `json:"full"`
+		Ckpt recoveryStats `json:"ckpt"`
+	}
+	out := struct {
+		Name   string  `json:"name"`
+		Points []point `json:"points"`
+	}{Name: "recovery-vs-log-length"}
+
+	for _, size := range sizes {
+		full, err := recoveryFixture(size, false, dir)
+		if err != nil {
+			return fmt.Errorf("size %d full: %w", size, err)
+		}
+		ckpt, err := recoveryFixture(size, true, dir)
+		if err != nil {
+			return fmt.Errorf("size %d ckpt: %w", size, err)
+		}
+		fmt.Fprintf(os.Stderr, "size %6d: full replay=%6d in %8.1fms | ckpt replay=%4d in %8.1fms\n",
+			size, full.ReplayRecords, full.RecoverMillis, ckpt.ReplayRecords, ckpt.RecoverMillis)
+		out.Points = append(out.Points, point{Size: size, Full: full, Ckpt: ckpt})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// e14 checks the bounded-time recovery claim deterministically: with a
+// checkpoint and compaction, the records recovery replays after a crash
+// are bounded by the live tail regardless of how much terminated
+// history the log accumulated, while full-log recovery replays all of
+// it; both paths still finish every process and resolve every in-doubt
+// transaction.
+func e14() error {
+	dir, err := os.MkdirTemp("", "tpsim-e14")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	sizes := []int{500, 2000, 8000}
+	var ckptReplays []int
+	var errs []error
+	for _, size := range sizes {
+		full, err := recoveryFixture(size, false, dir)
+		if err != nil {
+			return fmt.Errorf("size %d full: %w", size, err)
+		}
+		ckpt, err := recoveryFixture(size, true, dir)
+		if err != nil {
+			return fmt.Errorf("size %d ckpt: %w", size, err)
+		}
+		fmt.Printf("  history ≈%d records: full replays %d (%.1fms), checkpointed replays %d (%.1fms)\n",
+			size, full.ReplayRecords, full.RecoverMillis, ckpt.ReplayRecords, ckpt.RecoverMillis)
+		errs = append(errs,
+			verdict(full.ReplayRecords == full.HistoryRecords+full.LiveTail,
+				"full-log recovery replays history + tail (%d = %d + %d)",
+				full.ReplayRecords, full.HistoryRecords, full.LiveTail),
+			verdict(ckpt.ReplayRecords == ckpt.LiveTail,
+				"checkpointed recovery replays only the live tail (%d records)", ckpt.ReplayRecords),
+			verdict(full.NonTerminal == 0 && full.InDoubt == 0,
+				"full-log recovery terminates every process, no in-doubt left"),
+			verdict(ckpt.NonTerminal == 0 && ckpt.InDoubt == 0,
+				"checkpointed recovery terminates every process, no in-doubt left"),
+		)
+		ckptReplays = append(ckptReplays, ckpt.ReplayRecords)
+	}
+	spread := ckptReplays[len(ckptReplays)-1] - ckptReplays[0]
+	if spread < 0 {
+		spread = -spread
+	}
+	errs = append(errs, verdict(spread <= 8,
+		"checkpointed replay length is independent of history size (spread %d across %v)", spread, ckptReplays))
+	return firstErr(errs...)
+}

@@ -14,21 +14,28 @@ import (
 // command, for CI jobs and for reproducing a failing seed outside the
 // test harness.
 //
-//	tpsim torture [-seeds N] [-first S] [-seed K] [-json]
+//	tpsim torture [-seeds N] [-first S] [-seed K] [-ckpt N] [-compact] [-json]
 //
 // -seeds runs the scenarios of seeds [first, first+N); -seed runs a
-// single scenario verbosely. -json dumps the summary as JSON. The exit
-// status is non-zero when any scenario violates a recovery guarantee;
-// every failure message embeds the seed that reproduces it.
+// single scenario verbosely. -ckpt forces fuzzy checkpoints every N
+// force-log appends onto every scenario that doesn't already
+// checkpoint, and -compact compacts the log after each; together they
+// re-run the whole battery with checkpointing live under every crash
+// class. -json dumps the summary as JSON. The exit status is non-zero
+// when any scenario violates a recovery guarantee; every failure
+// message embeds the seed that reproduces it.
 func runTorture(args []string) error {
 	fs := flag.NewFlagSet("torture", flag.ContinueOnError)
 	seeds := fs.Int64("seeds", 200, "number of torture seeds to run")
 	first := fs.Int64("first", 0, "first seed of the battery")
 	one := fs.Int64("seed", -1, "run only this seed (verbose reproduction)")
+	ckpt := fs.Int("ckpt", 0, "force checkpoints every N appends onto every scenario")
+	compact := fs.Bool("compact", false, "compact the log after each checkpoint")
 	asJSON := fs.Bool("json", false, "emit the summary as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts := fault.TortureOpts{CheckpointEvery: *ckpt, Compact: *compact}
 
 	dir, err := os.MkdirTemp("", "tpsim-torture")
 	if err != nil {
@@ -38,8 +45,9 @@ func runTorture(args []string) error {
 
 	if *one >= 0 {
 		sc := fault.ScenarioFor(*one)
-		fmt.Printf("seed %d: class=%s engine=%s mode=%v plan=%+v\n",
-			sc.Seed, sc.Class, sc.Engine, sc.Mode, sc.Plan)
+		opts.Apply(&sc)
+		fmt.Printf("seed %d: class=%s engine=%s mode=%v ckptEvery=%d compact=%v plan=%+v\n",
+			sc.Seed, sc.Class, sc.Engine, sc.Mode, sc.CheckpointEvery, sc.CompactOnCheckpoint, sc.Plan)
 		if err := fault.RunScenario(sc, dir); err != nil {
 			return err
 		}
@@ -47,7 +55,7 @@ func runTorture(args []string) error {
 		return nil
 	}
 
-	sum := fault.RunTorture(*first, *seeds, dir)
+	sum := fault.RunTortureOpts(*first, *seeds, dir, opts)
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

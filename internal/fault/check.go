@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"reflect"
 
 	"transproc/internal/activity"
 	"transproc/internal/process"
@@ -22,7 +23,19 @@ type CheckInput struct {
 	Defs []*process.Process
 	// PreCrashRecords is the number of log records that were durable
 	// when the (final) crash hit; everything after is recovery's tail.
+	// When the log carries checkpoints, the count is in *expanded*
+	// coordinates (len(wal.Expand(preRecs).Records)) — every invariant
+	// is evaluated over the expanded replay view.
 	PreCrashRecords int
+	// PreCrashFull is the same boundary in full-log coordinates (the
+	// non-checkpoint record count at crash time); only the
+	// checkpoint-vs-full differential sub-check needs it.
+	PreCrashFull int
+	// Compacted marks a log whose summarized history may have been
+	// physically truncated; the full-replay differential is then
+	// impossible and skipped (the checkpointed path is still fully
+	// checked).
+	Compacted bool
 }
 
 // CheckRecovered asserts the paper's recovery guarantees over the
@@ -43,10 +56,17 @@ type CheckInput struct {
 //
 // The returned error describes the first violated invariant.
 func CheckRecovered(in CheckInput) error {
-	recs, err := in.Log.Records()
+	raw, err := in.Log.Records()
 	if err != nil {
 		return fmt.Errorf("reading log: %w", err)
 	}
+	// All invariants run over the expanded replay view — what recovery
+	// itself saw: the latest checkpoint's live records plus the
+	// post-horizon tail (identical to the raw log when no checkpoint
+	// exists). Checkpoint-summarized terminated work enters invariant 5
+	// through the checkpoint's per-service counts.
+	exp := wal.Expand(raw)
+	recs := exp.Records
 	images, err := wal.Analyze(recs)
 	if err == wal.ErrNoLog {
 		images = nil
@@ -113,8 +133,27 @@ func CheckRecovered(in CheckInput) error {
 	}
 
 	// 5. Exactly-once effects: replay the committed invocations'
-	// write-set deltas and compare with the subsystems' stores.
+	// write-set deltas and compare with the subsystems' stores. Work
+	// the checkpoint summarized away is accounted through its
+	// per-service committed counts (compensations carry their own
+	// service name, so the spec lookup assigns the -1 sign as usual).
 	want := make(map[string]int64)
+	if exp.Checkpoint != nil {
+		for svc, n := range exp.Checkpoint.AppliedSvc {
+			spec, ok := in.Fed.Spec(svc)
+			if !ok {
+				return fmt.Errorf("checkpoint summarizes unknown service %q", svc)
+			}
+			delta := n
+			if spec.Kind == activity.Compensation {
+				delta = -n
+			}
+			sub, _ := in.Fed.Owner(svc)
+			for _, item := range spec.WriteSet {
+				want[sub.Name()+"/"+item] += delta
+			}
+		}
+	}
 	for _, ev := range sched.Events() {
 		if ev.Type != schedule.Invoke {
 			continue
@@ -147,8 +186,11 @@ func CheckRecovered(in CheckInput) error {
 		}
 	}
 
-	// 6. Idempotence: a second recovery changes nothing.
-	before := len(recs)
+	// 6. Idempotence: a second recovery changes nothing. Counted over
+	// the raw log — recovery never checkpoints, so any append shows up
+	// there (the expanded view renumbers across a checkpoint and cannot
+	// be compared directly).
+	before := len(raw)
 	report, err := scheduler.Recover(in.Fed, in.Log, in.Defs)
 	if err != nil {
 		return fmt.Errorf("second recovery: %w", err)
@@ -163,6 +205,101 @@ func CheckRecovered(in CheckInput) error {
 	if report.Compensations != 0 || report.ForwardInvocations != 0 ||
 		report.Resolved2PCCommitted != 0 || report.Resolved2PCAborted != 0 {
 		return fmt.Errorf("second recovery did work: %+v", report)
+	}
+
+	// 7. Differential: when the full history is still on disk (a
+	// checkpointed but uncompacted log), checkpoint-based recovery must
+	// be state- and outcome-identical to a full-log replay — same
+	// per-process images for every live process, terminated-only
+	// summaries, a prefix-reducible full schedule and the same
+	// exactly-once accounting without the checkpoint's summary counts.
+	if exp.Checkpoint != nil && !in.Compacted {
+		if err := checkFullReplayEquivalence(in, raw, images, got); err != nil {
+			return fmt.Errorf("checkpoint/full-replay differential: %w", err)
+		}
+	}
+	return nil
+}
+
+// checkFullReplayEquivalence replays the complete (checkpoint-free)
+// history and cross-checks it against the expanded-view results: the
+// checkpoint must be a lossless summary.
+func checkFullReplayEquivalence(in CheckInput, raw []wal.Record, expImages map[string]*wal.ProcImage, got map[string]int64) error {
+	var full []wal.Record
+	for _, r := range raw {
+		if r.Type != wal.RecCheckpoint {
+			full = append(full, r)
+		}
+	}
+	fullImages, err := wal.Analyze(full)
+	if err != nil && err != wal.ErrNoLog {
+		return fmt.Errorf("analyzing full log: %w", err)
+	}
+	// Every process the expanded view knows must have the exact same
+	// image under full replay; processes only the full log knows must
+	// be terminated (that is what licensed summarizing them away).
+	for id, img := range expImages {
+		fimg := fullImages[id]
+		if fimg == nil {
+			return fmt.Errorf("process %s exists in the expanded view but not under full replay", id)
+		}
+		if !reflect.DeepEqual(img, fimg) {
+			return fmt.Errorf("process %s: expanded image %+v != full-replay image %+v", id, img, fimg)
+		}
+	}
+	for id, fimg := range fullImages {
+		if expImages[id] != nil {
+			continue
+		}
+		if !fimg.Terminated {
+			return fmt.Errorf("process %s was summarized by the checkpoint but is not terminated under full replay", id)
+		}
+	}
+	// The full combined schedule is prefix-reducible too.
+	table, err := in.Fed.ConflictTable()
+	if err != nil {
+		return fmt.Errorf("conflict table: %w", err)
+	}
+	fullSched, err := ScheduleFromWAL(table, in.Defs, full, in.PreCrashFull)
+	if err != nil {
+		return fmt.Errorf("reconstructing full schedule: %w", err)
+	}
+	ok, at, _, err := fullSched.PRED()
+	if err != nil {
+		return fmt.Errorf("full PRED check: %w", err)
+	}
+	if !ok {
+		return fmt.Errorf("full-replay schedule not prefix-reducible (prefix %d)", at)
+	}
+	// Exactly-once from the full history alone (no checkpoint counts)
+	// must match the same subsystem state.
+	want := make(map[string]int64)
+	for _, ev := range fullSched.Events() {
+		if ev.Type != schedule.Invoke {
+			continue
+		}
+		spec, ok := in.Fed.Spec(ev.Service)
+		if !ok {
+			return fmt.Errorf("full schedule uses unknown service %q", ev.Service)
+		}
+		delta := int64(1)
+		if spec.Kind == activity.Compensation {
+			delta = -1
+		}
+		sub, _ := in.Fed.Owner(ev.Service)
+		for _, item := range spec.WriteSet {
+			want[sub.Name()+"/"+item] += delta
+		}
+	}
+	for item, v := range got {
+		if v != want[item] {
+			return fmt.Errorf("item %s: subsystem has %d, full-replay committed work accounts for %d", item, v, want[item])
+		}
+	}
+	for item, v := range want {
+		if v != 0 && got[item] != v {
+			return fmt.Errorf("item %s: full-replay committed work accounts for %d, subsystem has %d", item, v, got[item])
+		}
 	}
 	return nil
 }

@@ -18,6 +18,8 @@ package fault
 import (
 	"fmt"
 	"sync"
+
+	"transproc/internal/wal"
 )
 
 // Crash point names threaded through the engines.
@@ -37,6 +39,14 @@ const (
 	// PointWALAppend is reported by the fault WAL wrapper when its
 	// record budget trips.
 	PointWALAppend = "wal:append"
+	// Checkpoint/compaction crash points (defined in internal/wal and
+	// re-exported here): before the checkpoint build, before the
+	// checkpoint record append, between the compacted temp file and the
+	// rename, and between the rename and the parent-directory fsync.
+	PointCheckpointBuild  = wal.PointCheckpointBuild
+	PointCheckpointAppend = wal.PointCheckpointAppend
+	PointCompactRename    = wal.PointCompactRename
+	PointCompactDirSync   = wal.PointCompactDirSync
 )
 
 // Crash is the sentinel an armed fault panics with. The engines

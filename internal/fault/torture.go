@@ -39,13 +39,23 @@ type Scenario struct {
 	// pass after that many appended records; a second pass then
 	// finishes the job.
 	CrashRecoveryAfter int
-	Plan               Plan
+	// CheckpointEvery / CheckpointLimit / CompactOnCheckpoint are
+	// passed through to the engine config: fuzzy checkpoints every N
+	// force-log appends, at most Limit of them (0 = unlimited), with
+	// optional physical compaction after each.
+	CheckpointEvery     int
+	CheckpointLimit     int
+	CompactOnCheckpoint bool
+	Plan                Plan
 }
 
-// ScenarioFor derives the deterministic scenario of a seed. Ten
+// ScenarioFor derives the deterministic scenario of a seed. Fourteen
 // scenario classes cycle by seed: WAL-budget crashes (mem and file,
 // torn and garbage tails), every named crash point, concurrent-runtime
-// kills and crash-during-recovery double faults.
+// kills, crash-during-recovery double faults, and the checkpointing
+// classes — crash mid-checkpoint, crash inside compaction's
+// rename/dir-fsync window, a stale checkpoint under a long tail, and
+// crash during recovery-from-checkpoint.
 func ScenarioFor(seed int64) Scenario {
 	rng := rand.New(rand.NewSource(seed*6364136223846793005 + 1442695040888963407))
 	sc := Scenario{Seed: seed, Engine: "engine", Mode: scheduler.PRED}
@@ -55,7 +65,7 @@ func ScenarioFor(seed int64) Scenario {
 	budget := 5 + rng.Intn(140)
 	hits := 1 + rng.Intn(40)
 	sc.Plan.Seed = seed
-	switch seed % 10 {
+	switch seed % 14 {
 	case 0:
 		sc.Class = "wal-budget"
 		sc.Plan.CrashAfterWALRecords = budget
@@ -95,6 +105,59 @@ func ScenarioFor(seed int64) Scenario {
 		sc.Plan.CrashAfterWALRecords = budget
 	case 9:
 		sc.Class = "crash-during-recovery"
+		sc.Plan.CrashAfterWALRecords = budget
+		sc.CrashRecoveryAfter = 1 + rng.Intn(12)
+	case 10:
+		// Crash inside the checkpoint itself: either before the build's
+		// log snapshot or right before the checkpoint record append
+		// (the fuzzy window). Recovery must come up from whatever made
+		// it to disk — the previous checkpoint or a full replay.
+		sc.Class = "ckpt-mid-build"
+		sc.CheckpointEvery = 4 + rng.Intn(8)
+		sc.FileWAL = rng.Intn(2) == 0
+		sc.Plan.CrashAtPoint = PointCheckpointBuild
+		if rng.Intn(2) == 0 {
+			sc.Plan.CrashAtPoint = PointCheckpointAppend
+		}
+		sc.Plan.CrashAtCount = 1 + rng.Intn(3)
+	case 11:
+		// Crash inside compaction's atomic-swap window: after the temp
+		// file is durable but before the rename, or after the rename
+		// but before the parent-dir fsync. Either the old or the new
+		// complete log must be what recovery reopens.
+		sc.Class = "compact-crash"
+		sc.FileWAL = true
+		sc.CheckpointEvery = 4 + rng.Intn(8)
+		sc.CompactOnCheckpoint = true
+		sc.Plan.CrashAtPoint = PointCompactRename
+		if rng.Intn(2) == 0 {
+			sc.Plan.CrashAtPoint = PointCompactDirSync
+		}
+		sc.Plan.CrashAtCount = 1 + rng.Intn(2)
+	case 12:
+		// A checkpoint taken early and never again (CheckpointLimit 1):
+		// the crash hits under a long post-checkpoint tail, so recovery
+		// replays a stale checkpoint plus many tail records.
+		sc.Class = "stale-ckpt-long-tail"
+		sc.CheckpointEvery = 4 + rng.Intn(4)
+		sc.CheckpointLimit = 1
+		sc.FileWAL = rng.Intn(2) == 0
+		sc.CompactOnCheckpoint = sc.FileWAL && rng.Intn(2) == 0
+		sc.Plan.CrashAfterWALRecords = 40 + rng.Intn(100)
+		if sc.FileWAL && rng.Intn(2) == 0 {
+			sc.Plan.TornTailBytes = 1 + rng.Intn(30)
+		}
+	case 13:
+		// Crash during recovery-from-checkpoint: the run checkpoints
+		// (and sometimes compacts), crashes on a WAL budget, and the
+		// first Recover pass dies too; the second pass must finish from
+		// checkpoint + tail + the interrupted pass's records.
+		sc.Class = "ckpt-recovery-crash"
+		if rng.Intn(2) == 0 {
+			sc.Engine = "runtime"
+		}
+		sc.CheckpointEvery = 4 + rng.Intn(8)
+		sc.CompactOnCheckpoint = rng.Intn(2) == 0
 		sc.Plan.CrashAfterWALRecords = budget
 		sc.CrashRecoveryAfter = 1 + rng.Intn(12)
 	}
@@ -232,7 +295,16 @@ func RunScenario(sc Scenario, dir string) error {
 	if err != nil {
 		return fmt.Errorf("seed %d: reading pre-recovery log: %w", sc.Seed, err)
 	}
-	pre := len(preRecs)
+	// Invariants run in expanded coordinates (checkpoint live set +
+	// post-horizon tail); the full-replay differential also needs the
+	// boundary in raw non-checkpoint coordinates.
+	pre := len(wal.Expand(preRecs).Records)
+	preFull := 0
+	for _, r := range preRecs {
+		if r.Type != wal.RecCheckpoint {
+			preFull++
+		}
+	}
 
 	// First recovery, optionally crashed mid-way by a fresh WAL budget
 	// (double-fault: the recovering system dies too).
@@ -254,11 +326,21 @@ func RunScenario(sc Scenario, dir string) error {
 
 	if err := CheckRecovered(CheckInput{
 		Fed: w.Fed, Log: recLog, Defs: defs, PreCrashRecords: pre,
+		PreCrashFull: preFull, Compacted: sc.CompactOnCheckpoint,
 	}); err != nil {
 		return fmt.Errorf("seed %d (%s): %w", sc.Seed, sc.Class, err)
 	}
 	return nil
 }
+
+// tortureMaxRestarts bounds per-process restarts in torture runs.
+// Permanently failed services (SubsystemFail rules) make their process
+// retry until the budget is exhausted and then group-abort; a large
+// budget turns that into a retry storm whose multi-thousand-record log
+// makes the PRED invariant check (quadratic in prefixes) take minutes
+// for a single seed. 24 keeps the exhaustion path exercised while
+// bounding the schedule the checker must reduce.
+const tortureMaxRestarts = 24
 
 // runUntilCrash drives the scenario's engine until the injected crash
 // or clean completion; crashed reports which.
@@ -266,7 +348,9 @@ func runUntilCrash(sc Scenario, fed *subsystem.Federation, log wal.Log, inj *Inj
 	switch sc.Engine {
 	case "runtime":
 		r, err := runtime.New(fed, runtime.Config{
-			Mode: sc.Mode, Log: log, MaxRestarts: 64, Inject: inj.Point,
+			Mode: sc.Mode, Log: log, MaxRestarts: tortureMaxRestarts, Inject: inj.Point,
+			CheckpointEvery: sc.CheckpointEvery, CheckpointLimit: sc.CheckpointLimit,
+			CompactOnCheckpoint: sc.CompactOnCheckpoint,
 		})
 		if err != nil {
 			return false, err
@@ -281,7 +365,9 @@ func runUntilCrash(sc Scenario, fed *subsystem.Federation, log wal.Log, inj *Inj
 		return false, err
 	default:
 		eng, err := scheduler.New(fed, scheduler.Config{
-			Mode: sc.Mode, Log: log, MaxRestarts: 64, Inject: inj.Point,
+			Mode: sc.Mode, Log: log, MaxRestarts: tortureMaxRestarts, Inject: inj.Point,
+			CheckpointEvery: sc.CheckpointEvery, CheckpointLimit: sc.CheckpointLimit,
+			CompactOnCheckpoint: sc.CompactOnCheckpoint,
 		})
 		if err != nil {
 			return false, err
@@ -349,12 +435,44 @@ type Summary struct {
 	ByClass   map[string]int `json:"byClass"`
 }
 
+// TortureOpts force checkpointing onto every scenario of a batch (on
+// top of whatever the scenario class already configures), so the whole
+// battery can be re-run with checkpoints live under every crash class.
+type TortureOpts struct {
+	// CheckpointEvery forces fuzzy checkpoints every N force-log
+	// appends on scenarios that don't already checkpoint.
+	CheckpointEvery int
+	// CheckpointLimit caps forced checkpoints (0 = unlimited).
+	CheckpointLimit int
+	// Compact compacts after every checkpoint on file-backed scenarios.
+	Compact bool
+}
+
+// Apply overlays the forced options onto a scenario without disturbing
+// classes that configure their own checkpoint cadence.
+func (o TortureOpts) Apply(sc *Scenario) {
+	if o.CheckpointEvery > 0 && sc.CheckpointEvery == 0 {
+		sc.CheckpointEvery = o.CheckpointEvery
+		sc.CheckpointLimit = o.CheckpointLimit
+	}
+	if o.Compact && sc.CheckpointEvery > 0 {
+		sc.CompactOnCheckpoint = true
+	}
+}
+
 // RunTorture runs the scenarios of seeds [first, first+n) and collects
 // a summary; every failure message embeds the reproducing seed.
 func RunTorture(first, n int64, dir string) Summary {
+	return RunTortureOpts(first, n, dir, TortureOpts{})
+}
+
+// RunTortureOpts is RunTorture with forced checkpoint options overlaid
+// on every scenario.
+func RunTortureOpts(first, n int64, dir string, opts TortureOpts) Summary {
 	sum := Summary{ByClass: make(map[string]int)}
 	for seed := first; seed < first+n; seed++ {
 		sc := ScenarioFor(seed)
+		opts.Apply(&sc)
 		sum.Scenarios++
 		sum.ByClass[sc.Class]++
 		// Armed-plan attribution (the scenario checks its invariants

@@ -9,7 +9,18 @@ var (
 	tortureSeed  = flag.Int64("torture.seed", -1, "run only this torture seed (reproduce a failure)")
 	tortureFirst = flag.Int64("torture.first", 0, "first torture seed of the battery")
 	tortureCount = flag.Int64("torture.count", 200, "number of torture seeds to run")
+	tortureCkpt  = flag.Bool("torture.ckpt", false, "force fuzzy checkpoints (every 6 appends, compacting) onto every scenario")
 )
+
+// forcedOpts returns the battery-wide checkpoint overlay selected by
+// -torture.ckpt: checkpoints live under every crash class, compacting
+// whenever the class already checkpoints or the overlay arms it.
+func forcedOpts() TortureOpts {
+	if !*tortureCkpt {
+		return TortureOpts{}
+	}
+	return TortureOpts{CheckpointEvery: 6, Compact: true}
+}
 
 // TestTortureBattery runs the crash-torture battery: for each seed a
 // deterministic workload is run under a seeded fault plan (WAL-budget
@@ -20,10 +31,12 @@ var (
 //
 //	go test ./internal/fault -run TortureBattery -torture.seed=N -v
 func TestTortureBattery(t *testing.T) {
+	opts := forcedOpts()
 	if *tortureSeed >= 0 {
 		sc := ScenarioFor(*tortureSeed)
-		t.Logf("seed %d: class=%s engine=%s mode=%v plan=%+v",
-			sc.Seed, sc.Class, sc.Engine, sc.Mode, sc.Plan)
+		opts.Apply(&sc)
+		t.Logf("seed %d: class=%s engine=%s mode=%v ckptEvery=%d compact=%v plan=%+v",
+			sc.Seed, sc.Class, sc.Engine, sc.Mode, sc.CheckpointEvery, sc.CompactOnCheckpoint, sc.Plan)
 		if err := RunScenario(sc, t.TempDir()); err != nil {
 			t.Fatal(err)
 		}
@@ -38,10 +51,11 @@ func TestTortureBattery(t *testing.T) {
 	byClass := make(map[string]int)
 	for seed := first; seed < first+count; seed++ {
 		sc := ScenarioFor(seed)
+		opts.Apply(&sc)
 		byClass[sc.Class]++
 		if err := RunScenario(sc, dir); err != nil {
-			t.Errorf("torture scenario failed (reproduce: go test ./internal/fault -run TortureBattery -torture.seed=%d -v): %v",
-				seed, err)
+			t.Errorf("torture scenario failed (reproduce: go test ./internal/fault -run TortureBattery -torture.seed=%d -torture.ckpt=%v -v): %v",
+				seed, *tortureCkpt, err)
 			continue
 		}
 		// Crash attribution is best-effort for the summary only; the

@@ -88,3 +88,14 @@ func (w *WAL) SetMetrics(m *metrics.Registry) {
 		il.SetMetrics(m)
 	}
 }
+
+// Compact forwards to a compaction-capable backend (the engines see
+// the wrapper as their log, so checkpoint-driven compaction must pass
+// through the injection seam); a backend without compaction support
+// makes it a no-op.
+func (w *WAL) Compact(inject func(string)) error {
+	if c, ok := w.inner.(wal.Compactor); ok {
+		return c.Compact(inject)
+	}
+	return nil
+}

@@ -91,6 +91,13 @@ const (
 	WALBytes
 	WALFsyncs
 
+	// Checkpointing and compaction: checkpoints taken, physical log
+	// rewrites, and recoveries that found a corrupt checkpoint and
+	// fell back to a wider replay.
+	Checkpoints
+	Compactions
+	CheckpointFallbacks
+
 	numCounters
 )
 
@@ -138,6 +145,9 @@ var counterNames = [numCounters]string{
 	WALAppends:             "wal.appends",
 	WALBytes:               "wal.bytes",
 	WALFsyncs:              "wal.fsyncs",
+	Checkpoints:            "wal.checkpoints",
+	Compactions:            "wal.compactions",
+	CheckpointFallbacks:    "recovery.checkpoint_fallbacks",
 }
 
 // String returns the dotted counter name.
@@ -170,17 +180,30 @@ const (
 	// HistRetryAttempts is the transport attempts per resilient
 	// invocation (1 = first try succeeded).
 	HistRetryAttempts
+	// HistReplayRecords is the number of records each recovery pass
+	// actually replayed (checkpoint live set + tail); bounded by the
+	// tail length once checkpointing is on.
+	HistReplayRecords
+	// HistReplaySkipped is the number of summarized records each
+	// recovery pass did NOT have to replay thanks to the checkpoint.
+	HistReplaySkipped
+	// HistCheckpointLive is the live-record count captured per
+	// checkpoint (the checkpoint's own size driver).
+	HistCheckpointLive
 
 	numHists
 )
 
 var histNames = [numHists]string{
-	HistProcDuration:  "proc.duration_ticks",
-	HistProcBlocked:   "proc.blocked_commit_ticks",
-	HistPreparedSet:   "twopc.prepared_set_size",
-	HistInDoubt:       "subsystem.in_doubt_size",
-	HistRetryLatency:  "chaos.retry_latency_ticks",
-	HistRetryAttempts: "chaos.attempts_per_invoke",
+	HistProcDuration:   "proc.duration_ticks",
+	HistProcBlocked:    "proc.blocked_commit_ticks",
+	HistPreparedSet:    "twopc.prepared_set_size",
+	HistInDoubt:        "subsystem.in_doubt_size",
+	HistRetryLatency:   "chaos.retry_latency_ticks",
+	HistRetryAttempts:  "chaos.attempts_per_invoke",
+	HistReplayRecords:  "recovery.replay_records",
+	HistReplaySkipped:  "recovery.replay_skipped",
+	HistCheckpointLive: "wal.checkpoint_live_records",
 }
 
 // String returns the dotted histogram name.

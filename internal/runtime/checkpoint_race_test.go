@@ -1,0 +1,160 @@
+package runtime_test
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"transproc/internal/fault"
+	"transproc/internal/process"
+	"transproc/internal/runtime"
+	"transproc/internal/scheduler"
+	"transproc/internal/wal"
+	"transproc/internal/workload"
+)
+
+// ackLog wraps a log and remembers every append the caller got an LSN
+// back for — the set of acknowledged records a fuzzy checkpoint racing
+// the writer must never lose.
+type ackLog struct {
+	inner wal.Log
+	mu    sync.Mutex
+	acked []wal.Record
+}
+
+func (a *ackLog) Append(r wal.Record) (int64, error) {
+	lsn, err := a.inner.Append(r)
+	if err != nil {
+		return lsn, err
+	}
+	r.LSN = lsn
+	a.mu.Lock()
+	a.acked = append(a.acked, r)
+	a.mu.Unlock()
+	return lsn, nil
+}
+
+func (a *ackLog) Records() ([]wal.Record, error) { return a.inner.Records() }
+func (a *ackLog) Close() error                   { return a.inner.Close() }
+
+func (a *ackLog) Acked() []wal.Record {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]wal.Record(nil), a.acked...)
+}
+
+// TestCheckpointConcurrentWithAppends runs an external checkpointer —
+// TakeCheckpoint plus physical compaction in a tight loop — against the
+// concurrent runtime's live appends (the fuzzy-window race, meant for
+// -race). Afterwards, every acknowledged append must still be reachable
+// through the expanded view: in the post-horizon tail verbatim, or
+// covered by the checkpoint (its process summarized only once
+// terminated). Recovery over the compacted survivor must satisfy every
+// recovery guarantee.
+func TestCheckpointConcurrentWithAppends(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		p := workload.DefaultProfile(seed)
+		p.Processes = 10
+		p.ConflictProb = 0.4
+		p.PermFailureProb = 0
+		p.TransientFailureProb = 0.1
+		w := workload.MustGenerate(p)
+		defs := make([]*process.Process, 0, len(w.Jobs))
+		for _, j := range w.Jobs {
+			defs = append(defs, j.Proc)
+		}
+		table, err := w.Fed.ConflictTable()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		path := filepath.Join(t.TempDir(), "race.log")
+		fl, err := wal.OpenFile(path, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log := &ackLog{inner: fl}
+
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := wal.TakeCheckpoint(fl, table.Conflicts, nil, nil); err != nil {
+					t.Errorf("concurrent TakeCheckpoint: %v", err)
+					return
+				}
+				if err := fl.Compact(nil); err != nil {
+					t.Errorf("concurrent Compact: %v", err)
+					return
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+
+		r, err := runtime.New(w.Fed, runtime.Config{
+			Mode: scheduler.PRED, Log: log, MaxRestarts: 16, Workers: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, runErr := r.Run(context.Background(), w.Jobs)
+		close(stop)
+		<-done
+		if runErr != nil {
+			t.Fatalf("seed %d: run: %v", seed, runErr)
+		}
+
+		recs, err := fl.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := wal.Expand(recs)
+		images, err := wal.Analyze(exp.Records)
+		if err == wal.ErrNoLog {
+			images = nil // final checkpoint summarized the whole history
+		} else if err != nil {
+			t.Fatalf("seed %d: analyzing expansion: %v", seed, err)
+		}
+		inTail := make(map[int64]bool)
+		horizon := int64(0)
+		if exp.Checkpoint != nil {
+			horizon = exp.Checkpoint.Horizon
+		}
+		for _, r := range exp.Records {
+			inTail[r.LSN] = true
+		}
+		for _, a := range log.Acked() {
+			if inTail[a.LSN] {
+				continue
+			}
+			// Not replayed verbatim: only legal when the checkpoint
+			// covers it and its process was summarized as terminated
+			// (or the record carried no process at all).
+			if a.LSN > horizon {
+				t.Fatalf("seed %d: acked record past the horizon lost by expansion: %+v", seed, a)
+			}
+			if img := images[a.Proc]; img != nil {
+				t.Fatalf("seed %d: record of live process %s summarized away: %+v", seed, a.Proc, a)
+			}
+		}
+
+		if _, err := scheduler.Recover(w.Fed, fl, defs); err != nil {
+			t.Fatalf("seed %d: recovery: %v", seed, err)
+		}
+		if err := fault.CheckRecovered(fault.CheckInput{
+			Fed: w.Fed, Log: fl, Defs: defs,
+			PreCrashRecords: len(exp.Records), Compacted: true,
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fl.Close()
+	}
+}

@@ -79,6 +79,17 @@ type Config struct {
 	// leaving log and subsystem state for scheduler.Recover. No-op when
 	// nil.
 	Inject func(point string)
+	// CheckpointEvery, when positive, takes a fuzzy checkpoint
+	// (wal.TakeCheckpoint) after every that many runtime force-log
+	// appends, under the runtime mutex — live appends from other
+	// workers queue behind it, which is exactly the fuzzy-checkpoint
+	// window the recovery path must tolerate. 0 disables.
+	CheckpointEvery int
+	// CheckpointLimit caps the checkpoints of one run (0 = unlimited).
+	CheckpointLimit int
+	// CompactOnCheckpoint rewrites the log as checkpoint + tail after
+	// each checkpoint when the log supports it (wal.Compactor).
+	CompactOnCheckpoint bool
 	// Resilience, when non-nil, routes activity invocations through a
 	// resilience layer (internal/chaos) exactly as in the sequential
 	// engine (scheduler.Config.Resilience): typed retries, breakers and
@@ -186,6 +197,11 @@ type Runtime struct {
 	outcomes map[process.ID]*scheduler.Outcome
 	allProcs []*process.Process
 	start    time.Time
+
+	// Checkpointing state (Config.CheckpointEvery), guarded by mu.
+	ckptAppends int
+	ckptTaken   int
+	ckptBusy    bool
 }
 
 // New creates a runtime over the federation.
@@ -248,7 +264,41 @@ func (r *Runtime) append(rec wal.Record) bool {
 	if r.err != nil {
 		return false
 	}
-	return r.guard(func() { r.log.Append(rec) })
+	return r.guard(func() {
+		r.log.Append(rec)
+		r.maybeCheckpointLocked()
+	})
+}
+
+// maybeCheckpointLocked takes a fuzzy checkpoint (and optionally
+// compacts) once CheckpointEvery appends accumulated. Called with
+// r.mu held from inside the append guard: an injected crash sentinel
+// unwinds into guard's recover like any other force-log crash. A
+// failed (non-crash) attempt is dropped — checkpointing never fails
+// the run.
+func (r *Runtime) maybeCheckpointLocked() {
+	if r.cfg.CheckpointEvery <= 0 || r.ckptBusy {
+		return
+	}
+	r.ckptAppends++
+	if r.ckptAppends < r.cfg.CheckpointEvery {
+		return
+	}
+	if r.cfg.CheckpointLimit > 0 && r.ckptTaken >= r.cfg.CheckpointLimit {
+		return
+	}
+	r.ckptBusy = true
+	defer func() { r.ckptBusy = false }()
+	if _, err := wal.TakeCheckpoint(r.log, r.pol.Conflicts, r.cfg.Inject, r.reg); err != nil {
+		return
+	}
+	r.ckptAppends = 0
+	r.ckptTaken++
+	if r.cfg.CompactOnCheckpoint {
+		if c, ok := r.log.(wal.Compactor); ok {
+			c.Compact(r.cfg.Inject)
+		}
+	}
 }
 
 // inject fires a named crash point; false when it tripped the crash.

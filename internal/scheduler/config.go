@@ -129,6 +129,20 @@ type Config struct {
 	// the partial result, leaving log and subsystem state for Recover.
 	// No-op when nil.
 	Inject func(point string)
+	// CheckpointEvery, when positive, takes a fuzzy checkpoint
+	// (wal.TakeCheckpoint) after every that many engine force-log
+	// appends: the checkpoint record summarizes all pre-horizon history
+	// so recovery replays checkpoint + tail instead of the whole log.
+	// 0 (the default) disables checkpointing.
+	CheckpointEvery int
+	// CheckpointLimit caps the checkpoints of one run (0 = unlimited);
+	// torture scenarios use it to age a checkpoint under a long tail.
+	CheckpointLimit int
+	// CompactOnCheckpoint atomically rewrites the log as
+	// checkpoint + tail after each checkpoint, when the log supports it
+	// (wal.Compactor): temp file → fsync → rename → parent-dir fsync
+	// for the file log, an in-memory splice for MemLog.
+	CompactOnCheckpoint bool
 	// DebugFirstStall prints the engine state at the first stall
 	// resolution (diagnostic aid).
 	DebugFirstStall bool

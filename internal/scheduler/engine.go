@@ -128,6 +128,11 @@ type Engine struct {
 	outcomes    map[process.ID]*Outcome
 	origProcs   []*process.Process
 	allProcs    []*process.Process // including restarts
+
+	// Checkpointing state (Config.CheckpointEvery).
+	ckptAppends int  // force-log appends since the last checkpoint
+	ckptTaken   int  // checkpoints taken this run
+	ckptBusy    bool // a checkpoint append must not recurse
 }
 
 // engView adapts the engine's process table to the policy's View.
@@ -256,7 +261,39 @@ func New(fed *subsystem.Federation, cfg Config) (*Engine, error) {
 func (e *Engine) append(rec wal.Record) {
 	e.inject("sched:before-forcelog")
 	e.log.Append(rec)
+	e.maybeCheckpoint()
 	e.inject("sched:after-forcelog")
+}
+
+// maybeCheckpoint takes a fuzzy checkpoint (and optionally compacts
+// the log) once CheckpointEvery force-log appends have accumulated.
+// Checkpointing is an optimization: a failed attempt is dropped, never
+// surfaced into the run. Injected crash sentinels do propagate — a
+// crash inside a checkpoint is exactly what the torture battery
+// exercises.
+func (e *Engine) maybeCheckpoint() {
+	if e.cfg.CheckpointEvery <= 0 || e.ckptBusy {
+		return
+	}
+	e.ckptAppends++
+	if e.ckptAppends < e.cfg.CheckpointEvery {
+		return
+	}
+	if e.cfg.CheckpointLimit > 0 && e.ckptTaken >= e.cfg.CheckpointLimit {
+		return
+	}
+	e.ckptBusy = true
+	defer func() { e.ckptBusy = false }()
+	if _, err := wal.TakeCheckpoint(e.log, e.conflicts, e.cfg.Inject, e.reg); err != nil {
+		return
+	}
+	e.ckptAppends = 0
+	e.ckptTaken++
+	if e.cfg.CompactOnCheckpoint {
+		if c, ok := e.log.(wal.Compactor); ok {
+			c.Compact(e.cfg.Inject)
+		}
+	}
 }
 
 // inject fires a named crash point; no-op without a configured hook.

@@ -50,10 +50,22 @@ func Recover(fed *subsystem.Federation, log wal.Log, defs []*process.Process) (*
 // step are recorded as counters and decision-trace events. A nil
 // registry makes it identical to Recover.
 func RecoverWithMetrics(fed *subsystem.Federation, log wal.Log, defs []*process.Process, m *metrics.Registry) (*RecoveryReport, error) {
-	recs, err := log.Records()
+	raw, err := log.Records()
 	if err != nil {
 		return nil, err
 	}
+	// Bounded replay: start from the latest valid checkpoint instead of
+	// LSN 1. Expand yields the checkpoint's live records plus the
+	// post-horizon tail — or the full record list when no (valid)
+	// checkpoint exists, including the corrupt-checkpoint fallback.
+	exp := wal.Expand(raw)
+	m.Observe(metrics.HistReplayRecords, int64(len(exp.Records)))
+	m.Observe(metrics.HistReplaySkipped, int64(exp.Skipped))
+	if exp.Fallback {
+		m.Inc(metrics.CheckpointFallbacks)
+	}
+	ckpt := exp.Checkpoint
+	recs := exp.Records
 	images, err := wal.Analyze(recs)
 	if err == wal.ErrNoLog {
 		return &RecoveryReport{}, nil
@@ -150,11 +162,14 @@ func RecoverWithMetrics(fed *subsystem.Federation, log wal.Log, defs []*process.
 
 	// Re-read the log: phase 1 appended resolution records that the
 	// instance rebuild must observe (a decided prepared transaction is
-	// now committed, an undecided one rolled back).
-	recs, err = log.Records()
+	// now committed, an undecided one rolled back). Recovery never
+	// checkpoints, so the expansion's checkpoint is unchanged and the
+	// new records land in its tail.
+	raw, err = log.Records()
 	if err != nil {
 		return nil, err
 	}
+	recs = wal.Expand(raw).Records
 
 	// Phase 2: rebuild instances of active processes and compute their
 	// completions.
@@ -308,15 +323,16 @@ func RecoverWithMetrics(fed *subsystem.Federation, log wal.Log, defs []*process.
 	// serialization edges the log witnesses (built after the
 	// compensations ran: a compensated base no longer constrains).
 	if len(forwards) > 0 {
-		recsNow, err := log.Records()
+		rawNow, err := log.Records()
 		if err != nil {
 			return nil, err
 		}
+		recsNow := wal.Expand(rawNow).Records
 		fwSteps := make(map[process.ID][]string)
 		for _, gs := range forwards {
 			fwSteps[gs.pc.id] = append(fwSteps[gs.pc.id], gs.st.Service)
 		}
-		rank, err := commitSerializationRanks(fed, recsNow, fwSteps)
+		rank, err := commitSerializationRanks(fed, recsNow, fwSteps, ckpt)
 		if err != nil {
 			return nil, err
 		}
@@ -349,7 +365,15 @@ func RecoverWithMetrics(fed *subsystem.Federation, log wal.Log, defs []*process.
 // position, then id). A correct log cannot contain a cycle; should one
 // appear anyway, the remaining processes fall back to the tie-break
 // order.
-func commitSerializationRanks(fed *subsystem.Federation, recs []wal.Record, fwSteps map[process.ID][]string) (map[process.ID]int, error) {
+//
+// When recovery replays from a checkpoint (ckpt non-nil), the records
+// of summarized processes are gone — edges that ran through them are
+// re-created from the checkpoint's closure (Edges, live→live paths the
+// build already resolved) and its Shadow sets (summarized committed
+// services reachable from each live process, conflict-checked against
+// post-horizon events and the pending forward steps). Both encode only
+// paths that truly existed, so no spurious cycle can appear.
+func commitSerializationRanks(fed *subsystem.Federation, recs []wal.Record, fwSteps map[process.ID][]string, ckpt *wal.Checkpoint) (map[process.ID]int, error) {
 	table, err := fed.ConflictTable()
 	if err != nil {
 		return nil, err
@@ -363,6 +387,7 @@ func commitSerializationRanks(fed *subsystem.Federation, recs []wal.Record, fwSt
 	type commEv struct {
 		proc process.ID
 		svc  string
+		lsn  int64
 	}
 	var evs []commEv
 	first := make(map[process.ID]int)
@@ -383,7 +408,7 @@ func commitSerializationRanks(fed *subsystem.Federation, recs []wal.Record, fwSt
 		if _, ok := first[p]; !ok {
 			first[p] = i
 		}
-		evs = append(evs, commEv{proc: p, svc: r.Service})
+		evs = append(evs, commEv{proc: p, svc: r.Service, lsn: r.LSN})
 	}
 	succ := make(map[process.ID]map[process.ID]bool)
 	indeg := make(map[process.ID]int)
@@ -411,6 +436,43 @@ func commitSerializationRanks(fed *subsystem.Federation, recs []wal.Record, fwSt
 				if table.Conflicts(evs[i].svc, svc) {
 					addEdge(evs[i].proc, q)
 					break
+				}
+			}
+		}
+	}
+	if ckpt != nil {
+		// Closure edges among live processes, resolved at build time.
+		for _, ed := range ckpt.Edges {
+			a, b := process.ID(ed[0]), process.ID(ed[1])
+			if nodes[a] && nodes[b] {
+				addEdge(a, b)
+			}
+		}
+		// Shadow services: committed work of summarized processes
+		// reachable from a live one. A conflict with an event the
+		// build could not see (past the horizon) or with a pending
+		// forward step re-creates the transitive edge.
+		for p, svcs := range ckpt.Shadow {
+			pid := process.ID(p)
+			if !nodes[pid] {
+				continue
+			}
+			for _, s := range svcs {
+				for _, e := range evs {
+					if e.lsn > ckpt.Horizon && e.proc != pid && table.Conflicts(s, e.svc) {
+						addEdge(pid, e.proc)
+					}
+				}
+				for q, steps := range fwSteps {
+					if q == pid {
+						continue
+					}
+					for _, svc := range steps {
+						if table.Conflicts(s, svc) {
+							addEdge(pid, q)
+							break
+						}
+					}
 				}
 			}
 		}

@@ -1,0 +1,592 @@
+// Fuzzy checkpointing and log compaction. A checkpoint record
+// summarizes everything the log said before its horizon — the full
+// record set of every live process, the per-service effect counts of
+// terminated work, and the serialization edges terminated processes
+// mediated — so that recovery can replay checkpoint + tail instead of
+// the whole history, and compaction can rewrite the log to exactly
+// that. The checkpoint is fuzzy in the ARIES sense: appends may race
+// the build, and any record whose LSN lies past the horizon is simply
+// replayed from the tail regardless of where it sits in the file.
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"transproc/internal/metrics"
+)
+
+// Crash points fired inside checkpointing and compaction when an
+// inject hook is supplied (mirroring internal/fault's naming scheme;
+// the constants live here so the fault package can reference them
+// without a dependency cycle).
+const (
+	// PointCheckpointBuild fires before the checkpoint is built from
+	// the log snapshot; PointCheckpointAppend after the build, right
+	// before the checkpoint record is appended.
+	PointCheckpointBuild  = "wal:ckpt-build"
+	PointCheckpointAppend = "wal:ckpt-append"
+	// PointCompactRename fires after the compacted temp file is
+	// written and fsynced, right before the atomic rename;
+	// PointCompactDirSync between the rename and the parent-directory
+	// fsync that makes it durable.
+	PointCompactRename  = "wal:compact-rename"
+	PointCompactDirSync = "wal:compact-dirsync"
+)
+
+// maxCheckpointGraphEvents bounds the pairwise conflict-graph
+// construction of BuildCheckpoint. A build over more committed events
+// than this skips the Edges/Shadow computation (marking the checkpoint
+// Truncated) instead of going quadratic; recovery then falls back to
+// the tie-break order for forward steps whose ordering constraints ran
+// through summarized processes. Engine-driven checkpoints (every
+// CheckpointEvery appends, folding the previous checkpoint) stay far
+// below this bound.
+const maxCheckpointGraphEvents = 4096
+
+// Checkpoint is the payload of a RecCheckpoint record: a fuzzy summary
+// of the log up to Horizon.
+type Checkpoint struct {
+	// Horizon is the highest LSN the checkpoint covers. Every record
+	// with a larger LSN — wherever it sits in the file, including the
+	// fuzzy window between the build's snapshot and the checkpoint
+	// append — must be replayed from the tail.
+	Horizon int64 `json:"horizon"`
+	// Live holds every record (≤ Horizon) of every process that had
+	// not terminated at the horizon, verbatim and in log order, so
+	// recovery rebuilds live instances exactly as a full replay would.
+	Live []Record `json:"live,omitempty"`
+	// AppliedSvc counts, per service, the committed invocations of
+	// processes that had terminated at the horizon (compensations count
+	// under the compensation service's own name). It replaces the
+	// dropped records in the exactly-once accounting.
+	AppliedSvc map[string]int64 `json:"applied,omitempty"`
+	// Edges is the live×live reachability closure of the commit
+	// serialization graph at the horizon: [P, Q] means some chain of
+	// conflicting committed activities — possibly running through
+	// processes summarized away — orders P before Q.
+	Edges [][2]string `json:"edges,omitempty"`
+	// Shadow maps each live process to the committed services of
+	// summarized (terminated) processes reachable from it; at recovery
+	// a conflict between a shadow service and a post-horizon event or a
+	// forward completion step re-creates the transitive edge.
+	Shadow map[string][]string `json:"shadow,omitempty"`
+	// Procs is the live process count; Dropped the number of records
+	// the checkpoint summarized away (cumulative across checkpoints).
+	Procs   int `json:"procs"`
+	Dropped int `json:"dropped"`
+	// Truncated marks a build that skipped the Edges/Shadow graph
+	// because it exceeded maxCheckpointGraphEvents.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// valid is the structural acceptance test recovery applies before
+// trusting a decoded checkpoint; a checkpoint that fails it is ignored
+// and recovery falls back to the previous checkpoint or a full replay.
+func (c *Checkpoint) valid() bool {
+	if c == nil || c.Horizon < 0 {
+		return false
+	}
+	for _, r := range c.Live {
+		if r.LSN <= 0 || r.LSN > c.Horizon || r.Type == RecCheckpoint {
+			return false
+		}
+	}
+	for _, n := range c.AppliedSvc {
+		if n < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Expansion is the replay view Expand derives from a raw record list.
+type Expansion struct {
+	// Records is what recovery replays: the latest valid checkpoint's
+	// live records followed by every non-checkpoint record past the
+	// horizon, in log order. Without a usable checkpoint it is simply
+	// every non-checkpoint record.
+	Records []Record
+	// Checkpoint is the checkpoint the view is based on; nil means
+	// full replay.
+	Checkpoint *Checkpoint
+	// Skipped counts the records the checkpoint summarized away
+	// (replay work avoided relative to a full-history replay).
+	Skipped int
+	// Fallback is set when a checkpoint record was present but invalid
+	// or undecodable, forcing the fall back to an earlier checkpoint or
+	// a full replay.
+	Fallback bool
+}
+
+// Expand turns a raw record list (as returned by Log.Records, from a
+// compacted or uncompacted log) into the bounded replay view. It never
+// fails: a corrupt checkpoint only widens the replay window.
+func Expand(recs []Record) Expansion {
+	var exp Expansion
+	var cp *Checkpoint
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Type != RecCheckpoint {
+			continue
+		}
+		if recs[i].Checkpoint.valid() {
+			cp = recs[i].Checkpoint
+			break
+		}
+		exp.Fallback = true
+	}
+	if cp == nil {
+		for _, r := range recs {
+			if r.Type != RecCheckpoint {
+				exp.Records = append(exp.Records, r)
+			}
+		}
+		return exp
+	}
+	exp.Checkpoint = cp
+	exp.Skipped = cp.Dropped
+	exp.Records = append(exp.Records, cp.Live...)
+	for _, r := range recs {
+		if r.Type != RecCheckpoint && r.LSN > cp.Horizon {
+			exp.Records = append(exp.Records, r)
+		}
+	}
+	return exp
+}
+
+// BuildCheckpoint computes a fuzzy checkpoint over a log snapshot,
+// folding any earlier checkpoint the snapshot contains. conflicts is
+// the federation's service conflict predicate (used for the Edges and
+// Shadow serialization summaries); nil skips the graph entirely.
+func BuildCheckpoint(recs []Record, conflicts func(a, b string) bool) *Checkpoint {
+	exp := Expand(recs)
+	base, old := exp.Records, exp.Checkpoint
+	cp := &Checkpoint{AppliedSvc: make(map[string]int64)}
+	for _, r := range recs {
+		if r.LSN > cp.Horizon {
+			cp.Horizon = r.LSN
+		}
+	}
+
+	terminated := make(map[string]bool)
+	known := make(map[string]bool)
+	for _, r := range base {
+		if r.Proc == "" {
+			continue
+		}
+		known[r.Proc] = true
+		if r.Type == RecTerminate {
+			terminated[r.Proc] = true
+		}
+	}
+	live := func(proc string) bool { return known[proc] && !terminated[proc] }
+
+	for _, r := range base {
+		if live(r.Proc) {
+			cp.Live = append(cp.Live, r)
+		}
+	}
+
+	// Exactly-once accounting for the records being summarized: one
+	// count per committed (proc, local) — a redo-commit's RecResolved
+	// does not double a committed outcome already in the log — plus
+	// every compensation under its own service.
+	counted := make(map[string]bool)
+	for _, r := range base {
+		if live(r.Proc) {
+			continue
+		}
+		switch {
+		case r.Type == RecCompensate:
+			cp.AppliedSvc[r.Service]++
+		case (r.Type == RecOutcome && r.Outcome == "committed") ||
+			(r.Type == RecResolved && r.Commit):
+			key := fmt.Sprintf("%s/%d", r.Proc, r.Local)
+			if !counted[key] {
+				counted[key] = true
+				cp.AppliedSvc[r.Service]++
+			}
+		}
+	}
+	if old != nil {
+		for svc, n := range old.AppliedSvc {
+			cp.AppliedSvc[svc] += n
+		}
+		cp.Truncated = old.Truncated
+	}
+
+	for p := range known {
+		if !terminated[p] {
+			cp.Procs++
+		}
+	}
+	cp.Dropped = len(base) - len(cp.Live) + exp.Skipped
+
+	if conflicts != nil {
+		buildCheckpointGraph(cp, base, old, live, conflicts)
+	}
+	return cp
+}
+
+// buildCheckpointGraph computes Edges (live×live reachability through
+// the commit serialization graph) and Shadow (summarized committed
+// services reachable from each live process). Committed events sit at
+// their commit position and compensated bases no longer constrain —
+// the same event set commitSerializationRanks derives at recovery.
+func buildCheckpointGraph(cp *Checkpoint, base []Record, old *Checkpoint, live func(string) bool, conflicts func(a, b string) bool) {
+	type cpEv struct {
+		proc, svc string
+		lsn       int64
+	}
+	compensated := make(map[string]bool)
+	for _, r := range base {
+		if r.Type == RecCompensate {
+			compensated[fmt.Sprintf("%s/%d", r.Proc, r.Local)] = true
+		}
+	}
+	var evs []cpEv
+	emitted := make(map[string]bool)
+	for _, r := range base {
+		committed := (r.Type == RecOutcome && r.Outcome == "committed") ||
+			(r.Type == RecResolved && r.Commit)
+		key := fmt.Sprintf("%s/%d", r.Proc, r.Local)
+		if !committed || compensated[key] || emitted[key] {
+			continue
+		}
+		emitted[key] = true
+		evs = append(evs, cpEv{proc: r.Proc, svc: r.Service, lsn: r.LSN})
+	}
+	if len(evs) > maxCheckpointGraphEvents {
+		cp.Truncated = true
+		if old != nil {
+			cp.Edges = old.Edges
+			cp.Shadow = old.Shadow
+		}
+		return
+	}
+
+	succ := make(map[string]map[string]bool)
+	addEdge := func(a, b string) {
+		if a == b {
+			return
+		}
+		if succ[a] == nil {
+			succ[a] = make(map[string]bool)
+		}
+		succ[a][b] = true
+	}
+	// Direct edges: an earlier committed event conflicting with a later
+	// one orders the processes. perSvc keeps, per service, the set of
+	// processes that have emitted it so far — O(events × services)
+	// instead of O(events²).
+	perSvc := make(map[string]map[string]bool)
+	for _, e := range evs {
+		for svc, procs := range perSvc {
+			if !conflicts(svc, e.svc) {
+				continue
+			}
+			for p := range procs {
+				addEdge(p, e.proc)
+			}
+		}
+		if perSvc[e.svc] == nil {
+			perSvc[e.svc] = make(map[string]bool)
+		}
+		perSvc[e.svc][e.proc] = true
+	}
+	// Fold the previous checkpoint: its closure edges become direct
+	// edges, and its shadow services conflict-check against the events
+	// it could not see (past its horizon).
+	if old != nil {
+		for _, ed := range old.Edges {
+			addEdge(ed[0], ed[1])
+		}
+		for p, svcs := range old.Shadow {
+			for _, s := range svcs {
+				for _, e := range evs {
+					if e.lsn > old.Horizon && conflicts(s, e.svc) {
+						addEdge(p, e.proc)
+					}
+				}
+			}
+		}
+	}
+
+	// Committed services of the processes being summarized away.
+	termSvc := make(map[string]map[string]bool)
+	for _, e := range evs {
+		if live(e.proc) {
+			continue
+		}
+		if termSvc[e.proc] == nil {
+			termSvc[e.proc] = make(map[string]bool)
+		}
+		termSvc[e.proc][e.svc] = true
+	}
+	oldShadow := map[string][]string{}
+	if old != nil {
+		oldShadow = old.Shadow
+	}
+
+	var liveProcs []string
+	seen := make(map[string]bool)
+	collect := func(p string) {
+		if !seen[p] && live(p) {
+			seen[p] = true
+			liveProcs = append(liveProcs, p)
+		}
+	}
+	for _, e := range evs {
+		collect(e.proc)
+	}
+	for _, r := range base {
+		if r.Proc != "" {
+			collect(r.Proc)
+		}
+	}
+	sort.Strings(liveProcs)
+
+	shadow := make(map[string][]string)
+	for _, p := range liveProcs {
+		reach := make(map[string]bool)
+		queue := []string{p}
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			for n := range succ[q] {
+				if !reach[n] {
+					reach[n] = true
+					queue = append(queue, n)
+				}
+			}
+		}
+		svcSet := make(map[string]bool)
+		for _, s := range oldShadow[p] {
+			svcSet[s] = true
+		}
+		var targets []string
+		for q := range reach {
+			if live(q) {
+				targets = append(targets, q)
+				for _, s := range oldShadow[q] {
+					svcSet[s] = true
+				}
+				continue
+			}
+			for s := range termSvc[q] {
+				svcSet[s] = true
+			}
+			for _, s := range oldShadow[q] {
+				svcSet[s] = true
+			}
+		}
+		sort.Strings(targets)
+		for _, q := range targets {
+			cp.Edges = append(cp.Edges, [2]string{p, q})
+		}
+		if len(svcSet) > 0 {
+			svcs := make([]string, 0, len(svcSet))
+			for s := range svcSet {
+				svcs = append(svcs, s)
+			}
+			sort.Strings(svcs)
+			shadow[p] = svcs
+		}
+	}
+	if len(shadow) > 0 {
+		cp.Shadow = shadow
+	}
+}
+
+// TakeCheckpoint snapshots the log, builds a fuzzy checkpoint and
+// appends its record. inject, when non-nil, fires the named crash
+// points around the build and the append; m records the checkpoint
+// counters (nil is a no-op).
+func TakeCheckpoint(l Log, conflicts func(a, b string) bool, inject func(string), m *metrics.Registry) (*Checkpoint, error) {
+	if inject != nil {
+		inject(PointCheckpointBuild)
+	}
+	recs, err := l.Records()
+	if err != nil {
+		return nil, fmt.Errorf("wal: checkpoint snapshot: %w", err)
+	}
+	cp := BuildCheckpoint(recs, conflicts)
+	if inject != nil {
+		inject(PointCheckpointAppend)
+	}
+	if _, err := l.Append(Record{Type: RecCheckpoint, Checkpoint: cp}); err != nil {
+		return nil, fmt.Errorf("wal: appending checkpoint: %w", err)
+	}
+	m.Inc(metrics.Checkpoints)
+	m.Observe(metrics.HistCheckpointLive, int64(len(cp.Live)))
+	return cp, nil
+}
+
+// Compactor is a log that can atomically rewrite itself as its latest
+// checkpoint plus the post-horizon tail, truncating summarized
+// history. inject, when non-nil, fires the compaction crash points.
+type Compactor interface {
+	Compact(inject func(point string)) error
+}
+
+// Compact implements Compactor: the in-memory record list is replaced
+// by [latest valid checkpoint record, post-horizon tail]. A log
+// without a usable checkpoint is left untouched.
+func (l *MemLog) Compact(inject func(string)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := latestCheckpoint(l.recs)
+	if idx < 0 {
+		return nil
+	}
+	cp := l.recs[idx].Checkpoint
+	kept := []Record{l.recs[idx]}
+	for _, r := range l.recs {
+		if r.Type != RecCheckpoint && r.LSN > cp.Horizon {
+			kept = append(kept, r)
+		}
+	}
+	if inject != nil {
+		inject(PointCompactRename)
+		inject(PointCompactDirSync)
+	}
+	l.recs = kept
+	l.m.Inc(metrics.Compactions)
+	return nil
+}
+
+// Compact implements Compactor: the file is rewritten as [latest valid
+// checkpoint record, post-horizon tail] via temp file → fsync → rename
+// → parent-directory fsync, so a crash at any point leaves either the
+// old complete log or the new complete log. The LSN counter is
+// preserved (compaction renumbers nothing; the log simply gains a
+// gap). A log without a usable checkpoint is left untouched.
+func (l *FileLog) Compact(inject func(string)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: compact flush: %w", err)
+	}
+	recs, err := l.readLocked()
+	if err != nil {
+		return err
+	}
+	idx := latestCheckpoint(recs)
+	if idx < 0 {
+		return nil
+	}
+	cp := recs[idx].Checkpoint
+	kept := []Record{recs[idx]}
+	for _, r := range recs {
+		if r.Type != RecCheckpoint && r.LSN > cp.Horizon {
+			kept = append(kept, r)
+		}
+	}
+
+	tmp := l.path + ".compact"
+	os.Remove(tmp) // a crashed earlier compaction may have left one
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: compact temp: %w", err)
+	}
+	bw := bufio.NewWriter(tf)
+	for _, r := range kept {
+		b, err := json.Marshal(r)
+		if err != nil {
+			tf.Close()
+			return fmt.Errorf("wal: compact marshal: %w", err)
+		}
+		if _, err := bw.Write(append(b, '\n')); err != nil {
+			tf.Close()
+			return fmt.Errorf("wal: compact write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tf.Close()
+		return fmt.Errorf("wal: compact flush temp: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("wal: compact fsync temp: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("wal: compact close temp: %w", err)
+	}
+	if inject != nil {
+		inject(PointCompactRename)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return fmt.Errorf("wal: compact rename: %w", err)
+	}
+	if inject != nil {
+		inject(PointCompactDirSync)
+	}
+	if err := syncDir(filepath.Dir(l.path)); err != nil {
+		return err
+	}
+	// The open descriptor still references the replaced inode: swap it
+	// for the compacted file before any further append.
+	nf, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopening compacted log: %w", err)
+	}
+	l.f.Close()
+	l.f = nf
+	l.w = bufio.NewWriter(nf)
+	l.m.Inc(metrics.Compactions)
+	return nil
+}
+
+// readLocked re-reads the decodable records of the file; the caller
+// holds l.mu and has flushed the writer.
+func (l *FileLog) readLocked() ([]Record, error) {
+	if _, err := l.f.Seek(0, 0); err != nil {
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	var out []Record
+	sc := bufio.NewScanner(l.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			break
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("wal: scan: %w", err)
+	}
+	if _, err := l.f.Seek(0, 2); err != nil {
+		return nil, fmt.Errorf("wal: seek end: %w", err)
+	}
+	return out, nil
+}
+
+// latestCheckpoint returns the index of the last structurally valid
+// checkpoint record, or -1.
+func latestCheckpoint(recs []Record) int {
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Type == RecCheckpoint && recs[i].Checkpoint.valid() {
+			return i
+		}
+	}
+	return -1
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed file
+// inside it survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir %s: %w", dir, err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("wal: fsync dir %s: %w", dir, err)
+	}
+	return d.Close()
+}

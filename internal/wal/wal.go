@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"transproc/internal/metrics"
@@ -44,6 +45,11 @@ const (
 	RecResolved
 	// RecTerminate: the process terminated (C_i, or abort completion).
 	RecTerminate
+	// RecCheckpoint: a fuzzy checkpoint — the record carries a
+	// Checkpoint payload summarizing everything before its horizon
+	// (see checkpoint.go). Appended last so the on-disk numeric values
+	// of the earlier types never change.
+	RecCheckpoint
 )
 
 // String returns a short label.
@@ -67,6 +73,8 @@ func (t RecType) String() string {
 		return "resolved"
 	case RecTerminate:
 		return "terminate"
+	case RecCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("RecType(%d)", int(t))
 	}
@@ -88,6 +96,8 @@ type Record struct {
 	// Commit for RecResolved: the prepared transaction was committed
 	// (true) or rolled back (false).
 	Commit bool `json:"commit,omitempty"`
+	// Checkpoint is the payload of a RecCheckpoint record.
+	Checkpoint *Checkpoint `json:"ckpt,omitempty"`
 }
 
 // Backend is the minimal append-only store a write-ahead log is built
@@ -185,9 +195,20 @@ func (l *FileLog) SetMetrics(m *metrics.Registry) {
 // garbage — the tail would otherwise shadow every later record from
 // Records.
 func OpenFile(path string, syncEvery bool) (*FileLog, error) {
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if created {
+		// Make the new directory entry durable: without the parent-dir
+		// fsync a freshly created (and even fsynced) log file can
+		// vanish wholesale on power loss.
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	recs, validEnd, err := scanValid(f)
 	if err != nil {
@@ -300,13 +321,23 @@ func (l *FileLog) Records() ([]Record, error) {
 	return out, nil
 }
 
-// Close implements Log.
+// Close implements Log. Under syncEvery the buffered tail is fsynced,
+// not merely flushed to the OS, before the descriptor closes — a clean
+// shutdown must leave nothing in the page cache that a subsequent
+// power loss could take away.
 func (l *FileLog) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.w.Flush(); err != nil {
 		l.f.Close()
 		return err
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			l.f.Close()
+			return err
+		}
+		l.m.Inc(metrics.WALFsyncs)
 	}
 	return l.f.Close()
 }

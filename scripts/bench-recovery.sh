@@ -1,0 +1,11 @@
+#!/bin/sh
+# bench-recovery.sh — run the recovery-time-vs-log-length sweep
+# (`tpsim benchrec`) and emit its JSON (committed as
+# BENCH_recovery.json). The sweep recovers the same crashed run over a
+# full 1k/10k/100k-record log and over a checkpointed, compacted one;
+# the checkpointed replay length must stay bounded by the live tail.
+#
+# Usage: scripts/bench-recovery.sh [-quick] > BENCH_recovery.json
+set -eu
+
+go run ./cmd/tpsim benchrec "$@"

@@ -9,6 +9,7 @@ PKGS=(
   ./internal/scheduler
   ./internal/fault
   ./internal/chaos
+  ./internal/twopc
 )
 
 fail=0
