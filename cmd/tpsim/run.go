@@ -12,6 +12,7 @@ import (
 	"transproc/internal/scheduler"
 	"transproc/internal/sim"
 	"transproc/internal/spec"
+	"transproc/internal/wal"
 )
 
 // runSpecFile loads a declarative JSON definition and executes it under
@@ -42,7 +43,10 @@ func runSpecFile(path string, modeName string, metricsFormat string, engine stri
 	var sched *schedule.Schedule
 	var m scheduler.Metrics
 	if engine == "concurrent" {
-		rt, err := runtime.New(fed, runtime.Config{Mode: mode, Metrics: reg, Tick: time.Millisecond})
+		rt, err := runtime.New(fed, runtime.Config{
+			Mode: mode, Metrics: reg, Tick: time.Millisecond,
+			GroupCommit: wal.GroupCommit{MaxBatch: 16},
+		})
 		if err != nil {
 			return err
 		}
@@ -52,6 +56,8 @@ func runSpecFile(path string, modeName string, metricsFormat string, engine stri
 		}
 		sched, m = res.Schedule, res.Metrics
 		fmt.Printf("mode: %v (concurrent runtime, %v elapsed)\n", mode, res.Elapsed.Round(time.Millisecond))
+		fmt.Printf("shards: %d scheduling groups over %d conflict components\n",
+			res.ShardGroups, res.ConflictShards)
 		fmt.Println("schedule:", sched)
 	} else {
 		eng, err := scheduler.New(fed, scheduler.Config{Mode: mode, Metrics: reg})

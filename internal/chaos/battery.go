@@ -37,6 +37,10 @@ type Scenario struct {
 	// crash injector: the run dies after that many WAL appends and must
 	// recover (fault.CheckRecovered judges the result).
 	CrashAfterWAL int
+	// GroupCommit, when enabled, wraps the scenario's log in the
+	// batching appender so chaos (and mid-chaos crashes) also run
+	// through coalesced flushes.
+	GroupCommit wal.GroupCommit
 }
 
 // ScenarioFor derives the deterministic scenario of a seed. Eight
@@ -51,6 +55,9 @@ func ScenarioFor(seed int64) Scenario {
 	sc := Scenario{Seed: seed, Engine: "engine", Mode: scheduler.PRED}
 	if seed%3 == 0 {
 		sc.Mode = scheduler.PREDCascade
+	}
+	if seed%2 == 1 {
+		sc.GroupCommit = wal.GroupCommit{MaxBatch: 2 + rng.Intn(15)}
 	}
 	sc.Plan.Seed = seed
 	switch seed % 8 {
@@ -175,7 +182,7 @@ func RunScenario(sc Scenario) error {
 	case "runtime":
 		r, nerr := runtime.New(fed, runtime.Config{
 			Mode: sc.Mode, Log: log, MaxRestarts: 64,
-			Metrics: reg, Resilience: layer,
+			Metrics: reg, Resilience: layer, GroupCommit: sc.GroupCommit,
 		})
 		if nerr != nil {
 			return fail("new runtime: %v", nerr)
@@ -194,7 +201,7 @@ func RunScenario(sc Scenario) error {
 	default:
 		eng, nerr := scheduler.New(fed, scheduler.Config{
 			Mode: sc.Mode, Log: log, MaxRestarts: 64,
-			Metrics: reg, Resilience: layer,
+			Metrics: reg, Resilience: layer, GroupCommit: sc.GroupCommit,
 		})
 		if nerr != nil {
 			return fail("new engine: %v", nerr)

@@ -47,6 +47,9 @@ const (
 	PointCheckpointAppend = wal.PointCheckpointAppend
 	PointCompactRename    = wal.PointCompactRename
 	PointCompactDirSync   = wal.PointCompactDirSync
+	// PointGroupFsync fires between a group-commit batch's buffered
+	// write and its fsync; a crash there loses only unacked records.
+	PointGroupFsync = wal.PointGroupFsync
 )
 
 // Crash is the sentinel an armed fault panics with. The engines

@@ -46,26 +46,35 @@ type Scenario struct {
 	CheckpointEvery     int
 	CheckpointLimit     int
 	CompactOnCheckpoint bool
-	Plan                Plan
+	// GroupCommit, when enabled, wraps the scenario's log in the
+	// batching appender so crashes land inside coalesced flushes.
+	GroupCommit wal.GroupCommit
+	Plan        Plan
 }
 
-// ScenarioFor derives the deterministic scenario of a seed. Fourteen
+// ScenarioFor derives the deterministic scenario of a seed. Fifteen
 // scenario classes cycle by seed: WAL-budget crashes (mem and file,
 // torn and garbage tails), every named crash point, concurrent-runtime
-// kills, crash-during-recovery double faults, and the checkpointing
+// kills, crash-during-recovery double faults, the checkpointing
 // classes — crash mid-checkpoint, crash inside compaction's
-// rename/dir-fsync window, a stale checkpoint under a long tail, and
-// crash during recovery-from-checkpoint.
+// rename/dir-fsync window, a stale checkpoint under a long tail,
+// crash during recovery-from-checkpoint — and a crash between a
+// group-commit batch write and its shared fsync. Independently of the
+// class, half of all scenarios run with group commit enabled so every
+// crash flavour is also exercised through the batching appender.
 func ScenarioFor(seed int64) Scenario {
 	rng := rand.New(rand.NewSource(seed*6364136223846793005 + 1442695040888963407))
 	sc := Scenario{Seed: seed, Engine: "engine", Mode: scheduler.PRED}
 	if seed%3 == 0 {
 		sc.Mode = scheduler.PREDCascade
 	}
+	if seed%2 == 1 {
+		sc.GroupCommit = wal.GroupCommit{MaxBatch: 2 + rng.Intn(15)}
+	}
 	budget := 5 + rng.Intn(140)
 	hits := 1 + rng.Intn(40)
 	sc.Plan.Seed = seed
-	switch seed % 14 {
+	switch seed % 15 {
 	case 0:
 		sc.Class = "wal-budget"
 		sc.Plan.CrashAfterWALRecords = budget
@@ -160,6 +169,18 @@ func ScenarioFor(seed int64) Scenario {
 		sc.CompactOnCheckpoint = rng.Intn(2) == 0
 		sc.Plan.CrashAfterWALRecords = budget
 		sc.CrashRecoveryAfter = 1 + rng.Intn(12)
+	case 14:
+		// Crash between a group-commit batch's buffered write and its
+		// shared fsync: every record of the in-flight batch is lost,
+		// but none of them was acknowledged (Append only returns after
+		// the fsync), so recovery must see a merely shorter log. The
+		// concurrent runtime drives real multi-record batches.
+		sc.Class = "group-fsync"
+		sc.Engine = "runtime"
+		sc.GroupCommit = wal.GroupCommit{MaxBatch: 2 + rng.Intn(15)}
+		sc.FileWAL = rng.Intn(2) == 0
+		sc.Plan.CrashAtPoint = wal.PointGroupFsync
+		sc.Plan.CrashAtCount = 1 + rng.Intn(20)
 	}
 	// Deterministic permanent failures for roughly a third of the
 	// processes (compensatable or pivot forward services only, like
@@ -350,7 +371,7 @@ func runUntilCrash(sc Scenario, fed *subsystem.Federation, log wal.Log, inj *Inj
 		r, err := runtime.New(fed, runtime.Config{
 			Mode: sc.Mode, Log: log, MaxRestarts: tortureMaxRestarts, Inject: inj.Point,
 			CheckpointEvery: sc.CheckpointEvery, CheckpointLimit: sc.CheckpointLimit,
-			CompactOnCheckpoint: sc.CompactOnCheckpoint,
+			CompactOnCheckpoint: sc.CompactOnCheckpoint, GroupCommit: sc.GroupCommit,
 		})
 		if err != nil {
 			return false, err
@@ -367,7 +388,7 @@ func runUntilCrash(sc Scenario, fed *subsystem.Federation, log wal.Log, inj *Inj
 		eng, err := scheduler.New(fed, scheduler.Config{
 			Mode: sc.Mode, Log: log, MaxRestarts: tortureMaxRestarts, Inject: inj.Point,
 			CheckpointEvery: sc.CheckpointEvery, CheckpointLimit: sc.CheckpointLimit,
-			CompactOnCheckpoint: sc.CompactOnCheckpoint,
+			CompactOnCheckpoint: sc.CompactOnCheckpoint, GroupCommit: sc.GroupCommit,
 		})
 		if err != nil {
 			return false, err

@@ -76,6 +76,54 @@ func (w *WAL) Append(rec wal.Record) (int64, error) {
 	return lsn, nil
 }
 
+// AppendNoSync implements wal.BatchBackend through the injection seam:
+// same budget accounting and crash window as Append, but the record is
+// only buffered — a group-commit leader syncs the batch afterwards.
+// When the backend has no batch support it degrades to Append.
+func (w *WAL) AppendNoSync(rec wal.Record) (int64, error) {
+	w.mu.Lock()
+	if w.tripped {
+		w.mu.Unlock()
+		return 0, nil
+	}
+	var (
+		lsn int64
+		err error
+	)
+	if bb, ok := w.inner.(wal.BatchBackend); ok {
+		lsn, err = bb.AppendNoSync(rec)
+	} else {
+		lsn, err = w.inner.Append(rec)
+	}
+	if err != nil {
+		w.mu.Unlock()
+		return lsn, err
+	}
+	w.accepted++
+	if w.budget > 0 && w.accepted >= w.budget {
+		w.tripped = true
+		w.mu.Unlock()
+		panic(Crash{Point: PointWALAppend})
+	}
+	w.mu.Unlock()
+	return lsn, nil
+}
+
+// Sync delegates to the backend's batch support; a tripped wrapper
+// syncs nothing (the crashed system must not touch the disk).
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	tripped := w.tripped
+	w.mu.Unlock()
+	if tripped {
+		return nil
+	}
+	if bb, ok := w.inner.(wal.BatchBackend); ok {
+		return bb.Sync()
+	}
+	return nil
+}
+
 // Records delegates to the backend.
 func (w *WAL) Records() ([]wal.Record, error) { return w.inner.Records() }
 

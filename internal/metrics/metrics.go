@@ -90,6 +90,10 @@ const (
 	WALAppends
 	WALBytes
 	WALFsyncs
+	// Group commit: flushed batches and the fsyncs the batching saved
+	// over a sync-per-append log (sum of batchSize-1 per synced batch).
+	WALGroupBatches
+	WALFsyncsSaved
 
 	// Checkpointing and compaction: checkpoints taken, physical log
 	// rewrites, and recoveries that found a corrupt checkpoint and
@@ -145,6 +149,8 @@ var counterNames = [numCounters]string{
 	WALAppends:             "wal.appends",
 	WALBytes:               "wal.bytes",
 	WALFsyncs:              "wal.fsyncs",
+	WALGroupBatches:        "wal.group_batches",
+	WALFsyncsSaved:         "wal.fsyncs_saved",
 	Checkpoints:            "wal.checkpoints",
 	Compactions:            "wal.compactions",
 	CheckpointFallbacks:    "recovery.checkpoint_fallbacks",
@@ -187,6 +193,8 @@ const (
 	// HistReplaySkipped is the number of summarized records each
 	// recovery pass did NOT have to replay thanks to the checkpoint.
 	HistReplaySkipped
+	// HistWALBatch is the record count of each group-commit batch.
+	HistWALBatch
 	// HistCheckpointLive is the live-record count captured per
 	// checkpoint (the checkpoint's own size driver).
 	HistCheckpointLive
@@ -203,6 +211,7 @@ var histNames = [numHists]string{
 	HistRetryAttempts:  "chaos.attempts_per_invoke",
 	HistReplayRecords:  "recovery.replay_records",
 	HistReplaySkipped:  "recovery.replay_skipped",
+	HistWALBatch:       "wal.batch_size",
 	HistCheckpointLive: "wal.checkpoint_live_records",
 }
 

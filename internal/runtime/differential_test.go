@@ -14,6 +14,7 @@ import (
 	"transproc/internal/runtime"
 	"transproc/internal/scheduler"
 	"transproc/internal/subsystem"
+	"transproc/internal/wal"
 	"transproc/internal/workload"
 )
 
@@ -131,7 +132,13 @@ func runDifferential(t *testing.T, seed int64, mode scheduler.Mode) (committed, 
 		t.Fatalf("oracle: %v", err)
 	}
 
-	r, err := runtime.New(rtW.Fed, runtime.Config{Mode: mode, MaxRestarts: 64})
+	// The runtime side runs with group commit on so every differential
+	// seed also exercises the batching appender's ack semantics (the
+	// oracle is single-threaded; batching there would never coalesce).
+	r, err := runtime.New(rtW.Fed, runtime.Config{
+		Mode: mode, MaxRestarts: 64,
+		GroupCommit: wal.GroupCommit{MaxBatch: 8},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,7 +3,7 @@
 // against the (already internally locked) subsystems, while every
 // scheduling decision — conflict-predecessor checks, Lemma-1 commit
 // deferral, Lemma-2/3 recovery ordering, forced-order acyclicity — is
-// taken inside a small serial section shared with the pure policy layer
+// taken inside a serial section shared with the pure policy layer
 // (internal/scheduler/policy).
 //
 // The sequential discrete-event engine (internal/scheduler) remains the
@@ -13,29 +13,48 @@
 // package asserts exactly that: every concurrently observed schedule is
 // PRED and per-process terminal outcomes match the oracle.
 //
-// Concurrency structure:
+// Concurrency structure (sharded):
 //
-//   - r.mu guards the policy state, the per-process runtimes and the
-//     event history; decisions and completion bookkeeping run under it.
+//   - Processes are partitioned into *groups* — the connected
+//     components of the job set over the conflict shards of the service
+//     partition (policy.Partition). Two processes whose footprints hit
+//     disjoint shard sets can never conflict, never block on each
+//     other's item locks (a lock-blocking pair always conflicts, hence
+//     shares a shard) and never gate each other's Lemma decisions, so
+//     each group runs under its own mutex with its own policy.State
+//     and the groups proceed fully in parallel.
+//   - All group states share one frozen policy.Universe (immutable
+//     after construction, safe for concurrent reads) and one global
+//     atomic sequence counter, so the per-group histories merge into a
+//     single observed schedule ordered by Seq.
+//   - Admission control (worker cap, Serial/Conservative policies),
+//     completion counting for restart backoff and the crash/error state
+//     are global, guarded by a separate admission mutex. Lock order is
+//     group mutex -> admission mutex; the admission mutex is a leaf.
 //   - Subsystem work (Invoke + simulated service time) runs outside the
-//     lock; the in-flight invocation is registered first so concurrent
-//     decisions see it as a survivor in the forced-order graph.
-//   - Lock ordering is r.mu -> subsystem.mu only; the subsystems' own
-//     mutexes are the per-service conflict shards.
-//   - r.cond is broadcast after every state mutation; blocked workers
-//     re-evaluate their gates. Each mutation advances a progress
-//     generation; a global stall is declared only when every live
-//     worker has re-evaluated at the current generation with nothing
-//     in flight, and is broken by aborting the youngest runnable
-//     process, which restarts with progress-based exponential backoff.
+//     group lock; the in-flight invocation is registered first so
+//     concurrent decisions see it as a survivor in the forced-order
+//     graph. Lock ordering is group.mu -> subsystem.mu.
+//   - Each group's condition variable is broadcast after every state
+//     mutation of that group; blocked workers re-evaluate their gates.
+//     Two stall breakers run per group: a precise park-time wait-for
+//     analysis that victim-aborts a member of a closed wait cycle
+//     immediately (without waiting for the rest of the group to go
+//     idle), and the quiescence detector of the sequential engine as a
+//     backstop for waits with incomplete edge information (item locks,
+//     recovery-step gates), declared only when every live worker of the
+//     group has re-evaluated at the current progress generation with
+//     nothing in flight.
 package runtime
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	gort "runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"transproc/internal/activity"
@@ -81,15 +100,23 @@ type Config struct {
 	Inject func(point string)
 	// CheckpointEvery, when positive, takes a fuzzy checkpoint
 	// (wal.TakeCheckpoint) after every that many runtime force-log
-	// appends, under the runtime mutex — live appends from other
-	// workers queue behind it, which is exactly the fuzzy-checkpoint
-	// window the recovery path must tolerate. 0 disables.
+	// appends. The checkpointer runs inside the appending group's
+	// serial section while other groups keep appending — exactly the
+	// fuzzy-checkpoint window the recovery path must tolerate. 0
+	// disables.
 	CheckpointEvery int
 	// CheckpointLimit caps the checkpoints of one run (0 = unlimited).
 	CheckpointLimit int
 	// CompactOnCheckpoint rewrites the log as checkpoint + tail after
 	// each checkpoint when the log supports it (wal.Compactor).
 	CompactOnCheckpoint bool
+	// GroupCommit, when enabled (MaxBatch > 0), wraps the log in a
+	// batching appender (wal.GroupAppender): concurrent appends are
+	// coalesced into one buffered write + fsync, acknowledged only
+	// after the shared fsync. Checkpointing, compaction and the 2PC
+	// coordinator all run through the same appender, so the log stays
+	// one logical append stream.
+	GroupCommit wal.GroupCommit
 	// Resilience, when non-nil, routes activity invocations through a
 	// resilience layer (internal/chaos) exactly as in the sequential
 	// engine (scheduler.Config.Resilience): typed retries, breakers and
@@ -114,13 +141,21 @@ func (c Config) withDefaults() Config {
 // Result is the outcome of a concurrent run.
 type Result struct {
 	// Schedule is the observed process schedule (completion order under
-	// the serial section); check it with PRED(), Serializable() and
-	// ProcessRecoverable().
+	// the serial sections, merged by global sequence); check it with
+	// PRED(), Serializable() and ProcessRecoverable().
 	Schedule *schedule.Schedule
 	Metrics  scheduler.Metrics
 	Outcomes map[process.ID]*scheduler.Outcome
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// ShardGroups is the number of disjoint scheduling groups the run
+	// partitioned its processes into — each ran under its own serial
+	// section (1 means every process shared one lock).
+	ShardGroups int
+	// ConflictShards is the number of connected components of the
+	// federation's conflict relation, the service-side upper bound on
+	// ShardGroups.
+	ConflictShards int
 }
 
 type procState int
@@ -138,7 +173,7 @@ type preparedTx struct {
 }
 
 // procRT is the runtime of one process; its fields are guarded by the
-// runtime mutex (the owning worker mutates them only under it).
+// owning group's mutex (the owning worker mutates them only under it).
 type procRT struct {
 	id           process.ID
 	def          *process.Process
@@ -156,49 +191,131 @@ type procRT struct {
 	running      map[int]string // in-flight invocation: local -> service
 	keySeq       int            // idempotency-key counter (resilient invocations)
 	start        time.Time
+	adm          *admEntry
+
+	// Stall machinery: lastEval is the group progress generation at
+	// which this process last found nothing to do; parked marks it
+	// blocked in cond.Wait; waitAlts, when non-nil, is the complete
+	// wait-for disjunction recorded at the last sWait — the process can
+	// proceed iff for SOME alternative ALL listed blockers acted
+	// (terminated or released their locks). nil means the wait has
+	// edges the policy cannot name and only the quiescence backstop may
+	// break it. lockProbes lists the services found item-lock-blocked
+	// during the last evaluation; extLock marks that at least one of
+	// those locks is held by a process of ANOTHER group (commutative
+	// services share items without conflicting, so lock waits may cross
+	// the conflict partition) — such parks are registered globally and
+	// woken by cross-group lock releases.
+	lastEval   int64
+	parked     bool
+	waitAlts   [][]process.ID
+	lockProbes []string
+	extLock    bool
+}
+
+// waitEntry is one parked process's wait-for disjunction in the global
+// wait graph, guarded by the admission mutex. The victim-selection
+// fields (arrival, abortable) are snapshotted at park time so the
+// detector never touches another group's procRT. An entry is trusted
+// only while gen matches its group's progress generation — a woken but
+// not yet rescheduled process is never mistaken for stuck.
+type waitEntry struct {
+	id        process.ID
+	alts      [][]process.ID
+	g         *shardGroup
+	gen       int64
+	arrival   int
+	abortable bool
+}
+
+// admEntry is the admission-control view of one admitted incarnation,
+// guarded by the admission mutex.
+type admEntry struct {
+	def  *process.Process
+	fp   []string
+	done bool
+}
+
+// shardGroup is one sharded serial section: the processes of one
+// connected component of the conflict partition, their policy state and
+// the group-local stall machinery. All fields below mu are guarded by
+// it.
+type shardGroup struct {
+	r      *Runtime
+	idx    int
+	shards []int // conflict shards covered (diagnostics)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pol      *policy.State
+	procs    []*procRT // admitted, admission order (includes done)
+	byID     map[process.ID]*procRT
+	live     int // workers currently driving a process of this group
+	inFlight int // workers outside the lock doing subsystem work
+	waiting  int // workers blocked on cond (diagnostics)
+
+	// Quiescence detection, per group: progress increments on every
+	// state change that could unblock a member; upToDate counts live
+	// members whose lastEval equals the current generation. A stall is
+	// declared only when every live member re-evaluated at the current
+	// generation with nothing in flight. progress is atomic because the
+	// global deadlock detector reads other groups' generations without
+	// their mutex.
+	progress atomic.Int64
+	upToDate int
+
+	metrics  scheduler.Metrics
+	outcomes map[process.ID]*scheduler.Outcome
+	allProcs []*process.Process
 }
 
 // Runtime executes processes concurrently, one goroutine each.
 type Runtime struct {
 	cfg   Config
 	fed   *subsystem.Federation
-	pol   *policy.State
 	log   wal.Log
 	coord *twopc.Coordinator
 	reg   *metrics.Registry
+	uni   *policy.Universe
+	part  *policy.Partition
 
-	mu          sync.Mutex
-	cond        *sync.Cond
-	seq         int64
-	completions int64     // finished invocations (backoff progress gauge)
-	procs       []*procRT // admitted, admission order (includes done)
-	byID        map[process.ID]*procRT
-	active      int // admitted and not done
-	live        int // workers whose goroutine still participates
-	inFlight    int // workers outside the lock doing subsystem work
-	waiting     int // workers blocked on cond (diagnostics)
-	victims     int
+	groups []*shardGroup // built at Run start, immutable afterwards
+
+	seq      atomic.Int64 // global event sequence across all groups
+	stopped  atomic.Bool  // run crashed or failed; workers drain
+	canceled atomic.Bool
+	stopCh   chan struct{}
+	stopOnce sync.Once
+
+	// Admission state (worker cap, Serial/Conservative policy, restart
+	// backoff). gmu is a leaf: taken under group mutexes, never the
+	// other way around.
+	gmu         sync.Mutex
+	gcond       *sync.Cond
 	err         error
-	canceled    bool
+	active      int // admitted and not done, across all groups
+	completions int64
+	victims     int
+	admitted    []*admEntry
 
-	// Quiescence detection. progress increments on every state change
-	// that could unblock a worker; lastEval[wid] records the progress
-	// generation at which worker wid last evaluated its gates and found
-	// nothing to do; upToDate counts workers whose lastEval equals the
-	// current generation. A global stall is declared only when every
-	// live worker has re-evaluated at the current generation with
-	// nothing in flight — merely being parked in cond.Wait is not
-	// enough, since a worker may be signaled but not yet rescheduled.
-	progress int64
-	lastEval []int64
-	upToDate int
+	// Global wait graph (also under gmu): waits holds the registered
+	// wait-for disjunction of every parked process whose edges are
+	// complete; pendingVictims carries victim designations to processes
+	// parked in other groups (consumed on wake-up); liveByOrigin maps a
+	// subsystem lock holder (origin id) to its live incarnation;
+	// extWaiters counts parked processes blocked on another group's
+	// item locks — lock releases nudge the wake-all supervisor only
+	// while it is non-zero.
+	waits          map[process.ID]*waitEntry
+	pendingVictims map[process.ID]bool
+	liveByOrigin   map[process.ID]process.ID
+	extWaiters     int
+	nudge          chan struct{}
 
-	metrics  scheduler.Metrics
-	outcomes map[process.ID]*scheduler.Outcome
-	allProcs []*process.Process
-	start    time.Time
+	start time.Time
 
-	// Checkpointing state (Config.CheckpointEvery), guarded by mu.
+	// Checkpointing state (Config.CheckpointEvery); ckptMu is a leaf.
+	ckptMu      sync.Mutex
 	ckptAppends int
 	ckptTaken   int
 	ckptBusy    bool
@@ -211,17 +328,27 @@ func New(fed *subsystem.Federation, cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	r := &Runtime{
-		cfg:      cfg,
-		fed:      fed,
-		pol:      policy.New(table, policy.Config{Mode: policyMode(cfg.Mode)}),
-		log:      cfg.Log,
-		coord:    twopc.New(cfg.Log),
-		reg:      cfg.Metrics,
-		byID:     make(map[process.ID]*procRT),
-		outcomes: make(map[process.ID]*scheduler.Outcome),
+	if cfg.GroupCommit.Enabled() {
+		cfg.Log = wal.NewGroupAppender(cfg.Log, cfg.GroupCommit, cfg.Inject)
 	}
-	r.cond = sync.NewCond(&r.mu)
+	r := &Runtime{
+		cfg:   cfg,
+		fed:   fed,
+		log:   cfg.Log,
+		coord: twopc.New(cfg.Log),
+		reg:   cfg.Metrics,
+		// The frozen universe covers every routable service (activity
+		// services and auto-registered compensations); ValidateJobs
+		// rejects anything outside it before a run starts.
+		uni:            policy.NewUniverse(table, fed.Services()),
+		part:           policy.NewPartition(table),
+		stopCh:         make(chan struct{}),
+		waits:          make(map[process.ID]*waitEntry),
+		pendingVictims: make(map[process.ID]bool),
+		liveByOrigin:   make(map[process.ID]process.ID),
+		nudge:          make(chan struct{}, 1),
+	}
+	r.gcond = sync.NewCond(&r.gmu)
 	if r.reg != nil {
 		r.coord.Metrics = r.reg
 		fed.SetMetrics(r.reg)
@@ -233,11 +360,74 @@ func New(fed *subsystem.Federation, cfg Config) (*Runtime, error) {
 	return r, nil
 }
 
+// fail records the first run-terminating error and stops the run; safe
+// to call from any goroutine, with or without a group mutex held.
+func (r *Runtime) fail(err error) {
+	r.gmu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.gmu.Unlock()
+	r.stop()
+}
+
+// stop flips the run into draining mode and triggers the wake-all
+// supervisor (broadcasting other groups' condition variables directly
+// here could deadlock: the caller may hold its own group's mutex).
+func (r *Runtime) stop() {
+	r.stopped.Store(true)
+	r.stopOnce.Do(func() { close(r.stopCh) })
+}
+
+// wakeAll wakes every blocked worker. Broadcasts happen under the
+// respective mutex so a worker between its stop-check and cond.Wait
+// cannot miss the wake-up. Called only from supervisor goroutines that
+// hold no locks.
+func (r *Runtime) wakeAll() {
+	for _, g := range r.groups {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+	r.gmu.Lock()
+	r.gcond.Broadcast()
+	r.gmu.Unlock()
+}
+
+// nudgeRelease wakes cross-group lock waiters after item locks were
+// released (prepared transactions committed or rolled back). The
+// releaser may hold its own group's mutex, so the wake-up goes through
+// the nudge supervisor; the extWaiters gate keeps the common case (no
+// cross-group waiter) free of wake-all storms. The gate cannot miss a
+// waiter: parking re-probes the lock under gmu after incrementing
+// extWaiters, so a release that observes extWaiters == 0 here happened
+// before that re-probe and the parker saw the lock free.
+func (r *Runtime) nudgeRelease() {
+	r.gmu.Lock()
+	ext := r.extWaiters > 0
+	r.gmu.Unlock()
+	if ext {
+		select {
+		case r.nudge <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// incarnation resolves a subsystem lock holder (an origin id) to its
+// currently live incarnation, if any.
+func (r *Runtime) incarnation(origin process.ID) (process.ID, bool) {
+	r.gmu.Lock()
+	id, ok := r.liveByOrigin[origin]
+	r.gmu.Unlock()
+	return id, ok
+}
+
 // guard runs f, converting an injected-crash sentinel panic into the
 // run-terminating error every worker observes; ok is false when the
-// crash tripped. Called with r.mu held — the panic must not unwind
-// past the critical section, so it is caught right here and the
-// workers are woken to drain. Non-sentinel panics propagate.
+// crash tripped. Callers hold their group mutex — the panic must not
+// unwind past the critical section, so it is caught right here.
+// Non-sentinel panics propagate.
 func (r *Runtime) guard(f func()) (ok bool) {
 	defer func() {
 		v := recover()
@@ -248,10 +438,7 @@ func (r *Runtime) guard(f func()) (ok bool) {
 		if !isCrash {
 			panic(v)
 		}
-		if r.err == nil {
-			r.err = fmt.Errorf("%w (injected at %s)", scheduler.ErrCrashed, crash.InjectedCrash())
-		}
-		r.cond.Broadcast()
+		r.fail(fmt.Errorf("%w (injected at %s)", scheduler.ErrCrashed, crash.InjectedCrash()))
 	}()
 	f()
 	return true
@@ -261,39 +448,51 @@ func (r *Runtime) guard(f func()) (ok bool) {
 // means the record did not reach the log (the caller must not apply
 // the state change the record announces).
 func (r *Runtime) append(rec wal.Record) bool {
-	if r.err != nil {
+	if r.stopped.Load() {
 		return false
 	}
 	return r.guard(func() {
 		r.log.Append(rec)
-		r.maybeCheckpointLocked()
+		r.maybeCheckpoint()
 	})
 }
 
-// maybeCheckpointLocked takes a fuzzy checkpoint (and optionally
-// compacts) once CheckpointEvery appends accumulated. Called with
-// r.mu held from inside the append guard: an injected crash sentinel
-// unwinds into guard's recover like any other force-log crash. A
-// failed (non-crash) attempt is dropped — checkpointing never fails
-// the run.
-func (r *Runtime) maybeCheckpointLocked() {
-	if r.cfg.CheckpointEvery <= 0 || r.ckptBusy {
+// maybeCheckpoint takes a fuzzy checkpoint (and optionally compacts)
+// once CheckpointEvery appends accumulated across all groups. The
+// counter handshake runs under the leaf ckptMu; the checkpoint itself
+// runs with only the calling group's mutex held, so other groups keep
+// appending into the fuzzy window (Expand tolerates the post-horizon
+// tail). Called from inside the append guard: an injected crash
+// sentinel unwinds into guard's recover like any other force-log
+// crash. A failed (non-crash) attempt is dropped — checkpointing never
+// fails the run.
+func (r *Runtime) maybeCheckpoint() {
+	if r.cfg.CheckpointEvery <= 0 {
 		return
 	}
+	r.ckptMu.Lock()
 	r.ckptAppends++
-	if r.ckptAppends < r.cfg.CheckpointEvery {
+	due := !r.ckptBusy && r.ckptAppends >= r.cfg.CheckpointEvery &&
+		(r.cfg.CheckpointLimit <= 0 || r.ckptTaken < r.cfg.CheckpointLimit)
+	if due {
+		r.ckptBusy = true
+		r.ckptAppends = 0
+	}
+	r.ckptMu.Unlock()
+	if !due {
 		return
 	}
-	if r.cfg.CheckpointLimit > 0 && r.ckptTaken >= r.cfg.CheckpointLimit {
+	defer func() {
+		r.ckptMu.Lock()
+		r.ckptBusy = false
+		r.ckptMu.Unlock()
+	}()
+	if _, err := wal.TakeCheckpoint(r.log, r.uni.Conflicts, r.cfg.Inject, r.reg); err != nil {
 		return
 	}
-	r.ckptBusy = true
-	defer func() { r.ckptBusy = false }()
-	if _, err := wal.TakeCheckpoint(r.log, r.pol.Conflicts, r.cfg.Inject, r.reg); err != nil {
-		return
-	}
-	r.ckptAppends = 0
+	r.ckptMu.Lock()
 	r.ckptTaken++
+	r.ckptMu.Unlock()
 	if r.cfg.CompactOnCheckpoint {
 		if c, ok := r.log.(wal.Compactor); ok {
 			c.Compact(r.cfg.Inject)
@@ -306,7 +505,7 @@ func (r *Runtime) inject(point string) bool {
 	if r.cfg.Inject == nil {
 		return true
 	}
-	if r.err != nil {
+	if r.stopped.Load() {
 		return false
 	}
 	return r.guard(func() { r.cfg.Inject(point) })
@@ -327,6 +526,71 @@ func policyMode(m scheduler.Mode) policy.Mode {
 	}
 }
 
+// buildGroups partitions the jobs into shard groups: union-find over
+// job indices, joining two jobs whenever their footprints share a
+// conflict shard. Jobs with conflict-free footprints get singleton
+// groups. Restart incarnations keep their footprint, so a process
+// stays in its group across restarts. Returns the per-job group.
+func (r *Runtime) buildGroups(jobs []scheduler.Job) []*shardGroup {
+	parent := make([]int, len(jobs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	shardOwner := make(map[int]int)
+	var buf []int
+	for i, j := range jobs {
+		buf = r.part.ShardSet(scheduler.Footprint(j.Proc), buf[:0])
+		for _, s := range buf {
+			if o, ok := shardOwner[s]; ok {
+				union(i, o)
+			} else {
+				shardOwner[s] = i
+			}
+		}
+	}
+	byRoot := make(map[int]*shardGroup)
+	jobGroup := make([]*shardGroup, len(jobs))
+	for i := range jobs {
+		root := find(i)
+		g := byRoot[root]
+		if g == nil {
+			g = &shardGroup{
+				r:        r,
+				idx:      len(r.groups),
+				pol:      policy.NewShard(r.uni, policy.Config{Mode: policyMode(r.cfg.Mode)}),
+				byID:     make(map[process.ID]*procRT),
+				outcomes: make(map[process.ID]*scheduler.Outcome),
+			}
+			g.cond = sync.NewCond(&g.mu)
+			byRoot[root] = g
+			r.groups = append(r.groups, g)
+		}
+		jobGroup[i] = g
+	}
+	for s, o := range shardOwner {
+		g := byRoot[find(o)]
+		g.shards = append(g.shards, s)
+	}
+	for _, g := range r.groups {
+		sort.Ints(g.shards)
+	}
+	return jobGroup
+}
+
 // Run executes the jobs to completion. Arrival times are in ticks
 // (real delay Arrival*Tick before the process contends for admission).
 // The context cancels the run: in-flight service time finishes, no new
@@ -336,72 +600,138 @@ func (r *Runtime) Run(ctx context.Context, jobs []scheduler.Job) (*Result, error
 		return nil, err
 	}
 	r.start = time.Now()
-	r.live = len(jobs)
-	r.lastEval = make([]int64, len(jobs))
-	for i := range r.lastEval {
-		r.lastEval[i] = -1
-	}
+	jobGroup := r.buildGroups(jobs)
 
-	// Cancellation watcher: wakes every blocked worker.
+	// Supervisors: wake every blocked worker on cancellation or crash.
 	watchDone := make(chan struct{})
 	go func() {
 		select {
 		case <-ctx.Done():
-			r.mu.Lock()
-			r.canceled = true
-			r.cond.Broadcast()
-			r.mu.Unlock()
+			r.canceled.Store(true)
+			r.wakeAll()
 		case <-watchDone:
+		}
+	}()
+	go func() {
+		select {
+		case <-r.stopCh:
+			r.wakeAll()
+		case <-watchDone:
+		}
+	}()
+	// Nudge supervisor: cross-group lock releases and victim
+	// designations cannot broadcast a foreign group's condition variable
+	// from under their own group mutex (lock order), so they poke this
+	// goroutine, which holds no locks and may wake everyone.
+	go func() {
+		for {
+			select {
+			case <-r.nudge:
+				r.wakeAll()
+			case <-watchDone:
+				return
+			}
 		}
 	}()
 
 	var wg sync.WaitGroup
 	for i, j := range jobs {
 		wg.Add(1)
-		go func(idx int, job scheduler.Job) {
+		go func(g *shardGroup, idx int, job scheduler.Job) {
 			defer wg.Done()
-			r.worker(idx, job)
-		}(i, j)
+			r.worker(g, idx, job)
+		}(jobGroup[i], i, j)
 	}
 	wg.Wait()
 	close(watchDone)
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	elapsed := time.Since(r.start)
+	var m scheduler.Metrics
+	outcomes := make(map[process.ID]*scheduler.Outcome)
+	var allProcs []*process.Process
+	states := make([]*policy.State, 0, len(r.groups))
+	for _, g := range r.groups {
+		g.mu.Lock()
+		addMetrics(&m, &g.metrics)
+		for id, o := range g.outcomes {
+			outcomes[id] = o
+		}
+		allProcs = append(allProcs, g.allProcs...)
+		states = append(states, g.pol)
+		g.mu.Unlock()
+	}
 	if r.cfg.Tick > 0 {
-		r.metrics.Makespan = int64(elapsed / r.cfg.Tick)
+		m.Makespan = int64(elapsed / r.cfg.Tick)
 	} else {
-		r.metrics.Makespan = elapsed.Nanoseconds()
+		m.Makespan = elapsed.Nanoseconds()
 	}
 	res := &Result{
-		Schedule: r.pol.BuildSchedule(r.allProcs),
-		Metrics:  r.metrics,
-		Outcomes: r.outcomes,
-		Elapsed:  elapsed,
+		Schedule:       policy.MergeSchedules(r.uni.Table(), allProcs, states),
+		Metrics:        m,
+		Outcomes:       outcomes,
+		Elapsed:        elapsed,
+		ShardGroups:    len(r.groups),
+		ConflictShards: r.part.Shards(),
 	}
-	if r.err != nil {
-		return res, r.err
+	r.gmu.Lock()
+	err := r.err
+	r.gmu.Unlock()
+	if err != nil {
+		return res, err
 	}
-	if r.canceled {
+	if r.canceled.Load() {
 		return res, ctx.Err()
 	}
 	return res, nil
 }
 
-// bump advances the progress generation after a state change that may
-// unblock other workers, and wakes everyone to re-evaluate. Called with
-// r.mu held.
-func (r *Runtime) bump() {
-	r.progress++
-	r.upToDate = 0
-	r.cond.Broadcast()
+// addMetrics accumulates one group's counters into the run total.
+func addMetrics(dst, src *scheduler.Metrics) {
+	dst.Invocations += src.Invocations
+	dst.Retries += src.Retries
+	dst.Compensations += src.Compensations
+	dst.Rollbacks += src.Rollbacks
+	dst.Deferrals += src.Deferrals
+	dst.TwoPCCommits += src.TwoPCCommits
+	dst.LockWaits += src.LockWaits
+	dst.PolicyWaits += src.PolicyWaits
+	dst.Cascades += src.Cascades
+	dst.WeakDeps += src.WeakDeps
+	dst.WeakOrderWaits += src.WeakOrderWaits
+	dst.WeakRestarts += src.WeakRestarts
+	dst.Restarts += src.Restarts
+	dst.VictimAborts += src.VictimAborts
+	dst.CommittedProcs += src.CommittedProcs
+	dst.AbortedProcs += src.AbortedProcs
 }
 
-// sleepTicks simulates service time.
+// bump advances the group's progress generation after a state change
+// that may unblock other members, and wakes them to re-evaluate.
+// Called with g.mu held.
+func (g *shardGroup) bump() {
+	g.progress.Add(1)
+	g.upToDate = 0
+	g.cond.Broadcast()
+}
+
+// sleepTicks simulates service time. Kernel timer granularity is on
+// the order of a millisecond, which would inflate every
+// sub-millisecond service time several-fold and make throughput
+// numbers measure timer resolution instead of scheduling — short
+// waits therefore yield-spin on the monotonic clock, which keeps the
+// wait accurate while still ceding the CPU to runnable workers.
 func (r *Runtime) sleepTicks(n int64) {
-	if r.cfg.Tick > 0 && n > 0 {
-		time.Sleep(time.Duration(n) * r.cfg.Tick)
+	if r.cfg.Tick <= 0 || n <= 0 {
+		return
+	}
+	d := time.Duration(n) * r.cfg.Tick
+	if d >= 2*time.Millisecond {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		gort.Gosched()
 	}
 }
 
@@ -414,19 +744,18 @@ func (r *Runtime) cost(service string) int64 {
 }
 
 // worker drives one process (including its restarts) to termination.
-func (r *Runtime) worker(idx int, job scheduler.Job) {
+func (r *Runtime) worker(g *shardGroup, idx int, job scheduler.Job) {
 	if job.Arrival > 0 {
 		r.sleepTicks(job.Arrival)
 	}
 	def := job.Proc
 	restarts := 0
 	for {
-		rt := r.admit(def, idx, job.Proc.ID, restarts)
+		rt := r.admit(g, def, idx, job.Proc.ID, restarts)
 		if rt == nil {
 			break // run is over (error or canceled)
 		}
-		again := r.drive(rt)
-		if !again {
+		if !g.drive(rt) {
 			break
 		}
 		// Restart under a derived id after exponential backoff. Backoff
@@ -439,40 +768,51 @@ func (r *Runtime) worker(idx int, job scheduler.Job) {
 		restarts = rt.restarts + 1
 		newID := process.ID(fmt.Sprintf("%s+r%d", rt.origin, restarts))
 		def = rt.def.WithID(newID)
-		if !r.backoff(idx, int64(4<<restarts)) {
+		if !r.backoff(int64(4 << restarts)) {
 			break
 		}
 	}
-	r.mu.Lock()
-	r.live--
-	r.bump()
-	r.mu.Unlock()
 }
 
 // backoff blocks until `n` further invocations completed or no other
 // process is active; false when the run ended first.
-func (r *Runtime) backoff(wid int, n int64) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+func (r *Runtime) backoff(n int64) bool {
+	r.gmu.Lock()
+	defer r.gmu.Unlock()
 	target := r.completions + n
 	for r.completions < target && r.active > 0 {
-		if !r.wait(wid, nil) {
+		if r.stopped.Load() || r.canceled.Load() {
 			return false
 		}
+		r.gcond.Wait()
 	}
-	return r.err == nil && !r.canceled
+	return !r.stopped.Load() && !r.canceled.Load()
 }
 
 // admit blocks until the admission policy lets the process in, then
-// registers it; nil when the run ended first.
-func (r *Runtime) admit(def *process.Process, idx int, origin process.ID, restarts int) *procRT {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for !r.mayStart(def) {
-		if !r.wait(idx, nil) {
+// registers it with its group; nil when the run ended first.
+func (r *Runtime) admit(g *shardGroup, def *process.Process, idx int, origin process.ID, restarts int) *procRT {
+	ent := &admEntry{def: def, fp: scheduler.Footprint(def)}
+	r.gmu.Lock()
+	for {
+		if r.stopped.Load() || r.canceled.Load() {
+			r.gmu.Unlock()
 			return nil
 		}
+		if r.mayStartLocked(ent.fp) {
+			break
+		}
+		r.gcond.Wait()
 	}
+	r.active++
+	r.admitted = append(r.admitted, ent)
+	// Subsystems identify lock holders by origin id (incarnations share
+	// locks); map it to this incarnation for wait-for edges.
+	r.liveByOrigin[origin] = def.ID
+	r.gmu.Unlock()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	rt := &procRT{
 		id:       def.ID,
 		def:      def,
@@ -483,20 +823,22 @@ func (r *Runtime) admit(def *process.Process, idx int, origin process.ID, restar
 		prepared: make(map[int]preparedTx),
 		running:  make(map[int]string),
 		start:    time.Now(),
+		adm:      ent,
+		lastEval: -1,
 	}
-	r.procs = append(r.procs, rt)
-	r.byID[rt.id] = rt
-	r.allProcs = append(r.allProcs, def)
-	r.outcomes[rt.id] = &scheduler.Outcome{Restarts: restarts, Start: r.ticksSince(r.start)}
-	r.active++
+	g.procs = append(g.procs, rt)
+	g.byID[rt.id] = rt
+	g.allProcs = append(g.allProcs, def)
+	g.outcomes[rt.id] = &scheduler.Outcome{Restarts: restarts, Start: r.ticksSince(rt.start)}
+	g.live++
 	r.append(wal.Record{Type: wal.RecStart, Proc: string(rt.id)})
 	r.reg.Inc(metrics.ProcsAdmitted)
 	if restarts > 0 {
-		r.metrics.Restarts++
+		g.metrics.Restarts++
 		r.reg.Inc(metrics.ProcsRestarted)
 	}
-	r.pol.Bump()
-	r.bump()
+	g.pol.Bump()
+	g.bump()
 	return rt
 }
 
@@ -509,10 +851,11 @@ func (r *Runtime) ticksSince(t time.Time) int64 {
 	return int64(t.Sub(r.start) / r.cfg.Tick)
 }
 
-// mayStart implements admission control: the worker cap plus the
+// mayStartLocked implements admission control: the worker cap plus the
 // Serial / Conservative admission policies (per-activity decisions for
-// those modes are vacuous — admission is the policy).
-func (r *Runtime) mayStart(def *process.Process) bool {
+// those modes are vacuous — admission is the policy). Called with gmu
+// held.
+func (r *Runtime) mayStartLocked(fp []string) bool {
 	if r.cfg.Workers > 0 && r.active >= r.cfg.Workers {
 		return false
 	}
@@ -520,14 +863,13 @@ func (r *Runtime) mayStart(def *process.Process) bool {
 	case scheduler.Serial:
 		return r.active == 0
 	case scheduler.Conservative:
-		mine := scheduler.Footprint(def)
-		for _, o := range r.procs {
-			if o.state == psDone {
+		for _, ent := range r.admitted {
+			if ent.done {
 				continue
 			}
-			for _, s1 := range mine {
-				for _, s2 := range scheduler.Footprint(o.def) {
-					if r.pol.Conflicts(s1, s2) {
+			for _, s1 := range fp {
+				for _, s2 := range ent.fp {
+					if r.uni.Conflicts(s1, s2) {
 						return false
 					}
 				}
@@ -539,46 +881,250 @@ func (r *Runtime) mayStart(def *process.Process) bool {
 	}
 }
 
-// wait blocks worker wid on the condition variable until some state
-// changes. A global stall is declared only once every live worker has
-// re-evaluated its gates at the current progress generation and found
-// nothing to do, with nothing in flight — merely counting parked
-// workers would race against workers that were signaled but not yet
-// rescheduled, victimizing (or failing) a process whose gates already
-// cleared. Stalls are broken by victim abort. Returns false when the
-// run is over. Called with r.mu held; self is the caller's process
-// (nil during admission and backoff).
-func (r *Runtime) wait(wid int, self *procRT) bool {
-	if r.err != nil || r.canceled {
+// wait blocks the process's worker on the group condition variable
+// until some state changes. Three stall breakers guard the park:
+//
+//   - When the wait carries complete edge information (rt.waitAlts),
+//     the park is registered in the GLOBAL wait graph and a precise
+//     wait-for analysis fires immediately once a closed set of parked
+//     processes waits only on itself — no quiescence needed, so victim
+//     aborts overlap with unrelated in-flight work. The graph is
+//     global because item-lock waits cross the conflict partition:
+//     commutative services share data items without conflicting, so a
+//     lock holder may live in another group.
+//   - The quiescence backstop of the sequential engine: a stall is
+//     declared only once every live member of the group re-evaluated
+//     its gates at the current progress generation and found nothing
+//     to do, with nothing in flight. Merely counting parked workers
+//     would race against workers that were signaled but not yet
+//     rescheduled. The backstop is suppressed while a member with
+//     complete edges waits on another group (its wake-up legitimately
+//     comes from outside; aborting a local victim would be spurious).
+//   - Cross-group lock waits additionally re-probe their locks under
+//     gmu after incrementing extWaiters, closing the race against a
+//     holder that released between the step() probe and the park (the
+//     holder's nudgeRelease is then guaranteed to see extWaiters > 0).
+//
+// Returns false when the run is over. Called with g.mu held.
+func (g *shardGroup) wait(rt *procRT) bool {
+	r := g.r
+	if r.stopped.Load() || r.canceled.Load() {
 		return false
 	}
-	if r.lastEval[wid] != r.progress {
-		r.lastEval[wid] = r.progress
-		r.upToDate++
+	if p := g.progress.Load(); rt.lastEval != p {
+		rt.lastEval = p
+		g.upToDate++
 	}
-	if r.upToDate >= r.live && r.inFlight == 0 && !r.actionableAbortPending() {
-		// Genuine stall: every gate was re-checked this generation.
-		victim := r.resolveStall()
+
+	registered := false
+	extCounted := false
+	if rt.waitAlts != nil || rt.extLock {
+		r.gmu.Lock()
+		// A victim designation from another group's detector may
+		// already be waiting for us.
+		if r.pendingVictims[rt.id] {
+			delete(r.pendingVictims, rt.id)
+			r.gmu.Unlock()
+			g.consumeVictim(rt)
+			return true
+		}
+		if rt.extLock {
+			r.extWaiters++
+			extCounted = true
+			for _, svc := range rt.lockProbes {
+				if r.fed.Lockable(string(rt.origin), svc) {
+					// Released between probe and park: re-evaluate.
+					r.extWaiters--
+					r.gmu.Unlock()
+					return true
+				}
+			}
+		}
+		if rt.waitAlts != nil {
+			e := &waitEntry{
+				id: rt.id, alts: rt.waitAlts, g: g, gen: rt.lastEval,
+				arrival: rt.arrival, abortable: rt.state == psRunning && !rt.abortPending,
+			}
+			r.waits[rt.id] = e
+			registered = true
+			if v := r.detectDeadlockLocked(e); v != nil {
+				if v.g == g {
+					victim := g.byID[v.id]
+					delete(r.waits, rt.id)
+					if extCounted {
+						r.extWaiters--
+					}
+					r.gmu.Unlock()
+					g.consumeVictim(victim)
+					return true
+				}
+				// Foreign victim: deliver the designation through the
+				// nudge supervisor (its group cond cannot be broadcast
+				// from here) and park — its abort unblocks us.
+				r.pendingVictims[v.id] = true
+				select {
+				case r.nudge <- struct{}{}:
+				default:
+				}
+			}
+		}
+		r.gmu.Unlock()
+	}
+
+	if g.upToDate >= g.live && g.inFlight == 0 && !g.actionableAbortPending() && !g.crossGroupWait() {
+		// Genuine stall: every gate was re-checked this generation and
+		// no member's wake-up can come from another group.
+		g.deregister(rt, registered, extCounted)
+		victim := g.resolveStall()
 		if victim == nil {
-			r.err = fmt.Errorf("runtime: unresolvable stall (mode %v)\n%s", r.cfg.Mode, r.stallDump())
-			r.cond.Broadcast()
+			r.fail(fmt.Errorf("runtime: unresolvable stall (mode %v, group %d)\n%s", r.cfg.Mode, g.idx, g.stallDump()))
 			return false
 		}
-		// The victim's abortPending flag is a state change: start a new
-		// generation so the stall detector re-arms only after everyone
-		// re-evaluated, and wake the victim's worker. Return without
-		// parking — our own broadcast precedes the Wait, so parking here
-		// could sleep through the only wake-up (e.g. when the victim's
-		// pending recovery is gated and it parks right back without
-		// bumping); re-evaluating our gates instead re-enters wait at
-		// the new generation.
-		r.bump()
+		g.bump()
 		return true
 	}
-	r.waiting++
-	r.cond.Wait()
-	r.waiting--
-	return r.err == nil && !r.canceled
+
+	rt.parked = true
+	g.waiting++
+	g.cond.Wait()
+	g.waiting--
+	rt.parked = false
+	if registered || extCounted {
+		r.gmu.Lock()
+		if registered {
+			delete(r.waits, rt.id)
+		}
+		if extCounted {
+			r.extWaiters--
+		}
+		pv := r.pendingVictims[rt.id]
+		if pv {
+			delete(r.pendingVictims, rt.id)
+		}
+		r.gmu.Unlock()
+		if pv {
+			g.consumeVictim(rt)
+		}
+	}
+	return !r.stopped.Load() && !r.canceled.Load()
+}
+
+// deregister undoes wait()'s global registration on a no-park exit.
+// Called with g.mu held.
+func (g *shardGroup) deregister(rt *procRT, registered, extCounted bool) {
+	if !registered && !extCounted {
+		return
+	}
+	r := g.r
+	r.gmu.Lock()
+	if registered {
+		delete(r.waits, rt.id)
+	}
+	if extCounted {
+		r.extWaiters--
+	}
+	r.gmu.Unlock()
+}
+
+// consumeVictim applies a victim designation to one of the group's own
+// processes. The MaxStalls budget was consumed at designation time; a
+// designation that arrives after the process already started aborting
+// (or terminated) is dropped. Called with g.mu held.
+func (g *shardGroup) consumeVictim(rt *procRT) {
+	if rt == nil || rt.state != psRunning || rt.abortPending {
+		return
+	}
+	rt.abortPending = true
+	rt.restartable = true
+	g.metrics.VictimAborts++
+	g.r.reg.Inc(metrics.VictimAborts)
+	g.bump()
+}
+
+// crossGroupWait reports whether some live member's registered wait has
+// a blocker outside this group (an item-lock holder reachable only
+// through a cross-group release). Only members with complete edge
+// information count: they are visible to the global detector, so
+// suppressing the local backstop for them cannot hide a deadlock.
+// Called with g.mu held.
+func (g *shardGroup) crossGroupWait() bool {
+	for _, rt := range g.procs {
+		if rt.state != psDone && rt.extLock && rt.waitAlts != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// detectDeadlockLocked checks, at the moment e's process is about to
+// park with complete wait-for information, whether it belongs to a set
+// of parked processes (across ALL groups) that waits only on itself:
+// every member, in each of its wait alternatives, waits on at least one
+// other member. A blocker's edges disappear only when the blocker acts
+// (terminates, commits or rolls back prepared transactions, becomes
+// quasi-safe) — which a parked process never does — so such a set can
+// never be unblocked from outside and one member must be victim-aborted
+// (the youngest abortable one, mirroring the sequential engine).
+// Entries are trusted only if their process re-evaluated its gates at
+// its group's current progress generation, so a signaled-but-not-
+// rescheduled process is never mistaken for stuck. Called with gmu
+// held; returns the chosen victim's entry (nil: no closed set, no
+// abortable member, or MaxStalls exhausted). The victims budget is
+// consumed here.
+func (r *Runtime) detectDeadlockLocked(self *waitEntry) *waitEntry {
+	stuck := make(map[process.ID]*waitEntry, len(r.waits))
+	for id, e := range r.waits {
+		if e == self || e.gen == e.g.progress.Load() {
+			stuck[id] = e
+		}
+	}
+	if len(stuck) < 2 || stuck[self.id] != self {
+		return nil
+	}
+	blockerStuck := func(alt []process.ID) bool {
+		for _, id := range alt {
+			if stuck[id] != nil {
+				return true
+			}
+		}
+		return false
+	}
+	// Greatest fixpoint: drop anyone with an escape alternative (an
+	// alternative none of whose blockers is in the set — those blockers
+	// can still act on their own).
+	for changed := true; changed; {
+		changed = false
+		for id, e := range stuck {
+			escapes := false
+			for _, alt := range e.alts {
+				if !blockerStuck(alt) {
+					escapes = true
+					break
+				}
+			}
+			if escapes {
+				delete(stuck, id)
+				changed = true
+			}
+		}
+	}
+	if stuck[self.id] == nil {
+		return nil
+	}
+	var victim *waitEntry
+	for _, e := range stuck {
+		if !e.abortable {
+			continue
+		}
+		if victim == nil || e.arrival > victim.arrival {
+			victim = e
+		}
+	}
+	if victim == nil || r.victims >= r.cfg.MaxStalls {
+		return nil
+	}
+	r.victims++
+	return victim
 }
 
 // actionableAbortPending reports whether some process holds an
@@ -589,8 +1135,8 @@ func (r *Runtime) wait(wid int, self *procRT) bool {
 // process with gated recovery steps does NOT suppress stall handling —
 // waiting on it could deadlock, so another victim may be taken
 // (bounded by MaxStalls, as in the sequential engine).
-func (r *Runtime) actionableAbortPending() bool {
-	for _, rt := range r.procs {
+func (g *shardGroup) actionableAbortPending() bool {
+	for _, rt := range g.procs {
 		if rt.state != psDone && rt.abortPending && len(rt.recovery) == 0 && !rt.recoveryBusy && len(rt.running) == 0 {
 			return true
 		}
@@ -601,12 +1147,16 @@ func (r *Runtime) actionableAbortPending() bool {
 // resolveStall aborts the youngest runnable process (it restarts); a
 // done process blocked on its deferred 2PC commit is the fallback
 // victim, mirroring the sequential engine.
-func (r *Runtime) resolveStall() *procRT {
-	if r.victims >= r.cfg.MaxStalls {
+func (g *shardGroup) resolveStall() *procRT {
+	r := g.r
+	r.gmu.Lock()
+	exhausted := r.victims >= r.cfg.MaxStalls
+	r.gmu.Unlock()
+	if exhausted {
 		return nil
 	}
 	var victim *procRT
-	for _, rt := range r.procs {
+	for _, rt := range g.procs {
 		if rt.state != psRunning || len(rt.running) > 0 || rt.recoveryBusy || rt.abortPending {
 			continue
 		}
@@ -618,11 +1168,11 @@ func (r *Runtime) resolveStall() *procRT {
 		}
 	}
 	if victim == nil {
-		for _, rt := range r.procs {
+		for _, rt := range g.procs {
 			if rt.state != psRunning || len(rt.running) > 0 || rt.recoveryBusy || rt.abortPending {
 				continue
 			}
-			if rt.inst.Done() && len(rt.prepared) > 0 && r.pol.HasActiveConflictPred(r.view(), rt.id) {
+			if rt.inst.Done() && len(rt.prepared) > 0 && g.pol.HasActiveConflictPred(g.view(), rt.id) {
 				if victim == nil || rt.arrival > victim.arrival {
 					victim = rt
 				}
@@ -632,8 +1182,10 @@ func (r *Runtime) resolveStall() *procRT {
 	if victim == nil {
 		return nil
 	}
+	r.gmu.Lock()
 	r.victims++
-	r.metrics.VictimAborts++
+	r.gmu.Unlock()
+	g.metrics.VictimAborts++
 	r.reg.Inc(metrics.VictimAborts)
 	victim.restartable = true
 	victim.abortPending = true
@@ -660,32 +1212,37 @@ type workItem struct {
 
 // drive runs one admitted process to termination. Returns true when the
 // process aborted restartably and should re-enter.
-func (r *Runtime) drive(rt *procRT) (restart bool) {
-	r.mu.Lock()
+func (g *shardGroup) drive(rt *procRT) (restart bool) {
+	g.mu.Lock()
+	restart = g.driveLocked(rt)
+	g.live--
+	g.bump()
+	g.mu.Unlock()
+	return restart
+}
+
+func (g *shardGroup) driveLocked(rt *procRT) (restart bool) {
+	r := g.r
 	for {
-		if r.err != nil || r.canceled {
-			break
+		if r.stopped.Load() || r.canceled.Load() {
+			return false
 		}
-		kind, item := r.step(rt)
+		kind, item := g.step(rt)
 		switch kind {
 		case sAgain:
-			r.bump()
+			g.bump()
 			continue
 		case sDone:
-			restart = rt.restartable && rt.restarts < r.cfg.MaxRestarts
-			r.bump()
-			r.mu.Unlock()
-			return restart
+			return rt.restartable && rt.restarts < r.cfg.MaxRestarts
 		case sWait:
-			if !r.wait(rt.arrival, rt) {
-				r.mu.Unlock()
+			if !g.wait(rt) {
 				return false
 			}
 			continue
 		}
 		// sInvoke: the in-flight registration (running / recoveryBusy)
 		// happened in step(); do the subsystem work unlocked.
-		r.inFlight++
+		g.inFlight++
 		var key string
 		if r.cfg.Resilience != nil {
 			// Key allocated under the lock: fresh per logical invocation
@@ -693,7 +1250,7 @@ func (r *Runtime) drive(rt *procRT) (restart bool) {
 			key = fmt.Sprintf("%s#%d", rt.id, rt.keySeq)
 			rt.keySeq++
 		}
-		r.mu.Unlock()
+		g.mu.Unlock()
 		var res *subsystem.Result
 		var err error
 		var extraLat int64
@@ -711,51 +1268,54 @@ func (r *Runtime) drive(rt *procRT) (restart bool) {
 		if !locked {
 			r.sleepTicks(r.cost(item.service) + extraLat)
 		}
-		r.mu.Lock()
-		r.inFlight--
-		if r.err != nil {
+		g.mu.Lock()
+		g.inFlight--
+		if r.stopped.Load() {
 			// The run crashed while this invocation was in flight: do
 			// not commit, log or apply its outcome. A prepared local
 			// transaction stays in doubt with no prepared record — the
 			// orphan recovery rule presumes it aborted.
-			r.unregister(rt, item)
-			break
+			g.unregister(rt, item)
+			return false
 		}
 		if locked {
-			// A conflicting local transaction holds the subsystem lock;
-			// undo the registration and wait for its resolution.
-			r.unregister(rt, item)
-			r.metrics.Invocations++
-			r.metrics.LockWaits++
+			// Lost the probe/acquire race: a conflicting local
+			// transaction grabbed the item locks between step()'s probe
+			// and the Invoke. Undo the registration and re-evaluate —
+			// the next step() re-probes and parks with the holder's
+			// identity as a wait-for edge.
+			g.unregister(rt, item)
+			g.metrics.Invocations++
+			g.metrics.LockWaits++
 			r.reg.Inc(metrics.InvokeLockBlocked)
-			r.bump()
-			if !r.wait(rt.arrival, rt) {
-				r.mu.Unlock()
-				return false
-			}
+			g.bump()
 			continue
 		}
-		r.complete(rt, item, res, failed)
-		r.bump()
+		g.complete(rt, item, res, failed)
+		g.bump()
 	}
-	r.mu.Unlock()
-	return false
 }
 
-func (r *Runtime) unregister(rt *procRT, item workItem) {
+func (g *shardGroup) unregister(rt *procRT, item workItem) {
 	if item.isStep {
 		rt.recoveryBusy = false
 		rt.busySvc = ""
 	} else {
 		delete(rt.running, item.local)
 	}
-	r.pol.Bump()
+	g.pol.Bump()
 }
 
 // step is the serial-section decision: what should this worker do next?
-// Called with r.mu held.
-func (r *Runtime) step(rt *procRT) (stepKind, workItem) {
-	v := r.view()
+// Called with g.mu held. Every sWait return records the wait-for edge
+// information of the park in rt.waitAlts (nil when the policy cannot
+// name the blockers).
+func (g *shardGroup) step(rt *procRT) (stepKind, workItem) {
+	r := g.r
+	rt.waitAlts = nil
+	rt.extLock = false
+	rt.lockProbes = rt.lockProbes[:0]
+	v := g.view()
 	// Recovery steps drain strictly sequentially, before a pending
 	// abort is honoured.
 	if len(rt.recovery) > 0 {
@@ -765,7 +1325,7 @@ func (r *Runtime) step(rt *procRT) (stepKind, workItem) {
 			rt.recovery = rt.recovery[1:]
 			if ptx, ok := rt.prepared[st.Local]; ok {
 				if err := ptx.sub.AbortPrepared(ptx.tx); err == nil {
-					r.metrics.Rollbacks++
+					g.metrics.Rollbacks++
 					r.reg.Inc(metrics.DeferredRolledBack)
 					r.append(wal.Record{
 						Type: wal.RecResolved, Proc: string(rt.id), Local: st.Local,
@@ -774,43 +1334,46 @@ func (r *Runtime) step(rt *procRT) (stepKind, workItem) {
 				}
 				delete(rt.prepared, st.Local)
 			}
-			r.pol.EraseTentative(rt.id, st.Local)
+			g.pol.EraseTentative(rt.id, st.Local)
 			_ = rt.inst.ApplyStep(st)
-			r.pol.Bump()
+			g.pol.Bump()
+			r.nudgeRelease()
 			return sAgain, workItem{}
 		case process.StepCompensate:
-			if r.cfg.Mode != scheduler.CCOnly && !r.pol.Lemma2Clear(v, rt.id, st) {
-				r.metrics.PolicyWaits++
+			if r.cfg.Mode != scheduler.CCOnly && !g.pol.Lemma2Clear(v, rt.id, st) {
+				g.metrics.PolicyWaits++
 				return sWait, workItem{}
 			}
-			if !r.fed.Lockable(string(rt.origin), st.Service) {
+			if holder, free := r.fed.LockBlocker(string(rt.origin), st.Service); !free {
+				g.lockWait(rt, holder, st.Service)
 				return sWait, workItem{}
 			}
-			return r.register(rt, workItem{local: st.Local, service: st.Service, kind: activity.Compensation, isStep: true, step: st})
+			return g.register(rt, workItem{local: st.Local, service: st.Service, kind: activity.Compensation, isStep: true, step: st})
 		case process.StepInvoke:
 			if r.cfg.Mode != scheduler.CCOnly {
-				if !r.pol.Lemma3Clear(v, rt.id, st) || !r.pol.Lemma1ClearForward(v, rt.id, st) ||
-					!r.pol.StepForcedClear(v, rt.id, st) {
-					r.metrics.PolicyWaits++
+				if !g.pol.Lemma3Clear(v, rt.id, st) || !g.pol.Lemma1ClearForward(v, rt.id, st) ||
+					!g.pol.StepForcedClear(v, rt.id, st) {
+					g.metrics.PolicyWaits++
 					return sWait, workItem{}
 				}
-				if _, defer2 := r.pol.DeferToAborting(v, rt.id, st); defer2 {
-					r.metrics.PolicyWaits++
+				if _, defer2 := g.pol.DeferToAborting(v, rt.id, st); defer2 {
+					g.metrics.PolicyWaits++
 					return sWait, workItem{}
 				}
 			}
-			if !r.fed.Lockable(string(rt.origin), st.Service) {
+			if holder, free := r.fed.LockBlocker(string(rt.origin), st.Service); !free {
+				g.lockWait(rt, holder, st.Service)
 				return sWait, workItem{}
 			}
 			a := rt.def.Activity(st.Local)
-			return r.register(rt, workItem{local: st.Local, service: st.Service, kind: a.Kind, isStep: true, step: st})
+			return g.register(rt, workItem{local: st.Local, service: st.Service, kind: a.Kind, isStep: true, step: st})
 		}
 		return sWait, workItem{}
 	}
 	if rt.abortPending && rt.state != psAborting {
 		steps, err := rt.inst.Abort()
 		if err != nil {
-			r.err = fmt.Errorf("runtime: abort %s: %w", rt.id, err)
+			r.fail(fmt.Errorf("runtime: abort %s: %w", rt.id, err))
 			return sDone, workItem{}
 		}
 		rt.abortPending = false
@@ -818,68 +1381,148 @@ func (r *Runtime) step(rt *procRT) (stepKind, workItem) {
 		rt.recovery = steps
 		r.append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
 		r.reg.Inc(metrics.BackwardRecoveries)
-		r.seq++
-		r.pol.AppendEvent(&policy.Event{Seq: r.seq, Proc: rt.id, Typ: schedule.AbortBegin})
-		r.cascadeDependents(rt)
+		g.pol.AppendEvent(&policy.Event{Seq: r.seq.Add(1), Proc: rt.id, Typ: schedule.AbortBegin})
+		g.cascadeDependents(rt)
 		return sAgain, workItem{}
 	}
 	if rt.state == psAborting {
 		// Completion drained: roll back leftovers and terminate.
 		for l, ptx := range rt.prepared {
 			if err := ptx.sub.AbortPrepared(ptx.tx); err == nil {
-				r.metrics.Rollbacks++
+				g.metrics.Rollbacks++
 				r.reg.Inc(metrics.DeferredRolledBack)
 				r.append(wal.Record{
 					Type: wal.RecResolved, Proc: string(rt.id), Local: l,
 					Service: ptx.service, Subsystem: ptx.sub.Name(), Tx: int64(ptx.tx), Commit: false,
 				})
 			}
-			r.pol.EraseTentative(rt.id, l)
+			g.pol.EraseTentative(rt.id, l)
 			delete(rt.prepared, l)
 		}
-		r.terminate(rt, false)
+		g.terminate(rt, false)
 		return sDone, workItem{}
 	}
 	if rt.inst.Done() {
 		if len(rt.prepared) > 0 {
-			if r.pol.HasActiveConflictPred(v, rt.id) {
-				return sWait, workItem{} // Lemma 1: hold the 2PC commit
+			if g.pol.HasActiveConflictPred(v, rt.id) {
+				// Lemma 1: hold the 2PC commit. The wait resolves only
+				// when every active conflict predecessor terminated —
+				// one AND-alternative for the deadlock detector.
+				rt.waitAlts = [][]process.ID{g.pol.ActiveConflictPreds(v, rt.id)}
+				return sWait, workItem{}
 			}
-			if !r.commitPreparedSet(rt) {
+			if !g.commitPreparedSet(rt) {
 				return sWait, workItem{}
 			}
 		}
-		r.terminate(rt, true)
+		g.terminate(rt, true)
 		return sDone, workItem{}
+	}
+	// Mid-process deferred commits (Lemma 1): successors of a prepared
+	// activity stay off the frontier until the prepared set commits, so
+	// a process wedges behind its own deferral unless it is resolved
+	// here the moment the last active conflict predecessor terminates
+	// (the concurrent analog of the sequential engine's
+	// commitDeferredIfPossible). While predecessors are still active,
+	// the deferral contributes one AND-alternative to the wait-for
+	// disjunction below — parallel branches may keep executing.
+	var deferAlt []process.ID
+	if midProcessPrepared(rt) {
+		if g.pol.HasActiveConflictPred(v, rt.id) {
+			deferAlt = g.pol.ActiveConflictPreds(v, rt.id)
+		} else {
+			if !g.commitPreparedSet(rt) {
+				return sWait, workItem{} // injected crash mid-2PC
+			}
+			return sAgain, workItem{} // successors joined the frontier
+		}
 	}
 	// Regular forward execution. The single worker linearizes parallel
 	// branches: pick the first dispatchable frontier activity.
+	var blocked [][]process.ID
+	complete := true
 	for _, local := range rt.inst.Frontier() {
 		a := rt.def.Activity(local)
-		if !r.predsCommitted(rt, local) {
+		if !predsCommitted(rt, local) {
+			complete = false
 			continue
 		}
-		if ok, _ := r.pol.MayDispatch(v, rt.id, a); !ok {
-			r.metrics.PolicyWaits++
+		if ok, _ := g.pol.MayDispatch(v, rt.id, a); !ok {
+			g.metrics.PolicyWaits++
 			r.reg.Inc(metrics.InvokePolicyBlocked)
+			if bs := g.pol.DispatchBlockers(v, rt.id, a); len(bs) > 0 {
+				blocked = append(blocked, bs)
+			} else {
+				complete = false // denial without pred-wait semantics
+			}
 			continue
 		}
 		// Probe the subsystem's item locks under the serial section: a
 		// held lock means parking here, not an invocation attempt whose
 		// ErrLocked bounce would wake (and be woken by) other blocked
-		// workers in an endless retry storm. Lock releases always come
-		// with a progress bump, so parked workers re-probe in time.
-		if !r.fed.Lockable(string(rt.origin), a.Service) {
+		// workers in an endless retry storm. The holder — possibly in
+		// another group, since commutative services share items without
+		// conflicting — becomes a wait-for edge.
+		if holder, free := r.fed.LockBlocker(string(rt.origin), a.Service); !free {
+			rt.lockProbes = append(rt.lockProbes, a.Service)
+			if cur, ok := r.incarnation(process.ID(holder)); ok {
+				blocked = append(blocked, []process.ID{cur})
+				if g.byID[cur] == nil {
+					rt.extLock = true
+				}
+			} else {
+				complete = false // holder unknown (terminating); re-probe on wake
+			}
 			continue
 		}
-		return r.register(rt, workItem{local: local, service: a.Service, kind: a.Kind})
+		return g.register(rt, workItem{local: local, service: a.Service, kind: a.Kind})
+	}
+	// The park's wait-for information is complete only when EVERY
+	// frontier alternative was denied by a named blocker set (conflict
+	// predecessors or an item-lock holder); any alternative blocked on
+	// own prepared work or non-pred rules falls back to the quiescence
+	// detector. extLock outlives incompleteness: the park still gets
+	// cross-group nudge wake-ups and the gmu re-probe either way.
+	if deferAlt != nil {
+		blocked = append(blocked, deferAlt)
+	}
+	if complete && len(blocked) > 0 {
+		rt.waitAlts = blocked
 	}
 	return sWait, workItem{}
 }
 
+// midProcessPrepared reports whether a non-done process holds a
+// prepared (deferred-commit) local whose successors are off the
+// frontier waiting for it.
+func midProcessPrepared(rt *procRT) bool {
+	for l := range rt.prepared {
+		if rt.inst.Status(l) == process.Prepared {
+			return true
+		}
+	}
+	return false
+}
+
+// lockWait records the wait-for edge of an item-lock-blocked recovery
+// step: the single pending step is the only alternative, its lock
+// holder the only blocker. Called with g.mu held.
+func (g *shardGroup) lockWait(rt *procRT, holder, service string) {
+	rt.lockProbes = append(rt.lockProbes, service)
+	cur, ok := g.r.incarnation(process.ID(holder))
+	if !ok {
+		return // holder unknown (terminating); quiescence backstop only
+	}
+	rt.waitAlts = [][]process.ID{{cur}}
+	if g.byID[cur] == nil {
+		rt.extLock = true
+	}
+}
+
 // register records the invocation as in flight (visible to concurrent
 // forced-order decisions) and hands it to the worker.
-func (r *Runtime) register(rt *procRT, item workItem) (stepKind, workItem) {
+func (g *shardGroup) register(rt *procRT, item workItem) (stepKind, workItem) {
+	r := g.r
 	if !r.inject("runtime:dispatch") {
 		return sAgain, workItem{} // crash tripped; drive's loop head exits
 	}
@@ -889,16 +1532,16 @@ func (r *Runtime) register(rt *procRT, item workItem) (stepKind, workItem) {
 	} else {
 		rt.running[item.local] = item.service
 	}
-	r.pol.Bump()
+	g.pol.Bump()
 	if !r.append(wal.Record{Type: wal.RecDispatch, Proc: string(rt.id), Local: item.local, Service: item.service}) {
-		r.unregister(rt, item)
+		g.unregister(rt, item)
 		return sAgain, workItem{}
 	}
 	r.reg.Inc(metrics.InvokeDispatched)
 	return sInvoke, item
 }
 
-func (r *Runtime) predsCommitted(rt *procRT, local int) bool {
+func predsCommitted(rt *procRT, local int) bool {
 	for _, h := range rt.def.Preds(local) {
 		if rt.inst.Status(h) != process.Committed {
 			return false
@@ -908,23 +1551,24 @@ func (r *Runtime) predsCommitted(rt *procRT, local int) bool {
 }
 
 // complete handles a finished invocation under the lock.
-func (r *Runtime) complete(rt *procRT, item workItem, res *subsystem.Result, failed bool) {
-	r.metrics.Invocations++
-	r.completions++
-	r.unregister(rt, item)
+func (g *shardGroup) complete(rt *procRT, item workItem, res *subsystem.Result, failed bool) {
+	r := g.r
+	g.metrics.Invocations++
+	r.noteCompletion()
+	g.unregister(rt, item)
 	r.reg.ObserveService(item.service, r.cost(item.service))
 	if item.isStep {
-		r.completeStep(rt, item, res, failed)
+		g.completeStep(rt, item, res, failed)
 		return
 	}
 	if failed {
 		if item.kind.GuaranteedToCommit() {
-			r.metrics.Retries++
+			g.metrics.Retries++
 			r.reg.Inc(metrics.RetriesTransient)
 			r.append(wal.Record{Type: wal.RecOutcome, Proc: string(rt.id), Local: item.local, Service: item.service, Outcome: "aborted"})
 			return
 		}
-		r.permanentFailure(rt, item)
+		g.permanentFailure(rt, item)
 		return
 	}
 	if !r.append(wal.Record{
@@ -934,10 +1578,10 @@ func (r *Runtime) complete(rt *procRT, item workItem, res *subsystem.Result, fai
 		return // crashed: the transaction stays in doubt for recovery
 	}
 	sub, _ := r.fed.Owner(item.service)
-	r.seq++
-	if r.commitImmediately(rt, item.kind) {
+	seq := r.seq.Add(1)
+	if g.commitImmediately(rt, item.kind) {
 		if err := sub.CommitPrepared(res.Tx); err != nil {
-			r.err = fmt.Errorf("runtime: commit %s/%s: %w", rt.id, item.service, err)
+			r.fail(fmt.Errorf("runtime: commit %s/%s: %w", rt.id, item.service, err))
 			return
 		}
 		r.append(wal.Record{
@@ -945,37 +1589,47 @@ func (r *Runtime) complete(rt *procRT, item workItem, res *subsystem.Result, fai
 			Service: item.service, Subsystem: sub.Name(), Tx: int64(res.Tx), Commit: true,
 		})
 		if err := rt.inst.MarkCommitted(item.local); err != nil {
-			r.err = fmt.Errorf("runtime: %w", err)
+			r.fail(fmt.Errorf("runtime: %w", err))
 			return
 		}
-		r.pol.AppendEvent(&policy.Event{
-			Seq: r.seq, Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind, Typ: schedule.Invoke,
+		g.pol.AppendEvent(&policy.Event{
+			Seq: seq, Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind, Typ: schedule.Invoke,
 		})
 		r.reg.Inc(metrics.CommitsImmediate)
+		r.nudgeRelease()
 	} else {
-		r.metrics.Deferrals++
+		g.metrics.Deferrals++
 		r.reg.Inc(metrics.CommitsDeferred)
 		if err := rt.inst.MarkPrepared(item.local); err != nil {
-			r.err = fmt.Errorf("runtime: %w", err)
+			r.fail(fmt.Errorf("runtime: %w", err))
 			return
 		}
 		rt.prepared[item.local] = preparedTx{sub: sub, tx: res.Tx, service: item.service}
-		r.pol.AppendEvent(&policy.Event{
-			Seq: r.seq, Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind,
+		g.pol.AppendEvent(&policy.Event{
+			Seq: seq, Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind,
 			Typ: schedule.Invoke, Tentative: true,
 		})
 	}
 }
 
-func (r *Runtime) commitImmediately(rt *procRT, kind activity.Kind) bool {
+// noteCompletion counts one finished invocation and wakes backoff
+// waiters; the admission mutex is a leaf under any group mutex.
+func (r *Runtime) noteCompletion() {
+	r.gmu.Lock()
+	r.completions++
+	r.gcond.Broadcast()
+	r.gmu.Unlock()
+}
+
+func (g *shardGroup) commitImmediately(rt *procRT, kind activity.Kind) bool {
 	if kind == activity.Compensatable {
 		return true
 	}
-	switch r.cfg.Mode {
+	switch g.r.cfg.Mode {
 	case scheduler.CCOnly, scheduler.Serial, scheduler.Conservative:
 		return true
 	default:
-		return !r.pol.HasActiveConflictPred(r.view(), rt.id)
+		return !g.pol.HasActiveConflictPred(g.view(), rt.id)
 	}
 }
 
@@ -988,15 +1642,15 @@ func (r *Runtime) subsystemOf(service string) string {
 
 // permanentFailure reacts to the definitive failure of a compensatable
 // or pivot activity.
-func (r *Runtime) permanentFailure(rt *procRT, item workItem) {
+func (g *shardGroup) permanentFailure(rt *procRT, item workItem) {
+	r := g.r
 	r.append(wal.Record{Type: wal.RecFailed, Proc: string(rt.id), Local: item.local, Service: item.service})
-	r.seq++
-	r.pol.AppendEvent(&policy.Event{
-		Seq: r.seq, Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind, Typ: schedule.FailedInvoke,
+	g.pol.AppendEvent(&policy.Event{
+		Seq: r.seq.Add(1), Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind, Typ: schedule.FailedInvoke,
 	})
 	plan, err := rt.inst.MarkFailed(item.local)
 	if err != nil {
-		r.err = fmt.Errorf("runtime: %w", err)
+		r.fail(fmt.Errorf("runtime: %w", err))
 		return
 	}
 	if rt.abortPending {
@@ -1008,9 +1662,8 @@ func (r *Runtime) permanentFailure(rt *procRT, item workItem) {
 		rt.recovery = plan.Steps
 		r.append(wal.Record{Type: wal.RecAbortBegin, Proc: string(rt.id)})
 		r.reg.Inc(metrics.BackwardRecoveries)
-		r.seq++
-		r.pol.AppendEvent(&policy.Event{Seq: r.seq, Proc: rt.id, Typ: schedule.AbortBegin})
-		r.cascadeDependents(rt)
+		g.pol.AppendEvent(&policy.Event{Seq: r.seq.Add(1), Proc: rt.id, Typ: schedule.AbortBegin})
+		g.cascadeDependents(rt)
 		return
 	}
 	rt.recovery = plan.Steps
@@ -1018,25 +1671,28 @@ func (r *Runtime) permanentFailure(rt *procRT, item workItem) {
 }
 
 // cascadeDependents marks conflicting dependents of an unwinding
-// process for cascading abort (PREDCascade mode only).
-func (r *Runtime) cascadeDependents(rt *procRT) {
-	for _, id := range r.pol.CascadeVictims(r.view(), rt.id, rt.recovery) {
-		q := r.byID[id]
+// process for cascading abort (PREDCascade mode only). Dependents
+// always conflict with the unwinding process, so they live in the same
+// group.
+func (g *shardGroup) cascadeDependents(rt *procRT) {
+	for _, id := range g.pol.CascadeVictims(g.view(), rt.id, rt.recovery) {
+		q := g.byID[id]
 		if q == nil || q.state != psRunning || q.abortPending {
 			continue
 		}
-		r.metrics.Cascades++
-		r.reg.Inc(metrics.CascadeAborts)
+		g.metrics.Cascades++
+		g.r.reg.Inc(metrics.CascadeAborts)
 		q.abortPending = true
 		q.restartable = true
 	}
 }
 
 // completeStep handles a finished recovery-step invocation.
-func (r *Runtime) completeStep(rt *procRT, item workItem, res *subsystem.Result, failed bool) {
+func (g *shardGroup) completeStep(rt *procRT, item workItem, res *subsystem.Result, failed bool) {
+	r := g.r
 	if failed {
 		// Compensations and forward-recovery steps are retriable.
-		r.metrics.Retries++
+		g.metrics.Retries++
 		r.reg.Inc(metrics.RetriesTransient)
 		return
 	}
@@ -1062,36 +1718,39 @@ func (r *Runtime) completeStep(rt *procRT, item workItem, res *subsystem.Result,
 		return // crashed: the step never happened as far as the log knows
 	}
 	if err := sub.CommitPrepared(res.Tx); err != nil {
-		r.err = fmt.Errorf("runtime: commit step %s/%s: %w", rt.id, item.service, err)
+		r.fail(fmt.Errorf("runtime: commit step %s/%s: %w", rt.id, item.service, err))
 		return
 	}
 	if len(rt.recovery) > 0 && rt.recovery[0] == item.step {
 		rt.recovery = rt.recovery[1:]
 	}
-	r.seq++
+	seq := r.seq.Add(1)
 	switch item.step.Kind {
 	case process.StepCompensate:
-		r.metrics.Compensations++
+		g.metrics.Compensations++
 		r.reg.Inc(metrics.CompensationsIssued)
-		r.pol.MarkCompensated(rt.id, item.local)
-		r.pol.AppendEvent(&policy.Event{
-			Seq: r.seq, Proc: rt.id, Local: item.local, Service: item.service,
+		g.pol.MarkCompensated(rt.id, item.local)
+		g.pol.AppendEvent(&policy.Event{
+			Seq: seq, Proc: rt.id, Local: item.local, Service: item.service,
 			Kind: activity.Compensation, Typ: schedule.Invoke, Inverse: true,
 		})
 	case process.StepInvoke:
-		r.pol.AppendEvent(&policy.Event{
-			Seq: r.seq, Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind, Typ: schedule.Invoke,
+		g.pol.AppendEvent(&policy.Event{
+			Seq: seq, Proc: rt.id, Local: item.local, Service: item.service, Kind: item.kind, Typ: schedule.Invoke,
 		})
 	}
 	if err := rt.inst.ApplyStep(item.step); err != nil {
-		r.err = fmt.Errorf("runtime: %w", err)
+		r.fail(fmt.Errorf("runtime: %w", err))
+		return
 	}
+	r.nudgeRelease()
 }
 
 // commitPreparedSet performs the atomic 2PC commit of the prepared set
-// once Lemma 1 released it. Called with r.mu held (lock order
-// r.mu -> subsystem.mu).
-func (r *Runtime) commitPreparedSet(rt *procRT) bool {
+// once Lemma 1 released it. Called with g.mu held (lock order
+// g.mu -> subsystem.mu).
+func (g *shardGroup) commitPreparedSet(rt *procRT) bool {
+	r := g.r
 	locals := make([]int, 0, len(rt.prepared))
 	for l := range rt.prepared {
 		if rt.inst.Status(l) == process.Prepared {
@@ -1114,61 +1773,71 @@ func (r *Runtime) commitPreparedSet(rt *procRT) bool {
 		return false // injected crash mid-2PC; recovery finishes the job
 	}
 	if cerr != nil {
-		r.err = fmt.Errorf("runtime: 2PC commit of %s: %w", rt.id, cerr)
+		r.fail(fmt.Errorf("runtime: 2PC commit of %s: %w", rt.id, cerr))
 		return false
 	}
 	for _, l := range locals {
-		r.metrics.TwoPCCommits++
+		g.metrics.TwoPCCommits++
 		r.reg.Inc(metrics.DeferredCommitted2PC)
 		if err := rt.inst.MarkCommitted(l); err != nil {
-			r.err = fmt.Errorf("runtime: %w", err)
+			r.fail(fmt.Errorf("runtime: %w", err))
 			return false
 		}
-		r.seq++
-		r.pol.FinalizeTentative(rt.id, l, r.seq)
+		g.pol.FinalizeTentative(rt.id, l, r.seq.Add(1))
 		delete(rt.prepared, l)
 	}
-	r.pol.Bump()
+	g.pol.Bump()
 	return true
 }
 
-// terminate emits the terminal event. Called with r.mu held.
-func (r *Runtime) terminate(rt *procRT, committed bool) {
+// terminate emits the terminal event. Called with g.mu held.
+func (g *shardGroup) terminate(rt *procRT, committed bool) {
+	r := g.r
 	rt.state = psDone
-	r.active--
-	out := r.outcomes[rt.id]
+	out := g.outcomes[rt.id]
 	out.End = r.ticksSince(time.Now())
 	out.Committed = committed
 	out.Aborted = !committed
 	if committed {
-		r.metrics.CommittedProcs++
+		g.metrics.CommittedProcs++
 		r.reg.Inc(metrics.ProcsCommitted)
 	} else {
-		r.metrics.AbortedProcs++
+		g.metrics.AbortedProcs++
 		r.reg.Inc(metrics.ProcsAborted)
 	}
 	r.reg.Observe(metrics.HistProcDuration, r.ticksSince(time.Now())-out.Start)
 	r.append(wal.Record{Type: wal.RecTerminate, Proc: string(rt.id), Committed: committed})
-	r.seq++
-	r.pol.AppendEvent(&policy.Event{Seq: r.seq, Proc: rt.id, Typ: schedule.Terminate, Committed: committed})
+	g.pol.AppendEvent(&policy.Event{Seq: r.seq.Add(1), Proc: rt.id, Typ: schedule.Terminate, Committed: committed})
 	rt.inst.MarkTerminated(committed)
+	r.gmu.Lock()
+	r.active--
+	rt.adm.done = true
+	if r.liveByOrigin[rt.origin] == rt.id {
+		delete(r.liveByOrigin, rt.origin)
+	}
+	r.gcond.Broadcast()
+	r.gmu.Unlock()
+	// Termination released whatever this process still held (2PC commit
+	// or rollback of its prepared set happened on the way here); waiters
+	// in other groups only learn about it through a nudge.
+	r.nudgeRelease()
 }
 
-// view adapts the runtime's process table to the policy View.
-type rtView struct{ r *Runtime }
+// view adapts the group's process table to the policy View.
+type rtView struct{ g *shardGroup }
 
-func (r *Runtime) view() policy.View { return rtView{r} }
+func (g *shardGroup) view() policy.View { return rtView{g} }
 
 func (v rtView) Procs() []process.ID {
-	out := make([]process.ID, len(v.r.procs))
-	for i, rt := range v.r.procs {
+	out := make([]process.ID, len(v.g.procs))
+	for i, rt := range v.g.procs {
 		out[i] = rt.id
 	}
 	return out
 }
 
 func (v rtView) Phase(id process.ID) policy.Phase {
-	rt := v.r.byID[id]
+	rt := v.g.byID[id]
 	if rt == nil {
 		return policy.Done
 	}
@@ -1183,28 +1852,28 @@ func (v rtView) Phase(id process.ID) policy.Phase {
 }
 
 func (v rtView) Arrival(id process.ID) int {
-	if rt := v.r.byID[id]; rt != nil {
+	if rt := v.g.byID[id]; rt != nil {
 		return rt.arrival
 	}
 	return 0
 }
 
 func (v rtView) Instance(id process.ID) *process.Instance {
-	if rt := v.r.byID[id]; rt != nil {
+	if rt := v.g.byID[id]; rt != nil {
 		return rt.inst
 	}
 	return nil
 }
 
 func (v rtView) RecoverySteps(id process.ID) []process.Step {
-	if rt := v.r.byID[id]; rt != nil {
+	if rt := v.g.byID[id]; rt != nil {
 		return rt.recovery
 	}
 	return nil
 }
 
 func (v rtView) InFlight(id process.ID) []string {
-	rt := v.r.byID[id]
+	rt := v.g.byID[id]
 	if rt == nil {
 		return nil
 	}
@@ -1218,30 +1887,29 @@ func (v rtView) InFlight(id process.ID) []string {
 	return out
 }
 
-// stallDump renders the runtime state for stall diagnostics.
-func (r *Runtime) stallDump() string {
-	s := fmt.Sprintf("live=%d active=%d inFlight=%d waiting=%d victims=%d progress=%d\n", r.live, r.active, r.inFlight, r.waiting, r.victims, r.progress)
-	for _, rt := range r.procs {
+// stallDump renders the group state for stall diagnostics.
+func (g *shardGroup) stallDump() string {
+	r := g.r
+	r.gmu.Lock()
+	victims := r.victims
+	active := r.active
+	r.gmu.Unlock()
+	s := fmt.Sprintf("group=%d shards=%v live=%d active=%d inFlight=%d waiting=%d victims=%d progress=%d\n",
+		g.idx, g.shards, g.live, active, g.inFlight, g.waiting, victims, g.progress.Load())
+	for _, rt := range g.procs {
 		if rt.state == psDone {
 			continue
 		}
 		s += fmt.Sprintf("  %s state=%d mode=%v done=%v running=%d recovery=%d busy=%v abortPending=%v prepared=%d frontier=%v\n",
 			rt.id, rt.state, rt.inst.Mode(), rt.inst.Done(), len(rt.running), len(rt.recovery), rt.recoveryBusy, rt.abortPending, len(rt.prepared), rt.inst.Frontier())
-		if len(rt.recovery) > 0 {
-			st := rt.recovery[0]
-			s += fmt.Sprintf("    next step: %v\n", st)
-			if st.Kind == process.StepInvoke {
-				s += fmt.Sprintf("    gates: lemma3=%v lemma1fwd=%v forced=%v newEdges=%v\n",
-					r.pol.Lemma3Clear(r.view(), rt.id, st), r.pol.Lemma1ClearForward(r.view(), rt.id, st),
-					r.pol.StepForcedClear(r.view(), rt.id, st), r.pol.ForcedEdgesFor(r.view(), rt.id, st.Service, true))
-			}
-			if st.Kind == process.StepCompensate {
-				s += fmt.Sprintf("    gates: lemma2=%v\n", r.pol.Lemma2Clear(r.view(), rt.id, st))
-			}
-		}
 	}
-	for _, k := range r.pol.EdgeList() {
+	for _, k := range g.pol.EdgeList() {
 		s += fmt.Sprintf("  edge %s->%s\n", k[0], k[1])
 	}
+	r.gmu.Lock()
+	for id, e := range r.waits {
+		s += fmt.Sprintf("  wait %s alts=%v fresh=%v\n", id, e.alts, e.gen == e.g.progress.Load())
+	}
+	r.gmu.Unlock()
 	return s
 }

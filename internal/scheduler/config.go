@@ -143,6 +143,13 @@ type Config struct {
 	// (wal.Compactor): temp file → fsync → rename → parent-dir fsync
 	// for the file log, an in-memory splice for MemLog.
 	CompactOnCheckpoint bool
+	// GroupCommit, when enabled (MaxBatch > 0), wraps the log in a
+	// batching appender (wal.GroupAppender). The sequential engine
+	// appends from one goroutine, so batches rarely exceed one record;
+	// the option exists so differential and torture scenarios exercise
+	// the same append stream shape as the concurrent runtime,
+	// including the "wal:group-fsync" crash point.
+	GroupCommit wal.GroupCommit
 	// DebugFirstStall prints the engine state at the first stall
 	// resolution (diagnostic aid).
 	DebugFirstStall bool

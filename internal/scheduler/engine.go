@@ -230,6 +230,9 @@ func New(fed *subsystem.Federation, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if cfg.GroupCommit.Enabled() {
+		cfg.Log = wal.NewGroupAppender(cfg.Log, cfg.GroupCommit, cfg.Inject)
+	}
 	e := &Engine{
 		cfg:      cfg,
 		fed:      fed,
@@ -1317,13 +1320,7 @@ func (e *Engine) stallDump() string {
 		s += fmt.Sprintf("  %s state=%d mode=%v done=%v running=%d recovery=%d busy=%v abortPending=%v prepared=%d frontier=%v\n",
 			rt.id, rt.state, rt.inst.Mode(), rt.inst.Done(), len(rt.running), len(rt.recovery), rt.recoveryBusy, rt.abortPending, len(rt.prepared), rt.inst.Frontier())
 		if len(rt.recovery) > 0 {
-			st := rt.recovery[0]
-			s += fmt.Sprintf("    next step: %v\n", st)
-			if st.Kind == process.StepInvoke {
-				s += fmt.Sprintf("    gates: lemma3=%v lemma1fwd=%v forced=%v newEdges=%v\n",
-					e.pol.Lemma3Clear(e.view(), rt.id, st), e.pol.Lemma1ClearForward(e.view(), rt.id, st),
-					e.pol.StepForcedClear(e.view(), rt.id, st), e.pol.ForcedEdgesFor(e.view(), rt.id, st.Service, true))
-			}
+			s += fmt.Sprintf("    next step: %v\n", rt.recovery[0])
 		}
 	}
 	for _, k := range e.pol.EdgeList() {
@@ -1331,12 +1328,6 @@ func (e *Engine) stallDump() string {
 	}
 	for sub, recs := range e.fed.InDoubt() {
 		s += fmt.Sprintf("  in-doubt at %s: %v\n", sub, recs)
-	}
-	for _, ev := range e.pol.Events() {
-		if ev.Typ != schedule.Invoke {
-			continue
-		}
-		s += fmt.Sprintf("  ev %s\n", ev)
 	}
 	return s
 }

@@ -80,8 +80,8 @@ func TestAvoidancePreventsWedge(t *testing.T) {
 	// processes' *potential* services and serializes them up front: no
 	// victim abort is ever needed, and both processes commit. (The
 	// engine's actual forward-recovery path is exercised by
-	// TestForwardRecoveryWorkload below, where multi-party contention
-	// defeats avoidance.)
+	// TestForwardRecoveryCCOnly below, where the baseline mode lacks
+	// avoidance and must abort a wedged process.)
 	if res.Metrics.VictimAborts != 0 {
 		t.Fatalf("avoidance mode should have prevented the wedge: %s", s)
 	}
@@ -98,19 +98,76 @@ func TestAvoidancePreventsWedge(t *testing.T) {
 	}
 }
 
-// TestForwardRecoveryWorkload pins a workload (found by search) where
-// high contention forces victim aborts of forward-recoverable
-// processes: the engine executes forward recovery invocations between
-// A_i and C_i(ab), through the Lemma-3 and forced-order gates, and the
-// result remains PRED and consistent.
-func TestForwardRecoveryWorkload(t *testing.T) {
-	p := workload.DefaultProfile(218)
+// TestHighContentionNeedsNoVictims pins the profile that used to force
+// victim aborts under PRED. Two mechanisms since closed that wedge
+// class entirely: semantic item locks let write locks be shared across
+// holders of the same commutative service family (Definition 6 — the
+// historical victims were all lock waits between *commuting* services),
+// and the forced-order graph's potential edges deny the residual
+// cycle-forming dispatches up front (see TestAvoidancePreventsWedge).
+// High contention now costs throughput, never aborts: the pinned
+// scenario must commit every process with zero victims while staying
+// PRED and consistent. A regression here means either the lock manager
+// stopped recognizing commutativity or avoidance stopped seeing a
+// potential cycle.
+func TestHighContentionNeedsNoVictims(t *testing.T) {
+	for _, seed := range []int64{218, 7, 42} {
+		p := workload.DefaultProfile(seed)
+		p.Processes = 16
+		p.ConflictProb = 0.85
+		p.PermFailureProb = 0.2
+		p.ParallelProb = 0.5
+		w := workload.MustGenerate(p)
+		eng, err := scheduler.New(w.Fed, scheduler.Config{Mode: scheduler.PRED})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.RunJobs(w.Jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metrics.VictimAborts != 0 {
+			t.Fatalf("seed %d: %d victim aborts; semantic locking + avoidance should prevent all wedges",
+				seed, res.Metrics.VictimAborts)
+		}
+		if got := res.Metrics.CommittedProcs + res.Metrics.AbortedProcs; got < p.Processes {
+			t.Fatalf("seed %d: only %d of %d processes terminated", seed, got, p.Processes)
+		}
+		ok, at, _, err := res.Schedule.PRED()
+		if err != nil || !ok {
+			t.Fatalf("seed %d: PRED = %v at=%d err=%v", seed, ok, at, err)
+		}
+		for item, v := range w.Fed.Snapshot() {
+			if v < 0 {
+				t.Fatalf("seed %d: %s negative (%d)", seed, item, v)
+			}
+		}
+		if n := len(w.Fed.InDoubt()); n != 0 {
+			t.Fatalf("seed %d: %d in-doubt transactions remain", seed, n)
+		}
+	}
+}
+
+// TestForwardRecoveryCCOnly exercises the engine's victim-abort and
+// forward-recovery machinery, which PRED mode makes unreachable (see
+// TestHighContentionNeedsNoVictims). The CCOnly baseline has no
+// avoidance: conflicting executions interleave freely until an executed
+// serialization edge would close a cycle, the denial wedges the
+// process, and the stall resolver picks a victim. A victim past its
+// pivot is forward-recoverable — the engine must run its remaining
+// retriable invocations between A_i and C_i(ab). CCOnly gives no PRED
+// guarantee by design, but termination and subsystem-level atomicity
+// must still hold.
+func TestForwardRecoveryCCOnly(t *testing.T) {
+	p := workload.DefaultProfile(1)
 	p.Processes = 16
 	p.ConflictProb = 0.85
 	p.PermFailureProb = 0.2
 	p.ParallelProb = 0.5
 	w := workload.MustGenerate(p)
-	eng, err := scheduler.New(w.Fed, scheduler.Config{Mode: scheduler.PRED})
+	// Checkpointing runs alongside to show victim aborts and fuzzy
+	// checkpoints compose.
+	eng, err := scheduler.New(w.Fed, scheduler.Config{Mode: scheduler.CCOnly, CheckpointEvery: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,6 +177,9 @@ func TestForwardRecoveryWorkload(t *testing.T) {
 	}
 	if res.Metrics.VictimAborts == 0 {
 		t.Fatal("scenario must produce victim aborts (seed drift?)")
+	}
+	if res.Metrics.Throughput() <= 0 {
+		t.Fatal("throughput must be positive for a run that commits processes")
 	}
 	// Find a forward recovery invocation: a retriable Invoke between an
 	// AbortBegin and the abort termination of the same process.
@@ -145,9 +205,8 @@ func TestForwardRecoveryWorkload(t *testing.T) {
 	if !forward {
 		t.Fatal("no forward recovery invocation found (seed drift?)")
 	}
-	ok, at, _, err := res.Schedule.PRED()
-	if err != nil || !ok {
-		t.Fatalf("PRED = %v at=%d err=%v", ok, at, err)
+	if got := res.Metrics.CommittedProcs + res.Metrics.AbortedProcs; got < p.Processes {
+		t.Fatalf("only %d of %d processes terminated", got, p.Processes)
 	}
 	for item, v := range w.Fed.Snapshot() {
 		if v < 0 {

@@ -23,6 +23,57 @@ func (s *State) HasActiveConflictPred(v View, id process.ID) bool {
 	return false
 }
 
+// ActiveConflictPreds lists the non-terminated processes with an edge
+// into id — the processes a Lemma-1 commit deferral is waiting on. The
+// deferral resolves only when all of them terminated, so the list is
+// the AND-set of one wait-for alternative in the runtime's deadlock
+// detector.
+func (s *State) ActiveConflictPreds(v View, id process.ID) []process.ID {
+	var out []process.ID
+	for k, n := range s.edges {
+		if n <= 0 || k[1] != id {
+			continue
+		}
+		if v.Phase(k[0]) != Done {
+			out = append(out, k[0])
+		}
+	}
+	return out
+}
+
+// DispatchBlockers lists the active predecessors on which MayDispatch's
+// Lemma-1 loop would deny a regular dispatch of a by id: the processes
+// that must all terminate (or become exempt by acting) before the
+// activity can run. An empty result means the denial — if any — came
+// from a rule without pred-wait semantics (forced-order acyclicity, the
+// ablation pivot gate, or a non-PRED mode), so the caller has no edge
+// information and must fall back to quiescence-based stall handling.
+func (s *State) DispatchBlockers(v View, id process.ID, a *process.Activity) []process.ID {
+	switch s.cfg.Mode {
+	case Serial, Conservative, CCOnly:
+		return nil
+	}
+	svcID := s.u.intern(a.Service)
+	if !anyBit(s.u.mask(svcID)) {
+		return nil
+	}
+	var out []process.ID
+	for q := range s.conflictPreds(v, id, svcID) {
+		if v.Phase(q) == Done {
+			continue
+		}
+		if s.safeQuasiCommit(v, q, svcID) {
+			continue
+		}
+		if s.cfg.Mode == PREDCascade && a.Kind == activity.Compensatable && v.Phase(q) == Running &&
+			v.Arrival(q) <= v.Arrival(id) && !s.forwardConflict(v, q, a.Service) {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
 // FirstActivePred names one active conflicting predecessor of id — the
 // process a deferred commit is waiting on (trace detail for the
 // defer-commit decision). Which one is named is arbitrary when several
@@ -67,14 +118,21 @@ func (s *State) wouldCycle(preds map[process.ID]bool, to process.ID) bool {
 
 // conflictPreds returns, for a prospective activity of id, the set of
 // processes with an earlier effective conflicting event (executed or in
-// flight).
-func (s *State) conflictPreds(v View, id process.ID, service string) map[process.ID]bool {
-	preds := make(map[process.ID]bool)
-	for svc, owners := range s.forced(v).bySvc {
-		if !s.Conflicts(svc, service) {
+// flight). The returned map is scratch, valid until the next
+// conflictPreds call on this state.
+func (s *State) conflictPreds(v View, id process.ID, svcID int) map[process.ID]bool {
+	preds := s.predScratch
+	clear(preds)
+	fc := s.forced(v)
+	mask := s.u.mask(svcID)
+	for svc, owners := range fc.bySvc {
+		if len(owners) == 0 {
 			continue
 		}
-		for p := range owners {
+		if w := svc / 64; w >= len(mask) || mask[w]&(1<<(uint(svc)%64)) == 0 {
+			continue
+		}
+		for _, p := range owners {
 			if p != id {
 				preds[p] = true
 			}
@@ -91,7 +149,18 @@ func (s *State) MayDispatch(v View, id process.ID, a *process.Activity) (bool, s
 	case Serial, Conservative:
 		return true, "" // admission already serialized conflicts
 	}
-	preds := s.conflictPreds(v, id, a.Service)
+	svcID := s.u.intern(a.Service)
+	// Conflict-free services can never gain predecessors, force an
+	// ordering or close a cycle — only the ablation-mode pivot gate can
+	// still apply. This skips the forced-context machinery entirely for
+	// the commutative bulk of a workload.
+	if !anyBit(s.u.mask(svcID)) {
+		if s.cfg.Mode != CCOnly && s.cfg.BlockPivots && a.Kind.NonCompensatable() && s.HasActiveConflictPred(v, id) {
+			return false, "pivot blocked until predecessors terminate (ablation mode)"
+		}
+		return true, ""
+	}
+	preds := s.conflictPreds(v, id, svcID)
 	if s.cfg.Mode == CCOnly {
 		if len(preds) == 0 {
 			return true, ""
@@ -106,7 +175,7 @@ func (s *State) MayDispatch(v View, id process.ID, a *process.Activity) (bool, s
 		if v.Phase(q) == Done {
 			continue
 		}
-		if s.safeQuasiCommit(v, q, a.Service) {
+		if s.safeQuasiCommit(v, q, svcID) {
 			continue
 		}
 		if s.cfg.Mode == PREDCascade && a.Kind == activity.Compensatable && v.Phase(q) == Running &&
@@ -130,7 +199,7 @@ func (s *State) MayDispatch(v View, id process.ID, a *process.Activity) (bool, s
 	// current schedule acyclic (prefix-reducibility, maintained
 	// inductively).
 	fc := s.forced(v)
-	if !fc.acyclicWith(fc.newEdges(id, a.Service, false)) {
+	if !fc.acyclicWith(fc.newEdges(id, svcID, false)) {
 		return false, "completed-schedule ordering would become cyclic"
 	}
 	if s.cfg.BlockPivots && a.Kind.NonCompensatable() && s.HasActiveConflictPred(v, id) {
@@ -140,19 +209,16 @@ func (s *State) MayDispatch(v View, id process.ID, a *process.Activity) (bool, s
 }
 
 // safeQuasiCommit reports whether q can no longer produce a recovery
-// activity conflicting with service: q is forward-recoverable and none
-// of its potential recovery services conflicts (Example 10).
-func (s *State) safeQuasiCommit(v View, q process.ID, service string) bool {
+// activity conflicting with the service: q is forward-recoverable and
+// none of its potential recovery services conflicts (Example 10). The
+// potential set is read from the round's forced context (same state
+// version, so it is current).
+func (s *State) safeQuasiCommit(v View, q process.ID, svcID int) bool {
 	inst := v.Instance(q)
 	if v.Phase(q) != Running || inst == nil || inst.Mode() != process.FREC {
 		return false
 	}
-	for svc := range inst.PotentialRecoveryServices() {
-		if s.Conflicts(svc, service) {
-			return false
-		}
-	}
-	return true
+	return !intersects(s.forced(v).pots[q], s.u.mask(svcID))
 }
 
 // forwardConflict reports whether q's potential forward recovery
@@ -163,7 +229,7 @@ func (s *State) forwardConflict(v View, q process.ID, service string) bool {
 		return false
 	}
 	for svc := range inst.PotentialForwardServices() {
-		if s.Conflicts(svc, service) {
+		if s.u.Conflicts(svc, service) {
 			return true
 		}
 	}
@@ -178,11 +244,15 @@ func (s *State) forwardConflict(v View, q process.ID, service string) bool {
 // queued compensations (Lemma3Clear); their remaining forward paths
 // merely order against ours.
 func (s *State) Lemma1ClearForward(v View, id process.ID, st process.Step) bool {
-	for q := range s.conflictPreds(v, id, st.Service) {
+	svcID := s.u.intern(st.Service)
+	if !anyBit(s.u.mask(svcID)) {
+		return true
+	}
+	for q := range s.conflictPreds(v, id, svcID) {
 		if ph := v.Phase(q); ph == Done || ph == Aborting {
 			continue
 		}
-		if !s.safeQuasiCommit(v, q, st.Service) {
+		if !s.safeQuasiCommit(v, q, svcID) {
 			return false
 		}
 	}
@@ -194,6 +264,10 @@ func (s *State) Lemma1ClearForward(v View, id process.ID, st process.Step) bool 
 // another active process still has effective conflicting work executed
 // after T (that process compensates first — it is cascading).
 func (s *State) Lemma2Clear(v View, id process.ID, st process.Step) bool {
+	svcID := s.u.intern(st.Service)
+	if !anyBit(s.u.mask(svcID)) {
+		return true
+	}
 	baseSeq := s.BaseSeq(id, st.Local)
 	for _, ev := range s.events {
 		if ev.Proc == id || !ev.effective() {
@@ -205,7 +279,7 @@ func (s *State) Lemma2Clear(v View, id process.ID, st process.Step) bool {
 		if v.Phase(ev.Proc) == Done {
 			continue
 		}
-		if s.Conflicts(ev.Service, st.Service) {
+		if s.u.conflictsID(ev.svc, svcID) {
 			return false
 		}
 	}
@@ -216,12 +290,15 @@ func (s *State) Lemma2Clear(v View, id process.ID, st process.Step) bool {
 // process has a conflicting compensation still queued: compensations
 // precede conflicting retriable activities in the completion (Lemma 3).
 func (s *State) Lemma3Clear(v View, id process.ID, st process.Step) bool {
+	if !anyBit(s.u.mask(s.u.intern(st.Service))) {
+		return true
+	}
 	for _, o := range v.Procs() {
 		if o == id || v.Phase(o) == Done {
 			continue
 		}
 		for _, os := range v.RecoverySteps(o) {
-			if os.Kind == process.StepCompensate && s.Conflicts(os.Service, st.Service) {
+			if os.Kind == process.StepCompensate && s.u.Conflicts(os.Service, st.Service) {
 				return false
 			}
 		}
@@ -235,8 +312,12 @@ func (s *State) Lemma3Clear(v View, id process.ID, st process.Step) bool {
 // cycle whose other participants already terminated cannot be avoided —
 // the completion step must run eventually, so it proceeds.
 func (s *State) StepForcedClear(v View, id process.ID, st process.Step) bool {
+	svcID := s.u.intern(st.Service)
+	if !anyBit(s.u.mask(svcID)) {
+		return true
+	}
 	fc := s.forced(v)
-	return fc.acyclicWithActive(fc.newEdges(id, st.Service, true), func(q process.ID) bool {
+	return fc.acyclicWithActive(fc.newEdges(id, svcID, true), func(q process.ID) bool {
 		return v.Phase(q) != Done
 	})
 }
@@ -248,13 +329,16 @@ func (s *State) StepForcedClear(v View, id process.ID, st process.Step) bool {
 // mutual wait cannot deadlock. It returns the process deferred to, if
 // any.
 func (s *State) DeferToAborting(v View, id process.ID, st process.Step) (process.ID, bool) {
+	if !anyBit(s.u.mask(s.u.intern(st.Service))) {
+		return "", false
+	}
 	fc := s.forced(v)
 	for _, o := range v.Procs() {
 		if o == id || v.Phase(o) != Aborting {
 			continue
 		}
 		for _, os := range v.RecoverySteps(o) {
-			if os.Kind != process.StepInvoke || !s.Conflicts(os.Service, st.Service) {
+			if os.Kind != process.StepInvoke || !s.u.Conflicts(os.Service, st.Service) {
 				continue
 			}
 			if !fc.pathExists(o, id) {
@@ -286,13 +370,13 @@ func (s *State) CascadeVictims(v View, of process.ID, recovery []process.Step) [
 	}
 	// Which bases will `of` compensate, and from which position on?
 	type comp struct {
-		service string
+		svcID   int
 		baseSeq int64
 	}
 	comps := make([]comp, 0, len(recovery))
 	for _, st := range recovery {
 		if st.Kind == process.StepCompensate {
-			comps = append(comps, comp{st.Service, s.BaseSeq(of, st.Local)})
+			comps = append(comps, comp{s.u.intern(st.Service), s.BaseSeq(of, st.Local)})
 		}
 	}
 	if len(comps) == 0 {
@@ -313,7 +397,7 @@ func (s *State) CascadeVictims(v View, of process.ID, recovery []process.Step) [
 				continue
 			}
 			for _, c := range comps {
-				if ev.Seq > c.baseSeq && s.Conflicts(ev.Service, c.service) {
+				if ev.Seq > c.baseSeq && s.u.conflictsID(ev.svc, c.svcID) {
 					depends = true
 					break
 				}

@@ -14,22 +14,36 @@ import (
 // dispatch whose new forced edges would close a cycle — the operational
 // form of "the completed process schedule S̃ has always to be considered"
 // (Section 3.5).
+//
+// The context and its maps are reused across rebuilds (a State is
+// driven from one goroutine at a time), and all conflict tests run on
+// interned service ids and bitset masks.
 type forcedCtx struct {
 	s *State
-	// pots maps each non-terminated process to the services its future
-	// completions might still invoke. For running processes this is the
-	// potential recovery set; for aborting processes the services of
-	// their queued forward steps.
-	pots map[process.ID]map[string]bool
+	// pots maps each non-terminated process to the bitset of services
+	// its future completions might still invoke. For running processes
+	// this is the potential recovery set; for aborting processes the
+	// services of their queued forward steps.
+	pots map[process.ID][]uint64
 	// bySvc indexes the surviving effective activities (executed and
-	// not compensated/erased, plus in-flight invocations) by service:
-	// service -> set of owning processes.
-	bySvc map[string]map[process.ID]bool
+	// not compensated/erased, plus in-flight invocations) by interned
+	// service id: bySvc[svc] lists the owning processes (deduplicated).
+	bySvc [][]process.ID
 	// edges is the forced edge set.
 	edges map[[2]process.ID]bool
 	// phase snapshots the view's phases at build time (for newEdges'
 	// aborting-process exemption).
 	phase map[process.ID]Phase
+
+	// adj is the adjacency form of edges, built lazily on the first
+	// reachability query of the round.
+	adj map[process.ID][]process.ID
+
+	// per-query scratch.
+	edgeBuf   [][2]process.ID
+	stack     []process.ID
+	seen      map[process.ID]bool
+	maskAlloc []uint64 // bump allocator for pot masks
 }
 
 // forced returns the current round's forced-graph context, rebuilt when
@@ -42,54 +56,61 @@ func (s *State) forced(v View) *forcedCtx {
 	return s.fctx
 }
 
-// newForcedCtx builds the round context from the view.
+// newForcedCtx builds the round context from the view, reusing the
+// previous round's allocations.
 func (s *State) newForcedCtx(v View) *forcedCtx {
-	f := &forcedCtx{
-		s:     s,
-		pots:  make(map[process.ID]map[string]bool),
-		bySvc: make(map[string]map[process.ID]bool),
-		edges: make(map[[2]process.ID]bool),
-		phase: make(map[process.ID]Phase),
+	f := s.fctx
+	if f == nil {
+		f = &forcedCtx{
+			s:     s,
+			pots:  make(map[process.ID][]uint64),
+			edges: make(map[[2]process.ID]bool),
+			phase: make(map[process.ID]Phase),
+			seen:  make(map[process.ID]bool),
+		}
+	} else {
+		clear(f.pots)
+		clear(f.edges)
+		clear(f.phase)
+		f.adj = nil
 	}
+	for i := range f.bySvc {
+		f.bySvc[i] = f.bySvc[i][:0]
+	}
+	f.maskAlloc = f.maskAlloc[:0]
+
 	procs := v.Procs()
+	words := (s.u.Size() + 63) / 64
 	for _, id := range procs {
 		ph := v.Phase(id)
 		f.phase[id] = ph
 		switch ph {
 		case Running:
 			if inst := v.Instance(id); inst != nil {
-				f.pots[id] = inst.PotentialRecoveryServices()
+				f.pots[id] = f.newMask(inst.PotentialRecoveryServices(), words)
 			}
 		case Aborting:
-			set := make(map[string]bool)
+			m := f.blankMask(words)
 			for _, st := range v.RecoverySteps(id) {
 				if st.Kind == process.StepInvoke {
-					set[st.Service] = true
+					m = setBit(m, s.u.intern(st.Service))
 				}
 			}
-			f.pots[id] = set
+			f.pots[id] = m
 		}
-	}
-	add := func(proc process.ID, svc string) {
-		set := f.bySvc[svc]
-		if set == nil {
-			set = make(map[process.ID]bool)
-			f.bySvc[svc] = set
-		}
-		set[proc] = true
 	}
 	for _, ev := range s.events {
 		if !ev.effective() {
 			continue
 		}
-		add(ev.Proc, ev.Service)
+		f.addSurvivor(ev.Proc, ev.svc)
 	}
 	// In-flight invocations participate as survivors: they will commit
 	// (or vanish atomically) and their pending conflict edges must be
 	// visible to concurrent dispatch decisions.
 	for _, id := range procs {
 		for _, svc := range v.InFlight(id) {
-			add(id, svc)
+			f.addSurvivor(id, s.u.intern(svc))
 		}
 	}
 	// Executed-executed edges.
@@ -101,11 +122,15 @@ func (s *State) newForcedCtx(v View) *forcedCtx {
 	// Executed-vs-potential-completion edges, computed per distinct
 	// (survivor service, process potential) pair.
 	for svc, owners := range f.bySvc {
+		if len(owners) == 0 {
+			continue
+		}
+		mask := s.u.mask(svc)
 		for q, pot := range f.pots {
-			if !f.conflictsAny(pot, svc) {
+			if !intersects(pot, mask) {
 				continue
 			}
-			for p := range owners {
+			for _, p := range owners {
 				if p != q {
 					f.edges[[2]process.ID{p, q}] = true
 				}
@@ -115,27 +140,63 @@ func (s *State) newForcedCtx(v View) *forcedCtx {
 	return f
 }
 
-func (f *forcedCtx) conflictsAny(pot map[string]bool, service string) bool {
-	for svc := range pot {
-		if f.s.Conflicts(svc, service) {
-			return true
+// blankMask hands out a zeroed bitset of the given word count from the
+// round's bump allocator.
+func (f *forcedCtx) blankMask(words int) []uint64 {
+	n := len(f.maskAlloc)
+	if cap(f.maskAlloc)-n < words {
+		f.maskAlloc = make([]uint64, 0, 64+words)
+		n = 0
+	}
+	f.maskAlloc = f.maskAlloc[:n+words]
+	m := f.maskAlloc[n : n+words : n+words]
+	for i := range m {
+		m[i] = 0
+	}
+	return m
+}
+
+// newMask interns a service-name set into a bitset.
+func (f *forcedCtx) newMask(set map[string]bool, words int) []uint64 {
+	m := f.blankMask(words)
+	for svc := range set {
+		m = setBit(m, f.s.u.intern(svc))
+	}
+	return m
+}
+
+// addSurvivor records a surviving effective activity owner under its
+// service id, deduplicating owners.
+func (f *forcedCtx) addSurvivor(proc process.ID, svc int) {
+	for len(f.bySvc) <= svc {
+		f.bySvc = append(f.bySvc, nil)
+	}
+	owners := f.bySvc[svc]
+	for _, p := range owners {
+		if p == proc {
+			return
 		}
 	}
-	return false
+	f.bySvc[svc] = append(owners, proc)
 }
 
 // newEdges computes the forced edges a dispatch of service by proc would
 // add. When the dispatch is a queued forward-recovery step, potential
 // sets of other *aborting* processes do not force edges (the relative
 // order of two queued forward steps is free and realized by actual
-// execution order).
-func (f *forcedCtx) newEdges(proc process.ID, service string, isStep bool) [][2]process.ID {
-	var out [][2]process.ID
+// execution order). The returned slice is scratch, valid until the next
+// newEdges call on this context.
+func (f *forcedCtx) newEdges(proc process.ID, svcID int, isStep bool) [][2]process.ID {
+	out := f.edgeBuf[:0]
+	mask := f.s.u.mask(svcID)
 	for svc, owners := range f.bySvc {
-		if !f.s.Conflicts(svc, service) {
+		if len(owners) == 0 {
 			continue
 		}
-		for p := range owners {
+		if w := svc / 64; w >= len(mask) || mask[w]&(1<<(uint(svc)%64)) == 0 {
+			continue
+		}
+		for _, p := range owners {
 			if p != proc {
 				out = append(out, [2]process.ID{p, proc})
 			}
@@ -148,16 +209,63 @@ func (f *forcedCtx) newEdges(proc process.ID, service string, isStep bool) [][2]
 		if isStep && f.phase[q] == Aborting {
 			continue
 		}
-		if f.conflictsAny(pot, service) {
+		if intersects(pot, mask) {
 			out = append(out, [2]process.ID{proc, q})
 		}
 	}
+	f.edgeBuf = out
 	return out
 }
 
-// ForcedEdgesFor exposes newEdges for diagnostics (stall dumps).
+// ForcedEdgesFor exposes newEdges for diagnostics (stall dumps); the
+// result is a copy safe to retain.
 func (s *State) ForcedEdgesFor(v View, id process.ID, service string, isStep bool) [][2]process.ID {
-	return s.forced(v).newEdges(id, service, isStep)
+	fc := s.forced(v)
+	edges := fc.newEdges(id, s.u.intern(service), isStep)
+	out := make([][2]process.ID, len(edges))
+	copy(out, edges)
+	return out
+}
+
+// ensureAdj materializes the adjacency form of the forced edges.
+func (f *forcedCtx) ensureAdj() {
+	if f.adj != nil {
+		return
+	}
+	f.adj = make(map[process.ID][]process.ID, len(f.edges))
+	for k := range f.edges {
+		if k[0] != k[1] {
+			f.adj[k[0]] = append(f.adj[k[0]], k[1])
+		}
+	}
+}
+
+// reaches reports whether `to` is reachable from `from` over the forced
+// edges plus the extra edge list.
+func (f *forcedCtx) reaches(from, to process.ID, extra [][2]process.ID) bool {
+	f.ensureAdj()
+	clear(f.seen)
+	stack := append(f.stack[:0], from)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			f.stack = stack
+			return true
+		}
+		if f.seen[n] {
+			continue
+		}
+		f.seen[n] = true
+		stack = append(stack, f.adj[n]...)
+		for _, k := range extra {
+			if k[0] == n && k[1] != n {
+				stack = append(stack, k[1])
+			}
+		}
+	}
+	f.stack = stack
+	return false
 }
 
 // acyclicWith reports whether none of the given new edges closes a
@@ -171,39 +279,11 @@ func (f *forcedCtx) acyclicWith(extra [][2]process.ID) bool {
 	if len(extra) == 0 {
 		return true
 	}
-	adj := make(map[process.ID][]process.ID, len(f.edges)+len(extra))
-	for k := range f.edges {
-		if k[0] != k[1] {
-			adj[k[0]] = append(adj[k[0]], k[1])
-		}
-	}
-	for _, k := range extra {
-		if k[0] != k[1] {
-			adj[k[0]] = append(adj[k[0]], k[1])
-		}
-	}
-	reaches := func(from, to process.ID) bool {
-		stack := []process.ID{from}
-		seen := map[process.ID]bool{}
-		for len(stack) > 0 {
-			n := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if n == to {
-				return true
-			}
-			if seen[n] {
-				continue
-			}
-			seen[n] = true
-			stack = append(stack, adj[n]...)
-		}
-		return false
-	}
 	for _, k := range extra {
 		if k[0] == k[1] {
 			continue
 		}
-		if reaches(k[1], k[0]) {
+		if f.reaches(k[1], k[0], extra) {
 			return false
 		}
 	}
@@ -218,22 +298,22 @@ func (f *forcedCtx) acyclicWithActive(extra [][2]process.ID, isActive func(proce
 	if len(extra) == 0 {
 		return true
 	}
-	adj := make(map[process.ID][]process.ID, len(f.edges)+len(extra))
-	for k := range f.edges {
-		if k[0] != k[1] {
-			adj[k[0]] = append(adj[k[0]], k[1])
+	f.ensureAdj()
+	neighbors := func(n process.ID, visit func(process.ID)) {
+		for _, m := range f.adj[n] {
+			visit(m)
 		}
-	}
-	for _, k := range extra {
-		if k[0] != k[1] {
-			adj[k[0]] = append(adj[k[0]], k[1])
+		for _, k := range extra {
+			if k[0] == n && k[1] != n {
+				visit(k[1])
+			}
 		}
 	}
 	for _, k := range extra {
 		if k[0] == k[1] {
 			continue
 		}
-		// BFS from k[1] to k[0]; remember whether any intermediate (or
+		// DFS from k[1] to k[0]; remember whether any intermediate (or
 		// the endpoints) are active.
 		type node struct {
 			id        process.ID
@@ -242,7 +322,8 @@ func (f *forcedCtx) acyclicWithActive(extra [][2]process.ID, isActive func(proce
 		start := node{k[1], isActive(k[1]) || isActive(k[0])}
 		stack := []node{start}
 		best := make(map[process.ID]int) // 0 unseen, 1 seen-inactive, 2 seen-active
-		for len(stack) > 0 {
+		closed := false
+		for len(stack) > 0 && !closed {
 			n := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			level := 1
@@ -254,11 +335,15 @@ func (f *forcedCtx) acyclicWithActive(extra [][2]process.ID, isActive func(proce
 			}
 			best[n.id] = level
 			if n.id == k[0] && n.sawActive {
-				return false
+				closed = true
+				break
 			}
-			for _, m := range adj[n.id] {
+			neighbors(n.id, func(m process.ID) {
 				stack = append(stack, node{m, n.sawActive || isActive(m)})
-			}
+			})
+		}
+		if closed {
+			return false
 		}
 	}
 	return true
@@ -266,23 +351,5 @@ func (f *forcedCtx) acyclicWithActive(extra [][2]process.ID, isActive func(proce
 
 // pathExists reports whether a forced path from a to b exists.
 func (f *forcedCtx) pathExists(a, b process.ID) bool {
-	stack := []process.ID{a}
-	seen := make(map[process.ID]bool)
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if n == b {
-			return true
-		}
-		if seen[n] {
-			continue
-		}
-		seen[n] = true
-		for k := range f.edges {
-			if k[0] == n {
-				stack = append(stack, k[1])
-			}
-		}
-	}
-	return false
+	return f.reaches(a, b, nil)
 }

@@ -19,6 +19,8 @@
 package policy
 
 import (
+	"sort"
+
 	"transproc/internal/activity"
 	"transproc/internal/conflict"
 	"transproc/internal/process"
@@ -96,6 +98,9 @@ type Event struct {
 	Proc    process.ID
 	Local   int
 	Service string
+	// svc is the interned id of Service, assigned by AppendEvent (-1
+	// for non-invocation events); the hot conflict scans run on it.
+	svc     int
 	Kind    activity.Kind
 	Typ     schedule.EventType
 	Inverse bool
@@ -119,35 +124,57 @@ func (ev *Event) effective() bool {
 // State is the shared decision state: the event history, the process
 // conflict graph with reference counts (edges to/from terminated
 // processes included — history matters for serializability), and the
-// memoized conflict relation.
+// interned conflict relation.
+//
+// In the sharded concurrent runtime one State exists per conflict
+// shard; the States then share one frozen Universe and each observes
+// only the events of its own shard (conflicting services always share
+// a shard, so every conflict edge, forced ordering and Lemma gate is
+// fully visible inside one State).
 type State struct {
 	cfg    Config
-	table  *conflict.Table
+	u      *Universe
 	events []*Event
 	edges  map[[2]process.ID]int
-	// confCache memoizes conflict-table lookups (the table is fixed for
-	// the run and the check sits on every hot path).
-	confCache map[[2]string]bool
 
 	// forced-graph cache, invalidated whenever effective events, edges,
 	// recovery queues or process states change (Bump).
 	version     int64
 	fctx        *forcedCtx
 	fctxVersion int64
+
+	// scratch buffers reused across decisions (a State is always driven
+	// from one goroutine at a time — the engine loop or the shard lock
+	// holder — so per-State scratch needs no synchronization).
+	predScratch map[process.ID]bool
 }
 
-// New creates an empty decision state over a fixed conflict table.
+// New creates an empty decision state over a fixed conflict table,
+// interning services lazily (single-threaded callers only).
 func New(table *conflict.Table, cfg Config) *State {
+	return newState(newLazyUniverse(table), cfg)
+}
+
+// NewShard creates a decision state over a shared frozen universe —
+// the per-shard constructor of the concurrent runtime.
+func NewShard(u *Universe, cfg Config) *State {
+	return newState(u, cfg)
+}
+
+func newState(u *Universe, cfg Config) *State {
 	return &State{
-		cfg:       cfg,
-		table:     table,
-		edges:     make(map[[2]process.ID]int),
-		confCache: make(map[[2]string]bool),
+		cfg:         cfg,
+		u:           u,
+		edges:       make(map[[2]process.ID]int),
+		predScratch: make(map[process.ID]bool),
 	}
 }
 
 // Table returns the conflict table decisions are made under.
-func (s *State) Table() *conflict.Table { return s.table }
+func (s *State) Table() *conflict.Table { return s.u.table }
+
+// Universe returns the service-interning universe of the state.
+func (s *State) Universe() *Universe { return s.u }
 
 // Mode returns the configured policy mode.
 func (s *State) Mode() Mode { return s.cfg.Mode }
@@ -157,18 +184,9 @@ func (s *State) Mode() Mode { return s.cfg.Mode }
 // transitions).
 func (s *State) Bump() { s.version++ }
 
-// Conflicts is the memoized front end to the conflict table.
+// Conflicts is the interned front end to the conflict table.
 func (s *State) Conflicts(a, b string) bool {
-	if a > b {
-		a, b = b, a
-	}
-	k := [2]string{a, b}
-	if v, ok := s.confCache[k]; ok {
-		return v
-	}
-	v := s.table.Conflicts(a, b)
-	s.confCache[k] = v
-	return v
+	return s.u.Conflicts(a, b)
 }
 
 // AppendEvent records an effective event (Seq set by the caller) and
@@ -178,12 +196,16 @@ func (s *State) Conflicts(a, b string) bool {
 // verified no conflicting later work of another process exists before
 // the compensation ran.
 func (s *State) AppendEvent(ev *Event) {
+	ev.svc = -1
+	if ev.Typ == schedule.Invoke && ev.Service != "" {
+		ev.svc = s.u.intern(ev.Service)
+	}
 	if ev.Typ == schedule.Invoke && !ev.Inverse {
 		for _, old := range s.events {
 			if !old.effective() || old.Proc == ev.Proc {
 				continue
 			}
-			if s.Conflicts(old.Service, ev.Service) {
+			if s.u.conflictsID(old.svc, ev.svc) {
 				s.addEdge(old.Proc, ev.Proc)
 			}
 		}
@@ -210,7 +232,7 @@ func (s *State) removeEventEdges(ev *Event) {
 		if old == ev || !old.effective() || old.Proc == ev.Proc {
 			continue
 		}
-		if s.Conflicts(old.Service, ev.Service) {
+		if s.u.conflictsID(old.svc, ev.svc) {
 			var key [2]process.ID
 			if old.Seq < ev.Seq {
 				key = [2]process.ID{old.Proc, ev.Proc}
@@ -300,7 +322,7 @@ func (s *State) EdgeList() [][2]process.ID {
 // finalized events; it can be checked with PRED(), Serializable() and
 // ProcessRecoverable().
 func (s *State) BuildSchedule(procs []*process.Process) *schedule.Schedule {
-	sched := schedule.MustNew(s.table.Clone())
+	sched := schedule.MustNew(s.u.table.Clone())
 	for _, p := range procs {
 		if err := sched.AddProcess(p); err != nil {
 			panic(err)
@@ -310,6 +332,38 @@ func (s *State) BuildSchedule(procs []*process.Process) *schedule.Schedule {
 		if ev.Erased || ev.Tentative {
 			continue
 		}
+		sched.AppendUnchecked(schedule.Event{
+			Type: ev.Typ, Proc: ev.Proc, Local: ev.Local, Service: ev.Service,
+			Kind: ev.Kind, Inverse: ev.Inverse, Committed: ev.Committed, Group: ev.Group,
+		})
+	}
+	return sched
+}
+
+// MergeSchedules materializes one observed schedule from several shard
+// states' histories, interleaved by the engine's global sequence
+// numbers. Events of different shards never conflict (conflicting
+// services always share a shard), so any seq-consistent interleaving is
+// conflict-equivalent; sorting by Seq reproduces the real-time order in
+// which the engine finalized them.
+func MergeSchedules(table *conflict.Table, procs []*process.Process, states []*State) *schedule.Schedule {
+	sched := schedule.MustNew(table.Clone())
+	for _, p := range procs {
+		if err := sched.AddProcess(p); err != nil {
+			panic(err)
+		}
+	}
+	var evs []*Event
+	for _, s := range states {
+		for _, ev := range s.events {
+			if ev.Erased || ev.Tentative {
+				continue
+			}
+			evs = append(evs, ev)
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	for _, ev := range evs {
 		sched.AppendUnchecked(schedule.Event{
 			Type: ev.Typ, Proc: ev.Proc, Local: ev.Local, Service: ev.Service,
 			Kind: ev.Kind, Inverse: ev.Inverse, Committed: ev.Committed, Group: ev.Group,

@@ -92,6 +92,17 @@ func (f *Federation) Lockable(proc, service string) bool {
 	return s.Lockable(proc, service)
 }
 
+// LockBlocker routes Subsystem.LockBlocker to the owning subsystem:
+// whether proc could acquire the service's item locks, and if not, one
+// process currently holding a conflicting lock.
+func (f *Federation) LockBlocker(proc, service string) (string, bool) {
+	s, ok := f.route[service]
+	if !ok {
+		return "", false
+	}
+	return s.LockBlocker(proc, service)
+}
+
 // Invoke routes an invocation to the owning subsystem.
 func (f *Federation) Invoke(proc, service string, mode Mode) (*Result, error) {
 	s, ok := f.route[service]

@@ -74,13 +74,30 @@ type txn struct {
 	weakDeps []TxID
 }
 
-// lockState tracks item locks: readers (shared) and one writer
-// (exclusive), keyed by owning process (activities of one process share
-// ownership).
+// lockState tracks item locks, keyed by owning process (activities of
+// one process share ownership). Readers are shared; write locks are
+// exclusive across processes UNLESS every current holder acquired the
+// item through the same Commutative lock family (a service and its
+// compensation — increments and their inverse decrements commute, so
+// prepared transactions of different processes may hold the item
+// concurrently, exactly the pairs Definition 6's conflict relation
+// exempts). commFam records that family; "" means the exclusive
+// regime (some holder wrote through a different or non-commutative
+// service). A degraded regime stays exclusive until all write locks
+// drain — conservative, never unsound.
 type lockState struct {
 	readers map[string]int // proc -> count
-	writer  string         // proc holding X, or ""
-	writerN int
+	writers map[string]int // proc -> write-lock count
+	commFam string
+}
+
+func (ls *lockState) otherWriter(proc string) (string, bool) {
+	for w := range ls.writers {
+		if w != proc {
+			return w, true
+		}
+	}
+	return "", false
 }
 
 // Subsystem is a simulated transactional resource manager. It is safe
@@ -130,6 +147,11 @@ type Subsystem struct {
 type svc struct {
 	spec   activity.Spec
 	deltas map[string]int64 // write item -> delta
+	// family is the lock-compatibility family: the service's own name,
+	// or the base service's name for an auto-registered compensation
+	// (by perfect commutativity, a commutative service's inverse
+	// commutes with it and with itself).
+	family string
 }
 
 // New returns an empty subsystem. The seed drives probabilistic failure
@@ -180,24 +202,25 @@ func (s *Subsystem) Register(spec activity.Spec) error {
 	for _, item := range spec.WriteSet {
 		deltas[item] = 1
 	}
-	s.services[spec.Name] = &svc{spec: spec, deltas: deltas}
+	s.services[spec.Name] = &svc{spec: spec, deltas: deltas, family: spec.Name}
 	if spec.Kind == activity.Compensatable {
 		inv := make(map[string]int64, len(deltas))
 		for item, d := range deltas {
 			inv[item] = -d
 		}
 		compSpec := activity.Spec{
-			Name:      spec.Compensation,
-			Kind:      activity.Compensation,
-			Subsystem: s.name,
-			ReadSet:   append([]string(nil), spec.ReadSet...),
-			WriteSet:  append([]string(nil), spec.WriteSet...),
-			Cost:      spec.Cost,
+			Name:        spec.Compensation,
+			Kind:        activity.Compensation,
+			Subsystem:   s.name,
+			ReadSet:     append([]string(nil), spec.ReadSet...),
+			WriteSet:    append([]string(nil), spec.WriteSet...),
+			Cost:        spec.Cost,
+			Commutative: spec.Commutative,
 		}
 		if _, dup := s.services[compSpec.Name]; dup {
 			return fmt.Errorf("subsystem %s: compensation %q already registered", s.name, compSpec.Name)
 		}
-		s.services[compSpec.Name] = &svc{spec: compSpec, deltas: inv}
+		s.services[compSpec.Name] = &svc{spec: compSpec, deltas: inv, family: spec.Name}
 	}
 	return nil
 }
@@ -246,14 +269,24 @@ func (s *Subsystem) FailService(proc, service string) {
 // would return ErrLocked; a racing acquisition between the probe and
 // the Invoke still yields ErrLocked, so the probe is advisory.
 func (s *Subsystem) Lockable(proc, service string) bool {
+	_, free := s.LockBlocker(proc, service)
+	return free
+}
+
+// LockBlocker is Lockable plus the identity of one process currently
+// holding a conflicting item lock (the first found; "" when the service
+// is lockable or unknown). Schedulers use the holder as a wait-for edge:
+// the probe can only stop failing after that holder releases its locks
+// by committing or rolling back, so parking on the holder is sound even
+// though the probe is advisory.
+func (s *Subsystem) LockBlocker(proc, service string) (string, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sv, ok := s.services[service]
 	if !ok {
-		return false
+		return "", false
 	}
-	_, free := s.canLock(proc, sv)
-	return free
+	return s.canLock(proc, sv)
 }
 
 // Invoke executes one invocation of the service on behalf of a process
@@ -385,20 +418,27 @@ func (s *Subsystem) invokeLocked(proc, service string, mode Mode) (*Result, erro
 }
 
 // canLock reports whether proc could acquire the service's locks, and
-// when not, names a blocking process.
+// when not, names a blocking process. Write-write compatibility is
+// semantic: holders of the same Commutative lock family do not block
+// each other (their writes are deltas that commute in any order).
 func (s *Subsystem) canLock(proc string, sv *svc) (string, bool) {
 	for _, item := range sv.spec.ReadSet {
-		if ls := s.locks[item]; ls != nil && ls.writer != "" && ls.writer != proc {
-			return ls.writer, false
+		if ls := s.locks[item]; ls != nil {
+			if w, blocked := ls.otherWriter(proc); blocked {
+				return w, false
+			}
 		}
 	}
+	commOK := sv.spec.Commutative
 	for item := range sv.deltas {
 		ls := s.locks[item]
 		if ls == nil {
 			continue
 		}
-		if ls.writer != "" && ls.writer != proc {
-			return ls.writer, false
+		if w, blocked := ls.otherWriter(proc); blocked {
+			if !(commOK && ls.commFam == sv.family) {
+				return w, false
+			}
 		}
 		for r := range ls.readers {
 			if r != proc {
@@ -420,8 +460,22 @@ func (s *Subsystem) lock(proc string, sv *svc) {
 	}
 	for item := range sv.deltas {
 		ls := s.lockState(item)
-		ls.writer = proc
-		ls.writerN++
+		if ls.writers == nil {
+			ls.writers = make(map[string]int)
+		}
+		switch {
+		case len(ls.writers) == 0:
+			if sv.spec.Commutative {
+				ls.commFam = sv.family
+			} else {
+				ls.commFam = ""
+			}
+		case !sv.spec.Commutative || ls.commFam != sv.family:
+			// Mixing families (only possible when all holders are this
+			// same proc) degrades the item to the exclusive regime.
+			ls.commFam = ""
+		}
+		ls.writers[proc]++
 	}
 }
 
@@ -437,11 +491,13 @@ func (s *Subsystem) unlock(t *txn) {
 		}
 	}
 	for item := range sv.deltas {
-		if ls := s.locks[item]; ls != nil && ls.writer == t.proc {
-			ls.writerN--
-			if ls.writerN <= 0 {
-				ls.writer = ""
-				ls.writerN = 0
+		if ls := s.locks[item]; ls != nil && ls.writers[t.proc] > 0 {
+			ls.writers[t.proc]--
+			if ls.writers[t.proc] <= 0 {
+				delete(ls.writers, t.proc)
+			}
+			if len(ls.writers) == 0 {
+				ls.commFam = ""
 			}
 		}
 	}

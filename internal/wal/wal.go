@@ -156,6 +156,13 @@ func (l *MemLog) Append(r Record) (int64, error) {
 	return r.LSN, nil
 }
 
+// AppendNoSync implements BatchBackend; memory has no sync phase, so
+// it is Append.
+func (l *MemLog) AppendNoSync(r Record) (int64, error) { return l.Append(r) }
+
+// Sync implements BatchBackend (no-op).
+func (l *MemLog) Sync() error { return nil }
+
 // Records implements Log.
 func (l *MemLog) Records() ([]Record, error) {
 	l.mu.Lock()
@@ -289,6 +296,45 @@ func (l *FileLog) Append(r Record) (int64, error) {
 		l.m.Inc(metrics.WALFsyncs)
 	}
 	return r.LSN, nil
+}
+
+// AppendNoSync implements BatchBackend: the record reaches the
+// buffered writer but is not forced to stable storage — a group-commit
+// leader makes the whole batch durable with one Sync.
+func (l *FileLog) AppendNoSync(r Record) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	r.LSN = l.next
+	b, err := json.Marshal(r)
+	if err != nil {
+		return 0, fmt.Errorf("wal: marshal: %w", err)
+	}
+	if _, err := l.w.Write(append(b, '\n')); err != nil {
+		return 0, fmt.Errorf("wal: write: %w", err)
+	}
+	l.m.Inc(metrics.WALAppends)
+	l.m.Add(metrics.WALBytes, int64(len(b))+1)
+	return r.LSN, nil
+}
+
+// Sync implements BatchBackend: flush the buffered tail and fsync.
+// Under syncEvery=false it still flushes to the OS but skips the
+// fsync, mirroring Append's durability setting.
+func (l *FileLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if !l.sync {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.m.Inc(metrics.WALFsyncs)
+	return nil
 }
 
 // Records implements Log. It tolerates a torn final line (crash during

@@ -1,0 +1,79 @@
+#!/bin/sh
+# bench-gate.sh — CI perf-regression gate for the concurrent runtime.
+#
+# Re-runs BenchmarkRuntimeThroughput (pinned GOMAXPROCS, smoke
+# benchtime) and compares the procs/sec of every workers=N
+# sub-benchmark against the committed baseline BENCH_runtime.json.
+# Fails if any worker count regresses by more than the allowed
+# percentage. The fresh measurement is written to bench-current.json
+# (uploaded as a CI artifact) so a failing run can be inspected.
+#
+# Usage: scripts/bench-gate.sh [max-regression-pct] [benchtime]
+#   max-regression-pct  allowed procs/sec drop, default 25
+#   benchtime           go test -benchtime, default 3x
+#
+# The measurement is pinned to the GOMAXPROCS recorded in the baseline
+# (bench-json.sh writes it), so the comparison replays the baseline's
+# scheduler setup. Absolute speed differences between the baseline
+# host and the CI runner are absorbed only by the generous threshold;
+# refresh the baseline with `make bench` when the runtime legitimately
+# changes speed.
+set -eu
+
+MAXPCT="${1:-25}"
+BENCHTIME="${2:-3x}"
+BASELINE="${BASELINE:-BENCH_runtime.json}"
+OUT="${OUT:-bench-current.json}"
+
+if [ ! -f "$BASELINE" ]; then
+	echo "bench-gate: baseline $BASELINE not found" >&2
+	exit 1
+fi
+
+GOMAXPROCS=$(awk '/"gomaxprocs":/ { v = $2; sub(/,.*/, "", v); print v }' "$BASELINE")
+GOMAXPROCS="${GOMAXPROCS:-$(nproc)}"
+export GOMAXPROCS
+
+echo "bench-gate: GOMAXPROCS=$GOMAXPROCS benchtime=$BENCHTIME threshold=${MAXPCT}%"
+scripts/bench-json.sh "$BENCHTIME" > "$OUT"
+echo "bench-gate: wrote $OUT"
+
+# Extract {workers, procs_per_sec} pairs from the result JSON (emitted
+# by bench-json.sh, one result object per line).
+pairs() {
+	awk '/"workers":/ {
+		w = $0; sub(/.*"workers": */, "", w); sub(/,.*/, "", w)
+		p = $0; sub(/.*"procs_per_sec": */, "", p); sub(/[},].*/, "", p)
+		print w, p
+	}' "$1"
+}
+
+pairs "$BASELINE" > /tmp/bench-base.$$
+pairs "$OUT" > /tmp/bench-cur.$$
+trap 'rm -f /tmp/bench-base.$$ /tmp/bench-cur.$$' EXIT
+
+fail=0
+while read -r w base; do
+	cur=$(awk -v w="$w" '$1 == w { print $2 }' /tmp/bench-cur.$$)
+	if [ -z "$cur" ]; then
+		echo "bench-gate: FAIL workers=$w missing from current run" >&2
+		fail=1
+		continue
+	fi
+	ok=$(awk -v b="$base" -v c="$cur" -v m="$MAXPCT" \
+		'BEGIN { print (c >= b * (1 - m / 100)) ? 1 : 0 }')
+	drop=$(awk -v b="$base" -v c="$cur" \
+		'BEGIN { printf "%+.1f", (c - b) / b * 100 }')
+	if [ "$ok" = 1 ]; then
+		echo "bench-gate: ok   workers=$w baseline=$base current=$cur (${drop}%)"
+	else
+		echo "bench-gate: FAIL workers=$w baseline=$base current=$cur (${drop}%, limit -${MAXPCT}%)" >&2
+		fail=1
+	fi
+done < /tmp/bench-base.$$
+
+if [ "$fail" != 0 ]; then
+	echo "bench-gate: throughput regression beyond ${MAXPCT}% — see $OUT" >&2
+	exit 1
+fi
+echo "bench-gate: all worker counts within ${MAXPCT}% of baseline"

@@ -9,9 +9,14 @@ set -eu
 
 BENCHTIME="${1:-5x}"
 
+# Pin GOMAXPROCS (default: all cores) and record it in the JSON so a
+# later comparison (scripts/bench-gate.sh) can replay the same setting.
+GOMAXPROCS="${GOMAXPROCS:-$(nproc)}"
+export GOMAXPROCS
+
 go test -run '^$' -bench BenchmarkRuntimeThroughput -benchtime "$BENCHTIME" \
 	./internal/runtime |
-	awk -v benchtime="$BENCHTIME" '
+	awk -v benchtime="$BENCHTIME" -v gomaxprocs="$GOMAXPROCS" '
 	/^goos:/   { goos = $2 }
 	/^goarch:/ { goarch = $2 }
 	/^BenchmarkRuntimeThroughput\// {
@@ -28,6 +33,7 @@ go test -run '^$' -bench BenchmarkRuntimeThroughput -benchtime "$BENCHTIME" \
 		printf "  \"benchmark\": \"BenchmarkRuntimeThroughput\",\n"
 		printf "  \"goos\": \"%s\",\n", goos
 		printf "  \"goarch\": \"%s\",\n", goarch
+		printf "  \"gomaxprocs\": %s,\n", gomaxprocs
 		printf "  \"benchtime\": \"%s\",\n", benchtime
 		printf "  \"results\": [\n"
 		for (i = 1; i <= count; i++) {

@@ -10,6 +10,7 @@ PKGS=(
   ./internal/fault
   ./internal/chaos
   ./internal/twopc
+  ./internal/runtime
 )
 
 fail=0
