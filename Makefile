@@ -23,13 +23,15 @@ diff:
 	GOMAXPROCS=4 $(GO) test -race -run 'TestDifferential' ./internal/runtime -v
 
 # The crash-torture battery: 200 deterministic crash/recover scenarios
-# under the race detector — once as seeded, once with fuzzy
-# checkpointing and compaction forced onto every scenario. Reproduce one
-# failure with
-# `go test ./internal/fault -run TortureBattery -torture.seed=N [-torture.ckpt] -v`.
+# under the race detector — as seeded, with fuzzy checkpointing and
+# compaction forced onto every scenario, and with file-backed durable
+# subsystem stores forced onto every scenario. Reproduce one failure
+# with `go test ./internal/fault -run TortureBattery -torture.seed=N
+# [-torture.ckpt] [-torture.durable] -v`.
 torture:
 	$(GO) test -race -v ./internal/fault -run TestTortureBattery -torture.count=200
 	$(GO) test -race -v ./internal/fault -run TestTortureBattery -torture.count=200 -torture.ckpt
+	$(GO) test -race -v ./internal/fault -run TestTortureBattery -torture.count=200 -torture.durable
 	$(GO) test -race -run TestRuntimeKillRecover ./internal/runtime
 	$(GO) test -race -run TestCheckpointConcurrentWithAppends ./internal/runtime
 
@@ -60,5 +62,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzScheduleReduce -fuzztime 30s ./internal/schedule
 	$(GO) test -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal
 	$(GO) test -fuzz FuzzCheckpointDecode -fuzztime 30s ./internal/wal
+	$(GO) test -fuzz FuzzHeapPageDecode -fuzztime 30s -run '^$$' ./internal/store
+	$(GO) test -fuzz FuzzFreeSpaceMap -fuzztime 30s -run '^$$' ./internal/store
 
 ci: build test race diff torture chaos coverage-floor

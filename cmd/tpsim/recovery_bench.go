@@ -11,6 +11,8 @@ import (
 	"transproc/internal/fault"
 	"transproc/internal/process"
 	"transproc/internal/scheduler"
+	"transproc/internal/store"
+	"transproc/internal/subsystem"
 	"transproc/internal/wal"
 	"transproc/internal/workload"
 )
@@ -29,6 +31,11 @@ type recoveryStats struct {
 	RecoverMillis  float64 `json:"recoverMillis"`
 	InDoubt        int     `json:"inDoubt"`
 	NonTerminal    int     `json:"nonTerminal"`
+	// Durable-variant extras: what the composed page recovery did.
+	RestoredInDoubt int `json:"restoredInDoubt,omitempty"`
+	RedoItems       int `json:"redoItems,omitempty"`
+	UndoItems       int `json:"undoItems,omitempty"`
+	FlushedPages    int `json:"flushedPages,omitempty"`
 }
 
 // benchSeed fixes the synthetic-history workload; the template run and
@@ -45,16 +52,40 @@ func benchProfile() workload.Profile {
 }
 
 // cloneRecord renames a template record into clone k's namespace; the
-// log assigns fresh LSNs on append.
+// log assigns fresh LSNs on append. Transaction ids are shifted into a
+// per-clone range so historic txs can never collide with the live
+// run's (the durable recovery pass tracks in-doubt txs by raw id).
 func cloneRecord(r wal.Record, k int) wal.Record {
 	if r.Proc != "" {
 		r.Proc = fmt.Sprintf("%s~%d", r.Proc, k)
 	}
+	if r.Tx != 0 {
+		r.Tx += int64(k+1) * 1_000_000
+	}
 	return r
 }
 
-// recoveryFixture is one benchmark datapoint.
-func recoveryFixture(size int, withCkpt bool, dir string) (recoveryStats, error) {
+// attachBenchStores opens (or reopens) one heap file per subsystem
+// under dir and attaches it; sync is the WAL barrier.
+func attachBenchStores(fed *subsystem.Federation, size int, withCkpt bool, dir string, sync func() error) error {
+	for _, sub := range fed.Subsystems() {
+		path := filepath.Join(dir, fmt.Sprintf("bench-%d-%v-%s.pages", size, withCkpt, sub.Name()))
+		sst, err := store.OpenFile(path, store.Options{Barrier: sync})
+		if err != nil {
+			return fmt.Errorf("opening store %s: %w", path, err)
+		}
+		if err := sub.AttachStore(sst); err != nil {
+			return fmt.Errorf("attaching store %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// recoveryFixture is one benchmark datapoint. durable backs the live
+// federation with file-backed heap stores, simulates the crash by
+// dropping every unflushed page, and recovers pages and scheduler
+// state together via RecoverDurable on a fresh federation.
+func recoveryFixture(size int, withCkpt, durable bool, dir string) (recoveryStats, error) {
 	var st recoveryStats
 
 	// Template: one clean run of the workload on an in-memory log.
@@ -77,7 +108,7 @@ func recoveryFixture(size int, withCkpt bool, dir string) (recoveryStats, error)
 
 	// History: the template cloned until roughly size records sit in the
 	// file, every clone under renamed (terminated) process ids.
-	path := filepath.Join(dir, fmt.Sprintf("bench-%d-%v.log", size, withCkpt))
+	path := filepath.Join(dir, fmt.Sprintf("bench-%d-%v-%v.log", size, withCkpt, durable))
 	flog, err := wal.OpenFile(path, false)
 	if err != nil {
 		return st, err
@@ -118,6 +149,11 @@ func recoveryFixture(size int, withCkpt bool, dir string) (recoveryStats, error)
 			return st, fmt.Errorf("compact: %w", err)
 		}
 	}
+	if durable {
+		if err := attachBenchStores(w.Fed, size, withCkpt, dir, flog.Sync); err != nil {
+			return st, err
+		}
+	}
 
 	// Crashed live run on top of the history.
 	fw := fault.WrapWAL(flog, 60)
@@ -129,15 +165,34 @@ func recoveryFixture(size int, withCkpt bool, dir string) (recoveryStats, error)
 		return st, fmt.Errorf("live run: want ErrCrashed, got %v", err)
 	}
 
-	// Reopen across the crash and time recovery.
+	// Reopen across the crash and time recovery. A durable crash also
+	// drops every unflushed heap page and hands recovery a factory-fresh
+	// federation: pages + log are all that survive.
 	if err := flog.Close(); err != nil {
 		return st, err
+	}
+	if durable {
+		for _, sub := range w.Fed.Subsystems() {
+			if sst := sub.DurableStore(); sst != nil {
+				sst.Abandon()
+			}
+		}
+		w = workload.MustGenerate(benchProfile())
+		defs = defs[:0]
+		for _, j := range w.Jobs {
+			defs = append(defs, j.Proc)
+		}
 	}
 	rlog, err := wal.OpenFile(path, false)
 	if err != nil {
 		return st, err
 	}
 	defer rlog.Close()
+	if durable {
+		if err := attachBenchStores(w.Fed, size, withCkpt, dir, rlog.Sync); err != nil {
+			return st, err
+		}
+	}
 	recs, err := rlog.Records()
 	if err != nil {
 		return st, err
@@ -155,10 +210,26 @@ func recoveryFixture(size int, withCkpt bool, dir string) (recoveryStats, error)
 	}
 
 	startT := time.Now()
-	if _, err := scheduler.Recover(w.Fed, rlog, defs); err != nil {
+	if durable {
+		rep, err := scheduler.RecoverDurable(w.Fed, rlog, defs, nil)
+		if err != nil {
+			return st, fmt.Errorf("durable recovery: %w", err)
+		}
+		st.RestoredInDoubt = rep.RestoredInDoubt
+		st.RedoItems = rep.RedoItems
+		st.UndoItems = rep.UndoItems
+		st.FlushedPages = rep.FlushedPages
+	} else if _, err := scheduler.Recover(w.Fed, rlog, defs); err != nil {
 		return st, fmt.Errorf("recovery: %w", err)
 	}
 	st.RecoverMillis = float64(time.Since(startT).Microseconds()) / 1000
+	if durable {
+		// Storage-level post-conditions: no torn page, no stale intent,
+		// pages byte-equal to the sequential oracle.
+		if err := fault.CheckDurableStores(w.Fed); err != nil {
+			return st, fmt.Errorf("durable recovery check: %w", err)
+		}
+	}
 
 	// Sanity on the recovered state: every live process terminal, no
 	// in-doubt transactions.
@@ -196,9 +267,10 @@ func benchRecovery(args []string) error {
 	defer os.RemoveAll(dir)
 
 	type point struct {
-		Size int           `json:"size"`
-		Full recoveryStats `json:"full"`
-		Ckpt recoveryStats `json:"ckpt"`
+		Size    int           `json:"size"`
+		Full    recoveryStats `json:"full"`
+		Ckpt    recoveryStats `json:"ckpt"`
+		Durable recoveryStats `json:"durable"`
 	}
 	out := struct {
 		Name   string  `json:"name"`
@@ -206,17 +278,22 @@ func benchRecovery(args []string) error {
 	}{Name: "recovery-vs-log-length"}
 
 	for _, size := range sizes {
-		full, err := recoveryFixture(size, false, dir)
+		full, err := recoveryFixture(size, false, false, dir)
 		if err != nil {
 			return fmt.Errorf("size %d full: %w", size, err)
 		}
-		ckpt, err := recoveryFixture(size, true, dir)
+		ckpt, err := recoveryFixture(size, true, false, dir)
 		if err != nil {
 			return fmt.Errorf("size %d ckpt: %w", size, err)
 		}
-		fmt.Fprintf(os.Stderr, "size %6d: full replay=%6d in %8.1fms | ckpt replay=%4d in %8.1fms\n",
-			size, full.ReplayRecords, full.RecoverMillis, ckpt.ReplayRecords, ckpt.RecoverMillis)
-		out.Points = append(out.Points, point{Size: size, Full: full, Ckpt: ckpt})
+		durable, err := recoveryFixture(size, false, true, dir)
+		if err != nil {
+			return fmt.Errorf("size %d durable: %w", size, err)
+		}
+		fmt.Fprintf(os.Stderr, "size %6d: full replay=%6d in %8.1fms | ckpt replay=%4d in %8.1fms | durable replay=%6d in %8.1fms (%d redo, %d pages)\n",
+			size, full.ReplayRecords, full.RecoverMillis, ckpt.ReplayRecords, ckpt.RecoverMillis,
+			durable.ReplayRecords, durable.RecoverMillis, durable.RedoItems, durable.FlushedPages)
+		out.Points = append(out.Points, point{Size: size, Full: full, Ckpt: ckpt, Durable: durable})
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -240,16 +317,21 @@ func e14() error {
 	var ckptReplays []int
 	var errs []error
 	for _, size := range sizes {
-		full, err := recoveryFixture(size, false, dir)
+		full, err := recoveryFixture(size, false, false, dir)
 		if err != nil {
 			return fmt.Errorf("size %d full: %w", size, err)
 		}
-		ckpt, err := recoveryFixture(size, true, dir)
+		ckpt, err := recoveryFixture(size, true, false, dir)
 		if err != nil {
 			return fmt.Errorf("size %d ckpt: %w", size, err)
 		}
-		fmt.Printf("  history ≈%d records: full replays %d (%.1fms), checkpointed replays %d (%.1fms)\n",
-			size, full.ReplayRecords, full.RecoverMillis, ckpt.ReplayRecords, ckpt.RecoverMillis)
+		durable, err := recoveryFixture(size, false, true, dir)
+		if err != nil {
+			return fmt.Errorf("size %d durable: %w", size, err)
+		}
+		fmt.Printf("  history ≈%d records: full replays %d (%.1fms), checkpointed replays %d (%.1fms), durable replays %d (%.1fms, %d redo items onto %d pages)\n",
+			size, full.ReplayRecords, full.RecoverMillis, ckpt.ReplayRecords, ckpt.RecoverMillis,
+			durable.ReplayRecords, durable.RecoverMillis, durable.RedoItems, durable.FlushedPages)
 		errs = append(errs,
 			verdict(full.ReplayRecords == full.HistoryRecords+full.LiveTail,
 				"full-log recovery replays history + tail (%d = %d + %d)",
@@ -260,6 +342,15 @@ func e14() error {
 				"full-log recovery terminates every process, no in-doubt left"),
 			verdict(ckpt.NonTerminal == 0 && ckpt.InDoubt == 0,
 				"checkpointed recovery terminates every process, no in-doubt left"),
+			// The durable fixture's CheckDurableStores already enforced
+			// torn-page-freedom and oracle byte-equality; assert the
+			// composed recovery also finished the scheduler side and
+			// actually redid work into pages.
+			verdict(durable.NonTerminal == 0 && durable.InDoubt == 0,
+				"durable recovery terminates every process, no in-doubt left"),
+			verdict(durable.RedoItems > 0 && durable.FlushedPages > 0,
+				"durable recovery redid subsystem state into heap pages (%d items, %d pages)",
+				durable.RedoItems, durable.FlushedPages),
 		)
 		ckptReplays = append(ckptReplays, ckpt.ReplayRecords)
 	}

@@ -14,16 +14,19 @@ import (
 // command, for CI jobs and for reproducing a failing seed outside the
 // test harness.
 //
-//	tpsim torture [-seeds N] [-first S] [-seed K] [-ckpt N] [-compact] [-json]
+//	tpsim torture [-seeds N] [-first S] [-seed K] [-ckpt N] [-compact] [-durable] [-json]
 //
 // -seeds runs the scenarios of seeds [first, first+N); -seed runs a
 // single scenario verbosely. -ckpt forces fuzzy checkpoints every N
 // force-log appends onto every scenario that doesn't already
 // checkpoint, and -compact compacts the log after each; together they
 // re-run the whole battery with checkpointing live under every crash
-// class. -json dumps the summary as JSON. The exit status is non-zero
-// when any scenario violates a recovery guarantee; every failure
-// message embeds the seed that reproduces it.
+// class. -durable backs every scenario's subsystems with file-backed
+// heap stores, so each crash also kills and recovers durable pages
+// (the four store-* classes do this regardless of the flag). -json
+// dumps the summary as JSON. The exit status is non-zero when any
+// scenario violates a recovery guarantee; every failure message embeds
+// the seed that reproduces it.
 func runTorture(args []string) error {
 	fs := flag.NewFlagSet("torture", flag.ContinueOnError)
 	seeds := fs.Int64("seeds", 200, "number of torture seeds to run")
@@ -31,11 +34,12 @@ func runTorture(args []string) error {
 	one := fs.Int64("seed", -1, "run only this seed (verbose reproduction)")
 	ckpt := fs.Int("ckpt", 0, "force checkpoints every N appends onto every scenario")
 	compact := fs.Bool("compact", false, "compact the log after each checkpoint")
+	durable := fs.Bool("durable", false, "back every scenario's subsystems with file-backed heap stores")
 	asJSON := fs.Bool("json", false, "emit the summary as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := fault.TortureOpts{CheckpointEvery: *ckpt, Compact: *compact}
+	opts := fault.TortureOpts{CheckpointEvery: *ckpt, Compact: *compact, Durable: *durable}
 
 	dir, err := os.MkdirTemp("", "tpsim-torture")
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 
+	"transproc/internal/store"
 	"transproc/internal/wal"
 )
 
@@ -50,6 +51,14 @@ const (
 	// PointGroupFsync fires between a group-commit batch's buffered
 	// write and its fsync; a crash there loses only unacked records.
 	PointGroupFsync = wal.PointGroupFsync
+	// Durable-store crash points (defined in internal/store): before a
+	// buffer-pool page write, before the flush fsync, before a
+	// dirty-victim eviction write-back, and before allocating a fresh
+	// heap page.
+	PointStorePageWrite = store.PointPageWrite
+	PointStorePageFsync = store.PointPageFsync
+	PointStoreEvict     = store.PointEvict
+	PointStoreAlloc     = store.PointAlloc
 )
 
 // Crash is the sentinel an armed fault panics with. The engines

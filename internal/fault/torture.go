@@ -49,19 +49,46 @@ type Scenario struct {
 	// GroupCommit, when enabled, wraps the scenario's log in the
 	// batching appender so crashes land inside coalesced flushes.
 	GroupCommit wal.GroupCommit
+	// Durable backs every subsystem with a file-backed heap store
+	// (internal/store): the crash kills scheduler state AND the
+	// subsystems' in-memory state, recovery reopens the pages and runs
+	// scheduler.RecoverDurable, and CheckDurableStores verifies the
+	// storage-level guarantees on top of CheckRecovered.
+	Durable bool
+	// StorePoolPages sets the buffer-pool size (0 = store default); a
+	// tiny pool forces constant eviction traffic.
+	StorePoolPages int
+	// StoreFlushEach flushes the stores after every mutation,
+	// maximizing the pages-ahead-of-log window recovery must undo.
+	StoreFlushEach bool
+	// TornStorePage flips one byte of one heap page after the crash —
+	// a torn page write the reopened store must detect and repair.
+	TornStorePage bool
+	// StoreRecoveryPoint / StoreRecoveryCount arm a store crash point
+	// for the FIRST recovery pass only (crash during
+	// recovery-of-pages); a second pass must finish the job.
+	StoreRecoveryPoint string
+	StoreRecoveryCount int
+	// StoreStress concentrates the workload (single subsystem, double
+	// the processes) so its heap file spans multiple pages and a tiny
+	// buffer pool must constantly evict.
+	StoreStress bool
 	Plan        Plan
 }
 
-// ScenarioFor derives the deterministic scenario of a seed. Fifteen
+// ScenarioFor derives the deterministic scenario of a seed. Nineteen
 // scenario classes cycle by seed: WAL-budget crashes (mem and file,
 // torn and garbage tails), every named crash point, concurrent-runtime
 // kills, crash-during-recovery double faults, the checkpointing
 // classes — crash mid-checkpoint, crash inside compaction's
 // rename/dir-fsync window, a stale checkpoint under a long tail,
-// crash during recovery-from-checkpoint — and a crash between a
-// group-commit batch write and its shared fsync. Independently of the
-// class, half of all scenarios run with group commit enabled so every
-// crash flavour is also exercised through the batching appender.
+// crash during recovery-from-checkpoint — a crash between a
+// group-commit batch write and its shared fsync, and the durable-store
+// classes: a torn heap page after the crash, a crash inside a buffer
+// pool eviction, pages flushed ahead of the log, and a crash during
+// the page-recovery pass itself. Independently of the class, half of
+// all scenarios run with group commit enabled so every crash flavour
+// is also exercised through the batching appender.
 func ScenarioFor(seed int64) Scenario {
 	rng := rand.New(rand.NewSource(seed*6364136223846793005 + 1442695040888963407))
 	sc := Scenario{Seed: seed, Engine: "engine", Mode: scheduler.PRED}
@@ -74,7 +101,7 @@ func ScenarioFor(seed int64) Scenario {
 	budget := 5 + rng.Intn(140)
 	hits := 1 + rng.Intn(40)
 	sc.Plan.Seed = seed
-	switch seed % 15 {
+	switch seed % 19 {
 	case 0:
 		sc.Class = "wal-budget"
 		sc.Plan.CrashAfterWALRecords = budget
@@ -181,33 +208,96 @@ func ScenarioFor(seed int64) Scenario {
 		sc.FileWAL = rng.Intn(2) == 0
 		sc.Plan.CrashAtPoint = wal.PointGroupFsync
 		sc.Plan.CrashAtCount = 1 + rng.Intn(20)
+	case 15:
+		// Crash on a WAL budget, then flip one byte of a subsystem heap
+		// page: the torn page must be detected by its checksum at
+		// reopen, repaired, and its lost records redone from the WAL.
+		// Eager flushing guarantees the heap files hold real pages at
+		// crash time — otherwise there is nothing to tear.
+		sc.Class = "store-torn-page"
+		sc.Durable = true
+		sc.StoreFlushEach = true
+		sc.Plan.CrashAfterWALRecords = budget
+		sc.TornStorePage = true
+		sc.FileWAL = rng.Intn(2) == 0
+	case 16:
+		// Crash inside the buffer pool under eviction pressure: with a
+		// single frame, every fetch of a second page must first write
+		// back the dirty resident one (eviction is the only way pages
+		// reach the device here — no eager flushing), and the crash hits
+		// an eviction write-back, a page write, or a fresh-page
+		// allocation.
+		sc.Class = "store-evict-crash"
+		sc.Durable = true
+		sc.StorePoolPages = 1
+		sc.StoreStress = true
+		pts := []string{PointStoreEvict, PointStorePageWrite, PointStoreAlloc}
+		sc.Plan.CrashAtPoint = pts[rng.Intn(len(pts))]
+		sc.Plan.CrashAtCount = 1 + rng.Intn(12)
+		if sc.Plan.CrashAtPoint == PointStoreAlloc {
+			// The heap grows by a page only a couple of times per run.
+			sc.Plan.CrashAtCount = 1 + rng.Intn(2)
+		}
+	case 17:
+		// Pages ahead of the log: every store mutation flushes eagerly
+		// and the crash lands right before a force-log append, so the
+		// pages can carry effects whose log record never made it — the
+		// page-level undo path.
+		sc.Class = "store-flush-vs-wal"
+		sc.Durable = true
+		sc.StoreFlushEach = true
+		sc.Plan.CrashAtPoint = PointBeforeForceLog
+		sc.Plan.CrashAtCount = hits
+	case 18:
+		// Double fault during the page-recovery pass: the first
+		// RecoverDurable dies at a store crash point (mid-reconcile or
+		// mid-flush); the second pass must finish from whatever state
+		// reached the disk. Eager flushing during the run leaves real
+		// pre-crash pages for the interrupted pass to reconcile against.
+		sc.Class = "store-recovery-crash"
+		sc.Durable = true
+		sc.StoreFlushEach = true
+		sc.Plan.CrashAfterWALRecords = budget
+		sc.StoreRecoveryPoint = PointStorePageWrite
+		if rng.Intn(2) == 0 {
+			sc.StoreRecoveryPoint = PointStorePageFsync
+		}
+		sc.StoreRecoveryCount = 1 + rng.Intn(4)
 	}
 	// Deterministic permanent failures for roughly a third of the
 	// processes (compensatable or pivot forward services only, like
 	// the differential battery: retriables fail only transiently and
 	// compensations never, per the paper's perfect-compensation
 	// assumption).
-	sc.Plan.SubsystemFail = chooseFailures(seed)
+	sc.Plan.SubsystemFail = chooseFailures(sc)
 	return sc
 }
 
-// tortureProfile is the workload every scenario of a seed runs.
-func tortureProfile(seed int64) workload.Profile {
-	p := workload.DefaultProfile(seed)
+// tortureProfile is the workload a scenario runs. Store-stress
+// scenarios concentrate everything into a single subsystem with twice
+// the processes, so one heap file accumulates enough records (2PC
+// fates, data items) to span multiple pages.
+func tortureProfile(sc Scenario) workload.Profile {
+	p := workload.DefaultProfile(sc.Seed)
 	p.Processes = 12
 	p.ConflictProb = 0.4
 	p.PermFailureProb = 0
 	p.TransientFailureProb = 0.10
+	if sc.StoreStress {
+		p.Subsystems = 1
+		p.Processes = 48
+	}
 	return p
 }
 
 // chooseFailures picks the deterministic failure rules of a seed
 // against its own workload.
-func chooseFailures(seed int64) []SubsystemFail {
-	w, err := workload.Generate(tortureProfile(seed))
+func chooseFailures(sc Scenario) []SubsystemFail {
+	w, err := workload.Generate(tortureProfile(sc))
 	if err != nil {
 		return nil
 	}
+	seed := sc.Seed
 	rng := rand.New(rand.NewSource(seed*7919 + 13))
 	var rules []SubsystemFail
 	for _, j := range w.Jobs {
@@ -233,21 +323,21 @@ func chooseFailures(seed int64) []SubsystemFail {
 	return rules
 }
 
-// RunScenario executes one scenario end to end: run until the injected
-// crash (or clean finish), mangle the log tail where the plan says so,
-// recover — possibly crashing and re-recovering — and check every
-// recovery guarantee. dir is where file-backed logs live (a temp dir
-// is created under os.TempDir when empty). The returned error
-// describes the violated invariant; nil means the scenario passed.
-func RunScenario(sc Scenario, dir string) error {
-	w, err := workload.Generate(tortureProfile(sc.Seed))
+// tortureWorld regenerates a scenario's deterministic world: the
+// seeded workload with its failure rules applied and the process
+// definitions recovery needs. Durable scenarios rebuild it after every
+// simulated crash — a crash kills the subsystems' in-memory state too,
+// so recovery starts from a factory-fresh federation plus whatever the
+// heap files retained.
+func tortureWorld(sc Scenario) (*subsystem.Federation, []scheduler.Job, []*process.Process, error) {
+	w, err := workload.Generate(tortureProfile(sc))
 	if err != nil {
-		return fmt.Errorf("seed %d: generating workload: %w", sc.Seed, err)
+		return nil, nil, nil, fmt.Errorf("seed %d: generating workload: %w", sc.Seed, err)
 	}
 	for _, r := range sc.Plan.SubsystemFail {
 		sub, ok := w.Fed.Owner(r.Service)
 		if !ok {
-			return fmt.Errorf("seed %d: no owner for failed service %s", sc.Seed, r.Service)
+			return nil, nil, nil, fmt.Errorf("seed %d: no owner for failed service %s", sc.Seed, r.Service)
 		}
 		sub.FailService(r.Proc, r.Service)
 	}
@@ -255,18 +345,33 @@ func RunScenario(sc Scenario, dir string) error {
 	for _, j := range w.Jobs {
 		defs = append(defs, j.Proc)
 	}
+	return w.Fed, w.Jobs, defs, nil
+}
 
+// RunScenario executes one scenario end to end: run until the injected
+// crash (or clean finish), mangle the log tail where the plan says so,
+// recover — possibly crashing and re-recovering — and check every
+// recovery guarantee. dir is where file-backed logs and heap files
+// live (a temp dir is created under os.TempDir when empty). The
+// returned error describes the violated invariant; nil means the
+// scenario passed.
+func RunScenario(sc Scenario, dir string) error {
+	fed, jobs, defs, err := tortureWorld(sc)
+	if err != nil {
+		return err
+	}
+
+	if dir == "" && (sc.FileWAL || sc.Durable) {
+		td, err := os.MkdirTemp("", "torture")
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", sc.Seed, err)
+		}
+		defer os.RemoveAll(td)
+		dir = td
+	}
 	var inner wal.Log
 	var path string
 	if sc.FileWAL {
-		if dir == "" {
-			td, err := os.MkdirTemp("", "torture")
-			if err != nil {
-				return fmt.Errorf("seed %d: %w", sc.Seed, err)
-			}
-			defer os.RemoveAll(td)
-			dir = td
-		}
 		path = filepath.Join(dir, fmt.Sprintf("wal-%d.log", sc.Seed))
 		fl, err := wal.OpenFile(path, false)
 		if err != nil {
@@ -278,10 +383,27 @@ func RunScenario(sc Scenario, dir string) error {
 	}
 	fw := WrapWAL(inner, sc.Plan.CrashAfterWALRecords)
 	inj := NewInjector(sc.Plan)
+	if sc.Durable {
+		if err := attachStores(fed, sc, dir, fw, inj); err != nil {
+			return fmt.Errorf("seed %d (%s): %w", sc.Seed, sc.Class, err)
+		}
+	}
 
-	crashed, err := runUntilCrash(sc, w.Fed, fw, inj, w.Jobs)
+	crashed, err := runUntilCrash(sc, fed, fw, inj, jobs)
 	if err != nil {
 		return fmt.Errorf("seed %d (%s): run: %w", sc.Seed, sc.Class, err)
+	}
+	if sc.Durable {
+		// The crash (or shutdown) drops every dirty pool page: only what
+		// reached the device survives into recovery. A clean finish is
+		// treated the same way — an unflushed shutdown — so every durable
+		// scenario recovers pages, not memory.
+		abandonStores(fed)
+		if crashed && sc.TornStorePage {
+			if err := tearStorePage(fed, sc, dir); err != nil {
+				return fmt.Errorf("seed %d (%s): tearing store page: %w", sc.Seed, sc.Class, err)
+			}
+		}
 	}
 
 	// Reopen across the crash; torn and garbage tails only exist for
@@ -328,11 +450,34 @@ func RunScenario(sc Scenario, dir string) error {
 	}
 
 	// First recovery, optionally crashed mid-way by a fresh WAL budget
-	// (double-fault: the recovering system dies too).
-	if crashed && sc.CrashRecoveryAfter > 0 {
-		rw := WrapWAL(recLog, sc.CrashRecoveryAfter)
+	// (double-fault: the recovering system dies too) and/or — durable
+	// scenarios only — by an armed store crash point inside the
+	// page-recovery pass.
+	if crashed && (sc.CrashRecoveryAfter > 0 || (sc.Durable && sc.StoreRecoveryCount > 0)) {
+		var rw wal.Log = recLog
+		if sc.CrashRecoveryAfter > 0 {
+			rw = WrapWAL(recLog, sc.CrashRecoveryAfter)
+		}
+		rfed, rdefs := fed, defs
+		// The armed store crash point can fire anywhere in the pass —
+		// including inside AttachStore's own write-throughs while the
+		// pages are being reopened — so the whole reopen+recover runs
+		// under Protect.
 		rerr := Protect(func() error {
-			_, e := scheduler.Recover(w.Fed, rw, defs)
+			if sc.Durable {
+				ffed, _, fdefs, err := tortureWorld(sc)
+				if err != nil {
+					return err
+				}
+				rfed, rdefs = ffed, fdefs
+				recInj := NewInjector(Plan{CrashAtPoint: sc.StoreRecoveryPoint, CrashAtCount: sc.StoreRecoveryCount})
+				if err := reopenStores(rfed, sc, dir, rw, recInj); err != nil {
+					return fmt.Errorf("reopening stores for interrupted recovery: %w", err)
+				}
+				_, e := scheduler.RecoverDurable(rfed, rw, rdefs, nil)
+				return e
+			}
+			_, e := scheduler.Recover(rfed, rw, rdefs)
 			return e
 		})
 		if rerr != nil {
@@ -340,16 +485,38 @@ func RunScenario(sc Scenario, dir string) error {
 				return fmt.Errorf("seed %d (%s): interrupted recovery: %w", sc.Seed, sc.Class, rerr)
 			}
 		}
+		if sc.Durable {
+			abandonStores(rfed)
+		}
 	}
-	if _, err := scheduler.Recover(w.Fed, recLog, defs); err != nil {
+	if sc.Durable {
+		// Final recovery on a fresh federation over the surviving pages;
+		// no injector this time — the system finally stays up.
+		ffed, _, fdefs, err := tortureWorld(sc)
+		if err != nil {
+			return err
+		}
+		if err := reopenStores(ffed, sc, dir, recLog, nil); err != nil {
+			return fmt.Errorf("seed %d (%s): reopening stores: %w", sc.Seed, sc.Class, err)
+		}
+		fed, defs = ffed, fdefs
+		if _, err := scheduler.RecoverDurable(fed, recLog, defs, nil); err != nil {
+			return fmt.Errorf("seed %d (%s): recovery: %w", sc.Seed, sc.Class, err)
+		}
+	} else if _, err := scheduler.Recover(fed, recLog, defs); err != nil {
 		return fmt.Errorf("seed %d (%s): recovery: %w", sc.Seed, sc.Class, err)
 	}
 
 	if err := CheckRecovered(CheckInput{
-		Fed: w.Fed, Log: recLog, Defs: defs, PreCrashRecords: pre,
+		Fed: fed, Log: recLog, Defs: defs, PreCrashRecords: pre,
 		PreCrashFull: preFull, Compacted: sc.CompactOnCheckpoint,
 	}); err != nil {
 		return fmt.Errorf("seed %d (%s): %w", sc.Seed, sc.Class, err)
+	}
+	if sc.Durable {
+		if err := CheckDurableStores(fed); err != nil {
+			return fmt.Errorf("seed %d (%s): %w", sc.Seed, sc.Class, err)
+		}
 	}
 	return nil
 }
@@ -467,6 +634,10 @@ type TortureOpts struct {
 	CheckpointLimit int
 	// Compact compacts after every checkpoint on file-backed scenarios.
 	Compact bool
+	// Durable forces file-backed subsystem stores onto every scenario,
+	// so the whole battery also runs with durable pages under every
+	// crash class.
+	Durable bool
 }
 
 // Apply overlays the forced options onto a scenario without disturbing
@@ -478,6 +649,9 @@ func (o TortureOpts) Apply(sc *Scenario) {
 	}
 	if o.Compact && sc.CheckpointEvery > 0 {
 		sc.CompactOnCheckpoint = true
+	}
+	if o.Durable {
+		sc.Durable = true
 	}
 }
 

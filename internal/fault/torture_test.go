@@ -10,16 +10,23 @@ var (
 	tortureFirst = flag.Int64("torture.first", 0, "first torture seed of the battery")
 	tortureCount = flag.Int64("torture.count", 200, "number of torture seeds to run")
 	tortureCkpt  = flag.Bool("torture.ckpt", false, "force fuzzy checkpoints (every 6 appends, compacting) onto every scenario")
+	tortureDur   = flag.Bool("torture.durable", false, "force file-backed subsystem stores onto every scenario")
 )
 
-// forcedOpts returns the battery-wide checkpoint overlay selected by
-// -torture.ckpt: checkpoints live under every crash class, compacting
-// whenever the class already checkpoints or the overlay arms it.
+// forcedOpts returns the battery-wide overlay selected by the flags:
+// -torture.ckpt puts checkpoints live under every crash class
+// (compacting whenever the class already checkpoints or the overlay
+// arms it); -torture.durable backs every scenario's subsystems with
+// file-backed heap stores, so every crash class also kills and
+// recovers durable pages.
 func forcedOpts() TortureOpts {
-	if !*tortureCkpt {
-		return TortureOpts{}
+	var o TortureOpts
+	if *tortureCkpt {
+		o.CheckpointEvery = 6
+		o.Compact = true
 	}
-	return TortureOpts{CheckpointEvery: 6, Compact: true}
+	o.Durable = *tortureDur
+	return o
 }
 
 // TestTortureBattery runs the crash-torture battery: for each seed a
@@ -54,8 +61,8 @@ func TestTortureBattery(t *testing.T) {
 		opts.Apply(&sc)
 		byClass[sc.Class]++
 		if err := RunScenario(sc, dir); err != nil {
-			t.Errorf("torture scenario failed (reproduce: go test ./internal/fault -run TortureBattery -torture.seed=%d -torture.ckpt=%v -v): %v",
-				seed, *tortureCkpt, err)
+			t.Errorf("torture scenario failed (reproduce: go test ./internal/fault -run TortureBattery -torture.seed=%d -torture.ckpt=%v -torture.durable=%v -v): %v",
+				seed, *tortureCkpt, *tortureDur, err)
 			continue
 		}
 		// Crash attribution is best-effort for the summary only; the

@@ -102,6 +102,22 @@ const (
 	Compactions
 	CheckpointFallbacks
 
+	// Storage engine (internal/store): page I/O and buffer-pool
+	// traffic, torn pages detected/repaired at open, and the logical
+	// page redo/undo applied while reconciling durable subsystem state
+	// against the WAL during composed recovery.
+	StorePageReads
+	StorePageWrites
+	StorePageFsyncs
+	StorePoolHits
+	StorePoolMisses
+	StoreEvictions
+	StoreAllocs
+	StoreTornDetected
+	StoreTornRepaired
+	StoreRedoItems
+	StoreUndoItems
+
 	numCounters
 )
 
@@ -154,6 +170,17 @@ var counterNames = [numCounters]string{
 	Checkpoints:            "wal.checkpoints",
 	Compactions:            "wal.compactions",
 	CheckpointFallbacks:    "recovery.checkpoint_fallbacks",
+	StorePageReads:         "store.page_reads",
+	StorePageWrites:        "store.page_writes",
+	StorePageFsyncs:        "store.page_fsyncs",
+	StorePoolHits:          "store.pool_hits",
+	StorePoolMisses:        "store.pool_misses",
+	StoreEvictions:         "store.evictions",
+	StoreAllocs:            "store.allocs",
+	StoreTornDetected:      "store.torn_detected",
+	StoreTornRepaired:      "store.torn_repaired",
+	StoreRedoItems:         "recovery.store_redo_items",
+	StoreUndoItems:         "recovery.store_undo_items",
 }
 
 // String returns the dotted counter name.
@@ -198,21 +225,25 @@ const (
 	// HistCheckpointLive is the live-record count captured per
 	// checkpoint (the checkpoint's own size driver).
 	HistCheckpointLive
+	// HistStoreFlushPages is the dirty-page count written per store
+	// flush (checkpoint-driven flushes bound redo work).
+	HistStoreFlushPages
 
 	numHists
 )
 
 var histNames = [numHists]string{
-	HistProcDuration:   "proc.duration_ticks",
-	HistProcBlocked:    "proc.blocked_commit_ticks",
-	HistPreparedSet:    "twopc.prepared_set_size",
-	HistInDoubt:        "subsystem.in_doubt_size",
-	HistRetryLatency:   "chaos.retry_latency_ticks",
-	HistRetryAttempts:  "chaos.attempts_per_invoke",
-	HistReplayRecords:  "recovery.replay_records",
-	HistReplaySkipped:  "recovery.replay_skipped",
-	HistWALBatch:       "wal.batch_size",
-	HistCheckpointLive: "wal.checkpoint_live_records",
+	HistProcDuration:    "proc.duration_ticks",
+	HistProcBlocked:     "proc.blocked_commit_ticks",
+	HistPreparedSet:     "twopc.prepared_set_size",
+	HistInDoubt:         "subsystem.in_doubt_size",
+	HistRetryLatency:    "chaos.retry_latency_ticks",
+	HistRetryAttempts:   "chaos.attempts_per_invoke",
+	HistReplayRecords:   "recovery.replay_records",
+	HistReplaySkipped:   "recovery.replay_skipped",
+	HistWALBatch:        "wal.batch_size",
+	HistCheckpointLive:  "wal.checkpoint_live_records",
+	HistStoreFlushPages: "store.flush_pages",
 }
 
 // String returns the dotted histogram name.

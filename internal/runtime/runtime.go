@@ -490,6 +490,12 @@ func (r *Runtime) maybeCheckpoint() {
 	if _, err := wal.TakeCheckpoint(r.log, r.uni.Conflicts, r.cfg.Inject, r.reg); err != nil {
 		return
 	}
+	// Durable subsystems flush their pages at every checkpoint (the
+	// store's write-ahead barrier forces the log first). Errors are
+	// dropped like a failed checkpoint — the WAL stays authoritative.
+	if r.fed.Durable() {
+		r.fed.FlushStores()
+	}
 	r.ckptMu.Lock()
 	r.ckptTaken++
 	r.ckptMu.Unlock()

@@ -290,6 +290,14 @@ func (e *Engine) maybeCheckpoint() {
 	if _, err := wal.TakeCheckpoint(e.log, e.conflicts, e.cfg.Inject, e.reg); err != nil {
 		return
 	}
+	// Durable subsystems flush their pages at every checkpoint: the
+	// write-ahead barrier inside the store has already forced the log,
+	// and a bounded-replay recovery then also starts from near-fresh
+	// pages. A flush error is dropped like a failed checkpoint — the
+	// WAL remains the source of truth.
+	if e.fed.Durable() {
+		e.fed.FlushStores()
+	}
 	e.ckptAppends = 0
 	e.ckptTaken++
 	if e.cfg.CompactOnCheckpoint {

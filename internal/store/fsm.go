@@ -1,0 +1,41 @@
+package store
+
+// freeSpaceMap tracks, per heap page, the bytes available to a future
+// insert (as reported by Page.FreeFor). It is rebuilt from a full page
+// scan at Open and maintained incrementally by every mutation; Store
+// CheckConsistency verifies the two never drift.
+type freeSpaceMap struct {
+	free []int
+}
+
+// set records the free bytes of a page, growing the map as the heap
+// file grows.
+func (m *freeSpaceMap) set(id PageID, free int) {
+	for int(id) >= len(m.free) {
+		m.free = append(m.free, 0)
+	}
+	m.free[id] = free
+}
+
+// get returns the tracked free bytes of a page (0 when untracked).
+func (m *freeSpaceMap) get(id PageID) int {
+	if int(id) >= len(m.free) {
+		return 0
+	}
+	return m.free[id]
+}
+
+// pageFor returns the first page with at least need free bytes.
+// First-fit keeps placement deterministic, which CanonicalBytes and
+// the torture oracle rely on.
+func (m *freeSpaceMap) pageFor(need int) (PageID, bool) {
+	for id, free := range m.free {
+		if free >= need {
+			return PageID(id), true
+		}
+	}
+	return 0, false
+}
+
+// pages returns the tracked page count.
+func (m *freeSpaceMap) pages() int { return len(m.free) }

@@ -1,0 +1,220 @@
+package store
+
+import (
+	"fmt"
+
+	"transproc/internal/metrics"
+)
+
+// frame is one buffer-pool slot: a resident page image plus its
+// replacement state.
+type frame struct {
+	id     PageID
+	page   *Page
+	pin    int
+	dirty  bool
+	ref    bool // clock reference bit
+	inUse  bool
+	newest bool // freshly allocated page, not yet on the device
+}
+
+// pool is a fixed-size buffer pool with pin counts, dirty tracking and
+// clock eviction. It honors the write-ahead rule: before any dirty
+// page reaches the device, barrier() (the scheduler WAL's sync) runs
+// first, so no page image can describe effects the log has not made
+// durable. The pool is not self-locking — the owning Store serializes
+// access.
+type pool struct {
+	dev     Device
+	frames  []frame
+	table   map[PageID]int
+	hand    int
+	barrier func() error
+	inject  func(string)
+	m       *metrics.Registry
+}
+
+func newPool(dev Device, size int, barrier func() error, inject func(string), m *metrics.Registry) *pool {
+	if size < 1 {
+		size = 1
+	}
+	return &pool{
+		dev:     dev,
+		frames:  make([]frame, size),
+		table:   make(map[PageID]int, size),
+		barrier: barrier,
+		inject:  inject,
+		m:       m,
+	}
+}
+
+func (bp *pool) fire(point string) {
+	if bp.inject != nil {
+		bp.inject(point)
+	}
+}
+
+// fetch pins page id, reading it from the device on a miss. The
+// returned page stays resident until the matching unpin.
+func (bp *pool) fetch(id PageID) (*Page, error) {
+	if fi, ok := bp.table[id]; ok {
+		f := &bp.frames[fi]
+		f.pin++
+		f.ref = true
+		bp.m.Inc(metrics.StorePoolHits)
+		return f.page, nil
+	}
+	bp.m.Inc(metrics.StorePoolMisses)
+	fi, err := bp.victim()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, PageSize)
+	if err := bp.dev.ReadPage(id, buf); err != nil {
+		return nil, err
+	}
+	bp.m.Inc(metrics.StorePageReads)
+	p, err := DecodePage(buf)
+	if err != nil {
+		return nil, fmt.Errorf("store: page %d unreadable: %w", id, err)
+	}
+	bp.install(fi, id, p, false)
+	return p, nil
+}
+
+// fetchNew pins a freshly formatted page that does not exist on the
+// device yet; it reaches the device on first write-back.
+func (bp *pool) fetchNew(id PageID, p *Page) error {
+	fi, err := bp.victim()
+	if err != nil {
+		return err
+	}
+	bp.install(fi, id, p, true)
+	bp.frames[fi].dirty = true
+	return nil
+}
+
+func (bp *pool) install(fi int, id PageID, p *Page, fresh bool) {
+	f := &bp.frames[fi]
+	*f = frame{id: id, page: p, pin: 1, ref: true, inUse: true, newest: fresh}
+	bp.table[id] = fi
+}
+
+// unpin releases one pin, marking the frame dirty if the caller
+// mutated the page.
+func (bp *pool) unpin(id PageID, dirty bool) error {
+	fi, ok := bp.table[id]
+	if !ok {
+		return fmt.Errorf("store: unpin of non-resident page %d", id)
+	}
+	f := &bp.frames[fi]
+	if f.pin <= 0 {
+		return fmt.Errorf("store: unpin of unpinned page %d", id)
+	}
+	f.pin--
+	if dirty {
+		f.dirty = true
+	}
+	return nil
+}
+
+// pinCount reports the current pin count of a resident page (0 when
+// not resident). Test hook for the pin/unpin invariants.
+func (bp *pool) pinCount(id PageID) int {
+	if fi, ok := bp.table[id]; ok {
+		return bp.frames[fi].pin
+	}
+	return 0
+}
+
+// victim returns a free frame index, evicting an unpinned resident
+// page (clock; dirty victims are written back under the write-ahead
+// barrier) when the pool is full.
+func (bp *pool) victim() (int, error) {
+	for i := range bp.frames {
+		if !bp.frames[i].inUse {
+			return i, nil
+		}
+	}
+	// Clock sweep: two full passes clear every reference bit, so only
+	// an all-pinned pool fails.
+	for sweep := 0; sweep < 2*len(bp.frames); sweep++ {
+		f := &bp.frames[bp.hand]
+		fi := bp.hand
+		bp.hand = (bp.hand + 1) % len(bp.frames)
+		if f.pin > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if f.dirty {
+			bp.fire(PointEvict)
+			if err := bp.writeBack(f); err != nil {
+				return 0, err
+			}
+		}
+		bp.m.Inc(metrics.StoreEvictions)
+		delete(bp.table, f.id)
+		*f = frame{}
+		return fi, nil
+	}
+	return 0, fmt.Errorf("store: buffer pool exhausted (%d frames, all pinned)", len(bp.frames))
+}
+
+// writeBack seals and writes one dirty frame. The WAL barrier runs
+// first (write-ahead rule); the device write is not fsynced here —
+// flush's single Sync (or the OS, for evictions) makes it durable, and
+// the page checksum catches any tear in between.
+func (bp *pool) writeBack(f *frame) error {
+	if bp.barrier != nil {
+		if err := bp.barrier(); err != nil {
+			return fmt.Errorf("store: write-ahead barrier: %w", err)
+		}
+	}
+	f.page.Seal()
+	bp.fire(PointPageWrite)
+	if err := bp.dev.WritePage(f.id, f.page.Buf()); err != nil {
+		return err
+	}
+	bp.m.Inc(metrics.StorePageWrites)
+	f.dirty = false
+	f.newest = false
+	return nil
+}
+
+// flush writes back every dirty frame and fsyncs the device. It
+// returns the number of pages written.
+func (bp *pool) flush() (int, error) {
+	wrote := 0
+	for i := range bp.frames {
+		f := &bp.frames[i]
+		if !f.inUse || !f.dirty {
+			continue
+		}
+		if err := bp.writeBack(f); err != nil {
+			return wrote, err
+		}
+		wrote++
+	}
+	if wrote > 0 {
+		bp.fire(PointPageFsync)
+		if err := bp.dev.Sync(); err != nil {
+			return wrote, err
+		}
+		bp.m.Inc(metrics.StorePageFsyncs)
+	}
+	return wrote, nil
+}
+
+// dirtyPages counts dirty resident frames. Test hook.
+func (bp *pool) dirtyPages() int {
+	n := 0
+	for i := range bp.frames {
+		if bp.frames[i].inUse && bp.frames[i].dirty {
+			n++
+		}
+	}
+	return n
+}

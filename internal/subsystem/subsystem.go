@@ -24,6 +24,7 @@ import (
 
 	"transproc/internal/activity"
 	"transproc/internal/metrics"
+	"transproc/internal/store"
 )
 
 // TxID identifies a local transaction within a subsystem.
@@ -142,6 +143,16 @@ type Subsystem struct {
 	// m is the optional observability registry (nil = no-op); it
 	// receives invocation counters and in-doubt set-size observations.
 	m *metrics.Registry
+	// durable, when non-nil, is the heap-file store this subsystem
+	// writes its state through to; see durable.go for the key layout
+	// and crash-recovery contract.
+	durable    *store.Store
+	durableErr error
+	// baselines records items initialized via Set, so recovery can
+	// distinguish "value returned to zero" from "never existed".
+	baselines map[string]int64
+	// fates holds durable 2PC resolutions loaded by AttachStore.
+	fates map[TxID]FateRecord
 }
 
 type svc struct {
@@ -169,6 +180,8 @@ func New(name string, seed int64) *Subsystem {
 		forceFail: make(map[string]int),
 		failRules: make(map[string]bool),
 		idem:      make(map[string]*Result),
+		baselines: make(map[string]int64),
+		fates:     make(map[TxID]FateRecord),
 	}
 }
 
@@ -391,6 +404,7 @@ func (s *Subsystem) invokeLocked(proc, service string, mode Mode) (*Result, erro
 	}
 
 	s.nextTx++
+	s.dPut(durNextTx, int64(s.nextTx))
 	t := &txn{
 		id:      s.nextTx,
 		proc:    proc,
@@ -413,6 +427,7 @@ func (s *Subsystem) invokeLocked(proc, service string, mode Mode) (*Result, erro
 	s.lock(proc, sv)
 	t.prepared = true
 	s.inDoubt[t.id] = t
+	s.dPut(durIntent+txKey(t.id, proc, service), 1)
 	s.m.Observe(metrics.HistInDoubt, int64(len(s.inDoubt)))
 	return &Result{Tx: t.id, Outcome: activity.Prepared, Reads: t.reads}, nil
 }
@@ -516,6 +531,7 @@ func (s *Subsystem) lockState(item string) *lockState {
 func (s *Subsystem) applyLocked(t *txn) {
 	for item, d := range t.writes {
 		s.store[item] += d
+		s.dPut(durData+item, s.store[item])
 		s.seq++
 		s.journal = append(s.journal, Mutation{
 			Seq: s.seq, Tx: t.id, Proc: t.proc, Service: t.service, Item: item, Delta: d,
@@ -542,6 +558,7 @@ func (s *Subsystem) CommitPrepared(id TxID) error {
 		s.unlock(t)
 	}
 	s.resolved[id] = true
+	s.recordFateLocked(t, true)
 	delete(s.inDoubt, id)
 	return nil
 }
@@ -561,6 +578,7 @@ func (s *Subsystem) AbortPrepared(id TxID) error {
 		s.unlock(t)
 	}
 	s.resolved[id] = false
+	s.recordFateLocked(t, false)
 	delete(s.inDoubt, id)
 	return nil
 }
@@ -609,11 +627,16 @@ func (s *Subsystem) Get(item string) int64 {
 	return s.store[item]
 }
 
-// Set initializes an item's value (test/setup hook).
+// Set initializes an item's value (test/setup hook). The value is
+// recorded as the item's baseline, which durable recovery adds beneath
+// the log-derived deltas.
 func (s *Subsystem) Set(item string, v int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.store[item] = v
+	s.baselines[item] = v
+	s.dPut(durBase+item, v)
+	s.dPut(durData+item, v)
 }
 
 // Snapshot returns a copy of the committed store.

@@ -72,6 +72,7 @@ func (s *Subsystem) InvokeWeak(proc, service string) (*Result, []TxID, error) {
 	}
 
 	s.nextTx++
+	s.dPut(durNextTx, int64(s.nextTx))
 	t := &txn{
 		id:      s.nextTx,
 		proc:    proc,
@@ -88,6 +89,7 @@ func (s *Subsystem) InvokeWeak(proc, service string) (*Result, []TxID, error) {
 	t.prepared = true
 	t.weakDeps = append(t.weakDeps, deps...)
 	s.inDoubt[t.id] = t
+	s.dPut(durIntent+txKey(t.id, proc, service), 1)
 	s.m.Observe(metrics.HistInDoubt, int64(len(s.inDoubt)))
 	return &Result{Tx: t.id, Outcome: activity.Prepared, Reads: t.reads}, deps, nil
 }
@@ -133,12 +135,15 @@ func (s *Subsystem) CommitPreparedWeak(id TxID) error {
 		if errors.Is(err, ErrDependencyAborted) {
 			s.aborts++
 			s.m.Inc(metrics.SubAborts)
+			s.resolved[id] = false
+			s.recordFateLocked(t, false)
 			delete(s.inDoubt, id)
 		}
 		return err
 	}
 	s.applyLocked(t)
 	s.resolved[id] = true
+	s.recordFateLocked(t, true)
 	delete(s.inDoubt, id)
 	return nil
 }

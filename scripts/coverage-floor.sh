@@ -11,6 +11,7 @@ PKGS=(
   ./internal/chaos
   ./internal/twopc
   ./internal/runtime
+  ./internal/store
 )
 
 fail=0
