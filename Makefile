@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race diff torture chaos coverage-floor bench bench-recovery fuzz-smoke ci
+.PHONY: build test test-short race diff torture chaos fed coverage-floor bench bench-recovery bench-fed fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,17 @@ torture:
 chaos:
 	GOMAXPROCS=4 $(GO) test -race -v ./internal/chaos -run TestChaosBattery -chaos.count=200
 
+# The federation batteries: the cross-node differential battery (60
+# seeded workloads partitioned over 2–4 scheduler nodes vs the
+# single-node sequential oracle) and the 200-scenario federation
+# torture battery (node kills mid-2PC, partition windows during
+# cross-node resolution, crash + re-join) under the race detector.
+# Reproduce one failure with
+# `go test ./internal/federation -run FedTortureBattery -fed.seed=N -v`.
+fed:
+	GOMAXPROCS=4 $(GO) test -race -run 'TestFedDifferential' -v ./internal/federation
+	GOMAXPROCS=4 $(GO) test -race -v ./internal/federation -run TestFedTortureBattery -fed.count=200
+
 # Coverage floor for the recovery-critical packages.
 coverage-floor:
 	scripts/coverage-floor.sh 75
@@ -56,6 +67,11 @@ bench-recovery:
 	scripts/bench-recovery.sh > BENCH_recovery.json
 	@cat BENCH_recovery.json
 
+# Regenerate the committed federation node-count throughput sweep.
+bench-fed:
+	$(GO) run ./cmd/tpsim fed -bench -json > BENCH_fed.json
+	@cat BENCH_fed.json
+
 # Short native-fuzzing smoke (CI runs 30s per target).
 fuzz-smoke:
 	$(GO) test -fuzz FuzzProcessValidate -fuzztime 30s ./internal/process
@@ -64,5 +80,6 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzCheckpointDecode -fuzztime 30s ./internal/wal
 	$(GO) test -fuzz FuzzHeapPageDecode -fuzztime 30s -run '^$$' ./internal/store
 	$(GO) test -fuzz FuzzFreeSpaceMap -fuzztime 30s -run '^$$' ./internal/store
+	$(GO) test -fuzz FuzzWireDecode -fuzztime 30s -run '^$$' ./internal/federation
 
-ci: build test race diff torture chaos coverage-floor
+ci: build test race diff torture chaos fed coverage-floor

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"transproc/internal/fault"
+	"transproc/internal/federation"
+	"transproc/internal/process"
+	"transproc/internal/scheduler/policy"
+	"transproc/internal/workload"
+)
+
+// runFed implements "tpsim fed": a multi-node federated run as a
+// command.
+//
+//	tpsim fed [-nodes N] [-procs P] [-seed S] [-mode pred|pred-cascade]
+//	tpsim fed -torture [-seeds N] [-first S] [-fedseed K] [-json]
+//	tpsim fed -bench [-procs P] [-seed S] [-reps R] [-json]
+//
+// The default form partitions a seeded workload across N scheduler
+// nodes (hub + localhost TCP), runs it, stitches the per-node WALs by
+// hub stamp and verifies the combined schedule is prefix-reducible.
+// -torture runs the federation-torture battery (node kills mid-2PC,
+// partition windows, crash + re-join; see internal/federation).
+// -bench sweeps 1, 2 and 4 nodes over the identical workload and
+// reports throughput — the measurement behind BENCH_fed.json (E16).
+func runFed(args []string) error {
+	fs := flag.NewFlagSet("fed", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 2, "scheduler node count")
+	procs := fs.Int("procs", 24, "process count")
+	seed := fs.Int64("seed", 1, "workload seed")
+	mode := fs.String("mode", "pred", "scheduling mode: pred or pred-cascade")
+	torture := fs.Bool("torture", false, "run the federation-torture battery")
+	seeds := fs.Int64("seeds", 200, "torture: number of seeds")
+	first := fs.Int64("first", 0, "torture: first seed")
+	one := fs.Int64("fedseed", -1, "torture: run only this seed (verbose reproduction)")
+	bench := fs.Bool("bench", false, "sweep node counts and report throughput")
+	reps := fs.Int("reps", 3, "bench: repetitions per node count")
+	asJSON := fs.Bool("json", false, "emit results as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *torture {
+		return runFedTortureCmd(*first, *seeds, *one, *asJSON)
+	}
+	if *bench {
+		return runFedBench(*procs, *seed, *reps, *asJSON)
+	}
+
+	m := policy.PRED
+	switch *mode {
+	case "pred":
+	case "pred-cascade":
+		m = policy.PREDCascade
+	default:
+		return fmt.Errorf("unknown mode %q (pred, pred-cascade)", *mode)
+	}
+	res, elapsed, err := fedRun(*procs, *seed, *nodes, m)
+	if err != nil {
+		return err
+	}
+	committed, aborted := 0, 0
+	for _, o := range res.Outcomes {
+		if o.Committed {
+			committed++
+		} else if o.Aborted {
+			aborted++
+		}
+	}
+	fmt.Printf("fed: %d processes over %d nodes (%s): %d committed, %d aborted incarnations, stitched schedule PRED ✓\n",
+		*procs, *nodes, elapsed.Round(time.Millisecond), committed, aborted)
+	return nil
+}
+
+// fedRun executes one federated workload and verifies the stitched
+// schedule, returning the run result and wall-clock duration.
+func fedRun(procs int, seed int64, nodes int, mode policy.Mode) (*federation.RunResult, time.Duration, error) {
+	p := workload.DefaultProfile(seed)
+	p.Processes = procs
+	p.ConflictProb = 0.4
+	p.PermFailureProb = 0
+	p.TransientFailureProb = 0.05
+	w, err := workload.Generate(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	defs := make([]*process.Process, 0, len(w.Jobs))
+	for _, j := range w.Jobs {
+		defs = append(defs, j.Proc)
+	}
+	c, err := federation.NewCluster(w.Fed, defs, federation.Config{Nodes: nodes, Mode: mode, MaxRestarts: 8})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer c.Close()
+	start := time.Now()
+	res := c.Run()
+	elapsed := time.Since(start)
+	for i, nerr := range res.NodeErrs {
+		if nerr != nil {
+			return nil, 0, fmt.Errorf("node %d: %w", i, nerr)
+		}
+	}
+	recs, err := c.Stitched()
+	if err != nil {
+		return nil, 0, err
+	}
+	table, err := w.Fed.ConflictTable()
+	if err != nil {
+		return nil, 0, err
+	}
+	sched, err := fault.ScheduleFromWAL(table, defs, recs, len(recs))
+	if err != nil {
+		return nil, 0, err
+	}
+	ok, at, _, err := sched.PRED()
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok {
+		return nil, 0, fmt.Errorf("stitched schedule not prefix-reducible (prefix %d)", at)
+	}
+	if doubt := w.Fed.InDoubt(); len(doubt) > 0 {
+		return nil, 0, fmt.Errorf("in-doubt transactions after run: %v", doubt)
+	}
+	return res, elapsed, nil
+}
+
+func runFedTortureCmd(first, seeds, one int64, asJSON bool) error {
+	if one >= 0 {
+		sc := federation.FedScenarioFor(one)
+		fmt.Printf("seed %d: class=%s mode=%v nodes=%d crash={node %d, %q, count %d} wire=%+v\n",
+			sc.Seed, sc.Class, sc.Mode, sc.Nodes, sc.CrashNode, sc.CrashPoint, sc.CrashCount, sc.Wire)
+		alt, err := federation.RunFedScenario(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scenario passed (alternatives fired: %v)\n", alt)
+		return nil
+	}
+	sum := federation.RunFedTorture(first, seeds)
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("fed torture: %d scenarios (seeds %d..%d), alternatives fired in %d\n",
+			sum.Scenarios, first, first+seeds-1, sum.AltFires)
+		classes := make([]string, 0, len(sum.ByClass))
+		for class := range sum.ByClass {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			fmt.Printf("  %-24s %d\n", class, sum.ByClass[class])
+		}
+		for _, f := range sum.Failures {
+			fmt.Printf("  FAIL %s\n", f)
+		}
+	}
+	if n := len(sum.Failures); n > 0 {
+		return fmt.Errorf("%d of %d scenarios violated a recovery guarantee (reproduce with: tpsim fed -torture -fedseed=N)", n, sum.Scenarios)
+	}
+	return nil
+}
+
+// fedBenchPoint is one row of BENCH_fed.json.
+type fedBenchPoint struct {
+	Nodes       int     `json:"nodes"`
+	Processes   int     `json:"processes"`
+	Reps        int     `json:"reps"`
+	MeanMillis  float64 `json:"meanMillis"`
+	ProcsPerSec float64 `json:"procsPerSec"`
+}
+
+func runFedBench(procs int, seed int64, reps int, asJSON bool) error {
+	var points []fedBenchPoint
+	for _, nodes := range []int{1, 2, 4} {
+		var total time.Duration
+		for r := 0; r < reps; r++ {
+			_, elapsed, err := fedRun(procs, seed+int64(r), nodes, policy.PRED)
+			if err != nil {
+				return fmt.Errorf("nodes=%d rep=%d: %w", nodes, r, err)
+			}
+			total += elapsed
+		}
+		mean := total / time.Duration(reps)
+		points = append(points, fedBenchPoint{
+			Nodes: nodes, Processes: procs, Reps: reps,
+			MeanMillis:  float64(mean.Microseconds()) / 1000.0,
+			ProcsPerSec: float64(procs) / mean.Seconds(),
+		})
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(points)
+	}
+	fmt.Println("nodes  mean(ms)  procs/sec")
+	for _, p := range points {
+		fmt.Printf("%5d  %8.1f  %9.1f\n", p.Nodes, p.MeanMillis, p.ProcsPerSec)
+	}
+	return nil
+}

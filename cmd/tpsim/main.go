@@ -9,6 +9,7 @@
 //	tpsim run [-metrics[=text|json]] [-runtime=concurrent] <spec.json> [mode]
 //	tpsim torture [-seeds N] [-first S] [-seed K] [-ckpt N] [-compact] [-json]
 //	tpsim chaos [-seeds N] [-first S] [-seed K] [-json]
+//	tpsim fed [-nodes N] [-procs P] [-seed S] [-mode M] [-torture|-bench] [-json]
 //	tpsim benchrec [-quick]
 //
 // where experiment is one of e1..e14, b1, b2, b4, b5, or "all" (default),
@@ -26,6 +27,10 @@
 // "chaos" runs the unreliable-subsystem chaos battery
 // (internal/chaos) — flaky transport, typed retries, circuit breakers,
 // ◁-path failover — and exits non-zero on any resilience violation.
+// "fed" partitions a workload across N scheduler nodes over localhost
+// TCP (internal/federation) and verifies the stitched cross-node
+// schedule; -torture runs the federation-torture battery and -bench
+// the node-count throughput sweep behind BENCH_fed.json.
 //
 // -metrics attaches an observability registry to the run and dumps its
 // snapshot (counters, histograms, per-service latencies, WAL totals and
@@ -102,6 +107,13 @@ func main() {
 	if len(args) >= 1 && args[0] == "chaos" {
 		if err := runChaos(args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "chaos failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) >= 1 && args[0] == "fed" {
+		if err := runFed(args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "fed failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

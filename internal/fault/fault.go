@@ -40,6 +40,14 @@ const (
 	// PointWALAppend is reported by the fault WAL wrapper when its
 	// record budget trips.
 	PointWALAppend = "wal:append"
+	// Federation crash points (fired by scheduler nodes,
+	// internal/federation): before a frontier dispatch RPC is sent, and
+	// in the window after the node force-logged a prepared outcome but
+	// before the hub was asked to commit it (the orphan-prepared
+	// window that recovery resolves by presumed abort). Node-side 2PC
+	// reuses PointAfterDecision and PointMidResolve.
+	PointFedDispatch      = "fed:dispatch"
+	PointFedAfterPrepared = "fed:after-prepared"
 	// Checkpoint/compaction crash points (defined in internal/wal and
 	// re-exported here): before the checkpoint build, before the
 	// checkpoint record append, between the compacted temp file and the

@@ -15,17 +15,32 @@ import (
 // pre-crash execution and everything recovery appended — from the
 // write-ahead log. Only durably committed work becomes an event, and
 // every event sits at its *commit* position: a 2PC-deferred local
-// transaction (Lemma 1) joins the schedule at the RecResolved record
-// that commits it, not at its earlier "prepared" outcome — exactly
-// like the engines' tentative events (policy.FinalizeTentative), whose
-// correctness argument carries over: the subsystem holds the
-// transaction's locks between prepare and commit, so no conflicting
-// activity ran in between and the late anchoring is conflict-order
-// preserving, while a prefix cut inside that window must not contain
-// the still-uncommitted event.
+// transaction (Lemma 1) joins the schedule at the record that durably
+// decides its commit — the process's RecDecision if the transaction's
+// next resolution commits it, otherwise its RecResolved record — not
+// at its earlier "prepared" outcome. This mirrors the engines'
+// tentative events (policy.FinalizeTentative), and the correctness
+// argument carries over: the subsystem holds the transaction's locks
+// between prepare and commit, so no conflicting activity ran in
+// between and the late anchoring is conflict-order preserving, while a
+// prefix cut inside that window must not contain the still-uncommitted
+// event. Anchoring at the decision (not the resolution) matters for
+// stitched multi-node histories: a node can die between force-logging
+// its decision and committing the participants, after which survivors
+// keep executing — correctly, past transactions whose fate is sealed —
+// and recovery's redo-commit logs the RecResolved long after them. The
+// anchoring is gated on the resolution's verdict because a decision
+// record alone seals nothing: the hub grants mid-process deferred
+// resolution too (pollDeferred), and a node that dies after logging
+// the decision but before its still-running process finishes leaves a
+// prepared set that recovery presumes aborted — such transactions
+// contribute no event at all.
 //
 //	RecOutcome  "committed"  -> Invoke (immediate local commit)
-//	RecResolved Commit=true  -> Invoke (deferred 2PC commit)
+//	RecDecision              -> Invoke per pending prepared outcome
+//	                            whose next resolution commits
+//	RecResolved Commit=true  -> Invoke (deferred 2PC commit, if not
+//	                            already anchored at a decision)
 //	RecCompensate            -> Invoke, Inverse
 //	RecFailed                -> FailedInvoke
 //	RecAbortBegin            -> AbortBegin
@@ -115,6 +130,32 @@ func ScheduleFromWAL(table *conflict.Table, defs []*process.Process, recs []wal.
 		})
 		return nil
 	}
+	// willCommit[i] answers, for a prepared outcome at record index i,
+	// whether its next resolution commits it — the lookahead that gates
+	// anchoring the commit at a RecDecision.
+	type ppKey struct {
+		proc  string
+		local int
+	}
+	willCommit := make([]bool, len(recs))
+	nextResolve := make(map[ppKey]bool)
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		switch {
+		case r.Type == wal.RecOutcome && r.Outcome == "prepared":
+			willCommit[i] = nextResolve[ppKey{r.Proc, r.Local}]
+		case r.Type == wal.RecResolved:
+			nextResolve[ppKey{r.Proc, r.Local}] = r.Commit
+		}
+	}
+	// pendingPrepared tracks each process's prepared-but-unresolved
+	// outcomes so a RecDecision can anchor the commits of those that do
+	// resolve to commit at the decision record.
+	type preparedOutcome struct {
+		rec     wal.Record
+		commits bool
+	}
+	pendingPrepared := make(map[string][]preparedOutcome)
 	for i, r := range recs {
 		// Past the crash boundary, any step work for a process marks it
 		// as crash-aborted: recovery only compensates, resolves and runs
@@ -126,7 +167,27 @@ func ScheduleFromWAL(table *conflict.Table, defs []*process.Process, recs []wal.
 			}
 		}
 		switch r.Type {
+		case wal.RecDecision:
+			pending := pendingPrepared[r.Proc]
+			kept := pending[:0:0]
+			for _, p := range pending {
+				if !p.commits {
+					kept = append(kept, p)
+					continue
+				}
+				if err := invoke(p.rec); err != nil {
+					return nil, err
+				}
+			}
+			pendingPrepared[r.Proc] = kept
 		case wal.RecResolved:
+			pending := pendingPrepared[r.Proc]
+			for j, p := range pending {
+				if p.rec.Local == r.Local {
+					pendingPrepared[r.Proc] = append(pending[:j:j], pending[j+1:]...)
+					break
+				}
+			}
 			if !r.Commit {
 				continue
 			}
@@ -134,6 +195,11 @@ func ScheduleFromWAL(table *conflict.Table, defs []*process.Process, recs []wal.
 				return nil, err
 			}
 		case wal.RecOutcome:
+			if r.Outcome == "prepared" {
+				pendingPrepared[r.Proc] = append(pendingPrepared[r.Proc],
+					preparedOutcome{rec: r, commits: willCommit[i]})
+				continue
+			}
 			if r.Outcome != "committed" {
 				continue
 			}

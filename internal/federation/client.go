@@ -1,0 +1,224 @@
+package federation
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+
+	"transproc/internal/chaos"
+	"transproc/internal/metrics"
+)
+
+// ErrVoided is returned by an invocation-class call whose transport
+// retry budget ran out and whose Cancel certified the request never
+// executed at the hub — the node takes the invocation-failure path.
+var ErrVoided = errors.New("federation: request voided after transport retry exhaustion")
+
+// Client is a node's connection to the hub with the chaos transport
+// fault model applied deterministically per delivery attempt: drops and
+// partition-window attempts are not sent; an executed-but-lost reply is
+// read and discarded (the retry under the same request id hits the
+// hub's dedup table); a duplicate is sent twice and both replies are
+// read. The wire itself is reliable TCP — unreliability is simulated,
+// which is what makes it deterministic and seedable.
+type Client struct {
+	node uint32
+	name string
+	addr string
+	plan chaos.Plan
+	reg  *metrics.Registry
+
+	conn net.Conn
+	rd   *bufio.Reader
+
+	req     uint64 // request-id counter
+	attempt int64  // delivery-attempt counter (drives fates and outages)
+
+	// dispatchBudget bounds transport attempts of invocation-class RPCs
+	// (Dispatch, StepDispatch) before the Cancel flow; controlBudget
+	// bounds everything else and must outlast any partition window
+	// (windows are finite attempt counts, so control RPCs always land).
+	dispatchBudget int
+	controlBudget  int
+}
+
+// NewClient prepares a client; the connection is dialed lazily.
+func NewClient(node uint32, name, addr string, plan chaos.Plan, dispatchBudget, controlBudget int, reg *metrics.Registry) *Client {
+	if dispatchBudget <= 0 {
+		dispatchBudget = 4096
+	}
+	if controlBudget <= 0 {
+		controlBudget = 1 << 20
+	}
+	return &Client{
+		node: node, name: name, addr: addr, plan: plan, reg: reg,
+		dispatchBudget: dispatchBudget, controlBudget: controlBudget,
+	}
+}
+
+func (c *Client) dial() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.rd = bufio.NewReader(conn)
+	return nil
+}
+
+func (c *Client) redial() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.rd = nil
+	}
+}
+
+// Close severs the connection.
+func (c *Client) Close() {
+	c.redial()
+}
+
+// roundTrip sends one frame and reads one response, redialing on I/O
+// errors. The response must echo the request id.
+func (c *Client) roundTrip(f *Frame) (*Frame, error) {
+	if err := c.dial(); err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(c.conn, f); err != nil {
+		c.redial()
+		return nil, err
+	}
+	resp, err := ReadFrame(c.rd)
+	if err != nil {
+		c.redial()
+		return nil, err
+	}
+	if resp.Req != f.Req {
+		c.redial()
+		return nil, fmt.Errorf("federation: response for request %d, expected %d", resp.Req, f.Req)
+	}
+	return resp, nil
+}
+
+// Call performs one RPC under the fault model. invocation marks the
+// dispatch-class calls that may be voided; control calls retry until
+// they land.
+func (c *Client) Call(f *Frame, invocation bool) (*Frame, error) {
+	f.Node = c.node
+	c.req++
+	f.Req = c.req
+	budget := c.controlBudget
+	if invocation {
+		budget = c.dispatchBudget
+	}
+	resp, err := c.attemptLoop(f, budget)
+	if err == nil {
+		return resp, nil
+	}
+	if !invocation {
+		return nil, fmt.Errorf("federation: control RPC %v exhausted its budget: %w", f.Type, err)
+	}
+	// Fetch-or-void: ask the hub what became of the original request.
+	cancel := &Frame{Type: MsgCancel, Node: c.node, Proc: f.Proc, Gen: int64(f.Req)}
+	c.req++
+	cancel.Req = c.req
+	cresp, cerr := c.attemptLoop(cancel, c.controlBudget)
+	if cerr != nil {
+		return nil, fmt.Errorf("federation: cancel of request %d failed: %w", f.Req, cerr)
+	}
+	if cresp.Flag2 {
+		return cresp, nil // the original executed; this is its response
+	}
+	return nil, ErrVoided
+}
+
+// errBudget marks budget exhaustion internally (distinct from hard I/O
+// failure so the Cancel flow only runs when the hub is reachable).
+var errBudget = errors.New("retry budget exhausted")
+
+func (c *Client) attemptLoop(f *Frame, budget int) (*Frame, error) {
+	var lastErr error
+	consecutiveIO := 0
+	for try := 0; try < budget; try++ {
+		c.attempt++
+		if c.plan.WireOutage(c.name, c.attempt) {
+			c.reg.Inc(metrics.FedWireDrops)
+			c.reg.Inc(metrics.FedRPCRetries)
+			continue
+		}
+		switch c.plan.WireFateAt(c.name, c.attempt) {
+		case chaos.WireDrop:
+			c.reg.Inc(metrics.FedWireDrops)
+			c.reg.Inc(metrics.FedRPCRetries)
+			continue
+		case chaos.WireExecLostReply:
+			// Delivered and executed, reply lost: read and discard, then
+			// retry under the same request id — the hub's dedup table
+			// replays the cached response.
+			if _, err := c.roundTrip(f); err != nil {
+				lastErr = err
+				consecutiveIO++
+				if consecutiveIO > 64 {
+					return nil, lastErr
+				}
+				continue
+			}
+			consecutiveIO = 0
+			c.reg.Inc(metrics.FedRPCRetries)
+			continue
+		case chaos.WireDuplicate:
+			c.reg.Inc(metrics.FedWireDuplicates)
+			if err := c.dial(); err != nil {
+				lastErr = err
+				consecutiveIO++
+				if consecutiveIO > 64 {
+					return nil, lastErr
+				}
+				continue
+			}
+			if err := WriteFrame(c.conn, f); err != nil {
+				c.redial()
+				lastErr = err
+				continue
+			}
+			first, err := c.roundTrip(f)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			_ = first // both deliveries answered identically (dedup)
+			resp, err := ReadFrame(c.rd)
+			if err != nil {
+				c.redial()
+				lastErr = err
+				continue
+			}
+			if resp.Req != f.Req {
+				c.redial()
+				lastErr = fmt.Errorf("federation: duplicate response for request %d, expected %d", resp.Req, f.Req)
+				continue
+			}
+			return resp, nil
+		default:
+			resp, err := c.roundTrip(f)
+			if err != nil {
+				lastErr = err
+				consecutiveIO++
+				if consecutiveIO > 64 {
+					return nil, lastErr
+				}
+				continue
+			}
+			return resp, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = errBudget
+	}
+	return nil, lastErr
+}

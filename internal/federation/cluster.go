@@ -1,0 +1,210 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"transproc/internal/chaos"
+	"transproc/internal/fault"
+	"transproc/internal/metrics"
+	"transproc/internal/process"
+	"transproc/internal/scheduler"
+	"transproc/internal/scheduler/policy"
+	"transproc/internal/subsystem"
+	"transproc/internal/wal"
+)
+
+// CrashSpec arms a crash point on one node's fault injector.
+type CrashSpec struct {
+	Node  int    // node index
+	Point string // crash point name (fed:dispatch, twopc:after-decision, ...)
+	Count int    // 1-based hit count (0 = first)
+}
+
+// Config configures a cluster run.
+type Config struct {
+	// Nodes is the scheduler-node count; processes are partitioned
+	// round-robin by arrival rank.
+	Nodes int
+	Mode  policy.Mode
+	// MaxRestarts per origin process; MaxStalls bounds cluster-wide
+	// victim designations.
+	MaxRestarts int
+	MaxStalls   int
+	Metrics     *metrics.Registry
+	// Wire is the transport fault plan, shared by all nodes (fates are
+	// keyed by node name, so nodes see independent streams).
+	Wire chaos.Plan
+	// Crash arms a node-side crash point.
+	Crash CrashSpec
+	// NodeWAL supplies per-node logs (default: fresh MemLogs).
+	NodeWAL        func(node int) wal.Log
+	DispatchBudget int
+	ControlBudget  int
+}
+
+// RunResult is the aggregate of a cluster run.
+type RunResult struct {
+	// Outcomes by incarnation id across all nodes.
+	Outcomes map[process.ID]*scheduler.Outcome
+	// NodeErrs holds per-node driver errors (nil entries for clean exits).
+	NodeErrs []error
+	// Crashed flags nodes stopped by an injected crash point.
+	Crashed []bool
+}
+
+// Cluster wires a hub, its TCP server and N scheduler nodes over one
+// subsystem federation.
+type Cluster struct {
+	cfg    Config
+	fed    *subsystem.Federation
+	defs   []*process.Process
+	hub    *Hub
+	server *Server
+	nodes  []*Node
+	logs   []wal.Log
+}
+
+// NewCluster partitions the process definitions round-robin across
+// cfg.Nodes scheduler nodes (arrival rank = definition index, matching
+// the sequential oracle's admission order) and starts the hub server.
+func NewCluster(fed *subsystem.Federation, defs []*process.Process, cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = policy.PRED
+	}
+	hub, err := NewHub(fed, defs, HubConfig{Mode: cfg.Mode, MaxStalls: cfg.MaxStalls, Metrics: cfg.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	server, err := Serve(hub)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, fed: fed, defs: defs, hub: hub, server: server}
+	jobs := make([][]NodeJob, cfg.Nodes)
+	for i, def := range defs {
+		n := i % cfg.Nodes
+		jobs[n] = append(jobs[n], NodeJob{Def: def, Arrival: i})
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		var log wal.Log
+		if cfg.NodeWAL != nil {
+			log = cfg.NodeWAL(i)
+		} else {
+			log = wal.NewMemLog()
+		}
+		c.logs = append(c.logs, log)
+		var inject func(string)
+		if cfg.Crash.Point != "" && cfg.Crash.Node == i {
+			inj := fault.NewInjector(fault.Plan{CrashAtPoint: cfg.Crash.Point, CrashAtCount: cfg.Crash.Count})
+			inject = inj.Point
+		}
+		c.nodes = append(c.nodes, NewNode(NodeConfig{
+			ID:   uint32(i + 1),
+			Name: fmt.Sprintf("node%d", i),
+			Addr: server.Addr(),
+			WAL:  log, Jobs: jobs[i],
+			MaxRestarts:    cfg.MaxRestarts,
+			Wire:           cfg.Wire,
+			DispatchBudget: cfg.DispatchBudget, ControlBudget: cfg.ControlBudget,
+			Inject:  inject,
+			Metrics: cfg.Metrics,
+		}))
+	}
+	return c, nil
+}
+
+// Hub exposes the hub (diagnostics).
+func (c *Cluster) Hub() *Hub { return c.hub }
+
+// NodeLog returns node i's WAL.
+func (c *Cluster) NodeLog(i int) wal.Log { return c.logs[i] }
+
+// Run drives all nodes concurrently to completion. A node stopped by a
+// crash point is declared dead at the hub (NodeDown), and the survivors
+// keep draining — blocked ones through victim aborts — so the run
+// always terminates.
+func (c *Cluster) Run() *RunResult {
+	res := &RunResult{
+		Outcomes: make(map[process.ID]*scheduler.Outcome),
+		NodeErrs: make([]error, len(c.nodes)),
+		Crashed:  make([]bool, len(c.nodes)),
+	}
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			err := n.Run()
+			if n.Crashed {
+				res.Crashed[i] = true
+				c.hub.NodeDown(uint32(i + 1))
+				return
+			}
+			res.NodeErrs[i] = err
+		}(i, n)
+	}
+	wg.Wait()
+	for _, n := range c.nodes {
+		for id, out := range n.Outcomes {
+			res.Outcomes[id] = out
+		}
+	}
+	return res
+}
+
+// Close shuts the server down.
+func (c *Cluster) Close() { c.server.Close() }
+
+// Stitched merges the per-node WALs into one global history by sorting
+// on the hub-issued stamps (stable, so a node's same-stamp records —
+// which cannot exist — would keep their local order). Records appended
+// by a later recovery pass carry stamp zero and land at the front;
+// callers stitch before recovering.
+func (c *Cluster) Stitched() ([]wal.Record, error) {
+	var all []wal.Record
+	for _, log := range c.logs {
+		recs, err := log.Records()
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, recs...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Stamp < all[j].Stamp })
+	return all, nil
+}
+
+// StitchedLog materializes the stitched history into a fresh MemLog and
+// returns it with the record count (the pre-recovery boundary for
+// fault.CheckRecovered).
+func (c *Cluster) StitchedLog() (*wal.MemLog, int, error) {
+	recs, err := c.Stitched()
+	if err != nil {
+		return nil, 0, err
+	}
+	log := wal.NewMemLog()
+	for _, r := range recs {
+		r.LSN = 0
+		if _, err := log.Append(r); err != nil {
+			return nil, 0, err
+		}
+	}
+	return log, len(recs), nil
+}
+
+// Recover runs the single-node crash recovery over the stitched global
+// history and the surviving federation state — the composed recovery:
+// per-node logs merge into one history the existing machinery consumes
+// unchanged.
+func (c *Cluster) Recover() (*wal.MemLog, int, *scheduler.RecoveryReport, error) {
+	log, pre, err := c.StitchedLog()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	report, err := scheduler.Recover(c.fed, log, c.defs)
+	return log, pre, report, err
+}

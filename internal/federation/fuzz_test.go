@@ -1,0 +1,55 @@
+package federation
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzWireDecode fuzzes the frame decoder: arbitrary bytes must either
+// decode into a frame or return an error — never panic — and every
+// successful decode must re-encode to the identical bytes (the codec
+// is canonical: one frame, one byte string).
+func FuzzWireDecode(f *testing.F) {
+	// Seed corpus: one well-formed frame per message type, plus the
+	// malformed classes the decoder distinguishes.
+	for t := MsgHello; t <= msgTypeMax; t++ {
+		f.Add(EncodePayload(&Frame{Type: t}))
+	}
+	full := EncodePayload(&Frame{
+		Type: MsgDispatch, Status: StOK, Kind: 2, Flag: true, Flag2: true,
+		Node: 3, Req: 99, Local: 4, Extra: -1, Tx: 1 << 40, Stamp: -7,
+		Stamp2: 1, Gen: 123, Proc: "W1+r2", Origin: "W1", Service: "rm0/c1",
+		Subsystem: "rm0", Victim: "W2", Err: "boom",
+	})
+	f.Add(full)
+	f.Add(full[:len(full)-3]) // truncated string
+	f.Add(full[:fixedHeader]) // strings missing entirely
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(append(append([]byte{}, full...), 1, 2, 3)) // trailing bytes
+	bad := append([]byte{}, full...)
+	bad[0] = 200 // unknown type
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := DecodePayload(b)
+		if err != nil {
+			if fr != nil {
+				t.Fatalf("error %v returned a non-nil frame", err)
+			}
+			return
+		}
+		re := EncodePayload(fr)
+		if !bytes.Equal(re, b) {
+			t.Fatalf("decode/encode not canonical:\nin:  %x\nout: %x", b, re)
+		}
+		fr2, err := DecodePayload(re)
+		if err != nil {
+			t.Fatalf("re-decode of canonical bytes failed: %v", err)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("re-decode mismatch:\n%+v\n%+v", fr, fr2)
+		}
+	})
+}

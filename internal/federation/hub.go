@@ -1,0 +1,1065 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"transproc/internal/activity"
+	"transproc/internal/conflict"
+	"transproc/internal/metrics"
+	"transproc/internal/process"
+	"transproc/internal/schedule"
+	"transproc/internal/scheduler/policy"
+	"transproc/internal/subsystem"
+)
+
+// HubConfig configures the coordination hub.
+type HubConfig struct {
+	// Mode is the scheduling policy; the federation supports PRED and
+	// PREDCascade (the modes whose decisions are per-event and therefore
+	// liftable behind RPCs; Serial/Conservative admission gating would
+	// serialize the cluster anyway).
+	Mode policy.Mode
+	// MaxStalls bounds cluster-wide victim designations.
+	MaxStalls int
+	// Metrics is the optional observability registry.
+	Metrics *metrics.Registry
+}
+
+// hubPhase mirrors the engine's procState.
+type hubPhase int
+
+const (
+	hubRunning hubPhase = iota
+	hubAborting
+	hubDone
+	// hubParked is Done for the policy view but distinguishable for the
+	// dispatch handlers: a parked process's remaining completion steps
+	// run only during post-run recovery — after every live event in the
+	// stitched log — so the hub must bounce the owner's racing RPCs
+	// (StPark) and hold conflicting live work behind the parked
+	// footprint, or admitted work would order before steps that replay
+	// after it and invert the forced serialization order.
+	hubParked
+)
+
+// hubTx is a subsystem transaction the hub tracks on behalf of a node.
+type hubTx struct {
+	sub     *subsystem.Subsystem
+	tx      subsystem.TxID
+	service string
+}
+
+// hubProc is the hub-side mirror of one process incarnation. The hub
+// applies the same deterministic instance transitions as the owning
+// node, in the order of the node's RPCs — each node drives its
+// processes single-threaded, so per-process operations are serial and
+// the two instances stay in lockstep.
+type hubProc struct {
+	id      process.ID
+	origin  process.ID
+	node    uint32
+	arrival int
+
+	def  *process.Process
+	inst *process.Instance
+
+	phase           hubPhase
+	running         map[int]string // local -> service (frontier in flight)
+	inflight        map[int]hubTx  // local -> prepared tx awaiting CommitLocal
+	prepared        map[int]hubTx  // Lemma-1 deferred transactions
+	recovery        []process.Step
+	recoveryBusy    bool
+	recoveryBusySvc string
+	stepTx          hubTx // in-flight recovery-step transaction
+	abortPending    bool
+	decided         bool // 2PC commit decision granted (point of no return)
+}
+
+// hubNode is the hub's view of one scheduler node.
+type hubNode struct {
+	name    string
+	dead    bool
+	done    bool  // reported all owned work terminal
+	idleGen int64 // progress generation of the last idle report
+	victims []process.ID
+	parks   []process.ID
+}
+
+// Hub is the coordination agent: it owns the subsystem federation, the
+// single policy state, the global stamp counter and the process
+// mirrors. Every handler runs under one mutex — the serial section that
+// makes cross-node decisions total-ordered; the stamps it hands out
+// place the nodes' WAL records into that order.
+type Hub struct {
+	mu    sync.Mutex
+	fed   *subsystem.Federation
+	table *conflict.Table
+	pol   *policy.State
+	cfg   HubConfig
+	reg   *metrics.Registry
+
+	defs  map[string]*process.Process // by origin id
+	order []process.ID                // admission order
+	byID  map[process.ID]*hubProc
+
+	nodes map[uint32]*hubNode
+	dedup map[uint32]map[uint64]*Frame
+
+	stamp  int64 // global sequence; doubles as the progress generation
+	stalls int
+}
+
+// NewHub builds the hub over a federation and the process definitions
+// (by origin id; restart incarnations derive from them).
+func NewHub(fed *subsystem.Federation, defs []*process.Process, cfg HubConfig) (*Hub, error) {
+	if cfg.Mode != policy.PRED && cfg.Mode != policy.PREDCascade {
+		return nil, fmt.Errorf("federation: unsupported mode %v (PRED and PREDCascade only)", cfg.Mode)
+	}
+	table, err := fed.ConflictTable()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxStalls <= 0 {
+		cfg.MaxStalls = 4096
+	}
+	h := &Hub{
+		fed:   fed,
+		table: table,
+		pol:   policy.New(table, policy.Config{Mode: cfg.Mode}),
+		cfg:   cfg,
+		reg:   cfg.Metrics,
+		defs:  make(map[string]*process.Process, len(defs)),
+		byID:  make(map[process.ID]*hubProc),
+		nodes: make(map[uint32]*hubNode),
+		dedup: make(map[uint32]map[uint64]*Frame),
+	}
+	if cfg.Metrics != nil {
+		fed.SetMetrics(cfg.Metrics)
+	}
+	for _, p := range defs {
+		h.defs[string(p.ID)] = p
+	}
+	return h, nil
+}
+
+// next issues the next global stamp inside the serial section.
+func (h *Hub) next() int64 {
+	h.stamp++
+	return h.stamp
+}
+
+// hubView adapts the mirrors to the policy's View.
+type hubView struct{ h *Hub }
+
+func (v hubView) Procs() []process.ID { return v.h.order }
+
+func (v hubView) Phase(id process.ID) policy.Phase {
+	hp := v.h.byID[id]
+	if hp == nil {
+		return policy.Done
+	}
+	switch hp.phase {
+	case hubRunning:
+		return policy.Running
+	case hubAborting:
+		return policy.Aborting
+	default:
+		return policy.Done
+	}
+}
+
+func (v hubView) Arrival(id process.ID) int {
+	if hp := v.h.byID[id]; hp != nil {
+		return hp.arrival
+	}
+	return 0
+}
+
+func (v hubView) Instance(id process.ID) *process.Instance {
+	if hp := v.h.byID[id]; hp != nil {
+		return hp.inst
+	}
+	return nil
+}
+
+func (v hubView) RecoverySteps(id process.ID) []process.Step {
+	if hp := v.h.byID[id]; hp != nil {
+		return hp.recovery
+	}
+	return nil
+}
+
+func (v hubView) InFlight(id process.ID) []string {
+	hp := v.h.byID[id]
+	if hp == nil {
+		return nil
+	}
+	out := make([]string, 0, len(hp.running)+1)
+	for _, svc := range hp.running {
+		out = append(out, svc)
+	}
+	if hp.recoveryBusy && hp.recoveryBusySvc != "" {
+		out = append(out, hp.recoveryBusySvc)
+	}
+	return out
+}
+
+func (h *Hub) view() policy.View { return hubView{h} }
+
+// resp builds a response frame, carrying the current progress
+// generation so idle nodes can tell stale quiescence from real.
+func (h *Hub) resp(st Status) *Frame {
+	return &Frame{Type: MsgResponse, Status: st, Gen: h.stamp}
+}
+
+func (h *Hub) errf(format string, args ...any) *Frame {
+	f := h.resp(StError)
+	f.Err = fmt.Sprintf(format, args...)
+	return f
+}
+
+// Handle executes one request inside the serial section. Responses to
+// non-idempotent requests are cached by (node, request id): a retry
+// after an ambiguous timeout, or a duplicated delivery, replays the
+// cached response instead of re-executing — RPCs are exactly-once.
+func (h *Hub) Handle(req *Frame) *Frame {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.reg.Inc(metrics.FedRPCs)
+
+	if req.Type == MsgHello {
+		return h.handleHello(req)
+	}
+	cache := h.dedup[req.Node]
+	if cache == nil {
+		return h.errf("unknown node %d (no hello)", req.Node)
+	}
+	if req.Type == MsgCancel {
+		return h.handleCancel(req, cache)
+	}
+	if prior, ok := cache[req.Req]; ok {
+		h.reg.Inc(metrics.FedDedupReplays)
+		cp := *prior
+		return &cp
+	}
+	var out *Frame
+	switch req.Type {
+	case MsgAdmit:
+		out = h.handleAdmit(req)
+	case MsgDispatch:
+		out = h.handleDispatch(req)
+	case MsgCommitLocal:
+		out = h.handleCommitLocal(req)
+	case MsgStepDispatch:
+		out = h.handleStepDispatch(req)
+	case MsgStepCommit:
+		out = h.handleStepCommit(req)
+	case MsgAbortTx:
+		out = h.handleAbortTx(req)
+	case MsgAbortBegin:
+		out = h.handleAbortBegin(req)
+	case MsgCommitClear:
+		out = h.handleCommitClear(req)
+	case MsgResolve:
+		out = h.handleResolve(req)
+	case MsgTerminate:
+		out = h.handleTerminate(req)
+	case MsgFailed:
+		out = h.handleFailed(req)
+	case MsgIdle:
+		out = h.handleIdle(req)
+	default:
+		out = h.errf("unhandled message type %v", req.Type)
+	}
+	out.Gen = h.stamp
+	cache[req.Req] = out
+	cp := *out
+	return &cp
+}
+
+func (h *Hub) handleHello(req *Frame) *Frame {
+	if h.nodes[req.Node] == nil {
+		h.nodes[req.Node] = &hubNode{name: req.Origin, idleGen: -1}
+		h.dedup[req.Node] = make(map[uint64]*Frame)
+	}
+	return h.resp(StOK)
+}
+
+// handleCancel is the fetch-or-void protocol: after exhausting its
+// transport retry budget on an invocation-class RPC, the node asks what
+// became of the original request (Gen carries its id). If any delivery
+// executed, the cached response is replayed (Flag2 set); otherwise the
+// request id is voided — a marker response is cached under it so a
+// straggling delivery can never execute it later — and the node takes
+// the invocation-failure path.
+func (h *Hub) handleCancel(req *Frame, cache map[uint64]*Frame) *Frame {
+	orig := uint64(req.Gen)
+	if prior, ok := cache[orig]; ok && prior.Err != "voided" {
+		cp := *prior
+		cp.Flag2 = true
+		return &cp
+	}
+	void := h.resp(StError)
+	void.Err = "voided"
+	cache[orig] = void
+	out := h.resp(StOK)
+	out.Flag2 = false
+	return out
+}
+
+func (h *Hub) handleAdmit(req *Frame) *Frame {
+	id := process.ID(req.Proc)
+	if h.byID[id] != nil {
+		return h.errf("process %s already admitted", id)
+	}
+	def := h.defs[req.Origin]
+	if def == nil {
+		return h.errf("unknown origin %q", req.Origin)
+	}
+	if string(def.ID) != req.Proc {
+		def = def.WithID(id)
+	}
+	hp := &hubProc{
+		id: id, origin: process.ID(req.Origin), node: req.Node,
+		arrival: int(req.Local), def: def, inst: process.NewInstance(def),
+		running:  make(map[int]string),
+		inflight: make(map[int]hubTx),
+		prepared: make(map[int]hubTx),
+	}
+	h.order = append(h.order, id)
+	h.byID[id] = hp
+	h.pol.Bump()
+	out := h.resp(StOK)
+	out.Stamp = h.next() // for the node's RecStart record
+	return out
+}
+
+// handleDispatch policy-checks and prepares a frontier activity. On
+// success the node must force-log the prepared outcome at the returned
+// stamp BEFORE asking for CommitLocal: a crash after the subsystem
+// prepare but before that record is the orphan window recovery resolves
+// by presumed abort, and a committed effect without a log record would
+// be unrepairable.
+func (h *Hub) handleDispatch(req *Frame) *Frame {
+	hp := h.byID[process.ID(req.Proc)]
+	if hp == nil {
+		return h.errf("dispatch for unknown process %s", req.Proc)
+	}
+	if hp.phase == hubParked {
+		out := h.resp(StPark)
+		out.Victim = string(hp.id)
+		return out
+	}
+	if hp.phase != hubRunning {
+		return h.errf("dispatch for %s in phase %d", hp.id, hp.phase)
+	}
+	if hp.abortPending {
+		return h.resp(StVictim)
+	}
+	local := int(req.Local)
+	a := hp.def.Activity(local)
+	if a == nil {
+		return h.errf("dispatch for unknown activity %s/%d", hp.id, local)
+	}
+	if ok, _ := h.pol.MayDispatch(h.view(), hp.id, a); !ok {
+		return h.resp(StPolicyWait)
+	}
+	if h.parkedConflict(hp.id, a.Service) {
+		return h.resp(StPolicyWait)
+	}
+	res, err := h.fed.Invoke(string(hp.origin), a.Service, subsystem.Prepare)
+	switch {
+	case errors.Is(err, subsystem.ErrLocked):
+		return h.resp(StLockWait)
+	case subsystem.IsInvocationFailure(err):
+		return h.invocationFailed(hp, local, a.Service, a.Kind)
+	case err != nil:
+		return h.errf("invoke %s/%s: %v", hp.id, a.Service, err)
+	}
+	sub, _ := h.fed.Owner(a.Service)
+	hp.running[local] = a.Service
+	hp.inflight[local] = hubTx{sub: sub, tx: res.Tx, service: a.Service}
+	h.pol.Bump()
+	out := h.resp(StOK)
+	out.Tx = int64(res.Tx)
+	out.Subsystem = sub.Name()
+	out.Service = a.Service
+	out.Stamp = h.next() // for the node's "prepared" outcome record
+	return out
+}
+
+// invocationFailed mirrors the engine's failed-completion block: a
+// retriable activity re-invokes (the node logs the aborted outcome at
+// the stamp); anything else is a definitive failure (Definition 4).
+func (h *Hub) invocationFailed(hp *hubProc, local int, service string, kind activity.Kind) *Frame {
+	if kind.GuaranteedToCommit() {
+		out := h.resp(StFailedTransient)
+		out.Stamp = h.next() // for the node's "aborted" outcome record
+		return out
+	}
+	// Permanent failure: FailedInvoke event, then the instance's failure
+	// plan — ◁ alternative / forward recovery, or backward recovery.
+	// The node computes the identical plan from its own mirror instance;
+	// the response only carries stamps and which block ran.
+	stampFail := h.next() // for the node's RecFailed record
+	h.pol.AppendEvent(&policy.Event{
+		Seq: stampFail, Proc: hp.id, Local: local, Service: service, Kind: kind,
+		Typ: schedule.FailedInvoke,
+	})
+	plan, err := hp.inst.MarkFailed(local)
+	if err != nil {
+		return h.errf("mark failed %s/%d: %v", hp.id, local, err)
+	}
+	out := h.resp(StFailedPermanent)
+	out.Stamp = stampFail
+	if hp.abortPending {
+		// A pending abort supersedes the failure's local plan.
+		out.Flag2 = true
+		h.pol.Bump()
+		return out
+	}
+	if plan.Abort {
+		hp.phase = hubAborting
+		hp.recovery = plan.Steps
+		out.Flag = true
+		out.Stamp2 = h.next() // for the node's RecAbortBegin record
+		h.pol.AppendEvent(&policy.Event{Seq: out.Stamp2, Proc: hp.id, Typ: schedule.AbortBegin})
+		h.cascadeDependents(hp)
+	} else {
+		hp.recovery = plan.Steps
+	}
+	h.pol.Bump()
+	return out
+}
+
+// cascadeDependents mirrors the engine's cascading aborts (PREDCascade).
+// Victims may be owned by other nodes; they learn through StVictim on
+// their next dispatch-class RPC or an idle poll.
+func (h *Hub) cascadeDependents(hp *hubProc) {
+	for _, id := range h.pol.CascadeVictims(h.view(), hp.id, hp.recovery) {
+		q := h.byID[id]
+		if q == nil || q.phase != hubRunning || q.abortPending || q.decided {
+			continue
+		}
+		q.abortPending = true
+		h.queueVictim(q)
+	}
+}
+
+// queueVictim records a designation for delivery through the owner's
+// idle polls (dispatch-class RPCs deliver it redundantly).
+func (h *Hub) queueVictim(hp *hubProc) {
+	if n := h.nodes[hp.node]; n != nil && !n.dead {
+		n.victims = append(n.victims, hp.id)
+	}
+}
+
+// handleCommitLocal resolves a prepared frontier activity after the
+// node force-logged it: commit immediately when the activity is
+// compensatable or the process has no active conflicting predecessor,
+// else defer under Lemma 1 (the transaction stays prepared, its event
+// tentative).
+func (h *Hub) handleCommitLocal(req *Frame) *Frame {
+	hp := h.byID[process.ID(req.Proc)]
+	if hp == nil {
+		return h.errf("commit-local for unknown process %s", req.Proc)
+	}
+	local := int(req.Local)
+	ptx, ok := hp.inflight[local]
+	if !ok {
+		return h.errf("commit-local for %s/%d with no in-flight transaction", hp.id, local)
+	}
+	a := hp.def.Activity(local)
+	delete(hp.running, local)
+	delete(hp.inflight, local)
+	h.pol.Bump()
+	if a.Kind == activity.Compensatable || !h.pol.HasActiveConflictPred(h.view(), hp.id) {
+		if err := ptx.sub.CommitPrepared(ptx.tx); err != nil {
+			return h.errf("commit %s/%s: %v", hp.id, ptx.service, err)
+		}
+		stamp := h.next() // for the node's RecResolved(commit) record
+		if err := hp.inst.MarkCommitted(local); err != nil {
+			return h.errf("%v", err)
+		}
+		h.pol.AppendEvent(&policy.Event{
+			Seq: stamp, Proc: hp.id, Local: local, Service: ptx.service, Kind: a.Kind,
+			Typ: schedule.Invoke,
+		})
+		out := h.resp(StOK)
+		out.Stamp = stamp
+		out.Tx = int64(ptx.tx)
+		out.Subsystem = ptx.sub.Name()
+		out.Service = ptx.service
+		return out
+	}
+	if err := hp.inst.MarkPrepared(local); err != nil {
+		return h.errf("%v", err)
+	}
+	hp.prepared[local] = ptx
+	h.pol.AppendEvent(&policy.Event{
+		Seq: h.next(), Proc: hp.id, Local: local, Service: ptx.service, Kind: a.Kind,
+		Typ: schedule.Invoke, Tentative: true,
+	})
+	return h.resp(StDeferred)
+}
+
+// handleStepDispatch gates and prepares a recovery step (Lemmas 2 and 3
+// plus the forced-order and defer-to-aborting guards, exactly the
+// engine's dispatchRecoveryStep). Step invocation failures are always
+// transient: the node re-invokes, no record is written.
+func (h *Hub) handleStepDispatch(req *Frame) *Frame {
+	hp := h.byID[process.ID(req.Proc)]
+	if hp == nil {
+		return h.errf("step-dispatch for unknown process %s", req.Proc)
+	}
+	if hp.phase == hubParked {
+		// The park raced an in-flight (or next-round retried) dispatch
+		// from the owner: the process was parked between the node's last
+		// observation and this RPC. Granting here would execute a step
+		// the composed recovery also replans.
+		out := h.resp(StPark)
+		out.Victim = string(hp.id)
+		return out
+	}
+	if h.parkedConflict(hp.id, req.Service) {
+		return h.resp(StPolicyWait)
+	}
+	st := process.Step{Kind: process.StepKind(req.Extra), Local: int(req.Local), Service: req.Service}
+	var kind activity.Kind
+	switch st.Kind {
+	case process.StepCompensate:
+		if !h.pol.Lemma2Clear(h.view(), hp.id, st) {
+			return h.resp(StPolicyWait)
+		}
+		kind = activity.Compensation
+	case process.StepInvoke:
+		if !h.pol.Lemma3Clear(h.view(), hp.id, st) {
+			return h.resp(StPolicyWait)
+		}
+		if !h.pol.Lemma1ClearForward(h.view(), hp.id, st) {
+			return h.resp(StPolicyWait)
+		}
+		if !h.pol.StepForcedClear(h.view(), hp.id, st) {
+			return h.resp(StPolicyWait)
+		}
+		if _, deferred := h.pol.DeferToAborting(h.view(), hp.id, st); deferred {
+			return h.resp(StPolicyWait)
+		}
+		kind = hp.def.Activity(st.Local).Kind
+	default:
+		return h.errf("step-dispatch with kind %v", st.Kind)
+	}
+	res, err := h.fed.Invoke(string(hp.origin), st.Service, subsystem.Prepare)
+	switch {
+	case errors.Is(err, subsystem.ErrLocked):
+		return h.resp(StLockWait)
+	case subsystem.IsInvocationFailure(err):
+		return h.resp(StFailedTransient)
+	case err != nil:
+		return h.errf("invoke step %s/%s: %v", hp.id, st.Service, err)
+	}
+	sub, _ := h.fed.Owner(st.Service)
+	hp.recoveryBusy = true
+	hp.recoveryBusySvc = st.Service
+	hp.stepTx = hubTx{sub: sub, tx: res.Tx, service: st.Service}
+	h.pol.Bump()
+	out := h.resp(StOK)
+	out.Tx = int64(res.Tx)
+	out.Subsystem = sub.Name()
+	out.Kind = uint8(kind)
+	out.Stamp = h.next() // for the node's RecCompensate / committed-outcome record
+	return out
+}
+
+// handleStepCommit commits the prepared step transaction after the node
+// force-logged it (the log-then-commit order whose crash window lands
+// on recovery's redo rule).
+func (h *Hub) handleStepCommit(req *Frame) *Frame {
+	hp := h.byID[process.ID(req.Proc)]
+	if hp == nil {
+		return h.errf("step-commit for unknown process %s", req.Proc)
+	}
+	if !hp.recoveryBusy {
+		return h.errf("step-commit for %s with no step in flight", hp.id)
+	}
+	st := process.Step{Kind: process.StepKind(req.Extra), Local: int(req.Local), Service: req.Service}
+	ptx := hp.stepTx
+	hp.recoveryBusy = false
+	hp.recoveryBusySvc = ""
+	hp.stepTx = hubTx{}
+	h.pol.Bump()
+	if err := ptx.sub.CommitPrepared(ptx.tx); err != nil {
+		return h.errf("commit step %s/%s: %v", hp.id, st.Service, err)
+	}
+	if len(hp.recovery) > 0 && hp.recovery[0] == st {
+		hp.recovery = hp.recovery[1:]
+	}
+	switch st.Kind {
+	case process.StepCompensate:
+		h.pol.MarkCompensated(hp.id, st.Local)
+		h.pol.AppendEvent(&policy.Event{
+			Seq: h.next(), Proc: hp.id, Local: st.Local, Service: st.Service,
+			Kind: activity.Compensation, Typ: schedule.Invoke, Inverse: true,
+		})
+	case process.StepInvoke:
+		h.pol.AppendEvent(&policy.Event{
+			Seq: h.next(), Proc: hp.id, Local: st.Local, Service: st.Service,
+			Kind: activity.Kind(req.Kind), Typ: schedule.Invoke,
+		})
+	}
+	if err := hp.inst.ApplyStep(st); err != nil {
+		return h.errf("%v", err)
+	}
+	return h.resp(StOK)
+}
+
+// handleAbortTx rolls back one prepared transaction: the
+// StepAbortPrepared resolution of an abandoned branch (Flag set — the
+// mirror step is applied) or an abort-completion leftover. The node
+// logs the abort resolution at the stamp when Flag is set in the
+// response.
+func (h *Hub) handleAbortTx(req *Frame) *Frame {
+	hp := h.byID[process.ID(req.Proc)]
+	if hp == nil {
+		return h.errf("abort-tx for unknown process %s", req.Proc)
+	}
+	local := int(req.Local)
+	st := process.Step{Kind: process.StepAbortPrepared, Local: local, Service: req.Service}
+	if req.Flag && len(hp.recovery) > 0 && hp.recovery[0].Kind == process.StepAbortPrepared && hp.recovery[0].Local == local {
+		hp.recovery = hp.recovery[1:]
+	}
+	out := h.resp(StOK)
+	if ptx, ok := hp.prepared[local]; ok {
+		if err := ptx.sub.AbortPrepared(ptx.tx); err == nil {
+			out.Flag = true
+			out.Tx = int64(ptx.tx)
+			out.Subsystem = ptx.sub.Name()
+			out.Service = ptx.service
+			out.Stamp = h.next() // for the node's RecResolved(abort) record
+		}
+		delete(hp.prepared, local)
+	}
+	h.pol.EraseTentative(hp.id, local)
+	if req.Flag {
+		_ = hp.inst.ApplyStep(st)
+	}
+	h.pol.Bump()
+	return out
+}
+
+// handleAbortBegin starts backward recovery: both mirrors compute the
+// identical completion C(P_i) from their instances.
+func (h *Hub) handleAbortBegin(req *Frame) *Frame {
+	hp := h.byID[process.ID(req.Proc)]
+	if hp == nil {
+		return h.errf("abort-begin for unknown process %s", req.Proc)
+	}
+	steps, err := hp.inst.Abort()
+	if err != nil {
+		return h.errf("abort %s: %v", hp.id, err)
+	}
+	hp.abortPending = false
+	hp.phase = hubAborting
+	hp.recovery = steps
+	out := h.resp(StOK)
+	out.Stamp = h.next() // for the node's RecAbortBegin record
+	h.pol.AppendEvent(&policy.Event{Seq: out.Stamp, Proc: hp.id, Typ: schedule.AbortBegin})
+	h.cascadeDependents(hp)
+	h.pol.Bump()
+	return out
+}
+
+// handleCommitClear is the Lemma-1 gate for the 2PC commit of a
+// process's prepared set. Granting is stable: active conflicting
+// predecessor sets only shrink (new events of other processes order
+// after ours; tentative events only finalize to later positions or
+// erase), so a granted decision cannot be invalidated — the grant marks
+// the process decided, excluding it from victim designation, and the
+// node force-logs RecDecision at the stamp before resolving.
+func (h *Hub) handleCommitClear(req *Frame) *Frame {
+	hp := h.byID[process.ID(req.Proc)]
+	if hp == nil {
+		return h.errf("commit-clear for unknown process %s", req.Proc)
+	}
+	if hp.abortPending {
+		return h.resp(StVictim)
+	}
+	// The Lemma-1 gate only guards a deferred prepared set — a process
+	// with nothing prepared terminates unconditionally, exactly like the
+	// engine's tryFinish (otherwise a zombie predecessor could block a
+	// fully committed process forever).
+	if len(hp.prepared) == 0 {
+		return h.resp(StOK)
+	}
+	if h.pol.HasActiveConflictPred(h.view(), hp.id) {
+		return h.resp(StNotClear)
+	}
+	out := h.resp(StOK)
+	if hp.inst.Done() {
+		hp.decided = true
+	}
+	out.Flag = true
+	out.Stamp = h.next() // for the node's RecDecision record
+	return out
+}
+
+// handleResolve commits one prepared 2PC participant; the tentative
+// event finalizes at the resolve stamp (its locks were held throughout,
+// so the move is conflict-safe — same argument as FinalizeTentative in
+// the engine).
+func (h *Hub) handleResolve(req *Frame) *Frame {
+	hp := h.byID[process.ID(req.Proc)]
+	if hp == nil {
+		return h.errf("resolve for unknown process %s", req.Proc)
+	}
+	local := int(req.Local)
+	ptx, ok := hp.prepared[local]
+	if !ok {
+		return h.errf("resolve for %s/%d with no prepared transaction", hp.id, local)
+	}
+	if err := ptx.sub.CommitPrepared(ptx.tx); err != nil {
+		return h.errf("resolve %s/%s: %v", hp.id, ptx.service, err)
+	}
+	stamp := h.next() // for the node's RecResolved(commit) record
+	if err := hp.inst.MarkCommitted(local); err != nil {
+		return h.errf("%v", err)
+	}
+	h.pol.FinalizeTentative(hp.id, local, stamp)
+	delete(hp.prepared, local)
+	h.pol.Bump()
+	out := h.resp(StOK)
+	out.Stamp = stamp
+	out.Tx = int64(ptx.tx)
+	out.Subsystem = ptx.sub.Name()
+	out.Service = ptx.service
+	return out
+}
+
+// handleTerminate emits the terminal transition. The engine's
+// commitDeferredIfPossible has no hub-side equivalent — blocked nodes
+// poll CommitClear and observe the unblocking themselves.
+func (h *Hub) handleTerminate(req *Frame) *Frame {
+	hp := h.byID[process.ID(req.Proc)]
+	if hp == nil {
+		return h.errf("terminate for unknown process %s", req.Proc)
+	}
+	if hp.phase == hubParked {
+		// A quiescence sweep on another node's idle poll parked this
+		// process while its terminate was in flight. Parked processes
+		// must not log a terminate record — recovery finishes them.
+		out := h.resp(StPark)
+		out.Victim = string(hp.id)
+		return out
+	}
+	hp.phase = hubDone
+	out := h.resp(StOK)
+	out.Stamp = h.next() // for the node's RecTerminate record
+	h.pol.AppendEvent(&policy.Event{Seq: out.Stamp, Proc: hp.id, Typ: schedule.Terminate, Committed: req.Flag})
+	hp.inst.MarkTerminated(req.Flag)
+	h.pol.Bump()
+	return out
+}
+
+// handleFailed is the node-reported invocation failure: the transport
+// voided a dispatch after retry exhaustion (Cancel certified it never
+// ran), which the engine treats as an invocation failure the resilience
+// layer could not mask.
+func (h *Hub) handleFailed(req *Frame) *Frame {
+	hp := h.byID[process.ID(req.Proc)]
+	if hp == nil {
+		return h.errf("failed-report for unknown process %s", req.Proc)
+	}
+	a := hp.def.Activity(int(req.Local))
+	if a == nil {
+		return h.errf("failed-report for unknown activity %s/%d", hp.id, req.Local)
+	}
+	return h.invocationFailed(hp, int(req.Local), a.Service, a.Kind)
+}
+
+// handleIdle is cluster-wide stall detection. A node reports the
+// progress generation (Gen) of its latest response when a full driver
+// round made no progress; Flag marks the node as finished (all owned
+// work terminal). When every live node is idle at the current
+// generation, the hub designates a victim exactly like the engine's
+// resolveStall — the abort breaks the cross-node wait cycle.
+func (h *Hub) handleIdle(req *Frame) *Frame {
+	n := h.nodes[req.Node]
+	if n == nil {
+		return h.errf("idle from unknown node %d", req.Node)
+	}
+	// Deliver a queued victim or park designation first.
+	for len(n.victims) > 0 {
+		id := n.victims[0]
+		n.victims = n.victims[1:]
+		if hp := h.byID[id]; hp != nil && hp.abortPending && hp.phase == hubRunning {
+			out := h.resp(StVictim)
+			out.Victim = string(id)
+			return out
+		}
+	}
+	if len(n.parks) > 0 {
+		id := n.parks[0]
+		n.parks = n.parks[1:]
+		out := h.resp(StPark)
+		out.Victim = string(id)
+		return out
+	}
+	if req.Flag {
+		n.done = true
+		return h.resp(StOK)
+	}
+	if req.Gen < h.stamp {
+		return h.resp(StOK) // stale: progress happened since, re-poll
+	}
+	n.idleGen = req.Gen
+	for _, other := range h.nodes {
+		if other.dead || other.done {
+			continue
+		}
+		if other.idleGen != h.stamp {
+			return h.resp(StOK)
+		}
+	}
+	// Cluster-wide quiescence: designate a victim.
+	h.stalls++
+	if h.stalls > h.cfg.MaxStalls {
+		return h.errf("stalled with active processes and no progress (%d designations)", h.stalls)
+	}
+	victim := h.designateVictim()
+	if victim == nil {
+		return h.parkBlocked(req)
+	}
+	victim.abortPending = true
+	h.reg.Inc(metrics.FedVictims)
+	h.next() // progress bump: every idle mark is now stale
+	if victim.node == req.Node {
+		out := h.resp(StVictim)
+		out.Victim = string(victim.id)
+		return out
+	}
+	h.queueVictim(victim)
+	return h.resp(StOK)
+}
+
+// parkBlocked handles quiescence with no designatable victim. With a
+// dead node in the cluster this is the zombie-blocked case: surviving
+// aborting processes whose next recovery step the Lemma-2/Lemma-3
+// gates hold behind a zombie's uncompensated events — events only the
+// post-run composed recovery will compensate. Parking hands exactly
+// that contract to the node: stop driving the process, log no
+// terminate record, and let recovery finish its group abort in correct
+// global reverse order (it rebuilds the instance from the stitched
+// WALs and re-plans the remaining steps). The parked process's
+// subsystem residue is settled like a dead node's undecided work —
+// aborted, which is what recovery will presume from its unresolved log
+// records — and its policy events stay active so conflicting survivors
+// still cannot commit past work that recovery will compensate.
+// Without a dead node a nil victim means the stall logic itself is
+// broken, which stays a hard error.
+func (h *Hub) parkBlocked(req *Frame) *Frame {
+	anyDead := false
+	for _, n := range h.nodes {
+		if n.dead {
+			anyDead = true
+			break
+		}
+	}
+	if !anyDead {
+		return h.errf("unresolvable stall")
+	}
+	var own *hubProc
+	parked := 0
+	for _, id := range h.order {
+		hp := h.byID[id]
+		n := h.nodes[hp.node]
+		if n == nil || n.dead || hp.phase != hubAborting ||
+			len(hp.running) > 0 || hp.recoveryBusy {
+			continue
+		}
+		for local, ptx := range hp.prepared {
+			_ = ptx.sub.AbortPrepared(ptx.tx)
+			delete(hp.prepared, local)
+		}
+		hp.phase = hubParked
+		parked++
+		if hp.node == req.Node && own == nil {
+			own = hp
+		} else {
+			n.parks = append(n.parks, hp.id)
+		}
+	}
+	if parked == 0 {
+		return h.errf("unresolvable stall\n%s", h.dumpLocked())
+	}
+	h.pol.Bump()
+	h.next() // progress bump: every idle mark is now stale
+	if own != nil {
+		out := h.resp(StPark)
+		out.Victim = string(own.id)
+		return out
+	}
+	return h.resp(StOK)
+}
+
+// parkedConflict reports whether a service conflicts with any parked
+// process's remaining forward/compensation steps. Those steps execute
+// only during post-run composed recovery — after every live event in
+// the stitched log — so conflicting live work admitted now would be
+// ordered before them, inverting the serialization order the forced
+// gates promised while the process was still live. Blocked survivors
+// quiesce and feed the victim/park cascade until recovery owns all the
+// remaining conflicting work. StepAbortPrepared entries are skipped:
+// parkBlocked already rolled the prepared transactions back.
+func (h *Hub) parkedConflict(id process.ID, svc string) bool {
+	for _, qid := range h.order {
+		q := h.byID[qid]
+		if q.phase != hubParked || q.id == id {
+			continue
+		}
+		for _, st := range q.recovery {
+			if st.Kind == process.StepAbortPrepared {
+				continue
+			}
+			if h.table.Conflicts(st.Service, svc) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// designateVictim mirrors the engine's resolveStall over live-owned
+// processes: the youngest-arrival running process with no in-flight
+// work, falling back to a finished process blocked on its deferred 2PC
+// commit. Dead nodes' processes are zombies — they stay policy-active
+// (their uncommitted work must block conflicting survivors until
+// recovery compensates it) but are never designated.
+func (h *Hub) designateVictim() *hubProc {
+	live := func(hp *hubProc) bool {
+		n := h.nodes[hp.node]
+		return n != nil && !n.dead
+	}
+	var victim *hubProc
+	for _, id := range h.order {
+		hp := h.byID[id]
+		if !live(hp) || hp.phase != hubRunning || len(hp.running) > 0 ||
+			hp.recoveryBusy || hp.abortPending || hp.decided || hp.inst.Done() {
+			continue
+		}
+		if victim == nil || hp.arrival > victim.arrival {
+			victim = hp
+		}
+	}
+	if victim != nil {
+		return victim
+	}
+	for _, id := range h.order {
+		hp := h.byID[id]
+		if !live(hp) || hp.phase != hubRunning || len(hp.running) > 0 ||
+			hp.recoveryBusy || hp.abortPending || hp.decided {
+			continue
+		}
+		if hp.inst.Done() && len(hp.prepared) > 0 && h.pol.HasActiveConflictPred(h.view(), hp.id) {
+			if victim == nil || hp.arrival > victim.arrival {
+				victim = hp
+			}
+		}
+	}
+	return victim
+}
+
+// NodeDown declares a scheduler node dead. Its processes become
+// zombies: they keep their policy events (conflicting survivors must
+// not commit past work that recovery will compensate) and are excluded
+// from stall accounting and victim designation. Their subsystem
+// transactions are settled the way recovery will see them, releasing
+// locks so surviving compensations cannot deadlock on a corpse:
+//
+//   - decided processes (RecDecision granted): prepared participants
+//     COMMIT — recovery presumes commit after a logged decision, and if
+//     the record never made it the presumed abort reconciles through
+//     the subsystem's journaled fate (TxFate wins);
+//   - everything else (in-flight prepares, Lemma-1 deferred sets):
+//     ABORT — the node's log shows at most an unresolved prepare, which
+//     recovery presumes aborted; again TxFate reconciles.
+//
+// In-flight recovery-step transactions are left alone: the node may
+// have force-logged the step outcome, which recovery must redo-COMMIT,
+// and the hub cannot know — the defined federation crash points never
+// fall in that window.
+func (h *Hub) NodeDown(node uint32) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.nodes[node]
+	if n == nil || n.dead {
+		return
+	}
+	n.dead = true
+	h.reg.Inc(metrics.FedNodeDeaths)
+	for _, id := range h.order {
+		hp := h.byID[id]
+		if hp.node != node || hp.phase == hubDone || hp.phase == hubParked {
+			continue // parked residue was already settled by parkBlocked
+		}
+		if hp.decided {
+			for local, ptx := range hp.prepared {
+				if err := ptx.sub.CommitPrepared(ptx.tx); err == nil {
+					_ = hp.inst.MarkCommitted(local)
+				}
+			}
+			continue
+		}
+		for local, ptx := range hp.inflight {
+			_ = ptx.sub.AbortPrepared(ptx.tx)
+			delete(hp.inflight, local)
+			delete(hp.running, local)
+		}
+		for _, ptx := range hp.prepared {
+			_ = ptx.sub.AbortPrepared(ptx.tx)
+		}
+	}
+	h.pol.Bump()
+}
+
+// Stalls reports how many victim designations the hub performed.
+func (h *Hub) Stalls() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stalls
+}
+
+// Stamp reports the current global stamp (for diagnostics).
+func (h *Hub) Stamp() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stamp
+}
+
+// DumpState renders hub state for stall diagnostics.
+func (h *Hub) DumpState() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dumpLocked()
+}
+
+func (h *Hub) dumpLocked() string {
+	s := fmt.Sprintf("stamp=%d stalls=%d\n", h.stamp, h.stalls)
+	ids := make([]string, 0, len(h.byID))
+	for id := range h.byID {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		hp := h.byID[process.ID(id)]
+		if hp.phase == hubDone {
+			continue
+		}
+		s += fmt.Sprintf("  %s node=%d phase=%d done=%v running=%d recovery=%d busy=%v abortPending=%v prepared=%d decided=%v\n",
+			hp.id, hp.node, hp.phase, hp.inst.Done(), len(hp.running), len(hp.recovery),
+			hp.recoveryBusy, hp.abortPending, len(hp.prepared), hp.decided)
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package federation
+
+import (
+	"net"
+	"sync"
+)
+
+// Server exposes a hub over localhost TCP: one length-prefixed frame
+// in, one frame out, per connection, sequentially — the TCP stream
+// gives per-connection FIFO, the hub's mutex gives the global serial
+// order.
+type Server struct {
+	hub *Hub
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server for the hub on an ephemeral localhost port.
+func Serve(hub *Hub) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{hub: hub, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address for clients.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		req, err := ReadFrame(conn)
+		if err != nil {
+			return // malformed frame or closed peer: drop the connection
+		}
+		resp := s.hub.Handle(req)
+		resp.Req = req.Req
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, severs every connection and waits for the
+// connection handlers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,172 @@
+package federation
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// allMsgTypes enumerates every defined message type.
+func allMsgTypes() []MsgType {
+	var ts []MsgType
+	for t := MsgHello; t <= msgTypeMax; t++ {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// allStatuses enumerates every defined status plus the zero value
+// (request frames carry status 0).
+func allStatuses() []Status {
+	ss := []Status{0}
+	for s := StOK; s <= statusMax; s++ {
+		ss = append(ss, s)
+	}
+	return ss
+}
+
+func randString(rng *rand.Rand, max int) string {
+	n := rng.Intn(max + 1)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(byte(rng.Intn(256)))
+	}
+	return b.String()
+}
+
+func randFrame(rng *rand.Rand) *Frame {
+	types := allMsgTypes()
+	statuses := allStatuses()
+	extremes := []int64{0, 1, -1, math.MaxInt64, math.MinInt64, math.MaxInt32, math.MinInt32}
+	i64 := func() int64 {
+		if rng.Intn(3) == 0 {
+			return extremes[rng.Intn(len(extremes))]
+		}
+		return rng.Int63() - rng.Int63()
+	}
+	return &Frame{
+		Type:   types[rng.Intn(len(types))],
+		Status: statuses[rng.Intn(len(statuses))],
+		Kind:   uint8(rng.Intn(256)),
+		Flag:   rng.Intn(2) == 0,
+		Flag2:  rng.Intn(2) == 0,
+		Node:   rng.Uint32(),
+		Req:    rng.Uint64(),
+		Local:  int32(rng.Uint32()),
+		Extra:  int32(rng.Uint32()),
+		Tx:     i64(), Stamp: i64(), Stamp2: i64(), Gen: i64(),
+		Proc: randString(rng, 64), Origin: randString(rng, 64),
+		Service: randString(rng, 64), Subsystem: randString(rng, 64),
+		Victim: randString(rng, 64), Err: randString(rng, 128),
+	}
+}
+
+// TestWireRoundTrip is the codec property test: for every message
+// type — including the zero-value frame of the type and a frame with
+// every string at MaxString and extreme integer values — and for a
+// large randomized sample, encode→decode must reproduce the frame
+// exactly, both at the payload layer and through the length-prefixed
+// stream layer.
+func TestWireRoundTrip(t *testing.T) {
+	check := func(t *testing.T, f *Frame) {
+		t.Helper()
+		got, err := DecodePayload(EncodePayload(f))
+		if err != nil {
+			t.Fatalf("decode of encoded frame %+v: %v", f, err)
+		}
+		if !reflect.DeepEqual(f, got) {
+			t.Fatalf("payload round-trip mismatch:\nin:  %+v\nout: %+v", f, got)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err = ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read of written frame: %v", err)
+		}
+		if !reflect.DeepEqual(f, got) {
+			t.Fatalf("stream round-trip mismatch:\nin:  %+v\nout: %+v", f, got)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("ReadFrame left %d bytes unread", buf.Len())
+		}
+	}
+
+	maxStr := strings.Repeat("x", MaxString)
+	for _, typ := range allMsgTypes() {
+		typ := typ
+		t.Run(typ.String(), func(t *testing.T) {
+			// Zero value of the type.
+			check(t, &Frame{Type: typ})
+			// Every status.
+			for _, st := range allStatuses() {
+				check(t, &Frame{Type: typ, Status: st})
+			}
+			// Max-size strings and extreme integers.
+			check(t, &Frame{
+				Type: typ, Status: statusMax, Kind: 255, Flag: true, Flag2: true,
+				Node: math.MaxUint32, Req: math.MaxUint64,
+				Local: math.MinInt32, Extra: math.MaxInt32,
+				Tx: math.MinInt64, Stamp: math.MaxInt64, Stamp2: -1, Gen: math.MinInt64,
+				Proc: maxStr, Origin: maxStr, Service: maxStr,
+				Subsystem: maxStr, Victim: maxStr, Err: maxStr,
+			})
+		})
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		check(t, randFrame(rng))
+	}
+}
+
+// TestWireRejectsMalformed pins the decoder's error contract on the
+// malformed classes the fuzz target explores.
+func TestWireRejectsMalformed(t *testing.T) {
+	valid := EncodePayload(&Frame{Type: MsgDispatch, Proc: "W1", Service: "svc"})
+
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short-header", valid[:fixedHeader-1], ErrTruncated},
+		{"bad-type-zero", append([]byte{0}, valid[1:]...), ErrBadType},
+		{"bad-type-high", append([]byte{255}, valid[1:]...), ErrBadType},
+		{"bad-status", append([]byte{valid[0], 255}, valid[2:]...), ErrBadStatus},
+		{"truncated-string", valid[:len(valid)-1], ErrTruncated},
+		{"trailing", append(append([]byte{}, valid...), 0), ErrTrailing},
+		{"oversize", make([]byte, MaxFrame+1), ErrFrameTooLarge},
+	}
+	for _, tc := range cases {
+		if _, err := DecodePayload(tc.b); err != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Flag bits beyond the defined two are rejected.
+	bad := append([]byte{}, valid...)
+	bad[3] = 4
+	if _, err := DecodePayload(bad); err == nil {
+		t.Error("invalid flag bits accepted")
+	}
+
+	// A string length claiming more than MaxString is rejected even
+	// when the payload is big enough to hold it.
+	long := &Frame{Type: MsgHello}
+	enc := EncodePayload(long)
+	enc[fixedHeader] = 0xFF // Proc length low byte
+	enc[fixedHeader+1] = 0xFF
+	if _, err := DecodePayload(append(enc, make([]byte, 70000)...)); err != ErrFrameTooLarge {
+		// Oversize total wins first; shrink to stay under MaxFrame.
+		padded := append(enc, make([]byte, MaxFrame-len(enc)-10)...)
+		if _, err := DecodePayload(padded); err != ErrBadString {
+			t.Errorf("oversize string length: got %v, want %v", err, ErrBadString)
+		}
+	}
+}

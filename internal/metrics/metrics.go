@@ -118,6 +118,18 @@ const (
 	StoreRedoItems
 	StoreUndoItems
 
+	// Federation (internal/federation): hub RPCs served, duplicate
+	// requests absorbed by the hub's dedup table, wire-level faults
+	// injected by the transport plan, stall victims designated by the
+	// hub, and scheduler-node deaths observed.
+	FedRPCs
+	FedDedupReplays
+	FedWireDrops
+	FedWireDuplicates
+	FedRPCRetries
+	FedVictims
+	FedNodeDeaths
+
 	numCounters
 )
 
@@ -181,6 +193,13 @@ var counterNames = [numCounters]string{
 	StoreTornRepaired:      "store.torn_repaired",
 	StoreRedoItems:         "recovery.store_redo_items",
 	StoreUndoItems:         "recovery.store_undo_items",
+	FedRPCs:                "fed.rpcs",
+	FedDedupReplays:        "fed.dedup_replays",
+	FedWireDrops:           "fed.wire_drops",
+	FedWireDuplicates:      "fed.wire_duplicates",
+	FedRPCRetries:          "fed.rpc_retries",
+	FedVictims:             "fed.victims",
+	FedNodeDeaths:          "fed.node_deaths",
 }
 
 // String returns the dotted counter name.

@@ -98,6 +98,13 @@ type Record struct {
 	Commit bool `json:"commit,omitempty"`
 	// Checkpoint is the payload of a RecCheckpoint record.
 	Checkpoint *Checkpoint `json:"ckpt,omitempty"`
+	// Stamp is the hub-issued global sequence number of a federation
+	// record. Scheduler nodes log into per-node WALs; the stitcher
+	// merges them into one global history by sorting on Stamp (every
+	// state transition obtains its stamp inside the hub's serial
+	// section, so stamps totally order the cross-node history).
+	// Zero for single-node logs and for records appended by recovery.
+	Stamp int64 `json:"stamp,omitempty"`
 }
 
 // Backend is the minimal append-only store a write-ahead log is built

@@ -12,6 +12,7 @@ PKGS=(
   ./internal/twopc
   ./internal/runtime
   ./internal/store
+  ./internal/federation
 )
 
 fail=0
