@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race diff torture chaos fed coverage-floor bench bench-recovery bench-fed fuzz-smoke ci
+.PHONY: build test test-short race diff torture chaos fed serve coverage-floor bench bench-recovery bench-fed bench-serve fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,15 @@ fed:
 	GOMAXPROCS=4 $(GO) test -race -run 'TestFedDifferential' -v ./internal/federation
 	GOMAXPROCS=4 $(GO) test -race -v ./internal/federation -run TestFedTortureBattery -fed.count=200
 
+# The serve crash battery: 200 deterministic ingestion-service
+# scenarios (crash between WAL ack and HTTP ack, kill -9 mid-drain,
+# double crashes, overload shedding, budget exhaustion) against the
+# real HTTP server, under the race detector. Reproduce one failure
+# with `tpsim serve -torture -seed=N`.
+serve:
+	GOMAXPROCS=4 $(GO) test -race -v ./internal/serve
+	$(GO) run -race ./cmd/tpsim serve -torture -seeds 200
+
 # Coverage floor for the recovery-critical packages.
 coverage-floor:
 	scripts/coverage-floor.sh 75
@@ -72,6 +81,11 @@ bench-fed:
 	$(GO) run ./cmd/tpsim fed -bench -json > BENCH_fed.json
 	@cat BENCH_fed.json
 
+# Regenerate the committed ingestion-service saturation sweep.
+bench-serve:
+	$(GO) run ./cmd/tpsim serve -bench -json > BENCH_serve.json
+	@cat BENCH_serve.json
+
 # Short native-fuzzing smoke (CI runs 30s per target).
 fuzz-smoke:
 	$(GO) test -fuzz FuzzProcessValidate -fuzztime 30s ./internal/process
@@ -82,4 +96,4 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzFreeSpaceMap -fuzztime 30s -run '^$$' ./internal/store
 	$(GO) test -fuzz FuzzWireDecode -fuzztime 30s -run '^$$' ./internal/federation
 
-ci: build test race diff torture chaos fed coverage-floor
+ci: build test race diff torture chaos fed serve coverage-floor

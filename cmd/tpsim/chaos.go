@@ -42,7 +42,9 @@ func runChaos(args []string) error {
 		return nil
 	}
 
-	sum := chaos.RunChaos(*first, *seeds)
+	progress, stop := seedTrap("tpsim chaos -seed=")
+	sum := chaos.RunChaosProgress(*first, *seeds, progress)
+	stop()
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -144,7 +144,9 @@ func runFedTortureCmd(first, seeds, one int64, asJSON bool) error {
 		fmt.Printf("scenario passed (alternatives fired: %v)\n", alt)
 		return nil
 	}
-	sum := federation.RunFedTorture(first, seeds)
+	progress, stop := seedTrap("tpsim fed -torture -fedseed=")
+	sum := federation.RunFedTortureProgress(first, seeds, progress)
+	stop()
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -10,6 +10,7 @@
 //	tpsim torture [-seeds N] [-first S] [-seed K] [-ckpt N] [-compact] [-json]
 //	tpsim chaos [-seeds N] [-first S] [-seed K] [-json]
 //	tpsim fed [-nodes N] [-procs P] [-seed S] [-mode M] [-torture|-bench] [-json]
+//	tpsim serve [-addr A] [-dir D] [-world spec.json] [-fed N] [-torture|-bench] [-json]
 //	tpsim benchrec [-quick]
 //
 // where experiment is one of e1..e14, b1, b2, b4, b5, or "all" (default),
@@ -31,6 +32,15 @@
 // TCP (internal/federation) and verifies the stitched cross-node
 // schedule; -torture runs the federation-torture battery and -bench
 // the node-count throughput sweep behind BENCH_fed.json.
+// "serve" runs the long-running ingestion service (internal/serve):
+// an HTTP API that admits declarative processes into the concurrent
+// runtime (or a federation cluster with -fed) with admission control,
+// per-tenant budgets, graceful drain on SIGTERM and crash-safe restart
+// over its data directory; -torture runs the serve crash battery and
+// -bench the saturation load harness behind BENCH_serve.json. The
+// battery subcommands (torture, chaos, fed -torture, serve -torture)
+// all trap SIGINT/SIGTERM and print the seed that reproduces the
+// scenario that was in flight.
 //
 // -metrics attaches an observability registry to the run and dumps its
 // snapshot (counters, histograms, per-service latencies, WAL totals and
@@ -114,6 +124,13 @@ func main() {
 	if len(args) >= 1 && args[0] == "fed" {
 		if err := runFed(args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "fed failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) >= 1 && args[0] == "serve" {
+		if err := runServe(args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "serve failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

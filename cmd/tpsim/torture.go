@@ -59,7 +59,10 @@ func runTorture(args []string) error {
 		return nil
 	}
 
+	progress, stop := seedTrap("tpsim torture -seed=")
+	opts.Progress = progress
 	sum := fault.RunTortureOpts(*first, *seeds, dir, opts)
+	stop()
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -374,9 +374,19 @@ type Summary struct {
 // RunChaos runs the scenarios of seeds [first, first+n) and collects a
 // summary; every failure message embeds the reproducing seed.
 func RunChaos(first, n int64) Summary {
+	return RunChaosProgress(first, n, nil)
+}
+
+// RunChaosProgress is RunChaos with a per-seed progress hook, called
+// before each scenario runs; the CLI uses it to report the in-flight
+// reproducing seed when the battery is interrupted.
+func RunChaosProgress(first, n int64, progress func(seed int64, class string)) Summary {
 	sum := Summary{ByClass: make(map[string]int)}
 	for seed := first; seed < first+n; seed++ {
 		sc := ScenarioFor(seed)
+		if progress != nil {
+			progress(seed, sc.Class)
+		}
 		sum.Scenarios++
 		sum.ByClass[sc.Class]++
 		if err := RunScenario(sc); err != nil {

@@ -5,6 +5,7 @@ import (
 	"reflect"
 
 	"transproc/internal/activity"
+	"transproc/internal/conflict"
 	"transproc/internal/process"
 	"transproc/internal/schedule"
 	"transproc/internal/scheduler"
@@ -36,6 +37,28 @@ type CheckInput struct {
 	// impossible and skipped (the checkpointed path is still fully
 	// checked).
 	Compacted bool
+	// PriorCrashLSNs are the boundary LSNs of EARLIER crash/recovery
+	// epochs the log carries (a server that crashed, recovered, re-ran
+	// and crashed again). The schedule reconstruction needs them to
+	// synthesize crash aborts for the earlier epochs' interrupted
+	// processes too — the positional PreCrashRecords boundary only
+	// describes the final crash. Empty for a single-crash log.
+	PriorCrashLSNs []int64
+}
+
+// reconstruct builds the observed schedule from a record list with the
+// final crash at positional boundary, folding in any earlier epochs'
+// crash boundaries (PriorCrashLSNs). The positional boundary is mapped
+// to its LSN so a single epoch-aware reconstruction covers both.
+func (in CheckInput) reconstruct(table *conflict.Table, recs []wal.Record, boundary int) (*schedule.Schedule, error) {
+	if len(in.PriorCrashLSNs) == 0 {
+		return ScheduleFromWAL(table, in.Defs, recs, boundary)
+	}
+	lsns := append([]int64(nil), in.PriorCrashLSNs...)
+	if boundary > 0 && boundary <= len(recs) {
+		lsns = append(lsns, recs[boundary-1].LSN)
+	}
+	return ScheduleFromWALEpochs(table, in.Defs, recs, lsns)
 }
 
 // CheckRecovered asserts the paper's recovery guarantees over the
@@ -91,7 +114,7 @@ func CheckRecovered(in CheckInput) error {
 	if err != nil {
 		return fmt.Errorf("conflict table: %w", err)
 	}
-	sched, err := ScheduleFromWAL(table, in.Defs, recs, in.PreCrashRecords)
+	sched, err := in.reconstruct(table, recs, in.PreCrashRecords)
 	if err != nil {
 		return fmt.Errorf("reconstructing schedule: %w", err)
 	}
@@ -260,7 +283,7 @@ func checkFullReplayEquivalence(in CheckInput, raw []wal.Record, expImages map[s
 	if err != nil {
 		return fmt.Errorf("conflict table: %w", err)
 	}
-	fullSched, err := ScheduleFromWAL(table, in.Defs, full, in.PreCrashFull)
+	fullSched, err := in.reconstruct(table, full, in.PreCrashFull)
 	if err != nil {
 		return fmt.Errorf("reconstructing full schedule: %w", err)
 	}

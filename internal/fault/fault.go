@@ -67,6 +67,17 @@ const (
 	PointStorePageFsync = store.PointPageFsync
 	PointStoreEvict     = store.PointEvict
 	PointStoreAlloc     = store.PointAlloc
+	// Serve crash points (fired by the ingestion server, internal/serve):
+	// after a submission was journaled but before it is enqueued for
+	// execution (kill mid-request), after the batch runner picked the
+	// submission up but before the HTTP acknowledgement window closes
+	// (kill mid-ack — the client never learns whether the submission
+	// landed, so dedupe by idempotency key must make the retry safe),
+	// and inside the drain sequence after admission stopped but before
+	// the final checkpoint (kill mid-drain).
+	PointServeAdmit = "serve:admit"
+	PointServeAck   = "serve:ack"
+	PointServeDrain = "serve:drain"
 )
 
 // Crash is the sentinel an armed fault panics with. The engines

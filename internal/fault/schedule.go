@@ -56,6 +56,48 @@ import (
 // engine are failure-plan partial rollbacks and need no abort. The
 // result can be checked with PRED() like any engine-built schedule.
 func ScheduleFromWAL(table *conflict.Table, defs []*process.Process, recs []wal.Record, preCrash int) (*schedule.Schedule, error) {
+	return scheduleFromWAL(table, defs, recs, func(i int, r wal.Record) bool {
+		return i >= preCrash
+	})
+}
+
+// ScheduleFromWALEpochs reconstructs the schedule of a log spanning any
+// number of crash/recovery epochs, identified by the boundary LSNs (the
+// highest LSN the log held at each crash). Positional boundaries as in
+// ScheduleFromWAL break down here: a checkpoint taken after a crash
+// summarizes dead processes' earlier records away and shifts every
+// index, while LSNs are never renumbered. A process is crash-aborted at
+// boundary b when it logged records at or before b and again after it —
+// by the restart discipline an interrupted process never continues
+// forward (it is terminated by recovery and re-run under a fresh
+// incarnation id), so post-boundary step work of a pre-boundary process
+// is always recovery's, and the abort is synthesized there. Processes
+// whose first record lands after a boundary (fresh re-runs, resumed
+// never-started admissions) are ordinary forward work.
+func ScheduleFromWALEpochs(table *conflict.Table, defs []*process.Process, recs []wal.Record, crashLSNs []int64) (*schedule.Schedule, error) {
+	firstLSN := make(map[string]int64)
+	for _, r := range recs {
+		if r.Proc == "" {
+			continue
+		}
+		if _, ok := firstLSN[r.Proc]; !ok {
+			firstLSN[r.Proc] = r.LSN
+		}
+	}
+	return scheduleFromWAL(table, defs, recs, func(i int, r wal.Record) bool {
+		for _, b := range crashLSNs {
+			if firstLSN[r.Proc] <= b && r.LSN > b {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// scheduleFromWAL is the shared reconstruction; recovering reports
+// whether a record is past a crash boundary that interrupted its
+// process (triggering the synthesized abort).
+func scheduleFromWAL(table *conflict.Table, defs []*process.Process, recs []wal.Record, recovering func(i int, r wal.Record) bool) (*schedule.Schedule, error) {
 	byOrigin := make(map[process.ID]*process.Process, len(defs))
 	for _, p := range defs {
 		byOrigin[p.ID] = p
@@ -157,10 +199,11 @@ func ScheduleFromWAL(table *conflict.Table, defs []*process.Process, recs []wal.
 	}
 	pendingPrepared := make(map[string][]preparedOutcome)
 	for i, r := range recs {
-		// Past the crash boundary, any step work for a process marks it
-		// as crash-aborted: recovery only compensates, resolves and runs
-		// abort-completion activities (phase 3 terminates it uncommitted).
-		if i >= preCrash {
+		// Past the crash boundary, any step work for a process the crash
+		// interrupted marks it as crash-aborted: recovery only
+		// compensates, resolves and runs abort-completion activities
+		// (phase 3 terminates it uncommitted).
+		if recovering(i, r) {
 			switch r.Type {
 			case wal.RecCompensate, wal.RecOutcome, wal.RecFailed:
 				ensureAbort(r.Proc)

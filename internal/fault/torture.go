@@ -638,6 +638,10 @@ type TortureOpts struct {
 	// so the whole battery also runs with durable pages under every
 	// crash class.
 	Durable bool
+	// Progress, when set, is called with each seed before its scenario
+	// runs; the CLI uses it to report the in-flight reproducing seed
+	// when the battery is interrupted.
+	Progress func(seed int64, class string)
 }
 
 // Apply overlays the forced options onto a scenario without disturbing
@@ -668,6 +672,9 @@ func RunTortureOpts(first, n int64, dir string, opts TortureOpts) Summary {
 	for seed := first; seed < first+n; seed++ {
 		sc := ScenarioFor(seed)
 		opts.Apply(&sc)
+		if opts.Progress != nil {
+			opts.Progress(seed, sc.Class)
+		}
 		sum.Scenarios++
 		sum.ByClass[sc.Class]++
 		// Armed-plan attribution (the scenario checks its invariants

@@ -337,9 +337,19 @@ type FedSummary struct {
 // collects a summary; every failure message embeds the reproducing
 // seed.
 func RunFedTorture(first, n int64) FedSummary {
+	return RunFedTortureProgress(first, n, nil)
+}
+
+// RunFedTortureProgress is RunFedTorture with a per-seed progress hook,
+// called before each scenario runs; the CLI uses it to report the
+// in-flight reproducing seed when the battery is interrupted.
+func RunFedTortureProgress(first, n int64, progress func(seed int64, class string)) FedSummary {
 	sum := FedSummary{ByClass: make(map[string]int)}
 	for seed := first; seed < first+n; seed++ {
 		sc := FedScenarioFor(seed)
+		if progress != nil {
+			progress(seed, sc.Class)
+		}
 		sum.Scenarios++
 		sum.ByClass[sc.Class]++
 		alt, err := RunFedScenario(sc)

@@ -130,6 +130,20 @@ const (
 	FedVictims
 	FedNodeDeaths
 
+	// Ingestion server (internal/serve): submissions offered, accepted
+	// into the admission queue, shed with 429 (queue full, in-flight cap
+	// or tenant rate budget), deduplicated by idempotency key, resumed
+	// or re-run after a restart, and drains completed.
+	ServeSubmitted
+	ServeAccepted
+	ServeShedQueue
+	ServeShedTenant
+	ServeDeduped
+	ServeBatches
+	ServeResumed
+	ServeReruns
+	ServeDrains
+
 	numCounters
 )
 
@@ -200,6 +214,15 @@ var counterNames = [numCounters]string{
 	FedRPCRetries:          "fed.rpc_retries",
 	FedVictims:             "fed.victims",
 	FedNodeDeaths:          "fed.node_deaths",
+	ServeSubmitted:         "serve.submitted",
+	ServeAccepted:          "serve.accepted",
+	ServeShedQueue:         "serve.shed.queue",
+	ServeShedTenant:        "serve.shed.tenant",
+	ServeDeduped:           "serve.deduped",
+	ServeBatches:           "serve.batches",
+	ServeResumed:           "serve.resumed",
+	ServeReruns:            "serve.reruns",
+	ServeDrains:            "serve.drains",
 }
 
 // String returns the dotted counter name.
@@ -247,6 +270,14 @@ const (
 	// HistStoreFlushPages is the dirty-page count written per store
 	// flush (checkpoint-driven flushes bound redo work).
 	HistStoreFlushPages
+	// HistServeAdmit is the wall-clock admission latency in
+	// microseconds: request received to 202/429 written.
+	HistServeAdmit
+	// HistServeQueueDepth samples the admission-queue depth at each
+	// submission.
+	HistServeQueueDepth
+	// HistServeBatch is the submission count per runner micro-batch.
+	HistServeBatch
 
 	numHists
 )
@@ -263,6 +294,9 @@ var histNames = [numHists]string{
 	HistWALBatch:        "wal.batch_size",
 	HistCheckpointLive:  "wal.checkpoint_live_records",
 	HistStoreFlushPages: "store.flush_pages",
+	HistServeAdmit:      "serve.admit_latency_us",
+	HistServeQueueDepth: "serve.queue_depth",
+	HistServeBatch:      "serve.batch_size",
 }
 
 // String returns the dotted histogram name.

@@ -757,7 +757,7 @@ func (r *Runtime) worker(g *shardGroup, idx int, job scheduler.Job) {
 	def := job.Proc
 	restarts := 0
 	for {
-		rt := r.admit(g, def, idx, job.Proc.ID, restarts)
+		rt := r.admit(g, def, idx, scheduler.Origin(job.Proc.ID), restarts)
 		if rt == nil {
 			break // run is over (error or canceled)
 		}
@@ -772,7 +772,7 @@ func (r *Runtime) worker(g *shardGroup, idx int, job scheduler.Job) {
 		// no backoff at all under Tick=0 — the deadlock would re-form
 		// instantly with the same opponents and the same victim.
 		restarts = rt.restarts + 1
-		newID := process.ID(fmt.Sprintf("%s+r%d", rt.origin, restarts))
+		newID := process.ID(fmt.Sprintf("%s+r%d", job.Proc.ID, restarts))
 		def = rt.def.WithID(newID)
 		if !r.backoff(int64(4 << restarts)) {
 			break

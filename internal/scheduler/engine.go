@@ -53,7 +53,8 @@ type procRT struct {
 	recoveryBusySvc string
 	abortPending    bool       // abort requested, waiting for in-flight work
 	restartable     bool       // restart after the pending abort completes
-	origin          process.ID // original id across restarts
+	origin          process.ID // subsystem identity (all restart suffixes stripped)
+	base            process.ID // admitted job id restarts derive from ("base+rN")
 	restarts        int
 	prepared        map[int]preparedTx
 	running         map[int]string // in-flight invocations: local -> service
@@ -411,7 +412,8 @@ func (e *Engine) RunJobs(jobs []Job) (res *Result, err error) {
 	}
 	e.origProcs = procs
 	for i, j := range jobs {
-		rt := e.newRT(j.Proc, i, j.Proc.ID)
+		rt := e.newRT(j.Proc, i, resolveOrigin(j.Proc.ID))
+		rt.base = j.Proc.ID
 		rt.arrivalTime = j.Arrival
 		e.pending = append(e.pending, rt)
 	}
@@ -1300,9 +1302,10 @@ func (e *Engine) terminate(rt *procRT, committed bool) {
 func (e *Engine) restart(rt *procRT) {
 	e.metrics.Restarts++
 	e.reg.Inc(metrics.ProcsRestarted)
-	newID := process.ID(fmt.Sprintf("%s+r%d", rt.origin, rt.restarts+1))
+	newID := process.ID(fmt.Sprintf("%s+r%d", rt.base, rt.restarts+1))
 	def := rt.def.WithID(newID)
 	nrt := e.newRT(def, rt.arrival, rt.origin)
+	nrt.base = rt.base
 	nrt.restarts = rt.restarts + 1
 	// Exponential backoff before re-entry, so the contention that
 	// caused the abort can drain first.

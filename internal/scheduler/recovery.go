@@ -521,6 +521,14 @@ func commitSerializationRanks(fed *subsystem.Federation, recs []wal.Record, fwSt
 	return rank, nil
 }
 
+// Origin strips an incarnation id's restart suffixes ("P1+r2",
+// "P1+r2+r1" -> "P1"): the identity under which subsystems track the
+// process's locks and deterministic failure rules. Engines resolve
+// every admitted job through it, so work re-submitted under a derived
+// id (restart recovery, the ingestion server's resume set) stays the
+// same process to the federation.
+func Origin(id process.ID) process.ID { return resolveOrigin(id) }
+
 // resolveOrigin strips a restart suffix ("P1+r2" -> "P1").
 func resolveOrigin(id process.ID) process.ID {
 	s := string(id)

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestServeBattery sweeps the first seeds of the serve torture battery:
+// every class several times. The nightly run covers 200 seeds via
+// tpsim serve-torture.
+func TestServeBattery(t *testing.T) {
+	n := int64(2 * serveClasses)
+	if testing.Short() {
+		n = serveClasses
+	}
+	sum := RunBattery(1, n, func(seed int64) string {
+		return t.TempDir()
+	}, nil)
+	for _, f := range sum.Failures {
+		t.Error(f)
+	}
+	if sum.Scenarios != int(n) {
+		t.Fatalf("ran %d scenarios, want %d", sum.Scenarios, n)
+	}
+}
+
+// TestServeScenarioClasses pins the class cycle so a reported seed
+// reproduces the same scenario forever.
+func TestServeScenarioClasses(t *testing.T) {
+	want := map[int64]string{
+		0: "admit-crash", 1: "ack-crash", 2: "drain-crash", 3: "wal-budget",
+		4: "engine-point", 5: "group-fsync", 6: "overload", 7: "drain-park",
+		8: "double-crash",
+	}
+	for seed, class := range want {
+		if sc := ScenarioFor(seed); sc.Class != class {
+			t.Errorf("seed %d: class %s, want %s", seed, sc.Class, class)
+		}
+		// Purity: the same seed derives the same scenario.
+		a, b := ScenarioFor(seed+100), ScenarioFor(seed+100)
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Errorf("seed %d: ScenarioFor not pure", seed+100)
+		}
+	}
+}

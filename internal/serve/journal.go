@@ -1,0 +1,122 @@
+// The intake journal is the server's durable record of *what was
+// admitted*: the WAL records what the engines did, but its records
+// carry no process structure, and scheduler.Recover needs the
+// definition of every process mentioned in the log. The server
+// therefore force-logs each accepted submission (tenant, idempotency
+// key, declarative process spec) to an append-only JSONL journal —
+// fsynced before the submission is enqueued, so by induction every
+// process the WAL can mention is rebuildable after a crash. A second
+// entry kind ("done") seals a submission once its fate is final; on
+// restart, journaled submissions without a seal and without a
+// committed WAL fold are the resume set.
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"transproc/internal/spec"
+)
+
+// JournalEntry is one line of the intake journal.
+type JournalEntry struct {
+	Seq    int64  `json:"seq"`
+	ID     string `json:"id"` // origin process id ("tenant/name")
+	Tenant string `json:"tenant,omitempty"`
+	Key    string `json:"key,omitempty"` // idempotency key
+	// Proc is set on submission entries.
+	Proc *spec.ProcessSpec `json:"proc,omitempty"`
+	// Done seals the submission with its final fate.
+	Done      bool `json:"done,omitempty"`
+	Committed bool `json:"committed,omitempty"`
+}
+
+// journal is the append-only intake log. Appends under the mutex are
+// written and (for submission entries) fsynced before they return —
+// the force-log discipline of the WAL applied to admissions.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	next int64
+}
+
+// openJournal opens (creating if absent) the journal and replays its
+// valid prefix. A torn tail — a partial or corrupt final line from a
+// crash mid-append — is truncated away, mirroring wal.OpenFile.
+func openJournal(path string) (*journal, []JournalEntry, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	var entries []JournalEntry
+	var valid int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var e JournalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break // torn or corrupt tail: keep the valid prefix
+		}
+		entries = append(entries, e)
+		valid += int64(len(line)) + 1
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: truncate journal tail: %w", err)
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &journal{f: f}
+	if n := len(entries); n > 0 {
+		j.next = entries[n-1].Seq
+	}
+	return j, entries, nil
+}
+
+// append writes one entry; sync forces it to disk before returning.
+// The assigned sequence number is stored into e.
+func (j *journal) append(e *JournalEntry, sync bool) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("serve: journal closed")
+	}
+	j.next++
+	e.Seq = j.next
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(e); err != nil {
+		return err
+	}
+	if _, err := j.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("serve: journal fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// close syncs and closes the file. A crashed server never calls this —
+// the file descriptor is abandoned, as a kill -9 would leave it.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

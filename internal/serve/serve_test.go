@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"transproc/internal/spec"
+	"transproc/internal/subsystem"
+)
+
+// testWorld is a small fixed federation: a compensatable booking, a
+// pivot charge and a retriable confirmation across two subsystems.
+func testWorld(t *testing.T) *subsystem.Federation {
+	t.Helper()
+	fed, err := spec.BuildFederation([]spec.SubsystemSpec{
+		{Name: "hotel", Seed: 1, Services: []spec.ServiceSpec{
+			{Name: "book", Kind: "compensatable", Writes: []string{"rooms"}, Cost: 1},
+			{Name: "confirm", Kind: "retriable", Writes: []string{"mail"}, Cost: 1},
+		}},
+		{Name: "pay", Seed: 2, Services: []spec.ServiceSpec{
+			{Name: "charge", Kind: "pivot", Writes: []string{"ledger"}, Cost: 1},
+			{Name: "refund", Kind: "retriable", Writes: []string{"ledger"}, Cost: 1},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+func tripSpec(id string) spec.ProcessSpec {
+	return spec.ProcessSpec{
+		ID: id,
+		Activities: []spec.ActivitySpec{
+			{Local: 1, Service: "book"},
+			{Local: 2, Service: "charge"},
+			{Local: 3, Service: "confirm"},
+		},
+		Seq: [][2]int{{1, 2}, {2, 3}},
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeLifecycle drives the full happy path over real HTTP:
+// submit, status, list, SSE, drain, restart with nothing to resume.
+func TestServeLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := Open(testWorld(t), Config{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	if code := getJSON(t, base+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if code := getJSON(t, base+"/readyz", nil); code != http.StatusOK {
+		t.Fatalf("readyz: %d", code)
+	}
+
+	const n = 6
+	for i := 0; i < n; i++ {
+		resp, body := postJSON(t, base+"/v1/processes", SubmitRequest{
+			Tenant: "acme", Key: fmt.Sprintf("k%d", i), Proc: tripSpec(fmt.Sprintf("trip%d", i)),
+		})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	// Idempotent retry dedupes.
+	resp, body := postJSON(t, base+"/v1/processes", SubmitRequest{
+		Tenant: "acme", Key: "k0", Proc: tripSpec("trip0"),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dedupe: %d %s", resp.StatusCode, body)
+	}
+	var dedup SubmitResponse
+	if err := json.Unmarshal(body, &dedup); err != nil || !dedup.Deduped {
+		t.Fatalf("dedupe response: %s (err %v)", body, err)
+	}
+	// Same id without a key conflicts.
+	if resp, _ := postJSON(t, base+"/v1/processes", SubmitRequest{Tenant: "acme", Proc: tripSpec("trip0")}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate id: want 409, got %d", resp.StatusCode)
+	}
+	// Unknown service is a 400.
+	bad := tripSpec("badproc")
+	bad.Activities[0].Service = "no-such-service"
+	if resp, _ := postJSON(t, base+"/v1/processes", SubmitRequest{Tenant: "acme", Proc: bad}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad service: want 400, got %d", resp.StatusCode)
+	}
+
+	if !srv.WaitIdle(10 * time.Second) {
+		t.Fatal("server never went idle")
+	}
+	var st Status
+	if code := getJSON(t, base+"/v1/processes/acme/trip0", &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if st.State != stateCommitted || !st.Final {
+		t.Fatalf("trip0 not committed: %+v", st)
+	}
+
+	var list ListResponse
+	if code := getJSON(t, base+"/v1/processes?tenant=acme&limit=4", &list); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if list.Total != n || len(list.Items) != 4 || list.NextOffset != 4 {
+		t.Fatalf("list page 1: total=%d items=%d next=%d", list.Total, len(list.Items), list.NextOffset)
+	}
+	var page2 ListResponse
+	getJSON(t, base+fmt.Sprintf("/v1/processes?tenant=acme&limit=4&offset=%d", list.NextOffset), &page2)
+	if len(page2.Items) != n-4 || page2.NextOffset != 0 {
+		t.Fatalf("list page 2: items=%d next=%d", len(page2.Items), page2.NextOffset)
+	}
+
+	// SSE stream of a finished process delivers status then done.
+	sseResp, err := http.Get(base + "/v1/processes/acme/trip1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sseBuf := make([]byte, 4096)
+	deadline := time.Now().Add(5 * time.Second)
+	var sse strings.Builder
+	for time.Now().Before(deadline) && !strings.Contains(sse.String(), "event: done") {
+		n, rerr := sseResp.Body.Read(sseBuf)
+		sse.Write(sseBuf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	sseResp.Body.Close()
+	if !strings.Contains(sse.String(), "event: status") || !strings.Contains(sse.String(), "event: done") {
+		t.Fatalf("SSE stream missing events:\n%s", sse.String())
+	}
+
+	// Drain closes the WAL; admissions now bounce.
+	var rep DrainReport
+	respDrain, bodyDrain := postJSON(t, base+"/v1/drain", struct{}{})
+	if respDrain.StatusCode != http.StatusOK {
+		t.Fatalf("drain: %d %s", respDrain.StatusCode, bodyDrain)
+	}
+	if err := json.Unmarshal(bodyDrain, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Finished != n || rep.Parked != 0 {
+		t.Fatalf("drain report: %+v", rep)
+	}
+
+	// Restart on the same directory: everything was sealed, nothing to
+	// resume, statuses answered from the journal.
+	srv2, err := Open(testWorld(t), Config{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	fresh, reruns := srv2.Resumed()
+	if fresh != 0 || reruns != 0 {
+		t.Fatalf("clean restart resumed work: fresh=%d reruns=%d", fresh, reruns)
+	}
+	st2, ok := srv2.StatusOf("acme/trip0")
+	if !ok || st2.State != stateCommitted {
+		t.Fatalf("restart lost status: %+v (ok=%v)", st2, ok)
+	}
+}

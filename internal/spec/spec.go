@@ -126,17 +126,17 @@ func kindOf(s string) (activity.Kind, error) {
 	}
 }
 
-// Build materializes the document: subsystems with their services, and
-// processes as scheduler jobs (kinds inherited from the services).
-// Every process is validated for guaranteed termination.
-func (f *File) Build() (*subsystem.Federation, []scheduler.Job, error) {
+// BuildFederation materializes only the subsystems section — the shape
+// a long-running server needs, where the federation is fixed at boot
+// and processes arrive later over the wire.
+func BuildFederation(subs []SubsystemSpec) (*subsystem.Federation, error) {
 	fed := subsystem.NewFederation()
-	for _, ss := range f.Subsystems {
+	for _, ss := range subs {
 		sub := subsystem.New(ss.Name, ss.Seed)
 		for _, sv := range ss.Services {
 			kind, err := kindOf(sv.Kind)
 			if err != nil {
-				return nil, nil, fmt.Errorf("spec: subsystem %s service %s: %w", ss.Name, sv.Name, err)
+				return nil, fmt.Errorf("spec: subsystem %s service %s: %w", ss.Name, sv.Name, err)
 			}
 			comp := sv.Compensation
 			if kind == activity.Compensatable && comp == "" {
@@ -149,43 +149,86 @@ func (f *File) Build() (*subsystem.Federation, []scheduler.Job, error) {
 				Commutative: sv.Commutative,
 				FailureProb: sv.FailureProb, Cost: sv.Cost,
 			}); err != nil {
-				return nil, nil, fmt.Errorf("spec: %w", err)
+				return nil, fmt.Errorf("spec: %w", err)
 			}
 		}
 		if err := fed.Add(sub); err != nil {
-			return nil, nil, fmt.Errorf("spec: %w", err)
+			return nil, fmt.Errorf("spec: %w", err)
 		}
 	}
+	return fed, nil
+}
 
+// BuildProcess materializes one process spec against an existing
+// federation (kinds inherited from the registered services) and
+// validates it for guaranteed termination.
+func BuildProcess(fed *subsystem.Federation, ps ProcessSpec) (*process.Process, error) {
+	if ps.ID == "" {
+		return nil, fmt.Errorf("spec: process without id")
+	}
+	b := process.NewBuilder(process.ID(ps.ID))
+	for _, as := range ps.Activities {
+		svcSpec, ok := fed.Spec(as.Service)
+		if !ok {
+			return nil, fmt.Errorf("spec: process %s references unknown service %q", ps.ID, as.Service)
+		}
+		if svcSpec.Kind == activity.Compensatable {
+			b.AddComp(as.Local, as.Service, svcSpec.Kind, svcSpec.Compensation)
+		} else {
+			b.Add(as.Local, as.Service, svcSpec.Kind)
+		}
+	}
+	for _, e := range ps.Seq {
+		b.Seq(e[0], e[1])
+	}
+	for _, c := range ps.Chains {
+		b.Chain(c.From, c.Alts...)
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("spec: process %s: %w", ps.ID, err)
+	}
+	if err := process.ValidateGuaranteedTermination(p); err != nil {
+		return nil, fmt.Errorf("spec: process %s: %w", ps.ID, err)
+	}
+	return p, nil
+}
+
+// FromProcess serializes a built process back into its declarative
+// form, so generated workloads can be submitted over the wire. Kinds
+// are dropped (they are re-inherited from the services on rebuild);
+// the precedence/preference structure round-trips through Chains
+// (a Seq edge is a single-element chain).
+func FromProcess(p *process.Process) ProcessSpec {
+	ps := ProcessSpec{ID: string(p.ID)}
+	for _, a := range p.Activities() {
+		ps.Activities = append(ps.Activities, ActivitySpec{Local: a.Local, Service: a.Service})
+	}
+	for _, a := range p.Activities() {
+		for _, chain := range p.Chains(a.Local) {
+			if len(chain) == 1 {
+				ps.Seq = append(ps.Seq, [2]int{a.Local, chain[0]})
+			} else {
+				ps.Chains = append(ps.Chains, ChainSpec{From: a.Local, Alts: chain})
+			}
+		}
+	}
+	return ps
+}
+
+// Build materializes the document: subsystems with their services, and
+// processes as scheduler jobs (kinds inherited from the services).
+// Every process is validated for guaranteed termination.
+func (f *File) Build() (*subsystem.Federation, []scheduler.Job, error) {
+	fed, err := BuildFederation(f.Subsystems)
+	if err != nil {
+		return nil, nil, err
+	}
 	var jobs []scheduler.Job
 	for _, ps := range f.Processes {
-		if ps.ID == "" {
-			return nil, nil, fmt.Errorf("spec: process without id")
-		}
-		b := process.NewBuilder(process.ID(ps.ID))
-		for _, as := range ps.Activities {
-			svcSpec, ok := fed.Spec(as.Service)
-			if !ok {
-				return nil, nil, fmt.Errorf("spec: process %s references unknown service %q", ps.ID, as.Service)
-			}
-			if svcSpec.Kind == activity.Compensatable {
-				b.AddComp(as.Local, as.Service, svcSpec.Kind, svcSpec.Compensation)
-			} else {
-				b.Add(as.Local, as.Service, svcSpec.Kind)
-			}
-		}
-		for _, e := range ps.Seq {
-			b.Seq(e[0], e[1])
-		}
-		for _, c := range ps.Chains {
-			b.Chain(c.From, c.Alts...)
-		}
-		p, err := b.Build()
+		p, err := BuildProcess(fed, ps)
 		if err != nil {
-			return nil, nil, fmt.Errorf("spec: process %s: %w", ps.ID, err)
-		}
-		if err := process.ValidateGuaranteedTermination(p); err != nil {
-			return nil, nil, fmt.Errorf("spec: process %s: %w", ps.ID, err)
+			return nil, nil, err
 		}
 		jobs = append(jobs, scheduler.Job{Proc: p, Arrival: ps.Arrival})
 	}

@@ -13,6 +13,7 @@ PKGS=(
   ./internal/runtime
   ./internal/store
   ./internal/federation
+  ./internal/serve
 )
 
 fail=0
