@@ -26,9 +26,9 @@ import (
 // and its two seeded harnesses.
 //
 //	tpsim serve [-addr :8080] [-dir serve-data] [-world spec.json]
-//	            [-mode pred|pred-cascade] [-fed N] [-queue N] [-batch N]
-//	            [-tick D] [-drain D] [-ckpt N] [-compact] [-nosync]
-//	            [-rate R] [-burst B] [-retries N]
+//	            [-mode pred|pred-cascade] [-fed N] [-lease D] [-heartbeat D]
+//	            [-queue N] [-batch N] [-tick D] [-drain D] [-ckpt N]
+//	            [-compact] [-nosync] [-rate R] [-burst B] [-retries N]
 //	tpsim serve -torture [-seeds N] [-first S] [-seed K] [-json]
 //	tpsim serve -bench [-clients 1,4,16] [-dur D] [-json]
 //
@@ -51,6 +51,8 @@ func runServe(args []string) error {
 	world := fs.String("world", "", "spec file declaring the subsystem federation (default: built-in demo world)")
 	mode := fs.String("mode", "pred", "scheduling mode: pred or pred-cascade")
 	fed := fs.Int("fed", 0, "route batches through an N-node federation cluster (0 = in-process runtime)")
+	lease := fs.Duration("lease", 0, "federation: lease TTL for hub membership (0 = explicit death reports; /readyz degrades while the hub is unreachable)")
+	heartbeat := fs.Duration("heartbeat", 0, "federation: node heartbeat interval (default lease/4 when -lease is set)")
 	queue := fs.Int("queue", 64, "admission queue depth (shed with 429 beyond it)")
 	batch := fs.Int("batch", 8, "max submissions per runner micro-batch")
 	tick := fs.Duration("tick", 0, "real duration of one virtual service cost unit")
@@ -96,8 +98,12 @@ func runServe(args []string) error {
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
+	if *lease > 0 && *heartbeat <= 0 {
+		*heartbeat = *lease / 4
+	}
 	cfg := serve.Config{
 		Dir: *dir, Mode: m, FedNodes: *fed,
+		FedLeaseTTL: *lease, FedHeartbeat: *heartbeat,
 		QueueDepth: *queue, BatchMax: *batch, Tick: *tick,
 		DrainTimeout: *drain, CheckpointEvery: *ckpt,
 		CompactOnCheckpoint: *compact, NoSync: *nosync,

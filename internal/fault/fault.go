@@ -48,6 +48,17 @@ const (
 	// reuses PointAfterDecision and PointMidResolve.
 	PointFedDispatch      = "fed:dispatch"
 	PointFedAfterPrepared = "fed:after-prepared"
+	// Hub crash points (fired inside the federation hub's serial
+	// section, internal/federation): after a frontier dispatch prepared
+	// its subsystem transaction but before the node learns the stamp
+	// (the response is lost with the hub), after the Lemma-1 gate
+	// granted a 2PC decision stamp, and after a prepared participant
+	// was committed during resolution. Each models kill -9 of the
+	// coordination agent with mutated in-memory state the reopen must
+	// rebuild from the stitched WALs plus the hub journal.
+	PointHubDispatch = "hub:dispatch"
+	PointHubDecision = "hub:decision"
+	PointHubResolve  = "hub:resolve"
 	// Checkpoint/compaction crash points (defined in internal/wal and
 	// re-exported here): before the checkpoint build, before the
 	// checkpoint record append, between the compacted temp file and the

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"transproc/internal/chaos"
 	"transproc/internal/metrics"
@@ -14,6 +15,20 @@ import (
 // retry budget ran out and whose Cancel certified the request never
 // executed at the hub — the node takes the invocation-failure path.
 var ErrVoided = errors.New("federation: request voided after transport retry exhaustion")
+
+// ErrHubRestart is returned when the hub bounces a frame with StStale:
+// the hub incarnation the client believed in is gone (restart after a
+// kill, or the node's own lease expired and it was declared dead). The
+// node must re-hello — which teaches the client the new epoch — and
+// re-attach its in-flight processes before retrying anything.
+var ErrHubRestart = errors.New("federation: hub incarnation changed (stale epoch); re-attach required")
+
+// backoffTick converts the chaos retry engine's virtual ticks into real
+// reconnect-sleep time. At the default policy (base 2, cap 64) the
+// per-retry sleep ranges ~100µs–6.4ms — long enough to ride out a hub
+// reopen (close, recover, rebind) without a busy spin, short enough to
+// keep torture runs fast.
+const backoffTick = 100 * time.Microsecond
 
 // Client is a node's connection to the hub with the chaos transport
 // fault model applied deterministically per delivery attempt: drops and
@@ -41,20 +56,50 @@ type Client struct {
 	// (windows are finite attempt counts, so control RPCs always land).
 	dispatchBudget int
 	controlBudget  int
+
+	// epoch is the hub incarnation learned from the last hello; every
+	// frame is stamped with it, so a restarted hub bounces the client
+	// (StStale → ErrHubRestart) until the node re-hellos.
+	epoch uint32
+	// reconnect bounds consecutive hard I/O failures per attempt loop;
+	// between failures the client sleeps on the chaos retry engine's
+	// seeded exponential-backoff schedule instead of hammering the
+	// listener, which is what lets it ride out a hub restart.
+	reconnect int
+	retry     chaos.RetryPolicy
 }
 
 // NewClient prepares a client; the connection is dialed lazily.
-func NewClient(node uint32, name, addr string, plan chaos.Plan, dispatchBudget, controlBudget int, reg *metrics.Registry) *Client {
+// reconnectAttempts bounds consecutive connection failures before a
+// call is abandoned (0 = default 256, sized to outlast a hub reopen
+// under the seeded backoff schedule).
+func NewClient(node uint32, name, addr string, plan chaos.Plan, dispatchBudget, controlBudget, reconnectAttempts int, reg *metrics.Registry) *Client {
 	if dispatchBudget <= 0 {
 		dispatchBudget = 4096
 	}
 	if controlBudget <= 0 {
 		controlBudget = 1 << 20
 	}
+	if reconnectAttempts <= 0 {
+		reconnectAttempts = 256
+	}
 	return &Client{
 		node: node, name: name, addr: addr, plan: plan, reg: reg,
 		dispatchBudget: dispatchBudget, controlBudget: controlBudget,
+		reconnect: reconnectAttempts,
 	}
+}
+
+// Epoch reports the hub incarnation the client last learned.
+func (c *Client) Epoch() uint32 { return c.epoch }
+
+// backoffSleep sleeps before reconnect attempt k (1-based) using the
+// seeded jittered schedule, so a whole cluster's redial storm after a
+// hub kill is deterministic under the test seed yet de-synchronized
+// across nodes (jitter is keyed by the node name).
+func (c *Client) backoffSleep(k int) {
+	ticks := c.retry.Backoff(c.plan, c.name, "hub-reconnect", k)
+	time.Sleep(time.Duration(ticks) * backoffTick)
 }
 
 func (c *Client) dial() error {
@@ -110,6 +155,7 @@ func (c *Client) roundTrip(f *Frame) (*Frame, error) {
 // they land.
 func (c *Client) Call(f *Frame, invocation bool) (*Frame, error) {
 	f.Node = c.node
+	f.Epoch = c.epoch
 	c.req++
 	f.Req = c.req
 	budget := c.controlBudget
@@ -118,18 +164,27 @@ func (c *Client) Call(f *Frame, invocation bool) (*Frame, error) {
 	}
 	resp, err := c.attemptLoop(f, budget)
 	if err == nil {
+		if f.Type == MsgHello {
+			c.epoch = resp.Epoch // a hello adopts the current incarnation
+		}
+		if resp.Status == StStale {
+			return resp, ErrHubRestart
+		}
 		return resp, nil
 	}
 	if !invocation {
 		return nil, fmt.Errorf("federation: control RPC %v exhausted its budget: %w", f.Type, err)
 	}
 	// Fetch-or-void: ask the hub what became of the original request.
-	cancel := &Frame{Type: MsgCancel, Node: c.node, Proc: f.Proc, Gen: int64(f.Req)}
+	cancel := &Frame{Type: MsgCancel, Node: c.node, Proc: f.Proc, Gen: int64(f.Req), Epoch: c.epoch}
 	c.req++
 	cancel.Req = c.req
 	cresp, cerr := c.attemptLoop(cancel, c.controlBudget)
 	if cerr != nil {
 		return nil, fmt.Errorf("federation: cancel of request %d failed: %w", f.Req, cerr)
+	}
+	if cresp.Status == StStale {
+		return cresp, ErrHubRestart
 	}
 	if cresp.Flag2 {
 		return cresp, nil // the original executed; this is its response
@@ -163,9 +218,10 @@ func (c *Client) attemptLoop(f *Frame, budget int) (*Frame, error) {
 			if _, err := c.roundTrip(f); err != nil {
 				lastErr = err
 				consecutiveIO++
-				if consecutiveIO > 64 {
+				if consecutiveIO > c.reconnect {
 					return nil, lastErr
 				}
+				c.backoffSleep(consecutiveIO)
 				continue
 			}
 			consecutiveIO = 0
@@ -176,9 +232,10 @@ func (c *Client) attemptLoop(f *Frame, budget int) (*Frame, error) {
 			if err := c.dial(); err != nil {
 				lastErr = err
 				consecutiveIO++
-				if consecutiveIO > 64 {
+				if consecutiveIO > c.reconnect {
 					return nil, lastErr
 				}
+				c.backoffSleep(consecutiveIO)
 				continue
 			}
 			if err := WriteFrame(c.conn, f); err != nil {
@@ -209,9 +266,10 @@ func (c *Client) attemptLoop(f *Frame, budget int) (*Frame, error) {
 			if err != nil {
 				lastErr = err
 				consecutiveIO++
-				if consecutiveIO > 64 {
+				if consecutiveIO > c.reconnect {
 					return nil, lastErr
 				}
+				c.backoffSleep(consecutiveIO)
 				continue
 			}
 			return resp, nil

@@ -5,12 +5,15 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"transproc/internal/activity"
 	"transproc/internal/conflict"
+	"transproc/internal/fault"
 	"transproc/internal/metrics"
 	"transproc/internal/process"
 	"transproc/internal/schedule"
+	"transproc/internal/scheduler"
 	"transproc/internal/scheduler/policy"
 	"transproc/internal/subsystem"
 )
@@ -26,7 +29,32 @@ type HubConfig struct {
 	MaxStalls int
 	// Metrics is the optional observability registry.
 	Metrics *metrics.Registry
+	// Journal force-logs the few facts only the hub knows and that
+	// stitched-WAL recovery cannot rebuild: stamp leases (so a
+	// reopened hub never reissues an issued-but-unacked stamp), the
+	// epoch, and the ownership table. Nil disables journaling.
+	Journal HubJournal
+	// LeaseTTL expires a node's membership lease when no frame from it
+	// arrives for this long; zero disables lease expiry (nodes then die
+	// only through an explicit NodeDown).
+	LeaseTTL time.Duration
+	// Inject fires named hub crash points (hub:dispatch, hub:decision,
+	// hub:resolve). A fault plan panics through it with a crash
+	// sentinel that Handle converts into a dead hub: the in-flight
+	// request — and every later one — gets no response, modeling
+	// kill -9 of the coordination agent.
+	Inject func(string)
+	// Epoch seeds the hub incarnation number; ReopenHub bumps it so
+	// frames from the previous incarnation bounce with StStale.
+	Epoch uint32
+	// Now is the lease clock (default time.Now); tests pin it.
+	Now func() time.Time
 }
+
+// leaseChunk is how far past the journaled floor the hub extends its
+// stamp lease per force-log: one journal fsync amortizes over this many
+// stamps, and a reopened hub's counter jumps at most this far ahead.
+const leaseChunk = 512
 
 // hubPhase mirrors the engine's procState.
 type hubPhase int
@@ -76,6 +104,20 @@ type hubProc struct {
 	stepTx          hubTx // in-flight recovery-step transaction
 	abortPending    bool
 	decided         bool // 2PC commit decision granted (point of no return)
+	// committedEvents counts the process's committed (non-tentative)
+	// policy events — the adoption gate: an orphan with zero committed
+	// events has nothing recovery must compensate, so its origin can be
+	// re-assigned to a survivor immediately instead of waiting for the
+	// post-run composed recovery.
+	committedEvents int
+	// zombie marks a process whose owner died (crash or lease expiry).
+	// It stays excluded from victim designation and liveness checks
+	// even if the owner later revives: its subsystem residue was
+	// settled at death and only recovery (or adoption) finishes it.
+	zombie bool
+	// fate is the terminal outcome once phase is hubDone (true =
+	// committed), served to re-attaching owners that lost the response.
+	fate bool
 }
 
 // hubNode is the hub's view of one scheduler node.
@@ -86,6 +128,16 @@ type hubNode struct {
 	idleGen int64 // progress generation of the last idle report
 	victims []process.ID
 	parks   []process.ID
+	adopts  []adoptOffer
+}
+
+// adoptOffer is a queued re-assignment of an orphaned origin to a
+// surviving node, delivered through its idle polls as StAdopt.
+type adoptOffer struct {
+	origin  process.ID
+	id      process.ID // the fresh incarnation the survivor admits
+	arrival int
+	suffix  int // restart-suffix number of the fresh incarnation
 }
 
 // Hub is the coordination agent: it owns the subsystem federation, the
@@ -110,6 +162,26 @@ type Hub struct {
 
 	stamp  int64 // global sequence; doubles as the progress generation
 	stalls int
+
+	// Crash-safety state (see journal.go and recover.go).
+	epoch      uint32
+	journal    HubJournal
+	leaseFloor int64 // stamps < leaseFloor are journaled as issuable
+	killed     bool
+	killedCh   chan struct{}
+	lastSeen   map[uint32]time.Time
+	maxSuffix  map[string]int // origin -> highest restart suffix seen
+	// pending marks origins with an outstanding restart incarnation the
+	// hub handed out (adoption offer or reattach grant) that no node has
+	// admitted yet. Such an origin is live even though byID has no
+	// running incarnation — granting a second restart for it would fork
+	// the lineage and double-execute the process.
+	pending map[string]bool
+	// fates is set by ReopenHub: the recovered terminal fate of every
+	// pre-crash incarnation (true = committed), served to re-attaching
+	// nodes. reopened distinguishes "no fate" answers.
+	fates    map[process.ID]bool
+	reopened bool
 }
 
 // NewHub builds the hub over a federation and the process definitions
@@ -126,15 +198,21 @@ func NewHub(fed *subsystem.Federation, defs []*process.Process, cfg HubConfig) (
 		cfg.MaxStalls = 4096
 	}
 	h := &Hub{
-		fed:   fed,
-		table: table,
-		pol:   policy.New(table, policy.Config{Mode: cfg.Mode}),
-		cfg:   cfg,
-		reg:   cfg.Metrics,
-		defs:  make(map[string]*process.Process, len(defs)),
-		byID:  make(map[process.ID]*hubProc),
-		nodes: make(map[uint32]*hubNode),
-		dedup: make(map[uint32]map[uint64]*Frame),
+		fed:       fed,
+		table:     table,
+		pol:       policy.New(table, policy.Config{Mode: cfg.Mode}),
+		cfg:       cfg,
+		reg:       cfg.Metrics,
+		defs:      make(map[string]*process.Process, len(defs)),
+		byID:      make(map[process.ID]*hubProc),
+		nodes:     make(map[uint32]*hubNode),
+		dedup:     make(map[uint32]map[uint64]*Frame),
+		epoch:     cfg.Epoch,
+		journal:   cfg.Journal,
+		killedCh:  make(chan struct{}),
+		lastSeen:  make(map[uint32]time.Time),
+		maxSuffix: make(map[string]int),
+		pending:   make(map[string]bool),
 	}
 	if cfg.Metrics != nil {
 		fed.SetMetrics(cfg.Metrics)
@@ -145,10 +223,55 @@ func NewHub(fed *subsystem.Federation, defs []*process.Process, cfg HubConfig) (
 	return h, nil
 }
 
-// next issues the next global stamp inside the serial section.
+// next issues the next global stamp inside the serial section. With a
+// journal attached it enforces the stamp lease: before issuing past the
+// journaled floor, a new floor one chunk ahead is force-logged — so a
+// reopened hub resuming at the floor can never reissue a stamp this
+// incarnation handed out, acked or not, and plain stamp sorting of the
+// stitched history stays total across hub incarnations.
 func (h *Hub) next() int64 {
+	if h.journal != nil && h.stamp >= h.leaseFloor {
+		nf := h.stamp + leaseChunk
+		if err := h.journal.Append(JEntry{Kind: jLease, Stamp: nf}); err != nil {
+			panic(fmt.Sprintf("federation: hub journal append: %v", err))
+		}
+		h.leaseFloor = nf
+	}
 	h.stamp++
 	return h.stamp
+}
+
+// clock is the lease clock.
+func (h *Hub) clock() time.Time {
+	if h.cfg.Now != nil {
+		return h.cfg.Now()
+	}
+	return time.Now()
+}
+
+// injectPoint fires a named hub crash point when an injector is armed.
+func (h *Hub) injectPoint(p string) {
+	if h.cfg.Inject != nil {
+		h.cfg.Inject(p)
+	}
+}
+
+// Killed reports whether a hub crash point fired.
+func (h *Hub) Killed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.killed
+}
+
+// KilledCh closes when a hub crash point fires; the cluster monitor
+// uses it to trigger the reopen cycle.
+func (h *Hub) KilledCh() <-chan struct{} { return h.killedCh }
+
+// Epoch reports the hub incarnation number.
+func (h *Hub) Epoch() uint32 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.epoch
 }
 
 // hubView adapts the mirrors to the policy's View.
@@ -210,9 +333,10 @@ func (v hubView) InFlight(id process.ID) []string {
 func (h *Hub) view() policy.View { return hubView{h} }
 
 // resp builds a response frame, carrying the current progress
-// generation so idle nodes can tell stale quiescence from real.
+// generation so idle nodes can tell stale quiescence from real, and the
+// hub epoch so clients track the incarnation they are speaking to.
 func (h *Hub) resp(st Status) *Frame {
-	return &Frame{Type: MsgResponse, Status: st, Gen: h.stamp}
+	return &Frame{Type: MsgResponse, Status: st, Gen: h.stamp, Epoch: h.epoch}
 }
 
 func (h *Hub) errf(format string, args ...any) *Frame {
@@ -225,17 +349,53 @@ func (h *Hub) errf(format string, args ...any) *Frame {
 // non-idempotent requests are cached by (node, request id): a retry
 // after an ambiguous timeout, or a duplicated delivery, replays the
 // cached response instead of re-executing — RPCs are exactly-once.
-func (h *Hub) Handle(req *Frame) *Frame {
+//
+// A hub crash point firing inside a handler kills the hub: the panic is
+// converted into a nil response (the server drops the connection
+// without answering — the in-flight request's effects are lost with the
+// hub's memory, exactly like kill -9 mid-handler) and every later
+// request also gets nil until the cluster reopens a fresh incarnation.
+func (h *Hub) Handle(req *Frame) (out *Frame) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.killed {
+		return nil
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			if _, ok := fault.AsCrash(v); !ok {
+				panic(v)
+			}
+			h.killed = true
+			close(h.killedCh)
+			h.reg.Inc(metrics.FedHubKills)
+			out = nil
+		}
+	}()
 	h.reg.Inc(metrics.FedRPCs)
 
 	if req.Type == MsgHello {
 		return h.handleHello(req)
 	}
+	// Stale-incarnation gate: a frame carrying a previous hub's epoch,
+	// or arriving from a node whose membership lease expired, bounces
+	// with StStale — uncached, so once the node re-hellos and
+	// re-attaches, a retry of the same request id is not wedged behind
+	// a poisoned dedup entry.
+	if req.Epoch != h.epoch {
+		h.reg.Inc(metrics.FedStaleBounces)
+		return h.resp(StStale)
+	}
 	cache := h.dedup[req.Node]
 	if cache == nil {
 		return h.errf("unknown node %d (no hello)", req.Node)
+	}
+	if n := h.nodes[req.Node]; n != nil {
+		if n.dead {
+			h.reg.Inc(metrics.FedStaleBounces)
+			return h.resp(StStale)
+		}
+		h.lastSeen[req.Node] = h.clock() // every frame refreshes the lease
 	}
 	if req.Type == MsgCancel {
 		return h.handleCancel(req, cache)
@@ -245,7 +405,6 @@ func (h *Hub) Handle(req *Frame) *Frame {
 		cp := *prior
 		return &cp
 	}
-	var out *Frame
 	switch req.Type {
 	case MsgAdmit:
 		out = h.handleAdmit(req)
@@ -271,6 +430,11 @@ func (h *Hub) Handle(req *Frame) *Frame {
 		out = h.handleFailed(req)
 	case MsgIdle:
 		out = h.handleIdle(req)
+	case MsgHeartbeat:
+		h.reg.Inc(metrics.FedHeartbeats)
+		out = h.resp(StOK) // the lease refresh above is the payload
+	case MsgReattach:
+		out = h.handleReattach(req)
 	default:
 		out = h.errf("unhandled message type %v", req.Type)
 	}
@@ -284,7 +448,15 @@ func (h *Hub) handleHello(req *Frame) *Frame {
 	if h.nodes[req.Node] == nil {
 		h.nodes[req.Node] = &hubNode{name: req.Origin, idleGen: -1}
 		h.dedup[req.Node] = make(map[uint64]*Frame)
+	} else if h.nodes[req.Node].dead {
+		// A lease-expired (or declared-dead) node re-attaching: revive
+		// its membership. Its pre-death processes stay zombies — the
+		// node learns their settled fates through MsgReattach.
+		h.nodes[req.Node].dead = false
+		h.nodes[req.Node].done = false
+		h.nodes[req.Node].idleGen = -1
 	}
+	h.lastSeen[req.Node] = h.clock()
 	return h.resp(StOK)
 }
 
@@ -313,7 +485,24 @@ func (h *Hub) handleCancel(req *Frame, cache map[uint64]*Frame) *Frame {
 func (h *Hub) handleAdmit(req *Frame) *Frame {
 	id := process.ID(req.Proc)
 	if h.byID[id] != nil {
-		return h.errf("process %s already admitted", id)
+		// Replayed admit of a known incarnation (a lost response whose
+		// retry missed the dedup table, e.g. across a revival): answer
+		// idempotently with Stamp 0 and Flag2 set — the node must not
+		// force a second RecStart record.
+		out := h.resp(StOK)
+		out.Flag2 = true
+		if hp := h.byID[id]; hp.phase == hubDone {
+			// The incarnation was settled while the admitting node was
+			// out (retired for re-homing, or terminated by a previous
+			// owner). Carry the fate so the node files it as done instead
+			// of driving a dead incarnation.
+			if hp.fate {
+				out.Extra = ReattachCommitted
+			} else {
+				out.Extra = ReattachAborted
+			}
+		}
+		return out
 	}
 	def := h.defs[req.Origin]
 	if def == nil {
@@ -331,6 +520,21 @@ func (h *Hub) handleAdmit(req *Frame) *Frame {
 	}
 	h.order = append(h.order, id)
 	h.byID[id] = hp
+	delete(h.pending, req.Origin)
+	if s := int(req.Extra); s > h.maxSuffix[req.Origin] {
+		h.maxSuffix[req.Origin] = s
+	}
+	if h.journal != nil {
+		// Ownership row: lets a reopened hub (or an operator) answer
+		// "who owned this origin, at which incarnation" without the
+		// stitched WALs.
+		if err := h.journal.Append(JEntry{
+			Kind: jAssign, Node: req.Node, Origin: req.Origin,
+			Proc: req.Proc, Arrival: int64(req.Local),
+		}); err != nil {
+			panic(fmt.Sprintf("federation: hub journal append: %v", err))
+		}
+	}
 	h.pol.Bump()
 	out := h.resp(StOK)
 	out.Stamp = h.next() // for the node's RecStart record
@@ -388,6 +592,11 @@ func (h *Hub) handleDispatch(req *Frame) *Frame {
 	out.Subsystem = sub.Name()
 	out.Service = a.Service
 	out.Stamp = h.next() // for the node's "prepared" outcome record
+	// Kill window: the subsystem transaction is prepared and the stamp
+	// issued, but the response dies with the hub — the node never logs
+	// the prepared outcome, leaving an orphan the reopen's recovery
+	// presumes aborted.
+	h.injectPoint(fault.PointHubDispatch)
 	return out
 }
 
@@ -484,6 +693,7 @@ func (h *Hub) handleCommitLocal(req *Frame) *Frame {
 		if err := hp.inst.MarkCommitted(local); err != nil {
 			return h.errf("%v", err)
 		}
+		hp.committedEvents++
 		h.pol.AppendEvent(&policy.Event{
 			Seq: stamp, Proc: hp.id, Local: local, Service: ptx.service, Kind: a.Kind,
 			Typ: schedule.Invoke,
@@ -597,6 +807,7 @@ func (h *Hub) handleStepCommit(req *Frame) *Frame {
 	if len(hp.recovery) > 0 && hp.recovery[0] == st {
 		hp.recovery = hp.recovery[1:]
 	}
+	hp.committedEvents++
 	switch st.Kind {
 	case process.StepCompensate:
 		h.pol.MarkCompensated(hp.id, st.Local)
@@ -703,6 +914,11 @@ func (h *Hub) handleCommitClear(req *Frame) *Frame {
 	}
 	out.Flag = true
 	out.Stamp = h.next() // for the node's RecDecision record
+	// Kill window: the decision is granted hub-side but the stamp dies
+	// with the hub before the node can log RecDecision — the reopen's
+	// recovery sees only an undecided prepared set and presumes abort,
+	// reconciling any already-settled participant through TxFate.
+	h.injectPoint(fault.PointHubDecision)
 	return out
 }
 
@@ -729,12 +945,18 @@ func (h *Hub) handleResolve(req *Frame) *Frame {
 	}
 	h.pol.FinalizeTentative(hp.id, local, stamp)
 	delete(hp.prepared, local)
+	hp.committedEvents++
 	h.pol.Bump()
 	out := h.resp(StOK)
 	out.Stamp = stamp
 	out.Tx = int64(ptx.tx)
 	out.Subsystem = ptx.sub.Name()
 	out.Service = ptx.service
+	// Kill window: the participant is committed at its subsystem but
+	// the node never logs RecResolved — with RecDecision already
+	// logged, the reopen's recovery presumes commit and redoes the
+	// resolution idempotently through the subsystem's TxFate.
+	h.injectPoint(fault.PointHubResolve)
 	return out
 }
 
@@ -755,6 +977,7 @@ func (h *Hub) handleTerminate(req *Frame) *Frame {
 		return out
 	}
 	hp.phase = hubDone
+	hp.fate = req.Flag
 	out := h.resp(StOK)
 	out.Stamp = h.next() // for the node's RecTerminate record
 	h.pol.AppendEvent(&policy.Event{Seq: out.Stamp, Proc: hp.id, Typ: schedule.Terminate, Committed: req.Flag})
@@ -777,6 +1000,96 @@ func (h *Hub) handleFailed(req *Frame) *Frame {
 		return h.errf("failed-report for unknown activity %s/%d", hp.id, req.Local)
 	}
 	return h.invocationFailed(hp, int(req.Local), a.Service, a.Kind)
+}
+
+// Reattach fates, carried in the response Extra field. After a hub
+// restart (or a node's own lease-expiry exile) the node asks, per
+// in-flight process, what the hub's recovered view says became of it.
+const (
+	// ReattachUnknown: the hub has never heard of the incarnation — the
+	// admit response was lost before the node could force RecStart, so
+	// no WAL record exists and re-admitting the same id is safe (had any
+	// record existed, recovery would have terminated it and a fate would
+	// be known).
+	ReattachUnknown int32 = iota
+	// ReattachCommitted: the incarnation terminated committed. The node
+	// marks it done WITHOUT logging — the terminate record already
+	// exists (pre-crash or in the recovery tail).
+	ReattachCommitted
+	// ReattachAborted: the incarnation terminated aborted (or recovery
+	// will abort it). If the node asked for a restart (Flag) and the
+	// origin is not already live elsewhere, the response carries a fresh
+	// incarnation grant: Flag set, Victim = new id, Stamp2 = suffix.
+	ReattachAborted
+	// ReattachParked: the incarnation is a zombie or parked — the node
+	// must stop driving it and log nothing; post-run composed recovery
+	// finishes it.
+	ReattachParked
+	// ReattachLive: the hub still tracks the incarnation as running —
+	// the node keeps driving it (the dedup table absorbs any replays).
+	ReattachLive
+)
+
+// handleReattach answers a node's post-reconnect fate query for one
+// in-flight process incarnation (see the Reattach* codes).
+func (h *Hub) handleReattach(req *Frame) *Frame {
+	h.reg.Inc(metrics.FedReattaches)
+	id := process.ID(req.Proc)
+	out := h.resp(StOK)
+	if hp := h.byID[id]; hp != nil {
+		switch {
+		case hp.phase == hubDone && hp.fate:
+			out.Extra = ReattachCommitted
+		case hp.phase == hubDone:
+			out.Extra = ReattachAborted
+			h.maybeGrantRestart(req, hp.origin, out)
+		case hp.phase == hubParked || hp.zombie:
+			out.Extra = ReattachParked
+		default:
+			out.Extra = ReattachLive
+		}
+		return out
+	}
+	if fate, ok := h.fates[id]; ok {
+		// Recovered fate from the reopen's composed recovery pass.
+		if fate {
+			out.Extra = ReattachCommitted
+		} else {
+			out.Extra = ReattachAborted
+			h.maybeGrantRestart(req, scheduler.Origin(id), out)
+		}
+		return out
+	}
+	out.Extra = ReattachUnknown
+	return out
+}
+
+// maybeGrantRestart attaches a fresh-incarnation grant to an
+// aborted-fate reattach response when the node asked for one (Flag) and
+// no other incarnation of the origin is live — adoption or an earlier
+// reattach may already have re-homed it, and two live incarnations of
+// one origin would double-execute the process.
+func (h *Hub) maybeGrantRestart(req *Frame, origin process.ID, out *Frame) {
+	if !req.Flag {
+		return
+	}
+	if h.pending[string(origin)] {
+		// An un-admitted restart incarnation (adoption offer or earlier
+		// grant) is already out for this origin — it counts as live even
+		// though byID can't see it yet.
+		return
+	}
+	for _, oid := range h.order {
+		if q := h.byID[oid]; q.origin == origin && q.phase != hubDone {
+			return
+		}
+	}
+	suffix := h.maxSuffix[string(origin)] + 1
+	h.maxSuffix[string(origin)] = suffix
+	h.pending[string(origin)] = true
+	out.Flag = true
+	out.Victim = fmt.Sprintf("%s+r%d", origin, suffix)
+	out.Stamp2 = int64(suffix)
 }
 
 // handleIdle is cluster-wide stall detection. A node reports the
@@ -807,10 +1120,24 @@ func (h *Hub) handleIdle(req *Frame) *Frame {
 		out.Victim = string(id)
 		return out
 	}
+	if len(n.adopts) > 0 {
+		of := n.adopts[0]
+		n.adopts = n.adopts[1:]
+		out := h.resp(StAdopt)
+		out.Origin = string(of.origin)
+		out.Victim = string(of.id)
+		out.Stamp2 = int64(of.arrival)
+		out.Extra = int32(of.suffix)
+		return out
+	}
 	if req.Flag {
 		n.done = true
 		return h.resp(StOK)
 	}
+	// Idle polls double as the lease sweep: a partitioned node cannot
+	// refresh its lease, and the quiescent survivors polling here are
+	// exactly the moment its expiry unblocks them (zombify + adopt).
+	h.expireLocked()
 	if req.Gen < h.stamp {
 		return h.resp(StOK) // stale: progress happened since, re-poll
 	}
@@ -868,6 +1195,16 @@ func (h *Hub) parkBlocked(req *Frame) *Frame {
 		}
 	}
 	if !anyDead {
+		// A revived node clears its dead flag but leaves its pre-death
+		// processes as zombies, which block survivors just the same.
+		for _, id := range h.order {
+			if hp := h.byID[id]; hp.zombie && hp.phase != hubDone {
+				anyDead = true
+				break
+			}
+		}
+	}
+	if !anyDead {
 		return h.errf("unresolvable stall")
 	}
 	var own *hubProc
@@ -875,7 +1212,7 @@ func (h *Hub) parkBlocked(req *Frame) *Frame {
 	for _, id := range h.order {
 		hp := h.byID[id]
 		n := h.nodes[hp.node]
-		if n == nil || n.dead || hp.phase != hubAborting ||
+		if n == nil || n.dead || hp.zombie || hp.phase != hubAborting ||
 			len(hp.running) > 0 || hp.recoveryBusy {
 			continue
 		}
@@ -940,7 +1277,9 @@ func (h *Hub) parkedConflict(id process.ID, svc string) bool {
 func (h *Hub) designateVictim() *hubProc {
 	live := func(hp *hubProc) bool {
 		n := h.nodes[hp.node]
-		return n != nil && !n.dead
+		// A zombie stays undesignatable even after its owner revives:
+		// its residue was settled at death and belongs to recovery.
+		return n != nil && !n.dead && !hp.zombie
 	}
 	var victim *hubProc
 	for _, id := range h.order {
@@ -993,15 +1332,30 @@ func (h *Hub) designateVictim() *hubProc {
 func (h *Hub) NodeDown(node uint32) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.killed {
+		return // the corpse of a killed hub reacts to nothing
+	}
+	if h.nodeDownLocked(node) {
+		h.adoptOrphans(node)
+	}
+}
+
+// nodeDownLocked zombifies and settles a node's processes; reports
+// whether the node transitioned to dead.
+func (h *Hub) nodeDownLocked(node uint32) bool {
 	n := h.nodes[node]
 	if n == nil || n.dead {
-		return
+		return false
 	}
 	n.dead = true
 	h.reg.Inc(metrics.FedNodeDeaths)
 	for _, id := range h.order {
 		hp := h.byID[id]
-		if hp.node != node || hp.phase == hubDone || hp.phase == hubParked {
+		if hp.node != node || hp.phase == hubDone {
+			continue
+		}
+		hp.zombie = true
+		if hp.phase == hubParked {
 			continue // parked residue was already settled by parkBlocked
 		}
 		if hp.decided {
@@ -1022,6 +1376,95 @@ func (h *Hub) NodeDown(node uint32) {
 		}
 	}
 	h.pol.Bump()
+	return true
+}
+
+// ExpireLeases runs one lease sweep: every live, unfinished node whose
+// last frame is older than LeaseTTL is declared dead (zombify + settle,
+// exactly NodeDown) and its adoptable orphans are re-homed. The cluster
+// calls this from a sweeper; idle polls piggyback it so a quiescent
+// cluster blocked on a partitioned node unblocks without outside help.
+func (h *Hub) ExpireLeases() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.expireLocked()
+}
+
+func (h *Hub) expireLocked() {
+	if h.cfg.LeaseTTL <= 0 || h.killed {
+		return
+	}
+	now := h.clock()
+	for id, n := range h.nodes {
+		if n.dead || n.done {
+			continue
+		}
+		seen, ok := h.lastSeen[id]
+		if !ok || now.Sub(seen) <= h.cfg.LeaseTTL {
+			continue
+		}
+		h.reg.Inc(metrics.FedLeaseExpiries)
+		if h.nodeDownLocked(id) {
+			h.adoptOrphans(id)
+		}
+	}
+}
+
+// adoptOrphans re-homes a dead node's safe orphans: running,
+// undecided processes with zero committed policy events. Such a
+// process has nothing the composed recovery must compensate (its
+// in-flight and deferred subsystem transactions were just aborted by
+// nodeDownLocked), so its origin can restart on a survivor immediately
+// instead of blocking until post-run recovery. Anything with committed
+// events stays a plain zombie — its events must keep blocking
+// conflicting survivors until recovery compensates them (the paper's
+// zombie rule), and re-executing the origin before that would reorder
+// committed work.
+func (h *Hub) adoptOrphans(node uint32) {
+	var survivors []uint32
+	for id, n := range h.nodes {
+		if id != node && !n.dead && !n.done {
+			survivors = append(survivors, id)
+		}
+	}
+	if len(survivors) == 0 {
+		return // no one to adopt; recovery settles the zombies
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i] < survivors[j] })
+	adopted := 0
+	for _, id := range h.order {
+		hp := h.byID[id]
+		if hp.node != node || hp.phase != hubRunning || hp.decided ||
+			hp.recoveryBusy || len(hp.recovery) > 0 || hp.committedEvents > 0 {
+			continue
+		}
+		// Erase the tentative events of the (already aborted) Lemma-1
+		// deferred set and retire the incarnation; recovery will
+		// abort-terminate it from its RecStart record.
+		for local := range hp.prepared {
+			h.pol.EraseTentative(hp.id, local)
+			delete(hp.prepared, local)
+		}
+		hp.phase = hubDone
+		hp.fate = false
+		suffix := h.maxSuffix[string(hp.origin)] + 1
+		h.maxSuffix[string(hp.origin)] = suffix
+		h.pending[string(hp.origin)] = true
+		newID := process.ID(fmt.Sprintf("%s+r%d", hp.origin, suffix))
+		dst := survivors[adopted%len(survivors)]
+		h.nodes[dst].adopts = append(h.nodes[dst].adopts, adoptOffer{
+			origin: hp.origin, id: newID, arrival: hp.arrival, suffix: suffix,
+		})
+		// The done report, if the survivor already filed one, is stale:
+		// it has work again and must resume polling.
+		h.nodes[dst].done = false
+		adopted++
+		h.reg.Inc(metrics.FedAdoptions)
+	}
+	if adopted > 0 {
+		h.pol.Bump()
+		h.next() // progress bump: idle marks predate the new work
+	}
 }
 
 // Stalls reports how many victim designations the hub performed.

@@ -1,0 +1,255 @@
+package federation
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// The hub journal persists the handful of facts only the hub knows and
+// that the stitched per-node WALs cannot reconstruct:
+//
+//   - stamp leases: before the hub issues a stamp past the journaled
+//     floor it force-logs a new floor one chunk ahead, so a restarted
+//     hub resumes the counter strictly above every stamp it may ever
+//     have handed out — issued-but-unacked stamps are never reissued
+//     and plain stamp sorting of the stitched history stays total;
+//   - the ownership table: which node owns which process origin (and
+//     its submission arrival / restart suffix), so a reopened hub can
+//     re-assign orphans of nodes that never come back;
+//   - the epoch: a monotone hub-incarnation counter bumped on every
+//     reopen; frames from a previous epoch bounce with StStale.
+//
+// Everything else (policy events, phases, 2PC decisions) is rebuilt
+// from the stitched WALs by scheduler.Recover — see recover.go.
+
+// Journal entry kinds.
+const (
+	jLease  uint8 = 1 // Stamp = new lease floor
+	jAssign uint8 = 2 // Node/Origin/Proc/Arrival: ownership row
+	jEpoch  uint8 = 3 // Node = epoch
+)
+
+// JEntry is one hub-journal record.
+type JEntry struct {
+	Kind    uint8
+	Node    uint32 // owner node (jAssign) or epoch (jEpoch)
+	Stamp   int64  // lease floor (jLease)
+	Arrival int64  // submission arrival order (jAssign)
+	Origin  string // process origin id (jAssign)
+	Proc    string // incarnation id (jAssign)
+}
+
+// HubJournal is the hub's force-logged side channel. Append must be
+// durable when it returns (force semantics); Entries replays the
+// intact prefix after a crash.
+type HubJournal interface {
+	Append(e JEntry) error
+	Entries() ([]JEntry, error)
+	Close() error
+}
+
+// MemJournal is the in-memory journal used by tests and by clusters
+// whose hub-crash model snapshots the journal at kill time.
+type MemJournal struct {
+	mu      sync.Mutex
+	entries []JEntry
+}
+
+// NewMemJournal returns an empty in-memory journal.
+func NewMemJournal() *MemJournal { return &MemJournal{} }
+
+// Append records the entry.
+func (j *MemJournal) Append(e JEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries = append(j.entries, e)
+	return nil
+}
+
+// Entries returns a copy of the journal.
+func (j *MemJournal) Entries() ([]JEntry, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]JEntry, len(j.entries))
+	copy(out, j.entries)
+	return out, nil
+}
+
+// Close is a no-op.
+func (j *MemJournal) Close() error { return nil }
+
+// FileJournal force-logs entries to an append-only file, fsyncing each
+// append. The on-disk format is length-prefixed CRC-framed records; a
+// torn tail (partial last record from a crash mid-write) is tolerated
+// on replay, a corrupt interior record is not.
+type FileJournal struct {
+	mu   sync.Mutex
+	f    *os.File
+	sync bool
+}
+
+// ErrJournalCorrupt reports a CRC mismatch before the journal tail.
+var ErrJournalCorrupt = errors.New("federation: hub journal corrupt")
+
+// OpenFileJournal opens (creating if needed) an append-only journal
+// file. When noSync is true fsync is skipped (test speed).
+func OpenFileJournal(path string, noSync bool) (*FileJournal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileJournal{f: f, sync: !noSync}, nil
+}
+
+// encodeJEntry serializes one record body (without prefix or CRC).
+func encodeJEntry(e JEntry) []byte {
+	b := make([]byte, 0, 32+len(e.Origin)+len(e.Proc))
+	b = append(b, e.Kind)
+	b = binary.LittleEndian.AppendUint32(b, e.Node)
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.Stamp))
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.Arrival))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(e.Origin)))
+	b = append(b, e.Origin...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(e.Proc)))
+	b = append(b, e.Proc...)
+	return b
+}
+
+// decodeJEntry parses one record body.
+func decodeJEntry(b []byte) (JEntry, error) {
+	var e JEntry
+	if len(b) < 21 {
+		return e, ErrTruncated
+	}
+	e.Kind = b[0]
+	e.Node = binary.LittleEndian.Uint32(b[1:])
+	e.Stamp = int64(binary.LittleEndian.Uint64(b[5:]))
+	e.Arrival = int64(binary.LittleEndian.Uint64(b[13:]))
+	rest := b[21:]
+	for _, dst := range []*string{&e.Origin, &e.Proc} {
+		if len(rest) < 2 {
+			return e, ErrTruncated
+		}
+		n := int(binary.LittleEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < n {
+			return e, ErrTruncated
+		}
+		*dst = string(rest[:n])
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return e, ErrTrailing
+	}
+	return e, nil
+}
+
+// Append force-logs one entry: length prefix, CRC32 of the body, body,
+// then fsync.
+func (j *FileJournal) Append(e JEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	body := encodeJEntry(e)
+	rec := make([]byte, 0, 8+len(body))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(body)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(body))
+	rec = append(rec, body...)
+	if _, err := j.f.Write(rec); err != nil {
+		return err
+	}
+	if j.sync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// Entries replays the journal from the start, stopping silently at a
+// torn tail and failing loudly on interior corruption.
+func (j *FileJournal) Entries() ([]JEntry, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return nil, err
+	}
+	var out []JEntry
+	for off := 0; off < len(data); {
+		if len(data)-off < 8 {
+			break // torn tail: prefix cut mid-header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > MaxFrame {
+			return nil, fmt.Errorf("%w: record length %d at offset %d", ErrJournalCorrupt, n, off)
+		}
+		if len(data)-off-8 < n {
+			break // torn tail: body cut short
+		}
+		body := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(body) != sum {
+			if off+8+n == len(data) {
+				break // torn tail: last record half-written
+			}
+			return nil, fmt.Errorf("%w: bad CRC at offset %d", ErrJournalCorrupt, off)
+		}
+		e, err := decodeJEntry(body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrJournalCorrupt, err)
+		}
+		out = append(out, e)
+		off += 8 + n
+	}
+	return out, nil
+}
+
+// Close closes the underlying file.
+func (j *FileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// JournalState is the fold of a journal replay: the facts a reopening
+// hub seeds itself with before consuming the stitched WALs.
+type JournalState struct {
+	Epoch      uint32
+	LeaseFloor int64
+	// Owners maps origin → its journaled assignment (latest row wins;
+	// re-assignment after lease expiry appends a new row).
+	Owners map[string]JAssign
+}
+
+// JAssign is one folded ownership row.
+type JAssign struct {
+	Node    uint32
+	Proc    string // latest incarnation id
+	Arrival int64
+}
+
+// FoldJournal replays entries into the latest-wins state.
+func FoldJournal(entries []JEntry) JournalState {
+	st := JournalState{Owners: make(map[string]JAssign)}
+	for _, e := range entries {
+		switch e.Kind {
+		case jLease:
+			if e.Stamp > st.LeaseFloor {
+				st.LeaseFloor = e.Stamp
+			}
+		case jAssign:
+			st.Owners[e.Origin] = JAssign{Node: e.Node, Proc: e.Proc, Arrival: e.Arrival}
+		case jEpoch:
+			if e.Node > st.Epoch {
+				st.Epoch = e.Node
+			}
+		}
+	}
+	return st
+}

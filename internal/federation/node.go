@@ -40,6 +40,18 @@ type NodeConfig struct {
 	// through it with a crash sentinel the node recovers.
 	Inject  func(string)
 	Metrics *metrics.Registry
+	// Defs maps origin id → definition for every process in the cluster,
+	// not just this node's jobs — needed to admit adopted orphans of a
+	// dead peer. Nil restricts adoption to origins in Jobs.
+	Defs map[string]*process.Process
+	// HeartbeatEvery sends a lease-refreshing heartbeat when the driver
+	// is sleeping (its RPCs refresh the lease implicitly otherwise);
+	// zero disables heartbeats.
+	HeartbeatEvery time.Duration
+	// ReconnectAttempts bounds consecutive connection failures per RPC
+	// (0 = default), each preceded by a seeded backoff sleep — the knob
+	// that must outlast a hub reopen.
+	ReconnectAttempts int
 }
 
 // nodeProc is the node-side state of one process incarnation — the
@@ -81,11 +93,16 @@ type Node struct {
 	reg   *metrics.Registry
 	procs []*nodeProc
 	gen   int64 // latest progress generation seen in a response
+	defs  map[string]*process.Process
+	beat  time.Time // last heartbeat send
 
 	// Outcomes by incarnation id, as the engine reports them.
 	Outcomes map[process.ID]*scheduler.Outcome
 	// Crashed is set when an injected crash point stopped the node.
 	Crashed bool
+	// Reattached counts hub-restart (or lease-exile) recovery rounds the
+	// node performed.
+	Reattached int
 }
 
 // NewNode builds a node; Run connects and drives it.
@@ -129,7 +146,9 @@ func (n *Node) call(f *Frame, invocation bool) (*Frame, error) {
 
 // Run drives the node until all owned work is terminal (or a crash
 // point fires — the node then stops with Crashed set, its WAL and the
-// hub's subsystem state surviving for stitched recovery).
+// hub's subsystem state surviving for stitched recovery). A hub restart
+// surfacing as ErrHubRestart from any RPC triggers the re-attach flow
+// (re-hello, per-process fate query) and the driver resumes.
 func (n *Node) Run() (err error) {
 	defer func() {
 		v := recover()
@@ -144,78 +163,234 @@ func (n *Node) Run() (err error) {
 		panic(v)
 	}()
 	n.cli = NewClient(n.cfg.ID, n.cfg.Name, n.cfg.Addr, n.cfg.Wire,
-		n.cfg.DispatchBudget, n.cfg.ControlBudget, n.reg)
+		n.cfg.DispatchBudget, n.cfg.ControlBudget, n.cfg.ReconnectAttempts, n.reg)
 	defer n.cli.Close()
 	if _, err := n.call(&Frame{Type: MsgHello, Origin: n.cfg.Name}, false); err != nil {
 		return err
 	}
 	jobs := append([]NodeJob(nil), n.cfg.Jobs...)
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Arrival < jobs[j].Arrival })
+	n.defs = make(map[string]*process.Process, len(n.cfg.Defs)+len(jobs))
+	for id, d := range n.cfg.Defs {
+		n.defs[id] = d
+	}
 	for _, j := range jobs {
+		n.defs[string(j.Def.ID)] = j.Def
 		n.procs = append(n.procs, &nodeProc{
 			id: j.Def.ID, origin: j.Def.ID, def: j.Def,
 			inst: process.NewInstance(j.Def), arrival: j.Arrival,
 			prepared: make(map[int]preparedRemote),
 		})
 	}
+	n.beat = time.Now()
 
 	for {
-		progress := false
-		pendingRestart := false
-		allDone := true
-		for _, p := range n.procs {
-			if p.state == hubDone {
-				continue
+		done, err := n.roundOnce()
+		if errors.Is(err, ErrHubRestart) {
+			if rerr := n.reattach(); rerr != nil && !errors.Is(rerr, ErrHubRestart) {
+				return rerr
 			}
-			allDone = false
-			if !p.admitted {
-				if p.backoff > 0 {
-					p.backoff--
-					pendingRestart = true
-					continue
-				}
-				if err := n.admit(p); err != nil {
-					return err
-				}
-				progress = true
-				continue
-			}
-			ok, err := n.driveProc(p)
-			if err != nil {
-				return err
-			}
-			if ok {
-				progress = true
-			}
+			// A reattach cut short by another hub death retries on the
+			// next round — the next RPC bounces stale again.
+			continue
 		}
-		if allDone {
-			_, err := n.call(&Frame{Type: MsgIdle, Flag: true}, false)
+		if err != nil || done {
 			return err
 		}
-		if progress {
+	}
+}
+
+// roundOnce is one driver round; done reports clean completion (all
+// owned work terminal and the hub acknowledged the final idle).
+func (n *Node) roundOnce() (bool, error) {
+	progress := false
+	pendingRestart := false
+	allDone := true
+	for _, p := range n.procs {
+		if p.state == hubDone {
 			continue
 		}
-		if pendingRestart {
-			// Never report idle with a restart pending: the hub would
-			// count this node as quiescent and designate a victim against
-			// work that is about to re-enter.
-			time.Sleep(100 * time.Microsecond)
+		allDone = false
+		if !p.admitted {
+			if p.backoff > 0 {
+				p.backoff--
+				pendingRestart = true
+				continue
+			}
+			if err := n.admit(p); err != nil {
+				return false, err
+			}
+			progress = true
 			continue
 		}
-		resp, err := n.call(&Frame{Type: MsgIdle, Gen: n.gen}, false)
+		ok, err := n.driveProc(p)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			progress = true
+		}
+	}
+	if allDone {
+		resp, err := n.call(&Frame{Type: MsgIdle, Flag: true}, false)
+		if err != nil {
+			return false, err
+		}
+		// The final idle can still carry queued work: an adoption offer
+		// un-finishes the node; stray designations for already-terminal
+		// processes are absorbed.
+		switch {
+		case resp.Status == StAdopt && resp.Victim != "":
+			n.adopt(resp)
+		case resp.Status == StVictim && resp.Victim != "":
+			n.markVictim(process.ID(resp.Victim))
+		case resp.Status == StPark && resp.Victim != "":
+			n.markParked(process.ID(resp.Victim))
+		default:
+			return true, nil
+		}
+		return false, nil
+	}
+	if progress {
+		return false, nil
+	}
+	if pendingRestart {
+		// Never report idle with a restart pending: the hub would
+		// count this node as quiescent and designate a victim against
+		// work that is about to re-enter.
+		return false, n.idleSleep()
+	}
+	resp, err := n.call(&Frame{Type: MsgIdle, Gen: n.gen}, false)
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case resp.Status == StVictim && resp.Victim != "":
+		n.markVictim(process.ID(resp.Victim))
+	case resp.Status == StPark && resp.Victim != "":
+		n.markParked(process.ID(resp.Victim))
+	case resp.Status == StAdopt && resp.Victim != "":
+		n.adopt(resp)
+	default:
+		return false, n.idleSleep()
+	}
+	return false, nil
+}
+
+// idleSleep naps between unproductive rounds, sending a lease-refresh
+// heartbeat when one is due (driver RPCs refresh the lease implicitly,
+// so heartbeats only matter while the node is otherwise silent).
+func (n *Node) idleSleep() error {
+	if n.cfg.HeartbeatEvery > 0 && time.Since(n.beat) >= n.cfg.HeartbeatEvery {
+		n.beat = time.Now()
+		if _, err := n.call(&Frame{Type: MsgHeartbeat}, false); err != nil {
+			return err
+		}
+	}
+	time.Sleep(100 * time.Microsecond)
+	return nil
+}
+
+// adopt admits a fresh incarnation of a dead peer's orphaned origin,
+// granted by the hub through an idle poll (StAdopt).
+func (n *Node) adopt(resp *Frame) {
+	def := n.defs[resp.Origin]
+	if def == nil {
+		return // unknown origin: the offer is consumed, recovery settles it
+	}
+	newID := process.ID(resp.Victim)
+	for _, p := range n.procs {
+		if p.id == newID {
+			return // duplicate delivery (lost response replayed)
+		}
+	}
+	n.procs = append(n.procs, &nodeProc{
+		id: newID, origin: process.ID(resp.Origin), def: def.WithID(newID),
+		inst: process.NewInstance(def.WithID(newID)), arrival: int(resp.Stamp2),
+		restarts: int(resp.Extra),
+		prepared: make(map[int]preparedRemote),
+	})
+}
+
+// reattach is the hub-restart recovery flow: re-hello (adopting the new
+// epoch), then ask the hub for the recovered fate of every in-flight
+// process and settle the local mirror accordingly. Fates come from the
+// reopen's composed recovery pass, so this resolves every in-doubt
+// transition — a process the node last saw mid-2PC comes back either
+// committed (decision was logged; recovery redid the resolution) or
+// aborted (no decision; presumed abort), never in between.
+func (n *Node) reattach() error {
+	if _, err := n.call(&Frame{Type: MsgHello, Origin: n.cfg.Name}, false); err != nil {
+		return err
+	}
+	n.Reattached++
+	for _, p := range n.procs {
+		if p.state == hubDone {
+			continue
+		}
+		// Not-yet-admitted procs are queried too: a pending adopted
+		// incarnation may have been re-homed to another survivor while
+		// this node's lease was expired, in which case the hub retired
+		// it and admitting it now would drive a dead incarnation. A
+		// never-admitted original simply comes back Unknown and the
+		// reset below is a no-op for it.
+		resp, err := n.call(&Frame{
+			Type: MsgReattach, Proc: string(p.id),
+			Flag: p.restarts < n.cfg.MaxRestarts,
+		}, false)
 		if err != nil {
 			return err
 		}
-		if resp.Status == StVictim && resp.Victim != "" {
-			n.markVictim(process.ID(resp.Victim))
-			continue
+		switch resp.Extra {
+		case ReattachCommitted:
+			// Terminated committed; the terminate record already exists
+			// (pre-crash or in the recovery tail) — log nothing.
+			p.state = hubDone
+			out := n.outcome(p)
+			out.Committed = true
+			out.Aborted = false
+			out.Restarts = p.restarts
+		case ReattachAborted:
+			p.state = hubDone
+			out := n.outcome(p)
+			out.Committed = false
+			out.Aborted = true
+			out.Restarts = p.restarts
+			if resp.Flag && resp.Victim != "" {
+				// Hub-granted restart incarnation (suffix chosen hub-side
+				// so it never collides across owners or incarnations).
+				newID := process.ID(resp.Victim)
+				n.procs = append(n.procs, &nodeProc{
+					id: newID, origin: p.origin, def: p.def.WithID(newID),
+					inst: process.NewInstance(p.def.WithID(newID)), arrival: p.arrival,
+					restarts: int(resp.Stamp2), backoff: 4,
+					prepared: make(map[int]preparedRemote),
+				})
+			}
+		case ReattachParked:
+			p.state = hubDone
+			p.restartable = false
+			out := n.outcome(p)
+			out.Aborted = true
+			out.Restarts = p.restarts
+		case ReattachLive:
+			// Still tracked live (the hub never actually died from this
+			// node's perspective — e.g. a revived membership): keep going.
+		case ReattachUnknown:
+			// No WAL record exists for this incarnation (the admit reply
+			// was lost before RecStart was forced), so recovery cannot
+			// have settled it and re-admitting the same id is safe.
+			p.admitted = false
+			p.abortPending = false
+			p.state = hubRunning
+			p.recovery = nil
+			p.inst = process.NewInstance(p.def)
+			p.prepared = make(map[int]preparedRemote)
+		default:
+			return fmt.Errorf("federation: unknown reattach fate %d for %s", resp.Extra, p.id)
 		}
-		if resp.Status == StPark && resp.Victim != "" {
-			n.markParked(process.ID(resp.Victim))
-			continue
-		}
-		time.Sleep(100 * time.Microsecond)
 	}
+	return nil
 }
 
 func (n *Node) markVictim(id process.ID) {
@@ -243,6 +418,15 @@ func (n *Node) markParked(id process.ID) {
 	}
 }
 
+// outcome returns the Outcome slot for p, creating it for a proc that
+// was never admitted (its slot is otherwise made on admit).
+func (n *Node) outcome(p *nodeProc) *scheduler.Outcome {
+	if n.Outcomes[p.id] == nil {
+		n.Outcomes[p.id] = &scheduler.Outcome{Restarts: p.restarts}
+	}
+	return n.Outcomes[p.id]
+}
+
 func (n *Node) admit(p *nodeProc) error {
 	resp, err := n.call(&Frame{
 		Type: MsgAdmit, Proc: string(p.id), Origin: string(p.origin),
@@ -251,9 +435,26 @@ func (n *Node) admit(p *nodeProc) error {
 	if err != nil {
 		return err
 	}
-	n.force(wal.Record{Type: wal.RecStart, Proc: string(p.id)}, resp.Stamp)
+	if !resp.Flag2 {
+		// Flag2 marks an idempotent replay of a known incarnation (a lost
+		// admit response re-asked across a reconnect): RecStart was
+		// already forced at the original stamp, never twice.
+		n.force(wal.Record{Type: wal.RecStart, Proc: string(p.id)}, resp.Stamp)
+	} else if resp.Extra == ReattachCommitted || resp.Extra == ReattachAborted {
+		// The replayed incarnation was settled while this node was out
+		// (re-homed after a lease expiry, or finished by another owner):
+		// file the fate instead of driving a dead incarnation.
+		p.state = hubDone
+		out := n.outcome(p)
+		out.Committed = resp.Extra == ReattachCommitted
+		out.Aborted = resp.Extra == ReattachAborted
+		out.Restarts = p.restarts
+		return nil
+	}
 	p.admitted = true
-	n.Outcomes[p.id] = &scheduler.Outcome{Restarts: p.restarts}
+	if n.Outcomes[p.id] == nil {
+		n.Outcomes[p.id] = &scheduler.Outcome{Restarts: p.restarts}
+	}
 	return nil
 }
 

@@ -1,0 +1,172 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"transproc/internal/metrics"
+	"transproc/internal/process"
+	"transproc/internal/scheduler"
+	"transproc/internal/subsystem"
+	"transproc/internal/wal"
+)
+
+// ReopenReport is the result of a hub reopen: the stitched history the
+// recovery pass consumed and extended, the pre-crash boundary, the
+// recovery report, and the re-stamped recovery tail.
+type ReopenReport struct {
+	// Log is the stitched pre-crash history with the recovery-appended
+	// tail (tail records carry stamp zero here, exactly as a single-node
+	// recovery pass leaves them — fault.CheckRecovered consumes it with
+	// Pre as the boundary).
+	Log *wal.MemLog
+	// Pre is the pre-crash record count.
+	Pre int
+	// Report is the composed recovery's report.
+	Report *scheduler.RecoveryReport
+	// Tail holds copies of the recovery-appended records re-stamped with
+	// fresh post-reopen stamps, so a later stitch across the whole
+	// multi-incarnation run sorts them after every pre-crash record and
+	// before every new-session record. The cluster files them as one
+	// more log in its stitch set.
+	Tail []wal.Record
+}
+
+// ReopenHub rebuilds a coordination hub after kill -9 of the previous
+// incarnation, from what survived: the nodes' force-logged WALs, the
+// subsystem federation (its own durable state), and the hub journal.
+// The reopen is stop-the-world — it runs the composed crash recovery
+// over the stitched history, which settles EVERY non-terminal process
+// (in-doubt 2PC resolved by presumed abort/commit, group aborts
+// compensated in reverse global order, orphaned subsystem transactions
+// aborted), so the new incarnation starts with an empty policy state
+// that the recovered history provably does not constrain. Nodes then
+// re-hello and learn each in-flight process's settled fate through
+// MsgReattach.
+//
+// The journal contributes the three facts the WALs cannot: the stamp
+// lease floor (the counter resumes above every stamp the dead hub may
+// have issued, acked or not), the epoch (bumped, so stale frames
+// bounce), and the ownership table (diagnostics; re-attachment is
+// driven by the nodes). A nil journal falls back to the highest
+// stitched stamp — safe only when no issued-but-unacked stamp can
+// exist, i.e. outside torture runs.
+func ReopenHub(fed *subsystem.Federation, defs []*process.Process, logs []wal.Log, cfg HubConfig) (*Hub, *ReopenReport, error) {
+	var jst JournalState
+	if cfg.Journal != nil {
+		entries, err := cfg.Journal.Entries()
+		if err != nil {
+			return nil, nil, fmt.Errorf("federation: reopen journal replay: %w", err)
+		}
+		jst = FoldJournal(entries)
+	}
+
+	// Stitch the per-node WALs into the single global history the
+	// existing recovery machinery consumes unchanged.
+	var all []wal.Record
+	for _, l := range logs {
+		recs, err := l.Records()
+		if err != nil {
+			return nil, nil, fmt.Errorf("federation: reopen stitch: %w", err)
+		}
+		all = append(all, recs...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Stamp < all[j].Stamp })
+	log := wal.NewMemLog()
+	var maxStamp int64
+	for _, r := range all {
+		r.LSN = 0
+		if _, err := log.Append(r); err != nil {
+			return nil, nil, err
+		}
+		if r.Stamp > maxStamp {
+			maxStamp = r.Stamp
+		}
+	}
+	pre := len(all)
+
+	report, err := scheduler.Recover(fed, log, defs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("federation: reopen recovery: %w", err)
+	}
+
+	// New incarnation: epoch bumped (journaled first, so a second crash
+	// cannot resurrect this epoch either), stamp counter resumed above
+	// everything the dead hub may have handed out.
+	cfg.Epoch = jst.Epoch + 1
+	h, err := NewHub(fed, defs, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.stamp = maxStamp
+	if jst.LeaseFloor > h.stamp {
+		h.stamp = jst.LeaseFloor
+	}
+	h.leaseFloor = jst.LeaseFloor
+	if h.journal != nil {
+		if err := h.journal.Append(JEntry{Kind: jEpoch, Node: cfg.Epoch}); err != nil {
+			return nil, nil, fmt.Errorf("federation: reopen epoch journal: %w", err)
+		}
+	}
+
+	// Re-stamp the recovery tail into the new incarnation's stamp space:
+	// the full-run stitched order becomes [pre-crash | recovery tail |
+	// new session], which is exactly the order the composed final
+	// recovery (and the judges) must see the effects in.
+	recs, err := log.Records()
+	if err != nil {
+		return nil, nil, err
+	}
+	tail := make([]wal.Record, len(recs)-pre)
+	copy(tail, recs[pre:])
+	for i := range tail {
+		tail[i].Stamp = h.next()
+	}
+
+	// Recovered fates (every process in the history is terminal now) and
+	// the restart-suffix floor, so post-reopen grants never collide with
+	// pre-crash incarnation ids.
+	img, err := wal.Analyze(recs)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.fates = make(map[process.ID]bool, len(img))
+	for name, im := range img {
+		id := process.ID(name)
+		h.fates[id] = im.Terminated && im.TerminatedCommitted
+		if s := restartSuffix(name); s > 0 {
+			origin := string(scheduler.Origin(id))
+			if s > h.maxSuffix[origin] {
+				h.maxSuffix[origin] = s
+			}
+		}
+	}
+	// The group abort's terminate records all read as abort completions,
+	// but a forward-recovered (F-REC) process completed PAST its pivot —
+	// its forward work stands, so its fate is committed. Getting this
+	// wrong would grant the origin a restart and double-execute a
+	// committed process.
+	for _, id := range report.ForwardRecovered {
+		h.fates[id] = true
+	}
+	h.reopened = true
+	h.reg.Inc(metrics.FedHubReopens)
+
+	return h, &ReopenReport{Log: log, Pre: pre, Report: report, Tail: tail}, nil
+}
+
+// restartSuffix parses the numeric suffix of a restart incarnation id
+// ("p3+r2" → 2); zero for an original incarnation.
+func restartSuffix(id string) int {
+	i := strings.LastIndex(id, "+r")
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[i+2:])
+	if err != nil {
+		return 0
+	}
+	return n
+}

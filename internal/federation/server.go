@@ -21,7 +21,14 @@ type Server struct {
 
 // Serve starts a server for the hub on an ephemeral localhost port.
 func Serve(hub *Hub) (*Server, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	return ServeAddr(hub, "127.0.0.1:0")
+}
+
+// ServeAddr starts a server on a specific address — a reopened hub
+// rebinds the dead incarnation's address so clients' redial loops find
+// the new incarnation without reconfiguration.
+func ServeAddr(hub *Hub, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -68,6 +75,12 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // malformed frame or closed peer: drop the connection
 		}
 		resp := s.hub.Handle(req)
+		if resp == nil {
+			// The hub is dead (an injected crash point fired): drop the
+			// connection without answering — the client sees exactly what
+			// kill -9 of the coordination agent looks like.
+			return
+		}
 		resp.Req = req.Req
 		if err := WriteFrame(conn, resp); err != nil {
 			return

@@ -78,6 +78,15 @@ const (
 	// MsgIdle reports node quiescence for cluster-wide stall detection;
 	// the response may carry a victim designation.
 	MsgIdle
+	// MsgHeartbeat refreshes the node's membership lease without doing
+	// any scheduling work; the response carries the hub's epoch so a
+	// restarted hub is detected even on an otherwise idle node.
+	MsgHeartbeat
+	// MsgReattach asks a freshly reconnected node for the recovered fate
+	// of one of its in-flight processes: already settled (committed or
+	// aborted by hub recovery) and, for aborted origins with restarts
+	// remaining, the incarnation id under which the node may resubmit.
+	MsgReattach
 	// MsgResponse is the type of every hub response.
 	MsgResponse
 
@@ -115,6 +124,10 @@ func (t MsgType) String() string {
 		return "cancel"
 	case MsgIdle:
 		return "idle"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgReattach:
+		return "reattach"
 	case MsgResponse:
 		return "response"
 	default:
@@ -152,6 +165,13 @@ const (
 	// composed recovery finishes its group abort in correct global
 	// order.
 	StPark
+	// StStale: the frame carries an epoch from a hub incarnation that no
+	// longer exists (or comes from a node whose lease expired); the node
+	// must re-hello and re-attach before retrying.
+	StStale
+	// StAdopt: an idle response carrying an orphaned process the node
+	// should adopt (Origin/Proc/Stamp2 describe the new incarnation).
+	StAdopt
 	// StError: the hub rejected the request; Err carries the reason.
 	StError
 
@@ -168,6 +188,7 @@ type Frame struct {
 	Flag   bool
 	Flag2  bool
 	Node   uint32
+	Epoch  uint32 // hub incarnation the sender believes in; 0 = unknown (hello)
 	Req    uint64
 	Local  int32
 	Extra  int32 // restarts on MsgAdmit; step kind on step messages
@@ -203,7 +224,7 @@ var (
 )
 
 // fixedHeader is the byte count of the fixed-width portion of a payload.
-const fixedHeader = 1 + 1 + 1 + 1 + 4 + 8 + 4 + 4 + 8 + 8 + 8 + 8
+const fixedHeader = 1 + 1 + 1 + 1 + 4 + 4 + 8 + 4 + 4 + 8 + 8 + 8 + 8
 
 // EncodePayload serializes a frame payload (without the length prefix).
 func EncodePayload(f *Frame) []byte {
@@ -221,6 +242,7 @@ func EncodePayload(f *Frame) []byte {
 	}
 	b = append(b, uint8(f.Type), uint8(f.Status), f.Kind, flags)
 	b = binary.LittleEndian.AppendUint32(b, f.Node)
+	b = binary.LittleEndian.AppendUint32(b, f.Epoch)
 	b = binary.LittleEndian.AppendUint64(b, f.Req)
 	b = binary.LittleEndian.AppendUint32(b, uint32(f.Local))
 	b = binary.LittleEndian.AppendUint32(b, uint32(f.Extra))
@@ -263,13 +285,14 @@ func DecodePayload(b []byte) (*Frame, error) {
 	f.Flag = flags&1 != 0
 	f.Flag2 = flags&2 != 0
 	f.Node = binary.LittleEndian.Uint32(b[4:])
-	f.Req = binary.LittleEndian.Uint64(b[8:])
-	f.Local = int32(binary.LittleEndian.Uint32(b[16:]))
-	f.Extra = int32(binary.LittleEndian.Uint32(b[20:]))
-	f.Tx = int64(binary.LittleEndian.Uint64(b[24:]))
-	f.Stamp = int64(binary.LittleEndian.Uint64(b[32:]))
-	f.Stamp2 = int64(binary.LittleEndian.Uint64(b[40:]))
-	f.Gen = int64(binary.LittleEndian.Uint64(b[48:]))
+	f.Epoch = binary.LittleEndian.Uint32(b[8:])
+	f.Req = binary.LittleEndian.Uint64(b[12:])
+	f.Local = int32(binary.LittleEndian.Uint32(b[20:]))
+	f.Extra = int32(binary.LittleEndian.Uint32(b[24:]))
+	f.Tx = int64(binary.LittleEndian.Uint64(b[28:]))
+	f.Stamp = int64(binary.LittleEndian.Uint64(b[36:]))
+	f.Stamp2 = int64(binary.LittleEndian.Uint64(b[44:]))
+	f.Gen = int64(binary.LittleEndian.Uint64(b[52:]))
 	rest := b[fixedHeader:]
 	for _, dst := range []*string{&f.Proc, &f.Origin, &f.Service, &f.Subsystem, &f.Victim, &f.Err} {
 		if len(rest) < 2 {

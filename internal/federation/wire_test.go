@@ -54,6 +54,7 @@ func randFrame(rng *rand.Rand) *Frame {
 		Flag:   rng.Intn(2) == 0,
 		Flag2:  rng.Intn(2) == 0,
 		Node:   rng.Uint32(),
+		Epoch:  rng.Uint32(),
 		Req:    rng.Uint64(),
 		Local:  int32(rng.Uint32()),
 		Extra:  int32(rng.Uint32()),
@@ -109,7 +110,7 @@ func TestWireRoundTrip(t *testing.T) {
 			// Max-size strings and extreme integers.
 			check(t, &Frame{
 				Type: typ, Status: statusMax, Kind: 255, Flag: true, Flag2: true,
-				Node: math.MaxUint32, Req: math.MaxUint64,
+				Node: math.MaxUint32, Epoch: math.MaxUint32, Req: math.MaxUint64,
 				Local: math.MinInt32, Extra: math.MaxInt32,
 				Tx: math.MinInt64, Stamp: math.MaxInt64, Stamp2: -1, Gen: math.MinInt64,
 				Proc: maxStr, Origin: maxStr, Service: maxStr,

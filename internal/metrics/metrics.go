@@ -121,7 +121,9 @@ const (
 	// Federation (internal/federation): hub RPCs served, duplicate
 	// requests absorbed by the hub's dedup table, wire-level faults
 	// injected by the transport plan, stall victims designated by the
-	// hub, and scheduler-node deaths observed.
+	// hub, scheduler-node deaths observed, hub kills and reopens,
+	// membership-lease expiries, orphan adoptions, node re-attachments,
+	// stale-epoch bounces and lease heartbeats.
 	FedRPCs
 	FedDedupReplays
 	FedWireDrops
@@ -129,6 +131,13 @@ const (
 	FedRPCRetries
 	FedVictims
 	FedNodeDeaths
+	FedHubKills
+	FedHubReopens
+	FedLeaseExpiries
+	FedAdoptions
+	FedReattaches
+	FedStaleBounces
+	FedHeartbeats
 
 	// Ingestion server (internal/serve): submissions offered, accepted
 	// into the admission queue, shed with 429 (queue full, in-flight cap
@@ -214,6 +223,13 @@ var counterNames = [numCounters]string{
 	FedRPCRetries:          "fed.rpc_retries",
 	FedVictims:             "fed.victims",
 	FedNodeDeaths:          "fed.node_deaths",
+	FedHubKills:            "fed.hub_kills",
+	FedHubReopens:          "fed.hub_reopens",
+	FedLeaseExpiries:       "fed.lease_expiries",
+	FedAdoptions:           "fed.adoptions",
+	FedReattaches:          "fed.reattaches",
+	FedStaleBounces:        "fed.stale_bounces",
+	FedHeartbeats:          "fed.heartbeats",
 	ServeSubmitted:         "serve.submitted",
 	ServeAccepted:          "serve.accepted",
 	ServeShedQueue:         "serve.shed.queue",

@@ -293,6 +293,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		reason = "closed"
 	case s.draining.Load():
 		reason = "draining"
+	case s.hubDegraded.Load():
+		reason = "federation hub unreachable"
 	default:
 		s.mu.Lock()
 		queued := len(s.queue) + s.reserved

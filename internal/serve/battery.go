@@ -23,6 +23,7 @@ import (
 
 	"transproc/internal/activity"
 	"transproc/internal/fault"
+	"transproc/internal/metrics"
 	"transproc/internal/schedule"
 	"transproc/internal/scheduler"
 	"transproc/internal/spec"
@@ -66,10 +67,19 @@ type Scenario struct {
 	// Tick slows virtual service time so drains and overloads catch
 	// work in flight.
 	Tick time.Duration
+	// FedNodes > 0 routes batches through a federation cluster;
+	// FedHubPoint/FedHubCount arm a hub kill -9 inside the first batch
+	// (the server must ride through the reopen), and the lease knobs
+	// exercise the membership plumbing.
+	FedNodes     int
+	FedHubPoint  string
+	FedHubCount  int
+	FedLeaseTTL  time.Duration
+	FedHeartbeat time.Duration
 }
 
 // serveClasses is the scenario-class cycle.
-const serveClasses = 9
+const serveClasses = 10
 
 // ScenarioFor derives the deterministic scenario of a seed. Nine
 // classes cycle by seed: a crash after the journal append but before
@@ -146,6 +156,31 @@ func ScenarioFor(seed int64) Scenario {
 		sc.Class = "double-crash"
 		sc.Plan.CrashAfterWALRecords = budget
 		sc.RerunBudget = 5 + rng.Intn(40)
+	case 9:
+		// The coordination hub of a federated batch dies kill -9 style
+		// mid-batch; the serve layer must ride through the reopen (its
+		// readiness probe degrading in the window) and still settle every
+		// acked submission exactly once. The generous lease keeps healthy
+		// heartbeating nodes from spurious expiry — lease-expiry torture
+		// proper lives in the federation hub battery.
+		sc.Class = "fed-hub-bounce"
+		sc.FedNodes = 2 + rng.Intn(2)
+		// Dispatch kills are guaranteed to fire (any admitted work hits
+		// them) so they carry double weight; the 2PC-window kills ride
+		// along when the batch exercises those paths.
+		pts := []string{fault.PointHubDispatch, fault.PointHubDispatch,
+			fault.PointHubDecision, fault.PointHubResolve}
+		sc.FedHubPoint = pts[rng.Intn(len(pts))]
+		if sc.FedHubPoint == fault.PointHubDispatch {
+			sc.FedHubCount = 1 + rng.Intn(4)
+		} else {
+			sc.FedHubCount = 1
+		}
+		sc.FedLeaseTTL = 200 * time.Millisecond
+		sc.FedHeartbeat = 10 * time.Millisecond
+		sc.Procs = 12
+		sc.CheckpointEvery = 0 // LSN epoch boundaries must survive verbatim
+		sc.CompactOnCheckpoint = false
 	}
 	return sc
 }
@@ -231,6 +266,21 @@ func scenarioConfig(sc Scenario, dir string, plan fault.Plan, walBudget int, hol
 	if sc.Park {
 		cfg.BatchMax = 2
 		cfg.DrainTimeout = 25 * time.Millisecond
+	}
+	if sc.FedNodes > 0 {
+		cfg.FedNodes = sc.FedNodes
+		cfg.FedLeaseTTL = sc.FedLeaseTTL
+		cfg.FedHeartbeat = sc.FedHeartbeat
+		// One batch holds the whole workload, so the armed hub kill is
+		// guaranteed to fire inside it.
+		cfg.BatchMax = sc.Procs
+		cfg.BatchWait = 30 * time.Millisecond
+		if !hold {
+			// Only the first incarnation arms the kill; a restart resumes
+			// over a healthy hub.
+			cfg.FedHubKillPoint = sc.FedHubPoint
+			cfg.FedHubKillCount = sc.FedHubCount
+		}
 	}
 	if plan.CrashAtPoint != "" {
 		inj := fault.NewInjector(plan)
@@ -501,16 +551,34 @@ func RunScenario(sc Scenario, dir string) error {
 	srv.Close()
 	flushAbandoned(srv)
 
-	// The crash boundary, read from the abandoned WAL.
+	// Hub-bounce scenarios must actually have bounced: the armed kill
+	// fired, the cluster reopened the hub, and the readiness probe is
+	// back out of its degraded window.
+	reopenLSNs := srv.ReopenBoundaries()
+	if sc.FedNodes > 0 && sc.FedHubPoint != "" {
+		// hub:dispatch fires on any admitted work, so its kill MUST have
+		// been ridden out; decision/resolve points fire only when the
+		// batch exercises cross-node 2PC windows (soft, as in the
+		// federation hub battery).
+		if got := srv.Metrics().Counter(metrics.FedHubReopens); got == 0 && sc.FedHubPoint == fault.PointHubDispatch {
+			return fail("armed hub kill at %q never fired (no reopen)", sc.FedHubPoint)
+		}
+		if srv.hubDegraded.Load() {
+			return fail("readiness still degraded after the batch settled")
+		}
+	}
+
+	// The crash boundary, read from the abandoned WAL. Mid-batch hub
+	// reopens are earlier crash epochs of the same history.
 	pre, preFull, lsn, err := preCrashBoundary(dir)
 	if err != nil {
 		return fail("pre-crash boundary: %v", err)
 	}
-	crashLSNs := []int64{lsn}
+	crashLSNs := append(append([]int64(nil), reopenLSNs...), lsn)
 
 	// Restart over the same directory; judge recovery, then release the
 	// resume set.
-	srv2, err := restartAndJudge(sc, fed, dir, pre, preFull, sc.RerunBudget, nil)
+	srv2, err := restartAndJudge(sc, fed, dir, pre, preFull, sc.RerunBudget, reopenLSNs)
 	if err != nil {
 		return fail("%v", err)
 	}
@@ -555,7 +623,8 @@ func RunScenario(sc Scenario, dir string) error {
 			return fail("second boundary: %v", err)
 		}
 		crashLSNs = append(crashLSNs, lsn2)
-		srv3, err := restartAndJudge(sc, fed, dir, pre2, preFull2, 0, []int64{lsn})
+		srv3, err := restartAndJudge(sc, fed, dir, pre2, preFull2, 0,
+			append(append([]int64(nil), reopenLSNs...), lsn))
 		if err != nil {
 			return fail("second restart: %v", err)
 		}

@@ -30,7 +30,7 @@ func TestServeScenarioClasses(t *testing.T) {
 	want := map[int64]string{
 		0: "admit-crash", 1: "ack-crash", 2: "drain-crash", 3: "wal-budget",
 		4: "engine-point", 5: "group-fsync", 6: "overload", 7: "drain-park",
-		8: "double-crash",
+		8: "double-crash", 9: "fed-hub-bounce",
 	}
 	for seed, class := range want {
 		if sc := ScenarioFor(seed); sc.Class != class {

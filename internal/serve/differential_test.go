@@ -21,9 +21,11 @@ import (
 func TestRestartResumeDifferential(t *testing.T) {
 	// Crash classes only (admit-crash, ack-crash, wal-budget,
 	// engine-point, group-fsync, double-crash): overload sheds a
-	// timing-dependent subset and drains park rather than kill, so
-	// neither compares 1:1 against an uninterrupted run.
-	seeds := []int64{0, 1, 3, 4, 5, 8, 9, 12, 13, 17, 22, 26}
+	// timing-dependent subset, drains park rather than kill, and
+	// fed-hub-bounce kills a different process than the one being
+	// differenced, so none of those compare 1:1 against an
+	// uninterrupted run.
+	seeds := []int64{0, 1, 3, 4, 5, 8, 10, 13, 14, 15, 18, 21}
 	if testing.Short() {
 		seeds = seeds[:6]
 	}

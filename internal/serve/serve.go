@@ -128,6 +128,18 @@ type Config struct {
 	// batch as an audit copy (weaker mid-batch crash-safety: the
 	// journal, not the server WAL, is what restarts resume from).
 	FedNodes int
+	// FedLeaseTTL / FedHeartbeat enable lease-based membership inside
+	// the federation cluster (zero = disabled): a silent node's lease
+	// expires and its safe orphans re-home to survivors mid-batch.
+	FedLeaseTTL  time.Duration
+	FedHeartbeat time.Duration
+	// FedHubKillPoint arms a hub-side crash point (hub:dispatch,
+	// hub:decision, hub:resolve) on the FIRST federated batch only —
+	// the hub dies kill -9 style mid-batch and the cluster reopens it
+	// from the stitched WALs plus its journal while /readyz reports
+	// degraded. Battery use.
+	FedHubKillPoint string
+	FedHubKillCount int
 }
 
 // submission states.
@@ -203,13 +215,15 @@ type Server struct {
 	// no window where dequeued-but-unsealed work looks idle.
 	pending atomic.Int64
 
-	draining atomic.Bool
-	crashed  atomic.Bool
-	closed   atomic.Bool
-	crashPt  atomic.Value // string
-	stopOnce sync.Once
-	stopCh   chan struct{}
-	drainMu  sync.Mutex
+	draining    atomic.Bool
+	crashed     atomic.Bool
+	closed      atomic.Bool
+	hubDegraded atomic.Bool  // federation hub unreachable (reopen in progress)
+	hubKillUsed atomic.Bool  // FedHubKillPoint armed once already
+	crashPt     atomic.Value // string
+	stopOnce    sync.Once
+	stopCh      chan struct{}
+	drainMu     sync.Mutex
 
 	runnerWG sync.WaitGroup
 	httpSrv  *http.Server
@@ -218,6 +232,11 @@ type Server struct {
 	report  *scheduler.RecoveryReport
 	resumed int
 	reruns  int
+
+	// reopenLSNs are the server-log LSN boundaries of federation hub
+	// reopens ridden through by this incarnation's batches (guarded by
+	// mu; see ReopenBoundaries).
+	reopenLSNs []int64
 }
 
 // Open creates or reopens a server over the federation and data
@@ -646,14 +665,40 @@ func (s *Server) executeFed(jobs []scheduler.Job) (map[process.ID]*scheduler.Out
 	if s.cfg.Mode == scheduler.PREDCascade {
 		mode = policy.PREDCascade
 	}
-	c, err := federation.NewCluster(s.fed, defs, federation.Config{
+	var bmu sync.Mutex
+	var boundStamps []int64 // first re-stamped tail stamp per hub reopen
+	fcfg := federation.Config{
 		Nodes: s.cfg.FedNodes, Mode: mode, MaxRestarts: s.cfg.MaxRestarts, Metrics: s.reg,
-	})
+		LeaseTTL: s.cfg.FedLeaseTTL, HeartbeatEvery: s.cfg.FedHeartbeat,
+		OnHubDown: func() { s.hubDegraded.Store(true) },
+		OnHubUp:   func() { s.hubDegraded.Store(false) },
+		// A mid-batch hub reopen is judged at its boundary: the stitched
+		// history plus the reopen's recovery tail must satisfy the same
+		// invariants a single-node crash recovery is held to.
+		OnReopen: func(rep *federation.ReopenReport) error {
+			bmu.Lock()
+			if len(rep.Tail) > 0 {
+				boundStamps = append(boundStamps, rep.Tail[0].Stamp)
+			}
+			bmu.Unlock()
+			return fault.CheckRecovered(fault.CheckInput{
+				Fed: s.fed, Log: rep.Log, Defs: defs,
+				PreCrashRecords: rep.Pre, PreCrashFull: rep.Pre,
+			})
+		},
+	}
+	if s.cfg.FedHubKillPoint != "" && s.hubKillUsed.CompareAndSwap(false, true) {
+		fcfg.HubKill = federation.CrashSpec{Point: s.cfg.FedHubKillPoint, Count: s.cfg.FedHubKillCount}
+	}
+	c, err := federation.NewCluster(s.fed, defs, fcfg)
 	if err != nil {
 		return nil, err
 	}
 	defer c.Close()
 	res := c.Run()
+	if res.HubErr != nil {
+		return nil, fmt.Errorf("hub reopen: %w", res.HubErr)
+	}
 	for i, nerr := range res.NodeErrs {
 		if nerr != nil {
 			return nil, fmt.Errorf("node %d: %w", i, nerr)
@@ -663,15 +708,43 @@ func (s *Server) executeFed(jobs []scheduler.Job) (map[process.ID]*scheduler.Out
 	if err != nil {
 		return nil, err
 	}
+	// While copying the stitched batch history into the server log,
+	// translate each reopen's stamp boundary into a server-log LSN (the
+	// last record stamped before the reopen's re-stamped recovery tail).
+	// The end-state judges need these: recovery-tail records replay in
+	// recovering mode, not as ordinary forward work.
+	bmu.Lock()
+	bounds := append([]int64(nil), boundStamps...)
+	bmu.Unlock()
+	boundLSNs := make([]int64, len(bounds))
 	for _, rec := range recs {
 		if rec.Type == wal.RecCheckpoint {
 			continue
 		}
-		if _, err := s.log.Append(rec); err != nil {
+		lsn, err := s.log.Append(rec)
+		if err != nil {
 			return nil, err
 		}
+		for i, b := range bounds {
+			if rec.Stamp < b {
+				boundLSNs[i] = lsn
+			}
+		}
 	}
+	s.mu.Lock()
+	s.reopenLSNs = append(s.reopenLSNs, boundLSNs...)
+	s.mu.Unlock()
 	return res.Outcomes, nil
+}
+
+// ReopenBoundaries returns the server-log LSN boundary of every
+// federation hub reopen its batches rode through, in occurrence order —
+// the crash-epoch boundaries the battery judges feed to
+// fault.ScheduleFromWALEpochs / CheckRecovered.
+func (s *Server) ReopenBoundaries() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.reopenLSNs...)
 }
 
 // idle reports whether no work is queued or running.
